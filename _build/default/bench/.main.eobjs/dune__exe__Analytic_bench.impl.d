@@ -1,0 +1,1 @@
+bench/analytic_bench.ml: List Rsin_sim Rsin_topology Rsin_util

@@ -1,0 +1,1 @@
+bench/arch_bench.ml: Format List Printf Rsin_core Rsin_distributed Rsin_sim Rsin_topology Rsin_util

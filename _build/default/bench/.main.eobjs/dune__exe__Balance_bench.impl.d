@@ -1,0 +1,1 @@
+bench/balance_bench.ml: List Printf Rsin_sim Rsin_topology Rsin_util

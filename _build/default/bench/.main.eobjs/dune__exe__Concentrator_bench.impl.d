@@ -1,0 +1,1 @@
+bench/concentrator_bench.ml: List Printf Rsin_core Rsin_sim Rsin_topology Rsin_util

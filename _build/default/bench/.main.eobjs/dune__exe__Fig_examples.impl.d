@@ -1,0 +1,1 @@
+bench/fig_examples.ml: List Printf Rsin_core Rsin_distributed Rsin_flow Rsin_topology Rsin_util String

@@ -1,0 +1,1 @@
+bench/gates_bench.ml: List Printf Rsin_core Rsin_gates Rsin_sim Rsin_topology Rsin_util

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Array Bechamel Benchmark Hashtbl Instance Lazy List Measure Printf Rsin_core Rsin_distributed Rsin_gates Rsin_sim Rsin_topology Rsin_util Staged Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/placement_bench.ml: List Rsin_core Rsin_sim Rsin_topology Rsin_util

@@ -1,0 +1,1 @@
+bench/priority_bench.ml: Array List Printf Rsin_core Rsin_sim Rsin_topology Rsin_util

@@ -1,0 +1,1 @@
+bench/stress_bench.ml: List Printf Rsin_core Rsin_distributed Rsin_sim Rsin_topology Rsin_util Unix

@@ -1,0 +1,120 @@
+(* Experiments E7 and E11: the distributed token architecture (Table I /
+   Fig. 10 protocol) and the monitor-vs-distributed cost comparison. *)
+
+module Network = Rsin_topology.Network
+module Builders = Rsin_topology.Builders
+module Monitor = Rsin_core.Monitor
+module T1 = Rsin_core.Transform1
+module Token_sim = Rsin_distributed.Token_sim
+module Bus = Rsin_distributed.Status_bus
+module Workload = Rsin_sim.Workload
+module Prng = Rsin_util.Prng
+module Stats = Rsin_util.Stats
+module Table = Rsin_util.Table
+
+let seed = 4242
+
+(* E7: run the token-propagation architecture on a small instance, print
+   the status-bus trace (the Fig. 10 / Table I protocol), and check
+   agreement with centralized Dinic over many random instances. *)
+let distributed ?(trials = 500) () =
+  print_endline "== E7: distributed token architecture (Table I / Fig. 10) ==";
+  let net = Builders.omega_paper 8 in
+  (match Builders.route_unique net ~proc:1 ~res:5 with
+  | Some links -> ignore (Network.establish net links)
+  | None -> ());
+  let rep = Token_sim.run net ~requests:[ 0; 2; 4 ] ~free:[ 0; 2; 6 ] in
+  Printf.printf
+    "example: 3 requests, 3 free resources, 1 occupied circuit -> %d/%d allocated\n"
+    rep.Token_sim.allocated rep.Token_sim.requested;
+  Printf.printf
+    "iterations %d; clocks: request %d, resource %d, registration %d (total %d)\n"
+    rep.Token_sim.iterations rep.Token_sim.clocks.Token_sim.request_clocks
+    rep.Token_sim.clocks.Token_sim.resource_clocks
+    rep.Token_sim.clocks.Token_sim.registration_clocks rep.Token_sim.total_clocks;
+  print_endline "status-bus trace (E1..E7, MSB..LSB):";
+  Format.printf "%a@?" Token_sim.pp_trace rep;
+  (* agreement sweep *)
+  let rng = Prng.create seed in
+  let agree = ref 0 and used = ref 0 in
+  for _ = 1 to trials do
+    let n = if Prng.bool rng then 8 else 16 in
+    let net =
+      match Prng.int rng 3 with
+      | 0 -> Builders.omega_paper n
+      | 1 -> Builders.butterfly n
+      | _ -> Builders.baseline n
+    in
+    ignore (Workload.preoccupy rng net ~circuits:(Prng.int rng 3));
+    let busy_p, busy_r = Workload.occupied_endpoints net in
+    let requests, free = Workload.snapshot rng net in
+    let requests = List.filter (fun p -> not (List.mem p busy_p)) requests in
+    let free = List.filter (fun r -> not (List.mem r busy_r)) free in
+    if requests <> [] && free <> [] then begin
+      incr used;
+      let o = T1.schedule net ~requests ~free in
+      let d = Token_sim.run net ~requests ~free in
+      if o.T1.allocated = d.Token_sim.allocated then incr agree
+    end
+  done;
+  Printf.printf
+    "\nagreement with centralized Dinic: %d/%d random instances (must be all)\n\n"
+    !agree !used
+
+(* E11: cost model comparison. The monitor pays software instructions
+   (graph construction + arcs scanned + path walks); the distributed
+   architecture pays clock periods of pure gate delay. The paper's claim
+   is a large constant-factor speedup with better scaling. *)
+let monitor_vs_dist ?(trials = 300) () =
+  print_endline "== E11: monitor (instructions) vs distributed (clock periods) ==";
+  let rng = Prng.create seed in
+  let rows =
+    List.map
+      (fun n ->
+        let instr = Stats.accum () and clocks = Stats.accum () in
+        let iters = Stats.accum () in
+        for _ = 1 to trials do
+          let net = Builders.omega n in
+          let requests, free =
+            Workload.snapshot ~req_density:0.7 ~res_density:0.7 rng net
+          in
+          if requests <> [] && free <> [] then begin
+            let m = Monitor.create (Network.copy net) in
+            List.iter (Monitor.submit m) requests;
+            List.iter (Monitor.resource_ready m) free;
+            let rep = Monitor.run_cycle m in
+            Stats.observe instr (float_of_int rep.Monitor.instructions);
+            let d = Token_sim.run net ~requests ~free in
+            Stats.observe clocks (float_of_int d.Token_sim.total_clocks);
+            Stats.observe iters (float_of_int d.Token_sim.iterations)
+          end
+        done;
+        [ Printf.sprintf "omega %d" n;
+          Table.ffix 0 (Stats.mean instr);
+          Table.ffix 1 (Stats.mean clocks);
+          Table.ffix 2 (Stats.mean iters);
+          Table.ffix 0 (Stats.mean instr /. Stats.mean clocks) ])
+      [ 8; 16; 32; 64 ]
+  in
+  Table.print
+    ~header:
+      [ "network"; "monitor instructions"; "distributed clocks"; "iterations";
+        "instr/clock ratio" ]
+    rows;
+  print_endline
+    "(the ratio understates the paper's speedup: a clock period is a gate\n\
+    \ delay while an instruction is many of them)";
+  (* steady-state: the token architecture driving a live workload *)
+  let m =
+    Rsin_sim.Dynamic.run ~scheduler:Rsin_sim.Dynamic.Distributed
+      (Prng.create seed) (Builders.omega 16)
+      { Rsin_sim.Dynamic.arrival_prob = 0.15; transmission_time = 1;
+        mean_service = 4.; slots = 1500; warmup = 300 }
+  in
+  Printf.printf
+    "steady state (omega 16, arrival 0.15): %d cycles, %d total clock periods\n\
+     (%.1f clocks/cycle), throughput %.3f tasks/slot\n\n"
+    m.Rsin_sim.Dynamic.cycles_run m.Rsin_sim.Dynamic.scheduling_clocks
+    (float_of_int m.Rsin_sim.Dynamic.scheduling_clocks
+    /. float_of_int (max 1 m.Rsin_sim.Dynamic.cycles_run))
+    m.Rsin_sim.Dynamic.throughput

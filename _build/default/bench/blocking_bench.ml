@@ -1,0 +1,147 @@
+(* Experiments E5, E6, E9, E10, E12: Monte-Carlo blocking probability and
+   utilization sweeps. *)
+
+module Builders = Rsin_topology.Builders
+module Blocking = Rsin_sim.Blocking
+module Dynamic = Rsin_sim.Dynamic
+module Prng = Rsin_util.Prng
+module Table = Rsin_util.Table
+
+let seed = 2026
+
+let row name e =
+  [ name;
+    Table.fpct e.Blocking.mean_blocking;
+    "+-" ^ Table.fpct e.Blocking.ci95;
+    Table.fpct e.Blocking.utilization;
+    Table.ffix 1 e.Blocking.mean_offered;
+    string_of_int e.Blocking.trials_used ]
+
+let header = [ "scheduler"; "blocking"; "ci95"; "utilization"; "offered"; "trials" ]
+
+let estimate ?(config = Blocking.default_config) scheduler make_net =
+  Blocking.estimate ~config ~scheduler (Prng.create seed) make_net
+
+(* E5: the paper's 8x8 cube-network comparison: optimal ~2 %, heuristic
+   ~20 %. The address-mapped router is the conventional baseline; the
+   partially-occupied setting matches the paper's remark that a heuristic
+   degrades badly when the network is not free. *)
+let blocking_cube8 ?(trials = 2000) () =
+  print_endline "== E5: blocking on the 8x8 indirect binary n-cube ==";
+  let make () = Builders.butterfly 8 in
+  let cfg =
+    { Blocking.default_config with trials; req_density = 0.7; res_density = 0.7 }
+  in
+  print_endline "-- free network, densities 0.7 (paper: optimal ~2%, heuristic ~20%)";
+  Table.print ~header
+    (List.map
+       (fun s -> row (Blocking.scheduler_name s) (estimate ~config:cfg s make))
+       [ Blocking.Optimal; Blocking.Distributed; Blocking.First_fit;
+         Blocking.Random_fit; Blocking.Address_map ]);
+  let cfg2 = { cfg with pre_circuits = 2 } in
+  print_endline "-- two pre-occupied circuits (partially busy network)";
+  Table.print ~header
+    (List.map
+       (fun s -> row (Blocking.scheduler_name s) (estimate ~config:cfg2 s make))
+       [ Blocking.Optimal; Blocking.First_fit; Blocking.Address_map ]);
+  print_newline ()
+
+(* E6: "for a typical interconnection structure, such as the Omega
+   network, blockages can be reduced to less than 5 percent". *)
+let blocking_omega ?(trials = 1500) () =
+  print_endline "== E6: optimal scheduling on Omega networks (paper: < 5%) ==";
+  let cfg =
+    { Blocking.trials; req_density = 0.8; res_density = 0.8; pre_circuits = 1 }
+  in
+  Table.print ~header
+    (List.map
+       (fun n ->
+         row
+           (Printf.sprintf "omega %dx%d, optimal" n n)
+           (estimate ~config:cfg Blocking.Optimal (fun () -> Builders.omega n)))
+       [ 8; 16; 32 ]);
+  print_newline ()
+
+(* E9: extra stages add alternative paths; arbitrary (address-mapped)
+   routing then approaches the optimal scheduler, which is the paper's
+   argument that extra stages make optimal mapping less critical. *)
+let extra_stage ?(trials = 1200) () =
+  print_endline "== E9: extra-stage Omega ablation ==";
+  let cfg =
+    { Blocking.default_config with trials; req_density = 1.0; res_density = 1.0 }
+  in
+  Table.print
+    ~header:[ "network"; "optimal blocking"; "address-map blocking"; "first-fit blocking" ]
+    (List.map
+       (fun extra ->
+         let make () = Builders.extra_stage_omega 8 ~extra in
+         let b s = (estimate ~config:cfg s make).Blocking.mean_blocking in
+         [ Printf.sprintf "omega8 + %d stage(s)" extra;
+           Table.fpct (b Blocking.Optimal);
+           Table.fpct (b Blocking.Address_map);
+           Table.fpct (b Blocking.First_fit) ])
+       [ 0; 1; 2; 3 ]);
+  print_newline ()
+
+(* E10: sensitivity to a partially occupied network. *)
+let occupied ?(trials = 1200) () =
+  print_endline "== E10: blocking vs pre-occupied circuits (8x8 cube) ==";
+  Table.print
+    ~header:[ "pre-occupied"; "optimal"; "first-fit"; "address-map" ]
+    (List.map
+       (fun pre ->
+         let cfg =
+           { Blocking.trials; req_density = 0.7; res_density = 0.7;
+             pre_circuits = pre }
+         in
+         let b s =
+           (estimate ~config:cfg s (fun () -> Builders.butterfly 8))
+             .Blocking.mean_blocking
+         in
+         [ string_of_int pre;
+           Table.fpct (b Blocking.Optimal);
+           Table.fpct (b Blocking.First_fit);
+           Table.fpct (b Blocking.Address_map) ])
+       [ 0; 1; 2; 3; 4 ]);
+  print_newline ()
+
+(* E12: size and load scaling, static blocking plus dynamic utilization. *)
+let scaling ?(trials = 600) () =
+  print_endline "== E12: scaling with network size and load ==";
+  Table.print
+    ~header:[ "network"; "density"; "optimal blocking"; "first-fit blocking"; "utilization" ]
+    (List.concat_map
+       (fun n ->
+         List.map
+           (fun d ->
+             let cfg =
+               { Blocking.default_config with trials; req_density = d; res_density = d }
+             in
+             let make () = Builders.omega n in
+             let opt = estimate ~config:cfg Blocking.Optimal make in
+             let ff = estimate ~config:cfg Blocking.First_fit make in
+             [ Printf.sprintf "omega %d" n;
+               Table.ffix 2 d;
+               Table.fpct opt.Blocking.mean_blocking;
+               Table.fpct ff.Blocking.mean_blocking;
+               Table.fpct opt.Blocking.utilization ])
+           [ 0.25; 0.5; 0.75; 1.0 ])
+       [ 8; 16; 32; 64 ]);
+  print_endline "-- dynamic simulation (tasks arriving over time, omega 16)";
+  let params arrival =
+    { Dynamic.arrival_prob = arrival; transmission_time = 1; mean_service = 4.;
+      slots = 2000; warmup = 400 }
+  in
+  Table.print
+    ~header:[ "arrival prob"; "throughput"; "offered"; "resource util"; "mean queue"; "mean wait" ]
+    (List.map
+       (fun a ->
+         let m = Dynamic.run (Prng.create seed) (Builders.omega 16) (params a) in
+         [ Table.ffix 2 a;
+           Table.ffix 3 m.Dynamic.throughput;
+           Table.ffix 3 m.Dynamic.offered_load;
+           Table.fpct m.Dynamic.resource_utilization;
+           Table.ffix 2 m.Dynamic.mean_queue;
+           Table.ffix 2 m.Dynamic.mean_wait ])
+       [ 0.05; 0.1; 0.2; 0.4; 0.8 ]);
+  print_newline ()

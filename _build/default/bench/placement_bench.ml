@@ -1,0 +1,83 @@
+(* Experiment E28: arrangement of resource types across output ports.
+   The paper's conclusion: utilization "will depend on the network
+   configuration, the resources available, the arrangement of the
+   various types of resources, and the arrangement of the requesting
+   processors." Fix the pool mix (half type A, half type B on a 16-port
+   Omega) and vary only the placement. *)
+
+module Network = Rsin_topology.Network
+module Builders = Rsin_topology.Builders
+module Hetero = Rsin_core.Hetero
+module Workload = Rsin_sim.Workload
+module Prng = Rsin_util.Prng
+module Stats = Rsin_util.Stats
+module Table = Rsin_util.Table
+
+let seed = 2468
+
+let placements n =
+  [ ("interleaved (ABAB...)", fun r -> r mod 2);
+    ("blocked (A*8 then B*8)", fun r -> if r < n / 2 then 0 else 1);
+    ("paired (AABB...)", fun r -> r / 2 mod 2);
+    ("one hot corner (A on 0-3,8-11)", fun r -> if r mod 8 < 4 then 0 else 1) ]
+
+let placement ?(trials = 800) () =
+  print_endline "== E28: resource-type placement across output ports (omega 16) ==";
+  let n = 16 in
+  Table.print
+    ~header:
+      [ "placement"; "LP blocking"; "greedy blocking"; "LP utilization" ]
+    (List.map
+       (fun (name, type_of) ->
+         let rng = Prng.create seed in
+         let lp_block = Stats.accum () and gr_block = Stats.accum () in
+         let util = Stats.accum () in
+         for _ = 1 to trials do
+           let net = Builders.omega n in
+           let requests, free =
+             Workload.snapshot ~req_density:0.8 ~res_density:0.8 rng net
+           in
+           if requests <> [] && free <> [] then begin
+             let spec =
+               Hetero.
+                 { requests =
+                     List.map (fun p -> (p, Prng.int rng 2, 0)) requests;
+                   free = List.map (fun r -> (r, type_of r, 0)) free }
+             in
+             (* satisfiable bound respects the per-type populations *)
+             let bound =
+               List.fold_left
+                 (fun acc ty ->
+                   let reqs =
+                     List.length
+                       (List.filter (fun (_, t, _) -> t = ty) spec.Hetero.requests)
+                   in
+                   let ress =
+                     List.length
+                       (List.filter (fun (_, t, _) -> t = ty) spec.Hetero.free)
+                   in
+                   acc + min reqs ress)
+                 0 [ 0; 1 ]
+             in
+             if bound > 0 then begin
+               let lp = Hetero.schedule_lp net spec in
+               let gr = Hetero.schedule_greedy net spec in
+               Stats.observe lp_block
+                 (float_of_int (bound - lp.Hetero.allocated) /. float_of_int bound);
+               Stats.observe gr_block
+                 (float_of_int (bound - gr.Hetero.allocated) /. float_of_int bound);
+               Stats.observe util
+                 (float_of_int lp.Hetero.allocated
+                 /. float_of_int (List.length free))
+             end
+           end
+         done;
+         [ name; Table.fpct (Stats.mean lp_block);
+           Table.fpct (Stats.mean gr_block); Table.fpct (Stats.mean util) ])
+       (placements n));
+  print_endline
+    "(placement moves the blocking of both schedulers: clustering a type\n\
+    \ behind shared switchboxes concentrates its traffic on few links, while\n\
+    \ interleaving spreads it - the dependence the paper's conclusion\n\
+    \ predicts, quantified)";
+  print_newline ()

@@ -1,0 +1,512 @@
+(* rsin: command-line front end for the RSIN library.
+
+   Subcommands:
+     info      - describe a network topology
+     dot       - emit a Graphviz rendering of a network
+     schedule  - schedule a request/resource snapshot
+     trace     - run the distributed token architecture and print the bus trace
+     blocking  - Monte-Carlo blocking-probability estimate
+     simulate  - dynamic discrete-time simulation
+
+   Network specifications (the NET argument):
+     omega:N         Lawrie Omega, N a power of two
+     omega-paper:N   Omega with the paper's input numbering
+     omega+E:N       Omega with E extra stages
+     butterfly:N     indirect binary n-cube
+     baseline:N      Wu-Feng baseline
+     benes:N         Benes rearrangeable network
+     gamma:N         Parker-Raghavendra gamma network
+     adm:N           augmented-data-manipulator-style network
+     flip:N          Batcher Flip network (inverse Omega)
+     delta:Q^S       delta network, radix Q, S stages
+     delta-ab:AxB^S  asymmetric delta, A^S processors x B^S resources
+     clos:M,N,R      3-stage Clos
+     crossbar:P,R    P x R crossbar *)
+
+module Network = Rsin_topology.Network
+module Builders = Rsin_topology.Builders
+module Scheduler = Rsin_core.Scheduler
+module Heuristic = Rsin_core.Heuristic
+module Token_sim = Rsin_distributed.Token_sim
+module Blocking = Rsin_sim.Blocking
+module Dynamic = Rsin_sim.Dynamic
+module Workload = Rsin_sim.Workload
+module Prng = Rsin_util.Prng
+module Table = Rsin_util.Table
+open Cmdliner
+
+(* --- network specification parsing -------------------------------------- *)
+
+let parse_net spec =
+  let fail msg = Error (`Msg msg) in
+  match String.index_opt spec ':' with
+  | None -> fail "network spec must look like omega:8 (see --help)"
+  | Some i ->
+    let kind = String.sub spec 0 i in
+    let arg = String.sub spec (i + 1) (String.length spec - i - 1) in
+    let int_arg () =
+      match int_of_string_opt arg with
+      | Some n -> Ok n
+      | None -> fail (Printf.sprintf "bad size %S" arg)
+    in
+    (try
+       match kind with
+       | "omega" -> Result.map Builders.omega (int_arg ())
+       | "omega-paper" -> Result.map Builders.omega_paper (int_arg ())
+       | "butterfly" | "cube" -> Result.map Builders.butterfly (int_arg ())
+       | "baseline" -> Result.map Builders.baseline (int_arg ())
+       | "benes" -> Result.map Builders.benes (int_arg ())
+       | "gamma" -> Result.map Builders.gamma (int_arg ())
+       | "flip" -> Result.map Builders.flip (int_arg ())
+       | "adm" -> Result.map Builders.adm (int_arg ())
+       | "delta" ->
+         (match String.split_on_char '^' arg with
+         | [ q; s ] ->
+           (match (int_of_string_opt q, int_of_string_opt s) with
+           | Some radix, Some stages -> Ok (Builders.delta ~radix ~stages)
+           | _ -> fail "delta spec: delta:Q^S")
+         | _ -> fail "delta spec: delta:Q^S")
+       | "delta-ab" ->
+         (match String.split_on_char '^' arg with
+         | [ ab; s ] ->
+           (match
+              ( List.filter_map int_of_string_opt (String.split_on_char 'x' ab),
+                int_of_string_opt s )
+            with
+           | [ a; b ], Some stages -> Ok (Builders.delta_ab ~a ~b ~stages)
+           | _ -> fail "delta-ab spec: delta-ab:AxB^S")
+         | _ -> fail "delta-ab spec: delta-ab:AxB^S")
+       | "clos" ->
+         (match List.filter_map int_of_string_opt (String.split_on_char ',' arg) with
+         | [ m; n; r ] -> Ok (Builders.clos ~m ~n ~r)
+         | _ -> fail "clos spec: clos:M,N,R")
+       | "crossbar" ->
+         (match List.filter_map int_of_string_opt (String.split_on_char ',' arg) with
+         | [ p; r ] -> Ok (Builders.crossbar ~n_procs:p ~n_res:r)
+         | _ -> fail "crossbar spec: crossbar:P,R")
+       | _ ->
+         if String.length kind > 6 && String.sub kind 0 6 = "omega+" then
+           match
+             ( int_of_string_opt (String.sub kind 6 (String.length kind - 6)),
+               int_of_string_opt arg )
+           with
+           | Some extra, Some n -> Ok (Builders.extra_stage_omega n ~extra)
+           | _ -> fail "extra-stage spec: omega+E:N"
+         else fail (Printf.sprintf "unknown network kind %S" kind)
+     with Invalid_argument msg -> fail msg)
+
+let net_conv =
+  Arg.conv
+    ( parse_net,
+      fun fmt net -> Format.fprintf fmt "%s" (Network.name net) )
+
+let net_arg =
+  Arg.(
+    required
+    & pos 0 (some net_conv) None
+    & info [] ~docv:"NET" ~doc:"Network specification, e.g. omega:8.")
+
+(* --- shared option parsing ----------------------------------------------- *)
+
+let int_list_conv =
+  Arg.conv
+    ( (fun s ->
+        let parts = String.split_on_char ',' (String.trim s) in
+        let parsed = List.filter_map int_of_string_opt parts in
+        if List.length parsed = List.length parts && parts <> [] then Ok parsed
+        else Error (`Msg "expected a comma-separated integer list")),
+      fun fmt l ->
+        Format.fprintf fmt "%s" (String.concat "," (List.map string_of_int l)) )
+
+let requests_arg =
+  Arg.(
+    value
+    & opt (some int_list_conv) None
+    & info [ "requests" ] ~docv:"P,P,..."
+        ~doc:"Requesting processors (default: a random snapshot).")
+
+let free_arg =
+  Arg.(
+    value
+    & opt (some int_list_conv) None
+    & info [ "free" ] ~docv:"R,R,..."
+        ~doc:"Free resource ports (default: a random snapshot).")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~doc:"PRNG seed.")
+
+let pre_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "pre" ] ~doc:"Random circuits to pre-establish before scheduling.")
+
+let snapshot rng net requests free =
+  let requests, free =
+    match (requests, free) with
+    | Some r, Some f -> (r, f)
+    | r, f ->
+      let rr, ff = Workload.snapshot rng net in
+      (Option.value r ~default:rr, Option.value f ~default:ff)
+  in
+  let busy_p, busy_r = Workload.occupied_endpoints net in
+  ( List.filter (fun p -> not (List.mem p busy_p)) requests,
+    List.filter (fun r -> not (List.mem r busy_r)) free )
+
+(* --- info ------------------------------------------------------------------ *)
+
+let info_cmd =
+  let run net =
+    Format.printf "%a@." Network.pp_summary net;
+    Printf.printf "full access: %b\n" (Builders.full_access net);
+    for s = 0 to Network.stages net - 1 do
+      let boxes = Network.boxes_in_stage net s in
+      let spec = Network.box_spec net (List.hd boxes) in
+      Printf.printf "stage %d: %d boxes of %dx%d\n" s (List.length boxes)
+        spec.Network.fan_in spec.Network.fan_out
+    done
+  in
+  Cmd.v (Cmd.info "info" ~doc:"Describe a network topology")
+    Term.(const run $ net_arg)
+
+(* --- dot ------------------------------------------------------------------- *)
+
+let dot_cmd =
+  let run net pre seed =
+    let rng = Prng.create seed in
+    if pre > 0 then ignore (Workload.preoccupy rng net ~circuits:pre);
+    print_string (Network.to_dot net)
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Emit a Graphviz rendering of the network")
+    Term.(const run $ net_arg $ pre_arg $ seed_arg)
+
+(* --- schedule ---------------------------------------------------------------- *)
+
+let scheduler_enum =
+  Arg.enum
+    [ ("optimal", `Optimal); ("distributed", `Distributed);
+      ("first-fit", `First_fit); ("random-fit", `Random_fit);
+      ("address-map", `Address_map) ]
+
+let scheduler_arg =
+  Arg.(
+    value & opt scheduler_enum `Optimal
+    & info [ "scheduler" ] ~docv:"S"
+        ~doc:"One of optimal, distributed, first-fit, random-fit, address-map.")
+
+let explain_arg =
+  Arg.(
+    value & flag
+    & info [ "explain" ]
+        ~doc:"With the optimal scheduler: print the min-cut bottleneck \
+              limiting the allocation.")
+
+let schedule_cmd =
+  let run net requests free scheduler pre seed explain =
+    let rng = Prng.create seed in
+    if pre > 0 then ignore (Workload.preoccupy rng net ~circuits:pre);
+    let requests, free = snapshot rng net requests free in
+    Printf.printf "requests: %s\nfree:     %s\n"
+      (String.concat "," (List.map string_of_int requests))
+      (String.concat "," (List.map string_of_int free));
+    let mapping, allocated =
+      match scheduler with
+      | `Optimal ->
+        let tr = Rsin_core.Transform1.build net ~requests ~free in
+        let o = Rsin_core.Transform1.solve tr in
+        if explain then begin
+          let cut = Rsin_core.Transform1.bottleneck tr in
+          Printf.printf "bottleneck (min cut, %d elements):\n" (List.length cut);
+          List.iter
+            (function
+              | `Link l ->
+                Printf.printf "  link %d: %s -> %s\n" l
+                  (Network.endpoint_to_string (Network.link_src net l))
+                  (Network.endpoint_to_string (Network.link_dst net l))
+              | `Proc p -> Printf.printf "  processor p%d (its own request arc)\n" p
+              | `Res r -> Printf.printf "  resource r%d (its own resource arc)\n" r)
+            cut
+        end;
+        (o.Rsin_core.Transform1.mapping, o.Rsin_core.Transform1.allocated)
+      | `Distributed ->
+        let o = Token_sim.run net ~requests ~free in
+        (o.Token_sim.mapping, o.Token_sim.allocated)
+      | `First_fit | `Random_fit | `Address_map ->
+        let policy =
+          match scheduler with
+          | `First_fit -> Heuristic.First_fit
+          | `Random_fit -> Heuristic.Random_fit rng
+          | _ -> Heuristic.Address_map rng
+        in
+        let o = Heuristic.schedule net ~requests ~free policy in
+        (o.Heuristic.mapping, o.Heuristic.allocated)
+    in
+    Printf.printf "allocated %d/%d:\n" allocated (List.length requests);
+    List.iter
+      (fun (p, r) -> Printf.printf "  p%d -> r%d\n" p r)
+      (List.sort compare mapping)
+  in
+  Cmd.v
+    (Cmd.info "schedule" ~doc:"Schedule a request/resource snapshot")
+    Term.(
+      const run $ net_arg $ requests_arg $ free_arg $ scheduler_arg $ pre_arg
+      $ seed_arg $ explain_arg)
+
+(* --- trace ------------------------------------------------------------------- *)
+
+let trace_cmd =
+  let run net requests free pre seed =
+    let rng = Prng.create seed in
+    if pre > 0 then ignore (Workload.preoccupy rng net ~circuits:pre);
+    let requests, free = snapshot rng net requests free in
+    let rep = Token_sim.run net ~requests ~free in
+    Printf.printf "allocated %d/%d in %d iteration(s), %d clock periods\n\n"
+      rep.Token_sim.allocated rep.Token_sim.requested rep.Token_sim.iterations
+      rep.Token_sim.total_clocks;
+    Format.printf "%a@?" Token_sim.pp_trace rep
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run the distributed token architecture and print the bus trace")
+    Term.(const run $ net_arg $ requests_arg $ free_arg $ pre_arg $ seed_arg)
+
+(* --- blocking ------------------------------------------------------------------ *)
+
+let blocking_cmd =
+  let trials_arg =
+    Arg.(value & opt int 1000 & info [ "trials" ] ~doc:"Monte-Carlo trials.")
+  in
+  let density_arg name =
+    Arg.(
+      value & opt float 0.5
+      & info [ name ] ~doc:"Density in [0,1] for the random snapshots.")
+  in
+  let run spec trials req_d res_d pre seed =
+    let scheds =
+      [ Blocking.Optimal; Blocking.First_fit; Blocking.Random_fit;
+        Blocking.Address_map ]
+    in
+    let cfg =
+      { Blocking.trials; req_density = req_d; res_density = res_d;
+        pre_circuits = pre }
+    in
+    Table.print
+      ~header:[ "scheduler"; "blocking"; "ci95"; "utilization"; "trials" ]
+      (List.map
+         (fun s ->
+           let e =
+             Blocking.estimate ~config:cfg ~scheduler:s (Prng.create seed)
+               (fun () ->
+                 match parse_net spec with
+                 | Ok net -> net
+                 | Error (`Msg m) -> failwith m)
+           in
+           [ Blocking.scheduler_name s;
+             Table.fpct e.Blocking.mean_blocking;
+             "+-" ^ Table.fpct e.Blocking.ci95;
+             Table.fpct e.Blocking.utilization;
+             string_of_int e.Blocking.trials_used ])
+         scheds)
+  in
+  let spec_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"NET" ~doc:"Network specification, e.g. omega:8.")
+  in
+  Cmd.v
+    (Cmd.info "blocking" ~doc:"Monte-Carlo blocking-probability estimate")
+    Term.(
+      const run $ spec_arg $ trials_arg $ density_arg "req-density"
+      $ density_arg "res-density" $ pre_arg $ seed_arg)
+
+(* --- simulate ------------------------------------------------------------------ *)
+
+let simulate_cmd =
+  let arrival_arg =
+    Arg.(
+      value & opt float 0.2
+      & info [ "arrival" ] ~doc:"Per-processor arrival probability per slot.")
+  in
+  let slots_arg =
+    Arg.(value & opt int 2000 & info [ "slots" ] ~doc:"Measured slots.")
+  in
+  let service_arg =
+    Arg.(value & opt float 4.0 & info [ "service" ] ~doc:"Mean service time.")
+  in
+  let run net arrival slots service seed =
+    let params =
+      { Dynamic.arrival_prob = arrival; transmission_time = 1;
+        mean_service = service; slots; warmup = slots / 5 }
+    in
+    let m = Dynamic.run (Prng.create seed) net params in
+    Table.print
+      ~header:[ "metric"; "value" ]
+      [
+        [ "throughput (tasks/slot)"; Table.ffix 3 m.Dynamic.throughput ];
+        [ "offered load (tasks/slot)"; Table.ffix 3 m.Dynamic.offered_load ];
+        [ "resource utilization"; Table.fpct m.Dynamic.resource_utilization ];
+        [ "mean queue per processor"; Table.ffix 2 m.Dynamic.mean_queue ];
+        [ "mean wait (slots)"; Table.ffix 2 m.Dynamic.mean_wait ];
+        [ "completed tasks"; string_of_int m.Dynamic.completed ];
+        [ "blocked scheduling cycles"; Table.fpct m.Dynamic.blocked_cycle_fraction ];
+      ]
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Dynamic discrete-time simulation")
+    Term.(const run $ net_arg $ arrival_arg $ slots_arg $ service_arg $ seed_arg)
+
+(* --- props ------------------------------------------------------------------- *)
+
+let props_cmd =
+  let run net =
+    Format.printf "%a@." Network.pp_summary net;
+    let module P = Rsin_topology.Properties in
+    Table.print
+      ~header:[ "metric"; "value" ]
+      [
+        [ "path length (links)"; string_of_int (P.path_length net) ];
+        [ "paths per pair (mean)"; Table.ffix 2 (P.path_diversity net) ];
+        [ "paths per pair (min)"; string_of_int (P.min_path_diversity net) ];
+        [ "bisection flow"; string_of_int (P.bisection_flow net) ];
+      ]
+  in
+  Cmd.v
+    (Cmd.info "props" ~doc:"Structural metrics of a network")
+    Term.(const run $ net_arg)
+
+(* --- perm -------------------------------------------------------------------- *)
+
+let perm_cmd =
+  let perm_arg =
+    Arg.(
+      value
+      & opt (some int_list_conv) None
+      & info [ "perm" ] ~docv:"R,R,..."
+          ~doc:"Target resource for each processor in order (default: a \
+                random permutation).")
+  in
+  let run n perm seed =
+    let net = Rsin_topology.Builders.benes n in
+    let perm =
+      match perm with
+      | Some l ->
+        if List.length l <> n then failwith "permutation length must equal N";
+        Array.of_list l
+      | None ->
+        let a = Array.init n Fun.id in
+        Prng.shuffle (Prng.create seed) a;
+        a
+    in
+    let circuits = Rsin_topology.Permutation.route net perm in
+    List.iteri
+      (fun p links ->
+        ignore (Network.establish net links);
+        Printf.printf "p%-3d -> r%-3d via %d links\n" p perm.(p)
+          (List.length links))
+      circuits;
+    Printf.printf "all %d circuits established link-disjointly on %s\n" n
+      (Network.name net)
+  in
+  let n_arg =
+    Arg.(
+      required
+      & pos 0 (some int) None
+      & info [] ~docv:"N" ~doc:"Port count (power of two); a Benes network \
+                                of that size is generated.")
+  in
+  Cmd.v
+    (Cmd.info "perm"
+       ~doc:"Route a full permutation on a Benes network (looping algorithm)")
+    Term.(const run $ n_arg $ perm_arg $ seed_arg)
+
+(* --- gates -------------------------------------------------------------------- *)
+
+let gates_cmd =
+  let run net requests free pre seed =
+    let rng = Prng.create seed in
+    if pre > 0 then ignore (Workload.preoccupy rng net ~circuits:pre);
+    let c = Rsin_gates.Mrsin_circuit.compile net in
+    let st = Rsin_gates.Mrsin_circuit.stats c in
+    Printf.printf
+      "compiled netlist: %d inputs, %d flip-flops, %d gates, depth %d\n"
+      st.Rsin_gates.Netlist.inputs st.Rsin_gates.Netlist.flip_flops
+      st.Rsin_gates.Netlist.gates st.Rsin_gates.Netlist.depth;
+    let requests, free = snapshot rng net requests free in
+    let o = Rsin_gates.Mrsin_circuit.run c ~requests ~free in
+    Printf.printf "allocated %d/%d in %d clocks:\n"
+      o.Rsin_gates.Mrsin_circuit.allocated o.Rsin_gates.Mrsin_circuit.requested
+      o.Rsin_gates.Mrsin_circuit.clocks;
+    List.iter
+      (fun (p, r) -> Printf.printf "  p%d -> r%d\n" p r)
+      o.Rsin_gates.Mrsin_circuit.mapping
+  in
+  Cmd.v
+    (Cmd.info "gates"
+       ~doc:"Compile the network to a gate-level scheduler and run a snapshot")
+    Term.(const run $ net_arg $ requests_arg $ free_arg $ pre_arg $ seed_arg)
+
+(* --- show -------------------------------------------------------------------- *)
+
+let show_cmd =
+  let run net pre requests free seed =
+    let rng = Prng.create seed in
+    if pre > 0 then ignore (Workload.preoccupy rng net ~circuits:pre);
+    (match (requests, free) with
+    | Some requests, Some free ->
+      let o =
+        Scheduler.schedule net
+          ~requests:(List.map Scheduler.request requests)
+          ~resources:(List.map Scheduler.resource free)
+      in
+      ignore (Scheduler.commit net o)
+    | _ -> ());
+    Format.printf "%a@?" Network.pp_occupancy net
+  in
+  Cmd.v
+    (Cmd.info "show"
+       ~doc:"Text map of link occupancy, optionally after scheduling a snapshot")
+    Term.(const run $ net_arg $ pre_arg $ requests_arg $ free_arg $ seed_arg)
+
+(* --- taskgraph ------------------------------------------------------------------ *)
+
+let taskgraph_cmd =
+  let tasks_arg = Arg.(value & opt int 60 & info [ "tasks" ] ~doc:"Task count.") in
+  let types_arg = Arg.(value & opt int 3 & info [ "types" ] ~doc:"Resource types.") in
+  let run net tasks types seed =
+    let module Taskgraph = Rsin_sim.Taskgraph in
+    let rng = Prng.create seed in
+    let g =
+      Taskgraph.random rng ~tasks ~types ~procs:(Network.n_procs net)
+        ~edge_prob:0.25 ~mean_service:4.
+    in
+    Printf.printf "graph: %d tasks, critical path %d slots\n" (Taskgraph.size g)
+      (Taskgraph.critical_path g);
+    let pool = List.init (Network.n_res net) (fun r -> (r, r mod types)) in
+    Table.print
+      ~header:[ "policy"; "makespan"; "pool util"; "mean ready wait" ]
+      (List.map
+         (fun (name, policy) ->
+           let r = Taskgraph.execute ~policy (Prng.create seed) net ~pool g in
+           [ name;
+             string_of_int r.Taskgraph.makespan;
+             Table.fpct r.Taskgraph.resource_utilization;
+             Table.ffix 2 r.Taskgraph.mean_ready_wait ])
+         [ ("flow", Taskgraph.Flow_scheduler);
+           ("priority flow", Taskgraph.Priority_flow);
+           ("naive", Taskgraph.Naive_mapper) ])
+  in
+  Cmd.v
+    (Cmd.info "taskgraph"
+       ~doc:"Execute a random dependency DAG over the resource pool")
+    Term.(const run $ net_arg $ tasks_arg $ types_arg $ seed_arg)
+
+let () =
+  let doc = "resource sharing interconnection network toolkit" in
+  let main =
+    Cmd.group
+      (Cmd.info "rsin" ~doc ~version:"1.0.0")
+      [ info_cmd; dot_cmd; schedule_cmd; trace_cmd; blocking_cmd; simulate_cmd;
+        props_cmd; perm_cmd; gates_cmd; show_cmd; taskgraph_cmd ]
+  in
+  exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/dataflow.ml: List Printf Rsin_sim Rsin_topology Rsin_util

@@ -1,0 +1,1 @@
+examples/distributed_demo.ml: Format List Printf Rsin_core Rsin_distributed Rsin_topology String

@@ -1,0 +1,1 @@
+examples/pumps.ml: Format List Printf Rsin_core Rsin_topology Rsin_util

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Printf Rsin_core Rsin_topology

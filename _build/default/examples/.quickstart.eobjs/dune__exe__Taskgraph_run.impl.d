@@ -1,0 +1,1 @@
+examples/taskgraph_run.ml: List Printf Rsin_sim Rsin_topology Rsin_util

@@ -1,0 +1,1 @@
+examples/taskgraph_run.mli:

@@ -1,0 +1,53 @@
+(* Data-flow machine scenario (paper Fig. 1(b)): in Dennis' architecture,
+   cell blocks fire active instructions that may execute on ANY free
+   processing unit — the processing units are a homogeneous resource
+   pool behind an RSIN. This example runs the dynamic discrete-time
+   simulation at increasing firing rates and shows how the optimal
+   scheduler keeps the processing units busier than the greedy one as
+   the network becomes the bottleneck.
+
+   Run with: dune exec examples/dataflow.exe *)
+
+module Builders = Rsin_topology.Builders
+module Dynamic = Rsin_sim.Dynamic
+module Prng = Rsin_util.Prng
+module Table = Rsin_util.Table
+
+let () =
+  print_endline "Dennis-style data-flow machine: 16 cell blocks -> 16 PUs";
+  print_endline "through a 16x16 Omega RSIN; instruction service ~ 3 slots.\n";
+  let net = Builders.omega 16 in
+  let params rate =
+    { Dynamic.arrival_prob = rate; transmission_time = 1; mean_service = 3.;
+      slots = 4000; warmup = 800 }
+  in
+  let rates = [ 0.05; 0.1; 0.15; 0.2; 0.25; 0.3; 0.4 ] in
+  let row scheduler name rate =
+    let m = Dynamic.run ~scheduler (Prng.create 11) net (params rate) in
+    [ Table.ffix 2 rate; name;
+      Table.ffix 3 m.Dynamic.throughput;
+      Table.fpct m.Dynamic.resource_utilization;
+      Table.ffix 2 m.Dynamic.mean_wait;
+      Table.fpct m.Dynamic.blocked_cycle_fraction ]
+  in
+  Table.print
+    ~header:
+      [ "firing rate"; "scheduler"; "throughput"; "PU utilization";
+        "mean wait"; "blocked cycles" ]
+    (List.concat_map
+       (fun rate ->
+         [ row Dynamic.Optimal "optimal" rate;
+           row Dynamic.First_fit "first-fit" rate ])
+       rates);
+  print_endline
+    "\nthroughput saturates at ~16/3 ~ 5.3 instructions per slot when every\n\
+     processing unit is busy; the optimal scheduler reaches saturation with\n\
+     fewer blocked scheduling cycles.";
+  (* Load balancing view (paper Section I): processors are resources.
+     Requests generated at the cell blocks queue both at the sources and
+     at the processing units; the mean queue measures the imbalance the
+     RSIN absorbs. *)
+  let m = Dynamic.run (Prng.create 11) net (params 0.3) in
+  Printf.printf
+    "\nat firing rate 0.30: mean source queue %.2f instructions, completed %d\n"
+    m.Dynamic.mean_queue m.Dynamic.completed

@@ -1,0 +1,61 @@
+(* Distributed scheduling demo: watch the token-propagation architecture
+   (paper Section IV) execute Dinic's algorithm clock by clock on a small
+   MRSIN — request tokens build the layered network, resource tokens find
+   the maximal flow, path registration commits it; the 7-bit status bus
+   (Table I) synchronizes the phases.
+
+   Run with: dune exec examples/distributed_demo.exe *)
+
+module Network = Rsin_topology.Network
+module Builders = Rsin_topology.Builders
+module Token_sim = Rsin_distributed.Token_sim
+module T1 = Rsin_core.Transform1
+
+let () =
+  let net = Builders.omega_paper 8 in
+  (* Occupy p2 -> r6 so the tokens must steer around a busy circuit. *)
+  (match Builders.route_unique net ~proc:1 ~res:5 with
+  | Some links -> ignore (Network.establish net links)
+  | None -> assert false);
+  let requests = [ 0; 2; 4; 7 ] and free = [ 0; 2; 6; 7 ] in
+  Printf.printf "MRSIN: %s; requests {p1 p3 p5 p8}, free {r1 r3 r7 r8},\n"
+    (Network.name net);
+  print_endline "one busy circuit (p2 -> r6).\n";
+
+  let rep = Token_sim.run net ~requests ~free in
+  Printf.printf "bonded %d/%d requests in %d Dinic iteration(s), %d clock periods\n"
+    rep.Token_sim.allocated rep.Token_sim.requested rep.Token_sim.iterations
+    rep.Token_sim.total_clocks;
+  Printf.printf "  request-token clocks:   %d\n"
+    rep.Token_sim.clocks.Token_sim.request_clocks;
+  Printf.printf "  resource-token clocks:  %d\n"
+    rep.Token_sim.clocks.Token_sim.resource_clocks;
+  Printf.printf "  registration clocks:    %d\n\n"
+    rep.Token_sim.clocks.Token_sim.registration_clocks;
+
+  print_endline "status-bus trace (bits E1..E7, MSB..LSB — paper Table I):";
+  Format.printf "%a@." Token_sim.pp_trace rep;
+
+  print_endline "bonds made by token propagation:";
+  List.iter
+    (fun (p, r) -> Printf.printf "  RQ p%d bonded to RS r%d\n" (p + 1) (r + 1))
+    (List.sort compare rep.Token_sim.mapping);
+
+  (* Cross-check against the centralized reference (Theorem 4 + Dinic
+     optimality: both are maximum). *)
+  let reference = T1.schedule net ~requests ~free in
+  Printf.printf
+    "\ncentralized Dinic allocates %d — the distributed realization matches.\n"
+    reference.T1.allocated;
+
+  (* Show the registered circuits as link paths. *)
+  print_endline "\ncircuits registered in the network:";
+  List.iter
+    (fun (p, links) ->
+      Printf.printf "  p%d: %s\n" (p + 1)
+        (String.concat " -> "
+           (List.map
+              (fun l ->
+                Network.endpoint_to_string (Network.link_dst net l))
+              links)))
+    rep.Token_sim.circuits

@@ -1,0 +1,80 @@
+(* PUMPS scenario (paper Fig. 1(a)): a multiprocessor for image analysis
+   whose pool of shared resources consists of VLSI systolic arrays of
+   several types (FFT units, convolvers, histogram units), plus general
+   processors. Requests are typed — an FFT task can only go to an FFT
+   array — and carry priorities (interactive image queries outrank batch
+   re-indexing); each resource advertises a preference encoding its
+   speed. This exercises the heterogeneous multicommodity scheduler.
+
+   Run with: dune exec examples/pumps.exe *)
+
+module Network = Rsin_topology.Network
+module Builders = Rsin_topology.Builders
+module Hetero = Rsin_core.Hetero
+module Prng = Rsin_util.Prng
+
+let type_name = function
+  | 0 -> "FFT array"
+  | 1 -> "convolver"
+  | 2 -> "histogram unit"
+  | _ -> "general CPU"
+
+let () =
+  let rng = Prng.create 2024 in
+  (* 16 processing units on the left, a pool of 16 systolic arrays on the
+     right of a 16x16 Omega MRSIN. *)
+  let net = Builders.omega 16 in
+  Format.printf "PUMPS resource pool on %a@.@." Network.pp_summary net;
+
+  (* Resource pool: 4 of each type; preference = relative speed 1..10. *)
+  let free =
+    List.init 16 (fun r -> (r, r mod 4, 1 + Prng.int rng 10))
+  in
+  print_endline "resource pool (port, type, speed preference):";
+  List.iter
+    (fun (r, ty, q) -> Printf.printf "  r%-2d %-14s speed %d\n" r (type_name ty) q)
+    free;
+
+  (* 10 tasks: mixed types, interactive tasks get priority 8..10, batch
+     tasks 1..3. *)
+  let requests =
+    List.init 10 (fun p ->
+        let interactive = p mod 3 = 0 in
+        let prio = if interactive then 8 + Prng.int rng 3 else 1 + Prng.int rng 3 in
+        (p, Prng.int rng 4, prio))
+  in
+  print_endline "\npending tasks (processor, wanted type, priority):";
+  List.iter
+    (fun (p, ty, y) ->
+      Printf.printf "  p%-2d wants %-14s priority %d%s\n" p (type_name ty) y
+        (if y >= 8 then "  (interactive)" else ""))
+    requests;
+
+  (* Schedule with the multicommodity minimum-cost formulation. *)
+  let spec = Hetero.{ requests; free } in
+  let o = Hetero.schedule_lp ~objective:Hetero.Min_cost net spec in
+  Printf.printf "\nallocated %d/%d tasks (LP optimum %s, integral: %b)\n"
+    o.Hetero.allocated o.Hetero.requested
+    (match o.Hetero.lp_objective with
+    | Some v -> Printf.sprintf "%.1f" v
+    | None -> "-")
+    o.Hetero.integral;
+  List.iter
+    (fun (p, r) ->
+      let _, ty, y = List.find (fun (p', _, _) -> p' = p) requests in
+      let _, _, q = List.find (fun (r', _, _) -> r' = r) free in
+      Printf.printf "  p%-2d -> r%-2d  (%s, priority %d, speed %d)\n" p r
+        (type_name ty) y q)
+    (List.sort compare o.Hetero.mapping);
+  print_endline "\nper-type allocation (type, requested, allocated):";
+  List.iter
+    (fun (ty, req, alloc) ->
+      Printf.printf "  %-14s %d requested, %d allocated\n" (type_name ty) req alloc)
+    o.Hetero.per_type;
+
+  (* Compare against the greedy sequential scheduler. *)
+  let g = Hetero.schedule_greedy net spec in
+  Printf.printf
+    "\ngreedy sequential scheduler allocates %d/%d — the multicommodity LP\n\
+     coordinates types through shared links and never does worse.\n"
+    g.Hetero.allocated g.Hetero.requested

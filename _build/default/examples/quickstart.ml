@@ -1,0 +1,51 @@
+(* Quickstart: build an 8x8 Omega resource-sharing network, occupy part
+   of it, and schedule a batch of destination-less requests optimally.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Network = Rsin_topology.Network
+module Builders = Rsin_topology.Builders
+module Scheduler = Rsin_core.Scheduler
+
+let () =
+  (* An MRSIN embedded in an 8x8 Omega network (paper Fig. 2 numbering:
+     processors enter the first stage in order). *)
+  let net = Builders.omega_paper 8 in
+  Format.printf "network: %a@." Network.pp_summary net;
+
+  (* Two circuits are already up: p2 -> r6 and p4 -> r4. *)
+  List.iter
+    (fun (p, r) ->
+      match Builders.route_unique net ~proc:p ~res:r with
+      | Some links ->
+        let id = Network.establish net links in
+        Printf.printf "pre-existing circuit %d: p%d -> r%d (%d links)\n" id
+          (p + 1) (r + 1) (List.length links)
+      | None -> assert false)
+    [ (1, 5); (3, 3) ];
+
+  (* Five processors raise requests; five resources are free. In an RSIN
+     the requests carry no destination address: the scheduler (the
+     network itself) finds the mapping. *)
+  let requests = List.map Scheduler.request [ 0; 2; 4; 6; 7 ] in
+  let resources = List.map Scheduler.resource [ 0; 2; 4; 6; 7 ] in
+  let result = Scheduler.schedule net ~requests ~resources in
+
+  Printf.printf "\nallocated %d of %d requests (blocked: %d)\n"
+    result.Scheduler.allocated result.Scheduler.requested
+    result.Scheduler.blocked;
+  List.iter
+    (fun (p, r) -> Printf.printf "  p%d -> r%d\n" (p + 1) (r + 1))
+    (List.sort compare result.Scheduler.mapping);
+
+  (* Commit the circuits into the network and show the link occupancy. *)
+  let ids = Scheduler.commit net result in
+  Printf.printf "\nestablished %d circuits; %d of %d links now busy\n"
+    (List.length ids)
+    (Network.n_links net - List.length (Network.free_links net))
+    (Network.n_links net);
+
+  (* Release everything again. *)
+  List.iter (Network.release net) ids;
+  Printf.printf "released; %d links free\n"
+    (List.length (Network.free_links net))

@@ -1,0 +1,69 @@
+(* Task-graph execution: run an image-processing pipeline DAG (PUMPS
+   style) over a heterogeneous systolic-array pool behind a 16x16 Omega
+   MRSIN, and study the provisioning question the paper points to
+   (Briggs et al.): how does the pool composition move the makespan, and
+   what does the naive mapper cost versus flow scheduling?
+
+   Run with: dune exec examples/taskgraph_run.exe *)
+
+module Builders = Rsin_topology.Builders
+module Taskgraph = Rsin_sim.Taskgraph
+module Prng = Rsin_util.Prng
+module Table = Rsin_util.Table
+
+let () =
+  let rng = Prng.create 33 in
+  let g =
+    Taskgraph.random rng ~tasks:120 ~types:3 ~procs:16 ~edge_prob:0.25
+      ~mean_service:4.
+  in
+  Printf.printf "task graph: %d tasks, critical path %d slots\n"
+    (Taskgraph.size g) (Taskgraph.critical_path g);
+  List.iter
+    (fun (ty, w) -> Printf.printf "  type %d: %d slots of work\n" ty w)
+    (Taskgraph.work_per_type g);
+  print_newline ();
+
+  let net = Builders.omega 16 in
+  (* pool compositions: (ports 0..15, type assignment) *)
+  let pool_even = List.init 16 (fun r -> (r, r mod 3)) in
+  let pool_skewed =
+    List.init 16 (fun r -> (r, if r < 10 then 0 else if r < 13 then 1 else 2))
+  in
+  let pool_small = List.init 6 (fun r -> (r, r mod 3)) in
+  let run name pool policy =
+    let r = Taskgraph.execute ~policy (Prng.create 7) net ~pool g in
+    [ name;
+      (match policy with
+      | Taskgraph.Flow_scheduler -> "flow"
+      | Taskgraph.Priority_flow -> "priority flow"
+      | Taskgraph.Naive_mapper -> "naive");
+      string_of_int r.Taskgraph.makespan;
+      Table.fpct r.Taskgraph.resource_utilization;
+      Table.ffix 2 r.Taskgraph.mean_ready_wait;
+      string_of_int r.Taskgraph.blocked_grants ]
+  in
+  Table.print
+    ~header:
+      [ "pool"; "scheduler"; "makespan"; "pool util"; "mean ready wait";
+        "blocked grants" ]
+    [
+      run "16 arrays, even mix" pool_even Taskgraph.Flow_scheduler;
+      run "16 arrays, even mix" pool_even Taskgraph.Priority_flow;
+      run "16 arrays, even mix" pool_even Taskgraph.Naive_mapper;
+      run "16 arrays, skewed mix" pool_skewed Taskgraph.Flow_scheduler;
+      run "16 arrays, skewed mix" pool_skewed Taskgraph.Priority_flow;
+      run "16 arrays, skewed mix" pool_skewed Taskgraph.Naive_mapper;
+      run "6 arrays, even mix" pool_small Taskgraph.Flow_scheduler;
+      run "6 arrays, even mix" pool_small Taskgraph.Priority_flow;
+      run "6 arrays, even mix" pool_small Taskgraph.Naive_mapper;
+    ];
+  print_endline
+    "\nwhen a resource type is contended, WHO gets served matters as much as\n\
+     HOW MANY are served: encoding task criticality as request priorities\n\
+     (the paper's Transformation 2 machinery) consistently improves on\n\
+     plain maximum-allocation scheduling. The naive mapper pays for its\n\
+     network blindness in blocked grants, yet its task-id order doubles as\n\
+     a decent list schedule when the pool, not the network, is the\n\
+     bottleneck - scheduling discipline and routing optimality are\n\
+     separate levers."

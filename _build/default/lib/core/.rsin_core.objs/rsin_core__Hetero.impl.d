@@ -1,0 +1,1 @@
+lib/core/hetero.ml: Array Float Hashtbl List Rsin_lp Rsin_topology Transform1

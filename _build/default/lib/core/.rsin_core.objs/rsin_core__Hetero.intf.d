@@ -1,0 +1,1 @@
+lib/core/hetero.mli: Rsin_topology

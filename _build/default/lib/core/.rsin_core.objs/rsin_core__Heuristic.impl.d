@@ -1,0 +1,1 @@
+lib/core/heuristic.ml: Array Hashtbl List Rsin_topology Rsin_util

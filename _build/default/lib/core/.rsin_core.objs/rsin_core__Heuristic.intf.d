@@ -1,0 +1,1 @@
+lib/core/heuristic.mli: Rsin_topology Rsin_util

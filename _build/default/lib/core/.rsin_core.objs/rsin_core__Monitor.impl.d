@@ -1,0 +1,1 @@
+lib/core/monitor.ml: List Option Rsin_flow Rsin_topology Transform1 Transform2

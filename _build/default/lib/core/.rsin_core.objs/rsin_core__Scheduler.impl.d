@@ -1,0 +1,1 @@
+lib/core/scheduler.ml: Hetero List Rsin_topology Transform1 Transform2

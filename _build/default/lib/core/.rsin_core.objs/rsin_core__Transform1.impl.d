@@ -1,0 +1,1 @@
+lib/core/transform1.ml: Array Hashtbl List Option Rsin_flow Rsin_topology

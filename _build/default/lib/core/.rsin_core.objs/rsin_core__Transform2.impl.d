@@ -1,0 +1,1 @@
+lib/core/transform2.ml: Array Hashtbl List Rsin_flow Rsin_topology

@@ -1,0 +1,1 @@
+lib/core/transform2.mli: Rsin_flow Rsin_topology

@@ -1,0 +1,351 @@
+module Network = Rsin_topology.Network
+module Simplex = Rsin_lp.Simplex
+
+type spec = {
+  requests : (int * int * int) list;
+  free : (int * int * int) list;
+}
+
+type objective = Maximize_allocation | Min_cost
+
+type outcome = {
+  mapping : (int * int) list;
+  circuits : (int * int list) list;
+  allocated : int;
+  requested : int;
+  per_type : (int * int * int) list;
+  lp_objective : float option;
+  integral : bool;
+  cost : int option;
+}
+
+let eps = 1e-6
+let near_one x = abs_float (x -. 1.) < eps
+let near_int x = abs_float (x -. Float.round x) < eps
+
+let validate net spec =
+  let np = Network.n_procs net and nr = Network.n_res net in
+  List.iter
+    (fun (p, ty, y) ->
+      if p < 0 || p >= np then invalid_arg "Hetero: bad processor";
+      if ty < 0 then invalid_arg "Hetero: negative type";
+      if y < 0 then invalid_arg "Hetero: negative priority")
+    spec.requests;
+  List.iter
+    (fun (r, ty, q) ->
+      if r < 0 || r >= nr then invalid_arg "Hetero: bad resource";
+      if ty < 0 then invalid_arg "Hetero: negative type";
+      if q < 0 then invalid_arg "Hetero: negative preference")
+    spec.free;
+  let dup l = List.length (List.sort_uniq compare l) <> List.length l in
+  if dup (List.map (fun (p, _, _) -> p) spec.requests) then
+    invalid_arg "Hetero: duplicate processor";
+  if dup (List.map (fun (r, _, _) -> r) spec.free) then
+    invalid_arg "Hetero: duplicate resource"
+
+let types_of spec =
+  List.sort_uniq compare (List.map (fun (_, ty, _) -> ty) spec.requests)
+
+let per_type_counts spec mapping =
+  let alloc_of p =
+    List.exists (fun (p', _) -> p' = p) mapping
+  in
+  List.map
+    (fun ty ->
+      let reqs = List.filter (fun (_, ty', _) -> ty' = ty) spec.requests in
+      let alloc = List.length (List.filter (fun (p, _, _) -> alloc_of p) reqs) in
+      (ty, List.length reqs, alloc))
+    (types_of spec)
+
+(* --- Shared structural view of the free network ------------------------ *)
+
+type struct_view = {
+  nb : int;
+  proc_node : (int, int) Hashtbl.t;  (* processor -> node id *)
+  res_node : (int, int) Hashtbl.t;
+  node_of_res : (int, int) Hashtbl.t; (* node id -> resource *)
+  arcs : (int * int * int) array;    (* (src node, dst node, network link) *)
+  n_nodes : int;
+}
+
+let build_view net spec =
+  let nb = Network.n_boxes net in
+  let proc_node = Hashtbl.create 16 and res_node = Hashtbl.create 16 in
+  let node_of_res = Hashtbl.create 16 in
+  let next = ref nb in
+  List.iter
+    (fun (p, _, _) -> Hashtbl.replace proc_node p !next; incr next)
+    spec.requests;
+  List.iter
+    (fun (r, _, _) ->
+      Hashtbl.replace res_node r !next;
+      Hashtbl.replace node_of_res !next r;
+      incr next)
+    spec.free;
+  let arcs = ref [] in
+  for l = 0 to Network.n_links net - 1 do
+    if Network.link_state net l = Network.Free then begin
+      let node_of = function
+        | Network.Proc p -> Hashtbl.find_opt proc_node p
+        | Network.Res r -> Hashtbl.find_opt res_node r
+        | Network.Box_in (b, _) | Network.Box_out (b, _) -> Some b
+      in
+      match (node_of (Network.link_src net l), node_of (Network.link_dst net l)) with
+      | Some u, Some v -> arcs := (u, v, l) :: !arcs
+      | _ -> ()
+    end
+  done;
+  { nb; proc_node; res_node; node_of_res;
+    arcs = Array.of_list (List.rev !arcs); n_nodes = !next }
+
+(* --- LP scheduler ------------------------------------------------------- *)
+
+let rec schedule_lp ?(objective = Maximize_allocation) net spec =
+  validate net spec;
+  let view = build_view net spec in
+  let lp = Simplex.create () in
+  let commodities =
+    (* Types that have at least one request; a commodity without free
+       resources can still appear (all its flow bypasses under Min_cost,
+       or it is simply unallocatable under Maximize_allocation). *)
+    types_of spec
+  in
+  let reqs_of ty = List.filter (fun (_, ty', _) -> ty' = ty) spec.requests in
+  let free_of ty = List.filter (fun (_, ty', _) -> ty' = ty) spec.free in
+  let ymax = List.fold_left (fun m (_, _, y) -> max m y) 0 spec.requests in
+  let qmax = List.fold_left (fun m (_, _, q) -> max m q) 0 spec.free in
+  let bypass_cost = max (ymax + 1) (qmax + 1) in
+  (* Per commodity: vars for every structural arc, the s->p arcs, the
+     r->t arcs, and (Min_cost) a bypass var per request. *)
+  let arc_vars = Hashtbl.create 64 in (* (ty, arc index) -> var *)
+  let s_vars = Hashtbl.create 16 in   (* (ty, proc) -> var *)
+  let t_vars = Hashtbl.create 16 in   (* (ty, res) -> var *)
+  let b_vars = Hashtbl.create 16 in   (* (ty, proc) -> bypass var *)
+  List.iter
+    (fun ty ->
+      Array.iteri
+        (fun i _ -> Hashtbl.replace arc_vars (ty, i) (Simplex.add_var lp))
+        view.arcs;
+      List.iter
+        (fun (p, _, y) ->
+          let obj =
+            match objective with
+            | Maximize_allocation -> 1.
+            | Min_cost -> float_of_int (ymax - y)
+          in
+          Hashtbl.replace s_vars (ty, p) (Simplex.add_var ~obj lp);
+          if objective = Min_cost then
+            Hashtbl.replace b_vars (ty, p)
+              (Simplex.add_var ~obj:(float_of_int (2 * bypass_cost)) lp))
+        (reqs_of ty);
+      List.iter
+        (fun (r, _, q) ->
+          let obj =
+            match objective with
+            | Maximize_allocation -> 0.
+            | Min_cost -> float_of_int (qmax - q)
+          in
+          Hashtbl.replace t_vars (ty, r) (Simplex.add_var ~obj lp))
+        (free_of ty))
+    commodities;
+  (* Conservation per commodity per node. *)
+  List.iter
+    (fun ty ->
+      for v = 0 to view.n_nodes - 1 do
+        let terms = ref [] in
+        Array.iteri
+          (fun i (u, w, _l) ->
+            if u = v then terms := (Hashtbl.find arc_vars (ty, i), -1.) :: !terms;
+            if w = v then terms := (Hashtbl.find arc_vars (ty, i), 1.) :: !terms)
+          view.arcs;
+        (* External arcs. *)
+        let rhs = ref 0. in
+        (match Hashtbl.fold (fun p n acc -> if n = v then Some p else acc) view.proc_node None with
+        | Some p ->
+          (match Hashtbl.find_opt s_vars (ty, p) with
+          | Some sv ->
+            (match objective with
+            | Maximize_allocation -> terms := (sv, 1.) :: !terms
+            | Min_cost ->
+              (* Source pushes exactly one unit into each of its
+                 requests: fix sv = 1 via its own row, inflow is 1. *)
+              terms := (sv, 1.) :: !terms);
+            (match Hashtbl.find_opt b_vars (ty, p) with
+            | Some bv -> terms := (bv, -1.) :: !terms
+            | None -> ())
+          | None -> ())
+        | None -> ());
+        (match Hashtbl.find_opt view.node_of_res v with
+        | Some r ->
+          (match Hashtbl.find_opt t_vars (ty, r) with
+          | Some tv -> terms := (tv, -1.) :: !terms
+          | None -> ())
+        | None -> ());
+        if !terms <> [] then
+          Simplex.add_constraint lp
+            (List.map (fun (v, c) -> (v, c)) !terms)
+            Simplex.Eq !rhs
+      done)
+    commodities;
+  (* Demand rows under Min_cost: every request's unit must leave s. *)
+  if objective = Min_cost then
+    List.iter
+      (fun ty ->
+        List.iter
+          (fun (p, _, _) ->
+            Simplex.add_constraint lp
+              [ (Hashtbl.find s_vars (ty, p), 1.) ]
+              Simplex.Eq 1.)
+          (reqs_of ty))
+      commodities;
+  (* Shared capacity on structural arcs; unit bounds on s/t arcs. *)
+  Array.iteri
+    (fun i _ ->
+      let terms =
+        List.map (fun ty -> (Hashtbl.find arc_vars (ty, i), 1.)) commodities
+      in
+      Simplex.add_constraint lp terms Simplex.Le 1.)
+    view.arcs;
+  Hashtbl.iter (fun _ v -> Simplex.add_constraint lp [ (v, 1.) ] Simplex.Le 1.) s_vars;
+  Hashtbl.iter (fun _ v -> Simplex.add_constraint lp [ (v, 1.) ] Simplex.Le 1.) t_vars;
+  let sol =
+    Simplex.solve ~maximize:(objective = Maximize_allocation) lp
+  in
+  (match sol.status with
+  | Simplex.Optimal -> ()
+  | Simplex.Infeasible -> failwith "Hetero.schedule_lp: LP infeasible"
+  | Simplex.Unbounded -> failwith "Hetero.schedule_lp: LP unbounded");
+  let value var = sol.values.(var) in
+  let integral =
+    Hashtbl.fold (fun _ v acc -> acc && near_int (value v)) arc_vars true
+    && Hashtbl.fold (fun _ v acc -> acc && near_int (value v)) s_vars true
+    && Hashtbl.fold (fun _ v acc -> acc && near_int (value v)) t_vars true
+  in
+  if not integral then begin
+    (* Fall back to the greedy integral scheduler, keeping the LP bound
+       for reporting. *)
+    let g = schedule_greedy_impl net spec in
+    { g with lp_objective = Some sol.objective; integral = false }
+  end
+  else begin
+    (* Extract per-commodity unit paths. *)
+    let used = Hashtbl.create 64 in
+    let mapping = ref [] and circuits = ref [] in
+    List.iter
+      (fun ty ->
+        List.iter
+          (fun (p, _, _) ->
+            let sv = Hashtbl.find s_vars (ty, p) in
+            let via_bypass =
+              match Hashtbl.find_opt b_vars (ty, p) with
+              | Some bv -> near_one (value bv)
+              | None -> false
+            in
+            if near_one (value sv) && not via_bypass then begin
+              (* Walk from the processor node along value-1 arcs. *)
+              let rec walk v links steps =
+                if steps > Array.length view.arcs then
+                  failwith "Hetero: cyclic LP flow"
+                else
+                  match Hashtbl.find_opt view.node_of_res v with
+                  | Some r when near_one (value (Hashtbl.find t_vars (ty, r))) ->
+                    (r, List.rev links)
+                  | _ ->
+                    let next = ref None in
+                    Array.iteri
+                      (fun i (u, w, l) ->
+                        if !next = None && u = v && not (Hashtbl.mem used i)
+                           && near_one (value (Hashtbl.find arc_vars (ty, i)))
+                        then next := Some (i, w, l))
+                      view.arcs;
+                    (match !next with
+                    | None -> failwith "Hetero: stranded LP flow"
+                    | Some (i, w, l) ->
+                      Hashtbl.replace used i ();
+                      walk w (l :: links) (steps + 1))
+              in
+              let r, links =
+                walk (Hashtbl.find view.proc_node p) [] 0
+              in
+              mapping := (p, r) :: !mapping;
+              circuits := (p, links) :: !circuits
+            end)
+          (reqs_of ty))
+      commodities;
+    let mapping = List.rev !mapping in
+    let cost =
+      match objective with
+      | Maximize_allocation -> None
+      | Min_cost ->
+        let prio p =
+          let _, _, y = List.find (fun (p', _, _) -> p' = p) spec.requests in
+          y
+        in
+        let pref r =
+          let _, _, q = List.find (fun (r', _, _) -> r' = r) spec.free in
+          q
+        in
+        Some
+          (List.fold_left
+             (fun acc (p, r) -> acc + (ymax - prio p) + (qmax - pref r))
+             0 mapping)
+    in
+    { mapping;
+      circuits = List.rev !circuits;
+      allocated = List.length mapping;
+      requested = List.length spec.requests;
+      per_type = per_type_counts spec mapping;
+      lp_objective = Some sol.objective;
+      integral = true;
+      cost }
+  end
+
+(* --- Greedy sequential scheduler ---------------------------------------- *)
+
+and schedule_greedy_impl ?(order = `By_type) net spec =
+  let scratch = Network.copy net in
+  let types = types_of spec in
+  let free_count ty =
+    List.length (List.filter (fun (_, ty', _) -> ty' = ty) spec.free)
+  in
+  let types =
+    match order with
+    | `By_type -> types
+    | `Most_constrained_first ->
+      List.sort (fun a b -> compare (free_count a) (free_count b)) types
+  in
+  let mapping = ref [] and circuits = ref [] in
+  List.iter
+    (fun ty ->
+      let requests =
+        List.filter_map
+          (fun (p, ty', _) -> if ty' = ty then Some p else None)
+          spec.requests
+      in
+      let free =
+        List.filter_map
+          (fun (r, ty', _) -> if ty' = ty then Some r else None)
+          spec.free
+      in
+      if requests <> [] && free <> [] then begin
+        let o = Transform1.schedule scratch ~requests ~free in
+        ignore (Transform1.commit scratch o);
+        mapping := !mapping @ o.Transform1.mapping;
+        circuits := !circuits @ o.Transform1.circuits
+      end)
+    types;
+  { mapping = !mapping;
+    circuits = !circuits;
+    allocated = List.length !mapping;
+    requested = List.length spec.requests;
+    per_type = per_type_counts spec !mapping;
+    lp_objective = None;
+    integral = true;
+    cost = None }
+
+let schedule_greedy ?order net spec =
+  validate net spec;
+  schedule_greedy_impl ?order net spec
+
+let commit net (outcome : outcome) =
+  List.map (fun (_p, links) -> Network.establish net links) outcome.circuits

@@ -1,0 +1,62 @@
+(** Optimal scheduling for heterogeneous MRSINs (paper Section III-D).
+
+    With multiple resource types the scheduling problem becomes a
+    multicommodity flow problem: one commodity per resource type, one
+    (sᵢ, tᵢ) source–sink pair each, commodities sharing link capacity.
+    The paper formulates both the multicommodity {e maximum-flow}
+    problem (no priorities) and the multicommodity {e minimum-cost}
+    problem (priorities and preferences, one bypass node per commodity)
+    as linear programs, noting that general integral multicommodity flow
+    is NP-hard but that transformations of restricted topologies fall in
+    the Evans–Jarvis class with integral LP optima.
+
+    Accordingly {!schedule_lp} solves the LP with {!Rsin_lp.Simplex} and
+    reports whether the optimum came out integral (on the MIN topologies
+    of this repository it does in practice); when it does not, the
+    result falls back to {!schedule_greedy} while still reporting the LP
+    upper bound. {!schedule_greedy} is the sequential per-type
+    baseline: types scheduled one after another, each optimally via
+    {!Transform1}, on the capacity left behind by its predecessors. *)
+
+type spec = {
+  requests : (int * int * int) list;
+      (** (processor, resource type, priority) — priority ignored unless
+          [objective = Min_cost] *)
+  free : (int * int * int) list;
+      (** (resource port, resource type, preference) *)
+}
+
+type objective =
+  | Maximize_allocation  (** multicommodity max-flow *)
+  | Min_cost             (** multicommodity min-cost with bypasses *)
+
+type outcome = {
+  mapping : (int * int) list;        (** (processor, resource) pairs *)
+  circuits : (int * int list) list;
+  allocated : int;
+  requested : int;
+  per_type : (int * int * int) list; (** (type, requested, allocated) *)
+  lp_objective : float option;
+      (** LP optimum (allocation count for [Maximize_allocation], cost
+          for [Min_cost]); [None] for the greedy scheduler *)
+  integral : bool;
+      (** whether the LP optimum was integral; greedy outcomes are
+          always integral *)
+  cost : int option;
+      (** total priority/preference cost of the allocation, when
+          [objective = Min_cost] *)
+}
+
+val schedule_lp :
+  ?objective:objective ->
+  Rsin_topology.Network.t -> spec -> outcome
+(** Solves the multicommodity LP (default [Maximize_allocation]). *)
+
+val schedule_greedy :
+  ?order:[ `By_type | `Most_constrained_first ] ->
+  Rsin_topology.Network.t -> spec -> outcome
+(** Sequential per-type optimal scheduling; [`By_type] (default)
+    processes types in increasing id, [`Most_constrained_first]
+    schedules the type with the fewest free resources first. *)
+
+val commit : Rsin_topology.Network.t -> outcome -> int list

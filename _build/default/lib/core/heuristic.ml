@@ -1,0 +1,95 @@
+module Network = Rsin_topology.Network
+module Builders = Rsin_topology.Builders
+module Prng = Rsin_util.Prng
+
+type policy =
+  | First_fit
+  | Random_fit of Prng.t
+  | Address_map of Prng.t
+
+type outcome = {
+  mapping : (int * int) list;
+  circuits : (int * int list) list;
+  allocated : int;
+  requested : int;
+  blocked : int;
+}
+
+(* Route greedily on the scratch network and claim the path. Returns the
+   resource reached and the links used. *)
+let try_route scratch ~proc ~res =
+  match Builders.route_unique scratch ~proc ~res with
+  | None -> None
+  | Some links ->
+    ignore (Network.establish scratch links);
+    Some links
+
+let resource_order policy free proc =
+  ignore proc;
+  match policy with
+  | First_fit -> free
+  | Random_fit rng ->
+    let a = Array.of_list free in
+    Prng.shuffle rng a;
+    Array.to_list a
+  | Address_map _ -> free
+
+let schedule net ~requests ~free policy =
+  let requests = List.sort_uniq compare requests in
+  let free = List.sort_uniq compare free in
+  let scratch = Network.copy net in
+  let taken = Hashtbl.create 16 in
+  let order =
+    match policy with
+    | First_fit -> requests
+    | Random_fit rng | Address_map rng ->
+      let a = Array.of_list requests in
+      Prng.shuffle rng a;
+      Array.to_list a
+  in
+  let mapping = ref [] and circuits = ref [] in
+  (match policy with
+  | Address_map rng ->
+    (* Bind each request to a distinct free resource up-front; requests
+       beyond the number of resources go unbound. *)
+    let pool = Array.of_list free in
+    Prng.shuffle rng pool;
+    List.iteri
+      (fun i p ->
+        if i < Array.length pool then begin
+          let r = pool.(i) in
+          match try_route scratch ~proc:p ~res:r with
+          | Some links ->
+            mapping := (p, r) :: !mapping;
+            circuits := (p, links) :: !circuits
+          | None -> ()
+        end)
+      order
+  | First_fit | Random_fit _ ->
+    List.iter
+      (fun p ->
+        let candidates =
+          List.filter (fun r -> not (Hashtbl.mem taken r))
+            (resource_order policy free p)
+        in
+        let rec attempt = function
+          | [] -> ()
+          | r :: rest ->
+            (match try_route scratch ~proc:p ~res:r with
+            | Some links ->
+              Hashtbl.replace taken r ();
+              mapping := (p, r) :: !mapping;
+              circuits := (p, links) :: !circuits
+            | None -> attempt rest)
+        in
+        attempt candidates)
+      order);
+  let allocated = List.length !mapping in
+  { mapping = List.rev !mapping;
+    circuits = List.rev !circuits;
+    allocated;
+    requested = List.length requests;
+    blocked = List.length requests - allocated }
+
+let commit net (outcome : outcome) =
+  List.map (fun (_p, links) -> Network.establish net links) outcome.circuits

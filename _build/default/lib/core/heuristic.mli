@@ -1,0 +1,39 @@
+(** Non-optimal baseline schedulers.
+
+    The paper's quantitative claim (Section II) is that an optimal
+    flow-based scheduler brings blocking on an 8×8 cube MRSIN down to
+    ≈2 % where "a heuristic routing algorithm" suffers ≈20 %. These
+    policies model the heuristic/conventional side of that comparison:
+
+    - {!policy.First_fit}: requests processed in index order, each routed
+      greedily over currently free links to the first reachable free
+      resource; links are claimed immediately, and no established circuit
+      is ever rerouted.
+    - {!policy.Random_fit}: as [First_fit] with randomized request order
+      and a random choice among reachable free resources.
+    - {!policy.Address_map}: the conventional address-mapped network — a
+      centralized scheduler binds each request to a distinct free
+      resource {e before} it enters the network (randomly, knowing
+      nothing of link state), and the request is blocked outright if its
+      unique greedy path conflicts with earlier circuits. *)
+
+type policy =
+  | First_fit
+  | Random_fit of Rsin_util.Prng.t
+  | Address_map of Rsin_util.Prng.t
+
+type outcome = {
+  mapping : (int * int) list;
+  circuits : (int * int list) list;
+  allocated : int;
+  requested : int;
+  blocked : int;
+}
+
+val schedule :
+  Rsin_topology.Network.t -> requests:int list -> free:int list -> policy ->
+  outcome
+(** Runs the policy against a scratch copy of the network; the input
+    network is not modified. *)
+
+val commit : Rsin_topology.Network.t -> outcome -> int list

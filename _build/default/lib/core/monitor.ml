@@ -1,0 +1,104 @@
+module Network = Rsin_topology.Network
+module Graph = Rsin_flow.Graph
+
+type t = {
+  net : Network.t;
+  aging : bool;
+  mutable pending : int list;   (* requesting processors, oldest first *)
+  mutable free : int list;      (* free resource ports *)
+  mutable waits : (int * int) list; (* processor -> cycles waited *)
+  mutable instructions : int;
+}
+
+type cycle_report = {
+  allocated : (int * int) list;
+  circuit_ids : int list;
+  blocked : int;
+  instructions : int;
+}
+
+let create ?(aging = false) net =
+  { net; aging; pending = []; free = []; waits = []; instructions = 0 }
+let network t = t.net
+
+let submit t p =
+  if p < 0 || p >= Network.n_procs t.net then invalid_arg "Monitor.submit";
+  if not (List.mem p t.pending) then begin
+    t.pending <- t.pending @ [ p ];
+    t.waits <- (p, 0) :: t.waits
+  end
+
+let wait_of t p = Option.value (List.assoc_opt p t.waits) ~default:0
+
+let resource_ready t r =
+  if r < 0 || r >= Network.n_res t.net then invalid_arg "Monitor.resource_ready";
+  if not (List.mem r t.free) then t.free <- t.free @ [ r ]
+
+let task_done t ~circuit = Network.release t.net circuit
+
+let pending t = t.pending
+let free_resources t = t.free
+let waits t = List.filter (fun (p, _) -> List.mem p t.pending) t.waits
+
+(* Path setup charge: the monitor walks the augmenting path once to
+   record it, so charge its length; we approximate with the network
+   diameter (stages + 2 hops). *)
+let path_setup_cost net = Network.stages net + 2
+
+let run_cycle t =
+  if t.pending = [] || t.free = [] then
+    { allocated = []; circuit_ids = []; blocked = List.length t.pending;
+      instructions = 0 }
+  else begin
+    let mapping, ids, instructions =
+      if t.aging then begin
+        (* starvation prevention: a request's priority is the number of
+           cycles it has waited, so Transformation 2 eventually serves
+           every blocked request (capped to keep costs small) *)
+        let requests =
+          List.map (fun p -> (p, min 1000 (wait_of t p))) t.pending
+        in
+        let free = List.map (fun r -> (r, 0)) t.free in
+        let o = Transform2.schedule t.net ~requests ~free in
+        let ids = Transform2.commit t.net o in
+        (* charge a min-cost-flow premium over the max-flow cycle *)
+        let cost =
+          (2 * (Network.n_links t.net + List.length t.pending))
+          + (List.length o.Transform2.mapping * path_setup_cost t.net)
+        in
+        (o.Transform2.mapping, ids, cost)
+      end
+      else begin
+        let tr = Transform1.build t.net ~requests:t.pending ~free:t.free in
+        let build_cost =
+          Graph.node_count (Transform1.graph tr)
+          + Graph.arc_count (Transform1.graph tr)
+        in
+        let o = Transform1.solve tr in
+        let instructions =
+          build_cost + o.Transform1.arcs_scanned
+          + (o.Transform1.augmentations * path_setup_cost t.net)
+        in
+        let ids = Transform1.commit t.net o in
+        (o.Transform1.mapping, ids, instructions)
+      end
+    in
+    let bound = List.map fst mapping in
+    let used = List.map snd mapping in
+    t.pending <- List.filter (fun p -> not (List.mem p bound)) t.pending;
+    t.free <- List.filter (fun r -> not (List.mem r used)) t.free;
+    t.waits <-
+      List.filter_map
+        (fun (p, w) ->
+          if List.mem p bound then None
+          else if List.mem p t.pending then Some (p, w + 1)
+          else Some (p, w))
+        t.waits;
+    t.instructions <- t.instructions + instructions;
+    { allocated = mapping;
+      circuit_ids = ids;
+      blocked = List.length t.pending;
+      instructions }
+  end
+
+let total_instructions (t : t) = t.instructions

@@ -1,0 +1,65 @@
+(** The monitor (centralized) architecture of paper Fig. 6.
+
+    A dedicated monitor keeps the status of the interconnection network
+    and the resources, and runs scheduling cycles: requests received or
+    resources released {e during} a cycle wait for the next one. Within a
+    cycle the monitor builds the flow network, solves it in software,
+    acknowledges the allocated processors and establishes the circuits.
+
+    The instruction-count cost model implements the paper's measure for
+    the monitor ("the overhead is measured by the number of instructions
+    executed in the algorithm"): building the flow network charges one
+    instruction per node and arc created, and the flow algorithm charges
+    one per residual arc scanned plus a path-setup charge per
+    augmentation. Experiment E11 compares these counts against the
+    clock-period counts of the distributed token architecture. *)
+
+type t
+
+type cycle_report = {
+  allocated : (int * int) list; (** (processor, resource) bound this cycle *)
+  circuit_ids : int list;
+  blocked : int;                (** pending requests left unallocated *)
+  instructions : int;           (** monitor work for this cycle *)
+}
+
+val create : ?aging:bool -> Rsin_topology.Network.t -> t
+(** Wraps a network. The monitor holds its own resource-status table:
+    every resource port starts [busy] until {!resource_ready}.
+
+    With [aging] (default false), scheduling cycles use Transformation 2
+    with each request's priority set to the number of cycles it has
+    waited: structurally disadvantaged requests (e.g. one of two
+    processors contending for the same interior link every cycle)
+    eventually outrank their rivals, so no request starves — the
+    paper's priority machinery applied as an operating-system policy. *)
+
+val network : t -> Rsin_topology.Network.t
+
+val submit : t -> int -> unit
+(** A processor files a request (queued until the next cycle). Duplicate
+    pending submissions are ignored. *)
+
+val resource_ready : t -> int -> unit
+(** Marks a resource port free. *)
+
+val task_done : t -> circuit:int -> unit
+(** Releases the circuit's links (the paper allows release as soon as
+    the task has been transmitted). Does {e not} mark the resource free:
+    the resource stays busy until {!resource_ready}. *)
+
+val pending : t -> int list
+val free_resources : t -> int list
+
+val waits : t -> (int * int) list
+(** Cycles each pending processor has waited so far. *)
+
+val run_cycle : t -> cycle_report
+(** Runs one scheduling cycle with the optimal scheduler
+    (Transformation 1, or Transformation 2 with waiting-time priorities
+    when the monitor was created with [~aging:true]) and commits the
+    resulting circuits. Allocated processors leave the pending queue;
+    their resources leave the free pool. *)
+
+val total_instructions : t -> int
+(** Cumulative instruction count across all cycles. *)

@@ -1,0 +1,109 @@
+module Network = Rsin_topology.Network
+
+type request = { proc : int; rtype : int; priority : int }
+type resource = { port : int; rtype : int; preference : int }
+
+type discipline =
+  | Homogeneous
+  | Homogeneous_prioritized
+  | Heterogeneous
+  | Heterogeneous_prioritized
+
+type result = {
+  discipline : discipline;
+  mapping : (int * int) list;
+  circuits : (int * int list) list;
+  allocated : int;
+  requested : int;
+  blocked : int;
+  cost : int option;
+  lp_bound : float option;
+}
+
+let request ?(rtype = 0) ?(priority = 0) proc = { proc; rtype; priority }
+let resource ?(rtype = 0) ?(preference = 0) port = { port; rtype; preference }
+
+let infer requests resources =
+  let types =
+    List.sort_uniq compare
+      (List.map (fun (r : request) -> r.rtype) requests
+      @ List.map (fun (r : resource) -> r.rtype) resources)
+  in
+  let hetero = List.length types > 1 in
+  let prioritized =
+    let prios =
+      List.sort_uniq compare
+        (List.map (fun (r : request) -> r.priority) requests)
+    in
+    let prefs =
+      List.sort_uniq compare (List.map (fun (r : resource) -> r.preference) resources)
+    in
+    List.length prios > 1 || List.length prefs > 1
+  in
+  match (hetero, prioritized) with
+  | false, false -> Homogeneous
+  | false, true -> Homogeneous_prioritized
+  | true, false -> Heterogeneous
+  | true, true -> Heterogeneous_prioritized
+
+let schedule ?discipline net ~requests ~resources =
+  let discipline =
+    match discipline with Some d -> d | None -> infer requests resources
+  in
+  let requested = List.length requests in
+  match discipline with
+  | Homogeneous ->
+    let o =
+      Transform1.schedule net
+        ~requests:(List.map (fun r -> r.proc) requests)
+        ~free:(List.map (fun (r : resource) -> r.port) resources)
+    in
+    { discipline;
+      mapping = o.Transform1.mapping;
+      circuits = o.Transform1.circuits;
+      allocated = o.Transform1.allocated;
+      requested;
+      blocked = requested - o.Transform1.allocated;
+      cost = None;
+      lp_bound = None }
+  | Homogeneous_prioritized ->
+    let o =
+      Transform2.schedule net
+        ~requests:(List.map (fun r -> (r.proc, r.priority)) requests)
+        ~free:(List.map (fun (r : resource) -> (r.port, r.preference)) resources)
+    in
+    { discipline;
+      mapping = o.Transform2.mapping;
+      circuits = o.Transform2.circuits;
+      allocated = o.Transform2.allocated;
+      requested;
+      blocked = requested - o.Transform2.allocated;
+      cost = Some o.Transform2.allocation_cost;
+      lp_bound = None }
+  | Heterogeneous | Heterogeneous_prioritized ->
+    let spec =
+      Hetero.
+        { requests = List.map (fun r -> (r.proc, r.rtype, r.priority)) requests;
+          free =
+            List.map
+              (fun (r : resource) -> (r.port, r.rtype, r.preference))
+              resources }
+    in
+    let objective =
+      match discipline with
+      | Heterogeneous_prioritized -> Hetero.Min_cost
+      | Heterogeneous | Homogeneous | Homogeneous_prioritized ->
+        Hetero.Maximize_allocation
+    in
+    let o = Hetero.schedule_lp ~objective net spec in
+    { discipline;
+      mapping = o.Hetero.mapping;
+      circuits = o.Hetero.circuits;
+      allocated = o.Hetero.allocated;
+      requested;
+      blocked = requested - o.Hetero.allocated;
+      cost = o.Hetero.cost;
+      lp_bound = o.Hetero.lp_objective }
+
+let commit net (r : result) =
+  List.map (fun (_p, links) -> Network.establish net links) r.circuits

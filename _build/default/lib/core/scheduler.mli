@@ -1,0 +1,60 @@
+(** Unified front-end over the four scheduling disciplines of the
+    paper's Table II.
+
+    | resources     | priorities | problem              | module        |
+    |---------------|------------|----------------------|---------------|
+    | homogeneous   | no         | maximum flow         | {!Transform1} |
+    | homogeneous   | yes        | minimum-cost flow    | {!Transform2} |
+    | heterogeneous | no         | multicommodity max   | {!Hetero}     |
+    | heterogeneous | yes        | multicommodity cost  | {!Hetero}     |
+
+    {!infer} picks the cheapest discipline that captures a given request
+    and resource population, mirroring the paper's observation that the
+    richer formulations degenerate to the simpler ones. *)
+
+type request = { proc : int; rtype : int; priority : int }
+(** A pending request. [rtype] is the resource type wanted (0 when all
+    resources are interchangeable); [priority >= 0], higher = more
+    urgent. *)
+
+type resource = { port : int; rtype : int; preference : int }
+(** A free resource at output [port]. *)
+
+type discipline =
+  | Homogeneous
+  | Homogeneous_prioritized
+  | Heterogeneous
+  | Heterogeneous_prioritized
+
+type result = {
+  discipline : discipline;
+  mapping : (int * int) list;
+  circuits : (int * int list) list;
+  allocated : int;
+  requested : int;
+  blocked : int;
+  cost : int option;       (** allocation cost under prioritized disciplines *)
+  lp_bound : float option; (** LP optimum under heterogeneous disciplines *)
+}
+
+val infer : request list -> resource list -> discipline
+(** Heterogeneous iff more than one resource type appears; prioritized
+    iff priorities or preferences are not all equal. *)
+
+val schedule :
+  ?discipline:discipline ->
+  Rsin_topology.Network.t ->
+  requests:request list ->
+  resources:resource list ->
+  result
+(** Schedules the snapshot with the given (default: inferred)
+    discipline. The network is not modified. Requests whose type has no
+    free resource are counted as blocked. *)
+
+val commit : Rsin_topology.Network.t -> result -> int list
+(** Establishes the circuits; returns circuit ids. *)
+
+val request : ?rtype:int -> ?priority:int -> int -> request
+(** [request p] is a convenience constructor with type 0, priority 0. *)
+
+val resource : ?rtype:int -> ?preference:int -> int -> resource

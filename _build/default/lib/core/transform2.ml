@@ -1,0 +1,170 @@
+module Graph = Rsin_flow.Graph
+module Network = Rsin_topology.Network
+
+type t = {
+  net : Network.t;
+  graph : Graph.t;
+  source : Graph.node;
+  sink : Graph.node;
+  bypass : Graph.node;
+  procs : int array;
+  ress : int array;
+  link_of_arc : (int, int) Hashtbl.t;
+  requested : int;
+  bypass_cost : int;
+  mutable return_arc : int option;
+      (* t->s arc added lazily for the out-of-kilter circulation *)
+}
+
+type solver = Ssp | Out_of_kilter
+
+type outcome = {
+  mapping : (int * int) list;
+  circuits : (int * int list) list;
+  bypassed : int list;
+  allocated : int;
+  requested : int;
+  total_cost : int;
+  allocation_cost : int;
+}
+
+let check_unique what xs =
+  let sorted = List.sort compare (List.map fst xs) in
+  let rec dup = function
+    | a :: (b :: _ as tl) -> if a = b then true else dup tl
+    | _ -> false
+  in
+  if dup sorted then invalid_arg ("Transform2.build: duplicate " ^ what)
+
+let build net ~requests ~free =
+  let np = Network.n_procs net and nr = Network.n_res net in
+  check_unique "processor" requests;
+  check_unique "resource" free;
+  List.iter
+    (fun (p, y) ->
+      if p < 0 || p >= np then invalid_arg "Transform2.build: bad processor";
+      if y < 0 then invalid_arg "Transform2.build: negative priority")
+    requests;
+  List.iter
+    (fun (r, q) ->
+      if r < 0 || r >= nr then invalid_arg "Transform2.build: bad resource";
+      if q < 0 then invalid_arg "Transform2.build: negative preference")
+    free;
+  let ymax = List.fold_left (fun m (_, y) -> max m y) 0 requests in
+  let qmax = List.fold_left (fun m (_, q) -> max m q) 0 free in
+  let bypass_cost = max (ymax + 1) (qmax + 1) in
+  let g = Graph.create () in
+  let source = Graph.add_node g and sink = Graph.add_node g in
+  let bypass = Graph.add_node g in
+  let procs = Array.make np (-1) and ress = Array.make nr (-1) in
+  let boxes = Array.init (Network.n_boxes net) (fun _ -> Graph.add_node g) in
+  List.iter (fun (p, _) -> procs.(p) <- Graph.add_node g) requests;
+  List.iter (fun (r, _) -> ress.(r) <- Graph.add_node g) free;
+  (* S arcs, cost ymax - y_p; bypass arcs p->u, cost per the L rule. *)
+  List.iter
+    (fun (p, y) ->
+      ignore (Graph.add_arc g ~cost:(ymax - y) ~src:source ~dst:procs.(p) ~cap:1);
+      ignore (Graph.add_arc g ~cost:bypass_cost ~src:procs.(p) ~dst:bypass ~cap:1))
+    requests;
+  ignore
+    (Graph.add_arc g ~cost:bypass_cost ~src:bypass ~dst:sink
+       ~cap:(List.length requests));
+  (* T arcs, cost qmax - q_r. *)
+  List.iter
+    (fun (r, q) ->
+      ignore (Graph.add_arc g ~cost:(qmax - q) ~src:ress.(r) ~dst:sink ~cap:1))
+    free;
+  let link_of_arc = Hashtbl.create 64 in
+  for l = 0 to Network.n_links net - 1 do
+    if Network.link_state net l = Network.Free then begin
+      let node_of = function
+        | Network.Proc p -> if procs.(p) >= 0 then Some procs.(p) else None
+        | Network.Res r -> if ress.(r) >= 0 then Some ress.(r) else None
+        | Network.Box_in (b, _) | Network.Box_out (b, _) -> Some boxes.(b)
+      in
+      match (node_of (Network.link_src net l), node_of (Network.link_dst net l)) with
+      | Some u, Some v ->
+        let a = Graph.add_arc g ~src:u ~dst:v ~cap:1 in
+        Hashtbl.replace link_of_arc a l
+      | _ -> ()
+    end
+  done;
+  { net; graph = g; source; sink; bypass; procs; ress; link_of_arc;
+    requested = List.length requests; bypass_cost; return_arc = None }
+
+let graph t = t.graph
+let bypass_node t = t.bypass
+
+let extract (t : t) =
+  let n = Graph.node_count t.graph in
+  let proc_of = Array.make n (-1) and res_of = Array.make n (-1) in
+  Array.iteri (fun p v -> if v >= 0 then proc_of.(v) <- p) t.procs;
+  Array.iteri (fun r v -> if v >= 0 then res_of.(v) <- r) t.ress;
+  let paths = Rsin_flow.Decompose.unit_paths t.graph ~source:t.source ~sink:t.sink in
+  let mapping = ref [] and circuits = ref [] and bypassed = ref [] in
+  let alloc_cost = ref 0 in
+  List.iter
+    (fun nodes ->
+      match nodes with
+      | _s :: p :: rest when List.mem t.bypass rest ->
+        bypassed := proc_of.(p) :: !bypassed
+      | _s :: (p :: _ as rest) ->
+        let rec last2 = function
+          | [ r; _t ] -> r
+          | _ :: tl -> last2 tl
+          | [] -> failwith "Transform2: short path"
+        in
+        let r = last2 rest in
+        mapping := (proc_of.(p), res_of.(r)) :: !mapping;
+        let arcs = Rsin_flow.Decompose.path_arcs t.graph nodes in
+        List.iter (fun a -> alloc_cost := !alloc_cost + Graph.cost t.graph a) arcs;
+        let links = List.filter_map (fun a -> Hashtbl.find_opt t.link_of_arc a) arcs in
+        circuits := (proc_of.(p), links) :: !circuits
+      | _ -> failwith "Transform2: short path")
+    paths;
+  (List.rev !mapping, List.rev !circuits, List.rev !bypassed, !alloc_cost)
+
+let solve ?(solver = Ssp) t =
+  Graph.reset_flows t.graph;
+  (match solver with
+  | Ssp ->
+    let r =
+      Rsin_flow.Mincost.min_cost_flow t.graph ~source:t.source ~sink:t.sink
+        ~amount:t.requested
+    in
+    if r.flow <> t.requested then
+      failwith "Transform2.solve: bypass should make any demand feasible"
+  | Out_of_kilter ->
+    (* Close the network into a circulation with a mandatory t->s arc. *)
+    let return_arc =
+      match t.return_arc with
+      | Some a -> a
+      | None ->
+        let a =
+          Graph.add_arc t.graph ~src:t.sink ~dst:t.source ~cap:t.requested
+            ~low:t.requested
+        in
+        t.return_arc <- Some a;
+        a
+    in
+    (match Rsin_flow.Out_of_kilter.solve t.graph with
+    | Rsin_flow.Out_of_kilter.Optimal _, _ -> ()
+    | Rsin_flow.Out_of_kilter.Infeasible, _ ->
+      failwith "Transform2.solve: out-of-kilter reported infeasible");
+    (* Neutralize the return arc so decomposition sees an s-t flow. *)
+    Graph.set_flow t.graph return_arc 0);
+  (match Graph.check_conservation t.graph ~source:t.source ~sink:t.sink with
+  | Ok () -> ()
+  | Error msg -> failwith ("Transform2.solve: illegal flow: " ^ msg));
+  let mapping, circuits, bypassed, allocation_cost = extract t in
+  { mapping; circuits; bypassed;
+    allocated = List.length mapping;
+    requested = t.requested;
+    total_cost = Graph.total_cost t.graph;
+    allocation_cost }
+
+let schedule ?solver net ~requests ~free =
+  solve ?solver (build net ~requests ~free)
+
+let commit net (outcome : outcome) =
+  List.map (fun (_p, links) -> Network.establish net links) outcome.circuits

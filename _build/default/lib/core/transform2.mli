@@ -1,0 +1,57 @@
+(** Transformation 2 (paper Section III-C): homogeneous MRSIN with
+    request priorities and resource preferences → minimum-cost flow.
+
+    On top of the Transformation-1 network, each request arc [s→p]
+    costs [y_max − y_p] (higher-priority requests are cheaper to serve),
+    each resource arc [r→t] costs [q_max − q_r] (more-preferred
+    resources are cheaper to use), internal arcs are free, and a bypass
+    node [u] absorbs requests that cannot be allocated at cost
+    [max (y_max+1) (q_max+1)] per traversed bypass arc — strictly
+    costlier than any real allocation, so the minimum-cost flow of value
+    F₀ = #requests maximizes allocation first and then optimizes
+    priorities and preferences (Theorem 3).
+
+    Two solvers are provided: successive shortest paths
+    ({!Rsin_flow.Mincost}) and the out-of-kilter method the paper cites
+    ({!Rsin_flow.Out_of_kilter}), the latter run on the circulation
+    obtained by adding a [t→s] return arc with [low = cap = F₀]. *)
+
+type t
+
+type solver = Ssp | Out_of_kilter
+
+type outcome = {
+  mapping : (int * int) list;    (** allocated (processor, resource) *)
+  circuits : (int * int list) list;
+  bypassed : int list;           (** processors left unallocated *)
+  allocated : int;
+  requested : int;
+  total_cost : int;              (** cost of the full flow, bypass included *)
+  allocation_cost : int;         (** cost of the allocated paths only *)
+}
+
+val build :
+  Rsin_topology.Network.t ->
+  requests:(int * int) list ->
+  free:(int * int) list ->
+  t
+(** [build net ~requests ~free] with [requests = (processor, priority)]
+    and [free = (resource, preference)]. Priorities and preferences must
+    be non-negative; higher is more urgent / more desirable. Duplicate
+    processors or resources are rejected. *)
+
+val graph : t -> Rsin_flow.Graph.t
+val bypass_node : t -> Rsin_flow.Graph.node
+
+val solve : ?solver:solver -> t -> outcome
+(** Default solver [Ssp]. Both solvers yield an optimal integral flow;
+    ties between optimal mappings may be broken differently. *)
+
+val schedule :
+  ?solver:solver ->
+  Rsin_topology.Network.t ->
+  requests:(int * int) list ->
+  free:(int * int) list ->
+  outcome
+
+val commit : Rsin_topology.Network.t -> outcome -> int list

@@ -1,0 +1,1 @@
+lib/distributed/hardware.ml: Rsin_topology

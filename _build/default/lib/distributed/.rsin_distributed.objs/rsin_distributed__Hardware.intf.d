@@ -1,0 +1,1 @@
+lib/distributed/hardware.mli: Rsin_topology

@@ -1,0 +1,1 @@
+lib/distributed/status_bus.mli:

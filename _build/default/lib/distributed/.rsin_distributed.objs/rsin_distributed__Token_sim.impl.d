@@ -1,0 +1,1 @@
+lib/distributed/token_sim.ml: Array Format List Rsin_topology Status_bus String

@@ -1,0 +1,1 @@
+lib/distributed/token_sim.mli: Format Rsin_topology

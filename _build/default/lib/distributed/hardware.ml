@@ -1,0 +1,59 @@
+module Network = Rsin_topology.Network
+
+type cost = { flip_flops : int; gate_equivalents : int }
+
+let zero = { flip_flops = 0; gate_equivalents = 0 }
+
+let add a b =
+  { flip_flops = a.flip_flops + b.flip_flops;
+    gate_equivalents = a.gate_equivalents + b.gate_equivalents }
+
+(* Per-port state in the token protocol: marking (2 bits: fwd/bwd/none
+   encoded as two flip-flops) and a claim bit for the resource phase.
+   Per-box state: first-batch latch, phase register copy is not needed
+   (the bus broadcasts it), one bus driver per monitored event (E3). The
+   propagation rule for each port is a handful of 2-input terms: "free
+   and unmarked and box-received" for forward sends, "registered and
+   unmarked and box-received" for backward sends, claim arbitration per
+   receive port. We charge 4 gate equivalents per port and rule family,
+   consistent with the granularity of the design study the paper
+   cites. *)
+let ns_cost ~fan_in ~fan_out =
+  let ports = fan_in + fan_out in
+  { flip_flops = (3 * ports) + 1;
+    gate_equivalents = (4 * 3 * ports) + 6 }
+
+(* RQ: pending + bonded flip-flops, injection rule, bus drivers for E1,
+   E3, E7. RS: ready + matched, acceptance rule, drivers for E2, E6. *)
+let rq_cost = { flip_flops = 2; gate_equivalents = 10 }
+let rs_cost = { flip_flops = 2; gate_equivalents = 8 }
+
+(* Wired-OR bus: one driver transistor pair per element per bit is
+   charged to the elements; the bus itself needs the 7 latched bits and
+   a pull-up per line. *)
+let bus_cost ~drivers =
+  { flip_flops = 7; gate_equivalents = 7 + (drivers / 4) }
+
+let network_cost net =
+  let total = ref zero in
+  for b = 0 to Network.n_boxes net - 1 do
+    let spec = Network.box_spec net b in
+    total := add !total (ns_cost ~fan_in:spec.Network.fan_in ~fan_out:spec.Network.fan_out)
+  done;
+  for _ = 1 to Network.n_procs net do
+    total := add !total rq_cost
+  done;
+  for _ = 1 to Network.n_res net do
+    total := add !total rs_cost
+  done;
+  add !total
+    (bus_cost
+       ~drivers:(Network.n_boxes net + Network.n_procs net + Network.n_res net))
+
+(* Monitor state: per node one word (adjacency head), per arc four words
+   (dst, capacity/flow, next, cost) in both directions, plus the
+   request/free queues. *)
+let monitor_state_words net =
+  let nodes = 2 + Network.n_boxes net + Network.n_procs net + Network.n_res net in
+  let arcs = Network.n_links net + Network.n_procs net + Network.n_res net in
+  nodes + (8 * arcs) + Network.n_procs net + Network.n_res net

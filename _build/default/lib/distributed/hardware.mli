@@ -1,0 +1,52 @@
+(** Hardware cost model for the distributed MRSIN architecture.
+
+    The paper (Section IV-B) argues the token-propagation design "has a
+    very low gate count and a very short token propagation delay"
+    because a token is a bare signal and each process is a small finite
+    state machine over per-port marking bits. This module makes that
+    claim quantitative with an explicit register/gate inventory derived
+    from the simulator's state:
+
+    - an NS keeps, per port, a marking flip-flop (token propagation
+      status — the paper's "bit array associated with each port"), a
+      claim flip-flop for the resource-token phase, and per-box a
+      first-batch latch plus the status-bus drivers;
+    - an RQ keeps a pending and a bonded flip-flop; an RS a ready and a
+      matched flip-flop;
+    - combinational logic is charged per transition term: a 2-input gate
+      equivalent per marking bit for the propagation rules, which is the
+      granularity of the original design study the paper cites ([25]).
+
+    The absolute numbers are a model, not a synthesis result; what the
+    experiment (bench `hardware`) checks is the paper's {e scaling}
+    claim: cost per switchbox is constant in the network size, total
+    cost grows linearly in the number of links, and the bus stays seven
+    bits wide regardless of size — in contrast to the monitor, whose
+    state (the flow graph) grows with the network and whose scheduling
+    time grows superlinearly (experiment E11). *)
+
+type cost = {
+  flip_flops : int;
+  gate_equivalents : int;  (** 2-input gate equivalents of combinational logic *)
+}
+
+val zero : cost
+val add : cost -> cost -> cost
+
+val ns_cost : fan_in:int -> fan_out:int -> cost
+(** Cost of one switchbox node server. *)
+
+val rq_cost : cost
+val rs_cost : cost
+
+val bus_cost : drivers:int -> cost
+(** Wired-OR status bus with the given number of driving elements. *)
+
+val network_cost : Rsin_topology.Network.t -> cost
+(** Total distributed-architecture cost for the network: one NS per box,
+    one RQ per processor, one RS per resource, plus the bus. *)
+
+val monitor_state_words : Rsin_topology.Network.t -> int
+(** Memory words the monitor needs to represent the flow network of the
+    same MRSIN (nodes + arcs with bookkeeping) — the size of the
+    centralized state the distributed design eliminates. *)

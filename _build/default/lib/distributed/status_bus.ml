@@ -1,0 +1,51 @@
+type event =
+  | E1_request_pending
+  | E2_resource_ready
+  | E3_request_token_phase
+  | E4_resource_token_phase
+  | E5_path_registration
+  | E6_rs_received_token
+  | E7_rq_bonded
+
+type t = {
+  mutable bits : int;
+  mutable clk : int;
+  mutable hist : int list; (* newest first *)
+}
+
+let create () = { bits = 0; clk = 0; hist = [] }
+
+let bit = function
+  | E1_request_pending -> 6
+  | E2_resource_ready -> 5
+  | E3_request_token_phase -> 4
+  | E4_resource_token_phase -> 3
+  | E5_path_registration -> 2
+  | E6_rs_received_token -> 1
+  | E7_rq_bonded -> 0
+
+let event_name = function
+  | E1_request_pending -> "E1 request pending"
+  | E2_resource_ready -> "E2 resource ready"
+  | E3_request_token_phase -> "E3 request token propagation"
+  | E4_resource_token_phase -> "E4 resource token propagation"
+  | E5_path_registration -> "E5 path registration"
+  | E6_rs_received_token -> "E6 RS received token"
+  | E7_rq_bonded -> "E7 RQ bonded to RS"
+
+let set t e v =
+  let mask = 1 lsl bit e in
+  t.bits <- (if v then t.bits lor mask else t.bits land lnot mask)
+
+let read t e = t.bits land (1 lsl bit e) <> 0
+let vector t = t.bits
+
+let tick t =
+  t.hist <- t.bits :: t.hist;
+  t.clk <- t.clk + 1
+
+let clock t = t.clk
+let trace t = List.rev t.hist
+
+let vector_to_string v =
+  String.init 7 (fun i -> if v land (1 lsl (6 - i)) <> 0 then '1' else '0')

@@ -1,0 +1,42 @@
+(** The seven-bit wired-OR status bus of paper Table I / Fig. 10.
+
+    Each bit is the logical OR of one status register per participating
+    process, so any element can observe a phase transition in a single
+    gate delay. Bit numbering follows Table I: E1 is the MSB (bit 6),
+    E7 the LSB (bit 0). *)
+
+type event =
+  | E1_request_pending        (** some RQ holds an unbonded request *)
+  | E2_resource_ready         (** some RS guards a free resource *)
+  | E3_request_token_phase    (** request tokens are propagating *)
+  | E4_resource_token_phase   (** resource tokens are propagating *)
+  | E5_path_registration      (** maximal-flow paths being registered *)
+  | E6_rs_received_token      (** an RS received a request token *)
+  | E7_rq_bonded              (** an RQ was bonded to an RS *)
+
+type t
+(** Mutable bus with a recorded per-clock trace. *)
+
+val create : unit -> t
+
+val set : t -> event -> bool -> unit
+(** Drives (or releases) the wired-OR input for the event. *)
+
+val read : t -> event -> bool
+
+val vector : t -> int
+(** Current 7-bit value, E1 in the MSB. *)
+
+val tick : t -> unit
+(** Latches the current vector into the trace and advances the clock. *)
+
+val clock : t -> int
+val trace : t -> int list
+(** Latched vectors, oldest first. *)
+
+val vector_to_string : int -> string
+(** E.g. [0b1110000 -> "1110000"] (E1 E2 E3 set). *)
+
+val event_name : event -> string
+val bit : event -> int
+(** Bit position per Table I (E1 → 6 … E7 → 0). *)

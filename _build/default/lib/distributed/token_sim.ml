@@ -1,0 +1,298 @@
+module Network = Rsin_topology.Network
+module Bus = Status_bus
+
+type phase_clocks = {
+  request_clocks : int;
+  resource_clocks : int;
+  registration_clocks : int;
+}
+
+type report = {
+  mapping : (int * int) list;
+  circuits : (int * int list) list;
+  allocated : int;
+  requested : int;
+  iterations : int;
+  clocks : phase_clocks;
+  total_clocks : int;
+  bus_trace : int list;
+}
+
+(* Simulator-local link status. [Busy] links belong to pre-existing
+   circuits and are opaque; [Registered] links carry a path registered in
+   an earlier iteration of this scheduling cycle. *)
+type lstate = Free | Registered | Busy
+
+(* Request-token traversal marking for the current iteration. [Fwd]:
+   the token crossed the link in its physical direction (over a free
+   link); [Bwd]: it crossed a registered link backward (a flow
+   cancellation in Dinic's residual network). *)
+type mark = NoMark | Fwd | Bwd
+
+type elem = P of int | R of int | B of int
+
+let elem_of_endpoint = function
+  | Network.Proc p -> P p
+  | Network.Res r -> R r
+  | Network.Box_in (b, _) | Network.Box_out (b, _) -> B b
+
+type token = {
+  mutable pos : elem;
+  mutable path : (int * mark) list; (* links traversed, newest first *)
+  home : int;                       (* originating resource *)
+  mutable active : bool;
+}
+
+let run net ~requests ~free =
+  let requests = List.sort_uniq compare requests in
+  let free = List.sort_uniq compare free in
+  let np = Network.n_procs net and nr = Network.n_res net in
+  List.iter
+    (fun p -> if p < 0 || p >= np then invalid_arg "Token_sim.run: bad processor")
+    requests;
+  List.iter
+    (fun r -> if r < 0 || r >= nr then invalid_arg "Token_sim.run: bad resource")
+    free;
+  let nl = Network.n_links net in
+  let lstate =
+    Array.init nl (fun l ->
+        match Network.link_state net l with
+        | Network.Free -> Free
+        | Network.Occupied _ -> Busy)
+  in
+  let src_elem = Array.init nl (fun l -> elem_of_endpoint (Network.link_src net l)) in
+  let dst_elem = Array.init nl (fun l -> elem_of_endpoint (Network.link_dst net l)) in
+  let mark = Array.make nl NoMark in
+  let consumed = Array.make nl false in
+  let pending = Array.make np false in
+  List.iter (fun p -> pending.(p) <- true) requests;
+  let ready = Array.make nr false in
+  List.iter (fun r -> ready.(r) <- true) free;
+  let bonded = Array.make np false and matched = Array.make nr false in
+
+  let bus = Bus.create () in
+  let req_clocks = ref 0 and res_clocks = ref 0 and reg_clocks = ref 0 in
+  let iterations = ref 0 in
+  let any_pending () = Array.exists (fun x -> x) pending in
+  let any_ready () =
+    let ok = ref false in
+    Array.iteri (fun r f -> if f && not matched.(r) then ok := true) ready;
+    !ok
+  in
+  let tick_bus ~e3 ~e4 ~e5 ~e6 ~e7 =
+    Bus.set bus Bus.E1_request_pending (any_pending ());
+    Bus.set bus Bus.E2_resource_ready (any_ready ());
+    Bus.set bus Bus.E3_request_token_phase e3;
+    Bus.set bus Bus.E4_resource_token_phase e4;
+    Bus.set bus Bus.E5_path_registration e5;
+    Bus.set bus Bus.E6_rs_received_token e6;
+    Bus.set bus Bus.E7_rq_bonded e7;
+    Bus.tick bus
+  in
+
+  (* ---- Phase 1: request-token propagation (layered network). -------- *)
+  let request_phase () =
+    Array.fill mark 0 nl NoMark;
+    Array.fill consumed 0 nl false;
+    let nb = Network.n_boxes net in
+    let box_received = Array.make nb false in
+    let reached = ref [] in
+    (* Clock 0: every pending unbonded RQ injects a token on its (free)
+       processor link. *)
+    let arrivals = ref [] in
+    for p = 0 to np - 1 do
+      if pending.(p) && not bonded.(p) then begin
+        let l = Network.proc_link net p in
+        if lstate.(l) = Free then begin
+          mark.(l) <- Fwd;
+          arrivals := (l, Fwd) :: !arrivals
+        end
+      end
+    done;
+    let continue = ref (!arrivals <> []) in
+    while !continue do
+      incr req_clocks;
+      (* Deliver this clock's arrivals. *)
+      let senders = ref [] in
+      List.iter
+        (fun (l, dir) ->
+          let target = if dir = Fwd then dst_elem.(l) else src_elem.(l) in
+          match target with
+          | B b ->
+            if not box_received.(b) then begin
+              box_received.(b) <- true;
+              senders := b :: !senders
+            end
+          | R r ->
+            if ready.(r) && (not matched.(r)) && not (List.mem_assoc r !reached)
+            then reached := (r, l) :: !reached
+          | P _ -> (* backward token absorbed by the RQ *) ())
+        !arrivals;
+      tick_bus ~e3:true ~e4:false ~e5:false ~e6:(!reached <> []) ~e7:false;
+      if !reached <> [] then continue := false
+      else begin
+        (* Boxes that received their first batch this clock send next. *)
+        arrivals := [];
+        List.iter
+          (fun b ->
+            Array.iter
+              (fun o ->
+                if lstate.(o) = Free && mark.(o) = NoMark then begin
+                  mark.(o) <- Fwd;
+                  arrivals := (o, Fwd) :: !arrivals
+                end)
+              (Network.box_out_links net b);
+            Array.iter
+              (fun i ->
+                if lstate.(i) = Registered && mark.(i) = NoMark then begin
+                  mark.(i) <- Bwd;
+                  arrivals := (i, Bwd) :: !arrivals
+                end)
+              (Network.box_in_links net b))
+          !senders;
+        if !arrivals = [] then continue := false
+      end
+    done;
+    List.rev !reached
+  in
+
+  (* ---- Phase 2: resource-token propagation (maximal flow). ---------- *)
+  let resource_phase reached =
+    let tokens =
+      List.map (fun (r, _entry) -> { pos = R r; path = []; home = r; active = true })
+        reached
+    in
+    let successes = ref [] in
+    let step token =
+      (* Receive-port candidates at the token's current element. *)
+      let candidates =
+        let acc = ref [] in
+        for l = nl - 1 downto 0 do
+          if not consumed.(l) then begin
+            if mark.(l) = Fwd && dst_elem.(l) = token.pos then acc := l :: !acc
+            else if mark.(l) = Bwd && src_elem.(l) = token.pos then acc := l :: !acc
+          end
+        done;
+        !acc
+      in
+      match candidates with
+      | l :: _ ->
+        consumed.(l) <- true;
+        let m = mark.(l) in
+        token.path <- (l, m) :: token.path;
+        let next = if m = Fwd then src_elem.(l) else dst_elem.(l) in
+        token.pos <- next;
+        (match next with
+        | P p ->
+          token.active <- false;
+          bonded.(p) <- true;
+          matched.(token.home) <- true;
+          successes := (p, token) :: !successes
+        | R _ | B _ -> ())
+      | [] ->
+        (match token.path with
+        | [] -> token.active <- false (* backtracked into its own RS *)
+        | (l, m) :: rest ->
+          (* Clear the marking so nobody retries this dead end, and step
+             back across the link. *)
+          mark.(l) <- NoMark;
+          token.path <- rest;
+          token.pos <- (if m = Fwd then dst_elem.(l) else src_elem.(l)))
+    in
+    let any_active () = List.exists (fun t -> t.active) tokens in
+    while any_active () do
+      incr res_clocks;
+      List.iter (fun t -> if t.active then step t) tokens;
+      tick_bus ~e3:false ~e4:true ~e5:false ~e6:false ~e7:false
+    done;
+    List.rev !successes
+  in
+
+  (* ---- Phase 3: path registration. ----------------------------------- *)
+  let register successes =
+    incr reg_clocks;
+    List.iter
+      (fun (_p, token) ->
+        List.iter
+          (fun (l, m) ->
+            match m with
+            | Fwd -> lstate.(l) <- Registered
+            | Bwd -> lstate.(l) <- Free
+            | NoMark -> assert false)
+          token.path)
+      successes;
+    tick_bus ~e3:false ~e4:true ~e5:true ~e6:false ~e7:(successes <> [])
+  in
+
+  (* ---- Scheduling cycle: iterate until no RS is reachable. ------------ *)
+  let rec iterate () =
+    let reached = request_phase () in
+    if reached <> [] then begin
+      incr iterations;
+      let successes = resource_phase reached in
+      register successes;
+      (* Even if every resource token backtracked home, the layered
+         network was exhausted for these markings; a fresh request phase
+         will rebuild it. A phase that bonds nobody cannot make the next
+         phase bond anybody either (the flow did not change), so stop. *)
+      if successes <> [] then iterate ()
+    end
+  in
+  iterate ();
+
+  (* ---- Extract circuits from the registered links. -------------------- *)
+  let used = Array.make nl false in
+  let circuits = ref [] and mapping = ref [] in
+  for p = 0 to np - 1 do
+    if bonded.(p) then begin
+      let l0 = Network.proc_link net p in
+      assert (lstate.(l0) = Registered);
+      let rec walk l acc =
+        used.(l) <- true;
+        match dst_elem.(l) with
+        | R r -> (r, List.rev (l :: acc))
+        | B b ->
+          let next = ref (-1) in
+          Array.iter
+            (fun o -> if !next < 0 && lstate.(o) = Registered && not used.(o) then next := o)
+            (Network.box_out_links net b);
+          if !next < 0 then failwith "Token_sim: stranded registered path";
+          walk !next (l :: acc)
+        | P _ -> failwith "Token_sim: registered path re-enters a processor"
+      in
+      let r, links = walk l0 [] in
+      mapping := (p, r) :: !mapping;
+      circuits := (p, links) :: !circuits
+    end
+  done;
+  let mapping = List.rev !mapping and circuits = List.rev !circuits in
+  { mapping;
+    circuits;
+    allocated = List.length mapping;
+    requested = List.length requests;
+    iterations = !iterations;
+    clocks =
+      { request_clocks = !req_clocks;
+        resource_clocks = !res_clocks;
+        registration_clocks = !reg_clocks };
+    total_clocks = Bus.clock bus;
+    bus_trace = Bus.trace bus }
+
+let commit net (r : report) =
+  List.map (fun (_p, links) -> Network.establish net links) r.circuits
+
+let pp_trace fmt (r : report) =
+  List.iteri
+    (fun clk v ->
+      let events =
+        List.filter
+          (fun e -> v land (1 lsl Bus.bit e) <> 0)
+          [ Bus.E1_request_pending; Bus.E2_resource_ready;
+            Bus.E3_request_token_phase; Bus.E4_resource_token_phase;
+            Bus.E5_path_registration; Bus.E6_rs_received_token;
+            Bus.E7_rq_bonded ]
+      in
+      Format.fprintf fmt "clk %3d  %s  %s@." clk
+        (Bus.vector_to_string v)
+        (String.concat ", " (List.map Bus.event_name events)))
+    r.bus_trace

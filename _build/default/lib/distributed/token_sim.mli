@@ -1,0 +1,59 @@
+(** Clocked simulator of the distributed MRSIN architecture (paper
+    Section IV-B): Dinic's maximum-flow algorithm realized by token
+    propagation in the switchboxes.
+
+    Every processor has a request server (RQ), every resource a resource
+    server (RS), every switchbox an autonomous node server (NS); a
+    seven-bit wired-OR {!Status_bus} synchronizes phase transitions. A
+    scheduling cycle is a sequence of iterations, each comprising
+
+    + a {e request-token-propagation} phase: unbonded RQs inject
+      identityless tokens; an NS forwards the first batch it receives to
+      all free output ports and all registered input ports (backward
+      traversal = flow cancellation); one link per clock period; the
+      phase freezes the moment any ready RS receives a token — by
+      Theorem 4 the markings then encode Dinic's layered network;
+    + a {e resource-token-propagation} phase: every reached RS answers
+      with a token that retraces marked ports toward an RQ, one move per
+      clock, claiming each marked port for at most one token and
+      backtracking (clearing markings) at dead ends or conflicts — a
+      distributed depth-first maximal flow in the layered network;
+    + a one-clock {e path-registration} phase that commits the surviving
+      token paths: links the request token crossed forward become
+      registered, registered links it crossed backward are cancelled.
+
+    Iterations repeat until a request phase reaches no RS; registered
+    paths then become allocated circuits. The simulator reports the
+    mapping, the circuits, clock-period counts per phase, and the full
+    status-bus trace; the test suite checks the mapping size against the
+    centralized Dinic reference on the same instance (they are equal —
+    both compute a maximum flow). *)
+
+type phase_clocks = {
+  request_clocks : int;
+  resource_clocks : int;
+  registration_clocks : int;
+}
+
+type report = {
+  mapping : (int * int) list;     (** (processor, resource) bonds *)
+  circuits : (int * int list) list; (** per processor, links of its circuit *)
+  allocated : int;
+  requested : int;
+  iterations : int;               (** Dinic phases executed *)
+  clocks : phase_clocks;          (** totals across all iterations *)
+  total_clocks : int;
+  bus_trace : int list;           (** status-bus vector per clock *)
+}
+
+val run :
+  Rsin_topology.Network.t -> requests:int list -> free:int list -> report
+(** Simulates one full scheduling cycle on the current network state
+    (occupied links are opaque to tokens). The network itself is not
+    modified; use {!commit} to establish the resulting circuits. *)
+
+val commit : Rsin_topology.Network.t -> report -> int list
+
+val pp_trace : Format.formatter -> report -> unit
+(** Prints the status-bus trace, one clock per line with decoded
+    events. *)

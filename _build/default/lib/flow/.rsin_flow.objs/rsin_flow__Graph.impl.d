@@ -1,0 +1,1 @@
+lib/flow/graph.ml: Buffer Format Printf Rsin_util

@@ -1,0 +1,1 @@
+lib/flow/mincost.ml: Array Graph Rsin_util

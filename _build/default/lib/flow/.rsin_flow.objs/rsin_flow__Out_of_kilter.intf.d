@@ -1,0 +1,1 @@
+lib/flow/out_of_kilter.mli: Graph

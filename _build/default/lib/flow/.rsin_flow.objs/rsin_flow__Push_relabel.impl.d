@@ -1,0 +1,1 @@
+lib/flow/push_relabel.ml: Array Graph Queue

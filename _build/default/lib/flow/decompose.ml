@@ -1,0 +1,58 @@
+let unit_paths g ~source ~sink =
+  (* Work on a remaining-flow table so the graph itself is untouched. *)
+  let remaining = Array.make (Graph.arc_count g) 0 in
+  Graph.iter_forward_arcs g (fun a -> remaining.(a / 2) <- Graph.flow g a);
+  let total = Graph.flow_value g ~source in
+  let next_arc v =
+    (* First outgoing forward arc with remaining flow. *)
+    Graph.fold_out g v ~init:None ~f:(fun acc a ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+          if Graph.is_forward a && remaining.(a / 2) > 0 then Some a else None)
+  in
+  let n = Graph.node_count g in
+  let rec walk v acc steps =
+    if v = sink then List.rev (sink :: acc)
+    else if steps > n then failwith "Decompose.unit_paths: flow contains a cycle"
+    else
+      match next_arc v with
+      | None -> failwith "Decompose.unit_paths: stranded flow (conservation violated)"
+      | Some a ->
+        remaining.(a / 2) <- remaining.(a / 2) - 1;
+        walk (Graph.dst g a) (v :: acc) (steps + 1)
+  in
+  List.init total (fun _ -> walk source [] 0)
+
+let path_arcs g nodes =
+  let rec hop = function
+    | [] | [ _ ] -> []
+    | u :: (v :: _ as rest) ->
+      let arc =
+        Graph.fold_out g u ~init:None ~f:(fun acc a ->
+            match acc with
+            | Some _ -> acc
+            | None ->
+              if Graph.is_forward a && Graph.dst g a = v && Graph.flow g a > 0
+              then Some a
+              else None)
+      in
+      let arc =
+        match arc with
+        | Some a -> a
+        | None ->
+          (* Fall back to any forward arc u->v. *)
+          (match
+             Graph.fold_out g u ~init:None ~f:(fun acc a ->
+                 match acc with
+                 | Some _ -> acc
+                 | None ->
+                   if Graph.is_forward a && Graph.dst g a = v then Some a
+                   else None)
+           with
+           | Some a -> a
+           | None -> raise Not_found)
+      in
+      arc :: hop rest
+  in
+  hop nodes

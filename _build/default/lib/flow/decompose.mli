@@ -1,0 +1,23 @@
+(** Decomposition of an integral s–t flow into arc-disjoint unit paths.
+
+    Theorem 2 of the paper rests on this: every legal integral flow in a
+    Transformation-1 network defines F non-overlapping s–t paths, each of
+    which is a processor→resource circuit. The scheduler extracts the
+    request→resource mapping and the switchbox settings from these
+    paths. *)
+
+val unit_paths :
+  Graph.t -> source:Graph.node -> sink:Graph.node -> Graph.node list list
+(** Decomposes the current flow into unit-flow s–t paths, each given as
+    the node sequence [source; ...; sink]. Requires the flow to be a
+    legal integral flow; consumes a {e copy} of the flow bookkeeping so
+    the graph's flow state is unchanged on return. On unit-capacity
+    networks the returned paths are arc-disjoint and their count equals
+    the flow value. Raises [Failure] if the flow is not decomposable
+    (e.g. conservation violated). *)
+
+val path_arcs :
+  Graph.t -> Graph.node list -> Graph.arc list
+(** Recovers, for a node path, one forward arc per hop (the arc with
+    positive flow when several parallel arcs exist). Raises [Not_found]
+    when some hop has no connecting forward arc. *)

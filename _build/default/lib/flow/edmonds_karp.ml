@@ -1,0 +1,87 @@
+type stats = { augmentations : int; arcs_scanned : int }
+
+(* BFS over the residual network recording the arc used to reach each
+   node; path reconstruction walks predecessor arcs back to the source. *)
+let bfs_tree g ~source ~sink ~count =
+  let n = Graph.node_count g in
+  let pred = Array.make n (-1) in
+  let seen = Array.make n false in
+  seen.(source) <- true;
+  let q = Queue.create () in
+  Queue.push source q;
+  let found = ref false in
+  while (not !found) && not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    Graph.iter_out g v (fun a ->
+        incr count;
+        let w = Graph.dst g a in
+        if (not seen.(w)) && Graph.capacity g a > 0 then begin
+          seen.(w) <- true;
+          pred.(w) <- a;
+          if w = sink then found := true else Queue.push w q
+        end)
+  done;
+  if !found then Some pred else None
+
+let path_of_pred g pred ~source ~sink =
+  let rec walk v acc =
+    if v = source then acc
+    else
+      let a = pred.(v) in
+      walk (Graph.src g a) (a :: acc)
+  in
+  walk sink []
+
+let find_augmenting_path g ~source ~sink =
+  let count = ref 0 in
+  match bfs_tree g ~source ~sink ~count with
+  | None -> None
+  | Some pred -> Some (path_of_pred g pred ~source ~sink)
+
+let bottleneck g path =
+  List.fold_left (fun acc a -> min acc (Graph.capacity g a)) max_int path
+
+let augment g path =
+  match path with
+  | [] -> invalid_arg "Edmonds_karp.augment: empty path"
+  | _ ->
+    let k = bottleneck g path in
+    if k <= 0 then invalid_arg "Edmonds_karp.augment: saturated path";
+    List.iter (fun a -> Graph.push g a k) path;
+    k
+
+let max_flow g ~source ~sink =
+  let arcs = ref 0 and augs = ref 0 and total = ref 0 in
+  let rec loop () =
+    match bfs_tree g ~source ~sink ~count:arcs with
+    | None -> ()
+    | Some pred ->
+      let path = path_of_pred g pred ~source ~sink in
+      total := !total + augment g path;
+      incr augs;
+      loop ()
+  in
+  loop ();
+  (!total, { augmentations = !augs; arcs_scanned = !arcs })
+
+let min_cut g ~source ~sink =
+  ignore sink;
+  (* Source side = nodes reachable in the residual network. *)
+  let n = Graph.node_count g in
+  let seen = Array.make n false in
+  seen.(source) <- true;
+  let q = Queue.create () in
+  Queue.push source q;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    Graph.iter_out g v (fun a ->
+        let w = Graph.dst g a in
+        if (not seen.(w)) && Graph.capacity g a > 0 then begin
+          seen.(w) <- true;
+          Queue.push w q
+        end)
+  done;
+  let cut = ref [] in
+  Graph.iter_forward_arcs g (fun a ->
+      if seen.(Graph.src g a) && not seen.(Graph.dst g a) then cut := a :: !cut);
+  List.rev !cut

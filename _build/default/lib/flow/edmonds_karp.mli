@@ -1,0 +1,31 @@
+(** Ford–Fulkerson flow augmentation with breadth-first path selection
+    (the Edmonds–Karp rule).
+
+    This is the paper's reference "Ford–Fulkerson" algorithm for the
+    homogeneous MRSIN without priorities (Table II, column 1). The
+    operation counters feed experiment E11, which compares the
+    instruction-count cost model of a monitor architecture against the
+    clock-period cost of the distributed token architecture. *)
+
+type stats = {
+  augmentations : int;  (** number of augmenting paths pushed *)
+  arcs_scanned : int;   (** residual arcs examined across all searches *)
+}
+
+val find_augmenting_path :
+  Graph.t -> source:Graph.node -> sink:Graph.node -> Graph.arc list option
+(** Shortest (fewest-arcs) augmenting path in the residual network, as a
+    list of arcs from source to sink, or [None] when the sink is
+    unreachable. Does not modify the graph. *)
+
+val augment : Graph.t -> Graph.arc list -> int
+(** Pushes the bottleneck amount of flow along the path and returns it.
+    The path must be a residual-capacity-positive s–t path. *)
+
+val max_flow : Graph.t -> source:Graph.node -> sink:Graph.node -> int * stats
+(** Runs augmentation to completion; returns the max-flow value. The
+    graph is left holding the maximum flow. *)
+
+val min_cut : Graph.t -> source:Graph.node -> sink:Graph.node -> Graph.arc list
+(** After a max flow has been computed, the saturated forward arcs that
+    cross the source side of the minimum cut. *)

@@ -1,0 +1,86 @@
+type t = {
+  n_left : int;
+  n_right : int;
+  mutable adj : int list array; (* left -> right neighbours, newest first *)
+}
+
+let create ~n_left ~n_right =
+  if n_left < 0 || n_right < 0 then invalid_arg "Hopcroft_karp.create";
+  { n_left; n_right; adj = Array.make (max n_left 1) [] }
+
+let add_edge t u v =
+  if u < 0 || u >= t.n_left || v < 0 || v >= t.n_right then
+    invalid_arg "Hopcroft_karp.add_edge";
+  t.adj.(u) <- v :: t.adj.(u)
+
+let inf = max_int / 2
+
+let run t =
+  let match_l = Array.make (max t.n_left 1) (-1) in
+  let match_r = Array.make (max t.n_right 1) (-1) in
+  let dist = Array.make (max t.n_left 1) inf in
+  (* BFS layering over free left vertices; returns true when some
+     augmenting path exists. *)
+  let bfs () =
+    let q = Queue.create () in
+    for u = 0 to t.n_left - 1 do
+      if match_l.(u) < 0 then begin
+        dist.(u) <- 0;
+        Queue.push u q
+      end
+      else dist.(u) <- inf
+    done;
+    let found = ref false in
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      List.iter
+        (fun v ->
+          match match_r.(v) with
+          | -1 -> found := true
+          | u' ->
+            if dist.(u') = inf then begin
+              dist.(u') <- dist.(u) + 1;
+              Queue.push u' q
+            end)
+        t.adj.(u)
+    done;
+    !found
+  in
+  let rec dfs u =
+    let rec try_neighbours = function
+      | [] ->
+        dist.(u) <- inf;
+        false
+      | v :: rest ->
+        let ok =
+          match match_r.(v) with
+          | -1 -> true
+          | u' -> dist.(u') = dist.(u) + 1 && dfs u'
+        in
+        if ok then begin
+          match_l.(u) <- v;
+          match_r.(v) <- u;
+          true
+        end
+        else try_neighbours rest
+    in
+    try_neighbours t.adj.(u)
+  in
+  while bfs () do
+    for u = 0 to t.n_left - 1 do
+      if match_l.(u) < 0 then ignore (dfs u)
+    done
+  done;
+  match_l
+
+let max_matching t =
+  let match_l = run t in
+  let acc = ref [] in
+  for u = t.n_left - 1 downto 0 do
+    if match_l.(u) >= 0 then acc := (u, match_l.(u)) :: !acc
+  done;
+  !acc
+
+let matching_size t =
+  let match_l = run t in
+  Array.fold_left (fun acc v -> if v >= 0 then acc + 1 else acc) 0 match_l

@@ -1,0 +1,25 @@
+(** Hopcroft–Karp maximum bipartite matching.
+
+    The crossbar special case of the paper: a single-stage RSIN with a
+    full (or partial) crossbar has no interior links, so the scheduling
+    problem degenerates from max-flow to maximum bipartite matching
+    between requesting processors and free resources. Hopcroft–Karp runs
+    in O(E√V) — asymptotically the same bound Dinic achieves on the
+    equivalent unit network, but without building source/sink nodes.
+    Used by the tests as yet another independent optimum oracle. *)
+
+type t
+(** A bipartite instance: [n_left] left vertices, [n_right] right
+    vertices, adjacency from left to right. *)
+
+val create : n_left:int -> n_right:int -> t
+val add_edge : t -> int -> int -> unit
+(** [add_edge t u v] connects left [u] to right [v]. Duplicate edges are
+    harmless. *)
+
+val max_matching : t -> (int * int) list
+(** A maximum matching as (left, right) pairs, in increasing left
+    order. *)
+
+val matching_size : t -> int
+(** [List.length (max_matching t)], computed directly. *)

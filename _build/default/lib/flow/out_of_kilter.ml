@@ -1,0 +1,209 @@
+(* Classical out-of-kilter (Fulkerson 1961). State: integral flow x and
+   node potentials pi. For forward arc a = (u,v) define the reduced cost
+   rc(a) = c(a) + pi(u) - pi(v). Kilter conditions:
+     rc > 0  ->  x = low        (flow pinned to the lower bound)
+     rc = 0  ->  low <= x <= cap
+     rc < 0  ->  x = cap        (flow pinned to the upper bound)
+   An out-of-kilter arc either needs more flow (x below its target) or
+   less (x above). We restore it by augmenting around a cycle through the
+   arc, searching the admissible residual network; when the search is
+   stuck we raise potentials of the unreached side. Each step reduces the
+   total kilter number, so the method terminates on integral data. *)
+
+type outcome = Optimal of int | Infeasible
+
+type stats = {
+  augmentations : int;
+  potential_updates : int;
+  arcs_scanned : int;
+}
+
+let reduced_cost g pot a =
+  Graph.cost g a + pot.(Graph.src g a) - pot.(Graph.dst g a)
+
+let kilter_number g ~pot a =
+  if not (Graph.is_forward a) then invalid_arg "kilter_number: residual arc";
+  let rc = reduced_cost g pot a in
+  let x = Graph.flow g a in
+  let l = Graph.lower_bound g a and u = Graph.original_capacity g a in
+  if rc > 0 then abs (x - l)
+  else if rc < 0 then abs (u - x)
+  else if x < l then l - x
+  else if x > u then x - u
+  else 0
+
+(* Directions in which flow on forward arc [a] may be changed without
+   increasing its kilter number (and decreasing it when out of kilter). *)
+let can_increase g pot a =
+  let rc = reduced_cost g pot a in
+  let x = Graph.flow g a in
+  let l = Graph.lower_bound g a and u = Graph.original_capacity g a in
+  if rc < 0 then x < u
+  else if rc = 0 then x < u
+  else x < l
+
+let can_decrease g pot a =
+  let rc = reduced_cost g pot a in
+  let x = Graph.flow g a in
+  let l = Graph.lower_bound g a and u = Graph.original_capacity g a in
+  if rc > 0 then x > l
+  else if rc = 0 then x > l
+  else x > u
+
+(* Search the admissible network from [start] for [target]. Admissible
+   moves from node v:
+   - along forward arc a = (v,w) when can_increase a,
+   - against forward arc a = (w,v) when can_decrease a (we traverse its
+     residual partner). Records the arc used to enter each node.
+   Returns the predecessor array and the reached set. *)
+let admissible_search g pot ~start ~scanned =
+  let n = Graph.node_count g in
+  let pred = Array.make n (-1) in
+  let reached = Array.make n false in
+  reached.(start) <- true;
+  let q = Queue.create () in
+  Queue.push start q;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    Graph.iter_out g v (fun a ->
+        incr scanned;
+        let w = Graph.dst g a in
+        if not reached.(w) then begin
+          let ok =
+            if Graph.is_forward a then can_increase g pot a
+            else can_decrease g pot (Graph.residual a)
+          in
+          if ok then begin
+            reached.(w) <- true;
+            pred.(w) <- a;
+            Queue.push w q
+          end
+        end)
+  done;
+  (pred, reached)
+
+(* Amount by which traversing residual-direction arc [a] can change flow
+   while moving toward kilter. *)
+let slack g pot a =
+  if Graph.is_forward a then begin
+    let rc = reduced_cost g pot a in
+    let x = Graph.flow g a in
+    let l = Graph.lower_bound g a and u = Graph.original_capacity g a in
+    if rc > 0 then l - x else u - x
+  end
+  else begin
+    let f = Graph.residual a in
+    let rc = reduced_cost g pot f in
+    let x = Graph.flow g f in
+    let l = Graph.lower_bound g f and u = Graph.original_capacity g f in
+    if rc < 0 then x - u else x - l
+  end
+
+let apply_delta g a k =
+  if Graph.is_forward a then Graph.set_flow g a (Graph.flow g a + k)
+  else begin
+    let f = Graph.residual a in
+    Graph.set_flow g f (Graph.flow g f - k)
+  end
+
+let solve g =
+  let pot = Array.make (Graph.node_count g) 0 in
+  let augs = ref 0 and pots = ref 0 and scanned = ref 0 in
+  let infeasible = ref false in
+  (* Process arcs until none is out of kilter. *)
+  let find_out_of_kilter () =
+    let found = ref None in
+    Graph.iter_forward_arcs g (fun a ->
+        if !found = None && kilter_number g ~pot a > 0 then found := Some a);
+    !found
+  in
+  let rec fix a =
+    (* a potential update may have brought the arc into kilter already
+       (its reduced cost can hit zero with the flow within bounds) *)
+    if (not !infeasible) && kilter_number g ~pot a > 0 then begin
+      let u = Graph.src g a and v = Graph.dst g a in
+      (* Does the arc need more or less flow? *)
+      let needs_more =
+        let rc = reduced_cost g pot a in
+        let x = Graph.flow g a in
+        if rc > 0 then x < Graph.lower_bound g a
+        else if rc < 0 then x < Graph.original_capacity g a
+        else x < Graph.lower_bound g a
+      in
+      (* To increase flow on (u,v) we need an admissible v->u path closing
+         the cycle; to decrease, a u->v path (cycle traversing the arc
+         backwards). *)
+      let start, target = if needs_more then (v, u) else (u, v) in
+      let pred, reached = admissible_search g pot ~start ~scanned in
+      if reached.(target) then begin
+        (* Augment around the cycle by the bottleneck. *)
+        let arc_slack = if needs_more then slack g pot a
+                        else slack g pot (Graph.residual a) in
+        let rec bottleneck w acc =
+          if w = start then acc
+          else
+            let e = pred.(w) in
+            bottleneck (Graph.src g e) (min acc (slack g pot e))
+        in
+        let k = bottleneck target (abs arc_slack) in
+        assert (k > 0);
+        let rec apply w =
+          if w <> start then begin
+            let e = pred.(w) in
+            apply_delta g e k;
+            apply (Graph.src g e)
+          end
+        in
+        apply target;
+        if needs_more then Graph.set_flow g a (Graph.flow g a + k)
+        else Graph.set_flow g a (Graph.flow g a - k);
+        incr augs;
+        if kilter_number g ~pot a > 0 then fix a
+      end
+      else begin
+        (* Potential update: raise pi on the unreached side by the
+           smallest amount that creates a new admissible arc crossing the
+           cut, or detect infeasibility. *)
+        let delta = ref max_int in
+        Graph.iter_forward_arcs g (fun e ->
+            let s = Graph.src g e and d = Graph.dst g e in
+            let rc = reduced_cost g pot e in
+            let x = Graph.flow g e in
+            if reached.(s) && not reached.(d) then begin
+              (* Crossing forward: becomes admissible when rc drops to 0
+                 (needs x < cap). *)
+              if rc > 0 && x < Graph.original_capacity g e then
+                delta := min !delta rc
+            end
+            else if reached.(d) && not reached.(s) then begin
+              if rc < 0 && x > Graph.lower_bound g e then
+                delta := min !delta (-rc)
+            end);
+        if !delta = max_int then begin
+          (* No way to make progress: check whether the violated arc can
+             ever reach kilter -- if its own bounds are contradictory or
+             the cut has no capacity, the problem is infeasible. *)
+          infeasible := true
+        end
+        else begin
+          incr pots;
+          for w = 0 to Graph.node_count g - 1 do
+            if not reached.(w) then pot.(w) <- pot.(w) + !delta
+          done;
+          fix a
+        end
+      end
+    end
+  in
+  let rec loop () =
+    match find_out_of_kilter () with
+    | None -> ()
+    | Some a ->
+      fix a;
+      if not !infeasible then loop ()
+  in
+  loop ();
+  let st = { augmentations = !augs; potential_updates = !pots;
+             arcs_scanned = !scanned } in
+  if !infeasible then (Infeasible, st)
+  else (Optimal (Graph.total_cost g), st)

@@ -1,0 +1,33 @@
+(** Fulkerson's out-of-kilter method for minimum-cost circulations.
+
+    The paper (Section III-C) cites the Edmonds–Karp scaled out-of-kilter
+    algorithm as the solver for Transformation 2, with the
+    O(|V|·|E|²) bound on 0–1 capacity networks. This module implements
+    the classical (unscaled) out-of-kilter method over the repository's
+    flow graphs, honouring per-arc lower bounds; it serves as an
+    independent cross-check of {!Mincost} in the test suite and as the
+    second column of the Table II ablation.
+
+    Usage for an s–t flow of fixed value F₀ (what Transformation 2
+    needs): add a return arc t→s with [low = cap = F₀] and call
+    {!solve}; the circulation it finds carries exactly F₀ from s to t at
+    minimum cost. *)
+
+type outcome =
+  | Optimal of int      (** circulation found; total cost *)
+  | Infeasible          (** the lower bounds cannot be met *)
+
+type stats = {
+  augmentations : int;   (** kilter-reducing cycle augmentations *)
+  potential_updates : int;
+  arcs_scanned : int;
+}
+
+val solve : Graph.t -> outcome * stats
+(** Finds a feasible circulation of minimum total cost, respecting every
+    arc's [low <= flow <= cap]. Starts from the graph's current flow
+    (typically zero). On [Optimal], the graph holds the circulation. *)
+
+val kilter_number : Graph.t -> pot:int array -> Graph.arc -> int
+(** Diagnostic: how far the forward arc is from its kilter line under
+    the given potentials (0 = in kilter). Exposed for tests. *)

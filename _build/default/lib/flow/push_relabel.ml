@@ -1,0 +1,132 @@
+type stats = { pushes : int; relabels : int; gap_jumps : int }
+
+(* FIFO push-relabel. Heights (labels) start from a reverse BFS from the
+   sink; the source sits at n. Active nodes (positive excess, not s/t)
+   wait in a queue. The gap heuristic lifts every node above an empty
+   height level straight to n+1, which empirically removes most useless
+   relabels on MRSIN-shaped graphs. *)
+let max_flow g ~source ~sink =
+  let n = Graph.node_count g in
+  let height = Array.make n 0 in
+  let excess = Array.make n 0 in
+  let active = Array.make n false in
+  let pushes = ref 0 and relabels = ref 0 and gaps = ref 0 in
+  (* height histogram for the gap heuristic *)
+  let count = Array.make ((2 * n) + 1) 0 in
+
+  (* Initial heights: BFS distance to the sink over residual arcs taken
+     backwards (we scan all arcs; graph is small). *)
+  let () =
+    let dist = Array.make n (-1) in
+    dist.(sink) <- 0;
+    let q = Queue.create () in
+    Queue.push sink q;
+    while not (Queue.is_empty q) do
+      let v = Queue.pop q in
+      (* incoming arcs of v = residual arcs leaving v point at sources *)
+      Graph.iter_out g v (fun a ->
+          (* arc a : v -> w; its residual partner w -> v is a real
+             direction of flow toward v when partner has capacity *)
+          let w = Graph.dst g a in
+          if dist.(w) < 0 && Graph.capacity g (Graph.residual a) > 0 then begin
+            dist.(w) <- dist.(v) + 1;
+            Queue.push w q
+          end)
+    done;
+    for v = 0 to n - 1 do
+      height.(v) <- (if dist.(v) >= 0 then dist.(v) else n)
+    done;
+    height.(source) <- n;
+    for v = 0 to n - 1 do
+      count.(height.(v)) <- count.(height.(v)) + 1
+    done
+  in
+
+  let q = Queue.create () in
+  let activate v =
+    if v <> source && v <> sink && excess.(v) > 0 && not active.(v) then begin
+      active.(v) <- true;
+      Queue.push v q
+    end
+  in
+
+  (* Saturate all source arcs. *)
+  Graph.iter_out g source (fun a ->
+      let c = Graph.capacity g a in
+      if c > 0 then begin
+        Graph.push g a c;
+        incr pushes;
+        let w = Graph.dst g a in
+        excess.(w) <- excess.(w) + c;
+        excess.(source) <- excess.(source) - c;
+        activate w
+      end);
+
+  let set_height v h =
+    count.(height.(v)) <- count.(height.(v)) - 1;
+    (* Gap heuristic: if v left its level empty and was below n, every
+       node between the gap and n is unreachable from the sink side. *)
+    if count.(height.(v)) = 0 && height.(v) < n then begin
+      for w = 0 to n - 1 do
+        if w <> source && height.(w) > height.(v) && height.(w) <= n then begin
+          incr gaps;
+          count.(height.(w)) <- count.(height.(w)) - 1;
+          height.(w) <- n + 1;
+          count.(height.(w)) <- count.(height.(w)) + 1
+        end
+      done
+    end;
+    height.(v) <- h;
+    count.(h) <- count.(h) + 1
+  in
+
+  let discharge v =
+    while excess.(v) > 0 do
+      (* find an admissible arc *)
+      let pushed = ref false in
+      Graph.iter_out g v (fun a ->
+          if (not !pushed) && excess.(v) > 0 then begin
+            let w = Graph.dst g a in
+            if Graph.capacity g a > 0 && height.(v) = height.(w) + 1 then begin
+              let k = min excess.(v) (Graph.capacity g a) in
+              Graph.push g a k;
+              incr pushes;
+              excess.(v) <- excess.(v) - k;
+              excess.(w) <- excess.(w) + k;
+              activate w;
+              pushed := true
+            end
+          end);
+      if not !pushed then begin
+        (* relabel: 1 + min height over residual-positive out-arcs *)
+        let best = ref max_int in
+        Graph.iter_out g v (fun a ->
+            if Graph.capacity g a > 0 then
+              best := min !best (height.(Graph.dst g a) + 1));
+        if !best = max_int then
+          (* No residual capacity leaves v at all. This cannot happen
+             while v holds excess (the reversal of the arc that delivered
+             the excess always has capacity); defend anyway. *)
+          failwith "Push_relabel: stranded excess"
+        else begin
+          incr relabels;
+          set_height v !best
+        end
+      end
+    done
+  in
+
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    active.(v) <- false;
+    discharge v
+  done;
+
+  (* Run to completion, the preflow is a flow again: every non-terminal
+     excess has been pushed on to the sink or returned to the source. *)
+  for v = 0 to n - 1 do
+    if v <> source && v <> sink && excess.(v) <> 0 then
+      failwith "Push_relabel: excess left after termination"
+  done;
+  ( excess.(sink),
+    { pushes = !pushes; relabels = !relabels; gap_jumps = !gaps } )

@@ -1,0 +1,20 @@
+(** Goldberg–Tarjan push–relabel maximum flow (FIFO rule, with the gap
+    heuristic).
+
+    A third independent maximum-flow implementation, used to cross-check
+    {!Dinic} and {!Edmonds_karp} in the test suite and as an ablation
+    point in the benchmarks: the paper predates push–relabel (1988), and
+    the benches let us ask whether the flow-algorithm choice matters at
+    MRSIN sizes (it does not — the transformation, not the solver,
+    dominates). *)
+
+type stats = {
+  pushes : int;
+  relabels : int;
+  gap_jumps : int;  (** nodes lifted past a label gap *)
+}
+
+val max_flow : Graph.t -> source:Graph.node -> sink:Graph.node -> int * stats
+(** Computes a maximum flow, leaving it in the graph. The preflow is
+    fully converted back to a flow (excesses returned to the source), so
+    {!Graph.check_conservation} holds afterwards. *)

@@ -1,0 +1,1 @@
+lib/gates/mrsin_circuit.ml: Array Fun Hashtbl List Netlist Rsin_topology

@@ -1,0 +1,1 @@
+lib/gates/mrsin_circuit.mli: Netlist Rsin_topology

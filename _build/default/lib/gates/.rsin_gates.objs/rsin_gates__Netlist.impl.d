@@ -1,0 +1,1 @@
+lib/gates/netlist.ml: Array List Rsin_util

@@ -1,0 +1,382 @@
+module Network = Rsin_topology.Network
+module N = Netlist
+
+type t = {
+  net : Network.t;
+  nl : N.t;
+  live : bool array;
+  n_procs : int;
+  n_res : int;
+  reg : N.signal array;      (* per link: registered this scheduling cycle *)
+  bonded : N.signal array;   (* per processor *)
+}
+
+type outcome = {
+  mapping : (int * int) list;
+  circuits : (int * int list) list;
+  allocated : int;
+  requested : int;
+  clocks : int;
+}
+
+(* Helper: the element on each side of a link, as (kind, index). *)
+type side = P of int | R of int | B of int
+
+let side_of = function
+  | Network.Proc p -> P p
+  | Network.Res r -> R r
+  | Network.Box_in (b, _) | Network.Box_out (b, _) -> B b
+
+let compile net =
+  for b = 0 to Network.n_boxes net - 1 do
+    let spec = Network.box_spec net b in
+    if spec.Network.fan_in > 3 || spec.Network.fan_out > 3 then
+      invalid_arg "Mrsin_circuit.compile: switchbox wider than 3x3"
+  done;
+  let nl = N.create () in
+  let np = Network.n_procs net and nr = Network.n_res net in
+  let nlinks = Network.n_links net and nboxes = Network.n_boxes net in
+  let live =
+    Array.init nlinks (fun l -> Network.link_state net l = Network.Free)
+  in
+  let f = N.const nl false in
+
+  (* ---- primary inputs -------------------------------------------------- *)
+  let pending = Array.init np (fun _ -> N.input nl) in
+  let ready = Array.init nr (fun _ -> N.input nl) in
+
+  (* ---- flip-flops (allocated first; driven at the end) ------------------ *)
+  let ff_arr n = Array.init n (fun _ -> N.ff nl) in
+  let mark_f = ff_arr nlinks and mark_b = ff_arr nlinks in
+  let claim = ff_arr nlinks and tok = ff_arr nlinks in
+  let reg = ff_arr nlinks in
+  let received = ff_arr nboxes and sent = ff_arr nboxes in
+  let bonded = ff_arr np in
+  let matched = ff_arr nr and rs_reached = ff_arr nr and launched = ff_arr nr in
+  let s_req = N.ff ~init:true nl and s_res = N.ff nl in
+  let s_reg = N.ff nl and s_done = N.ff nl in
+  let req_first = N.ff ~init:true nl in
+  let any_bond = N.ff nl in
+
+  (* Pairing registers: per box, per (arrival link, receive link). *)
+  let paired = Hashtbl.create 64 in
+  let box_links b =
+    Array.to_list (Network.box_in_links net b)
+    @ Array.to_list (Network.box_out_links net b)
+  in
+  for b = 0 to nboxes - 1 do
+    let ls = List.filter (fun l -> live.(l)) (box_links b) in
+    List.iter
+      (fun a ->
+        List.iter
+          (fun r -> if a <> r then Hashtbl.replace paired (b, a, r) (N.ff nl))
+          ls)
+      ls
+  done;
+
+  let land_ = N.and_ nl and lor_ = N.or_ nl and lnot = N.not_ nl in
+  let ands = N.and_list nl and ors = N.or_list nl in
+
+  (* ---- request-token phase wires ---------------------------------------- *)
+  (* forward send over a live free link: injection (proc links, first
+     clock) or a box that received last clock and has not sent *)
+  let sending =
+    Array.init nboxes (fun b -> ands [ s_req; received.(b); lnot sent.(b) ])
+  in
+  let inject =
+    Array.init np (fun p ->
+        let l = Network.proc_link net p in
+        if live.(l) then ands [ s_req; req_first; pending.(p); lnot bonded.(p) ]
+        else f)
+  in
+  let rt_f =
+    Array.init nlinks (fun l ->
+        if not live.(l) then f
+        else
+          match side_of (Network.link_src net l) with
+          | P p -> inject.(p)
+          | B b -> ands [ sending.(b); lnot reg.(l) ]
+          | R _ -> f)
+  in
+  let rt_b =
+    Array.init nlinks (fun l ->
+        if not live.(l) then f
+        else
+          match side_of (Network.link_dst net l) with
+          | B b -> ands [ sending.(b); reg.(l) ]
+          | P _ | R _ -> f)
+  in
+  let box_arrival =
+    Array.init nboxes (fun b ->
+        let ins =
+          List.filter_map
+            (fun l -> if live.(l) then Some rt_f.(l) else None)
+            (Array.to_list (Network.box_in_links net b))
+        in
+        let outs =
+          List.filter_map
+            (fun l -> if live.(l) then Some rt_b.(l) else None)
+            (Array.to_list (Network.box_out_links net b))
+        in
+        ors (ins @ outs))
+  in
+  let rs_hit =
+    Array.init nr (fun r ->
+        let l = Network.res_link net r in
+        if live.(l) then ands [ rt_f.(l); ready.(r); lnot matched.(r) ] else f)
+  in
+  let e6 = ors (Array.to_list rs_hit) in
+  let activity =
+    ors (Array.to_list rt_f @ Array.to_list rt_b |> List.filter (fun s -> s <> f))
+  in
+
+  (* ---- resource-token phase wires ---------------------------------------- *)
+  (* Arrival-port and candidate wires per live link. *)
+  let arr_wire =
+    Array.init nlinks (fun l ->
+        if not live.(l) then f
+        else
+          (* the token that traversed l sits at src (if mark_f) or dst
+             (if mark_b); either way the wire is tok && the mark *)
+          lor_ (land_ tok.(l) mark_f.(l)) (land_ tok.(l) mark_b.(l)))
+  in
+  let cand_wire =
+    Array.init nlinks (fun l ->
+        if not live.(l) then f
+        else land_ (lor_ mark_f.(l) mark_b.(l)) (lnot claim.(l)))
+  in
+  (* Arrival element of link l (where its resource token sits) and
+     receive element (where tokens exit through l) depend on the marks;
+     the ladders below pair them per box statically by enumerating both
+     interpretations, each gated by the corresponding mark. *)
+  let arrival_ports b =
+    (* (link, gate) pairs: token present at box b via this link *)
+    List.filter_map
+      (fun l ->
+        if not live.(l) then None
+        else
+          let as_src = side_of (Network.link_src net l) = B b in
+          let as_dst = side_of (Network.link_dst net l) = B b in
+          let terms = ref [] in
+          if as_src then terms := land_ tok.(l) mark_f.(l) :: !terms;
+          if as_dst then terms := land_ tok.(l) mark_b.(l) :: !terms;
+          if !terms = [] then None else Some (l, ors !terms))
+      (box_links b)
+  in
+  let receive_ports b =
+    List.filter_map
+      (fun l ->
+        if not live.(l) then None
+        else
+          let as_dst = side_of (Network.link_dst net l) = B b in
+          let as_src = side_of (Network.link_src net l) = B b in
+          let terms = ref [] in
+          if as_dst then terms := land_ mark_f.(l) (lnot claim.(l)) :: !terms;
+          if as_src then terms := land_ mark_b.(l) (lnot claim.(l)) :: !terms;
+          if !terms = [] then None else Some (l, ors !terms))
+      (box_links b)
+  in
+  (* Per-link accumulated wires. *)
+  let set_claim = Array.make nlinks f in
+  let set_tok = Array.make nlinks f in
+  let moved = Array.make nlinks f in    (* token left this arrival link *)
+  let backtrack = Array.make nlinks f in
+  let grant_into = Hashtbl.create 64 in (* (a, b) -> grant wire *)
+  let bond_wire = Array.make np f in
+  for b = 0 to nboxes - 1 do
+    let arrs = arrival_ports b and recvs = receive_ports b in
+    let taken = Hashtbl.create 8 in
+    List.iter (fun (r, _) -> Hashtbl.replace taken r f) recvs;
+    List.iter
+      (fun (a, arr_a) ->
+        let got = ref f in
+        List.iter
+          (fun (r, cand_r) ->
+            if a <> r then begin
+              let g =
+                ands
+                  [ s_res; arr_a; cand_r; lnot (Hashtbl.find taken r); lnot !got ]
+              in
+              Hashtbl.replace grant_into (b, a, r) g;
+              Hashtbl.replace taken r (lor_ (Hashtbl.find taken r) g);
+              got := lor_ !got g;
+              set_claim.(r) <- lor_ set_claim.(r) g;
+              (* where does the token land after crossing r? at the far
+                 element; if that is a processor, it bonds instead *)
+              (match side_of (Network.link_src net r) with
+              | P p -> bond_wire.(p) <- lor_ bond_wire.(p) (land_ g mark_f.(r))
+              | B _ | R _ ->
+                set_tok.(r) <- lor_ set_tok.(r) (land_ g mark_f.(r)));
+              (match side_of (Network.link_dst net r) with
+              | P _ | R _ -> () (* mark_b toward proc/res is inert *)
+              | B _ -> set_tok.(r) <- lor_ set_tok.(r) (land_ g mark_b.(r)))
+            end)
+          recvs;
+        moved.(a) <- lor_ moved.(a) !got;
+        let bt = ands [ s_res; arr_a; lnot !got ] in
+        backtrack.(a) <- lor_ backtrack.(a) bt)
+      arrs
+  done;
+  (* RS launches: the RS that was reached claims its own resource link. *)
+  let rs_launch =
+    Array.init nr (fun r ->
+        let l = Network.res_link net r in
+        if not live.(l) then f
+        else
+          ands
+            [ s_res; rs_reached.(r); lnot launched.(r); cand_wire.(l);
+              lnot set_claim.(l) ])
+  in
+  Array.iteri
+    (fun r g ->
+      let l = Network.res_link net r in
+      if live.(l) then begin
+        set_claim.(l) <- lor_ set_claim.(l) g;
+        set_tok.(l) <- lor_ set_tok.(l) g
+      end)
+    rs_launch;
+  (* Backtrack returns: crossing back over link m restores the token at
+     the pairing partner recorded where the pairing lives. *)
+  Hashtbl.iter
+    (fun (_b, a, m) pr ->
+      set_tok.(a) <- lor_ set_tok.(a) (land_ backtrack.(m) pr))
+    paired;
+  let res_active =
+    ors
+      (Array.to_list arr_wire
+      @ List.filter_map
+          (fun r ->
+            if live.(Network.res_link net r) then
+              Some (land_ rs_reached.(r) (lnot launched.(r)))
+            else None)
+          (List.init nr Fun.id))
+  in
+
+  (* ---- controller --------------------------------------------------------- *)
+  let clear_iter = s_reg in
+  let bond_any = ors (Array.to_list bond_wire |> List.filter (( <> ) f)) in
+  N.drive nl s_req
+    (lor_
+       (ands [ s_req; lnot e6; activity ])
+       (land_ s_reg any_bond));
+  N.drive nl s_res (lor_ (land_ s_req e6) (land_ s_res res_active));
+  N.drive nl s_reg (land_ s_res (lnot res_active));
+  N.drive nl s_done
+    (ors
+       [ s_done; ands [ s_req; lnot e6; lnot activity ];
+         land_ s_reg (lnot any_bond) ]);
+  N.drive nl req_first (land_ s_reg any_bond);
+  N.drive nl any_bond (land_ (lor_ any_bond bond_any) (lnot clear_iter));
+
+  (* ---- state updates ------------------------------------------------------- *)
+  let keep = lnot clear_iter in
+  for l = 0 to nlinks - 1 do
+    if live.(l) then begin
+      N.drive nl mark_f.(l)
+        (ands [ keep; lnot backtrack.(l); lor_ mark_f.(l) rt_f.(l) ]);
+      N.drive nl mark_b.(l)
+        (ands [ keep; lnot backtrack.(l); lor_ mark_b.(l) rt_b.(l) ]);
+      N.drive nl claim.(l)
+        (ands [ keep; lnot backtrack.(l); lor_ claim.(l) set_claim.(l) ]);
+      N.drive nl tok.(l)
+        (ands
+           [ keep;
+             lor_ (ands [ tok.(l); lnot moved.(l); lnot backtrack.(l) ]) set_tok.(l) ]);
+      (* registration: claimed links toggle to the mark direction *)
+      N.drive nl reg.(l)
+        (N.mux nl ~sel:(land_ s_reg claim.(l)) reg.(l) mark_f.(l))
+    end
+    else begin
+      N.drive nl mark_f.(l) f;
+      N.drive nl mark_b.(l) f;
+      N.drive nl claim.(l) f;
+      N.drive nl tok.(l) f;
+      N.drive nl reg.(l) f
+    end
+  done;
+  for b = 0 to nboxes - 1 do
+    N.drive nl received.(b) (land_ keep (lor_ received.(b) box_arrival.(b)));
+    N.drive nl sent.(b) (land_ keep (lor_ sent.(b) sending.(b)))
+  done;
+  for p = 0 to np - 1 do
+    N.drive nl bonded.(p) (lor_ bonded.(p) bond_wire.(p))
+  done;
+  for r = 0 to nr - 1 do
+    let l = Network.res_link net r in
+    let matched_now =
+      if live.(l) then ands [ s_reg; claim.(l); mark_f.(l) ] else f
+    in
+    N.drive nl matched.(r) (lor_ matched.(r) matched_now);
+    N.drive nl rs_reached.(r) (land_ keep (lor_ rs_reached.(r) rs_hit.(r)));
+    N.drive nl launched.(r) (land_ keep (lor_ launched.(r) rs_launch.(r)))
+  done;
+  Hashtbl.iter
+    (fun (b, a, m) pr ->
+      let g =
+        match Hashtbl.find_opt grant_into (b, a, m) with Some g -> g | None -> f
+      in
+      N.drive nl pr (ands [ keep; lnot backtrack.(m); lor_ pr g ]))
+    paired;
+
+  N.output nl "done" s_done;
+  N.output nl "req" s_req;
+  N.output nl "res" s_res;
+  N.output nl "regphase" s_reg;
+  N.finalize nl;
+  { net; nl; live; n_procs = np; n_res = nr; reg; bonded }
+
+let stats t = N.stats t.nl
+
+let run ?(max_clocks = 10000) t ~requests ~free =
+  let requests = List.sort_uniq compare requests in
+  let free = List.sort_uniq compare free in
+  List.iter
+    (fun p ->
+      if p < 0 || p >= t.n_procs then invalid_arg "Mrsin_circuit.run: bad processor")
+    requests;
+  List.iter
+    (fun r -> if r < 0 || r >= t.n_res then invalid_arg "Mrsin_circuit.run: bad resource")
+    free;
+  N.reset t.nl;
+  let inputs = Array.make (t.n_procs + t.n_res) false in
+  List.iter (fun p -> inputs.(p) <- true) requests;
+  List.iter (fun r -> inputs.(t.n_procs + r) <- true) free;
+  let clocks = ref 0 in
+  let rec go () =
+    if !clocks > max_clocks then failwith "Mrsin_circuit.run: clock limit exceeded";
+    N.step t.nl inputs;
+    incr clocks;
+    if not (N.read t.nl "done") then go ()
+  in
+  go ();
+  (* Extract circuits from the registered links, as in Token_sim. *)
+  let used = Array.make (Network.n_links t.net) false in
+  let registered l = t.live.(l) && N.read_ff t.nl t.reg.(l) in
+  let mapping = ref [] and circuits = ref [] in
+  for p = 0 to t.n_procs - 1 do
+    if N.read_ff t.nl t.bonded.(p) then begin
+      let l0 = Network.proc_link t.net p in
+      let rec walk l acc =
+        used.(l) <- true;
+        match Network.link_dst t.net l with
+        | Network.Res r -> (r, List.rev (l :: acc))
+        | Network.Box_in (b, _) ->
+          let next = ref (-1) in
+          Array.iter
+            (fun o -> if !next < 0 && registered o && not used.(o) then next := o)
+            (Network.box_out_links t.net b);
+          if !next < 0 then failwith "Mrsin_circuit: stranded registered path";
+          walk !next (l :: acc)
+        | Network.Proc _ | Network.Box_out _ ->
+          failwith "Mrsin_circuit: malformed path"
+      in
+      let r, links = walk l0 [] in
+      mapping := (p, r) :: !mapping;
+      circuits := (p, links) :: !circuits
+    end
+  done;
+  { mapping = List.rev !mapping;
+    circuits = List.rev !circuits;
+    allocated = List.length !mapping;
+    requested = List.length requests;
+    clocks = !clocks }

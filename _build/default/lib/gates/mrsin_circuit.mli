@@ -1,0 +1,56 @@
+(** Gate-level realization of the distributed MRSIN scheduler.
+
+    Compiles a circuit-switched network into a single synchronous
+    netlist that executes the paper's token protocol entirely in
+    hardware — the strongest form of the Section IV claim that the
+    distributed Dinic realization "can be realized easily by a
+    finite-state machine" with "a very low gate count and a very short
+    token propagation delay".
+
+    Inventory of the compiled design, mirroring the paper's description:
+    per free link, flip-flops for the two request-token markings (the
+    "bit array associated with each port"), the resource-token claim and
+    the token-presence bit, plus the registered status; per switchbox, a
+    first-batch latch, a sent latch and the port-pairing registers (the
+    crossbar setting); per RQ a bonded latch, per RS reached/launched/
+    matched latches; and a four-state one-hot phase controller standing
+    in for the status-bus synchronization. Resource-token conflicts are
+    arbitrated by a combinational priority ladder inside each switchbox
+    ("only one of them is allowed to go through"), and backtracking
+    retraces the port-pairing registers while clearing markings.
+
+    The compiled circuit computes a {e maximum} request–resource
+    mapping: the test suite checks its allocation count against
+    centralized Dinic on random instances, and its combinational depth
+    (the real token propagation delay in gate delays) is reported by the
+    [gates] benchmark.
+
+    Limitations: switchboxes must have fan-in and fan-out at most 3
+    (covers every 2×2-based MIN and the 1×3/3×3/3×1 gamma/ADM switches);
+    links occupied at {!compile} time are excluded from the design, so
+    recompile after the busy-circuit set changes. *)
+
+type t
+
+type outcome = {
+  mapping : (int * int) list;
+  circuits : (int * int list) list;
+  allocated : int;
+  requested : int;
+  clocks : int;           (** clock periods until the done flag rose *)
+}
+
+val compile : Rsin_topology.Network.t -> t
+(** Builds and finalizes the netlist for the network's current state.
+    Raises [Invalid_argument] on switchboxes wider than 3×3. *)
+
+val stats : t -> Netlist.stats
+(** Gate count, flip-flop count and combinational depth of the design. *)
+
+val run :
+  ?max_clocks:int ->
+  t -> requests:int list -> free:int list -> outcome
+(** Simulates the circuit on a snapshot: drives the pending/ready input
+    bits, clocks until the done flag (or [max_clocks], default 10000 —
+    reaching it raises [Failure]), and reads the registered links and
+    bonded processors back out of the flip-flops. *)

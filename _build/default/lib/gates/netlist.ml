@@ -1,0 +1,207 @@
+module Vec = Rsin_util.Vec
+
+type signal = int
+
+(* Node kinds; each signal is one node. Flip-flop outputs are sources
+   for combinational evaluation; their [d] input is latched at step
+   time. *)
+type node =
+  | Input of int              (* primary input index *)
+  | Const of bool
+  | Not of signal
+  | And of signal * signal
+  | Or of signal * signal
+  | Xor of signal * signal
+  | Ff of { mutable d : signal; init : bool }
+
+type t = {
+  nodes : node Vec.t;
+  mutable n_inputs : int;
+  mutable outputs : (string * signal) list;
+  mutable finalized : bool;
+  (* post-finalize state *)
+  mutable order : int array;      (* topological order of comb nodes *)
+  mutable value : bool array;     (* current combinational values *)
+  mutable state : bool array;     (* latched FF values, indexed by signal *)
+  mutable depth_ : int;
+}
+
+let create () =
+  { nodes = Vec.create (); n_inputs = 0; outputs = []; finalized = false;
+    order = [||]; value = [||]; state = [||]; depth_ = 0 }
+
+let check_open t = if t.finalized then invalid_arg "Netlist: already finalized"
+
+let add t node =
+  check_open t;
+  Vec.push t.nodes node;
+  Vec.length t.nodes - 1
+
+let check_sig t s =
+  if s < 0 || s >= Vec.length t.nodes then invalid_arg "Netlist: bad signal"
+
+let input t =
+  check_open t;
+  let idx = t.n_inputs in
+  t.n_inputs <- idx + 1;
+  add t (Input idx)
+
+let const t b = add t (Const b)
+
+let not_ t a = check_sig t a; add t (Not a)
+let and_ t a b = check_sig t a; check_sig t b; add t (And (a, b))
+let or_ t a b = check_sig t a; check_sig t b; add t (Or (a, b))
+let xor_ t a b = check_sig t a; check_sig t b; add t (Xor (a, b))
+
+let rec reduce t op neutral = function
+  | [] -> const t neutral
+  | [ s ] -> s
+  | xs ->
+    (* halve pairwise to keep depth logarithmic *)
+    let rec pair = function
+      | a :: b :: rest -> op t a b :: pair rest
+      | tail -> tail
+    in
+    reduce t op neutral (pair xs)
+
+let and_list t xs = reduce t and_ true xs
+let or_list t xs = reduce t or_ false xs
+
+let mux t ~sel a b =
+  let nsel = not_ t sel in
+  or_ t (and_ t nsel a) (and_ t sel b)
+
+let ff ?(init = false) t = add t (Ff { d = -1; init })
+
+let drive t q d =
+  check_open t;
+  check_sig t q;
+  check_sig t d;
+  match Vec.get t.nodes q with
+  | Ff r ->
+    if r.d <> -1 then invalid_arg "Netlist.drive: flip-flop already driven";
+    r.d <- d
+  | Input _ | Const _ | Not _ | And _ | Or _ | Xor _ ->
+    invalid_arg "Netlist.drive: not a flip-flop"
+
+let output t name s =
+  check_open t;
+  check_sig t s;
+  if List.mem_assoc name t.outputs then invalid_arg "Netlist.output: duplicate name";
+  t.outputs <- (name, s) :: t.outputs
+
+let fan_ins = function
+  | Input _ | Const _ -> []
+  | Not a -> [ a ]
+  | And (a, b) | Or (a, b) | Xor (a, b) -> [ a; b ]
+  | Ff _ -> [] (* FF outputs are sources; d is latched, not combinational *)
+
+let finalize t =
+  check_open t;
+  let n = Vec.length t.nodes in
+  (* check all FFs driven *)
+  Vec.iteri
+    (fun _ node ->
+      match node with
+      | Ff r -> if r.d = -1 then invalid_arg "Netlist.finalize: undriven flip-flop"
+      | Input _ | Const _ | Not _ | And _ | Or _ | Xor _ -> ())
+    t.nodes;
+  (* topological sort over combinational dependencies *)
+  let order = Array.make n (-1) in
+  let mark = Array.make n 0 in (* 0 = unseen, 1 = on stack, 2 = done *)
+  let pos = ref 0 in
+  let rec visit s =
+    match mark.(s) with
+    | 2 -> ()
+    | 1 -> invalid_arg "Netlist.finalize: combinational cycle"
+    | _ ->
+      mark.(s) <- 1;
+      List.iter visit (fan_ins (Vec.get t.nodes s));
+      mark.(s) <- 2;
+      order.(!pos) <- s;
+      incr pos
+  in
+  for s = 0 to n - 1 do
+    visit s
+  done;
+  (* combinational depth: gates add 1, wires/FFs/inputs 0 *)
+  let depth = Array.make n 0 in
+  Array.iter
+    (fun s ->
+      let node = Vec.get t.nodes s in
+      let d_in =
+        List.fold_left (fun acc a -> max acc depth.(a)) 0 (fan_ins node)
+      in
+      depth.(s) <-
+        (match node with
+        | Not _ | And _ | Or _ | Xor _ -> d_in + 1
+        | Input _ | Const _ | Ff _ -> d_in))
+    order;
+  t.order <- order;
+  t.value <- Array.make n false;
+  t.state <- Array.make n false;
+  Vec.iteri
+    (fun s node -> match node with Ff r -> t.state.(s) <- r.init | _ -> ())
+    t.nodes;
+  t.depth_ <- Array.fold_left max 0 depth;
+  t.finalized <- true
+
+let check_final t = if not t.finalized then invalid_arg "Netlist: not finalized"
+
+let step t inputs =
+  check_final t;
+  if Array.length inputs <> t.n_inputs then
+    invalid_arg "Netlist.step: wrong input count";
+  let v = t.value in
+  Array.iter
+    (fun s ->
+      v.(s) <-
+        (match Vec.get t.nodes s with
+        | Input i -> inputs.(i)
+        | Const b -> b
+        | Not a -> not v.(a)
+        | And (a, b) -> v.(a) && v.(b)
+        | Or (a, b) -> v.(a) || v.(b)
+        | Xor (a, b) -> v.(a) <> v.(b)
+        | Ff _ -> t.state.(s)))
+    t.order;
+  (* latch *)
+  Vec.iteri
+    (fun s node ->
+      match node with Ff r -> t.state.(s) <- v.(r.d) | _ -> ())
+    t.nodes
+
+let read t name =
+  check_final t;
+  match List.assoc_opt name t.outputs with
+  | Some s -> t.value.(s)
+  | None -> invalid_arg ("Netlist.read: unknown output " ^ name)
+
+let read_ff t s =
+  check_final t;
+  check_sig t s;
+  match Vec.get t.nodes s with
+  | Ff _ -> t.state.(s)
+  | Input _ | Const _ | Not _ | And _ | Or _ | Xor _ ->
+    invalid_arg "Netlist.read_ff: not a flip-flop"
+
+let reset t =
+  check_final t;
+  Vec.iteri
+    (fun s node -> match node with Ff r -> t.state.(s) <- r.init | _ -> ())
+    t.nodes;
+  Array.fill t.value 0 (Array.length t.value) false
+
+type stats = { inputs : int; flip_flops : int; gates : int; depth : int }
+
+let stats t =
+  check_final t;
+  let ffs = ref 0 and gates = ref 0 in
+  Vec.iteri
+    (fun _ node ->
+      match node with
+      | Ff _ -> incr ffs
+      | Not _ | And _ | Or _ | Xor _ -> incr gates
+      | Input _ | Const _ -> ())
+    t.nodes;
+  { inputs = t.n_inputs; flip_flops = !ffs; gates = !gates; depth = t.depth_ }

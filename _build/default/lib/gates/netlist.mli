@@ -1,0 +1,86 @@
+(** Synchronous gate-level netlists.
+
+    The paper's distributed architecture is hardware: every switchbox
+    hosts a small finite-state machine built from flip-flops over port
+    marking bits, and scheduling speed "is limited only by the switching
+    delay of logic gates". This module provides the substrate to make
+    that concrete: a builder for combinational gates and D flip-flops, a
+    cycle-accurate simulator (evaluate combinational logic in
+    topological order, then latch), and structural metrics — gate count
+    and combinational depth — which are exactly the two quantities of
+    the paper's cost claim ("very low gate count and a very short token
+    propagation delay").
+
+    Combinational cycles are rejected at {!finalize} time; feedback must
+    pass through a flip-flop, as in any synchronous design. *)
+
+type t
+(** A netlist under construction, and after {!finalize} a simulatable
+    circuit with latched state. *)
+
+type signal
+(** A boolean-valued wire. *)
+
+val create : unit -> t
+
+(** {1 Construction} *)
+
+val input : t -> signal
+(** A primary input; its value is supplied to every {!step}. *)
+
+val const : t -> bool -> signal
+val not_ : t -> signal -> signal
+val and_ : t -> signal -> signal -> signal
+val or_ : t -> signal -> signal -> signal
+val xor_ : t -> signal -> signal -> signal
+val and_list : t -> signal list -> signal
+(** Conjunction of a list ([const true] when empty), built as a tree. *)
+
+val or_list : t -> signal list -> signal
+val mux : t -> sel:signal -> signal -> signal -> signal
+(** [mux ~sel a b] is [a] when [sel] is low, [b] when high. *)
+
+val ff : ?init:bool -> t -> signal
+(** A D flip-flop {e output}; its data input is wired later with
+    {!drive}. [init] is the power-on value (default false). *)
+
+val drive : t -> signal -> signal -> unit
+(** [drive t q d] connects signal [d] to the data input of the flip-flop
+    whose output is [q]. Every flip-flop must be driven exactly once
+    before {!finalize}; raises [Invalid_argument] otherwise. *)
+
+val output : t -> string -> signal -> unit
+(** Registers a named output. Names must be unique. *)
+
+(** {1 Simulation} *)
+
+val finalize : t -> unit
+(** Checks the netlist (all flip-flops driven, no combinational cycle)
+    and freezes it. Construction functions raise after finalization. *)
+
+val step : t -> bool array -> unit
+(** One clock: evaluate combinational logic with the given primary-input
+    values (indexed in {!input} creation order) and latch every
+    flip-flop. Requires {!finalize}. *)
+
+val read : t -> string -> bool
+(** Value of a named output as of the last {!step}'s combinational
+    evaluation. *)
+
+val read_ff : t -> signal -> bool
+(** Current latched value of a flip-flop output signal. *)
+
+val reset : t -> unit
+(** Returns every flip-flop to its power-on value. *)
+
+(** {1 Metrics} *)
+
+type stats = {
+  inputs : int;
+  flip_flops : int;
+  gates : int;        (** 2-input gate count (NOT counted as one) *)
+  depth : int;        (** longest combinational path, in gate delays *)
+}
+
+val stats : t -> stats
+(** Requires {!finalize}. *)

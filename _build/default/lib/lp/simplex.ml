@@ -1,0 +1,263 @@
+type var = int
+type cmp = Le | Ge | Eq
+type status = Optimal | Infeasible | Unbounded
+
+type solution = { status : status; objective : float; values : float array }
+
+type row = { terms : (var * float) list; cmp : cmp; rhs : float }
+
+type t = {
+  mutable nvars : int;
+  mutable objs : (var * float) list;   (* sparse objective, latest wins *)
+  mutable names : (var * string) list;
+  mutable rows : row list;             (* reversed *)
+}
+
+let create () = { nvars = 0; objs = []; names = []; rows = [] }
+
+let add_var ?(obj = 0.) ?name t =
+  let v = t.nvars in
+  t.nvars <- t.nvars + 1;
+  if obj <> 0. then t.objs <- (v, obj) :: t.objs;
+  (match name with Some n -> t.names <- (v, n) :: t.names | None -> ());
+  v
+
+let num_vars t = t.nvars
+
+let add_constraint t terms cmp rhs =
+  List.iter
+    (fun (v, _) ->
+      if v < 0 || v >= t.nvars then invalid_arg "Simplex.add_constraint: bad var")
+    terms;
+  t.rows <- { terms; cmp; rhs } :: t.rows
+
+let set_obj t v c =
+  if v < 0 || v >= t.nvars then invalid_arg "Simplex.set_obj: bad var";
+  t.objs <- (v, c) :: t.objs
+
+let obj_array t ~maximize =
+  let c = Array.make t.nvars 0. in
+  (* objs is newest-first; apply oldest-first so the newest wins. *)
+  List.iter (fun (v, x) -> c.(v) <- x) (List.rev t.objs);
+  if maximize then Array.map (fun x -> -.x) c else c
+
+let eps = 1e-9
+
+(* Tableau layout: [m] rows by [total + 1] columns, last column = rhs.
+   Columns: structural vars, then slack/surplus, then artificials.
+   [basis.(i)] is the column basic in row i. Pivoting is classic
+   Gauss-Jordan on the tableau; both phase objectives are carried as
+   separate cost rows reduced against the current basis. *)
+let solve ?(maximize = false) t =
+  let rows = Array.of_list (List.rev t.rows) in
+  let m = Array.length rows in
+  let n = t.nvars in
+  (* Normalize rhs >= 0. *)
+  let norm =
+    Array.map
+      (fun r ->
+        if r.rhs < 0. then
+          { terms = List.map (fun (v, a) -> (v, -.a)) r.terms;
+            cmp = (match r.cmp with Le -> Ge | Ge -> Le | Eq -> Eq);
+            rhs = -.r.rhs }
+        else r)
+      rows
+  in
+  let n_slack = Array.fold_left (fun acc r -> match r.cmp with Le | Ge -> acc + 1 | Eq -> acc) 0 norm in
+  let n_art =
+    Array.fold_left (fun acc r -> match r.cmp with Ge | Eq -> acc + 1 | Le -> acc) 0 norm
+  in
+  let total = n + n_slack + n_art in
+  let tab = Array.make_matrix m (total + 1) 0. in
+  let basis = Array.make m (-1) in
+  let art_cols = ref [] in
+  let next_slack = ref n and next_art = ref (n + n_slack) in
+  Array.iteri
+    (fun i r ->
+      List.iter (fun (v, a) -> tab.(i).(v) <- tab.(i).(v) +. a) r.terms;
+      tab.(i).(total) <- r.rhs;
+      (match r.cmp with
+      | Le ->
+        let s = !next_slack in
+        incr next_slack;
+        tab.(i).(s) <- 1.;
+        basis.(i) <- s
+      | Ge ->
+        let s = !next_slack in
+        incr next_slack;
+        tab.(i).(s) <- -1.;
+        let a = !next_art in
+        incr next_art;
+        tab.(i).(a) <- 1.;
+        basis.(i) <- a;
+        art_cols := a :: !art_cols
+      | Eq ->
+        let a = !next_art in
+        incr next_art;
+        tab.(i).(a) <- 1.;
+        basis.(i) <- a;
+        art_cols := a :: !art_cols))
+    norm;
+  let is_art = Array.make total false in
+  List.iter (fun a -> is_art.(a) <- true) !art_cols;
+
+  let pivot ~row ~col =
+    let p = tab.(row).(col) in
+    let trow = tab.(row) in
+    for j = 0 to total do
+      trow.(j) <- trow.(j) /. p
+    done;
+    for i = 0 to m - 1 do
+      if i <> row then begin
+        let f = tab.(i).(col) in
+        if abs_float f > 0. then begin
+          let ti = tab.(i) in
+          for j = 0 to total do
+            ti.(j) <- ti.(j) -. (f *. trow.(j))
+          done
+        end
+      end
+    done;
+    basis.(row) <- col
+  in
+
+  (* Reduced cost row for objective vector c over allowed columns. *)
+  let reduced_costs c ~allowed =
+    let z = Array.make (total + 1) 0. in
+    for j = 0 to total - 1 do
+      if allowed j then z.(j) <- (if j < Array.length c then c.(j) else 0.)
+    done;
+    (* Subtract c_B * B^-1 A (rows of tab are already B^-1 A). *)
+    for i = 0 to m - 1 do
+      let cb = if basis.(i) < Array.length c then c.(basis.(i)) else 0. in
+      let cb = if allowed basis.(i) then cb else 0. in
+      if cb <> 0. then
+        for j = 0 to total do
+          z.(j) <- z.(j) -. (cb *. tab.(i).(j))
+        done
+    done;
+    z
+  in
+
+  (* Bland's rule primal simplex on objective c (minimization). [allowed]
+     masks columns that may enter (artificials are banned in phase 2).
+     Returns `Optimal or `Unbounded. *)
+  let run_simplex c ~allowed =
+    let rec step () =
+      let z = reduced_costs c ~allowed in
+      (* Entering column: smallest index with z_j < -eps. *)
+      let enter = ref (-1) in
+      (try
+         for j = 0 to total - 1 do
+           if allowed j && z.(j) < -.eps then begin
+             enter := j;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      if !enter < 0 then `Optimal
+      else begin
+        let col = !enter in
+        (* Ratio test, Bland tie-break on basis variable index. *)
+        let best = ref (-1) and best_ratio = ref infinity in
+        for i = 0 to m - 1 do
+          if tab.(i).(col) > eps then begin
+            let ratio = tab.(i).(total) /. tab.(i).(col) in
+            if
+              ratio < !best_ratio -. eps
+              || (abs_float (ratio -. !best_ratio) <= eps
+                  && !best >= 0
+                  && basis.(i) < basis.(!best))
+            then begin
+              best := i;
+              best_ratio := ratio
+            end
+          end
+        done;
+        if !best < 0 then `Unbounded
+        else begin
+          pivot ~row:!best ~col;
+          step ()
+        end
+      end
+    in
+    step ()
+  in
+
+  let extract_values () =
+    let vals = Array.make n 0. in
+    for i = 0 to m - 1 do
+      if basis.(i) < n then vals.(basis.(i)) <- tab.(i).(total)
+    done;
+    vals
+  in
+
+  let c = obj_array t ~maximize in
+  let finish status =
+    let values = extract_values () in
+    let objective =
+      let s = ref 0. in
+      Array.iteri (fun v x -> s := !s +. (c.(v) *. x)) values;
+      if maximize then -. !s else !s
+    in
+    { status; objective; values }
+  in
+
+  if n_art = 0 then begin
+    match run_simplex c ~allowed:(fun j -> not is_art.(j)) with
+    | `Optimal -> finish Optimal
+    | `Unbounded -> finish Unbounded
+  end
+  else begin
+    (* Phase 1: minimize the sum of artificial variables. *)
+    let c1 = Array.make total 0. in
+    for j = 0 to total - 1 do
+      if is_art.(j) then c1.(j) <- 1.
+    done;
+    (match run_simplex c1 ~allowed:(fun _ -> true) with
+    | `Unbounded -> finish Infeasible (* cannot happen: phase 1 is bounded *)
+    | `Optimal ->
+      let phase1_obj =
+        let s = ref 0. in
+        for i = 0 to m - 1 do
+          if is_art.(basis.(i)) then s := !s +. tab.(i).(total)
+        done;
+        !s
+      in
+      if phase1_obj > 1e-6 then finish Infeasible
+      else begin
+        (* Drive remaining basic artificials out where possible. *)
+        for i = 0 to m - 1 do
+          if is_art.(basis.(i)) then begin
+            let found = ref (-1) in
+            (try
+               for j = 0 to total - 1 do
+                 if (not is_art.(j)) && abs_float tab.(i).(j) > eps then begin
+                   found := j;
+                   raise Exit
+                 end
+               done
+             with Exit -> ());
+            if !found >= 0 then pivot ~row:i ~col:!found
+            (* else: redundant row, artificial stays basic at value 0. *)
+          end
+        done;
+        match run_simplex c ~allowed:(fun j -> not is_art.(j)) with
+        | `Optimal -> finish Optimal
+        | `Unbounded -> finish Unbounded
+      end)
+  end
+
+let pp fmt t =
+  let name v =
+    match List.assoc_opt v t.names with
+    | Some n -> n
+    | None -> Printf.sprintf "x%d" v
+  in
+  Format.fprintf fmt "lp: %d vars, %d rows@." t.nvars (List.length t.rows);
+  List.iter
+    (fun r ->
+      List.iter (fun (v, a) -> Format.fprintf fmt "%+g %s " a (name v)) r.terms;
+      let op = match r.cmp with Le -> "<=" | Ge -> ">=" | Eq -> "=" in
+      Format.fprintf fmt "%s %g@." op r.rhs)
+    (List.rev t.rows)

@@ -1,0 +1,50 @@
+(** Dense two-phase primal simplex solver for linear programs.
+
+    Built from scratch for the heterogeneous-MRSIN scheduling problems:
+    the paper (Section III-D) formulates multicommodity maximum-flow and
+    multicommodity minimum-cost-flow as linear programs and notes that
+    the Simplex Method solves them in empirically linear time (McCall).
+    The solver handles [<=], [>=] and [=] rows, non-negative variables,
+    and uses Bland's rule to preclude cycling. Problem sizes here are a
+    few hundred rows/columns, for which a dense tableau is appropriate.
+
+    This is a general LP solver: the multicommodity builder in
+    {!Rsin_core.Hetero} is just one client, and the test suite validates
+    it against combinatorial max-flow/min-cost solutions. *)
+
+type t
+(** A model under construction. *)
+
+type var = int
+(** Variable handle (dense, starting at 0). *)
+
+type cmp = Le | Ge | Eq
+
+type status = Optimal | Infeasible | Unbounded
+
+type solution = {
+  status : status;
+  objective : float;   (** meaningful only when [status = Optimal] *)
+  values : float array; (** value per variable, indexed by [var] *)
+}
+
+val create : unit -> t
+
+val add_var : ?obj:float -> ?name:string -> t -> var
+(** New non-negative variable with objective coefficient [obj]
+    (default 0). [name] is used only in {!pp}. *)
+
+val num_vars : t -> int
+
+val add_constraint : t -> (var * float) list -> cmp -> float -> unit
+(** [add_constraint t terms cmp rhs] adds [sum terms cmp rhs]. Repeated
+    variables in [terms] are summed. *)
+
+val set_obj : t -> var -> float -> unit
+(** Overrides the objective coefficient of a variable. *)
+
+val solve : ?maximize:bool -> t -> solution
+(** Solves the model (default: minimize). The model is not consumed and
+    can be re-solved after adding constraints. *)
+
+val pp : Format.formatter -> t -> unit

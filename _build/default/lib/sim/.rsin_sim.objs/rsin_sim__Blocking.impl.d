@@ -1,0 +1,1 @@
+lib/sim/blocking.ml: List Rsin_core Rsin_distributed Rsin_topology Rsin_util Workload

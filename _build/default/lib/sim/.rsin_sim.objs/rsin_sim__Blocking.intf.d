@@ -1,0 +1,1 @@
+lib/sim/blocking.mli: Rsin_topology Rsin_util

@@ -1,0 +1,1 @@
+lib/sim/dynamic.ml: Array List Rsin_core Rsin_distributed Rsin_topology Rsin_util

@@ -1,0 +1,1 @@
+lib/sim/dynamic.mli: Rsin_topology Rsin_util

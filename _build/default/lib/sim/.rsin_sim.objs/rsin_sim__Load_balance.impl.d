@@ -1,0 +1,1 @@
+lib/sim/load_balance.ml: Array Fun List Rsin_core Rsin_topology Rsin_util

@@ -1,0 +1,1 @@
+lib/sim/load_balance.mli: Rsin_topology Rsin_util

@@ -1,0 +1,1 @@
+lib/sim/packet_net.ml: Array Hashtbl List Queue Rsin_topology Rsin_util

@@ -1,0 +1,1 @@
+lib/sim/packet_net.mli: Rsin_topology Rsin_util

@@ -1,0 +1,1 @@
+lib/sim/taskgraph.ml: Array Hashtbl List Option Rsin_core Rsin_topology Rsin_util

@@ -1,0 +1,1 @@
+lib/sim/taskgraph.mli: Rsin_topology Rsin_util

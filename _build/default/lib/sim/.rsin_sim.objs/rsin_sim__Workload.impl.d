@@ -1,0 +1,1 @@
+lib/sim/workload.ml: Array List Rsin_core Rsin_topology Rsin_util

@@ -1,0 +1,1 @@
+lib/sim/workload.mli: Rsin_core Rsin_topology Rsin_util

@@ -1,0 +1,148 @@
+module Prng = Rsin_util.Prng
+module Stats = Rsin_util.Stats
+module Network = Rsin_topology.Network
+module Transform1 = Rsin_core.Transform1
+module Heuristic = Rsin_core.Heuristic
+
+type params = {
+  arrival_prob : float;
+  transmission_time : int;
+  mean_service : float;
+  slots : int;
+  warmup : int;
+}
+
+type scheduler = Optimal | First_fit | Distributed
+
+type metrics = {
+  throughput : float;
+  offered_load : float;
+  resource_utilization : float;
+  mean_queue : float;
+  mean_wait : float;
+  completed : int;
+  blocked_cycle_fraction : float;
+  cycles_run : int;
+  futile_cycle_fraction : float;
+  scheduling_clocks : int;
+}
+
+type proc_state = {
+  mutable queue : int list; (* arrival slots of queued tasks, oldest first *)
+  mutable transmitting : (int * int) option; (* circuit id, release slot *)
+}
+
+type res_state = { mutable busy_until : int (* -1 = free *) }
+
+let run ?(scheduler = Optimal) ?(cycle_threshold = 1) rng net params =
+  if cycle_threshold < 1 then invalid_arg "Dynamic.run: cycle_threshold";
+  if params.arrival_prob < 0. || params.arrival_prob > 1. then
+    invalid_arg "Dynamic.run: arrival_prob";
+  if params.transmission_time < 1 then invalid_arg "Dynamic.run: transmission_time";
+  if params.mean_service < 1. then invalid_arg "Dynamic.run: mean_service";
+  let net = Network.copy net in
+  Network.clear_circuits net;
+  let np = Network.n_procs net and nr = Network.n_res net in
+  let procs = Array.init np (fun _ -> { queue = []; transmitting = None }) in
+  let ress = Array.init nr (fun _ -> { busy_until = -1 }) in
+  (* Geometric service with the requested mean: success prob 1/mean,
+     support >= 1. *)
+  let service_time () = 1 + Prng.geometric rng (1. /. params.mean_service) in
+  let arrivals = ref 0 and completed = ref 0 in
+  let waits = Stats.accum () and queue_depth = Stats.accum () in
+  let busy_frac = Stats.accum () in
+  let cycles = ref 0 and blocked_cycles = ref 0 and futile_cycles = ref 0 in
+  let sched_clocks = ref 0 in
+  let horizon = params.warmup + params.slots in
+  let measuring slot = slot >= params.warmup in
+  for slot = 0 to horizon - 1 do
+    (* 1. Task arrivals. *)
+    for p = 0 to np - 1 do
+      if Prng.bernoulli rng params.arrival_prob then begin
+        procs.(p).queue <- procs.(p).queue @ [ slot ];
+        if measuring slot then incr arrivals
+      end
+    done;
+    (* 2. Transmissions that finish release their circuits. *)
+    for p = 0 to np - 1 do
+      match procs.(p).transmitting with
+      | Some (circuit, release) when release <= slot ->
+        Network.release net circuit;
+        procs.(p).transmitting <- None
+      | Some _ | None -> ()
+    done;
+    (* 3. Resources that finish service become free. *)
+    for r = 0 to nr - 1 do
+      if ress.(r).busy_until >= 0 && ress.(r).busy_until <= slot then begin
+        ress.(r).busy_until <- -1;
+        if measuring slot then incr completed
+      end
+    done;
+    (* 4. Scheduling cycle over pending requests and free resources. *)
+    let requests =
+      List.filter
+        (fun p -> procs.(p).queue <> [] && procs.(p).transmitting = None)
+        (List.init np (fun i -> i))
+    in
+    let free =
+      List.filter (fun r -> ress.(r).busy_until < 0) (List.init nr (fun i -> i))
+    in
+    if
+      List.length requests >= cycle_threshold
+      && List.length free >= min cycle_threshold (List.length requests)
+      && requests <> [] && free <> []
+    then begin
+      incr cycles;
+      let mapping, circuits =
+        match scheduler with
+        | Optimal ->
+          let o = Transform1.schedule net ~requests ~free in
+          (o.Transform1.mapping, o.Transform1.circuits)
+        | First_fit ->
+          let o = Heuristic.schedule net ~requests ~free Heuristic.First_fit in
+          (o.Heuristic.mapping, o.Heuristic.circuits)
+        | Distributed ->
+          let module Token_sim = Rsin_distributed.Token_sim in
+          let rep = Token_sim.run net ~requests ~free in
+          sched_clocks := !sched_clocks + rep.Token_sim.total_clocks;
+          (rep.Token_sim.mapping, rep.Token_sim.circuits)
+      in
+      if List.length mapping < min (List.length requests) (List.length free)
+      then incr blocked_cycles;
+      if mapping = [] then incr futile_cycles;
+      List.iter2
+        (fun (p, r) (_p, links) ->
+          let id = Network.establish net links in
+          (match procs.(p).queue with
+          | arrival :: rest ->
+            procs.(p).queue <- rest;
+            if measuring slot then
+              Stats.observe waits (float_of_int (slot - arrival))
+          | [] -> assert false);
+          procs.(p).transmitting <- Some (id, slot + params.transmission_time);
+          ress.(r).busy_until <- slot + params.transmission_time + service_time ())
+        mapping circuits
+    end;
+    (* 5. Per-slot measurements. *)
+    if measuring slot then begin
+      let busy = Array.fold_left (fun acc r -> if r.busy_until >= 0 then acc + 1 else acc) 0 ress in
+      Stats.observe busy_frac (float_of_int busy /. float_of_int nr);
+      let queued = Array.fold_left (fun acc p -> acc + List.length p.queue) 0 procs in
+      Stats.observe queue_depth (float_of_int queued /. float_of_int np)
+    end
+  done;
+  let slots = float_of_int params.slots in
+  { throughput = float_of_int !completed /. slots;
+    offered_load = float_of_int !arrivals /. slots;
+    resource_utilization = Stats.mean busy_frac;
+    mean_queue = Stats.mean queue_depth;
+    mean_wait = (if Stats.count waits = 0 then nan else Stats.mean waits);
+    completed = !completed;
+    blocked_cycle_fraction =
+      (if !cycles = 0 then 0.
+       else float_of_int !blocked_cycles /. float_of_int !cycles);
+    cycles_run = !cycles;
+    futile_cycle_fraction =
+      (if !cycles = 0 then 0.
+       else float_of_int !futile_cycles /. float_of_int !cycles);
+    scheduling_clocks = !sched_clocks }

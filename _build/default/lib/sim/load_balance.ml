@@ -1,0 +1,102 @@
+module Prng = Rsin_util.Prng
+module Stats = Rsin_util.Stats
+module Network = Rsin_topology.Network
+module Transform1 = Rsin_core.Transform1
+
+type params = {
+  slots : int;
+  warmup : int;
+  hi : int;
+  lo : int;
+  hot_workers : int;
+  hot_rate : float;
+  cold_rate : float;
+  service_rate : float;
+}
+
+type metrics = {
+  throughput : float;
+  mean_queue : float;
+  max_queue : int;
+  queue_stddev : float;
+  migrations : int;
+  migration_blocked : int;
+}
+
+let run ?(balancing = true) rng net params =
+  let n = Network.n_procs net in
+  if Network.n_res net <> n then
+    invalid_arg "Load_balance.run: need equal processor and resource counts";
+  if params.hi <= params.lo then invalid_arg "Load_balance.run: hi must exceed lo";
+  if params.hot_workers < 0 || params.hot_workers > n then
+    invalid_arg "Load_balance.run: hot_workers";
+  if params.service_rate <= 0. || params.service_rate > 1. then
+    invalid_arg "Load_balance.run: service_rate";
+  let net = Network.copy net in
+  Network.clear_circuits net;
+  let queue = Array.make n 0 in
+  let served = ref 0 and migrations = ref 0 and blocked = ref 0 in
+  let depth_acc = Stats.accum () and spread_acc = Stats.accum () in
+  let max_queue = ref 0 in
+  let horizon = params.warmup + params.slots in
+  for slot = 0 to horizon - 1 do
+    let measuring = slot >= params.warmup in
+    (* arrivals: the first hot_workers are the hot spot *)
+    for w = 0 to n - 1 do
+      let rate = if w < params.hot_workers then params.hot_rate else params.cold_rate in
+      if Prng.bernoulli rng rate then queue.(w) <- queue.(w) + 1
+    done;
+    (* service: a worker finishes its task with probability
+       service_rate each slot *)
+    for w = 0 to n - 1 do
+      if queue.(w) > 0 && Prng.bernoulli rng params.service_rate then begin
+        queue.(w) <- queue.(w) - 1;
+        if measuring then incr served
+      end
+    done;
+    (* balancing cycle: overloaded workers push one task each to
+       underloaded ones; migrations are circuits of the same slot, so
+       the network is free each cycle *)
+    if balancing then begin
+      let requests =
+        List.filter (fun w -> queue.(w) > params.hi) (List.init n Fun.id)
+      in
+      let free =
+        List.filter (fun w -> queue.(w) < params.lo) (List.init n Fun.id)
+      in
+      (* exclude self-migration targets that are also requesting (hi>lo
+         guarantees disjointness already) *)
+      if requests <> [] && free <> [] then begin
+        let o = Transform1.schedule net ~requests ~free in
+        let optimal = min (List.length requests) (List.length free) in
+        if measuring then blocked := !blocked + (optimal - o.Transform1.allocated);
+        List.iter
+          (fun (src, dst) ->
+            if queue.(src) > 0 then begin
+              queue.(src) <- queue.(src) - 1;
+              queue.(dst) <- queue.(dst) + 1;
+              if measuring then incr migrations
+            end)
+          o.Transform1.mapping
+      end
+    end;
+    if measuring then begin
+      let total = Array.fold_left ( + ) 0 queue in
+      Stats.observe depth_acc (float_of_int total /. float_of_int n);
+      let mean = float_of_int total /. float_of_int n in
+      let var =
+        Array.fold_left
+          (fun acc q -> acc +. ((float_of_int q -. mean) ** 2.))
+          0. queue
+        /. float_of_int n
+      in
+      Stats.observe spread_acc (sqrt var);
+      Array.iter (fun q -> if q > !max_queue then max_queue := q) queue
+    end
+  done;
+  { throughput = float_of_int !served /. float_of_int params.slots;
+    mean_queue = Stats.mean depth_acc;
+    max_queue = !max_queue;
+    queue_stddev = Stats.mean spread_acc;
+    migrations = !migrations;
+    migration_blocked = !blocked }

@@ -1,0 +1,49 @@
+(** Load balancing over an RSIN (paper Section I, third scenario).
+
+    "In a resource sharing system with load balancing, processors are
+    considered as resources; thus, requests generated are queued at the
+    processors as well as the resources. There may be an imbalance of
+    workload at the resources, and load balancing schemes are used to
+    redistribute requests among resources."
+
+    This module simulates that system: [n] workers sit on both sides of
+    the network (worker [i] is processor port [i] and resource port [i]);
+    tasks arrive at workers with {e skewed} rates (hot spots), every
+    worker serves one task per slot from its queue, and each slot the
+    balancer lets overloaded workers (queue above [hi]) push one queued
+    task through the network to an underloaded worker (queue below
+    [lo]), using the destination-free optimal scheduler — a migration is
+    a circuit like any other request. Self-migration is excluded. *)
+
+type params = {
+  slots : int;
+  warmup : int;
+  hi : int;            (** a worker requests migration above this queue depth *)
+  lo : int;            (** a worker accepts migrations below this depth *)
+  hot_workers : int;   (** number of workers receiving the hot arrival rate *)
+  hot_rate : float;    (** per-slot arrival probability at hot workers *)
+  cold_rate : float;   (** per-slot arrival probability elsewhere *)
+  service_rate : float;
+      (** per-slot probability a worker finishes its current task; a hot
+          worker with [hot_rate > service_rate] is unstable on its own
+          and survives only through migration *)
+}
+
+type metrics = {
+  throughput : float;       (** tasks served per slot, all workers *)
+  mean_queue : float;       (** mean queue depth per worker *)
+  max_queue : int;          (** worst backlog observed after warmup *)
+  queue_stddev : float;     (** imbalance: stddev of per-slot queue depths *)
+  migrations : int;         (** tasks moved through the network *)
+  migration_blocked : int;  (** migration grants lost to network blockage *)
+}
+
+val run :
+  ?balancing:bool ->
+  Rsin_util.Prng.t ->
+  Rsin_topology.Network.t ->
+  params ->
+  metrics
+(** [run rng net params] simulates the system; [~balancing:false]
+    disables migrations (the baseline). The network must have equal
+    processor and resource counts (the workers). *)

@@ -1,0 +1,200 @@
+module Prng = Rsin_util.Prng
+module Stats = Rsin_util.Stats
+module Network = Rsin_topology.Network
+module Builders = Rsin_topology.Builders
+
+type params = {
+  arrival_prob : float;
+  packets_per_task : int;
+  mean_service : float;
+  buffer_capacity : int;
+  slots : int;
+  warmup : int;
+}
+
+type metrics = {
+  throughput : float;
+  offered_load : float;
+  serving_utilization : float;
+  reserved_utilization : float;
+  mean_response : float;
+  mean_queue : float;
+  completed : int;
+}
+
+type packet = { dest : int; task : int }
+
+(* Self-routing table: out_port.(box).(dest). Built by tracing the
+   unique path from every processor to every resource on the empty
+   network and checking that each box always exits toward a given
+   destination through the same port (the delta property). *)
+let build_routing net =
+  let nb = Network.n_boxes net and nr = Network.n_res net in
+  let table = Array.make_matrix nb nr (-1) in
+  let port_of_out b l =
+    let ports = Network.box_out_links net b in
+    let rec find i = if ports.(i) = l then i else find (i + 1) in
+    find 0
+  in
+  for p = 0 to Network.n_procs net - 1 do
+    for r = 0 to nr - 1 do
+      match Builders.route_unique net ~proc:p ~res:r with
+      | None -> invalid_arg "Packet_net: network lacks full access"
+      | Some links ->
+        List.iter
+          (fun l ->
+            match Network.link_src net l with
+            | Network.Box_out (b, _) ->
+              let port = port_of_out b l in
+              if table.(b).(r) = -1 then table.(b).(r) <- port
+              else if table.(b).(r) <> port then
+                invalid_arg "Packet_net: network is not self-routing"
+            | Network.Proc _ | Network.Res _ | Network.Box_in _ -> ())
+          links
+    done
+  done;
+  table
+
+type res_state = {
+  mutable reserved_by : int;    (* task id or -1 *)
+  mutable packets_in : int;
+  mutable busy_until : int;     (* -1 when not serving *)
+}
+
+let run rng net params =
+  if params.arrival_prob < 0. || params.arrival_prob > 1. then
+    invalid_arg "Packet_net.run: arrival_prob";
+  if params.packets_per_task < 1 then invalid_arg "Packet_net.run: packets_per_task";
+  if params.mean_service < 1. then invalid_arg "Packet_net.run: mean_service";
+  if params.buffer_capacity < 1 then invalid_arg "Packet_net.run: buffer_capacity";
+  let routing = build_routing net in
+  let np = Network.n_procs net and nr = Network.n_res net in
+  let nl = Network.n_links net in
+  (* per-link FIFO at the receiving end *)
+  let fifo : packet Queue.t array = Array.init nl (fun _ -> Queue.create ()) in
+  let space l = Queue.length fifo.(l) < params.buffer_capacity in
+  let ress = Array.init nr (fun _ -> { reserved_by = -1; packets_in = 0; busy_until = -1 }) in
+  (* processor state: queued task arrival slots; packets left of the
+     task currently being injected, with its id and destination *)
+  let queues : int Queue.t array = Array.init np (fun _ -> Queue.create ()) in
+  let injecting = Array.make np None in (* (task, dest, packets left) *)
+  let arrival_of_task = Hashtbl.create 64 in
+  let next_task = ref 0 in
+  let service_time () = 1 + Prng.geometric rng (1. /. params.mean_service) in
+  let arrivals = ref 0 and completed = ref 0 in
+  let responses = Stats.accum () and queue_depth = Stats.accum () in
+  let serving_acc = Stats.accum () and reserved_acc = Stats.accum () in
+  let horizon = params.warmup + params.slots in
+  let measuring s = s >= params.warmup in
+  (* stage-ordered boxes, downstream first so a packet moves at most one
+     hop per slot and freed space propagates like a pipeline *)
+  let boxes_downstream_first =
+    List.concat
+      (List.rev
+         (List.init (Network.stages net) (fun s -> Network.boxes_in_stage net s)))
+  in
+  for s = 0 to horizon - 1 do
+    (* 1. arrivals *)
+    for p = 0 to np - 1 do
+      if Prng.bernoulli rng params.arrival_prob then begin
+        let id = !next_task in
+        incr next_task;
+        Hashtbl.replace arrival_of_task id s;
+        Queue.push id queues.(p);
+        if measuring s then incr arrivals
+      end
+    done;
+    (* 2. service completions *)
+    Array.iteri
+      (fun _r st ->
+        if st.busy_until >= 0 && st.busy_until <= s then begin
+          (match Hashtbl.find_opt arrival_of_task st.reserved_by with
+          | Some t0 when measuring s ->
+            incr completed;
+            Stats.observe responses (float_of_int (s - t0))
+          | Some _ -> incr completed
+          | None -> ());
+          Hashtbl.remove arrival_of_task st.reserved_by;
+          st.reserved_by <- -1;
+          st.packets_in <- 0;
+          st.busy_until <- -1
+        end)
+      ress;
+    (* 3. packet arrivals at resources (head of the resource link FIFO) *)
+    for r = 0 to nr - 1 do
+      let l = Network.res_link net r in
+      if not (Queue.is_empty fifo.(l)) then begin
+        let pkt = Queue.pop fifo.(l) in
+        let st = ress.(pkt.dest) in
+        st.packets_in <- st.packets_in + 1;
+        if st.packets_in = params.packets_per_task then
+          st.busy_until <- s + service_time ()
+      end
+    done;
+    (* 4. box forwarding, downstream stages first; fixed priority by
+       input port (head-of-line blocking on conflicts) *)
+    List.iter
+      (fun b ->
+        let taken = Array.make (Array.length (Network.box_out_links net b)) false in
+        Array.iter
+          (fun in_l ->
+            if not (Queue.is_empty fifo.(in_l)) then begin
+              let pkt = Queue.peek fifo.(in_l) in
+              let port = routing.(b).(pkt.dest) in
+              let out_l = (Network.box_out_links net b).(port) in
+              if (not taken.(port)) && space out_l then begin
+                ignore (Queue.pop fifo.(in_l));
+                Queue.push pkt fifo.(out_l);
+                taken.(port) <- true
+              end
+            end)
+          (Network.box_in_links net b))
+      boxes_downstream_first;
+    (* 5. injection: bind new tasks to random unreserved free resources,
+       then push one packet per processor if the entry FIFO has room *)
+    for p = 0 to np - 1 do
+      (match injecting.(p) with
+      | None when not (Queue.is_empty queues.(p)) ->
+        let candidates = ref [] in
+        Array.iteri
+          (fun r st -> if st.reserved_by = -1 then candidates := r :: !candidates)
+          ress;
+        if !candidates <> [] then begin
+          let arr = Array.of_list !candidates in
+          let r = arr.(Prng.int rng (Array.length arr)) in
+          let task = Queue.pop queues.(p) in
+          ress.(r).reserved_by <- task;
+          injecting.(p) <- Some (task, r, params.packets_per_task)
+        end
+      | Some _ | None -> ());
+      match injecting.(p) with
+      | Some (task, dest, left) when left > 0 ->
+        let entry = Network.proc_link net p in
+        if space entry then begin
+          Queue.push { dest; task } fifo.(entry);
+          injecting.(p) <- (if left = 1 then None else Some (task, dest, left - 1))
+        end
+      | Some _ | None -> ()
+    done;
+    (* 6. measurements *)
+    if measuring s then begin
+      let serving = ref 0 and reserved = ref 0 in
+      Array.iter
+        (fun st ->
+          if st.busy_until >= 0 then incr serving;
+          if st.reserved_by >= 0 then incr reserved)
+        ress;
+      Stats.observe serving_acc (float_of_int !serving /. float_of_int nr);
+      Stats.observe reserved_acc (float_of_int !reserved /. float_of_int nr);
+      let q = Array.fold_left (fun acc q -> acc + Queue.length q) 0 queues in
+      Stats.observe queue_depth (float_of_int q /. float_of_int np)
+    end
+  done;
+  let slots = float_of_int params.slots in
+  { throughput = float_of_int !completed /. slots;
+    offered_load = float_of_int !arrivals /. slots;
+    serving_utilization = Stats.mean serving_acc;
+    reserved_utilization = Stats.mean reserved_acc;
+    mean_response = (if Stats.count responses = 0 then nan else Stats.mean responses);
+    mean_queue = Stats.mean queue_depth;
+    completed = !completed }

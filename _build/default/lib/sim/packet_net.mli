@@ -1,0 +1,52 @@
+(** Packet-switched baseline: a buffered, address-mapped MIN.
+
+    Paper Section II justifies circuit switching for RSINs against the
+    conventional packet-switched alternative: packets need destination
+    addresses (hence a centralized dispatcher that binds a task to a
+    free resource before it enters the network), a task "cannot be
+    processed until it is completely received", so the bound resource
+    idles while its packets trickle through the buffered network, and
+    head-of-line contention adds delay. This module implements that
+    alternative faithfully — a slotted, buffered, self-routing delta-class
+    network in the style of the buffered delta analyses the paper cites
+    (Dias & Jump) — so the circuit-vs-packet comparison (experiment E24)
+    can be measured rather than asserted.
+
+    Model: every link carries a FIFO of [buffer_capacity] packets at its
+    receiving end; one packet advances per link per slot; at a box the
+    head packets of the input FIFOs contend for the output ports chosen
+    by self-routing (lowest input port wins, losers stall — head-of-line
+    blocking); a full downstream FIFO back-pressures. Tasks arrive at
+    processors (Bernoulli per slot), are bound to a uniformly random
+    unreserved free resource at injection, are cut into
+    [packets_per_task] packets injected back-to-back, and the resource
+    starts its (geometric) service only when the last packet has
+    arrived. The self-routing table is derived from the network's
+    deterministic shortest paths; on unique-path (delta-class) networks
+    this is the classical digit-controlled routing, and on multipath
+    networks one consistent tree of routes is used. *)
+
+type params = {
+  arrival_prob : float;     (** per processor per slot *)
+  packets_per_task : int;   (** task length in packets, >= 1 *)
+  mean_service : float;     (** mean geometric service, >= 1 *)
+  buffer_capacity : int;    (** per-link FIFO depth, >= 1 *)
+  slots : int;
+  warmup : int;
+}
+
+type metrics = {
+  throughput : float;            (** tasks completed per slot *)
+  offered_load : float;
+  serving_utilization : float;   (** fraction of resources actually serving *)
+  reserved_utilization : float;  (** serving or bound-and-waiting-for-packets *)
+  mean_response : float;         (** arrival to service completion, slots *)
+  mean_queue : float;            (** tasks queued per processor *)
+  completed : int;
+}
+
+val run :
+  Rsin_util.Prng.t -> Rsin_topology.Network.t -> params -> metrics
+(** Raises [Invalid_argument] on bad parameters or a network that is not
+    self-routing (some box would need different output ports for the
+    same destination). The network is not modified. *)

@@ -1,0 +1,39 @@
+type t = { servers : int; arrival_rate : float; service_rate : float }
+
+let make ~servers ~arrival_rate ~service_rate =
+  if servers <= 0 || arrival_rate <= 0. || service_rate <= 0. then
+    invalid_arg "Queueing.make: parameters must be positive";
+  { servers; arrival_rate; service_rate }
+
+let offered_load t = t.arrival_rate /. t.service_rate
+let utilization t = offered_load t /. float_of_int t.servers
+let stable t = utilization t < 1.
+
+(* Erlang-B by the standard recurrence B(0)=1,
+   B(k) = a·B(k-1) / (k + a·B(k-1)); then
+   C = m·B / (m - a·(1 - B)). *)
+let erlang_b t =
+  let a = offered_load t in
+  let b = ref 1. in
+  for k = 1 to t.servers do
+    b := a *. !b /. (float_of_int k +. (a *. !b))
+  done;
+  !b
+
+let erlang_c t =
+  if not (stable t) then invalid_arg "Queueing.erlang_c: unstable system";
+  let a = offered_load t in
+  let m = float_of_int t.servers in
+  let b = erlang_b t in
+  m *. b /. (m -. (a *. (1. -. b)))
+
+let mean_wait t =
+  if not (stable t) then invalid_arg "Queueing.mean_wait: unstable system";
+  let m = float_of_int t.servers in
+  erlang_c t /. ((m *. t.service_rate) -. t.arrival_rate)
+
+let mean_queue_length t = t.arrival_rate *. mean_wait t
+
+let throughput t =
+  if stable t then t.arrival_rate
+  else float_of_int t.servers *. t.service_rate

@@ -1,0 +1,42 @@
+(** Analytic queueing model of the resource pool.
+
+    The paper's introduction situates RSINs against analytic performance
+    studies of resource sharing under address mapping (Rathi–Tripathi–
+    Lipovski, Fung–Torng, Marsan et al.). This module provides the
+    classical reference point: the resource pool as an M/M/m queue —
+    [m] identical resources, Poisson aggregate arrivals, exponential
+    service — with the Erlang-C delay formula. With a near-nonblocking
+    network and an optimal scheduler the dynamic simulation must
+    approach this model (experiment E19); the gap at high load measures
+    what the interconnection network itself costs. *)
+
+type t = {
+  servers : int;       (** m, the number of resources *)
+  arrival_rate : float;(** λ, tasks per slot offered to the pool *)
+  service_rate : float;(** μ, tasks per slot one resource completes *)
+}
+
+val make : servers:int -> arrival_rate:float -> service_rate:float -> t
+(** Raises [Invalid_argument] unless all parameters are positive. *)
+
+val offered_load : t -> float
+(** a = λ/μ in Erlangs. *)
+
+val utilization : t -> float
+(** ρ = λ/(mμ); the model is stable only for ρ < 1. *)
+
+val stable : t -> bool
+
+val erlang_c : t -> float
+(** Probability an arriving task must wait (all m resources busy).
+    Requires {!stable}; computed with the numerically stable recurrence
+    on the Erlang-B values. *)
+
+val mean_wait : t -> float
+(** Expected wait in queue (slots). Requires {!stable}. *)
+
+val mean_queue_length : t -> float
+(** Expected number of tasks waiting (not in service). *)
+
+val throughput : t -> float
+(** Completed tasks per slot: λ when stable, mμ when saturated. *)

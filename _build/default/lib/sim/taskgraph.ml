@@ -1,0 +1,252 @@
+module Prng = Rsin_util.Prng
+module Stats = Rsin_util.Stats
+module Network = Rsin_topology.Network
+module Builders = Rsin_topology.Builders
+module Hetero = Rsin_core.Hetero
+
+type task = {
+  id : int;
+  rtype : int;
+  service : int;
+  deps : int list;
+  home : int;
+}
+
+type t = task array
+
+let of_tasks ts =
+  let arr = Array.of_list ts in
+  Array.iteri
+    (fun i task ->
+      if task.id <> i then invalid_arg "Taskgraph.of_tasks: ids must be dense and ordered";
+      if task.service < 1 then invalid_arg "Taskgraph.of_tasks: service must be positive";
+      if task.rtype < 0 then invalid_arg "Taskgraph.of_tasks: negative type";
+      if task.home < 0 then invalid_arg "Taskgraph.of_tasks: negative home";
+      List.iter
+        (fun d ->
+          if d < 0 || d >= i then
+            invalid_arg "Taskgraph.of_tasks: deps must reference earlier tasks")
+        task.deps)
+    arr;
+  arr
+
+let random rng ~tasks ~types ~procs ~edge_prob ~mean_service =
+  if tasks < 1 || types < 1 || procs < 1 then invalid_arg "Taskgraph.random";
+  if edge_prob < 0. || edge_prob > 1. then invalid_arg "Taskgraph.random: edge_prob";
+  if mean_service < 1. then invalid_arg "Taskgraph.random: mean_service";
+  let window = 6 in
+  Array.init tasks (fun i ->
+      let deps = ref [] in
+      for d = max 0 (i - window) to i - 1 do
+        if Prng.bernoulli rng edge_prob then deps := d :: !deps
+      done;
+      { id = i;
+        rtype = Prng.int rng types;
+        service = 1 + Prng.geometric rng (1. /. mean_service);
+        deps = List.rev !deps;
+        home = Prng.int rng procs })
+
+let size g = Array.length g
+let tasks g = Array.to_list g
+
+let critical_path g =
+  let finish = Array.make (Array.length g) 0 in
+  Array.iteri
+    (fun i task ->
+      let start = List.fold_left (fun acc d -> max acc finish.(d)) 0 task.deps in
+      finish.(i) <- start + task.service)
+    g;
+  Array.fold_left max 0 finish
+
+let work_per_type g =
+  let tbl = Hashtbl.create 8 in
+  Array.iter
+    (fun task ->
+      let cur = Option.value (Hashtbl.find_opt tbl task.rtype) ~default:0 in
+      Hashtbl.replace tbl task.rtype (cur + task.service))
+    g;
+  List.sort compare (Hashtbl.fold (fun ty w acc -> (ty, w) :: acc) tbl [])
+
+type policy = Flow_scheduler | Priority_flow | Naive_mapper
+
+(* Criticality: longest service chain from each task to a sink; used as
+   the request priority under [Priority_flow]. *)
+let criticality g =
+  let n = Array.length g in
+  let succs = Array.make n [] in
+  Array.iter
+    (fun task -> List.iter (fun d -> succs.(d) <- task.id :: succs.(d)) task.deps)
+    g;
+  let crit = Array.make n 0 in
+  for i = n - 1 downto 0 do
+    let tail = List.fold_left (fun acc s -> max acc crit.(s)) 0 succs.(i) in
+    crit.(i) <- g.(i).service + tail
+  done;
+  crit
+
+type result = {
+  makespan : int;
+  completed : int;
+  resource_utilization : float;
+  mean_ready_wait : float;
+  blocked_grants : int;
+}
+
+type task_state = Waiting | Ready of int (* slot it became ready *) | Running | Done
+
+let execute ?(policy = Flow_scheduler) rng net ~pool g =
+  let n = Array.length g in
+  let net = Network.copy net in
+  Network.clear_circuits net;
+  let np = Network.n_procs net in
+  Array.iter
+    (fun task ->
+      if task.home >= np then invalid_arg "Taskgraph.execute: home out of range";
+      if not (List.exists (fun (_, ty) -> ty = task.rtype) pool) then
+        failwith "Taskgraph.execute: no resource of a required type")
+    g;
+  List.iter
+    (fun (port, _) ->
+      if port < 0 || port >= Network.n_res net then
+        invalid_arg "Taskgraph.execute: bad resource port")
+    pool;
+  let state = Array.make n Waiting in
+  let remaining_deps = Array.map (fun task -> List.length task.deps) g in
+  let succs = Array.make n [] in
+  Array.iter
+    (fun task -> List.iter (fun d -> succs.(d) <- task.id :: succs.(d)) task.deps)
+    g;
+  (* resource state: busy-until slot, task being served *)
+  let res_busy = Hashtbl.create 16 in (* port -> (until, task) *)
+  (* circuits release after one slot of transmission *)
+  let live_circuits = ref [] in (* (circuit id, release slot) *)
+  let completed = ref 0 in
+  let blocked = ref 0 in
+  let waits = Stats.accum () and busy_acc = Stats.accum () in
+  let slot = ref 0 in
+  let crit = criticality g in
+  let guard = (10 * critical_path g) + (20 * n) + 1000 in
+  (* tasks with no deps are ready at slot 0 *)
+  Array.iteri
+    (fun i task -> if task.deps = [] then (ignore task; state.(i) <- Ready 0))
+    g;
+  while !completed < n && !slot < guard do
+    let s = !slot in
+    (* release circuits *)
+    live_circuits :=
+      List.filter
+        (fun (id, until) ->
+          if until <= s then begin
+            Network.release net id;
+            false
+          end
+          else true)
+        !live_circuits;
+    (* resource completions *)
+    Hashtbl.iter
+      (fun port (until, task) ->
+        if until <= s then begin
+          Hashtbl.remove res_busy port;
+          state.(task) <- Done;
+          incr completed;
+          List.iter
+            (fun succ ->
+              remaining_deps.(succ) <- remaining_deps.(succ) - 1;
+              if remaining_deps.(succ) = 0 then state.(succ) <- Ready s)
+            succs.(task)
+        end)
+      (Hashtbl.copy res_busy);
+    (* requests: one ready task per processor (FIFO by id), processor
+       must not be mid-transmission (circuit release is same-slot so
+       transmissions are 1 slot; processors are free every slot here) *)
+    let ready_by_home = Hashtbl.create 16 in
+    Array.iteri
+      (fun i st ->
+        match st with
+        | Ready _ ->
+          let h = g.(i).home in
+          (match Hashtbl.find_opt ready_by_home h with
+          | Some j when j < i -> ()
+          | _ -> Hashtbl.replace ready_by_home h i)
+        | Waiting | Running | Done -> ())
+      state;
+    let requests =
+      List.sort compare
+        (Hashtbl.fold (fun _h i acc -> i :: acc) ready_by_home [])
+    in
+    let free =
+      List.filter (fun (port, _) -> not (Hashtbl.mem res_busy port)) pool
+    in
+    if requests <> [] && free <> [] then begin
+      (* grants carry an already-established circuit id so that requests
+         granted earlier in the slot block later ones on shared links *)
+      let grants =
+        match policy with
+        | Flow_scheduler | Priority_flow ->
+          let prio i =
+            match policy with
+            | Priority_flow -> crit.(i)
+            | Flow_scheduler | Naive_mapper -> 0
+          in
+          let spec =
+            Hetero.
+              { requests =
+                  List.map (fun i -> (g.(i).home, g.(i).rtype, prio i)) requests;
+                free = List.map (fun (port, ty) -> (port, ty, 0)) free }
+          in
+          let o =
+            match policy with
+            | Priority_flow ->
+              Hetero.schedule_lp ~objective:Hetero.Min_cost net spec
+            | Flow_scheduler | Naive_mapper -> Hetero.schedule_greedy net spec
+          in
+          (* map processors back to task ids (one task per home) *)
+          List.map2
+            (fun (p, r) (_p', links) ->
+              let task = Hashtbl.find ready_by_home p in
+              (task, r, Network.establish net links))
+            o.Hetero.mapping o.Hetero.circuits
+        | Naive_mapper ->
+          (* each request independently picks a random free resource of
+             its type and tries the greedy unique path *)
+          let taken = Hashtbl.create 8 in
+          List.filter_map
+            (fun i ->
+              let candidates =
+                List.filter
+                  (fun (port, ty) -> ty = g.(i).rtype && not (Hashtbl.mem taken port))
+                  free
+              in
+              if candidates = [] then None
+              else begin
+                let port, _ = List.nth candidates (Prng.int rng (List.length candidates)) in
+                match Builders.route_unique net ~proc:(g.(i).home) ~res:port with
+                | Some links ->
+                  Hashtbl.replace taken port ();
+                  Some (i, port, Network.establish net links)
+                | None ->
+                  incr blocked;
+                  None
+              end)
+            requests
+      in
+      List.iter
+        (fun (task, port, circuit) ->
+          live_circuits := (circuit, s + 1) :: !live_circuits;
+          (match state.(task) with
+          | Ready since -> Stats.observe waits (float_of_int (s - since))
+          | Waiting | Running | Done -> ());
+          state.(task) <- Running;
+          Hashtbl.replace res_busy port (s + 1 + g.(task).service, task))
+        grants
+    end;
+    Stats.observe busy_acc
+      (float_of_int (Hashtbl.length res_busy) /. float_of_int (List.length pool));
+    incr slot
+  done;
+  if !completed < n then failwith "Taskgraph.execute: slot guard exceeded";
+  { makespan = !slot;
+    completed = !completed;
+    resource_utilization = Stats.mean busy_acc;
+    mean_ready_wait = (if Stats.count waits = 0 then 0. else Stats.mean waits);
+    blocked_grants = !blocked }

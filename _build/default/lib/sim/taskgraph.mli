@@ -1,0 +1,76 @@
+(** Task-graph execution on a resource sharing multiprocessor.
+
+    The paper's motivating systems run structured workloads: PUMPS
+    pipelines image-processing stages across typed systolic arrays, and
+    a data-flow machine fires instructions whose operands depend on
+    earlier results. This module executes a dependency DAG of typed
+    tasks over an MRSIN-connected resource pool, one scheduling cycle
+    per slot, and measures the makespan — connecting the paper's
+    scheduling machinery to the resource-pool provisioning question it
+    cites from Briggs et al. (how many resources of each type to put in
+    the pool). *)
+
+type task = {
+  id : int;
+  rtype : int;          (** resource type required *)
+  service : int;        (** slots of service once a resource is granted *)
+  deps : int list;      (** ids of tasks that must complete first *)
+  home : int;           (** processor that issues the request *)
+}
+
+type t
+(** An immutable task graph (a DAG: dependencies reference lower ids). *)
+
+val of_tasks : task list -> t
+(** Validates: ids dense from 0 in order, deps strictly smaller,
+    positive service. Raises [Invalid_argument] otherwise. *)
+
+val random :
+  Rsin_util.Prng.t ->
+  tasks:int -> types:int -> procs:int -> edge_prob:float -> mean_service:float ->
+  t
+(** Layered random DAG: each task depends on each earlier task within a
+    short window with probability [edge_prob]; homes and types uniform;
+    service geometric with the given mean (at least 1). *)
+
+val size : t -> int
+val tasks : t -> task list
+
+val critical_path : t -> int
+(** Sum of services along the longest dependency chain — a makespan
+    lower bound independent of resources. *)
+
+val work_per_type : t -> (int * int) list
+(** Total service demanded per type: [(type, slots)]. With [c] resources
+    of a type, [work/c] lower-bounds the makespan too. *)
+
+type policy =
+  | Flow_scheduler   (** per-type optimal flow scheduling each slot *)
+  | Priority_flow    (** multicommodity min-cost scheduling with request
+                         priorities set to task criticality (longest
+                         remaining service chain) — Transformation 2's
+                         priority machinery applied to makespan *)
+  | Naive_mapper     (** random free resource of the right type, fixed
+                         greedy path, blocked on conflict *)
+
+type result = {
+  makespan : int;
+  completed : int;
+  resource_utilization : float;
+  mean_ready_wait : float;  (** slots from ready to circuit, mean *)
+  blocked_grants : int;     (** naive mapper only: requests lost to
+                                network blockage and retried *)
+}
+
+val execute :
+  ?policy:policy ->
+  Rsin_util.Prng.t ->
+  Rsin_topology.Network.t ->
+  pool:(int * int) list ->
+  t ->
+  result
+(** [execute rng net ~pool g] runs the graph to completion on a scratch
+    copy of [net]; [pool] lists [(resource port, type)]. Raises
+    [Failure] if some task's type has no resource in the pool, or after
+    a very large slot bound (deadlock guard). Default policy
+    [Flow_scheduler]. *)

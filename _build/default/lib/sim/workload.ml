@@ -1,0 +1,71 @@
+module Prng = Rsin_util.Prng
+module Network = Rsin_topology.Network
+module Builders = Rsin_topology.Builders
+
+let snapshot ?(req_density = 0.5) ?(res_density = 0.5) rng net =
+  let procs = ref [] and ress = ref [] in
+  for p = Network.n_procs net - 1 downto 0 do
+    if Prng.bernoulli rng req_density then procs := p :: !procs
+  done;
+  for r = Network.n_res net - 1 downto 0 do
+    if Prng.bernoulli rng res_density then ress := r :: !ress
+  done;
+  (!procs, !ress)
+
+let occupied_endpoints net =
+  let procs = ref [] and ress = ref [] in
+  List.iter
+    (fun (_id, links) ->
+      (match links with
+      | [] -> ()
+      | first :: _ ->
+        (match Network.link_src net first with
+        | Network.Proc p -> procs := p :: !procs
+        | Network.Res _ | Network.Box_in _ | Network.Box_out _ -> ()));
+      (match List.rev links with
+      | [] -> ()
+      | last :: _ ->
+        (match Network.link_dst net last with
+        | Network.Res r -> ress := r :: !ress
+        | Network.Proc _ | Network.Box_in _ | Network.Box_out _ -> ())))
+    (Network.circuits net);
+  (List.sort_uniq compare !procs, List.sort_uniq compare !ress)
+
+let preoccupy rng net ~circuits =
+  let np = Network.n_procs net and nr = Network.n_res net in
+  let made = ref 0 and attempts = ref 0 in
+  while !made < circuits && !attempts < 20 * circuits do
+    incr attempts;
+    let p = Prng.int rng np and r = Prng.int rng nr in
+    let busy_p, busy_r = occupied_endpoints net in
+    if (not (List.mem p busy_p)) && not (List.mem r busy_r) then
+      match Builders.route_unique net ~proc:p ~res:r with
+      | Some links ->
+        ignore (Network.establish net links);
+        incr made
+      | None -> ()
+  done;
+  !made
+
+let fail_links rng net ~count =
+  let free = Array.of_list (Network.free_links net) in
+  let k = min count (Array.length free) in
+  let picks = Prng.sample_without_replacement rng k (Array.length free) in
+  Array.iter
+    (fun i -> ignore (Network.establish_unchecked net [ free.(i) ]))
+    picks;
+  k
+
+let with_priorities rng ~levels ids =
+  if levels < 1 then invalid_arg "Workload.with_priorities";
+  List.map (fun id -> (id, 1 + Prng.int rng levels)) ids
+
+let with_types rng ~types ids =
+  if types < 1 then invalid_arg "Workload.with_types";
+  List.map (fun id -> (id, Prng.int rng types)) ids
+
+let hetero_spec ?(levels = 1) rng ~types ~requests ~free =
+  let prio () = if levels <= 1 then 0 else 1 + Prng.int rng levels in
+  Rsin_core.Hetero.
+    { requests = List.map (fun p -> (p, Prng.int rng types, prio ())) requests;
+      free = List.map (fun r -> (r, Prng.int rng types, prio ())) free }

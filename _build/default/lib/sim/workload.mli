@@ -1,0 +1,54 @@
+(** Random workload generation for the Monte-Carlo experiments.
+
+    The authors' simulation data (Hicks' thesis, cited as [22]/[44]) is
+    not available; these generators regenerate statistically equivalent
+    scenarios: independent random subsets of requesting processors and
+    free resources at given densities, optional random pre-occupied
+    circuits (a partially busy network), random priority/preference
+    levels, and random type assignments for heterogeneous pools. All
+    randomness flows through {!Rsin_util.Prng}, so every experiment is
+    reproducible from its seed. *)
+
+val snapshot :
+  ?req_density:float ->
+  ?res_density:float ->
+  Rsin_util.Prng.t ->
+  Rsin_topology.Network.t ->
+  int list * int list
+(** [(requests, free)] — each processor requests independently with
+    probability [req_density] (default 0.5); each resource port is free
+    with probability [res_density] (default 0.5). *)
+
+val preoccupy :
+  Rsin_util.Prng.t -> Rsin_topology.Network.t -> circuits:int -> int
+(** Establishes up to [circuits] random processor→resource circuits
+    (greedy shortest free path, skipping blocked picks) on the network
+    and returns the number actually established. Processors and
+    resources already terminating a circuit are not reused. *)
+
+val occupied_endpoints : Rsin_topology.Network.t -> int list * int list
+(** [(procs, ress)] whose ports terminate a live circuit. *)
+
+val fail_links : Rsin_util.Prng.t -> Rsin_topology.Network.t -> count:int -> int
+(** Marks up to [count] random free links permanently busy (each as a
+    single-link circuit), modelling broken links; returns how many were
+    taken. Used by the fault-tolerance experiment E22. *)
+
+val with_priorities :
+  Rsin_util.Prng.t -> levels:int -> int list -> (int * int) list
+(** Attaches a uniform random priority in [\[1, levels\]] to each id. *)
+
+val with_types :
+  Rsin_util.Prng.t -> types:int -> int list -> (int * int) list
+(** Attaches a uniform random type in [\[0, types)] to each id. *)
+
+val hetero_spec :
+  ?levels:int ->
+  Rsin_util.Prng.t ->
+  types:int ->
+  requests:int list ->
+  free:int list ->
+  Rsin_core.Hetero.spec
+(** Builds a heterogeneous spec with random types and (when
+    [levels > 1]) random priorities/preferences. Default [levels = 1]
+    (all priorities equal). *)

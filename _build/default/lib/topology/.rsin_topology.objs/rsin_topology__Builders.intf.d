@@ -1,0 +1,1 @@
+lib/topology/builders.mli: Network

@@ -1,0 +1,1 @@
+lib/topology/network.ml: Array Buffer Format List Printf String

@@ -1,0 +1,1 @@
+lib/topology/properties.ml: Array List Network Rsin_flow

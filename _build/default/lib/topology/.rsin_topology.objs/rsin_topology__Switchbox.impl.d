@@ -1,0 +1,1 @@
+lib/topology/switchbox.ml: Array Fun List Network

@@ -1,0 +1,1 @@
+lib/topology/switchbox.mli: Network

@@ -1,0 +1,297 @@
+let is_pow ~radix n =
+  let rec go m = if m = n then true else if m > n || m <= 0 then false else go (m * radix) in
+  radix >= 2 && go 1
+
+let log_radix ~radix n =
+  let rec go acc m = if m >= n then acc else go (acc + 1) (m * radix) in
+  go 0 1
+
+let identity n = Array.init n (fun i -> i)
+
+(* Perfect shuffle on n = 2^k rails: rotate the address left one bit. *)
+let shuffle n i = ((i lsl 1) lor (i lsr (log_radix ~radix:2 n - 1))) land (n - 1)
+
+(* Radix-q shuffle on n = q^k rails: rotate the base-q address left one
+   digit. *)
+let qshuffle ~radix n i = ((i * radix) mod n) + (i * radix / n)
+
+let two_by_two n_boxes =
+  Array.init n_boxes (fun _ -> Network.{ fan_in = 2; fan_out = 2 })
+
+(* --- Omega ------------------------------------------------------------ *)
+
+let omega_gen ~name ~lead_shuffle n =
+  if not (is_pow ~radix:2 n) || n < 2 then invalid_arg (name ^ ": size must be a power of two >= 2");
+  let k = log_radix ~radix:2 n in
+  let stage_boxes = Array.init k (fun _ -> two_by_two (n / 2)) in
+  let shuf = Array.init n (shuffle n) in
+  Network.build ~name ~n_procs:n ~n_res:n ~stage_boxes
+    ~proc_wiring:(if lead_shuffle then shuf else identity n)
+    ~stage_wiring:(Array.init (k - 1) (fun _ -> Array.copy shuf))
+    ~res_wiring:(identity n)
+
+let omega n = omega_gen ~name:(Printf.sprintf "omega%d" n) ~lead_shuffle:true n
+
+let omega_paper n =
+  omega_gen ~name:(Printf.sprintf "omega%d-paper" n) ~lead_shuffle:false n
+
+(* --- Butterfly (indirect binary n-cube) -------------------------------- *)
+
+(* [place b u] sends rail [u] to a physical rail such that addresses
+   differing only in bit [b] become consecutive (land on one 2x2 box);
+   [unplace b] is its inverse. *)
+let place b u =
+  let rest = ((u lsr (b + 1)) lsl b) lor (u land ((1 lsl b) - 1)) in
+  (rest lsl 1) lor ((u lsr b) land 1)
+
+let unplace b r =
+  let j = r lsr 1 and c = r land 1 in
+  ((j lsr b) lsl (b + 1)) lor (c lsl b) lor (j land ((1 lsl b) - 1))
+
+let butterfly_like ~name ~bits n =
+  let stages = Array.length bits in
+  let stage_boxes = Array.init stages (fun _ -> two_by_two (n / 2)) in
+  Network.build ~name ~n_procs:n ~n_res:n ~stage_boxes
+    ~proc_wiring:(Array.init n (place bits.(0)))
+    ~stage_wiring:
+      (Array.init (stages - 1) (fun s ->
+           Array.init n (fun r -> place bits.(s + 1) (unplace bits.(s) r))))
+    ~res_wiring:(Array.init n (unplace bits.(stages - 1)))
+
+let butterfly n =
+  if not (is_pow ~radix:2 n) || n < 2 then invalid_arg "butterfly: size must be a power of two >= 2";
+  let k = log_radix ~radix:2 n in
+  butterfly_like ~name:(Printf.sprintf "cube%d" n) ~bits:(Array.init k (fun s -> k - 1 - s)) n
+
+let benes n =
+  if not (is_pow ~radix:2 n) || n < 2 then invalid_arg "benes: size must be a power of two >= 2";
+  let k = log_radix ~radix:2 n in
+  let bits =
+    Array.init ((2 * k) - 1) (fun s -> if s < k then k - 1 - s else s - k + 1)
+  in
+  butterfly_like ~name:(Printf.sprintf "benes%d" n) ~bits n
+
+(* --- Baseline ----------------------------------------------------------- *)
+
+let baseline n =
+  if not (is_pow ~radix:2 n) || n < 2 then invalid_arg "baseline: size must be a power of two >= 2";
+  let k = log_radix ~radix:2 n in
+  (* Inverse shuffle within blocks of size m: rotate the low log2(m) bits
+     right by one. *)
+  let unshuffle_block m r =
+    let base = r land lnot (m - 1) in
+    let u = r land (m - 1) in
+    let lg = log_radix ~radix:2 m in
+    base lor ((u lsr 1) lor ((u land 1) lsl (lg - 1)))
+  in
+  let stage_boxes = Array.init k (fun _ -> two_by_two (n / 2)) in
+  Network.build ~name:(Printf.sprintf "baseline%d" n) ~n_procs:n ~n_res:n
+    ~stage_boxes
+    ~proc_wiring:(identity n)
+    ~stage_wiring:
+      (Array.init (k - 1) (fun s -> Array.init n (unshuffle_block (n lsr s))))
+    ~res_wiring:(identity n)
+
+(* --- Clos --------------------------------------------------------------- *)
+
+let clos ~m ~n ~r =
+  if m < 1 || n < 1 || r < 1 then invalid_arg "clos: sizes must be positive";
+  let ports = n * r in
+  let ingress = Array.init r (fun _ -> Network.{ fan_in = n; fan_out = m }) in
+  let middle = Array.init m (fun _ -> Network.{ fan_in = r; fan_out = r }) in
+  let egress = Array.init r (fun _ -> Network.{ fan_in = m; fan_out = n }) in
+  (* Ingress box j output p (rail j*m+p) feeds middle box p input j
+     (rail p*r+j); middle box p output q (rail p*r+q) feeds egress box q
+     input p (rail q*m+p). *)
+  Network.build
+    ~name:(Printf.sprintf "clos%d-%d-%d" m n r)
+    ~n_procs:ports ~n_res:ports
+    ~stage_boxes:[| ingress; middle; egress |]
+    ~proc_wiring:(identity ports)
+    ~stage_wiring:
+      [| Array.init (r * m) (fun rail -> let j = rail / m and p = rail mod m in (p * r) + j);
+         Array.init (m * r) (fun rail -> let p = rail / r and q = rail mod r in (q * m) + p) |]
+    ~res_wiring:(identity ports)
+
+(* --- Crossbar ----------------------------------------------------------- *)
+
+let crossbar ~n_procs ~n_res =
+  if n_procs < 1 || n_res < 1 then invalid_arg "crossbar: sizes must be positive";
+  let fan_in = n_procs and fan_out = n_res in
+  Network.build
+    ~name:(Printf.sprintf "xbar%dx%d" n_procs n_res)
+    ~n_procs ~n_res
+    ~stage_boxes:[| [| Network.{ fan_in; fan_out } |] |]
+    ~proc_wiring:(identity n_procs)
+    ~stage_wiring:[||]
+    ~res_wiring:(identity n_res)
+
+(* --- Delta (square switches) -------------------------------------------- *)
+
+let delta ~radix ~stages =
+  if radix < 2 || stages < 1 then invalid_arg "delta: radix >= 2, stages >= 1";
+  let n =
+    let rec pow acc e = if e = 0 then acc else pow (acc * radix) (e - 1) in
+    pow 1 stages
+  in
+  let boxes = Array.init (n / radix) (fun _ -> Network.{ fan_in = radix; fan_out = radix }) in
+  let shuf = Array.init n (qshuffle ~radix n) in
+  Network.build
+    ~name:(Printf.sprintf "delta%d^%d" radix stages)
+    ~n_procs:n ~n_res:n
+    ~stage_boxes:(Array.init stages (fun _ -> Array.copy boxes))
+    ~proc_wiring:(Array.copy shuf)
+    ~stage_wiring:(Array.init (stages - 1) (fun _ -> Array.copy shuf))
+    ~res_wiring:(identity n)
+
+(* Patel's general delta network: a^n inputs, b^n outputs, n stages of
+   a x b crossbars, built by the recursive definition (stage 0 fans out
+   to b parallel delta(a,b,n-1) subnetworks). Allows asymmetric
+   processor/resource counts, e.g. 16 processors sharing 4 resources. *)
+let delta_ab ~a ~b ~stages =
+  if a < 1 || b < 1 || (a < 2 && b < 2) || stages < 1 then
+    invalid_arg "delta_ab: need a,b >= 1 (one of them >= 2), stages >= 1";
+  let pow base e =
+    let rec go acc e = if e = 0 then acc else go (acc * base) (e - 1) in
+    go 1 e
+  in
+  let n = stages in
+  let n_procs = pow a n and n_res = pow b n in
+  let boxes_at s =
+    Array.init (pow a (n - 1 - s) * pow b s) (fun _ ->
+        Network.{ fan_in = a; fan_out = b })
+  in
+  (* Rank s wiring: the out-rails of stage s split into b^s independent
+     blocks (one per sub-delta); within a block of size a^(n-1-s)*b, the
+     rail j*b + c of box j maps to input rail c*a^(n-1-s) + j. *)
+  let wiring s =
+    let sub = pow a (n - 1 - s) in
+    let block = sub * b in
+    Array.init (pow a (n - 1 - s) * pow b (s + 1)) (fun rail ->
+        let base = rail / block * block and r = rail mod block in
+        let j = r / b and c = r mod b in
+        base + (c * sub) + j)
+  in
+  Network.build
+    ~name:(Printf.sprintf "delta%dx%d^%d" a b stages)
+    ~n_procs ~n_res
+    ~stage_boxes:(Array.init n boxes_at)
+    ~proc_wiring:(identity n_procs)
+    ~stage_wiring:(Array.init (n - 1) wiring)
+    ~res_wiring:(identity n_res)
+
+(* --- Extra-stage Omega --------------------------------------------------- *)
+
+let extra_stage_omega n ~extra =
+  if not (is_pow ~radix:2 n) || n < 2 then invalid_arg "extra_stage_omega: size must be a power of two >= 2";
+  if extra < 0 then invalid_arg "extra_stage_omega: negative extra";
+  let k = log_radix ~radix:2 n + extra in
+  let stage_boxes = Array.init k (fun _ -> two_by_two (n / 2)) in
+  let shuf = Array.init n (shuffle n) in
+  Network.build
+    ~name:(Printf.sprintf "omega%d+%d" n extra)
+    ~n_procs:n ~n_res:n ~stage_boxes
+    ~proc_wiring:(Array.copy shuf)
+    ~stage_wiring:(Array.init (k - 1) (fun _ -> Array.copy shuf))
+    ~res_wiring:(identity n)
+
+(* --- Flip (inverse Omega) -------------------------------------------------- *)
+
+let flip n =
+  if not (is_pow ~radix:2 n) || n < 2 then invalid_arg "flip: size must be a power of two >= 2";
+  let k = log_radix ~radix:2 n in
+  let unshuffle = Array.init n (fun i -> (i lsr 1) lor ((i land 1) lsl (k - 1))) in
+  let stage_boxes = Array.init k (fun _ -> two_by_two (n / 2)) in
+  Network.build ~name:(Printf.sprintf "flip%d" n) ~n_procs:n ~n_res:n
+    ~stage_boxes ~proc_wiring:(identity n)
+    ~stage_wiring:(Array.init (k - 1) (fun _ -> Array.copy unshuffle))
+    ~res_wiring:(Array.copy unshuffle)
+
+(* --- Gamma --------------------------------------------------------------- *)
+
+let plus_minus_network ~name ~distance n =
+  if not (is_pow ~radix:2 n) || n < 2 then
+    invalid_arg (name ^ ": size must be a power of two >= 2");
+  let k = log_radix ~radix:2 n in
+  let first = Array.init n (fun _ -> Network.{ fan_in = 1; fan_out = 3 }) in
+  let mid = Array.init n (fun _ -> Network.{ fan_in = 3; fan_out = 3 }) in
+  let last = Array.init n (fun _ -> Network.{ fan_in = 3; fan_out = 1 }) in
+  let stage_boxes =
+    Array.init (k + 1) (fun s ->
+        if s = 0 then first else if s = k then last else mid)
+  in
+  (* Stage s switch j: output port 0 -> switch j-d, port 1 -> straight,
+     port 2 -> switch j+d (mod n), with d = distance s; input ports
+     mirror that order. *)
+  let wiring s =
+    let d = distance ~k s in
+    Array.init (3 * n) (fun rail ->
+        let j = rail / 3 and p = rail mod 3 in
+        let target =
+          match p with
+          | 0 -> (j - d + n) mod n
+          | 1 -> j
+          | _ -> (j + d) mod n
+        in
+        (3 * target) + p)
+  in
+  Network.build ~name ~n_procs:n ~n_res:n ~stage_boxes
+    ~proc_wiring:(identity n)
+    ~stage_wiring:(Array.init k wiring)
+    ~res_wiring:(identity n)
+
+(* Gamma: distances 2^s increasing; ADM (augmented data manipulator):
+   distances 2^(k-1-s) decreasing, as in Feng's data manipulator. *)
+let gamma n =
+  plus_minus_network ~name:(Printf.sprintf "gamma%d" n)
+    ~distance:(fun ~k:_ s -> 1 lsl s) n
+
+let adm n =
+  plus_minus_network ~name:(Printf.sprintf "adm%d" n)
+    ~distance:(fun ~k s -> 1 lsl (k - 1 - s)) n
+
+(* --- Routing helpers ------------------------------------------------------ *)
+
+let route_unique net ~proc ~res =
+  (* BFS over free links; remember the link used to reach each box. *)
+  let nb = Network.n_boxes net in
+  let pred = Array.make nb (-1) in
+  let seen = Array.make nb false in
+  let q = Queue.create () in
+  let final = ref None in
+  let try_link l =
+    if Network.link_state net l = Network.Free then
+      match Network.link_dst net l with
+      | Network.Res j -> if j = res && !final = None then final := Some l
+      | Network.Box_in (b, _) ->
+        if not seen.(b) then begin
+          seen.(b) <- true;
+          pred.(b) <- l;
+          Queue.push b q
+        end
+      | Network.Proc _ | Network.Box_out _ -> ()
+  in
+  try_link (Network.proc_link net proc);
+  while !final = None && not (Queue.is_empty q) do
+    let b = Queue.pop q in
+    Array.iter try_link (Network.box_out_links net b)
+  done;
+  match !final with
+  | None -> None
+  | Some l ->
+    let rec back l acc =
+      match Network.link_src net l with
+      | Network.Proc _ -> l :: acc
+      | Network.Box_out (b, _) -> back pred.(b) (l :: acc)
+      | Network.Res _ | Network.Box_in _ -> assert false
+    in
+    Some (back l [])
+
+let full_access net =
+  let ok = ref true in
+  for p = 0 to Network.n_procs net - 1 do
+    for r = 0 to Network.n_res net - 1 do
+      if route_unique net ~proc:p ~res:r = None then ok := false
+    done
+  done;
+  !ok

@@ -1,0 +1,87 @@
+(** Generators for the classical interconnection topologies surveyed in
+    the paper's introduction (Feng's taxonomy): Omega, indirect binary
+    n-cube (butterfly), baseline, delta, Beneš, Clos, crossbar,
+    extra-stage Omega, and the multipath gamma network.
+
+    All generators return an empty (no circuit) {!Network.t}. Sizes are
+    powers of the relevant radix; [Invalid_argument] is raised
+    otherwise. *)
+
+val omega : int -> Network.t
+(** [omega n] is Lawrie's Omega network: log₂ n stages of 2×2 boxes with
+    a perfect shuffle before every stage. [n] must be a power of two,
+    at least 2. *)
+
+val omega_paper : int -> Network.t
+(** The Omega variant of the paper's Fig. 2: processors enter the first
+    stage directly in order (the paper renumbers input ports relative to
+    Lawrie since homogeneous resources make the input permutation
+    irrelevant); shuffles connect consecutive stages; the last stage
+    feeds resources in order. Topologically an Omega with relabelled
+    inputs. *)
+
+val butterfly : int -> Network.t
+(** [butterfly n] is the indirect binary n-cube: stage [s] pairs rails
+    that differ in address bit [log₂ n - 1 - s]. *)
+
+val baseline : int -> Network.t
+(** Wu–Feng baseline network: inverse shuffles on recursively halved
+    blocks. *)
+
+val benes : int -> Network.t
+(** Beneš rearrangeable network: 2·log₂ n − 1 stages (butterfly followed
+    by its mirror, sharing the middle stage). *)
+
+val clos : m:int -> n:int -> r:int -> Network.t
+(** [clos ~m ~n ~r] is the three-stage Clos network with [r] ingress
+    boxes of size n×m, [m] middle boxes of size r×r, and [r] egress boxes
+    of size m×n; [n·r] processors and resources. *)
+
+val crossbar : n_procs:int -> n_res:int -> Network.t
+(** Single-stage full crossbar. *)
+
+val delta : radix:int -> stages:int -> Network.t
+(** [delta ~radix ~stages] is Patel's delta network for square switches:
+    [stages] ranks of radix×radix crossbars connected by radix-shuffles;
+    [radix^stages] ports a side. [delta ~radix:2 ~stages:k] coincides
+    with {!omega} on 2^k ports. *)
+
+val delta_ab : a:int -> b:int -> stages:int -> Network.t
+(** [delta_ab ~a ~b ~stages] is Patel's general delta network:
+    [a^stages] processors, [b^stages] resource ports, [stages] ranks of
+    a×b crossbars wired by the recursive construction. With [a > b] it
+    concentrates many processors onto a smaller resource pool — the
+    typical resource sharing configuration; [delta_ab ~a:q ~b:q]
+    coincides in size with {!delta}. *)
+
+val extra_stage_omega : int -> extra:int -> Network.t
+(** Omega with [extra] additional shuffle-exchange stages prepended,
+    giving 2^extra alternative paths per processor–resource pair (the
+    paper's remark that extra stages make optimal mapping less
+    critical). *)
+
+val flip : int -> Network.t
+(** Batcher's Flip network (STARAN): the inverse of {!omega} — identity
+    entry, inverse perfect shuffles between and after the stages. *)
+
+val gamma : int -> Network.t
+(** Parker–Raghavendra gamma network on [n = 2^k] ports: [k+1] stages of
+    n switches (1×3, then 3×3, then 3×1) with ±2^i and straight links —
+    the multipath topology the conclusion says the method extends to. *)
+
+val adm : int -> Network.t
+(** Augmented-data-manipulator-style network: like {!gamma} but with the
+    data manipulator's decreasing distances ±2^(k−1−s) per stage — the
+    other multipath family named in the paper's conclusion. *)
+
+val route_unique :
+  Network.t -> proc:int -> res:int -> int list option
+(** Shortest free path from processor to resource port (list of link
+    ids), found by breadth-first search over free links; [None] when
+    blocked. On unique-path networks (Omega et al.) this is the unique
+    circuit used for pre-loading example scenarios. *)
+
+val full_access : Network.t -> bool
+(** True when, on the empty network, every processor can reach every
+    resource port. All generators above satisfy this (checked in the
+    test suite). *)

@@ -1,0 +1,135 @@
+(* Looping algorithm on the recursive Benes decomposition.
+
+   Builders.benes n uses the exchange-bit sequence
+     [k-1, k-2, ..., 1, 0, 1, ..., k-1]        (k = log2 n)
+   so the outermost recursion level splits on the high bit: the first
+   stage chooses bit k-1 of the signal's logical address (= which half
+   of the middle network carries it), the last stage restores bit k-1 to
+   the target's value, and the middle is a Benes over the low k-1 bits
+   in each half. The looping algorithm 2-colors, at every level, the
+   constraint cycles linking input pairs {u, u xor 2^b} (which share a
+   first-stage box and must use different halves) and output pairs
+   {t, t xor 2^b} (which share a last-stage box). *)
+
+let is_perm a =
+  let n = Array.length a in
+  let seen = Array.make n false in
+  Array.for_all
+    (fun x -> x >= 0 && x < n && not seen.(x) && (seen.(x) <- true; true))
+    a
+
+let log2 n =
+  let rec go acc m = if m >= n then acc else go (acc + 1) (m * 2) in
+  go 0 1
+
+(* [strip b u] removes bit [b] from address [u]; [insert b c j] inverts. *)
+let strip b u = ((u lsr (b + 1)) lsl b) lor (u land ((1 lsl b) - 1))
+let insert b c j = ((j lsr b) lsl (b + 1)) lor (c lsl b) lor (j land ((1 lsl b) - 1))
+
+(* Choose the half (value of bit b) carrying each input of [perm] at one
+   recursion level: inputs u and u xor 2^b take different halves, and so
+   do the sources of outputs t and t xor 2^b. Walk each constraint cycle,
+   alternating. *)
+let color_halves ~b perm =
+  let n = Array.length perm in
+  let inv = Array.make n 0 in
+  Array.iteri (fun u t -> inv.(t) <- u) perm;
+  let half = Array.make n (-1) in
+  let d = 1 lsl b in
+  for start = 0 to n - 1 do
+    if half.(start) < 0 then begin
+      (* Follow the cycle: fix u's half, force the partner input, hop to
+         the input whose output pairs with u's output, and repeat. *)
+      let u = ref start and c = ref 0 in
+      let continue = ref true in
+      while !continue do
+        half.(!u) <- !c;
+        let partner_in = !u lxor d in
+        if half.(partner_in) < 0 then begin
+          half.(partner_in) <- 1 - !c;
+          (* the source whose target shares partner_in's output box *)
+          let next = inv.(perm.(partner_in) lxor d) in
+          if half.(next) < 0 then begin
+            u := next;
+            c := 1 - half.(partner_in)
+          end
+          else continue := false
+        end
+        else continue := false
+      done
+    end
+  done;
+  half
+
+let rec settings_aux bits perm =
+  let n = Array.length perm in
+  match bits with
+  | [] -> Array.make n []
+  | [ b ] ->
+    (* single exchange stage: set bit b to the target's value *)
+    Array.init n (fun u ->
+        if perm.(u) <> u && perm.(u) <> u lxor (1 lsl b) then
+          invalid_arg "Permutation: single stage cannot realize this perm";
+        [ (perm.(u) lsr b) land 1 ])
+  | b :: _ ->
+    let middle_bits = List.filteri (fun i _ -> i > 0 && i < List.length bits - 1) bits in
+    let half = color_halves ~b perm in
+    (* Build the two sub-permutations over the stripped address space. *)
+    let m = n / 2 in
+    let sub = [| Array.make m (-1); Array.make m (-1) |] in
+    Array.iteri
+      (fun u t -> sub.(half.(u)).(strip b u) <- strip b t)
+      perm;
+    let sub_dec = Array.map (settings_aux middle_bits) sub in
+    Array.init n (fun u ->
+        let c = half.(u) in
+        let inner = sub_dec.(c).(strip b u) in
+        (* first stage picks the half; the inner decisions are on the
+           stripped space but the bit values chosen are for the same
+           physical bits, so they carry over unchanged; the last stage
+           restores bit b of the target *)
+        (c :: inner) @ [ (perm.(u) lsr b) land 1 ])
+
+let benes_bits k = List.init ((2 * k) - 1) (fun s -> if s < k then k - 1 - s else s - k + 1)
+
+let settings ~n perm =
+  if Array.length perm <> n then invalid_arg "Permutation.settings: size mismatch";
+  if not (is_perm perm) then invalid_arg "Permutation.settings: not a permutation";
+  if n < 2 || n land (n - 1) <> 0 then
+    invalid_arg "Permutation.settings: n must be a power of two >= 2";
+  settings_aux (benes_bits (log2 n)) perm
+
+let route net perm =
+  let n = Array.length perm in
+  if Network.n_procs net <> n || Network.n_res net <> n then
+    invalid_arg "Permutation.route: network size mismatch";
+  let k = log2 n in
+  if Network.stages net <> (2 * k) - 1 then
+    invalid_arg "Permutation.route: not a Benes network (wrong stage count)";
+  let decisions = settings ~n perm in
+  let bits = Array.of_list (benes_bits k) in
+  (* place must match Builders.butterfly_like's rail placement *)
+  let place b u =
+    let rest = ((u lsr (b + 1)) lsl b) lor (u land ((1 lsl b) - 1)) in
+    (rest lsl 1) lor ((u lsr b) land 1)
+  in
+  let stage_boxes =
+    Array.init (Network.stages net) (fun s ->
+        Array.of_list (Network.boxes_in_stage net s))
+  in
+  List.init n (fun u ->
+      let path = ref [ Network.proc_link net u ] in
+      let v = ref u in
+      List.iteri
+        (fun s c ->
+          let b = bits.(s) in
+          let rail = place b !v in
+          let box = stage_boxes.(s).(rail / 2) in
+          let w = insert b c (strip b !v) in
+          let out_port = (w lsr b) land 1 in
+          path := (Network.box_out_links net box).(out_port) :: !path;
+          v := w)
+        decisions.(u);
+      if !v <> perm.(u) then
+        failwith "Permutation.route: internal error (wrong terminal address)";
+      List.rev !path)

@@ -1,0 +1,28 @@
+(** Permutation routing on the Beneš rearrangeable network (looping
+    algorithm).
+
+    The Beneš network (cited by the paper among the classical MINs) can
+    realize {e any} full processor→resource permutation with
+    link-disjoint circuits. This module computes the switch settings with
+    the classical looping algorithm — 2-coloring the constraint cycles of
+    each recursion level — and converts them to physical circuits on a
+    {!Builders.benes} network.
+
+    This complements the flow-based scheduler: Transformation 1 finds
+    the {e best} mapping; the looping algorithm realizes a {e given}
+    permutation, the rearrangeable-routing problem the flow reduction
+    does not cover (fixed pairings are a multicommodity constraint). *)
+
+val route : Network.t -> int array -> int list list
+(** [route net perm] returns, for each processor [i], the link list of a
+    circuit from processor [i] to resource [perm.(i)], such that all [n]
+    circuits are pairwise link-disjoint. [net] must be a Beneš network
+    as built by {!Builders.benes} on [n = Array.length perm] ports and
+    must be completely free. Raises [Invalid_argument] if [perm] is not
+    a permutation or the network does not match. *)
+
+val settings :
+  n:int -> int array -> int list array
+(** [settings ~n perm] is the abstract form: for each input address, the
+    chosen exchange-bit value per stage ([2·log₂ n − 1] entries, each 0
+    or 1). Exposed for the property tests. *)

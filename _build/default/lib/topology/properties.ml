@@ -1,0 +1,88 @@
+module Graph = Rsin_flow.Graph
+
+(* Count paths by forward DP over boxes in stage order: ways(box) = sum
+   of ways over its free in-links whose sources are live. *)
+let count_paths net ~proc ~res =
+  if proc < 0 || proc >= Network.n_procs net then invalid_arg "Properties.count_paths";
+  if res < 0 || res >= Network.n_res net then invalid_arg "Properties.count_paths";
+  let nb = Network.n_boxes net in
+  let ways = Array.make nb 0 in
+  let live_link l = Network.link_state net l = Network.Free in
+  let src_ways l =
+    match Network.link_src net l with
+    | Network.Proc p -> if p = proc then 1 else 0
+    | Network.Box_out (b, _) -> ways.(b)
+    | Network.Res _ | Network.Box_in _ -> 0
+  in
+  for s = 0 to Network.stages net - 1 do
+    List.iter
+      (fun b ->
+        let total = ref 0 in
+        Array.iter
+          (fun l -> if live_link l then total := !total + src_ways l)
+          (Network.box_in_links net b);
+        ways.(b) <- !total)
+      (Network.boxes_in_stage net s)
+  done;
+  let l = Network.res_link net res in
+  if live_link l then src_ways l else 0
+
+let path_diversity net =
+  let np = Network.n_procs net and nr = Network.n_res net in
+  let total = ref 0 in
+  for p = 0 to np - 1 do
+    for r = 0 to nr - 1 do
+      total := !total + count_paths net ~proc:p ~res:r
+    done
+  done;
+  float_of_int !total /. float_of_int (np * nr)
+
+let min_path_diversity net =
+  let np = Network.n_procs net and nr = Network.n_res net in
+  let worst = ref max_int in
+  for p = 0 to np - 1 do
+    for r = 0 to nr - 1 do
+      worst := min !worst (count_paths net ~proc:p ~res:r)
+    done
+  done;
+  !worst
+
+let bisection_flow net =
+  let g = Graph.create () in
+  let s = Graph.add_node g and t = Graph.add_node g in
+  let boxes = Array.init (Network.n_boxes net) (fun _ -> Graph.add_node g) in
+  let procs = Array.init (Network.n_procs net) (fun _ -> Graph.add_node g) in
+  let ress = Array.init (Network.n_res net) (fun _ -> Graph.add_node g) in
+  Array.iter (fun p -> ignore (Graph.add_arc g ~src:s ~dst:p ~cap:1)) procs;
+  Array.iter (fun r -> ignore (Graph.add_arc g ~src:r ~dst:t ~cap:1)) ress;
+  for l = 0 to Network.n_links net - 1 do
+    if Network.link_state net l = Network.Free then begin
+      let node_of = function
+        | Network.Proc p -> procs.(p)
+        | Network.Res r -> ress.(r)
+        | Network.Box_in (b, _) | Network.Box_out (b, _) -> boxes.(b)
+      in
+      ignore
+        (Graph.add_arc g
+           ~src:(node_of (Network.link_src net l))
+           ~dst:(node_of (Network.link_dst net l))
+           ~cap:1)
+    end
+  done;
+  fst (Rsin_flow.Dinic.max_flow g ~source:s ~sink:t)
+
+let path_length net = Network.stages net + 1
+
+let link_count_per_stage net =
+  let stages = Network.stages net in
+  let counts = Array.make (stages + 1) 0 in
+  for l = 0 to Network.n_links net - 1 do
+    match Network.link_dst net l with
+    | Network.Box_in (b, _) -> begin
+      let s = Network.box_stage net b in
+      counts.(s) <- counts.(s) + 1
+    end
+    | Network.Res _ -> counts.(stages) <- counts.(stages) + 1
+    | Network.Proc _ | Network.Box_out _ -> ()
+  done;
+  counts

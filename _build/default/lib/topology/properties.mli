@@ -1,0 +1,35 @@
+(** Structural metrics of interconnection networks.
+
+    The paper's evaluation narrative revolves around path diversity:
+    unique-path networks (Omega and its relatives) force the optimal
+    scheduler to resolve conflicts globally, while multipath networks
+    (extra-stage, Beneš, gamma, data-manipulator family) leave slack
+    that even naive routing can exploit. These metrics quantify that
+    slack and feed the E9/E13 ablations. *)
+
+val count_paths : Network.t -> proc:int -> res:int -> int
+(** Number of distinct circuits (over {e free} links) from the processor
+    to the resource port. Dynamic programming over the stage DAG; exact,
+    no enumeration. *)
+
+val path_diversity : Network.t -> float
+(** Mean of {!count_paths} over all processor–resource pairs on the
+    empty network. 1.0 for unique-path networks. *)
+
+val min_path_diversity : Network.t -> int
+(** Minimum of {!count_paths} over all pairs — 0 means some pair is
+    disconnected. *)
+
+val bisection_flow : Network.t -> int
+(** Maximum number of simultaneous link-disjoint processor→resource
+    circuits when everything requests and everything is free (the value
+    of the max flow with all sources and sinks active); equals the port
+    count for every rearrangeable or nonblocking topology here. *)
+
+val path_length : Network.t -> int
+(** Hop count (number of links) of every processor→resource circuit —
+    [stages + 1] by construction for these staged networks. *)
+
+val link_count_per_stage : Network.t -> int array
+(** Number of links entering each stage (index 0 = processor links),
+    plus a final entry for the resource links. *)

@@ -1,0 +1,95 @@
+type t = {
+  n_in : int;
+  n_out : int;
+  conn : (int * int) list; (* (in, out), sorted by in, both sides unique *)
+}
+
+let empty ~fan_in ~fan_out =
+  if fan_in < 0 || fan_out < 0 then invalid_arg "Switchbox.empty";
+  { n_in = fan_in; n_out = fan_out; conn = [] }
+
+let fan_in t = t.n_in
+let fan_out t = t.n_out
+
+let connect t i o =
+  if i < 0 || i >= t.n_in || o < 0 || o >= t.n_out then
+    invalid_arg "Switchbox.connect: port out of range";
+  if List.mem_assoc i t.conn then
+    invalid_arg "Switchbox.connect: input port already connected";
+  if List.exists (fun (_, o') -> o' = o) t.conn then
+    invalid_arg "Switchbox.connect: output port already connected";
+  { t with conn = List.sort compare ((i, o) :: t.conn) }
+
+let disconnect t i = { t with conn = List.remove_assoc i t.conn }
+let output_of t i = List.assoc_opt i t.conn
+
+let input_of t o =
+  List.find_map (fun (i, o') -> if o' = o then Some i else None) t.conn
+
+let connections t = t.conn
+let count t = List.length t.conn
+
+let of_network net =
+  let module N = Network in
+  let settings =
+    Array.init (N.n_boxes net) (fun b ->
+        let spec = N.box_spec net b in
+        ref (empty ~fan_in:spec.N.fan_in ~fan_out:spec.N.fan_out))
+  in
+  let port_of_in b l =
+    let ports = N.box_in_links net b in
+    let rec find i = if ports.(i) = l then i else find (i + 1) in
+    find 0
+  in
+  let port_of_out b l =
+    let ports = N.box_out_links net b in
+    let rec find i = if ports.(i) = l then i else find (i + 1) in
+    find 0
+  in
+  List.iter
+    (fun (_id, links) ->
+      let rec chain = function
+        | l1 :: (l2 :: _ as rest) ->
+          (match (N.link_dst net l1, N.link_src net l2) with
+          | N.Box_in (b, _), N.Box_out (b', _) when b = b' ->
+            let i = port_of_in b l1 and o = port_of_out b l2 in
+            (try settings.(b) := connect !(settings.(b)) i o
+             with Invalid_argument _ ->
+               failwith "Switchbox.of_network: circuits violate nonbroadcast");
+            chain rest
+          | _ -> failwith "Switchbox.of_network: malformed circuit")
+        | [ _ ] | [] -> ()
+      in
+      chain links)
+    (N.circuits net);
+  Array.map ( ! ) settings
+
+let count_settings ~fan_in ~fan_out =
+  let choose n k =
+    let rec go acc i = if i > k then acc else go (acc * (n - i + 1) / i) (i + 1) in
+    if k < 0 || k > n then 0 else go 1 1
+  in
+  let fact k =
+    let rec go acc i = if i > k then acc else go (acc * i) (i + 1) in
+    go 1 1
+  in
+  let rec sum k acc =
+    if k > min fan_in fan_out then acc
+    else sum (k + 1) (acc + (choose fan_in k * choose fan_out k * fact k))
+  in
+  sum 0 0
+
+let enumerate ~fan_in ~fan_out =
+  (* extend settings input port by input port: skip it or connect it to
+     any free output *)
+  let rec go i s =
+    if i = fan_in then [ s ]
+    else
+      let skip = go (i + 1) s in
+      let outs = List.init fan_out Fun.id in
+      let used o = List.exists (fun (_, o') -> o' = o) s.conn in
+      List.fold_left
+        (fun acc o -> if used o then acc else acc @ go (i + 1) (connect s i o))
+        skip outs
+  in
+  go 0 (empty ~fan_in ~fan_out)

@@ -1,0 +1,48 @@
+(** Explicit nonbroadcast switchbox settings.
+
+    Theorem 1 of the paper rests on the observation that "a nonbroadcast
+    switch setting is one in which an input link is connected to at most
+    one output link and vice versa" — i.e. a partial matching between
+    input and output ports — and that such settings correspond exactly
+    to legal integral flow assignments through the switch node. This
+    module materializes settings as values: they can be derived from the
+    circuits living in a {!Network.t} (proving that every schedule the
+    flow algorithms produce is realizable by crossbar settings), counted
+    and enumerated. *)
+
+type t
+(** An immutable setting of one [fan_in × fan_out] switchbox. *)
+
+val empty : fan_in:int -> fan_out:int -> t
+
+val fan_in : t -> int
+val fan_out : t -> int
+
+val connect : t -> int -> int -> t
+(** [connect s i o] adds the connection in-port [i] → out-port [o].
+    Raises [Invalid_argument] if either port is already in use (the
+    nonbroadcast constraint) or out of range. *)
+
+val disconnect : t -> int -> t
+(** Removes the connection from in-port [i]; no-op if absent. *)
+
+val output_of : t -> int -> int option
+val input_of : t -> int -> int option
+val connections : t -> (int * int) list
+(** Sorted by input port. *)
+
+val count : t -> int
+(** Number of connections (the "flow through" the box). *)
+
+val of_network : Network.t -> t array
+(** Per-box settings implied by the circuits currently established in
+    the network. Raises [Failure] if the circuits are inconsistent
+    (should be impossible for circuits built by {!Network.establish}). *)
+
+val count_settings : fan_in:int -> fan_out:int -> int
+(** Number of legal settings of an [n×m] nonbroadcast switch:
+    Σₖ C(n,k)·C(m,k)·k! — e.g. 7 for a 2×2 box. *)
+
+val enumerate : fan_in:int -> fan_out:int -> t list
+(** All legal settings, [count_settings] of them. Intended for tests on
+    small boxes. *)

@@ -1,0 +1,65 @@
+type t = { n : int; words : Bytes.t }
+
+(* One byte per 8 elements; Bytes keeps it simple and fast enough. *)
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create";
+  { n; words = Bytes.make ((n + 7) / 8) '\000' }
+
+let capacity t = t.n
+
+let check t i =
+  if i < 0 || i >= t.n then invalid_arg "Bitset: index out of range"
+
+let mem t i =
+  check t i;
+  Char.code (Bytes.get t.words (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let add t i =
+  check t i;
+  let b = Char.code (Bytes.get t.words (i lsr 3)) in
+  Bytes.set t.words (i lsr 3) (Char.chr (b lor (1 lsl (i land 7))))
+
+let remove t i =
+  check t i;
+  let b = Char.code (Bytes.get t.words (i lsr 3)) in
+  Bytes.set t.words (i lsr 3) (Char.chr (b land lnot (1 lsl (i land 7)) land 0xff))
+
+let clear t = Bytes.fill t.words 0 (Bytes.length t.words) '\000'
+
+let popcount_byte =
+  let tbl = Array.init 256 (fun b ->
+      let rec go b acc = if b = 0 then acc else go (b lsr 1) (acc + (b land 1)) in
+      go b 0)
+  in
+  fun b -> tbl.(b)
+
+let cardinal t =
+  let acc = ref 0 in
+  for i = 0 to Bytes.length t.words - 1 do
+    acc := !acc + popcount_byte (Char.code (Bytes.get t.words i))
+  done;
+  !acc
+
+let iter f t =
+  for i = 0 to t.n - 1 do
+    if Char.code (Bytes.get t.words (i lsr 3)) land (1 lsl (i land 7)) <> 0 then f i
+  done
+
+let to_list t =
+  let acc = ref [] in
+  for i = t.n - 1 downto 0 do
+    if mem t i then acc := i :: !acc
+  done;
+  !acc
+
+let copy t = { n = t.n; words = Bytes.copy t.words }
+
+let union_into dst src =
+  if dst.n <> src.n then invalid_arg "Bitset.union_into: capacity mismatch";
+  for i = 0 to Bytes.length dst.words - 1 do
+    let b = Char.code (Bytes.get dst.words i) lor Char.code (Bytes.get src.words i) in
+    Bytes.set dst.words i (Char.chr b)
+  done
+
+let equal a b = a.n = b.n && Bytes.equal a.words b.words

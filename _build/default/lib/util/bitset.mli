@@ -1,0 +1,26 @@
+(** Fixed-capacity mutable bitset over integers [0 .. n-1].
+
+    Used for port markings in the distributed token-propagation simulator
+    (the paper represents the layered network implicitly as a bit array
+    per port) and for visited sets in graph searches. *)
+
+type t
+
+val create : int -> t
+(** [create n] is an empty set over universe [\[0, n)]. *)
+
+val capacity : t -> int
+val mem : t -> int -> bool
+val add : t -> int -> unit
+val remove : t -> int -> unit
+val clear : t -> unit
+val cardinal : t -> int
+val iter : (int -> unit) -> t -> unit
+val to_list : t -> int list
+val copy : t -> t
+
+val union_into : t -> t -> unit
+(** [union_into dst src] adds every element of [src] to [dst]. The two
+    sets must have equal capacity. *)
+
+val equal : t -> t -> bool

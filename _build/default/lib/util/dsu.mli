@@ -1,0 +1,18 @@
+(** Disjoint-set union (union–find) with path compression and union by
+    rank. Used to check connectivity invariants of generated network
+    topologies. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes [n] singleton sets labelled [0 .. n-1]. *)
+
+val find : t -> int -> int
+(** Canonical representative of the set containing the element. *)
+
+val union : t -> int -> int -> bool
+(** Merges the two sets; returns [true] when they were distinct. *)
+
+val same : t -> int -> int -> bool
+val components : t -> int
+(** Number of distinct sets remaining. *)

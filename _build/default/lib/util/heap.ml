@@ -1,0 +1,71 @@
+type ('k, 'v) t = {
+  cmp : 'k -> 'k -> int;
+  mutable keys : 'k array;
+  mutable vals : 'v array;
+  mutable size : int;
+}
+
+let create ~cmp = { cmp; keys = [||]; vals = [||]; size = 0 }
+let length h = h.size
+let is_empty h = h.size = 0
+
+let grow h k v =
+  (* Seed new storage with the incoming binding so we never need a
+     placeholder element of type 'k or 'v. *)
+  let cap = Array.length h.keys in
+  let ncap = if cap = 0 then 16 else 2 * cap in
+  let nkeys = Array.make ncap k and nvals = Array.make ncap v in
+  Array.blit h.keys 0 nkeys 0 h.size;
+  Array.blit h.vals 0 nvals 0 h.size;
+  h.keys <- nkeys;
+  h.vals <- nvals
+
+let swap h i j =
+  let tk = h.keys.(i) and tv = h.vals.(i) in
+  h.keys.(i) <- h.keys.(j);
+  h.vals.(i) <- h.vals.(j);
+  h.keys.(j) <- tk;
+  h.vals.(j) <- tv
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.cmp h.keys.(i) h.keys.(parent) < 0 then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.size && h.cmp h.keys.(l) h.keys.(!smallest) < 0 then smallest := l;
+  if r < h.size && h.cmp h.keys.(r) h.keys.(!smallest) < 0 then smallest := r;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let add h k v =
+  if h.size = Array.length h.keys then grow h k v;
+  h.keys.(h.size) <- k;
+  h.vals.(h.size) <- v;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let peek_min h = if h.size = 0 then None else Some (h.keys.(0), h.vals.(0))
+
+let pop_min h =
+  if h.size = 0 then None
+  else begin
+    let k = h.keys.(0) and v = h.vals.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.keys.(0) <- h.keys.(h.size);
+      h.vals.(0) <- h.vals.(h.size);
+      sift_down h 0
+    end;
+    Some (k, v)
+  end
+
+let clear h = h.size <- 0

@@ -1,0 +1,27 @@
+(** Binary min-heap priority queue with integer keys and polymorphic
+    payloads.
+
+    Used by the shortest-path searches inside the minimum-cost flow
+    solver. Keys are compared with a user-supplied comparison so the same
+    structure serves integer and float priorities. *)
+
+type ('k, 'v) t
+
+val create : cmp:('k -> 'k -> int) -> ('k, 'v) t
+(** Fresh empty heap ordered by [cmp] (minimum first). *)
+
+val length : ('k, 'v) t -> int
+val is_empty : ('k, 'v) t -> bool
+
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+(** [add h k v] inserts payload [v] with priority [k]. *)
+
+val pop_min : ('k, 'v) t -> ('k * 'v) option
+(** Removes and returns the minimum-priority binding, or [None] when
+    empty. Ties are broken arbitrarily. *)
+
+val peek_min : ('k, 'v) t -> ('k * 'v) option
+(** Returns the minimum binding without removing it. *)
+
+val clear : ('k, 'v) t -> unit
+(** Removes all bindings, retaining the allocated capacity. *)

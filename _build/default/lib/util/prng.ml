@@ -1,0 +1,86 @@
+(* SplitMix64: a tiny, high-quality, splittable PRNG. Reference:
+   Steele, Lea & Flood, "Fast splittable pseudorandom number generators",
+   OOPSLA 2014. State is a single 64-bit counter advanced by the golden
+   gamma; outputs are a finalizer over the state. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+let copy g = { state = g.state }
+
+let bits64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix64 g.state
+
+let split g =
+  let s = bits64 g in
+  { state = mix64 s }
+
+(* Uniform int in [0, n) by rejection on the top bits, avoiding modulo
+   bias. n is bounded by OCaml's 63-bit int so 62 random bits suffice. *)
+let int g n =
+  if n <= 0 then invalid_arg "Prng.int: bound must be positive";
+  let mask =
+    let rec up m = if m >= n - 1 then m else up ((m lsl 1) lor 1) in
+    up 1
+  in
+  let rec draw () =
+    let v = Int64.to_int (Int64.shift_right_logical (bits64 g) 2) land mask in
+    if v < n then v else draw ()
+  in
+  if n = 1 then 0 else draw ()
+
+let float g x =
+  if x <= 0. then invalid_arg "Prng.float: bound must be positive";
+  (* 53 uniform bits -> [0,1) *)
+  let u =
+    Int64.to_float (Int64.shift_right_logical (bits64 g) 11) *. 0x1p-53
+  in
+  u *. x
+
+let bool g = Int64.compare (Int64.logand (bits64 g) 1L) 0L <> 0
+let bernoulli g p = float g 1.0 < p
+
+let exponential g rate =
+  if rate <= 0. then invalid_arg "Prng.exponential: rate must be positive";
+  let u = float g 1.0 in
+  -.log1p (-.u) /. rate
+
+let geometric g p =
+  if p <= 0. || p > 1. then invalid_arg "Prng.geometric: p must be in (0,1]";
+  if p >= 1. then 0
+  else
+    let u = float g 1.0 in
+    int_of_float (floor (log1p (-.u) /. log1p (-.p)))
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let sample_without_replacement g k n =
+  if k < 0 || k > n then invalid_arg "Prng.sample_without_replacement";
+  (* Partial Fisher-Yates over an index array: O(n) setup, fine for the
+     network sizes used here. *)
+  let idx = Array.init n (fun i -> i) in
+  for i = 0 to k - 1 do
+    let j = i + int g (n - i) in
+    let tmp = idx.(i) in
+    idx.(i) <- idx.(j);
+    idx.(j) <- tmp
+  done;
+  Array.sub idx 0 k
+
+let pick g a =
+  if Array.length a = 0 then invalid_arg "Prng.pick: empty array";
+  a.(int g (Array.length a))

@@ -1,0 +1,85 @@
+type accum = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable lo : float;
+  mutable hi : float;
+}
+
+let accum () = { n = 0; mean = 0.; m2 = 0.; lo = infinity; hi = neg_infinity }
+
+(* Welford's online algorithm: numerically stable single-pass variance. *)
+let observe a x =
+  a.n <- a.n + 1;
+  let delta = x -. a.mean in
+  a.mean <- a.mean +. (delta /. float_of_int a.n);
+  a.m2 <- a.m2 +. (delta *. (x -. a.mean));
+  if x < a.lo then a.lo <- x;
+  if x > a.hi then a.hi <- x
+
+let count a = a.n
+let mean a = if a.n = 0 then nan else a.mean
+let variance a = if a.n < 2 then nan else a.m2 /. float_of_int (a.n - 1)
+let stddev a = sqrt (variance a)
+
+let ci95 a =
+  if a.n < 2 then nan
+  else 1.959964 *. stddev a /. sqrt (float_of_int a.n)
+
+let min_obs a = if a.n = 0 then nan else a.lo
+let max_obs a = if a.n = 0 then nan else a.hi
+
+let proportion_ci95 ~successes ~trials =
+  if trials <= 0 then invalid_arg "Stats.proportion_ci95";
+  let z = 1.959964 in
+  let n = float_of_int trials and x = float_of_int successes in
+  let p = x /. n in
+  let z2 = z *. z in
+  let denom = 1. +. (z2 /. n) in
+  let centre = (p +. (z2 /. (2. *. n))) /. denom in
+  let half =
+    z *. sqrt ((p *. (1. -. p) /. n) +. (z2 /. (4. *. n *. n))) /. denom
+  in
+  (max 0. (centre -. half), min 1. (centre +. half))
+
+type histogram = {
+  h_lo : float;
+  h_hi : float;
+  width : float;
+  counts : int array;
+  mutable total : int;
+}
+
+let histogram ~lo ~hi ~bins =
+  if bins <= 0 || lo >= hi then invalid_arg "Stats.histogram";
+  { h_lo = lo; h_hi = hi; width = (hi -. lo) /. float_of_int bins;
+    counts = Array.make bins 0; total = 0 }
+
+let hist_observe h x =
+  let bins = Array.length h.counts in
+  let i = int_of_float (floor ((x -. h.h_lo) /. h.width)) in
+  let i = if i < 0 then 0 else if i >= bins then bins - 1 else i in
+  h.counts.(i) <- h.counts.(i) + 1;
+  h.total <- h.total + 1
+
+let hist_counts h = Array.copy h.counts
+let hist_total h = h.total
+
+let hist_quantile h q =
+  if h.total = 0 then nan
+  else begin
+    let q = if q < 0. then 0. else if q > 1. then 1. else q in
+    let target = q *. float_of_int h.total in
+    let rec go i acc =
+      if i >= Array.length h.counts - 1 then i
+      else
+        let acc' = acc +. float_of_int h.counts.(i) in
+        if acc' >= target then i else go (i + 1) acc'
+    in
+    let bin = go 0 0. in
+    h.h_lo +. ((float_of_int bin +. 0.5) *. h.width)
+  end
+
+let mean_of = function
+  | [] -> invalid_arg "Stats.mean_of: empty list"
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)

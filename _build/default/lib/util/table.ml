@@ -1,0 +1,50 @@
+type align = Left | Right
+
+let pad a width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match a with Left -> s ^ fill | Right -> fill ^ s
+
+let render ?(align = []) ~header rows =
+  let ncols = List.length header in
+  let aligns =
+    Array.init ncols (fun i ->
+        match List.nth_opt align i with Some a -> a | None -> Left)
+  in
+  let normalize row =
+    let row = if List.length row > ncols then List.filteri (fun i _ -> i < ncols) row else row in
+    row @ List.init (ncols - List.length row) (fun _ -> "")
+  in
+  let rows = List.map normalize rows in
+  let widths = Array.make ncols 0 in
+  let measure row =
+    List.iteri (fun i cell -> if String.length cell > widths.(i) then widths.(i) <- String.length cell) row
+  in
+  measure header;
+  List.iter measure rows;
+  let buf = Buffer.create 256 in
+  let emit_row row =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad aligns.(i) widths.(i) cell))
+      row;
+    (* Trim trailing spaces introduced by padding the last column. *)
+    let line = Buffer.contents buf in
+    Buffer.clear buf;
+    let len = ref (String.length line) in
+    while !len > 0 && line.[!len - 1] = ' ' do decr len done;
+    Buffer.add_string buf (String.sub line 0 !len);
+    Buffer.add_char buf '\n'
+  in
+  emit_row header;
+  let sep = List.init ncols (fun i -> String.make widths.(i) '-') in
+  emit_row sep;
+  List.iter emit_row rows;
+  Buffer.contents buf
+
+let print ?align ~header rows = print_string (render ?align ~header rows)
+let fpct p = Printf.sprintf "%.2f%%" (100. *. p)
+let ffix d x = Printf.sprintf "%.*f" d x

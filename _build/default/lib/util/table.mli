@@ -1,0 +1,31 @@
+(** Plain-text table renderer for experiment output.
+
+    Every bench target prints its rows through this module so that
+    EXPERIMENTS.md and the captured bench output share one format. *)
+
+type align = Left | Right
+
+val render :
+  ?align:align list ->
+  header:string list ->
+  string list list ->
+  string
+(** [render ~header rows] lays the rows out in a fixed-width grid with a
+    separator line under the header. [align] gives per-column alignment
+    (default all [Left]; shorter lists are padded with [Left]). Rows
+    shorter than the header are padded with empty cells. *)
+
+val print :
+  ?align:align list ->
+  header:string list ->
+  string list list ->
+  unit
+(** [print] is [render] followed by output to stdout with a trailing
+    newline. *)
+
+val fpct : float -> string
+(** Format a probability as a percentage with two decimals, e.g.
+    [fpct 0.0213 = "2.13%"]. *)
+
+val ffix : int -> float -> string
+(** [ffix d x] formats [x] with [d] decimal places. *)

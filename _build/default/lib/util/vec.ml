@@ -1,0 +1,28 @@
+type 'a t = { mutable data : 'a array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+let length v = v.len
+
+let push v x =
+  if v.len = Array.length v.data then begin
+    let ncap = if v.len = 0 then 8 else 2 * v.len in
+    let nd = Array.make ncap x in
+    Array.blit v.data 0 nd 0 v.len;
+    v.data <- nd
+  end;
+  v.data.(v.len) <- x;
+  v.len <- v.len + 1
+
+let check v i = if i < 0 || i >= v.len then invalid_arg "Vec: index out of range"
+
+let get v i = check v i; v.data.(i)
+let set v i x = check v i; v.data.(i) <- x
+
+let iteri f v =
+  for i = 0 to v.len - 1 do
+    f i v.data.(i)
+  done
+
+let to_array v = Array.sub v.data 0 v.len
+let of_array a = { data = Array.copy a; len = Array.length a }
+let clear v = v.len <- 0

@@ -1,0 +1,15 @@
+(** Growable array (amortized O(1) push), used as the backing store for
+    the mutable flow-graph arc lists. OCaml 5.1's standard library has no
+    [Dynarray]; this is the small subset the repository needs. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val push : 'a t -> 'a -> unit
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val to_array : 'a t -> 'a array
+val of_array : 'a array -> 'a t
+val clear : 'a t -> unit

@@ -1,0 +1,1 @@
+test/test_balance.ml: Alcotest Rsin_sim Rsin_topology Rsin_util

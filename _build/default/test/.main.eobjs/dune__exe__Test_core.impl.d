@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Fun Hashtbl List QCheck QCheck_alcotest Rsin_core Rsin_flow Rsin_sim Rsin_topology Rsin_util

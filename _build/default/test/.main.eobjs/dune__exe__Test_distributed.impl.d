@@ -1,0 +1,1 @@
+test/test_distributed.ml: Alcotest Format Fun List QCheck QCheck_alcotest Rsin_core Rsin_distributed Rsin_sim Rsin_topology Rsin_util String

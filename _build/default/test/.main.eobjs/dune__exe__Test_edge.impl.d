@@ -1,0 +1,1 @@
+test/test_edge.ml: Alcotest Array Format Fun List Printf Rsin_core Rsin_distributed Rsin_flow Rsin_topology Rsin_util String

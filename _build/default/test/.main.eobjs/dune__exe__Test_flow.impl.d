@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Array Decompose Dinic Edmonds_karp Graph List Mincost Out_of_kilter QCheck QCheck_alcotest Rsin_flow Rsin_util

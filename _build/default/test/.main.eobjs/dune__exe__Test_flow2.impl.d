@@ -1,0 +1,1 @@
+test/test_flow2.ml: Alcotest Array Dinic Fun Graph Hashtbl Hopcroft_karp List Push_relabel QCheck QCheck_alcotest Rsin_core Rsin_flow Rsin_lp Rsin_topology Rsin_util

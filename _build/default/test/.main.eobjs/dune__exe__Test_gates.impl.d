@@ -1,0 +1,1 @@
+test/test_gates.ml: Alcotest Fun List QCheck QCheck_alcotest Rsin_core Rsin_gates Rsin_sim Rsin_topology Rsin_util

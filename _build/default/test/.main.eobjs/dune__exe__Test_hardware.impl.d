@@ -1,0 +1,1 @@
+test/test_hardware.ml: Alcotest Rsin_distributed Rsin_sim Rsin_topology Rsin_util

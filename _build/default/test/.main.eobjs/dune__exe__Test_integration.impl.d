@@ -1,0 +1,1 @@
+test/test_integration.ml: Fun Hashtbl List QCheck QCheck_alcotest Rsin_core Rsin_distributed Rsin_sim Rsin_topology Rsin_util

@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Format List QCheck QCheck_alcotest Rsin_flow Rsin_lp Rsin_util Simplex String

@@ -1,0 +1,1 @@
+test/test_packet.ml: Alcotest Rsin_sim Rsin_topology Rsin_util

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest List QCheck QCheck_alcotest Rsin_core Rsin_sim Rsin_topology Rsin_util

@@ -1,0 +1,1 @@
+test/test_switchbox.ml: Alcotest Array Fun List Printf QCheck QCheck_alcotest Rsin_core Rsin_distributed Rsin_topology Rsin_util

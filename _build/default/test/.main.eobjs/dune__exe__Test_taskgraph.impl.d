@@ -1,0 +1,1 @@
+test/test_taskgraph.ml: Alcotest List QCheck QCheck_alcotest Rsin_sim Rsin_topology Rsin_util

@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array Builders Fun List Network QCheck QCheck_alcotest Rsin_topology Rsin_util String

@@ -1,0 +1,1 @@
+test/test_topology2.ml: Alcotest Array Fun List Printf QCheck QCheck_alcotest Rsin_core Rsin_topology Rsin_util

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bitset Dsu Float Fun Gen Hashtbl Heap List Prng QCheck QCheck_alcotest Rsin_util Stats String Table Vec

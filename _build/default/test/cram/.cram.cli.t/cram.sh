@@ -1,0 +1,11 @@
+  $ rsin info omega:8
+  $ rsin props benes:8
+  $ rsin props clos:3,2,4 | tail -2
+  $ rsin schedule omega-paper:8 --requests 0,2,4 --free 1,3,5
+  $ rsin trace omega-paper:8 --requests 0,1 --free 6,7 | head -3
+  $ rsin info delta-ab:4x2^2
+  $ rsin perm 4 --perm 3,2,1,0
+  $ rsin gates omega-paper:8 --requests 0,2 --free 5,6 | head -1
+  $ rsin info omega:7
+  $ rsin schedule omega-paper:8 --requests 0,1 --free 6,7 --explain
+  $ rsin show omega-paper:8 --requests 0,2,4 --free 1,3,5

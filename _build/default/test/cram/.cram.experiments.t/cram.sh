@@ -1,0 +1,5 @@
+  $ rsin blocking omega:8 --trials 100 --req-density 0.7 --res-density 0.7 --seed 3
+  $ rsin simulate omega:8 --arrival 0.1 --slots 1000 --service 3 --seed 2 | head -4
+  $ rsin dot omega:4 | head -4
+  $ rsin dot omega:4 | tail -1
+  $ rsin schedule omega-paper:8 --requests 0,1,2,3 --free 4,5,6,7 --scheduler address-map --seed 5

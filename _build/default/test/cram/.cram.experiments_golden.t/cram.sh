@@ -1,0 +1,4 @@
+  $ rsin-bench fig2 | tail -14
+  $ rsin-bench fig8 | tail -7
+  $ rsin-bench fig3_4 fig5 | grep -v "^RSIN\|^(Juang\|^ Multi" | head -20
+  $ rsin-bench hardware | sed -n '2,9p'

@@ -1,0 +1,36 @@
+Blocking estimation from the CLI is deterministic per seed:
+
+  $ rsin blocking omega:8 --trials 100 --req-density 0.7 --res-density 0.7 --seed 3
+  scheduler             blocking  ci95     utilization  trials
+  --------------------  --------  -------  -----------  ------
+  optimal (max-flow)    0.90%     +-0.78%  87.68%       100
+  first-fit heuristic   2.21%     +-1.19%  86.41%       100
+  random-fit heuristic  3.48%     +-1.43%  85.38%       100
+  address mapping       19.27%    +-3.15%  71.10%       100
+
+The dynamic simulation reports the standard metrics:
+
+  $ rsin simulate omega:8 --arrival 0.1 --slots 1000 --service 3 --seed 2 | head -4
+  metric                     value
+  -------------------------  ------
+  throughput (tasks/slot)    0.766
+  offered load (tasks/slot)  0.766
+
+Graphviz output is well-formed:
+
+  $ rsin dot omega:4 | head -4
+  digraph omega4 {
+    rankdir=LR;
+    p0 [shape=circle];
+    p1 [shape=circle];
+  $ rsin dot omega:4 | tail -1
+  }
+
+Heuristic schedulers are selectable:
+
+  $ rsin schedule omega-paper:8 --requests 0,1,2,3 --free 4,5,6,7 --scheduler address-map --seed 5
+  requests: 0,1,2,3
+  free:     4,5,6,7
+  allocated 2/4:
+    p1 -> r5
+    p2 -> r6

@@ -1,0 +1,55 @@
+The paper's worked examples are deterministic; their tables are golden.
+
+  $ rsin-bench fig2 | tail -14
+  
+  == E1 (Fig. 2): 8x8 Omega worked example ==
+  mapping policy          allocated  paper says
+  ----------------------  ---------  ----------
+  optimal (max-flow)      5/5        5/5
+  paper's counterexample  4/5        4/5
+  first-fit heuristic     4/5        -
+  optimal mapping found:
+    p1 -> r3
+    p3 -> r5
+    p5 -> r7
+    p7 -> r1
+    p8 -> r8
+  
+
+  $ rsin-bench fig8 | tail -7
+  == E4 (Fig. 8): layered network on a 4x4 MRSIN ==
+  configuration                             allocated            paper says
+  ----------------------------------------  -------------------  ----------------
+  greedy initial mapping {(p1,r4),(p4,r1)}  2/3 (p2 blocked)     2/3 (p2 blocked)
+  after flow augmentation (Dinic)           3/3                  3/3
+  distributed token realization             3/3 in 1 iterations  3/3
+  
+
+  $ rsin-bench fig3_4 fig5 | grep -v "^RSIN\|^(Juang\|^ Multi" | head -20
+  
+  == E2 (Figs. 3-4): flow augmentation as reallocation ==
+  step                           allocated  paper says
+  -----------------------------  ---------  ------------------
+  initial mapping {(pa,rd)}      1          1 (pc blocked)
+  augmenting path cancels (a,d)  yes        yes
+  after augmentation             2          2 (both allocated)
+  final circuits: pa->rb carries 2, pc->rd carries 2
+  
+  == E3 (Fig. 5): Transformation 2 (priorities/preferences) ==
+  solver                     allocated  mapping                  allocation cost
+  -------------------------  ---------  -----------------------  ---------------
+  successive shortest paths  3/3        (p3,r1) (p5,r5) (p8,r7)  17
+  out-of-kilter              3/3        (p3,r1) (p5,r5) (p8,r7)  17
+  (paper reports {(p3,r5),(p5,r1),(p8,r7)}: all three allocated, most-preferred
+   resources r5, r1, r7 chosen; pairing among them is cost-equivalent)
+  
+
+  $ rsin-bench hardware | sed -n '2,9p'
+  (Juang & Wah, "Resource Sharing Interconnection Networks in
+   Multiprocessors"; see EXPERIMENTS.md for the experiment index)
+  
+  == E14: hardware cost model (Section IV-B claims) ==
+  network    boxes  NS flip-flops/box  total flip-flops  total gate equiv  bus bits  monitor state (words)
+  ---------  -----  -----------------  ----------------  ----------------  --------  ---------------------
+  omega 8    12     13                 195               806               7         430
+  omega 16   32     13                 487               2039              7         994

@@ -1,0 +1,22 @@
+let () =
+  Alcotest.run "rsin"
+    [
+      ("util", Test_util.suite);
+      ("flow", Test_flow.suite);
+      ("flow2", Test_flow2.suite);
+      ("lp", Test_lp.suite);
+      ("topology", Test_topology.suite);
+      ("topology2", Test_topology2.suite);
+      ("core", Test_core.suite);
+      ("distributed", Test_distributed.suite);
+      ("sim", Test_sim.suite);
+      ("hardware", Test_hardware.suite);
+      ("gates", Test_gates.suite);
+      ("switchbox", Test_switchbox.suite);
+      ("queueing", Test_queueing.suite);
+      ("taskgraph", Test_taskgraph.suite);
+      ("packet", Test_packet.suite);
+      ("edge", Test_edge.suite);
+      ("integration", Test_integration.suite);
+      ("balance", Test_balance.suite);
+    ]

@@ -1,0 +1,60 @@
+(* Tests for the load-balancing simulation. *)
+
+module LB = Rsin_sim.Load_balance
+module Builders = Rsin_topology.Builders
+module Prng = Rsin_util.Prng
+
+let check = Alcotest.check
+
+let params =
+  { LB.slots = 2500; warmup = 400; hi = 4; lo = 2; hot_workers = 4;
+    hot_rate = 0.9; cold_rate = 0.3; service_rate = 0.5 }
+
+let test_balancing_stabilizes () =
+  let on = LB.run ~balancing:true (Prng.create 1) (Builders.omega 16) params in
+  let off = LB.run ~balancing:false (Prng.create 1) (Builders.omega 16) params in
+  check Alcotest.bool "migrations happen" true (on.LB.migrations > 0);
+  check Alcotest.bool "no migrations when off" true (off.LB.migrations = 0);
+  check Alcotest.bool "balanced queues are bounded" true (on.LB.mean_queue < 10.);
+  check Alcotest.bool "unbalanced queues diverge" true
+    (off.LB.mean_queue > 10. *. on.LB.mean_queue);
+  check Alcotest.bool "balancing restores throughput" true
+    (on.LB.throughput > off.LB.throughput);
+  check Alcotest.bool "imbalance shrinks" true
+    (on.LB.queue_stddev < off.LB.queue_stddev)
+
+let test_no_hot_spot_no_migrations_needed () =
+  let p = { params with hot_workers = 0; cold_rate = 0.3 } in
+  let m = LB.run (Prng.create 2) (Builders.omega 16) p in
+  (* uniform light load: migrations may occur but queues stay small *)
+  check Alcotest.bool "small queues" true (m.LB.mean_queue < 3.)
+
+let test_validation () =
+  Alcotest.check_raises "hi > lo"
+    (Invalid_argument "Load_balance.run: hi must exceed lo") (fun () ->
+      ignore
+        (LB.run (Prng.create 1) (Builders.omega 8) { params with hi = 2; lo = 2 }));
+  Alcotest.check_raises "asymmetric network"
+    (Invalid_argument "Load_balance.run: need equal processor and resource counts")
+    (fun () ->
+      ignore
+        (LB.run (Prng.create 1) (Builders.delta_ab ~a:4 ~b:2 ~stages:2) params));
+  Alcotest.check_raises "service rate"
+    (Invalid_argument "Load_balance.run: service_rate") (fun () ->
+      ignore
+        (LB.run (Prng.create 1) (Builders.omega 8)
+           { params with service_rate = 0. }))
+
+let test_deterministic () =
+  let r () = LB.run (Prng.create 7) (Builders.omega 16) params in
+  check Alcotest.int "same seed, same migrations" (r ()).LB.migrations
+    (r ()).LB.migrations
+
+let suite =
+  [
+    Alcotest.test_case "balancing stabilizes hot spots" `Quick
+      test_balancing_stabilizes;
+    Alcotest.test_case "uniform load" `Quick test_no_hot_spot_no_migrations_needed;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+  ]

@@ -1,0 +1,719 @@
+(* Tests for the paper's transformations and schedulers: Transformation 1
+   (max-flow), Transformation 2 (min-cost with priorities), heterogeneous
+   multicommodity scheduling, the heuristic baselines, the unified
+   scheduler facade and the monitor architecture. *)
+
+module Network = Rsin_topology.Network
+module Builders = Rsin_topology.Builders
+module T1 = Rsin_core.Transform1
+module T2 = Rsin_core.Transform2
+module Hetero = Rsin_core.Hetero
+module Heuristic = Rsin_core.Heuristic
+module Scheduler = Rsin_core.Scheduler
+module Monitor = Rsin_core.Monitor
+module Prng = Rsin_util.Prng
+
+let check = Alcotest.check
+let qtest name ?(count = 100) gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count gen prop)
+
+(* --- helpers ------------------------------------------------------------- *)
+
+let pre_establish net (p, r) =
+  match Builders.route_unique net ~proc:p ~res:r with
+  | Some links -> ignore (Network.establish net links)
+  | None -> Alcotest.fail "cannot pre-establish circuit"
+
+(* Validity of a schedule: injective mapping within the populations, and
+   circuits that can actually be established together. *)
+let mapping_valid net ~requests ~free mapping circuits =
+  let procs = List.map fst mapping and ress = List.map snd mapping in
+  List.length (List.sort_uniq compare procs) = List.length procs
+  && List.length (List.sort_uniq compare ress) = List.length ress
+  && List.for_all (fun p -> List.mem p requests) procs
+  && List.for_all (fun r -> List.mem r free) ress
+  &&
+  let scratch = Network.copy net in
+  try
+    List.iter (fun (_p, links) -> ignore (Network.establish scratch links)) circuits;
+    (* each circuit starts at its processor and ends at its resource *)
+    List.for_all2
+      (fun (p, r) (p', links) ->
+        p = p'
+        && (match Network.link_src scratch (List.hd links) with
+           | Network.Proc q -> q = p
+           | _ -> false)
+        &&
+        match Network.link_dst scratch (List.nth links (List.length links - 1)) with
+        | Network.Res q -> q = r
+        | _ -> false)
+      mapping circuits
+  with Invalid_argument _ -> false
+
+(* Brute-force optimum on unique-path networks: maximum subset of an
+   injective request->resource assignment whose unique paths are pairwise
+   link-disjoint. *)
+let brute_force_max net ~requests ~free =
+  let paths = Hashtbl.create 16 in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun r ->
+          match Builders.route_unique net ~proc:p ~res:r with
+          | Some links -> Hashtbl.replace paths (p, r) links
+          | None -> ())
+        free)
+    requests;
+  let rec best requests used_res used_links =
+    match requests with
+    | [] -> 0
+    | p :: rest ->
+      let skip = best rest used_res used_links in
+      let take =
+        List.fold_left
+          (fun acc r ->
+            if List.mem r used_res then acc
+            else
+              match Hashtbl.find_opt paths (p, r) with
+              | None -> acc
+              | Some links ->
+                if List.exists (fun l -> List.mem l used_links) links then acc
+                else max acc (1 + best rest (r :: used_res) (links @ used_links)))
+          0 free
+      in
+      max skip take
+  in
+  best requests [] []
+
+let random_scenario rng =
+  let n = 8 in
+  let net =
+    match Prng.int rng 3 with
+    | 0 -> Builders.omega_paper n
+    | 1 -> Builders.butterfly n
+    | _ -> Builders.baseline n
+  in
+  (* random pre-occupied circuits *)
+  for _ = 1 to Prng.int rng 3 do
+    let p = Prng.int rng n and r = Prng.int rng n in
+    match Builders.route_unique net ~proc:p ~res:r with
+    | Some links -> ignore (Network.establish net links)
+    | None -> ()
+  done;
+  let busy_p = ref [] and busy_r = ref [] in
+  List.iter
+    (fun (_, links) ->
+      (match Network.link_src net (List.hd links) with
+      | Network.Proc p -> busy_p := p :: !busy_p
+      | _ -> ());
+      match Network.link_dst net (List.nth links (List.length links - 1)) with
+      | Network.Res r -> busy_r := r :: !busy_r
+      | _ -> ())
+    (Network.circuits net);
+  let requests =
+    List.filter
+      (fun p -> (not (List.mem p !busy_p)) && Prng.bernoulli rng 0.5)
+      (List.init n Fun.id)
+  in
+  let free =
+    List.filter
+      (fun r -> (not (List.mem r !busy_r)) && Prng.bernoulli rng 0.5)
+      (List.init n Fun.id)
+  in
+  (net, requests, free)
+
+(* --- Transformation 1 ------------------------------------------------------ *)
+
+(* Paper Fig. 2: 8x8 Omega (paper numbering), p2-r6 and p4-r4 occupied,
+   p1,p3,p5,p7,p8 requesting, r1,r3,r5,r7,r8 free. Optimal = 5/5; the
+   paper's counterexample mapping reaches only 4. *)
+let test_fig2_optimal () =
+  let net = Builders.omega_paper 8 in
+  pre_establish net (1, 5); (* p2 -> r6, 0-indexed *)
+  pre_establish net (3, 3); (* p4 -> r4 *)
+  let requests = [ 0; 2; 4; 6; 7 ] and free = [ 0; 2; 4; 6; 7 ] in
+  let o = T1.schedule net ~requests ~free in
+  check Alcotest.int "all five allocated" 5 o.T1.allocated;
+  check Alcotest.int "none blocked" 0 o.T1.blocked;
+  check Alcotest.bool "valid" true
+    (mapping_valid net ~requests ~free o.T1.mapping o.T1.circuits)
+
+let test_fig2_bad_mapping_blocks () =
+  let net = Builders.omega_paper 8 in
+  pre_establish net (1, 5);
+  pre_establish net (3, 3);
+  (* the paper's suboptimal mapping: (p1,r1),(p3,r5),(p5,r3),(p7,r7),(p8,r8) *)
+  let bad = [ (0, 0); (2, 4); (4, 2); (6, 6); (7, 7) ] in
+  let allocated =
+    List.fold_left
+      (fun acc (p, r) ->
+        match Builders.route_unique net ~proc:p ~res:r with
+        | Some links ->
+          ignore (Network.establish net links);
+          acc + 1
+        | None -> acc)
+      0 bad
+  in
+  check Alcotest.int "paper's mapping strands one request" 4 allocated
+
+let test_t1_no_requests () =
+  let net = Builders.omega 8 in
+  let o = T1.schedule net ~requests:[] ~free:[ 0; 1 ] in
+  check Alcotest.int "nothing to do" 0 o.T1.allocated
+
+let test_t1_no_free () =
+  let net = Builders.omega 8 in
+  let o = T1.schedule net ~requests:[ 0; 1 ] ~free:[] in
+  check Alcotest.int "no resources" 0 o.T1.allocated;
+  check Alcotest.int "all blocked" 2 o.T1.blocked
+
+let test_t1_crossbar_always_full () =
+  (* A crossbar never blocks: allocation = min(x, y). *)
+  let net = Builders.crossbar ~n_procs:5 ~n_res:3 in
+  let o = T1.schedule net ~requests:[ 0; 1; 2; 3; 4 ] ~free:[ 0; 1; 2 ] in
+  check Alcotest.int "min(x,y)" 3 o.T1.allocated
+
+let test_t1_duplicates_ignored () =
+  let net = Builders.omega 8 in
+  let o = T1.schedule net ~requests:[ 0; 0; 1 ] ~free:[ 2; 2 ] in
+  check Alcotest.int "dedup requests" 2 o.T1.requested;
+  check Alcotest.int "dedup free" 1 o.T1.allocated
+
+let test_t1_bad_input () =
+  let net = Builders.omega 8 in
+  Alcotest.check_raises "bad processor"
+    (Invalid_argument "Transform1.build: bad processor") (fun () ->
+      ignore (T1.build net ~requests:[ 8 ] ~free:[ 0 ]));
+  Alcotest.check_raises "bad resource"
+    (Invalid_argument "Transform1.build: bad resource") (fun () ->
+      ignore (T1.build net ~requests:[ 0 ] ~free:[ -1 ]))
+
+let test_t1_algorithms_agree () =
+  let rng = Prng.create 1234 in
+  for _ = 1 to 50 do
+    let net, requests, free = random_scenario rng in
+    if requests <> [] && free <> [] then begin
+      let a = T1.schedule ~algorithm:T1.Dinic net ~requests ~free in
+      let b = T1.schedule ~algorithm:T1.Edmonds_karp net ~requests ~free in
+      check Alcotest.int "Dinic = EK" a.T1.allocated b.T1.allocated
+    end
+  done
+
+let t1_matches_bruteforce =
+  qtest "Transformation 1 = brute force on unique-path nets" ~count:60
+    QCheck.small_int (fun seed ->
+      let rng = Prng.create seed in
+      let net = Builders.omega_paper 8 in
+      for _ = 1 to Prng.int rng 3 do
+        let p = Prng.int rng 8 and r = Prng.int rng 8 in
+        match Builders.route_unique net ~proc:p ~res:r with
+        | Some links -> ignore (Network.establish net links)
+        | None -> ()
+      done;
+      let busy_p, busy_r = Rsin_sim.Workload.occupied_endpoints net in
+      let all = List.init 8 Fun.id in
+      let requests =
+        List.filter
+          (fun p -> (not (List.mem p busy_p)) && Prng.bernoulli rng 0.4)
+          all
+      in
+      let free =
+        List.filter
+          (fun r -> (not (List.mem r busy_r)) && Prng.bernoulli rng 0.4)
+          all
+      in
+      let o = T1.schedule net ~requests ~free in
+      o.T1.allocated = brute_force_max net ~requests ~free)
+
+let t1_valid_circuits =
+  qtest "Transformation 1 outcomes are valid schedules" ~count:100
+    QCheck.small_int (fun seed ->
+      let rng = Prng.create seed in
+      let net, requests, free = random_scenario rng in
+      let o = T1.schedule net ~requests ~free in
+      mapping_valid net ~requests ~free o.T1.mapping o.T1.circuits)
+
+let test_t1_commit () =
+  let net = Builders.omega 8 in
+  let o = T1.schedule net ~requests:[ 0; 1 ] ~free:[ 2; 3 ] in
+  let ids = T1.commit net o in
+  check Alcotest.int "circuits committed" 2 (List.length ids);
+  check Alcotest.int "live" 2 (List.length (Network.circuits net));
+  (* committed circuits consume capacity for later rounds *)
+  let o2 = T1.schedule net ~requests:[ 0 ] ~free:[ 2 ] in
+  check Alcotest.int "proc 0 now busy upstream" 0 o2.T1.allocated
+
+let test_t1_graph_shape () =
+  (* The transformed graph must contain s, t, one node per box, one per
+     requesting processor, one per free resource. *)
+  let net = Builders.omega 8 in
+  let tr = T1.build net ~requests:[ 0; 1; 2 ] ~free:[ 4; 5 ] in
+  let g = T1.graph tr in
+  check Alcotest.int "node count" (2 + 12 + 3 + 2) (Rsin_flow.Graph.node_count g);
+  check Alcotest.bool "proc node present" true (T1.proc_node tr 0 <> None);
+  check Alcotest.bool "non-requesting absent" true (T1.proc_node tr 3 = None);
+  check Alcotest.bool "free res present" true (T1.res_node tr 4 <> None);
+  check Alcotest.bool "busy res absent" true (T1.res_node tr 0 = None);
+  check Alcotest.int "max allocatable" 2 (T1.max_allocatable tr);
+  (* arcs: 3 S + 2 T + free links whose endpoints exist *)
+  check Alcotest.bool "arc count sane" true (Rsin_flow.Graph.arc_count g > 5)
+
+let test_t1_bottleneck () =
+  (* p0 and p1 share the first-stage box, r6 and r7 the last-stage box:
+     the unique middle link is the bottleneck, and the min cut names it. *)
+  let net = Builders.omega_paper 8 in
+  let tr = T1.build net ~requests:[ 0; 1 ] ~free:[ 6; 7 ] in
+  let o = T1.solve tr in
+  check Alcotest.int "one allocated" 1 o.T1.allocated;
+  let cut = T1.bottleneck tr in
+  check Alcotest.int "cut size = flow value" o.T1.allocated (List.length cut);
+  (match cut with
+  | [ `Link l ] ->
+    (* the binding constraint is an interior link, not an endpoint *)
+    (match (Network.link_src net l, Network.link_dst net l) with
+    | Network.Box_out _, Network.Box_in _ -> ()
+    | _ -> Alcotest.fail "expected an inter-stage bottleneck link")
+  | _ -> Alcotest.fail "expected exactly one bottleneck link")
+
+let bottleneck_matches_maxflow =
+  qtest "min-cut size always equals allocation" ~count:60 QCheck.small_int
+    (fun seed ->
+      let rng = Prng.create seed in
+      let net, requests, free = random_scenario rng in
+      if requests = [] || free = [] then true
+      else begin
+        let tr = T1.build net ~requests ~free in
+        let o = T1.solve tr in
+        List.length (T1.bottleneck tr) = o.T1.allocated
+      end)
+
+(* --- Transformation 2 ------------------------------------------------------ *)
+
+(* Fig. 5 structure: p3, p5, p8 requesting with priorities; r1, r3, r5,
+   r7, r8 free with preferences. With a free network all three must be
+   allocated, to the three highest-preference resources. *)
+let test_fig5_structure () =
+  let net = Builders.omega_paper 8 in
+  let requests = [ (2, 4); (4, 9); (7, 2) ] in
+  let free = [ (0, 7); (2, 2); (4, 9); (6, 6); (7, 3) ] in
+  let o = T2.schedule net ~requests ~free in
+  check Alcotest.int "all allocated" 3 o.T2.allocated;
+  check Alcotest.(list int) "no bypass" [] o.T2.bypassed;
+  let used = List.sort compare (List.map snd o.T2.mapping) in
+  check Alcotest.(list int) "three most preferred resources" [ 0; 4; 6 ] used
+
+let test_t2_priority_wins () =
+  (* Crossbar with a single resource: the high-priority request gets it. *)
+  let net = Builders.crossbar ~n_procs:2 ~n_res:1 in
+  let o = T2.schedule net ~requests:[ (0, 1); (1, 9) ] ~free:[ (0, 5) ] in
+  check Alcotest.int "one allocated" 1 o.T2.allocated;
+  check Alcotest.(list (pair int int)) "p1 wins" [ (1, 0) ] o.T2.mapping;
+  check Alcotest.(list int) "p0 bypassed" [ 0 ] o.T2.bypassed
+
+let test_t2_preference_chosen () =
+  let net = Builders.crossbar ~n_procs:1 ~n_res:3 in
+  let o = T2.schedule net ~requests:[ (0, 5) ] ~free:[ (0, 2); (1, 8); (2, 5) ] in
+  check Alcotest.(list (pair int int)) "picks pref 8" [ (0, 1) ] o.T2.mapping
+
+let test_t2_allocation_beats_priority () =
+  (* Theorem 3: maximizing the number of allocations dominates priority
+     order. Two resources, two requests; even if one request has far
+     higher priority, both must be allocated. *)
+  let net = Builders.crossbar ~n_procs:2 ~n_res:2 in
+  let o = T2.schedule net ~requests:[ (0, 1); (1, 10) ] ~free:[ (0, 1); (1, 10) ] in
+  check Alcotest.int "both allocated" 2 o.T2.allocated;
+  (* and the high-priority request gets the high-preference resource *)
+  check Alcotest.bool "assortative" true (List.mem (1, 1) o.T2.mapping)
+
+let test_t2_solvers_agree () =
+  let rng = Prng.create 77 in
+  for _ = 1 to 40 do
+    let net, requests, free = random_scenario rng in
+    if requests <> [] && free <> [] then begin
+      let reqs = List.map (fun p -> (p, 1 + Prng.int rng 10)) requests in
+      let frees = List.map (fun r -> (r, 1 + Prng.int rng 10)) free in
+      let a = T2.schedule ~solver:T2.Ssp net ~requests:reqs ~free:frees in
+      let b = T2.schedule ~solver:T2.Out_of_kilter net ~requests:reqs ~free:frees in
+      check Alcotest.int "allocated agree" a.T2.allocated b.T2.allocated;
+      check Alcotest.int "cost agree" a.T2.allocation_cost b.T2.allocation_cost
+    end
+  done
+
+let t2_allocates_like_t1 =
+  qtest "Transformation 2 allocates as many as Transformation 1" ~count:60
+    QCheck.small_int (fun seed ->
+      let rng = Prng.create seed in
+      let net, requests, free = random_scenario rng in
+      let reqs = List.map (fun p -> (p, 1 + Prng.int rng 10)) requests in
+      let frees = List.map (fun r -> (r, 1 + Prng.int rng 10)) free in
+      let o1 = T1.schedule net ~requests ~free in
+      let o2 = T2.schedule net ~requests:reqs ~free:frees in
+      o1.T1.allocated = o2.T2.allocated)
+
+let t2_valid_circuits =
+  qtest "Transformation 2 outcomes are valid schedules" ~count:60
+    QCheck.small_int (fun seed ->
+      let rng = Prng.create seed in
+      let net, requests, free = random_scenario rng in
+      let reqs = List.map (fun p -> (p, 1 + Prng.int rng 10)) requests in
+      let frees = List.map (fun r -> (r, 1 + Prng.int rng 10)) free in
+      let o = T2.schedule net ~requests:reqs ~free:frees in
+      mapping_valid net ~requests ~free o.T2.mapping o.T2.circuits
+      && List.length o.T2.mapping + List.length o.T2.bypassed
+         = List.length requests)
+
+let test_t2_validation () =
+  let net = Builders.omega 8 in
+  Alcotest.check_raises "duplicate processors"
+    (Invalid_argument "Transform2.build: duplicate processor") (fun () ->
+      ignore (T2.build net ~requests:[ (0, 1); (0, 2) ] ~free:[ (0, 1) ]));
+  Alcotest.check_raises "negative priority"
+    (Invalid_argument "Transform2.build: negative priority") (fun () ->
+      ignore (T2.build net ~requests:[ (0, -1) ] ~free:[ (0, 1) ]))
+
+(* --- Heterogeneous --------------------------------------------------------- *)
+
+let test_hetero_single_type_reduces_to_t1 () =
+  let rng = Prng.create 5 in
+  for _ = 1 to 20 do
+    let net, requests, free = random_scenario rng in
+    let spec =
+      Hetero.
+        { requests = List.map (fun p -> (p, 0, 0)) requests;
+          free = List.map (fun r -> (r, 0, 0)) free }
+    in
+    let lp = Hetero.schedule_lp net spec in
+    let t1 = T1.schedule net ~requests ~free in
+    check Alcotest.int "LP = max-flow" t1.T1.allocated lp.Hetero.allocated
+  done
+
+let test_hetero_types_respected () =
+  let net = Builders.crossbar ~n_procs:4 ~n_res:4 in
+  let spec =
+    Hetero.
+      { requests = [ (0, 0, 0); (1, 0, 0); (2, 1, 0); (3, 1, 0) ];
+        free = [ (0, 0, 0); (1, 1, 0); (2, 1, 0); (3, 2, 0) ] }
+  in
+  let o = Hetero.schedule_lp net spec in
+  (* one type-0 resource and two type-1 resources are usable *)
+  check Alcotest.int "allocated" 3 o.Hetero.allocated;
+  List.iter
+    (fun (p, r) ->
+      let _, pt, _ = List.find (fun (p', _, _) -> p' = p) spec.Hetero.requests in
+      let _, rt, _ = List.find (fun (r', _, _) -> r' = r) spec.Hetero.free in
+      check Alcotest.int "type match" pt rt)
+    o.Hetero.mapping;
+  check Alcotest.bool "LP bound present" true (o.Hetero.lp_objective <> None)
+
+let test_hetero_no_free_of_type () =
+  let net = Builders.crossbar ~n_procs:2 ~n_res:1 in
+  let spec =
+    Hetero.{ requests = [ (0, 0, 0); (1, 1, 0) ]; free = [ (0, 0, 0) ] }
+  in
+  let o = Hetero.schedule_lp net spec in
+  check Alcotest.int "only matching type allocated" 1 o.Hetero.allocated;
+  check Alcotest.(list (pair int int)) "p0 to r0" [ (0, 0) ] o.Hetero.mapping
+
+let hetero_lp_at_least_greedy =
+  qtest "multicommodity LP >= greedy sequential" ~count:40 QCheck.small_int
+    (fun seed ->
+      let rng = Prng.create seed in
+      let net, requests, free = random_scenario rng in
+      let spec =
+        Rsin_sim.Workload.hetero_spec rng ~types:(1 + Prng.int rng 3) ~requests
+          ~free
+      in
+      let lp = Hetero.schedule_lp net spec in
+      let greedy = Hetero.schedule_greedy net spec in
+      lp.Hetero.allocated >= greedy.Hetero.allocated)
+
+let hetero_valid =
+  qtest "heterogeneous outcomes are valid schedules" ~count:40 QCheck.small_int
+    (fun seed ->
+      let rng = Prng.create seed in
+      let net, requests, free = random_scenario rng in
+      let spec =
+        Rsin_sim.Workload.hetero_spec rng ~types:(1 + Prng.int rng 3) ~requests
+          ~free
+      in
+      let o = Hetero.schedule_lp net spec in
+      mapping_valid net ~requests ~free o.Hetero.mapping o.Hetero.circuits)
+
+let test_hetero_min_cost_priorities () =
+  (* Two same-type requests compete for one resource: higher priority
+     wins under Min_cost. *)
+  let net = Builders.crossbar ~n_procs:2 ~n_res:1 in
+  let spec =
+    Hetero.{ requests = [ (0, 0, 2); (1, 0, 9) ]; free = [ (0, 0, 5) ] }
+  in
+  let o = Hetero.schedule_lp ~objective:Hetero.Min_cost net spec in
+  check Alcotest.int "one allocated" 1 o.Hetero.allocated;
+  check Alcotest.(list (pair int int)) "priority 9 wins" [ (1, 0) ] o.Hetero.mapping;
+  check Alcotest.bool "cost reported" true (o.Hetero.cost <> None)
+
+let test_hetero_per_type_counts () =
+  let net = Builders.crossbar ~n_procs:3 ~n_res:3 in
+  let spec =
+    Hetero.
+      { requests = [ (0, 0, 0); (1, 0, 0); (2, 1, 0) ];
+        free = [ (0, 0, 0); (1, 1, 0); (2, 1, 0) ] }
+  in
+  let o = Hetero.schedule_lp net spec in
+  let find ty = List.find (fun (t, _, _) -> t = ty) o.Hetero.per_type in
+  let _, req0, alloc0 = find 0 in
+  check Alcotest.int "type0 requested" 2 req0;
+  check Alcotest.int "type0 allocated (one resource)" 1 alloc0;
+  let _, req1, alloc1 = find 1 in
+  check Alcotest.int "type1 requested" 1 req1;
+  check Alcotest.int "type1 allocated" 1 alloc1
+
+let test_hetero_integral_on_mins () =
+  (* The paper: restricted topologies have integral multicommodity
+     optima. Check the LP solution is integral across random MIN
+     scenarios. *)
+  let rng = Prng.create 31 in
+  for _ = 1 to 20 do
+    let net, requests, free = random_scenario rng in
+    let spec = Rsin_sim.Workload.hetero_spec rng ~types:2 ~requests ~free in
+    let o = Hetero.schedule_lp net spec in
+    check Alcotest.bool "integral optimum" true o.Hetero.integral
+  done
+
+let test_hetero_min_cost_missing_type () =
+  (* a request whose type has no free resource bypasses under Min_cost *)
+  let net = Builders.crossbar ~n_procs:2 ~n_res:1 in
+  let spec =
+    Hetero.{ requests = [ (0, 0, 3); (1, 1, 9) ]; free = [ (0, 0, 1) ] }
+  in
+  let o = Hetero.schedule_lp ~objective:Hetero.Min_cost net spec in
+  check Alcotest.int "only the matching type served" 1 o.Hetero.allocated;
+  check Alcotest.(list (pair int int)) "p0 served" [ (0, 0) ] o.Hetero.mapping
+
+(* --- Heuristics ------------------------------------------------------------- *)
+
+let heuristic_never_beats_optimal =
+  qtest "heuristics never beat the optimal scheduler" ~count:80
+    QCheck.small_int (fun seed ->
+      let rng = Prng.create seed in
+      let net, requests, free = random_scenario rng in
+      let opt = (T1.schedule net ~requests ~free).T1.allocated in
+      List.for_all
+        (fun policy ->
+          (Heuristic.schedule net ~requests ~free policy).Heuristic.allocated
+          <= opt)
+        [ Heuristic.First_fit; Heuristic.Random_fit (Prng.create seed);
+          Heuristic.Address_map (Prng.create seed) ])
+
+let heuristic_valid =
+  qtest "heuristic outcomes are valid schedules" ~count:60 QCheck.small_int
+    (fun seed ->
+      let rng = Prng.create seed in
+      let net, requests, free = random_scenario rng in
+      let o = Heuristic.schedule net ~requests ~free Heuristic.First_fit in
+      mapping_valid net ~requests ~free o.Heuristic.mapping o.Heuristic.circuits)
+
+let test_heuristic_does_not_mutate () =
+  let net = Builders.omega 8 in
+  let free_before = List.length (Network.free_links net) in
+  ignore (Heuristic.schedule net ~requests:[ 0; 1; 2 ] ~free:[ 0; 1; 2 ] Heuristic.First_fit);
+  check Alcotest.int "network untouched" free_before
+    (List.length (Network.free_links net))
+
+let test_heuristic_commit () =
+  let net = Builders.omega 8 in
+  let o = Heuristic.schedule net ~requests:[ 0; 1 ] ~free:[ 4; 5 ] Heuristic.First_fit in
+  let ids = Heuristic.commit net o in
+  check Alcotest.int "committed" (List.length o.Heuristic.circuits) (List.length ids)
+
+(* --- Scheduler facade --------------------------------------------------------- *)
+
+let test_infer () =
+  let req = Scheduler.request and res = Scheduler.resource in
+  check Alcotest.bool "homogeneous" true
+    (Scheduler.infer [ req 0; req 1 ] [ res 0 ] = Scheduler.Homogeneous);
+  check Alcotest.bool "prioritized" true
+    (Scheduler.infer [ req ~priority:2 0; req 1 ] [ res 0 ]
+    = Scheduler.Homogeneous_prioritized);
+  check Alcotest.bool "heterogeneous" true
+    (Scheduler.infer [ req ~rtype:1 0 ] [ res 0 ] = Scheduler.Heterogeneous);
+  check Alcotest.bool "hetero+prio" true
+    (Scheduler.infer [ req ~rtype:1 0 ] [ res ~preference:3 0; res 1 ]
+    = Scheduler.Heterogeneous_prioritized)
+
+let test_scheduler_dispatch () =
+  let net = Builders.omega_paper 8 in
+  let requests = List.map Scheduler.request [ 0; 2; 4 ] in
+  let resources = List.map Scheduler.resource [ 1; 3; 5 ] in
+  let r = Scheduler.schedule net ~requests ~resources in
+  check Alcotest.bool "homogeneous used" true (r.Scheduler.discipline = Scheduler.Homogeneous);
+  check Alcotest.int "all allocated" 3 r.Scheduler.allocated;
+  let ids = Scheduler.commit net r in
+  check Alcotest.int "committed" 3 (List.length ids)
+
+let test_scheduler_prioritized_dispatch () =
+  let net = Builders.crossbar ~n_procs:2 ~n_res:1 in
+  let r =
+    Scheduler.schedule net
+      ~requests:[ Scheduler.request ~priority:1 0; Scheduler.request ~priority:5 1 ]
+      ~resources:[ Scheduler.resource 0 ]
+  in
+  check Alcotest.bool "prioritized" true
+    (r.Scheduler.discipline = Scheduler.Homogeneous_prioritized);
+  check Alcotest.(list (pair int int)) "winner" [ (1, 0) ] r.Scheduler.mapping;
+  check Alcotest.bool "cost present" true (r.Scheduler.cost <> None)
+
+let test_scheduler_hetero_dispatch () =
+  let net = Builders.crossbar ~n_procs:2 ~n_res:2 in
+  let r =
+    Scheduler.schedule net
+      ~requests:[ Scheduler.request ~rtype:0 0; Scheduler.request ~rtype:1 1 ]
+      ~resources:[ Scheduler.resource ~rtype:1 0; Scheduler.resource ~rtype:0 1 ]
+  in
+  check Alcotest.bool "hetero" true (r.Scheduler.discipline = Scheduler.Heterogeneous);
+  check Alcotest.int "both allocated" 2 r.Scheduler.allocated;
+  check Alcotest.bool "lp bound" true (r.Scheduler.lp_bound <> None)
+
+(* --- Monitor ------------------------------------------------------------------ *)
+
+let test_monitor_lifecycle () =
+  let net = Builders.omega 8 in
+  let m = Monitor.create net in
+  Monitor.submit m 0;
+  Monitor.submit m 1;
+  Monitor.submit m 1; (* duplicate ignored *)
+  check Alcotest.(list int) "pending" [ 0; 1 ] (Monitor.pending m);
+  (* no resources ready: cycle does nothing *)
+  let r0 = Monitor.run_cycle m in
+  check Alcotest.int "nothing allocated" 0 (List.length r0.Monitor.allocated);
+  Monitor.resource_ready m 5;
+  Monitor.resource_ready m 6;
+  let r1 = Monitor.run_cycle m in
+  check Alcotest.int "both allocated" 2 (List.length r1.Monitor.allocated);
+  check Alcotest.bool "instructions counted" true (r1.Monitor.instructions > 0);
+  check Alcotest.(list int) "queue drained" [] (Monitor.pending m);
+  check Alcotest.(list int) "resources consumed" [] (Monitor.free_resources m);
+  check Alcotest.int "circuits live" 2
+    (List.length (Network.circuits (Monitor.network m)));
+  (* release a circuit, mark the resource ready again *)
+  (match r1.Monitor.circuit_ids with
+  | id :: _ -> Monitor.task_done m ~circuit:id
+  | [] -> Alcotest.fail "expected circuits");
+  check Alcotest.int "one circuit left" 1
+    (List.length (Network.circuits (Monitor.network m)));
+  check Alcotest.bool "cumulative instructions" true
+    (Monitor.total_instructions m >= r1.Monitor.instructions)
+
+(* Starvation scenario: p0 and p1 contend for the single interior link
+   toward r6/r7 every cycle; the winner immediately resubmits. Without
+   aging the deterministic tie-break can starve the loser; with aging
+   the loser's waiting time eventually outranks the winner. *)
+let run_contention_rounds ~aging rounds =
+  let m = Monitor.create ~aging (Builders.omega_paper 8) in
+  Monitor.submit m 0;
+  Monitor.submit m 1;
+  Monitor.resource_ready m 6;
+  Monitor.resource_ready m 7;
+  let wins = Array.make 2 0 in
+  for _ = 1 to rounds do
+    let rep = Monitor.run_cycle m in
+    List.iter
+      (fun (p, r) ->
+        wins.(p) <- wins.(p) + 1;
+        (* task completes instantly: free the circuit and the resource,
+           and the processor raises its next request *)
+        (match rep.Monitor.circuit_ids with
+        | id :: _ -> Monitor.task_done m ~circuit:id
+        | [] -> ());
+        Monitor.resource_ready m r;
+        Monitor.submit m p)
+      rep.Monitor.allocated
+  done;
+  wins
+
+let test_monitor_aging_prevents_starvation () =
+  let aged = run_contention_rounds ~aging:true 10 in
+  check Alcotest.bool "both processors served with aging" true
+    (aged.(0) > 0 && aged.(1) > 0);
+  let plain = run_contention_rounds ~aging:false 10 in
+  check Alcotest.int "all rounds allocated something" 10 (plain.(0) + plain.(1));
+  check Alcotest.int "aged rounds too" 10 (aged.(0) + aged.(1));
+  (* the deterministic tie-break starves p1 completely without aging;
+     waiting-time priorities make the two processors alternate *)
+  check Alcotest.int "plain run starves p1" 0 plain.(1);
+  check Alcotest.bool "aging shares service fairly" true
+    (abs (aged.(0) - aged.(1)) <= 2)
+
+let test_monitor_waits_tracked () =
+  let m = Monitor.create (Builders.crossbar ~n_procs:2 ~n_res:1) in
+  Monitor.submit m 0;
+  Monitor.submit m 1;
+  Monitor.resource_ready m 0;
+  ignore (Monitor.run_cycle m);
+  (* one served, the other has waited one cycle *)
+  (match Monitor.waits m with
+  | [ (_, w) ] -> check Alcotest.int "one cycle waited" 1 w
+  | other -> Alcotest.failf "expected one waiter, got %d" (List.length other))
+
+let test_monitor_blocked_accounting () =
+  let m = Monitor.create (Builders.crossbar ~n_procs:3 ~n_res:1) in
+  List.iter (Monitor.submit m) [ 0; 1; 2 ];
+  Monitor.resource_ready m 0;
+  let r = Monitor.run_cycle m in
+  check Alcotest.int "one allocated" 1 (List.length r.Monitor.allocated);
+  check Alcotest.int "two left pending" 2 r.Monitor.blocked
+
+let suite =
+  [
+    Alcotest.test_case "fig2: optimal mapping allocates 5/5" `Quick test_fig2_optimal;
+    Alcotest.test_case "fig2: paper's bad mapping allocates 4/5" `Quick
+      test_fig2_bad_mapping_blocks;
+    Alcotest.test_case "t1 no requests" `Quick test_t1_no_requests;
+    Alcotest.test_case "t1 no free resources" `Quick test_t1_no_free;
+    Alcotest.test_case "t1 crossbar never blocks" `Quick test_t1_crossbar_always_full;
+    Alcotest.test_case "t1 duplicates ignored" `Quick test_t1_duplicates_ignored;
+    Alcotest.test_case "t1 bad input" `Quick test_t1_bad_input;
+    Alcotest.test_case "t1 Dinic = Edmonds-Karp" `Quick test_t1_algorithms_agree;
+    t1_matches_bruteforce;
+    t1_valid_circuits;
+    Alcotest.test_case "t1 commit" `Quick test_t1_commit;
+    Alcotest.test_case "t1 graph shape" `Quick test_t1_graph_shape;
+    Alcotest.test_case "t1 bottleneck diagnosis" `Quick test_t1_bottleneck;
+    bottleneck_matches_maxflow;
+    Alcotest.test_case "fig5: prioritized structure" `Quick test_fig5_structure;
+    Alcotest.test_case "t2 priority wins" `Quick test_t2_priority_wins;
+    Alcotest.test_case "t2 preference chosen" `Quick test_t2_preference_chosen;
+    Alcotest.test_case "t2 allocation beats priority" `Quick
+      test_t2_allocation_beats_priority;
+    Alcotest.test_case "t2 SSP = out-of-kilter" `Quick test_t2_solvers_agree;
+    t2_allocates_like_t1;
+    t2_valid_circuits;
+    Alcotest.test_case "t2 validation" `Quick test_t2_validation;
+    Alcotest.test_case "hetero single type = t1" `Quick
+      test_hetero_single_type_reduces_to_t1;
+    Alcotest.test_case "hetero types respected" `Quick test_hetero_types_respected;
+    Alcotest.test_case "hetero missing type" `Quick test_hetero_no_free_of_type;
+    hetero_lp_at_least_greedy;
+    hetero_valid;
+    Alcotest.test_case "hetero min-cost priorities" `Quick
+      test_hetero_min_cost_priorities;
+    Alcotest.test_case "hetero per-type counts" `Quick test_hetero_per_type_counts;
+    Alcotest.test_case "hetero integral optima on MINs" `Quick
+      test_hetero_integral_on_mins;
+    Alcotest.test_case "hetero min-cost missing type" `Quick
+      test_hetero_min_cost_missing_type;
+    heuristic_never_beats_optimal;
+    heuristic_valid;
+    Alcotest.test_case "heuristic does not mutate" `Quick test_heuristic_does_not_mutate;
+    Alcotest.test_case "heuristic commit" `Quick test_heuristic_commit;
+    Alcotest.test_case "scheduler infer" `Quick test_infer;
+    Alcotest.test_case "scheduler homogeneous dispatch" `Quick test_scheduler_dispatch;
+    Alcotest.test_case "scheduler prioritized dispatch" `Quick
+      test_scheduler_prioritized_dispatch;
+    Alcotest.test_case "scheduler hetero dispatch" `Quick test_scheduler_hetero_dispatch;
+    Alcotest.test_case "monitor lifecycle" `Quick test_monitor_lifecycle;
+    Alcotest.test_case "monitor blocked accounting" `Quick
+      test_monitor_blocked_accounting;
+    Alcotest.test_case "monitor aging prevents starvation" `Quick
+      test_monitor_aging_prevents_starvation;
+    Alcotest.test_case "monitor waits tracked" `Quick test_monitor_waits_tracked;
+  ]

@@ -1,0 +1,270 @@
+(* Tests for the distributed token-propagation architecture: equivalence
+   with centralized Dinic, circuit validity, status-bus protocol. *)
+
+module Network = Rsin_topology.Network
+module Builders = Rsin_topology.Builders
+module T1 = Rsin_core.Transform1
+module Token_sim = Rsin_distributed.Token_sim
+module Bus = Rsin_distributed.Status_bus
+module Prng = Rsin_util.Prng
+
+let check = Alcotest.check
+let qtest name ?(count = 100) gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count gen prop)
+
+let random_scenario rng =
+  let n = if Prng.bool rng then 8 else 16 in
+  let net =
+    match Prng.int rng 4 with
+    | 0 -> Builders.omega_paper n
+    | 1 -> Builders.butterfly n
+    | 2 -> Builders.baseline n
+    | _ -> Builders.omega n
+  in
+  for _ = 1 to Prng.int rng 3 do
+    let p = Prng.int rng n and r = Prng.int rng n in
+    match Builders.route_unique net ~proc:p ~res:r with
+    | Some links -> ignore (Network.establish net links)
+    | None -> ()
+  done;
+  let busy_p, busy_r = Rsin_sim.Workload.occupied_endpoints net in
+  let requests =
+    List.filter
+      (fun p -> (not (List.mem p busy_p)) && Prng.bernoulli rng 0.5)
+      (List.init n Fun.id)
+  in
+  let free =
+    List.filter
+      (fun r -> (not (List.mem r busy_r)) && Prng.bernoulli rng 0.5)
+      (List.init n Fun.id)
+  in
+  (net, requests, free)
+
+(* Fig. 2 through the token architecture: the distributed realization of
+   Dinic's algorithm must also allocate all five requests. *)
+let test_fig2_distributed () =
+  let net = Builders.omega_paper 8 in
+  let pre (p, r) =
+    match Builders.route_unique net ~proc:p ~res:r with
+    | Some links -> ignore (Network.establish net links)
+    | None -> Alcotest.fail "pre-establish"
+  in
+  pre (1, 5);
+  pre (3, 3);
+  let requests = [ 0; 2; 4; 6; 7 ] and free = [ 0; 2; 4; 6; 7 ] in
+  let rep = Token_sim.run net ~requests ~free in
+  check Alcotest.int "allocated 5/5" 5 rep.Token_sim.allocated;
+  check Alcotest.bool "needs at least one iteration" true (rep.Token_sim.iterations >= 1);
+  check Alcotest.bool "clocked" true (rep.Token_sim.total_clocks > 0)
+
+let distributed_equals_dinic =
+  qtest "token architecture = centralized Dinic" ~count:150 QCheck.small_int
+    (fun seed ->
+      let rng = Prng.create seed in
+      let net, requests, free = random_scenario rng in
+      let o = T1.schedule net ~requests ~free in
+      let d = Token_sim.run net ~requests ~free in
+      o.T1.allocated = d.Token_sim.allocated)
+
+let distributed_circuits_valid =
+  qtest "token circuits are establishable and disjoint" ~count:100
+    QCheck.small_int (fun seed ->
+      let rng = Prng.create seed in
+      let net, requests, free = random_scenario rng in
+      let d = Token_sim.run net ~requests ~free in
+      let scratch = Network.copy net in
+      (try
+         List.iter
+           (fun (_p, links) -> ignore (Network.establish scratch links))
+           d.Token_sim.circuits;
+         true
+       with Invalid_argument _ -> false)
+      &&
+      (* mapping endpoints belong to the populations *)
+      List.for_all
+        (fun (p, r) -> List.mem p requests && List.mem r free)
+        d.Token_sim.mapping)
+
+let test_commit () =
+  let net = Builders.omega 8 in
+  let rep = Token_sim.run net ~requests:[ 0; 1; 2 ] ~free:[ 3; 4; 5 ] in
+  let ids = Token_sim.commit net rep in
+  check Alcotest.int "committed" rep.Token_sim.allocated (List.length ids)
+
+let test_empty_inputs () =
+  let net = Builders.omega 8 in
+  let rep = Token_sim.run net ~requests:[] ~free:[ 0 ] in
+  check Alcotest.int "no requests" 0 rep.Token_sim.allocated;
+  check Alcotest.int "no iterations" 0 rep.Token_sim.iterations;
+  let rep2 = Token_sim.run net ~requests:[ 0 ] ~free:[] in
+  check Alcotest.int "no resources" 0 rep2.Token_sim.allocated
+
+let test_busy_resource_ignored () =
+  (* A token reaching the RS of a busy resource must be discarded. *)
+  let net = Builders.crossbar ~n_procs:2 ~n_res:2 in
+  let rep = Token_sim.run net ~requests:[ 0; 1 ] ~free:[ 1 ] in
+  check Alcotest.int "only the ready resource" 1 rep.Token_sim.allocated;
+  check Alcotest.int "bonded to r1" 1 (snd (List.hd rep.Token_sim.mapping))
+
+(* --- Status bus --------------------------------------------------------- *)
+
+let test_bus_bits () =
+  check Alcotest.int "E1 is MSB" 6 (Bus.bit Bus.E1_request_pending);
+  check Alcotest.int "E7 is LSB" 0 (Bus.bit Bus.E7_rq_bonded);
+  let b = Bus.create () in
+  Bus.set b Bus.E1_request_pending true;
+  Bus.set b Bus.E3_request_token_phase true;
+  check Alcotest.string "vector string" "1010000" (Bus.vector_to_string (Bus.vector b));
+  check Alcotest.bool "read" true (Bus.read b Bus.E1_request_pending);
+  Bus.set b Bus.E1_request_pending false;
+  check Alcotest.bool "cleared" false (Bus.read b Bus.E1_request_pending);
+  Bus.tick b;
+  Bus.tick b;
+  check Alcotest.int "clock" 2 (Bus.clock b);
+  check Alcotest.int "trace length" 2 (List.length (Bus.trace b))
+
+let test_bus_trace_protocol () =
+  (* The trace must show the Fig. 10 phase sequence: request-token
+     clocks (E3) first, ending with an E6 clock, then resource-token
+     clocks (E4), then a registration clock (E4+E5, with E7 when bonds
+     were made). *)
+  let net = Builders.omega_paper 8 in
+  let rep = Token_sim.run net ~requests:[ 0; 2; 4 ] ~free:[ 1; 3; 5 ] in
+  let bit e v = v land (1 lsl Bus.bit e) <> 0 in
+  let trace = rep.Token_sim.bus_trace in
+  check Alcotest.int "trace covers every clock" rep.Token_sim.total_clocks
+    (List.length trace);
+  (* E3 and E4 never on together *)
+  List.iter
+    (fun v ->
+      check Alcotest.bool "phases exclusive" false
+        (bit Bus.E3_request_token_phase v && bit Bus.E4_resource_token_phase v))
+    trace;
+  (* the clock where E6 fires is a request-phase clock *)
+  List.iter
+    (fun v ->
+      if bit Bus.E6_rs_received_token v then
+        check Alcotest.bool "E6 within E3 phase" true
+          (bit Bus.E3_request_token_phase v))
+    trace;
+  (* registration clocks carry E5 and (here) E7 *)
+  let e5_clocks = List.filter (bit Bus.E5_path_registration) trace in
+  check Alcotest.bool "at least one registration" true (e5_clocks <> []);
+  List.iter
+    (fun v ->
+      check Alcotest.bool "E5 implies E4" true (bit Bus.E4_resource_token_phase v))
+    e5_clocks;
+  check Alcotest.bool "a bonding clock exists" true
+    (List.exists (bit Bus.E7_rq_bonded) trace);
+  (* E1/E2 start asserted: requests pending and resources ready *)
+  (match trace with
+  | v0 :: _ ->
+    check Alcotest.bool "E1 at start" true (bit Bus.E1_request_pending v0);
+    check Alcotest.bool "E2 at start" true (bit Bus.E2_resource_ready v0)
+  | [] -> Alcotest.fail "empty trace")
+
+let test_clock_accounting () =
+  let net = Builders.omega_paper 8 in
+  let rep = Token_sim.run net ~requests:[ 0; 1 ] ~free:[ 0; 1 ] in
+  let c = rep.Token_sim.clocks in
+  check Alcotest.int "phases sum to total"
+    rep.Token_sim.total_clocks
+    (c.Token_sim.request_clocks + c.Token_sim.resource_clocks
+   + c.Token_sim.registration_clocks);
+  (* a request phase on a 3-stage omega needs at least 4 clocks to reach
+     an RS (proc link + 2 inter-stage + res link) *)
+  check Alcotest.bool "request phase >= stages+1" true
+    (c.Token_sim.request_clocks >= Network.stages net + 1)
+
+(* The paper's speed claim: scheduling time is measured in clock periods,
+   growing roughly with the number of stages and iterations, not with
+   software instruction counts. Sanity-check the scaling direction. *)
+let test_clocks_scale_with_stages () =
+  let run n =
+    let net = Builders.omega_paper n in
+    let all = List.init n Fun.id in
+    (Token_sim.run net ~requests:all ~free:all).Token_sim.total_clocks
+  in
+  let c8 = run 8 and c32 = run 32 in
+  check Alcotest.bool "bigger network, more clocks" true (c32 > c8);
+  check Alcotest.bool "but only logarithmically" true (c32 < 20 * c8)
+
+(* The token protocol must remain optimal on multipath topologies too:
+   the paper claims applicability to any loop-free two-sided network. *)
+let distributed_equals_dinic_multipath =
+  qtest "token architecture = Dinic on multipath networks" ~count:120
+    QCheck.small_int (fun seed ->
+      let rng = Prng.create seed in
+      let net =
+        match Prng.int rng 5 with
+        | 0 -> Builders.benes 8
+        | 1 -> Builders.gamma 8
+        | 2 -> Builders.adm 8
+        | 3 -> Builders.extra_stage_omega 8 ~extra:2
+        | _ -> Builders.clos ~m:3 ~n:2 ~r:4
+      in
+      ignore (Rsin_sim.Workload.preoccupy rng net ~circuits:(Prng.int rng 3));
+      let busy_p, busy_r = Rsin_sim.Workload.occupied_endpoints net in
+      let all_p = List.init (Network.n_procs net) Fun.id in
+      let all_r = List.init (Network.n_res net) Fun.id in
+      let requests =
+        List.filter
+          (fun p -> (not (List.mem p busy_p)) && Prng.bernoulli rng 0.5)
+          all_p
+      in
+      let free =
+        List.filter
+          (fun r -> (not (List.mem r busy_r)) && Prng.bernoulli rng 0.5)
+          all_r
+      in
+      if requests = [] || free = [] then true
+      else begin
+        let o = T1.schedule net ~requests ~free in
+        let d = Token_sim.run net ~requests ~free in
+        let scratch = Network.copy net in
+        (try
+           List.iter
+             (fun (_p, links) -> ignore (Network.establish scratch links))
+             d.Token_sim.circuits;
+           true
+         with Invalid_argument _ -> false)
+        && o.T1.allocated = d.Token_sim.allocated
+      end)
+
+let distributed_on_asymmetric =
+  qtest "token architecture on asymmetric concentrators" ~count:60
+    QCheck.small_int (fun seed ->
+      let rng = Prng.create seed in
+      let net = Builders.delta_ab ~a:4 ~b:2 ~stages:2 in
+      let requests =
+        List.filter (fun _ -> Prng.bernoulli rng 0.4) (List.init 16 Fun.id)
+      in
+      let free = List.filter (fun _ -> Prng.bool rng) (List.init 4 Fun.id) in
+      if requests = [] || free = [] then true
+      else
+        let o = T1.schedule net ~requests ~free in
+        let d = Token_sim.run net ~requests ~free in
+        o.T1.allocated = d.Token_sim.allocated)
+
+let test_pp_trace_renders () =
+  let net = Builders.omega_paper 8 in
+  let rep = Token_sim.run net ~requests:[ 0 ] ~free:[ 0 ] in
+  let s = Format.asprintf "%a" Token_sim.pp_trace rep in
+  check Alcotest.bool "nonempty render" true (String.length s > 0)
+
+let suite =
+  [
+    Alcotest.test_case "fig2 via token architecture" `Quick test_fig2_distributed;
+    distributed_equals_dinic;
+    distributed_circuits_valid;
+    Alcotest.test_case "commit" `Quick test_commit;
+    Alcotest.test_case "empty inputs" `Quick test_empty_inputs;
+    Alcotest.test_case "busy resource ignored" `Quick test_busy_resource_ignored;
+    Alcotest.test_case "bus bits and trace" `Quick test_bus_bits;
+    Alcotest.test_case "bus protocol (fig 10)" `Quick test_bus_trace_protocol;
+    Alcotest.test_case "clock accounting" `Quick test_clock_accounting;
+    Alcotest.test_case "clocks scale with stages" `Quick test_clocks_scale_with_stages;
+    distributed_equals_dinic_multipath;
+    distributed_on_asymmetric;
+    Alcotest.test_case "pp_trace renders" `Quick test_pp_trace_renders;
+  ]

@@ -1,0 +1,154 @@
+(* Edge-case and cross-cutting tests: degenerate network sizes, cost
+   accounting identities, renderers, and facade overrides. *)
+
+module Network = Rsin_topology.Network
+module Builders = Rsin_topology.Builders
+module Properties = Rsin_topology.Properties
+module T1 = Rsin_core.Transform1
+module T2 = Rsin_core.Transform2
+module Scheduler = Rsin_core.Scheduler
+module Heuristic = Rsin_core.Heuristic
+module Token_sim = Rsin_distributed.Token_sim
+module Graph = Rsin_flow.Graph
+module Table = Rsin_util.Table
+module Prng = Rsin_util.Prng
+
+let check = Alcotest.check
+
+(* --- tiniest networks (n = 2) -------------------------------------------- *)
+
+let test_minimal_networks () =
+  List.iter
+    (fun net ->
+      Network.paths_exist net;
+      check Alcotest.bool (Network.name net ^ " full access") true
+        (Builders.full_access net);
+      let o = T1.schedule net ~requests:[ 0; 1 ] ~free:[ 0; 1 ] in
+      check Alcotest.int (Network.name net ^ " schedules fully") 2 o.T1.allocated;
+      let d = Token_sim.run net ~requests:[ 0; 1 ] ~free:[ 0; 1 ] in
+      check Alcotest.int (Network.name net ^ " tokens too") 2 d.Token_sim.allocated)
+    [ Builders.omega 2; Builders.omega_paper 2; Builders.butterfly 2;
+      Builders.baseline 2; Builders.benes 2; Builders.gamma 2;
+      Builders.flip 2; Builders.adm 2; Builders.delta ~radix:2 ~stages:1;
+      Builders.crossbar ~n_procs:2 ~n_res:2 ]
+
+let test_one_by_one_crossbar () =
+  let net = Builders.crossbar ~n_procs:1 ~n_res:1 in
+  let o = T1.schedule net ~requests:[ 0 ] ~free:[ 0 ] in
+  check Alcotest.int "1x1" 1 o.T1.allocated
+
+(* --- cost accounting identity ---------------------------------------------- *)
+
+let test_t2_cost_identity () =
+  let rng = Prng.create 42 in
+  for _ = 1 to 30 do
+    let net = Builders.omega 8 in
+    let requests =
+      List.filter (fun _ -> Prng.bool rng) (List.init 8 Fun.id)
+      |> List.map (fun p -> (p, 1 + Prng.int rng 9))
+    in
+    let free =
+      List.filter (fun _ -> Prng.bool rng) (List.init 8 Fun.id)
+      |> List.map (fun r -> (r, 1 + Prng.int rng 9))
+    in
+    if requests <> [] && free <> [] then begin
+      let ymax = List.fold_left (fun m (_, y) -> max m y) 0 requests in
+      let qmax = List.fold_left (fun m (_, q) -> max m q) 0 free in
+      let o = T2.schedule net ~requests ~free in
+      let expect =
+        List.fold_left
+          (fun acc (p, r) ->
+            acc + (ymax - List.assoc p requests) + (qmax - List.assoc r free))
+          0 o.T2.mapping
+      in
+      check Alcotest.int "allocation_cost identity" expect o.T2.allocation_cost
+    end
+  done
+
+(* --- renderers ---------------------------------------------------------------- *)
+
+let test_graph_to_dot () =
+  let g = Graph.create () in
+  let s = Graph.add_node g and t = Graph.add_node g in
+  let e = Graph.add_arc g ~src:s ~dst:t ~cap:2 ~cost:3 in
+  Graph.push g e 1;
+  let dot = Graph.to_dot ~node_label:(fun v -> Printf.sprintf "N%d" v) g in
+  let contains needle =
+    let n = String.length needle and h = String.length dot in
+    let rec go i = i + n <= h && (String.sub dot i n = needle || go (i + 1)) in
+    go 0
+  in
+  check Alcotest.bool "labels" true (contains "N0");
+  check Alcotest.bool "flow/cap" true (contains "1/2");
+  check Alcotest.bool "cost" true (contains "$3");
+  let s2 = Format.asprintf "%a" Graph.pp g in
+  check Alcotest.bool "pp nonempty" true (String.length s2 > 0)
+
+let test_network_occupancy_render () =
+  let net = Builders.omega 4 in
+  (match Builders.route_unique net ~proc:0 ~res:3 with
+  | Some links -> ignore (Network.establish net links)
+  | None -> Alcotest.fail "route");
+  let s = Format.asprintf "%a" Network.pp_occupancy net in
+  check Alcotest.bool "shows a busy port" true (String.contains s '#');
+  check Alcotest.bool "shows free ports" true (String.contains s '.')
+
+let test_table_right_alignment () =
+  let s =
+    Table.render
+      ~align:[ Table.Left; Table.Right ]
+      ~header:[ "name"; "n" ]
+      [ [ "a"; "1" ]; [ "bb"; "22" ] ]
+  in
+  (* right-aligned column pads on the left: " 1" under "22" *)
+  check Alcotest.bool "right aligned" true
+    (let lines = String.split_on_char '\n' s in
+     List.exists (fun l -> String.length l >= 2 && l.[String.length l - 1] = '1') lines)
+
+(* --- facade overrides ----------------------------------------------------------- *)
+
+let test_scheduler_discipline_override () =
+  (* force the heterogeneous LP path even for a single type *)
+  let net = Builders.crossbar ~n_procs:2 ~n_res:2 in
+  let r =
+    Scheduler.schedule ~discipline:Scheduler.Heterogeneous net
+      ~requests:[ Scheduler.request 0; Scheduler.request 1 ]
+      ~resources:[ Scheduler.resource 0; Scheduler.resource 1 ]
+  in
+  check Alcotest.bool "LP bound reported" true (r.Scheduler.lp_bound <> None);
+  check Alcotest.int "still optimal" 2 r.Scheduler.allocated
+
+let test_heuristic_oversubscribed () =
+  let net = Builders.crossbar ~n_procs:6 ~n_res:2 in
+  let o =
+    Heuristic.schedule net ~requests:[ 0; 1; 2; 3; 4; 5 ] ~free:[ 0; 1 ]
+      (Heuristic.Address_map (Prng.create 9))
+  in
+  check Alcotest.bool "at most the pool" true (o.Heuristic.allocated <= 2);
+  check Alcotest.int "blocked accounted" (6 - o.Heuristic.allocated)
+    o.Heuristic.blocked
+
+(* --- asymmetric properties ------------------------------------------------------- *)
+
+let test_properties_asymmetric () =
+  let net = Builders.delta_ab ~a:4 ~b:2 ~stages:2 in
+  check Alcotest.int "bisection = pool size" 4 (Properties.bisection_flow net);
+  check Alcotest.int "path length" 3 (Properties.path_length net);
+  let counts = Properties.link_count_per_stage net in
+  check Alcotest.int "ranks" 3 (Array.length counts);
+  check Alcotest.int "first rank = procs" 16 counts.(0);
+  check Alcotest.int "last rank = resources" 4 counts.(2)
+
+let suite =
+  [
+    Alcotest.test_case "minimal networks (n=2)" `Quick test_minimal_networks;
+    Alcotest.test_case "1x1 crossbar" `Quick test_one_by_one_crossbar;
+    Alcotest.test_case "t2 cost identity" `Quick test_t2_cost_identity;
+    Alcotest.test_case "graph renderers" `Quick test_graph_to_dot;
+    Alcotest.test_case "occupancy renderer" `Quick test_network_occupancy_render;
+    Alcotest.test_case "table right alignment" `Quick test_table_right_alignment;
+    Alcotest.test_case "scheduler discipline override" `Quick
+      test_scheduler_discipline_override;
+    Alcotest.test_case "heuristic oversubscribed" `Quick test_heuristic_oversubscribed;
+    Alcotest.test_case "asymmetric properties" `Quick test_properties_asymmetric;
+  ]

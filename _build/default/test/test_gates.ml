@@ -1,0 +1,260 @@
+(* Tests for the gate-level substrate: netlist primitives and the
+   compiled MRSIN token-protocol circuit. *)
+
+module N = Rsin_gates.Netlist
+module MC = Rsin_gates.Mrsin_circuit
+module Network = Rsin_topology.Network
+module Builders = Rsin_topology.Builders
+module T1 = Rsin_core.Transform1
+module Prng = Rsin_util.Prng
+
+let check = Alcotest.check
+let qtest name ?(count = 60) gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count gen prop)
+
+(* --- netlist primitives ---------------------------------------------------- *)
+
+let test_combinational_gates () =
+  let nl = N.create () in
+  let a = N.input nl and b = N.input nl in
+  N.output nl "and" (N.and_ nl a b);
+  N.output nl "or" (N.or_ nl a b);
+  N.output nl "xor" (N.xor_ nl a b);
+  N.output nl "nota" (N.not_ nl a);
+  N.finalize nl;
+  let table = [ (false, false); (false, true); (true, false); (true, true) ] in
+  List.iter
+    (fun (x, y) ->
+      N.step nl [| x; y |];
+      check Alcotest.bool "and" (x && y) (N.read nl "and");
+      check Alcotest.bool "or" (x || y) (N.read nl "or");
+      check Alcotest.bool "xor" (x <> y) (N.read nl "xor");
+      check Alcotest.bool "not" (not x) (N.read nl "nota"))
+    table
+
+let test_flip_flop_delay () =
+  let nl = N.create () in
+  let d = N.input nl in
+  let q = N.ff nl in
+  N.drive nl q d;
+  N.output nl "q" q;
+  N.finalize nl;
+  N.step nl [| true |];
+  (* combinational read of q during the first step sees the init value *)
+  check Alcotest.bool "init low" false (N.read nl "q");
+  N.step nl [| false |];
+  check Alcotest.bool "one-cycle delay" true (N.read nl "q");
+  N.step nl [| false |];
+  check Alcotest.bool "follows input" false (N.read nl "q")
+
+let test_counter () =
+  (* 2-bit counter from xor/and feedback: checks FF semantics. *)
+  let nl = N.create () in
+  let b0 = N.ff nl and b1 = N.ff nl in
+  N.drive nl b0 (N.not_ nl b0);
+  N.drive nl b1 (N.xor_ nl b1 b0);
+  N.output nl "b0" b0;
+  N.output nl "b1" b1;
+  N.finalize nl;
+  let seen = ref [] in
+  for _ = 1 to 4 do
+    N.step nl [||];
+    seen := (N.read_ff nl b1, N.read_ff nl b0) :: !seen
+  done;
+  check
+    Alcotest.(list (pair bool bool))
+    "counts 1,2,3,0"
+    [ (false, true); (true, false); (true, true); (false, false) ]
+    (List.rev !seen)
+
+let test_combinational_cycle_rejected () =
+  let nl = N.create () in
+  let a = N.input nl in
+  (* create a cycle through two gates via a forward reference: not
+     possible with this API (gates reference existing signals only), so
+     the only possible cycle is via an undriven FF misuse; instead check
+     undriven FF detection *)
+  let q = N.ff nl in
+  ignore (N.and_ nl a q);
+  Alcotest.check_raises "undriven ff"
+    (Invalid_argument "Netlist.finalize: undriven flip-flop") (fun () ->
+      N.finalize nl)
+
+let test_drive_validation () =
+  let nl = N.create () in
+  let a = N.input nl in
+  let q = N.ff nl in
+  N.drive nl q a;
+  Alcotest.check_raises "double drive"
+    (Invalid_argument "Netlist.drive: flip-flop already driven") (fun () ->
+      N.drive nl q a);
+  Alcotest.check_raises "drive non-ff"
+    (Invalid_argument "Netlist.drive: not a flip-flop") (fun () ->
+      N.drive nl a a)
+
+let test_mux_and_lists () =
+  let nl = N.create () in
+  let s = N.input nl and a = N.input nl and b = N.input nl in
+  N.output nl "mux" (N.mux nl ~sel:s a b);
+  N.output nl "all" (N.and_list nl [ a; b; s ]);
+  N.output nl "any" (N.or_list nl [ a; b; s ]);
+  N.output nl "none" (N.and_list nl []);
+  N.finalize nl;
+  N.step nl [| false; true; false |];
+  check Alcotest.bool "mux low" true (N.read nl "mux");
+  check Alcotest.bool "empty and" true (N.read nl "none");
+  N.step nl [| true; true; false |];
+  check Alcotest.bool "mux high" false (N.read nl "mux");
+  check Alcotest.bool "any" true (N.read nl "any")
+
+let test_reset_and_stats () =
+  let nl = N.create () in
+  let q = N.ff nl in
+  N.drive nl q (N.not_ nl q);
+  N.output nl "q" q;
+  N.finalize nl;
+  N.step nl [||];
+  check Alcotest.bool "flipped" true (N.read_ff nl q);
+  N.reset nl;
+  check Alcotest.bool "reset to init" false (N.read_ff nl q);
+  let st = N.stats nl in
+  check Alcotest.int "one ff" 1 st.N.flip_flops;
+  check Alcotest.int "one gate" 1 st.N.gates;
+  check Alcotest.int "depth 1" 1 st.N.depth
+
+(* --- compiled MRSIN circuit --------------------------------------------------- *)
+
+let pre_establish net (p, r) =
+  match Builders.route_unique net ~proc:p ~res:r with
+  | Some links -> ignore (Network.establish net links)
+  | None -> Alcotest.fail "cannot pre-establish"
+
+let test_fig2_in_gates () =
+  let net = Builders.omega_paper 8 in
+  pre_establish net (1, 5);
+  pre_establish net (3, 3);
+  let c = MC.compile net in
+  let o = MC.run c ~requests:[ 0; 2; 4; 6; 7 ] ~free:[ 0; 2; 4; 6; 7 ] in
+  check Alcotest.int "all five allocated" 5 o.MC.allocated;
+  check Alcotest.bool "took clocks" true (o.MC.clocks > 0)
+
+let test_gate_stats_reasonable () =
+  let c = MC.compile (Builders.omega_paper 8) in
+  let st = MC.stats c in
+  check Alcotest.bool "hundreds of FFs" true
+    (st.N.flip_flops > 100 && st.N.flip_flops < 1000);
+  check Alcotest.bool "thousands of gates" true
+    (st.N.gates > 500 && st.N.gates < 20000);
+  check Alcotest.bool "shallow logic" true (st.N.depth < 100)
+
+let test_empty_inputs_in_gates () =
+  let c = MC.compile (Builders.omega 8) in
+  let o = MC.run c ~requests:[] ~free:[ 0; 1 ] in
+  check Alcotest.int "no requests" 0 o.MC.allocated;
+  let o2 = MC.run c ~requests:[ 0; 1 ] ~free:[] in
+  check Alcotest.int "no resources" 0 o2.MC.allocated
+
+let test_reusable_circuit () =
+  (* the same compiled netlist can be re-run on different snapshots *)
+  let c = MC.compile (Builders.omega 8) in
+  let o1 = MC.run c ~requests:[ 0; 1 ] ~free:[ 2; 3 ] in
+  let o2 = MC.run c ~requests:[ 4 ] ~free:[ 5 ] in
+  check Alcotest.int "first run" 2 o1.MC.allocated;
+  check Alcotest.int "second run" 1 o2.MC.allocated
+
+let test_wide_box_rejected () =
+  Alcotest.check_raises "4x4 box"
+    (Invalid_argument "Mrsin_circuit.compile: switchbox wider than 3x3")
+    (fun () -> ignore (MC.compile (Builders.crossbar ~n_procs:4 ~n_res:4)))
+
+let gates_equal_dinic =
+  qtest "gate-level circuit = Dinic allocation" ~count:80 QCheck.small_int
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 8 in
+      let net =
+        match Prng.int rng 3 with
+        | 0 -> Builders.omega_paper n
+        | 1 -> Builders.butterfly n
+        | _ -> Builders.baseline n
+      in
+      for _ = 1 to Prng.int rng 3 do
+        let p = Prng.int rng n and r = Prng.int rng n in
+        match Builders.route_unique net ~proc:p ~res:r with
+        | Some links -> ignore (Network.establish net links)
+        | None -> ()
+      done;
+      let busy_p, busy_r = Rsin_sim.Workload.occupied_endpoints net in
+      let requests =
+        List.filter
+          (fun p -> (not (List.mem p busy_p)) && Prng.bernoulli rng 0.5)
+          (List.init n Fun.id)
+      in
+      let free =
+        List.filter
+          (fun r -> (not (List.mem r busy_r)) && Prng.bernoulli rng 0.5)
+          (List.init n Fun.id)
+      in
+      if requests = [] || free = [] then true
+      else begin
+        let opt = T1.schedule net ~requests ~free in
+        let c = MC.compile net in
+        let g = MC.run c ~requests ~free in
+        let scratch = Network.copy net in
+        (try
+           List.iter
+             (fun (_p, links) -> ignore (Network.establish scratch links))
+             g.MC.circuits;
+           true
+         with Invalid_argument _ -> false)
+        && g.MC.allocated = opt.T1.allocated
+        && List.for_all
+             (fun (p, r) -> List.mem p requests && List.mem r free)
+             g.MC.mapping
+      end)
+
+let gates_on_multipath =
+  qtest "gate-level circuit = Dinic on multipath networks" ~count:40
+    QCheck.small_int (fun seed ->
+      let rng = Prng.create seed in
+      let net =
+        match Prng.int rng 3 with
+        | 0 -> Builders.benes 8
+        | 1 -> Builders.gamma 8
+        | _ -> Builders.extra_stage_omega 8 ~extra:1
+      in
+      let requests =
+        List.filter (fun _ -> Prng.bernoulli rng 0.5) (List.init 8 Fun.id)
+      in
+      let free = List.filter (fun _ -> Prng.bernoulli rng 0.5) (List.init 8 Fun.id) in
+      if requests = [] || free = [] then true
+      else begin
+        let opt = T1.schedule net ~requests ~free in
+        let c = MC.compile net in
+        let g = MC.run c ~requests ~free in
+        g.MC.allocated = opt.T1.allocated
+      end)
+
+let test_gamma_in_gates () =
+  let c = MC.compile (Builders.gamma 8) in
+  let o = MC.run c ~requests:[ 0; 1; 2; 3 ] ~free:[ 4; 5; 6; 7 ] in
+  check Alcotest.int "multipath network schedules fully" 4 o.MC.allocated
+
+let suite =
+  [
+    Alcotest.test_case "combinational gates" `Quick test_combinational_gates;
+    Alcotest.test_case "flip-flop delay" `Quick test_flip_flop_delay;
+    Alcotest.test_case "counter" `Quick test_counter;
+    Alcotest.test_case "undriven ff rejected" `Quick test_combinational_cycle_rejected;
+    Alcotest.test_case "drive validation" `Quick test_drive_validation;
+    Alcotest.test_case "mux and gate lists" `Quick test_mux_and_lists;
+    Alcotest.test_case "reset and stats" `Quick test_reset_and_stats;
+    Alcotest.test_case "fig2 in gates" `Quick test_fig2_in_gates;
+    Alcotest.test_case "gate stats reasonable" `Quick test_gate_stats_reasonable;
+    Alcotest.test_case "empty inputs" `Quick test_empty_inputs_in_gates;
+    Alcotest.test_case "netlist reusable" `Quick test_reusable_circuit;
+    Alcotest.test_case "wide box rejected" `Quick test_wide_box_rejected;
+    gates_equal_dinic;
+    gates_on_multipath;
+    Alcotest.test_case "gamma in gates" `Quick test_gamma_in_gates;
+  ]

@@ -1,0 +1,114 @@
+(* Tests for the hardware cost model and the batching-policy extension
+   of the dynamic simulation. *)
+
+module Network = Rsin_topology.Network
+module Builders = Rsin_topology.Builders
+module Hardware = Rsin_distributed.Hardware
+module Dynamic = Rsin_sim.Dynamic
+module Prng = Rsin_util.Prng
+
+let check = Alcotest.check
+
+let test_cost_arith () =
+  let a = Hardware.ns_cost ~fan_in:2 ~fan_out:2 in
+  let b = Hardware.add a Hardware.zero in
+  check Alcotest.int "zero is neutral (ffs)" a.Hardware.flip_flops b.Hardware.flip_flops;
+  check Alcotest.int "zero is neutral (gates)" a.Hardware.gate_equivalents
+    b.Hardware.gate_equivalents;
+  let c = Hardware.add a a in
+  check Alcotest.int "add ffs" (2 * a.Hardware.flip_flops) c.Hardware.flip_flops
+
+let test_ns_cost_monotone () =
+  let small = Hardware.ns_cost ~fan_in:2 ~fan_out:2 in
+  let big = Hardware.ns_cost ~fan_in:4 ~fan_out:4 in
+  check Alcotest.bool "bigger box costs more" true
+    (big.Hardware.flip_flops > small.Hardware.flip_flops
+    && big.Hardware.gate_equivalents > small.Hardware.gate_equivalents)
+
+(* The paper's scaling claim: per-switchbox cost is independent of the
+   network size; total cost grows linearly with the element count. *)
+let test_cost_scales_linearly () =
+  let cost n = (Hardware.network_cost (Builders.omega n)).Hardware.gate_equivalents in
+  let c8 = cost 8 and c16 = cost 16 and c32 = cost 32 in
+  (* omega 2n has (2n/n) * (k+1)/k ~ slightly more than double the boxes *)
+  let ratio a b = float_of_int a /. float_of_int b in
+  check Alcotest.bool "8->16 roughly x2.6" true
+    (ratio c16 c8 > 2.0 && ratio c16 c8 < 3.2);
+  check Alcotest.bool "16->32 roughly x2.5" true
+    (ratio c32 c16 > 2.0 && ratio c32 c16 < 3.0)
+
+let test_bus_constant_width () =
+  (* bus flip-flops stay at 7 regardless of size *)
+  let b1 = Hardware.bus_cost ~drivers:10 and b2 = Hardware.bus_cost ~drivers:1000 in
+  check Alcotest.int "7-bit bus" 7 b1.Hardware.flip_flops;
+  check Alcotest.int "7-bit bus (big)" 7 b2.Hardware.flip_flops;
+  check Alcotest.bool "drivers add wired-or cost" true
+    (b2.Hardware.gate_equivalents > b1.Hardware.gate_equivalents)
+
+let test_monitor_state_grows () =
+  let w n = Hardware.monitor_state_words (Builders.omega n) in
+  check Alcotest.bool "monitor state grows with network" true
+    (w 16 > w 8 && w 32 > w 16)
+
+(* --- batching policy ---------------------------------------------------- *)
+
+let params =
+  { Dynamic.arrival_prob = 0.15; transmission_time = 1; mean_service = 4.;
+    slots = 2000; warmup = 300 }
+
+let test_threshold_reduces_cycles () =
+  let run k =
+    Dynamic.run ~cycle_threshold:k (Prng.create 3) (Builders.omega 8) params
+  in
+  let m1 = run 1 and m4 = run 4 in
+  check Alcotest.bool "fewer cycles with batching" true
+    (m4.Dynamic.cycles_run < m1.Dynamic.cycles_run);
+  (* batching must not collapse throughput at this moderate load *)
+  check Alcotest.bool "throughput preserved" true
+    (m4.Dynamic.throughput > 0.7 *. m1.Dynamic.throughput);
+  (* but it increases waiting *)
+  check Alcotest.bool "waiting grows" true
+    (m4.Dynamic.mean_wait >= m1.Dynamic.mean_wait)
+
+let test_threshold_validation () =
+  Alcotest.check_raises "threshold >= 1"
+    (Invalid_argument "Dynamic.run: cycle_threshold") (fun () ->
+      ignore
+        (Dynamic.run ~cycle_threshold:0 (Prng.create 1) (Builders.omega 8) params))
+
+let test_distributed_steady_state () =
+  let m =
+    Dynamic.run ~scheduler:Dynamic.Distributed (Prng.create 8)
+      (Builders.omega 8) params
+  in
+  let m_opt = Dynamic.run ~scheduler:Dynamic.Optimal (Prng.create 8)
+      (Builders.omega 8) params in
+  check Alcotest.bool "clocks accumulated" true (m.Dynamic.scheduling_clocks > 0);
+  check Alcotest.int "software scheduler reports no clocks" 0
+    m_opt.Dynamic.scheduling_clocks;
+  (* both schedulers are optimal per cycle, but may pick different
+     optimal mappings, so trajectories diverge slightly; throughput must
+     still agree closely *)
+  let gap = abs (m_opt.Dynamic.completed - m.Dynamic.completed) in
+  check Alcotest.bool "throughput matches software optimal" true
+    (float_of_int gap < 0.02 *. float_of_int m_opt.Dynamic.completed)
+
+let test_futile_fraction_range () =
+  let m = Dynamic.run (Prng.create 5) (Builders.omega 8) params in
+  check Alcotest.bool "futile fraction in [0,1]" true
+    (m.Dynamic.futile_cycle_fraction >= 0. && m.Dynamic.futile_cycle_fraction <= 1.);
+  check Alcotest.bool "futile <= blocked" true
+    (m.Dynamic.futile_cycle_fraction <= m.Dynamic.blocked_cycle_fraction +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "cost arithmetic" `Quick test_cost_arith;
+    Alcotest.test_case "ns cost monotone" `Quick test_ns_cost_monotone;
+    Alcotest.test_case "linear cost scaling" `Quick test_cost_scales_linearly;
+    Alcotest.test_case "bus stays 7 bits" `Quick test_bus_constant_width;
+    Alcotest.test_case "monitor state grows" `Quick test_monitor_state_grows;
+    Alcotest.test_case "batching reduces cycles" `Quick test_threshold_reduces_cycles;
+    Alcotest.test_case "threshold validation" `Quick test_threshold_validation;
+    Alcotest.test_case "distributed steady state" `Quick test_distributed_steady_state;
+    Alcotest.test_case "futile fraction sane" `Quick test_futile_fraction_range;
+  ]

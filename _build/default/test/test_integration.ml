@@ -1,0 +1,169 @@
+(* Whole-pipeline integration properties: random network, random
+   operation sequences, every scheduler — nothing may crash, and the
+   global circuit-switching invariants must hold throughout. *)
+
+module Network = Rsin_topology.Network
+module Builders = Rsin_topology.Builders
+module T1 = Rsin_core.Transform1
+module T2 = Rsin_core.Transform2
+module Heuristic = Rsin_core.Heuristic
+module Token_sim = Rsin_distributed.Token_sim
+module Workload = Rsin_sim.Workload
+module Dynamic = Rsin_sim.Dynamic
+module Prng = Rsin_util.Prng
+
+let qtest name ?(count = 60) gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count gen prop)
+
+let any_network rng =
+  match Prng.int rng 12 with
+  | 0 -> Builders.omega 8
+  | 1 -> Builders.omega_paper 8
+  | 2 -> Builders.butterfly 8
+  | 3 -> Builders.baseline 8
+  | 4 -> Builders.benes 8
+  | 5 -> Builders.gamma 8
+  | 6 -> Builders.adm 8
+  | 7 -> Builders.flip 8
+  | 8 -> Builders.extra_stage_omega 8 ~extra:1
+  | 9 -> Builders.clos ~m:2 ~n:2 ~r:4
+  | 10 -> Builders.delta_ab ~a:4 ~b:2 ~stages:2
+  | _ -> Builders.crossbar ~n_procs:8 ~n_res:8
+
+(* Invariants of the circuit-switched state. *)
+let invariants net =
+  let nl = Network.n_links net in
+  let live = Network.circuits net in
+  (* every occupied link belongs to exactly one live circuit *)
+  let owner = Hashtbl.create 16 in
+  List.for_all
+    (fun (id, links) ->
+      List.for_all
+        (fun l ->
+          (not (Hashtbl.mem owner l))
+          && (Hashtbl.replace owner l id;
+              Network.link_state net l = Network.Occupied id))
+        links)
+    live
+  && List.init nl Fun.id
+     |> List.for_all (fun l ->
+            match Network.link_state net l with
+            | Network.Free -> not (Hashtbl.mem owner l)
+            | Network.Occupied id -> Hashtbl.find_opt owner l = Some id)
+
+let chaos =
+  qtest "random op sequences preserve network invariants" ~count:80
+    QCheck.small_int (fun seed ->
+      let rng = Prng.create seed in
+      let net = any_network rng in
+      let live_ids = ref [] in
+      let ok = ref true in
+      for _ = 1 to 20 do
+        (match Prng.int rng 6 with
+        | 0 -> ignore (Workload.preoccupy rng net ~circuits:1)
+        | 1 -> ignore (Workload.fail_links rng net ~count:1)
+        | 2 -> begin
+          (* optimal schedule + commit *)
+          let busy_p, busy_r = Workload.occupied_endpoints net in
+          let requests, free = Workload.snapshot rng net in
+          let requests = List.filter (fun p -> not (List.mem p busy_p)) requests in
+          let free = List.filter (fun r -> not (List.mem r busy_r)) free in
+          if requests <> [] && free <> [] then begin
+            let o = T1.schedule net ~requests ~free in
+            live_ids := T1.commit net o @ !live_ids
+          end
+        end
+        | 3 -> begin
+          (* distributed schedule + commit *)
+          let busy_p, busy_r = Workload.occupied_endpoints net in
+          let requests, free = Workload.snapshot rng net in
+          let requests = List.filter (fun p -> not (List.mem p busy_p)) requests in
+          let free = List.filter (fun r -> not (List.mem r busy_r)) free in
+          if requests <> [] && free <> [] then begin
+            let d = Token_sim.run net ~requests ~free in
+            live_ids := Token_sim.commit net d @ !live_ids
+          end
+        end
+        | 4 -> begin
+          (* release a random circuit *)
+          match !live_ids with
+          | [] -> ()
+          | ids ->
+            let id = List.nth ids (Prng.int rng (List.length ids)) in
+            Network.release net id;
+            live_ids := List.filter (( <> ) id) !live_ids
+        end
+        | _ -> begin
+          (* heuristic schedule on a scratch copy must not disturb net *)
+          let requests, free = Workload.snapshot rng net in
+          if requests <> [] && free <> [] then
+            ignore
+              (Heuristic.schedule net ~requests ~free
+                 (Heuristic.Random_fit rng))
+        end);
+        if not (invariants net) then ok := false
+      done;
+      !ok)
+
+(* After arbitrary occupancy, all four scheduling paths agree on the
+   allocation count (the optimum is the optimum no matter who computes
+   it), and prioritized scheduling allocates just as many. *)
+let schedulers_agree_under_chaos =
+  qtest "all optimal schedulers agree under arbitrary occupancy" ~count:60
+    QCheck.small_int (fun seed ->
+      let rng = Prng.create seed in
+      let net = any_network rng in
+      ignore (Workload.preoccupy rng net ~circuits:(Prng.int rng 3));
+      ignore (Workload.fail_links rng net ~count:(Prng.int rng 3));
+      let busy_p, busy_r = Workload.occupied_endpoints net in
+      let requests, free = Workload.snapshot rng net in
+      let requests = List.filter (fun p -> not (List.mem p busy_p)) requests in
+      let free = List.filter (fun r -> not (List.mem r busy_r)) free in
+      if requests = [] || free = [] then true
+      else begin
+        let a = (T1.schedule ~algorithm:T1.Dinic net ~requests ~free).T1.allocated in
+        let b =
+          (T1.schedule ~algorithm:T1.Edmonds_karp net ~requests ~free).T1.allocated
+        in
+        let c =
+          (T1.schedule ~algorithm:T1.Push_relabel net ~requests ~free).T1.allocated
+        in
+        let d = (Token_sim.run net ~requests ~free).Token_sim.allocated in
+        let reqs2 = List.map (fun p -> (p, 1 + Prng.int rng 5)) requests in
+        let free2 = List.map (fun r -> (r, 1 + Prng.int rng 5)) free in
+        let e = (T2.schedule net ~requests:reqs2 ~free:free2).T2.allocated in
+        a = b && b = c && c = d && d = e
+      end)
+
+(* Dynamic soak: conservation between arrivals, completions and the
+   backlog, across random parameters and schedulers. *)
+let dynamic_soak =
+  qtest "dynamic simulation conserves tasks" ~count:25 QCheck.small_int
+    (fun seed ->
+      let rng = Prng.create seed in
+      let net = if Prng.bool rng then Builders.omega 8 else Builders.omega 16 in
+      let scheduler =
+        match Prng.int rng 3 with
+        | 0 -> Dynamic.Optimal
+        | 1 -> Dynamic.First_fit
+        | _ -> Dynamic.Distributed
+      in
+      let params =
+        { Dynamic.arrival_prob = 0.02 +. Prng.float rng 0.25;
+          transmission_time = 1 + Prng.int rng 3;
+          mean_service = 1. +. Prng.float rng 6.;
+          slots = 800; warmup = 200 }
+      in
+      let m = Dynamic.run ~scheduler rng net params in
+      m.Dynamic.throughput >= 0.
+      && m.Dynamic.resource_utilization >= 0.
+      && m.Dynamic.resource_utilization <= 1.0 +. 1e-9
+      (* completions cannot exceed offered work plus the warmup backlog *)
+      && float_of_int m.Dynamic.completed
+         <= (m.Dynamic.offered_load *. float_of_int params.Dynamic.slots)
+            +. (float_of_int (Network.n_procs net)
+               *. params.Dynamic.arrival_prob
+               *. float_of_int params.Dynamic.warmup)
+            +. float_of_int (Network.n_res net))
+
+let suite = [ chaos; schedulers_agree_under_chaos; dynamic_soak ]

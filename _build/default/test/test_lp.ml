@@ -1,0 +1,311 @@
+(* Tests for the dense two-phase simplex solver, including
+   cross-validation against the combinatorial max-flow solver. *)
+
+open Rsin_lp
+module Graph = Rsin_flow.Graph
+module Dinic = Rsin_flow.Dinic
+module Mincost = Rsin_flow.Mincost
+module Prng = Rsin_util.Prng
+
+let check = Alcotest.check
+let feq = Alcotest.float 1e-6
+let qtest name ?(count = 100) gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count gen prop)
+
+let test_simple_max () =
+  (* max 3x + 2y  s.t. x + y <= 4, x + 3y <= 6 -> x=4, y=0, obj 12 *)
+  let lp = Simplex.create () in
+  let x = Simplex.add_var ~obj:3. lp and y = Simplex.add_var ~obj:2. lp in
+  Simplex.add_constraint lp [ (x, 1.); (y, 1.) ] Simplex.Le 4.;
+  Simplex.add_constraint lp [ (x, 1.); (y, 3.) ] Simplex.Le 6.;
+  let s = Simplex.solve ~maximize:true lp in
+  check Alcotest.bool "optimal" true (s.Simplex.status = Simplex.Optimal);
+  check feq "objective" 12. s.Simplex.objective;
+  check feq "x" 4. s.Simplex.values.(x);
+  check feq "y" 0. s.Simplex.values.(y)
+
+let test_simple_min () =
+  (* min x + y  s.t. x + 2y >= 4, 3x + y >= 6 -> intersection (1.6, 1.2), obj 2.8 *)
+  let lp = Simplex.create () in
+  let x = Simplex.add_var ~obj:1. lp and y = Simplex.add_var ~obj:1. lp in
+  Simplex.add_constraint lp [ (x, 1.); (y, 2.) ] Simplex.Ge 4.;
+  Simplex.add_constraint lp [ (x, 3.); (y, 1.) ] Simplex.Ge 6.;
+  let s = Simplex.solve lp in
+  check Alcotest.bool "optimal" true (s.Simplex.status = Simplex.Optimal);
+  check feq "objective" 2.8 s.Simplex.objective
+
+let test_equality_constraint () =
+  (* min 2x + 3y  s.t. x + y = 10, x <= 4  -> x=4, y=6, obj 26 *)
+  let lp = Simplex.create () in
+  let x = Simplex.add_var ~obj:2. lp and y = Simplex.add_var ~obj:3. lp in
+  Simplex.add_constraint lp [ (x, 1.); (y, 1.) ] Simplex.Eq 10.;
+  Simplex.add_constraint lp [ (x, 1.) ] Simplex.Le 4.;
+  let s = Simplex.solve lp in
+  check Alcotest.bool "optimal" true (s.Simplex.status = Simplex.Optimal);
+  check feq "objective" 26. s.Simplex.objective;
+  check feq "x" 4. s.Simplex.values.(x)
+
+let test_infeasible () =
+  let lp = Simplex.create () in
+  let x = Simplex.add_var lp in
+  Simplex.add_constraint lp [ (x, 1.) ] Simplex.Ge 5.;
+  Simplex.add_constraint lp [ (x, 1.) ] Simplex.Le 3.;
+  let s = Simplex.solve lp in
+  check Alcotest.bool "infeasible" true (s.Simplex.status = Simplex.Infeasible)
+
+let test_unbounded () =
+  let lp = Simplex.create () in
+  let x = Simplex.add_var ~obj:1. lp in
+  Simplex.add_constraint lp [ (x, 1.) ] Simplex.Ge 1.;
+  let s = Simplex.solve ~maximize:true lp in
+  check Alcotest.bool "unbounded" true (s.Simplex.status = Simplex.Unbounded)
+
+let test_negative_rhs_normalization () =
+  (* x >= 2 written as -x <= -2 *)
+  let lp = Simplex.create () in
+  let x = Simplex.add_var ~obj:1. lp in
+  Simplex.add_constraint lp [ (x, -1.) ] Simplex.Le (-2.);
+  let s = Simplex.solve lp in
+  check Alcotest.bool "optimal" true (s.Simplex.status = Simplex.Optimal);
+  check feq "x at bound" 2. s.Simplex.values.(x)
+
+let test_degenerate () =
+  (* Redundant constraints; Bland's rule must not cycle. *)
+  let lp = Simplex.create () in
+  let x = Simplex.add_var ~obj:1. lp and y = Simplex.add_var ~obj:1. lp in
+  Simplex.add_constraint lp [ (x, 1.); (y, 1.) ] Simplex.Le 1.;
+  Simplex.add_constraint lp [ (x, 1.); (y, 1.) ] Simplex.Le 1.;
+  Simplex.add_constraint lp [ (x, 1.) ] Simplex.Le 1.;
+  Simplex.add_constraint lp [ (y, 1.) ] Simplex.Le 1.;
+  Simplex.add_constraint lp [ (x, 2.); (y, 2.) ] Simplex.Eq 2.;
+  let s = Simplex.solve ~maximize:true lp in
+  check Alcotest.bool "optimal" true (s.Simplex.status = Simplex.Optimal);
+  check feq "objective" 1. s.Simplex.objective
+
+let test_set_obj_override () =
+  let lp = Simplex.create () in
+  let x = Simplex.add_var ~obj:1. lp in
+  Simplex.add_constraint lp [ (x, 1.) ] Simplex.Le 7.;
+  Simplex.set_obj lp x 3.;
+  let s = Simplex.solve ~maximize:true lp in
+  check feq "objective uses override" 21. s.Simplex.objective
+
+let test_duplicate_terms () =
+  (* x + x <= 4 must read as 2x <= 4 *)
+  let lp = Simplex.create () in
+  let x = Simplex.add_var ~obj:1. lp in
+  Simplex.add_constraint lp [ (x, 1.); (x, 1.) ] Simplex.Le 4.;
+  let s = Simplex.solve ~maximize:true lp in
+  check feq "summed coefficients" 2. s.Simplex.values.(x)
+
+let test_num_vars_and_pp () =
+  let lp = Simplex.create () in
+  check Alcotest.int "empty" 0 (Simplex.num_vars lp);
+  let x = Simplex.add_var ~obj:1. ~name:"width" lp in
+  let _y = Simplex.add_var lp in
+  check Alcotest.int "two vars" 2 (Simplex.num_vars lp);
+  Simplex.add_constraint lp [ (x, 2.) ] Simplex.Le 4.;
+  let rendered = Format.asprintf "%a" Simplex.pp lp in
+  let contains needle =
+    let n = String.length needle and h = String.length rendered in
+    let rec go i = i + n <= h && (String.sub rendered i n = needle || go (i + 1)) in
+    go 0
+  in
+  check Alcotest.bool "named var shown" true (contains "width");
+  check Alcotest.bool "row shown" true (contains "<= 4")
+
+let test_resolvable () =
+  (* the model can be re-solved after adding constraints *)
+  let lp = Simplex.create () in
+  let x = Simplex.add_var ~obj:1. lp in
+  Simplex.add_constraint lp [ (x, 1.) ] Simplex.Le 10.;
+  let s1 = Simplex.solve ~maximize:true lp in
+  check feq "first solve" 10. s1.Simplex.objective;
+  Simplex.add_constraint lp [ (x, 1.) ] Simplex.Le 6.;
+  let s2 = Simplex.solve ~maximize:true lp in
+  check feq "tightened" 6. s2.Simplex.objective
+
+let test_bad_var () =
+  let lp = Simplex.create () in
+  Alcotest.check_raises "unknown var"
+    (Invalid_argument "Simplex.add_constraint: bad var") (fun () ->
+      Simplex.add_constraint lp [ (0, 1.) ] Simplex.Le 1.)
+
+(* LP formulation of max flow on a random DAG must match Dinic. *)
+let lp_maxflow_matches_dinic =
+  qtest "LP max-flow = Dinic" ~count:60
+    QCheck.(pair small_int (int_range 2 4))
+    (fun (seed, width) ->
+      let rng = Prng.create seed in
+      let g = Graph.create () in
+      let s = Graph.add_node g and t = Graph.add_node g in
+      let mid = Array.init width (fun _ -> Graph.add_node g) in
+      let mid2 = Array.init width (fun _ -> Graph.add_node g) in
+      Array.iter
+        (fun m ->
+          if Prng.bool rng then
+            ignore (Graph.add_arc g ~src:s ~dst:m ~cap:(1 + Prng.int rng 2)))
+        mid;
+      Array.iter
+        (fun u ->
+          Array.iter
+            (fun v ->
+              if Prng.bernoulli rng 0.5 then
+                ignore (Graph.add_arc g ~src:u ~dst:v ~cap:1))
+            mid2)
+        mid;
+      Array.iter
+        (fun m ->
+          if Prng.bool rng then
+            ignore (Graph.add_arc g ~src:m ~dst:t ~cap:(1 + Prng.int rng 2)))
+        mid2;
+      (* Build the LP: vars = arc flows, maximize outflow of s. *)
+      let lp = Simplex.create () in
+      let vars = Array.make (Graph.arc_count g) (-1) in
+      Graph.iter_forward_arcs g (fun a ->
+          let obj = if Graph.src g a = s then 1. else 0. in
+          vars.(a / 2) <- Simplex.add_var ~obj lp);
+      Graph.iter_forward_arcs g (fun a ->
+          Simplex.add_constraint lp
+            [ (vars.(a / 2), 1.) ]
+            Simplex.Le
+            (float_of_int (Graph.original_capacity g a)));
+      for v = 0 to Graph.node_count g - 1 do
+        if v <> s && v <> t then begin
+          let terms = ref [] in
+          Graph.iter_forward_arcs g (fun a ->
+              if Graph.src g a = v then terms := (vars.(a / 2), -1.) :: !terms;
+              if Graph.dst g a = v then terms := (vars.(a / 2), 1.) :: !terms);
+          if !terms <> [] then Simplex.add_constraint lp !terms Simplex.Eq 0.
+        end
+      done;
+      let sol = Simplex.solve ~maximize:true lp in
+      let f, _ = Dinic.max_flow g ~source:s ~sink:t in
+      sol.Simplex.status = Simplex.Optimal
+      && abs_float (sol.Simplex.objective -. float_of_int f) < 1e-6)
+
+(* LP formulation of min-cost flow must match SSP. *)
+let lp_mincost_matches_ssp =
+  qtest "LP min-cost = SSP" ~count:40 QCheck.small_int (fun seed ->
+      let rng = Prng.create seed in
+      let g = Graph.create () in
+      let s = Graph.add_node g and a = Graph.add_node g
+      and b = Graph.add_node g and t = Graph.add_node g in
+      let arc u v =
+        ignore
+          (Graph.add_arc g ~src:u ~dst:v ~cap:(1 + Prng.int rng 2)
+             ~cost:(Prng.int rng 6))
+      in
+      arc s a; arc s b; arc a b; arc a t; arc b t;
+      let amount = 2 in
+      let g' = Graph.copy g in
+      let r = Mincost.min_cost_flow g' ~source:s ~sink:t ~amount in
+      if r.Mincost.flow < amount then true
+      else begin
+        let lp = Simplex.create () in
+        let vars = Array.make (Graph.arc_count g) (-1) in
+        Graph.iter_forward_arcs g (fun e ->
+            vars.(e / 2) <-
+              Simplex.add_var ~obj:(float_of_int (Graph.cost g e)) lp);
+        Graph.iter_forward_arcs g (fun e ->
+            Simplex.add_constraint lp
+              [ (vars.(e / 2), 1.) ]
+              Simplex.Le
+              (float_of_int (Graph.original_capacity g e)));
+        for v = 0 to Graph.node_count g - 1 do
+          let terms = ref [] in
+          Graph.iter_forward_arcs g (fun e ->
+              if Graph.src g e = v then terms := (vars.(e / 2), -1.) :: !terms;
+              if Graph.dst g e = v then terms := (vars.(e / 2), 1.) :: !terms);
+          let rhs =
+            if v = s then -.float_of_int amount
+            else if v = t then float_of_int amount
+            else 0.
+          in
+          if !terms <> [] then Simplex.add_constraint lp !terms Simplex.Eq rhs
+        done;
+        let sol = Simplex.solve lp in
+        sol.Simplex.status = Simplex.Optimal
+        && abs_float (sol.Simplex.objective -. float_of_int r.Mincost.cost) < 1e-6
+      end)
+
+(* Any Optimal answer must actually satisfy the model: every constraint
+   within tolerance, all variables non-negative, objective consistent
+   with the returned values. Catches extraction bugs independently of
+   what the optimum should be. *)
+let lp_solutions_are_feasible =
+  qtest "optimal solutions are feasible and consistent" ~count:200
+    QCheck.small_int (fun seed ->
+      let rng = Prng.create seed in
+      let nv = 2 + Prng.int rng 8 in
+      let lp = Simplex.create () in
+      let obj = Array.init nv (fun _ -> float_of_int (Prng.int rng 11 - 5)) in
+      let vars = Array.init nv (fun i -> Simplex.add_var ~obj:obj.(i) lp) in
+      let rows = ref [] in
+      let nrows = 2 + Prng.int rng 6 in
+      for _ = 1 to nrows do
+        let terms =
+          Array.to_list vars
+          |> List.filter_map (fun v ->
+                 if Prng.bernoulli rng 0.6 then
+                   Some (v, float_of_int (Prng.int rng 9 - 4))
+                 else None)
+        in
+        if terms <> [] then begin
+          let cmp =
+            match Prng.int rng 3 with
+            | 0 -> Simplex.Le
+            | 1 -> Simplex.Ge
+            | _ -> Simplex.Eq
+          in
+          let rhs = float_of_int (Prng.int rng 21 - 5) in
+          Simplex.add_constraint lp terms cmp rhs;
+          rows := (terms, cmp, rhs) :: !rows
+        end
+      done;
+      (* bound the polytope so maximize cannot be unbounded in a boring way *)
+      Array.iter
+        (fun v -> Simplex.add_constraint lp [ (v, 1.) ] Simplex.Le 50.)
+        vars;
+      let maximize = Prng.bool rng in
+      let sol = Simplex.solve ~maximize lp in
+      match sol.Simplex.status with
+      | Simplex.Unbounded -> true (* can still happen via Ge rows; fine *)
+      | Simplex.Infeasible -> true (* feasibility is checked by other tests *)
+      | Simplex.Optimal ->
+        let x = sol.Simplex.values in
+        let eps = 1e-6 in
+        Array.for_all (fun xi -> xi >= -.eps) x
+        && List.for_all
+             (fun (terms, cmp, rhs) ->
+               let lhs =
+                 List.fold_left (fun acc (v, c) -> acc +. (c *. x.(v))) 0. terms
+               in
+               match cmp with
+               | Simplex.Le -> lhs <= rhs +. eps
+               | Simplex.Ge -> lhs >= rhs -. eps
+               | Simplex.Eq -> abs_float (lhs -. rhs) <= eps)
+             !rows
+        &&
+        let o = Array.to_list vars
+                |> List.fold_left (fun acc v -> acc +. (obj.(v) *. x.(v))) 0. in
+        abs_float (o -. sol.Simplex.objective) <= 1e-6 *. (1. +. abs_float o))
+
+let suite =
+  [
+    Alcotest.test_case "simple maximize" `Quick test_simple_max;
+    Alcotest.test_case "simple minimize" `Quick test_simple_min;
+    Alcotest.test_case "equality constraint" `Quick test_equality_constraint;
+    Alcotest.test_case "infeasible" `Quick test_infeasible;
+    Alcotest.test_case "unbounded" `Quick test_unbounded;
+    Alcotest.test_case "negative rhs" `Quick test_negative_rhs_normalization;
+    Alcotest.test_case "degenerate (Bland)" `Quick test_degenerate;
+    Alcotest.test_case "set_obj override" `Quick test_set_obj_override;
+    Alcotest.test_case "duplicate terms" `Quick test_duplicate_terms;
+    Alcotest.test_case "bad var" `Quick test_bad_var;
+    Alcotest.test_case "num_vars and pp" `Quick test_num_vars_and_pp;
+    Alcotest.test_case "re-solvable model" `Quick test_resolvable;
+    lp_maxflow_matches_dinic;
+    lp_mincost_matches_ssp;
+    lp_solutions_are_feasible;
+  ]

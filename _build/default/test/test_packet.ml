@@ -1,0 +1,87 @@
+(* Tests for the packet-switched baseline network. *)
+
+module Packet_net = Rsin_sim.Packet_net
+module Builders = Rsin_topology.Builders
+module Prng = Rsin_util.Prng
+
+let check = Alcotest.check
+
+let params =
+  { Packet_net.arrival_prob = 0.05; packets_per_task = 3; mean_service = 4.;
+    buffer_capacity = 2; slots = 2000; warmup = 400 }
+
+let test_sanity () =
+  let m = Packet_net.run (Prng.create 1) (Builders.omega 8) params in
+  check Alcotest.bool "completes tasks" true (m.Packet_net.completed > 0);
+  check Alcotest.bool "throughput positive" true (m.Packet_net.throughput > 0.);
+  check Alcotest.bool "serving <= reserved" true
+    (m.Packet_net.serving_utilization <= m.Packet_net.reserved_utilization +. 1e-9);
+  check Alcotest.bool "utilizations in range" true
+    (m.Packet_net.reserved_utilization <= 1.0
+    && m.Packet_net.serving_utilization >= 0.);
+  check Alcotest.bool "responses measured" true
+    (m.Packet_net.mean_response > 0.)
+
+let test_response_floor () =
+  (* response >= packets + path pipeline + service lower bound at any
+     load: with 3 packets and service mean 4, responses below ~6 slots
+     are impossible *)
+  let m = Packet_net.run (Prng.create 2) (Builders.omega 8)
+      { params with arrival_prob = 0.01 } in
+  check Alcotest.bool "response above physical floor" true
+    (m.Packet_net.mean_response >= 6.)
+
+let test_load_monotonicity () =
+  let run a =
+    Packet_net.run (Prng.create 3) (Builders.omega 16)
+      { params with arrival_prob = a; slots = 4000; warmup = 800 }
+  in
+  let low = run 0.01 and high = run 0.08 in
+  check Alcotest.bool "throughput grows with load" true
+    (high.Packet_net.throughput > low.Packet_net.throughput);
+  check Alcotest.bool "reservation grows with load" true
+    (high.Packet_net.reserved_utilization > low.Packet_net.reserved_utilization)
+
+let test_reservation_overhead () =
+  (* the paper's claim: with multi-packet tasks, reserved > serving by a
+     visible margin (the resource idles while packets arrive) *)
+  let m = Packet_net.run (Prng.create 4) (Builders.omega 16)
+      { params with arrival_prob = 0.05; packets_per_task = 6; slots = 4000 } in
+  check Alcotest.bool "reservation overhead visible" true
+    (m.Packet_net.reserved_utilization > 1.3 *. m.Packet_net.serving_utilization)
+
+let test_single_packet_tasks () =
+  (* degenerate case: one packet per task still works *)
+  let m = Packet_net.run (Prng.create 5) (Builders.omega 8)
+      { params with packets_per_task = 1 } in
+  check Alcotest.bool "single-packet tasks complete" true
+    (m.Packet_net.completed > 0)
+
+let test_validation () =
+  Alcotest.check_raises "bad buffer"
+    (Invalid_argument "Packet_net.run: buffer_capacity") (fun () ->
+      ignore
+        (Packet_net.run (Prng.create 1) (Builders.omega 8)
+           { params with buffer_capacity = 0 }));
+  (* multipath networks still run: the routing table derived from the
+     deterministic shortest paths is destination-consistent, so the
+     packet network simply uses one tree of routes *)
+  let m = Packet_net.run (Prng.create 1) (Builders.benes 8) params in
+  check Alcotest.bool "benes runs packet-switched" true (m.Packet_net.completed > 0)
+
+let test_deterministic () =
+  let run () = Packet_net.run (Prng.create 6) (Builders.omega 8) params in
+  check Alcotest.int "same seed, same completions"
+    (run ()).Packet_net.completed
+    (run ()).Packet_net.completed
+
+let suite =
+  [
+    Alcotest.test_case "sanity" `Quick test_sanity;
+    Alcotest.test_case "response floor" `Quick test_response_floor;
+    Alcotest.test_case "load monotonicity" `Quick test_load_monotonicity;
+    Alcotest.test_case "reservation overhead" `Quick test_reservation_overhead;
+    Alcotest.test_case "single-packet tasks" `Quick test_single_packet_tasks;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+  ]

@@ -1,0 +1,73 @@
+(* Tests for the M/M/m analytic model, including textbook values and a
+   simulation cross-check. *)
+
+module Queueing = Rsin_sim.Queueing
+module Dynamic = Rsin_sim.Dynamic
+module Builders = Rsin_topology.Builders
+module Prng = Rsin_util.Prng
+
+let check = Alcotest.check
+let feq tol = Alcotest.float tol
+
+let test_mm1_reduces_to_closed_form () =
+  (* M/M/1: C = rho, Wq = rho / (mu - lambda). *)
+  let q = Queueing.make ~servers:1 ~arrival_rate:0.5 ~service_rate:1.0 in
+  check (feq 1e-9) "utilization" 0.5 (Queueing.utilization q);
+  check (feq 1e-9) "erlang c = rho" 0.5 (Queueing.erlang_c q);
+  check (feq 1e-9) "wait" 1.0 (Queueing.mean_wait q);
+  check (feq 1e-9) "queue length" 0.5 (Queueing.mean_queue_length q)
+
+let test_erlang_c_textbook () =
+  (* Classic call-centre example: m = 10, a = 8 Erlangs -> C ~ 0.4092
+     (Erlang-C tables). *)
+  let q = Queueing.make ~servers:10 ~arrival_rate:8.0 ~service_rate:1.0 in
+  let c = Queueing.erlang_c q in
+  check Alcotest.bool "C near table value 0.409" true (abs_float (c -. 0.409) < 0.005)
+
+let test_stability () =
+  let q = Queueing.make ~servers:4 ~arrival_rate:5.0 ~service_rate:1.0 in
+  check Alcotest.bool "unstable" false (Queueing.stable q);
+  check (feq 1e-9) "saturated throughput" 4.0 (Queueing.throughput q);
+  Alcotest.check_raises "wait undefined"
+    (Invalid_argument "Queueing.mean_wait: unstable system") (fun () ->
+      ignore (Queueing.mean_wait q))
+
+let test_validation () =
+  Alcotest.check_raises "bad params"
+    (Invalid_argument "Queueing.make: parameters must be positive") (fun () ->
+      ignore (Queueing.make ~servers:0 ~arrival_rate:1. ~service_rate:1.))
+
+let test_monotonicity () =
+  (* Erlang C increases with load, decreases with servers. *)
+  let c ~m ~a =
+    Queueing.erlang_c (Queueing.make ~servers:m ~arrival_rate:a ~service_rate:1.)
+  in
+  check Alcotest.bool "more load, more waiting" true (c ~m:8 ~a:6. > c ~m:8 ~a:4.);
+  check Alcotest.bool "more servers, less waiting" true (c ~m:12 ~a:6. < c ~m:8 ~a:6.)
+
+let test_simulation_agrees () =
+  (* At moderate load the slotted simulation's utilization must sit
+     within a few points of the analytic value. *)
+  let n = 16 and mean_service = 5. and arrival = 0.1 in
+  let params =
+    { Dynamic.arrival_prob = arrival; transmission_time = 1; mean_service;
+      slots = 8000; warmup = 1000 }
+  in
+  let m = Dynamic.run (Prng.create 21) (Builders.omega n) params in
+  let model =
+    Queueing.make ~servers:n
+      ~arrival_rate:(arrival *. float_of_int n)
+      ~service_rate:(1. /. (mean_service +. 1.))
+  in
+  let gap = abs_float (m.Dynamic.resource_utilization -. Queueing.utilization model) in
+  check Alcotest.bool "utilization within 3 points" true (gap < 0.03)
+
+let suite =
+  [
+    Alcotest.test_case "m/m/1 closed form" `Quick test_mm1_reduces_to_closed_form;
+    Alcotest.test_case "erlang c textbook value" `Quick test_erlang_c_textbook;
+    Alcotest.test_case "stability" `Quick test_stability;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "monotonicity" `Quick test_monotonicity;
+    Alcotest.test_case "simulation agrees with model" `Quick test_simulation_agrees;
+  ]

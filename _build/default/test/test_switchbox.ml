@@ -1,0 +1,118 @@
+(* Tests for explicit switchbox settings (Theorem 1's nonbroadcast
+   switches). *)
+
+module Switchbox = Rsin_topology.Switchbox
+module Network = Rsin_topology.Network
+module Builders = Rsin_topology.Builders
+module T1 = Rsin_core.Transform1
+module Token_sim = Rsin_distributed.Token_sim
+module Prng = Rsin_util.Prng
+
+let check = Alcotest.check
+let qtest name ?(count = 80) gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count gen prop)
+
+let test_connect_disconnect () =
+  let s = Switchbox.empty ~fan_in:2 ~fan_out:2 in
+  check Alcotest.int "empty" 0 (Switchbox.count s);
+  let s = Switchbox.connect s 0 1 in
+  check Alcotest.(option int) "output_of" (Some 1) (Switchbox.output_of s 0);
+  check Alcotest.(option int) "input_of" (Some 0) (Switchbox.input_of s 1);
+  let s = Switchbox.connect s 1 0 in
+  check Alcotest.(list (pair int int)) "connections" [ (0, 1); (1, 0) ]
+    (Switchbox.connections s);
+  let s = Switchbox.disconnect s 0 in
+  check Alcotest.int "after disconnect" 1 (Switchbox.count s);
+  check Alcotest.(option int) "gone" None (Switchbox.output_of s 0)
+
+let test_nonbroadcast_enforced () =
+  let s = Switchbox.connect (Switchbox.empty ~fan_in:2 ~fan_out:2) 0 0 in
+  Alcotest.check_raises "input reuse"
+    (Invalid_argument "Switchbox.connect: input port already connected")
+    (fun () -> ignore (Switchbox.connect s 0 1));
+  Alcotest.check_raises "output reuse"
+    (Invalid_argument "Switchbox.connect: output port already connected")
+    (fun () -> ignore (Switchbox.connect s 1 0));
+  Alcotest.check_raises "range"
+    (Invalid_argument "Switchbox.connect: port out of range") (fun () ->
+      ignore (Switchbox.connect s 2 1))
+
+let test_count_settings () =
+  (* 2x2: empty, 4 singles, 2 full matchings = 7 *)
+  check Alcotest.int "2x2" 7 (Switchbox.count_settings ~fan_in:2 ~fan_out:2);
+  (* 1x1: empty + 1 *)
+  check Alcotest.int "1x1" 2 (Switchbox.count_settings ~fan_in:1 ~fan_out:1);
+  (* 3x3: 1 + 9 + 18 + 6 = 34 *)
+  check Alcotest.int "3x3" 34 (Switchbox.count_settings ~fan_in:3 ~fan_out:3);
+  (* 2x3: 1 + 6 + 6 = 13 *)
+  check Alcotest.int "2x3" 13 (Switchbox.count_settings ~fan_in:2 ~fan_out:3)
+
+let test_enumerate_matches_count () =
+  List.iter
+    (fun (fi, fo) ->
+      let all = Switchbox.enumerate ~fan_in:fi ~fan_out:fo in
+      check Alcotest.int
+        (Printf.sprintf "enumerate %dx%d" fi fo)
+        (Switchbox.count_settings ~fan_in:fi ~fan_out:fo)
+        (List.length all);
+      (* all distinct *)
+      let keys = List.map Switchbox.connections all in
+      check Alcotest.int "distinct" (List.length all)
+        (List.length (List.sort_uniq compare keys)))
+    [ (1, 1); (2, 2); (2, 3); (3, 3) ]
+
+let test_of_network_empty () =
+  let net = Builders.omega 8 in
+  let settings = Switchbox.of_network net in
+  Array.iter
+    (fun s -> check Alcotest.int "no connections" 0 (Switchbox.count s))
+    settings
+
+(* Theorem 1, operationally: every schedule produced by the flow
+   algorithms is realizable as nonbroadcast switch settings, and the
+   per-box connection count equals the flow through the box. *)
+let schedules_yield_settings =
+  qtest "scheduled circuits induce legal switch settings" QCheck.small_int
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 8 in
+      let net =
+        match Prng.int rng 3 with
+        | 0 -> Builders.omega_paper n
+        | 1 -> Builders.butterfly n
+        | _ -> Builders.benes n
+      in
+      let requests =
+        List.filter (fun _ -> Prng.bool rng) (List.init n Fun.id)
+      in
+      let free = List.filter (fun _ -> Prng.bool rng) (List.init n Fun.id) in
+      let o = T1.schedule net ~requests ~free in
+      ignore (T1.commit net o);
+      let settings = Switchbox.of_network net in
+      (* total connections = allocated * stages (each circuit crosses
+         every stage exactly once) *)
+      let total = Array.fold_left (fun acc s -> acc + Switchbox.count s) 0 settings in
+      total = o.T1.allocated * Network.stages net)
+
+let distributed_schedules_yield_settings =
+  qtest "token-architecture circuits induce legal settings" QCheck.small_int
+    (fun seed ->
+      let rng = Prng.create seed in
+      let net = Builders.omega_paper 8 in
+      let requests = List.filter (fun _ -> Prng.bool rng) (List.init 8 Fun.id) in
+      let free = List.filter (fun _ -> Prng.bool rng) (List.init 8 Fun.id) in
+      let rep = Token_sim.run net ~requests ~free in
+      ignore (Token_sim.commit net rep);
+      let settings = Switchbox.of_network net in
+      Array.for_all (fun s -> Switchbox.count s <= 2) settings)
+
+let suite =
+  [
+    Alcotest.test_case "connect/disconnect" `Quick test_connect_disconnect;
+    Alcotest.test_case "nonbroadcast enforced" `Quick test_nonbroadcast_enforced;
+    Alcotest.test_case "count_settings" `Quick test_count_settings;
+    Alcotest.test_case "enumerate = count" `Quick test_enumerate_matches_count;
+    Alcotest.test_case "empty network settings" `Quick test_of_network_empty;
+    schedules_yield_settings;
+    distributed_schedules_yield_settings;
+  ]

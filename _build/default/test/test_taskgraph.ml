@@ -1,0 +1,128 @@
+(* Tests for the task-graph execution engine. *)
+
+module Taskgraph = Rsin_sim.Taskgraph
+module Builders = Rsin_topology.Builders
+module Prng = Rsin_util.Prng
+
+let check = Alcotest.check
+let qtest name ?(count = 40) gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count gen prop)
+
+let diamond =
+  (* 0 -> {1, 2} -> 3, types alternate *)
+  Taskgraph.of_tasks
+    [
+      { Taskgraph.id = 0; rtype = 0; service = 2; deps = []; home = 0 };
+      { Taskgraph.id = 1; rtype = 1; service = 3; deps = [ 0 ]; home = 1 };
+      { Taskgraph.id = 2; rtype = 1; service = 4; deps = [ 0 ]; home = 2 };
+      { Taskgraph.id = 3; rtype = 0; service = 1; deps = [ 1; 2 ]; home = 3 };
+    ]
+
+let test_of_tasks_validation () =
+  Alcotest.check_raises "forward dep"
+    (Invalid_argument "Taskgraph.of_tasks: deps must reference earlier tasks")
+    (fun () ->
+      ignore
+        (Taskgraph.of_tasks
+           [ { Taskgraph.id = 0; rtype = 0; service = 1; deps = [ 1 ]; home = 0 };
+             { Taskgraph.id = 1; rtype = 0; service = 1; deps = []; home = 0 } ]));
+  Alcotest.check_raises "bad service"
+    (Invalid_argument "Taskgraph.of_tasks: service must be positive") (fun () ->
+      ignore
+        (Taskgraph.of_tasks
+           [ { Taskgraph.id = 0; rtype = 0; service = 0; deps = []; home = 0 } ]))
+
+let test_critical_path () =
+  (* 2 + 4 + 1 through the slow middle branch *)
+  check Alcotest.int "critical path" 7 (Taskgraph.critical_path diamond);
+  check
+    Alcotest.(list (pair int int))
+    "work per type"
+    [ (0, 3); (1, 7) ]
+    (Taskgraph.work_per_type diamond)
+
+let test_execute_diamond () =
+  let net = Builders.omega 8 in
+  let pool = [ (0, 0); (1, 1); (2, 1) ] in
+  let r = Taskgraph.execute (Prng.create 1) net ~pool diamond in
+  check Alcotest.int "all done" 4 r.Taskgraph.completed;
+  (* makespan >= critical path + scheduling/transmission latencies *)
+  check Alcotest.bool "makespan bounded below" true
+    (r.Taskgraph.makespan >= Taskgraph.critical_path diamond);
+  check Alcotest.bool "makespan not absurd" true (r.Taskgraph.makespan < 40)
+
+let test_missing_type () =
+  let net = Builders.omega 8 in
+  Alcotest.check_raises "no type-1 resource"
+    (Failure "Taskgraph.execute: no resource of a required type") (fun () ->
+      ignore (Taskgraph.execute (Prng.create 1) net ~pool:[ (0, 0) ] diamond))
+
+let test_random_graph_shape () =
+  let rng = Prng.create 2 in
+  let g = Taskgraph.random rng ~tasks:50 ~types:3 ~procs:8 ~edge_prob:0.3 ~mean_service:3. in
+  check Alcotest.int "size" 50 (Taskgraph.size g);
+  List.iter
+    (fun t ->
+      check Alcotest.bool "type range" true (t.Taskgraph.rtype >= 0 && t.Taskgraph.rtype < 3);
+      check Alcotest.bool "home range" true (t.Taskgraph.home >= 0 && t.Taskgraph.home < 8);
+      check Alcotest.bool "service positive" true (t.Taskgraph.service >= 1);
+      List.iter
+        (fun d -> check Alcotest.bool "dep earlier" true (d < t.Taskgraph.id))
+        t.Taskgraph.deps)
+    (Taskgraph.tasks g)
+
+let all_policies_complete =
+  qtest "every policy completes every graph" QCheck.small_int (fun seed ->
+      let rng = Prng.create seed in
+      let g =
+        Taskgraph.random rng ~tasks:30 ~types:2 ~procs:8 ~edge_prob:0.25
+          ~mean_service:2.
+      in
+      let net = Builders.omega 8 in
+      let pool = List.init 8 (fun r -> (r, r mod 2)) in
+      List.for_all
+        (fun policy ->
+          let r = Taskgraph.execute ~policy (Prng.create seed) net ~pool g in
+          r.Taskgraph.completed = 30
+          && r.Taskgraph.makespan >= Taskgraph.critical_path g)
+        [ Taskgraph.Flow_scheduler; Taskgraph.Priority_flow; Taskgraph.Naive_mapper ])
+
+let makespan_lower_bounds =
+  qtest "makespan respects work/capacity bound" QCheck.small_int (fun seed ->
+      let rng = Prng.create seed in
+      let g =
+        Taskgraph.random rng ~tasks:40 ~types:2 ~procs:8 ~edge_prob:0.15
+          ~mean_service:3.
+      in
+      let net = Builders.omega 8 in
+      let pool = List.init 4 (fun r -> (r, r mod 2)) in
+      let r = Taskgraph.execute (Prng.create seed) net ~pool g in
+      List.for_all
+        (fun (ty, work) ->
+          let c = List.length (List.filter (fun (_, ty') -> ty' = ty) pool) in
+          r.Taskgraph.makespan >= work / c)
+        (Taskgraph.work_per_type g))
+
+let test_deterministic () =
+  let g =
+    Taskgraph.random (Prng.create 9) ~tasks:25 ~types:2 ~procs:8 ~edge_prob:0.2
+      ~mean_service:2.
+  in
+  let net = Builders.omega 8 in
+  let pool = List.init 8 (fun r -> (r, r mod 2)) in
+  let r1 = Taskgraph.execute (Prng.create 4) net ~pool g in
+  let r2 = Taskgraph.execute (Prng.create 4) net ~pool g in
+  check Alcotest.int "same seed, same makespan" r1.Taskgraph.makespan
+    r2.Taskgraph.makespan
+
+let suite =
+  [
+    Alcotest.test_case "of_tasks validation" `Quick test_of_tasks_validation;
+    Alcotest.test_case "critical path / work" `Quick test_critical_path;
+    Alcotest.test_case "diamond executes" `Quick test_execute_diamond;
+    Alcotest.test_case "missing type" `Quick test_missing_type;
+    Alcotest.test_case "random graph shape" `Quick test_random_graph_shape;
+    all_policies_complete;
+    makespan_lower_bounds;
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+  ]

@@ -1,0 +1,323 @@
+(* Tests for the interconnection-network substrate: generators, wiring
+   invariants, circuit switching and routing. *)
+
+open Rsin_topology
+module Prng = Rsin_util.Prng
+
+let check = Alcotest.check
+let qtest name ?(count = 100) gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count gen prop)
+
+let all_generators =
+  [
+    ("omega8", fun () -> Builders.omega 8);
+    ("omega16", fun () -> Builders.omega 16);
+    ("omega_paper8", fun () -> Builders.omega_paper 8);
+    ("butterfly8", fun () -> Builders.butterfly 8);
+    ("butterfly16", fun () -> Builders.butterfly 16);
+    ("baseline8", fun () -> Builders.baseline 8);
+    ("baseline16", fun () -> Builders.baseline 16);
+    ("benes8", fun () -> Builders.benes 8);
+    ("clos", fun () -> Builders.clos ~m:3 ~n:2 ~r:4);
+    ("crossbar", fun () -> Builders.crossbar ~n_procs:6 ~n_res:5);
+    ("delta3^2", fun () -> Builders.delta ~radix:3 ~stages:2);
+    ("extra2", fun () -> Builders.extra_stage_omega 8 ~extra:2);
+    ("gamma8", fun () -> Builders.gamma 8);
+  ]
+
+let test_full_access () =
+  List.iter
+    (fun (name, make) ->
+      let net = make () in
+      Network.paths_exist net;
+      check Alcotest.bool (name ^ " full access") true (Builders.full_access net))
+    all_generators
+
+let test_structure_counts () =
+  let net = Builders.omega 8 in
+  check Alcotest.int "procs" 8 (Network.n_procs net);
+  check Alcotest.int "resources" 8 (Network.n_res net);
+  check Alcotest.int "stages" 3 (Network.stages net);
+  check Alcotest.int "boxes" 12 (Network.n_boxes net);
+  (* 8 proc links + 2*8 inter-stage + 8 res links *)
+  check Alcotest.int "links" 32 (Network.n_links net);
+  let net16 = Builders.omega 16 in
+  check Alcotest.int "stages 16" 4 (Network.stages net16);
+  check Alcotest.int "boxes 16" 32 (Network.n_boxes net16)
+
+let test_benes_structure () =
+  let net = Builders.benes 8 in
+  check Alcotest.int "benes stages" 5 (Network.stages net);
+  check Alcotest.int "benes boxes" 20 (Network.n_boxes net)
+
+let test_clos_structure () =
+  let net = Builders.clos ~m:3 ~n:2 ~r:4 in
+  check Alcotest.int "clos stages" 3 (Network.stages net);
+  check Alcotest.int "clos boxes" (4 + 3 + 4) (Network.n_boxes net);
+  check Alcotest.int "clos procs" 8 (Network.n_procs net)
+
+let test_gamma_structure () =
+  let net = Builders.gamma 8 in
+  check Alcotest.int "gamma stages" 4 (Network.stages net);
+  check Alcotest.int "gamma boxes" 32 (Network.n_boxes net)
+
+let test_box_wiring_consistency () =
+  List.iter
+    (fun (name, make) ->
+      let net = make () in
+      for b = 0 to Network.n_boxes net - 1 do
+        let spec = Network.box_spec net b in
+        let ins = Network.box_in_links net b and outs = Network.box_out_links net b in
+        check Alcotest.int (name ^ " fan_in") spec.Network.fan_in (Array.length ins);
+        check Alcotest.int (name ^ " fan_out") spec.Network.fan_out (Array.length outs);
+        Array.iteri
+          (fun port l ->
+            match Network.link_dst net l with
+            | Network.Box_in (b', p') ->
+              check Alcotest.bool (name ^ " in-link targets box") true
+                (b' = b && p' = port)
+            | _ -> Alcotest.fail "in-link must end at the box")
+          ins;
+        Array.iteri
+          (fun port l ->
+            match Network.link_src net l with
+            | Network.Box_out (b', p') ->
+              check Alcotest.bool (name ^ " out-link leaves box") true
+                (b' = b && p' = port)
+            | _ -> Alcotest.fail "out-link must start at the box")
+          outs
+      done)
+    all_generators
+
+let test_stage_monotone_links () =
+  (* Links only go from stage s boxes to stage s+1 boxes (loop-free). *)
+  List.iter
+    (fun (name, make) ->
+      let net = make () in
+      for l = 0 to Network.n_links net - 1 do
+        match (Network.link_src net l, Network.link_dst net l) with
+        | Network.Box_out (b1, _), Network.Box_in (b2, _) ->
+          check Alcotest.int
+            (name ^ " inter-stage link advances one stage")
+            (Network.box_stage net b1 + 1)
+            (Network.box_stage net b2)
+        | Network.Proc _, Network.Box_in (b, _) ->
+          check Alcotest.int (name ^ " proc feeds stage 0") 0 (Network.box_stage net b)
+        | Network.Box_out (b, _), Network.Res _ ->
+          check Alcotest.int
+            (name ^ " res fed by last stage")
+            (Network.stages net - 1)
+            (Network.box_stage net b)
+        | _ -> Alcotest.fail "malformed link"
+      done)
+    all_generators
+
+let test_omega_unique_path () =
+  (* An Omega network has exactly one path per (proc, res) pair: after
+     establishing the route, no alternative remains. *)
+  let net = Builders.omega 8 in
+  for p = 0 to 7 do
+    for r = 0 to 7 do
+      let net = Builders.omega 8 in
+      (match Builders.route_unique net ~proc:p ~res:r with
+      | None -> Alcotest.fail "omega must connect all pairs"
+      | Some links ->
+        ignore (Network.establish net links);
+        check Alcotest.bool "no second path" true
+          (Builders.route_unique net ~proc:p ~res:r = None))
+    done
+  done;
+  ignore net
+
+let test_gamma_multipath () =
+  (* Gamma provides redundant paths: blocking the unique-path route must
+     leave an alternative for most pairs. *)
+  let net = Builders.gamma 8 in
+  let alternatives = ref 0 in
+  for p = 0 to 7 do
+    for r = 0 to 7 do
+      let net = Builders.gamma 8 in
+      match Builders.route_unique net ~proc:p ~res:r with
+      | None -> Alcotest.fail "gamma must connect all pairs"
+      | Some links ->
+        (* occupy only the middle of the path, keep terminals free *)
+        (match links with
+        | _ :: (_ :: _ as rest) ->
+          let middle = List.filteri (fun i _ -> i < List.length rest - 1) rest in
+          if middle <> [] then begin
+            ignore (Network.establish_unchecked net middle);
+            if Builders.route_unique net ~proc:p ~res:r <> None then
+              incr alternatives
+          end
+        | _ -> ())
+    done
+  done;
+  ignore net;
+  check Alcotest.bool "gamma has alternative paths" true (!alternatives > 30)
+
+let test_benes_multipath () =
+  let net = Builders.benes 8 in
+  match Builders.route_unique net ~proc:0 ~res:0 with
+  | None -> Alcotest.fail "benes connects 0-0"
+  | Some links ->
+    (* Occupy only the interior links: the Benes network has 2^(k-1)
+       middle-stage choices, so an alternative interior must exist. *)
+    let interior =
+      List.filteri (fun i _ -> i > 0 && i < List.length links - 1) links
+    in
+    ignore (Network.establish_unchecked net interior);
+    check Alcotest.bool "benes second path exists" true
+      (Builders.route_unique net ~proc:0 ~res:0 <> None)
+
+let test_establish_release () =
+  let net = Builders.omega 8 in
+  match Builders.route_unique net ~proc:2 ~res:5 with
+  | None -> Alcotest.fail "route must exist"
+  | Some links ->
+    let id = Network.establish net links in
+    List.iter
+      (fun l ->
+        check Alcotest.bool "occupied" true
+          (Network.link_state net l = Network.Occupied id))
+      links;
+    check Alcotest.int "one live circuit" 1 (List.length (Network.circuits net));
+    Alcotest.check_raises "double establish"
+      (Invalid_argument "Network.establish: link busy") (fun () ->
+        ignore (Network.establish net links));
+    Network.release net id;
+    List.iter
+      (fun l ->
+        check Alcotest.bool "freed" true (Network.link_state net l = Network.Free))
+      links;
+    check Alcotest.int "no circuits" 0 (List.length (Network.circuits net));
+    (* releasing an unknown id is a no-op *)
+    Network.release net 999
+
+let test_establish_validation () =
+  let net = Builders.omega 8 in
+  Alcotest.check_raises "empty" (Invalid_argument "Network.establish: empty circuit")
+    (fun () -> ignore (Network.establish net []));
+  (* a path that starts mid-network is rejected *)
+  let bad =
+    List.filter
+      (fun l ->
+        match Network.link_src net l with
+        | Network.Box_out _ -> true
+        | _ -> false)
+      (List.init (Network.n_links net) Fun.id)
+  in
+  (match bad with
+  | l :: _ ->
+    Alcotest.check_raises "must start at processor"
+      (Invalid_argument "Network.establish: path must start at a processor")
+      (fun () -> ignore (Network.establish net [ l ]))
+  | [] -> Alcotest.fail "expected inter-stage links")
+
+let test_clear_circuits () =
+  let net = Builders.omega 8 in
+  (match Builders.route_unique net ~proc:0 ~res:0 with
+  | Some links -> ignore (Network.establish net links)
+  | None -> Alcotest.fail "route");
+  Network.clear_circuits net;
+  check Alcotest.int "cleared" 0 (List.length (Network.circuits net));
+  check Alcotest.int "all free" (Network.n_links net)
+    (List.length (Network.free_links net))
+
+let test_copy_isolation () =
+  let net = Builders.omega 8 in
+  let copy = Network.copy net in
+  (match Builders.route_unique copy ~proc:0 ~res:0 with
+  | Some links -> ignore (Network.establish copy links)
+  | None -> Alcotest.fail "route");
+  check Alcotest.int "original untouched" (Network.n_links net)
+    (List.length (Network.free_links net))
+
+let test_route_respects_occupancy () =
+  let net = Builders.omega 8 in
+  (* Occupy proc 0's injection link; no route from proc 0 remains. *)
+  (match Builders.route_unique net ~proc:0 ~res:3 with
+  | Some links -> ignore (Network.establish net links)
+  | None -> Alcotest.fail "route");
+  check Alcotest.bool "proc 0 cut off" true
+    (Builders.route_unique net ~proc:0 ~res:5 = None);
+  check Alcotest.bool "other procs fine" true
+    (Builders.route_unique net ~proc:1 ~res:5 <> None)
+
+let route_is_valid_circuit =
+  qtest "route_unique yields establishable circuits" ~count:200
+    QCheck.(triple small_int (int_range 0 7) (int_range 0 7))
+    (fun (seed, p, r) ->
+      let rng = Prng.create seed in
+      let net =
+        match Prng.int rng 4 with
+        | 0 -> Builders.omega 8
+        | 1 -> Builders.butterfly 8
+        | 2 -> Builders.benes 8
+        | _ -> Builders.gamma 8
+      in
+      match Builders.route_unique net ~proc:p ~res:r with
+      | None -> false
+      | Some links ->
+        let id = Network.establish net links in
+        ignore id;
+        true)
+
+let test_delta2_equals_omega_counts () =
+  let d = Builders.delta ~radix:2 ~stages:3 and o = Builders.omega 8 in
+  check Alcotest.int "same links" (Network.n_links o) (Network.n_links d);
+  check Alcotest.int "same boxes" (Network.n_boxes o) (Network.n_boxes d)
+
+let test_invalid_sizes () =
+  Alcotest.check_raises "omega 6"
+    (Invalid_argument "omega6: size must be a power of two >= 2") (fun () ->
+      ignore (Builders.omega 6));
+  Alcotest.check_raises "extra negative"
+    (Invalid_argument "extra_stage_omega: negative extra") (fun () ->
+      ignore (Builders.extra_stage_omega 8 ~extra:(-1)))
+
+let test_build_validation () =
+  (* Non-permutation wiring must be rejected. *)
+  let boxes = [| [| Network.{ fan_in = 2; fan_out = 2 } |] |] in
+  Alcotest.check_raises "bad wiring"
+    (Invalid_argument "Network.build: proc_wiring is not a permutation")
+    (fun () ->
+      ignore
+        (Network.build ~name:"bad" ~n_procs:2 ~n_res:2 ~stage_boxes:boxes
+           ~proc_wiring:[| 0; 0 |] ~stage_wiring:[||] ~res_wiring:[| 0; 1 |]))
+
+let test_dot_output () =
+  let net = Builders.omega 8 in
+  let dot = Network.to_dot net in
+  check Alcotest.bool "has digraph" true
+    (String.length dot > 0 && String.sub dot 0 7 = "digraph");
+  let contains hay needle =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  check Alcotest.bool "mentions p0" true (contains dot "p0");
+  check Alcotest.bool "mentions r7" true (contains dot "r7")
+
+let suite =
+  [
+    Alcotest.test_case "full access (all generators)" `Quick test_full_access;
+    Alcotest.test_case "omega structure" `Quick test_structure_counts;
+    Alcotest.test_case "benes structure" `Quick test_benes_structure;
+    Alcotest.test_case "clos structure" `Quick test_clos_structure;
+    Alcotest.test_case "gamma structure" `Quick test_gamma_structure;
+    Alcotest.test_case "box wiring consistency" `Quick test_box_wiring_consistency;
+    Alcotest.test_case "links advance stages" `Quick test_stage_monotone_links;
+    Alcotest.test_case "omega unique path" `Quick test_omega_unique_path;
+    Alcotest.test_case "gamma multipath" `Quick test_gamma_multipath;
+    Alcotest.test_case "benes multipath" `Quick test_benes_multipath;
+    Alcotest.test_case "establish/release" `Quick test_establish_release;
+    Alcotest.test_case "establish validation" `Quick test_establish_validation;
+    Alcotest.test_case "clear circuits" `Quick test_clear_circuits;
+    Alcotest.test_case "copy isolation" `Quick test_copy_isolation;
+    Alcotest.test_case "routing respects occupancy" `Quick test_route_respects_occupancy;
+    route_is_valid_circuit;
+    Alcotest.test_case "delta(2,3) vs omega8 counts" `Quick test_delta2_equals_omega_counts;
+    Alcotest.test_case "invalid sizes" `Quick test_invalid_sizes;
+    Alcotest.test_case "build validation" `Quick test_build_validation;
+    Alcotest.test_case "dot output" `Quick test_dot_output;
+  ]

@@ -1,0 +1,237 @@
+(* Tests for the second wave of topology features: flip and ADM
+   networks, structural properties, and Benes permutation routing. *)
+
+module Network = Rsin_topology.Network
+module Builders = Rsin_topology.Builders
+module Properties = Rsin_topology.Properties
+module Permutation = Rsin_topology.Permutation
+module Prng = Rsin_util.Prng
+
+let check = Alcotest.check
+let qtest name ?(count = 100) gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count gen prop)
+
+(* --- new generators ------------------------------------------------------- *)
+
+let test_flip_adm_full_access () =
+  List.iter
+    (fun net ->
+      Network.paths_exist net;
+      check Alcotest.bool (Network.name net ^ " full access") true
+        (Builders.full_access net))
+    [ Builders.flip 8; Builders.flip 16; Builders.adm 8; Builders.adm 16;
+      Builders.delta_ab ~a:4 ~b:2 ~stages:2;
+      Builders.delta_ab ~a:2 ~b:4 ~stages:2;
+      Builders.delta_ab ~a:3 ~b:2 ~stages:3 ]
+
+let test_delta_ab_shapes () =
+  let net = Builders.delta_ab ~a:4 ~b:2 ~stages:3 in
+  check Alcotest.int "64 procs" 64 (Network.n_procs net);
+  check Alcotest.int "8 resources" 8 (Network.n_res net);
+  check Alcotest.int "3 stages" 3 (Network.stages net);
+  (* the concentrator allocates its full pool from any large request set *)
+  let o =
+    Rsin_core.Transform1.schedule net
+      ~requests:(List.init 64 Fun.id)
+      ~free:(List.init 8 Fun.id)
+  in
+  check Alcotest.int "pool saturated" 8 o.Rsin_core.Transform1.allocated;
+  (* expander direction: few processors, many resources *)
+  let net = Builders.delta_ab ~a:2 ~b:4 ~stages:2 in
+  check Alcotest.int "4 procs" 4 (Network.n_procs net);
+  check Alcotest.int "16 resources" 16 (Network.n_res net);
+  let o =
+    Rsin_core.Transform1.schedule net
+      ~requests:(List.init 4 Fun.id)
+      ~free:(List.init 16 Fun.id)
+  in
+  check Alcotest.int "all procs served" 4 o.Rsin_core.Transform1.allocated
+
+let test_delta_ab_validation () =
+  Alcotest.check_raises "degenerate"
+    (Invalid_argument "delta_ab: need a,b >= 1 (one of them >= 2), stages >= 1")
+    (fun () -> ignore (Builders.delta_ab ~a:1 ~b:1 ~stages:2))
+
+let test_flip_structure () =
+  let net = Builders.flip 8 in
+  check Alcotest.int "stages" 3 (Network.stages net);
+  check Alcotest.int "links" 32 (Network.n_links net);
+  (* flip is a unique-path network like omega *)
+  check (Alcotest.float 1e-9) "diversity 1" 1.0 (Properties.path_diversity net)
+
+let test_adm_multipath () =
+  let net = Builders.adm 8 in
+  check Alcotest.bool "adm is multipath" true (Properties.path_diversity net > 2.0)
+
+(* --- properties ------------------------------------------------------------ *)
+
+let test_count_paths_omega () =
+  let net = Builders.omega 8 in
+  for p = 0 to 7 do
+    for r = 0 to 7 do
+      check Alcotest.int "unique path" 1 (Properties.count_paths net ~proc:p ~res:r)
+    done
+  done
+
+let test_count_paths_benes () =
+  let net = Builders.benes 8 in
+  (* Benes on 2^k ports has exactly 2^(k-1) paths per pair *)
+  for p = 0 to 7 do
+    for r = 0 to 7 do
+      check Alcotest.int "4 paths" 4 (Properties.count_paths net ~proc:p ~res:r)
+    done
+  done;
+  check (Alcotest.float 1e-9) "diversity" 4.0 (Properties.path_diversity net);
+  check Alcotest.int "min diversity" 4 (Properties.min_path_diversity net)
+
+let test_count_paths_extra_stage () =
+  (* each extra stage doubles the path count *)
+  List.iter
+    (fun (extra, expect) ->
+      let net = Builders.extra_stage_omega 8 ~extra in
+      check (Alcotest.float 1e-9)
+        (Printf.sprintf "%d extra stages" extra)
+        (float_of_int expect)
+        (Properties.path_diversity net))
+    [ (0, 1); (1, 2); (2, 4); (3, 8) ]
+
+let test_count_paths_respects_occupancy () =
+  let net = Builders.benes 8 in
+  let before = Properties.count_paths net ~proc:0 ~res:0 in
+  (match Builders.route_unique net ~proc:0 ~res:0 with
+  | Some links ->
+    let interior = List.filteri (fun i _ -> i > 0 && i < List.length links - 1) links in
+    ignore (Network.establish_unchecked net interior)
+  | None -> Alcotest.fail "route");
+  let after = Properties.count_paths net ~proc:0 ~res:0 in
+  check Alcotest.bool "fewer paths when busy" true (after < before && after >= 1)
+
+let test_bisection_flow () =
+  List.iter
+    (fun (net, expect) ->
+      check Alcotest.int (Network.name net) expect (Properties.bisection_flow net))
+    [ (Builders.omega 8, 8); (Builders.benes 8, 8); (Builders.gamma 8, 8);
+      (Builders.crossbar ~n_procs:5 ~n_res:3, 3) ]
+
+let test_path_length_and_stage_links () =
+  let net = Builders.omega 16 in
+  check Alcotest.int "length" 5 (Properties.path_length net);
+  let counts = Properties.link_count_per_stage net in
+  check Alcotest.int "entries" 5 (Array.length counts);
+  Array.iter (fun c -> check Alcotest.int "16 per rank" 16 c) counts
+
+(* --- Benes permutation routing ---------------------------------------------- *)
+
+let test_identity_routing () =
+  let net = Builders.benes 8 in
+  let perm = Array.init 8 Fun.id in
+  let circuits = Permutation.route net perm in
+  check Alcotest.int "8 circuits" 8 (List.length circuits);
+  List.iteri
+    (fun u links ->
+      ignore (Network.establish net links);
+      match Network.link_dst net (List.nth links (List.length links - 1)) with
+      | Network.Res r -> check Alcotest.int "identity endpoint" u r
+      | _ -> Alcotest.fail "must end at a resource")
+    circuits
+
+let test_reversal_routing () =
+  let net = Builders.benes 16 in
+  let perm = Array.init 16 (fun i -> 15 - i) in
+  let circuits = Permutation.route net perm in
+  List.iteri
+    (fun u links ->
+      ignore (Network.establish net links);
+      match Network.link_dst net (List.nth links (List.length links - 1)) with
+      | Network.Res r -> check Alcotest.int "reversal endpoint" (15 - u) r
+      | _ -> Alcotest.fail "must end at a resource")
+    circuits
+
+let permutations_all_routable =
+  qtest "Benes realizes random permutations with disjoint circuits" ~count:150
+    QCheck.(pair small_int (int_range 1 5))
+    (fun (seed, lg) ->
+      let n = 1 lsl lg in
+      let rng = Prng.create seed in
+      let perm = Array.init n Fun.id in
+      Prng.shuffle rng perm;
+      let net = Builders.benes n in
+      let circuits = Permutation.route net perm in
+      try
+        List.for_all2
+          (fun u links ->
+            ignore (Network.establish net links);
+            match Network.link_dst net (List.nth links (List.length links - 1)) with
+            | Network.Res r -> r = perm.(u)
+            | _ -> false)
+          (List.init n Fun.id) circuits
+      with Invalid_argument _ -> false)
+
+let settings_shape =
+  qtest "looping settings have one decision per stage, all 0/1" ~count:100
+    QCheck.(pair small_int (int_range 1 5))
+    (fun (seed, lg) ->
+      let n = 1 lsl lg in
+      let rng = Prng.create seed in
+      let perm = Array.init n Fun.id in
+      Prng.shuffle rng perm;
+      let d = Permutation.settings ~n perm in
+      Array.length d = n
+      && Array.for_all
+           (fun ds ->
+             List.length ds = (2 * lg) - 1
+             && List.for_all (fun c -> c = 0 || c = 1) ds)
+           d)
+
+let test_permutation_validation () =
+  Alcotest.check_raises "not a permutation"
+    (Invalid_argument "Permutation.settings: not a permutation") (fun () ->
+      ignore (Permutation.settings ~n:4 [| 0; 0; 1; 2 |]));
+  let net = Builders.omega 8 in
+  Alcotest.check_raises "wrong network"
+    (Invalid_argument "Permutation.route: not a Benes network (wrong stage count)")
+    (fun () -> ignore (Permutation.route net (Array.init 8 Fun.id)))
+
+(* All 24 permutations of a 4-port Benes, exhaustively. *)
+let test_exhaustive_n4 () =
+  let perms =
+    let rec all = function
+      | [] -> [ [] ]
+      | xs ->
+        List.concat_map
+          (fun x -> List.map (fun p -> x :: p) (all (List.filter (( <> ) x) xs)))
+          xs
+    in
+    all [ 0; 1; 2; 3 ]
+  in
+  check Alcotest.int "24 permutations" 24 (List.length perms);
+  List.iter
+    (fun p ->
+      let perm = Array.of_list p in
+      let net = Builders.benes 4 in
+      let circuits = Permutation.route net perm in
+      List.iter (fun links -> ignore (Network.establish net links)) circuits)
+    perms
+
+let suite =
+  [
+    Alcotest.test_case "flip/adm/delta_ab full access" `Quick test_flip_adm_full_access;
+    Alcotest.test_case "delta_ab shapes" `Quick test_delta_ab_shapes;
+    Alcotest.test_case "delta_ab validation" `Quick test_delta_ab_validation;
+    Alcotest.test_case "flip structure" `Quick test_flip_structure;
+    Alcotest.test_case "adm multipath" `Quick test_adm_multipath;
+    Alcotest.test_case "count_paths omega" `Quick test_count_paths_omega;
+    Alcotest.test_case "count_paths benes" `Quick test_count_paths_benes;
+    Alcotest.test_case "count_paths extra stages" `Quick test_count_paths_extra_stage;
+    Alcotest.test_case "count_paths under occupancy" `Quick
+      test_count_paths_respects_occupancy;
+    Alcotest.test_case "bisection flow" `Quick test_bisection_flow;
+    Alcotest.test_case "path length / stage links" `Quick
+      test_path_length_and_stage_links;
+    Alcotest.test_case "identity routing" `Quick test_identity_routing;
+    Alcotest.test_case "reversal routing" `Quick test_reversal_routing;
+    permutations_all_routable;
+    settings_shape;
+    Alcotest.test_case "permutation validation" `Quick test_permutation_validation;
+    Alcotest.test_case "exhaustive n=4" `Quick test_exhaustive_n4;
+  ]

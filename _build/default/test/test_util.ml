@@ -1,0 +1,385 @@
+(* Tests for the rsin_util substrate: PRNG, heap, bitset, stats, DSU,
+   vec and table rendering. *)
+
+open Rsin_util
+
+let check = Alcotest.check
+let qtest name ?(count = 200) gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count gen prop)
+
+(* --- Prng ---------------------------------------------------------------- *)
+
+let test_prng_determinism () =
+  let a = Prng.create 123 and b = Prng.create 123 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.bits64 a = Prng.bits64 b then incr same
+  done;
+  check Alcotest.bool "different seeds differ" true (!same < 4)
+
+let test_prng_split_independence () =
+  let g = Prng.create 99 in
+  let h = Prng.split g in
+  let xs = List.init 32 (fun _ -> Prng.bits64 g) in
+  let ys = List.init 32 (fun _ -> Prng.bits64 h) in
+  check Alcotest.bool "split streams differ" true (xs <> ys)
+
+let test_prng_copy () =
+  let g = Prng.create 5 in
+  ignore (Prng.bits64 g);
+  let h = Prng.copy g in
+  check Alcotest.int64 "copy continues identically" (Prng.bits64 g) (Prng.bits64 h)
+
+let prng_int_range =
+  qtest "Prng.int stays in range" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, n) ->
+      let g = Prng.create seed in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        let v = Prng.int g n in
+        if v < 0 || v >= n then ok := false
+      done;
+      !ok)
+
+let test_prng_int_covers () =
+  let g = Prng.create 7 in
+  let seen = Array.make 4 false in
+  for _ = 1 to 200 do
+    seen.(Prng.int g 4) <- true
+  done;
+  check Alcotest.bool "all residues hit" true (Array.for_all Fun.id seen)
+
+let test_prng_float_range () =
+  let g = Prng.create 11 in
+  for _ = 1 to 1000 do
+    let x = Prng.float g 3.5 in
+    if x < 0. || x >= 3.5 then Alcotest.fail "float out of range"
+  done
+
+let test_prng_bernoulli_bias () =
+  let g = Prng.create 13 in
+  let hits = ref 0 in
+  let n = 20000 in
+  for _ = 1 to n do
+    if Prng.bernoulli g 0.3 then incr hits
+  done;
+  let p = float_of_int !hits /. float_of_int n in
+  check Alcotest.bool "bernoulli(0.3) near 0.3" true (abs_float (p -. 0.3) < 0.02)
+
+let test_prng_geometric_mean () =
+  let g = Prng.create 17 in
+  let acc = Stats.accum () in
+  for _ = 1 to 20000 do
+    Stats.observe acc (float_of_int (Prng.geometric g 0.25))
+  done;
+  (* mean of geometric (failures before success) = (1-p)/p = 3 *)
+  check Alcotest.bool "geometric mean near 3" true
+    (abs_float (Stats.mean acc -. 3.) < 0.15)
+
+let test_prng_exponential_mean () =
+  let g = Prng.create 19 in
+  let acc = Stats.accum () in
+  for _ = 1 to 20000 do
+    Stats.observe acc (Prng.exponential g 2.0)
+  done;
+  check Alcotest.bool "exp(2) mean near 0.5" true
+    (abs_float (Stats.mean acc -. 0.5) < 0.03)
+
+let prng_shuffle_perm =
+  qtest "shuffle is a permutation" ~count:200
+    QCheck.(pair small_int (int_range 0 50))
+    (fun (seed, n) ->
+      let g = Prng.create seed in
+      let a = Array.init n (fun i -> i) in
+      Prng.shuffle g a;
+      let sorted = Array.copy a in
+      Array.sort compare sorted;
+      sorted = Array.init n (fun i -> i))
+
+let prng_sample_distinct =
+  qtest "sample_without_replacement distinct and in range" ~count:200
+    QCheck.(triple small_int (int_range 0 30) (int_range 0 30))
+    (fun (seed, a, b) ->
+      let k = min a b and n = max a b in
+      let g = Prng.create seed in
+      let s = Prng.sample_without_replacement g k n in
+      let l = Array.to_list s in
+      List.length (List.sort_uniq compare l) = k
+      && List.for_all (fun x -> x >= 0 && x < n) l)
+
+let test_prng_invalid_args () =
+  let g = Prng.create 0 in
+  Alcotest.check_raises "int 0" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int g 0));
+  Alcotest.check_raises "pick empty" (Invalid_argument "Prng.pick: empty array")
+    (fun () -> ignore (Prng.pick g [||]))
+
+(* --- Heap ---------------------------------------------------------------- *)
+
+let heap_sorts =
+  qtest "heap pops in sorted order" ~count:300
+    QCheck.(list int)
+    (fun xs ->
+      let h = Heap.create ~cmp:compare in
+      List.iter (fun x -> Heap.add h x x) xs;
+      let rec drain acc =
+        match Heap.pop_min h with
+        | None -> List.rev acc
+        | Some (k, _) -> drain (k :: acc)
+      in
+      drain [] = List.sort compare xs)
+
+let test_heap_basics () =
+  let h = Heap.create ~cmp:compare in
+  check Alcotest.bool "empty" true (Heap.is_empty h);
+  Heap.add h 5 "five";
+  Heap.add h 1 "one";
+  Heap.add h 3 "three";
+  check Alcotest.int "length" 3 (Heap.length h);
+  check Alcotest.(option (pair int string)) "peek" (Some (1, "one")) (Heap.peek_min h);
+  check Alcotest.(option (pair int string)) "pop" (Some (1, "one")) (Heap.pop_min h);
+  check Alcotest.int "length after pop" 2 (Heap.length h);
+  Heap.clear h;
+  check Alcotest.bool "cleared" true (Heap.is_empty h);
+  check Alcotest.(option (pair int string)) "pop empty" None (Heap.pop_min h)
+
+let test_heap_duplicates () =
+  let h = Heap.create ~cmp:compare in
+  List.iter (fun k -> Heap.add h k k) [ 2; 2; 1; 2; 1 ];
+  let out = ref [] in
+  let rec drain () =
+    match Heap.pop_min h with
+    | None -> ()
+    | Some (k, _) ->
+      out := k :: !out;
+      drain ()
+  in
+  drain ();
+  check Alcotest.(list int) "dups preserved" [ 2; 2; 2; 1; 1 ] !out
+
+(* --- Bitset -------------------------------------------------------------- *)
+
+let bitset_model =
+  qtest "bitset agrees with a list model" ~count:300
+    QCheck.(pair (int_range 1 100) (list (int_range 0 99)))
+    (fun (n, ops) ->
+      let b = Bitset.create n in
+      let model = Hashtbl.create 16 in
+      List.iteri
+        (fun i x ->
+          let x = x mod n in
+          if i mod 3 = 2 then begin
+            Bitset.remove b x;
+            Hashtbl.remove model x
+          end
+          else begin
+            Bitset.add b x;
+            Hashtbl.replace model x ()
+          end)
+        ops;
+      Bitset.cardinal b = Hashtbl.length model
+      && List.for_all (fun x -> Hashtbl.mem model x) (Bitset.to_list b))
+
+let test_bitset_basics () =
+  let b = Bitset.create 20 in
+  check Alcotest.int "capacity" 20 (Bitset.capacity b);
+  Bitset.add b 0;
+  Bitset.add b 19;
+  Bitset.add b 7;
+  check Alcotest.bool "mem 19" true (Bitset.mem b 19);
+  check Alcotest.bool "not mem 8" false (Bitset.mem b 8);
+  check Alcotest.(list int) "to_list sorted" [ 0; 7; 19 ] (Bitset.to_list b);
+  let c = Bitset.copy b in
+  Bitset.remove b 7;
+  check Alcotest.bool "copy unaffected" true (Bitset.mem c 7);
+  Bitset.union_into b c;
+  check Alcotest.bool "union restores" true (Bitset.mem b 7);
+  check Alcotest.bool "equal" true (Bitset.equal b c);
+  Bitset.clear b;
+  check Alcotest.int "cleared" 0 (Bitset.cardinal b)
+
+let test_bitset_bounds () =
+  let b = Bitset.create 4 in
+  Alcotest.check_raises "out of range" (Invalid_argument "Bitset: index out of range")
+    (fun () -> Bitset.add b 4)
+
+(* --- Stats --------------------------------------------------------------- *)
+
+let test_stats_known () =
+  let a = Stats.accum () in
+  List.iter (Stats.observe a) [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ];
+  check (Alcotest.float 1e-9) "mean" 5.0 (Stats.mean a);
+  check (Alcotest.float 1e-9) "variance" (32. /. 7.) (Stats.variance a);
+  check (Alcotest.float 1e-9) "min" 2.0 (Stats.min_obs a);
+  check (Alcotest.float 1e-9) "max" 9.0 (Stats.max_obs a);
+  check Alcotest.int "count" 8 (Stats.count a)
+
+let test_stats_empty () =
+  let a = Stats.accum () in
+  check Alcotest.bool "mean nan" true (Float.is_nan (Stats.mean a));
+  check Alcotest.bool "variance nan" true (Float.is_nan (Stats.variance a))
+
+let stats_welford_matches_naive =
+  qtest "Welford variance matches two-pass" ~count:200
+    QCheck.(list_of_size Gen.(int_range 2 50) (float_range (-1000.) 1000.))
+    (fun xs ->
+      let a = Stats.accum () in
+      List.iter (Stats.observe a) xs;
+      let n = float_of_int (List.length xs) in
+      let mean = List.fold_left ( +. ) 0. xs /. n in
+      let var =
+        List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. xs /. (n -. 1.)
+      in
+      let got = Stats.variance a in
+      abs_float (got -. var) <= 1e-6 *. (1. +. abs_float var))
+
+let test_wilson_interval () =
+  let lo, hi = Stats.proportion_ci95 ~successes:50 ~trials:100 in
+  check Alcotest.bool "contains p-hat" true (lo < 0.5 && hi > 0.5);
+  check Alcotest.bool "reasonable width" true (hi -. lo < 0.25);
+  let lo0, _ = Stats.proportion_ci95 ~successes:0 ~trials:10 in
+  check (Alcotest.float 1e-9) "zero successes -> lo 0" 0.0 lo0;
+  let _, hi1 = Stats.proportion_ci95 ~successes:10 ~trials:10 in
+  check Alcotest.bool "all successes -> hi 1" true (hi1 <= 1.0)
+
+let test_histogram () =
+  let h = Stats.histogram ~lo:0. ~hi:10. ~bins:10 in
+  List.iter (Stats.hist_observe h) [ 0.5; 1.5; 1.6; 9.9; 100.; -5. ];
+  let counts = Stats.hist_counts h in
+  check Alcotest.int "bin 0 (incl clamped low)" 2 counts.(0);
+  check Alcotest.int "bin 1" 2 counts.(1);
+  check Alcotest.int "bin 9 (incl clamped high)" 2 counts.(9);
+  check Alcotest.int "total" 6 (Stats.hist_total h);
+  let q = Stats.hist_quantile h 0.5 in
+  check Alcotest.bool "median in range" true (q >= 0. && q <= 10.)
+
+(* --- Dsu ----------------------------------------------------------------- *)
+
+let test_dsu () =
+  let d = Dsu.create 6 in
+  check Alcotest.int "components" 6 (Dsu.components d);
+  check Alcotest.bool "union 0 1" true (Dsu.union d 0 1);
+  check Alcotest.bool "union 1 2" true (Dsu.union d 1 2);
+  check Alcotest.bool "re-union" false (Dsu.union d 0 2);
+  check Alcotest.bool "same" true (Dsu.same d 0 2);
+  check Alcotest.bool "not same" false (Dsu.same d 0 5);
+  check Alcotest.int "components after" 4 (Dsu.components d)
+
+let dsu_transitivity =
+  qtest "dsu connectivity is an equivalence" ~count:100
+    QCheck.(list (pair (int_range 0 19) (int_range 0 19)))
+    (fun edges ->
+      let d = Dsu.create 20 in
+      List.iter (fun (a, b) -> ignore (Dsu.union d a b)) edges;
+      (* reference: BFS connectivity *)
+      let adj = Array.make 20 [] in
+      List.iter
+        (fun (a, b) ->
+          adj.(a) <- b :: adj.(a);
+          adj.(b) <- a :: adj.(b))
+        edges;
+      let reach s =
+        let seen = Array.make 20 false in
+        let rec go v =
+          if not seen.(v) then begin
+            seen.(v) <- true;
+            List.iter go adj.(v)
+          end
+        in
+        go s;
+        seen
+      in
+      let ok = ref true in
+      for a = 0 to 19 do
+        let r = reach a in
+        for b = 0 to 19 do
+          if Dsu.same d a b <> r.(b) then ok := false
+        done
+      done;
+      !ok)
+
+(* --- Vec ----------------------------------------------------------------- *)
+
+let test_vec () =
+  let v = Vec.create () in
+  check Alcotest.int "empty" 0 (Vec.length v);
+  for i = 0 to 99 do
+    Vec.push v (i * i)
+  done;
+  check Alcotest.int "length" 100 (Vec.length v);
+  check Alcotest.int "get" 81 (Vec.get v 9);
+  Vec.set v 9 (-1);
+  check Alcotest.int "set" (-1) (Vec.get v 9);
+  let sum = ref 0 in
+  Vec.iteri (fun _ x -> sum := !sum + x) v;
+  check Alcotest.bool "iteri covers" true (!sum <> 0);
+  let a = Vec.to_array v in
+  check Alcotest.int "to_array length" 100 (Array.length a);
+  let w = Vec.of_array [| 1; 2; 3 |] in
+  check Alcotest.int "of_array" 3 (Vec.length w);
+  Vec.clear w;
+  check Alcotest.int "clear" 0 (Vec.length w);
+  Alcotest.check_raises "bounds" (Invalid_argument "Vec: index out of range")
+    (fun () -> ignore (Vec.get v 100))
+
+(* --- Table --------------------------------------------------------------- *)
+
+let test_table_render () =
+  let s =
+    Table.render ~header:[ "name"; "value" ]
+      [ [ "alpha"; "1" ]; [ "b"; "22" ] ]
+  in
+  let lines = String.split_on_char '\n' (String.trim s) in
+  check Alcotest.int "line count" 4 (List.length lines);
+  (match lines with
+  | header :: sep :: _ ->
+    check Alcotest.bool "header first" true
+      (String.length header >= String.length "name  value");
+    check Alcotest.bool "separator dashes" true (String.contains sep '-')
+  | _ -> Alcotest.fail "missing lines");
+  check Alcotest.string "fpct" "2.13%" (Table.fpct 0.0213);
+  check Alcotest.string "ffix" "3.14" (Table.ffix 2 3.14159)
+
+let test_table_ragged_rows () =
+  let s = Table.render ~header:[ "a"; "b"; "c" ] [ [ "x" ]; [ "1"; "2"; "3"; "4" ] ] in
+  check Alcotest.bool "renders without exception" true (String.length s > 0)
+
+let suite =
+  [
+    Alcotest.test_case "prng determinism" `Quick test_prng_determinism;
+    Alcotest.test_case "prng seed sensitivity" `Quick test_prng_seed_sensitivity;
+    Alcotest.test_case "prng split" `Quick test_prng_split_independence;
+    Alcotest.test_case "prng copy" `Quick test_prng_copy;
+    prng_int_range;
+    Alcotest.test_case "prng int coverage" `Quick test_prng_int_covers;
+    Alcotest.test_case "prng float range" `Quick test_prng_float_range;
+    Alcotest.test_case "prng bernoulli bias" `Quick test_prng_bernoulli_bias;
+    Alcotest.test_case "prng geometric mean" `Quick test_prng_geometric_mean;
+    Alcotest.test_case "prng exponential mean" `Quick test_prng_exponential_mean;
+    prng_shuffle_perm;
+    prng_sample_distinct;
+    Alcotest.test_case "prng invalid args" `Quick test_prng_invalid_args;
+    heap_sorts;
+    Alcotest.test_case "heap basics" `Quick test_heap_basics;
+    Alcotest.test_case "heap duplicates" `Quick test_heap_duplicates;
+    bitset_model;
+    Alcotest.test_case "bitset basics" `Quick test_bitset_basics;
+    Alcotest.test_case "bitset bounds" `Quick test_bitset_bounds;
+    Alcotest.test_case "stats known values" `Quick test_stats_known;
+    Alcotest.test_case "stats empty" `Quick test_stats_empty;
+    stats_welford_matches_naive;
+    Alcotest.test_case "wilson interval" `Quick test_wilson_interval;
+    Alcotest.test_case "histogram" `Quick test_histogram;
+    Alcotest.test_case "dsu basics" `Quick test_dsu;
+    dsu_transitivity;
+    Alcotest.test_case "vec" `Quick test_vec;
+    Alcotest.test_case "table render" `Quick test_table_render;
+    Alcotest.test_case "table ragged rows" `Quick test_table_ragged_rows;
+  ]
