@@ -38,6 +38,7 @@ let experiments quick =
     ("load_balance", fun () -> Balance_bench.load_balance ());
     ("calibration", fun () -> Calibration_bench.calibration ~trials:(t 600) ());
     ("placement", fun () -> Placement_bench.placement ~trials:(t 800) ());
+    ("obs", fun () -> Obs_bench.run ~quick ());
     ("micro", fun () -> Micro.run ());
   ]
 

@@ -1,0 +1,109 @@
+(* Overhead of the observability layer.
+
+   The instrumented solvers must stay essentially free when nobody is
+   watching: the budget is <= 2% slowdown with a metrics-only observer
+   (null trace sink) relative to no observer at all. Three variants of
+   the same Dinic scheduling run are timed on the 32x32 Omega snapshot
+   the micro-benchmarks use:
+
+     none       ?obs omitted (the default path everywhere)
+     null-sink  metrics registry + Trace.null: counters recorded once
+                per run, every event dropped without allocating
+     recording  metrics + in-memory trace buffer (full tracing)
+
+   The run ends with a smoke test of both trace exporters on the events
+   recorded by the third variant. *)
+
+module Builders = Rsin_topology.Builders
+module T1 = Rsin_core.Transform1
+module Workload = Rsin_sim.Workload
+module Prng = Rsin_util.Prng
+module Obs = Rsin_obs.Obs
+module Trace = Rsin_obs.Trace
+module Metrics = Rsin_obs.Metrics
+
+let instance =
+  lazy
+    (let rng = Prng.create 99 in
+     let net = Builders.omega 32 in
+     ignore (Workload.preoccupy rng net ~circuits:4);
+     let busy_p, busy_r = Workload.occupied_endpoints net in
+     let requests, free =
+       Workload.snapshot ~req_density:0.7 ~res_density:0.7 rng net
+     in
+     let requests = List.filter (fun p -> not (List.mem p busy_p)) requests in
+     let free = List.filter (fun r -> not (List.mem r busy_r)) free in
+     (net, requests, free))
+
+(* Minimum time per run over several batches, with the variants
+   interleaved batch by batch so clock drift and background load hit
+   all of them alike. Returns one minimum per variant. *)
+let time_variants ~batches ~iters variants =
+  let best = Array.make (List.length variants) infinity in
+  for _ = 1 to batches do
+    List.iteri
+      (fun i f ->
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to iters do
+          f ()
+        done;
+        let dt = (Unix.gettimeofday () -. t0) /. float_of_int iters in
+        if dt < best.(i) then best.(i) <- dt)
+      variants
+  done;
+  best
+
+let smoke_test_exporters trace =
+  let n = Trace.event_count trace in
+  let chrome = Trace.to_string trace ~format:Trace.Chrome in
+  let jsonl = Trace.to_string trace ~format:Trace.Jsonl in
+  let trimmed = String.trim chrome in
+  if not (String.length trimmed >= 2 && trimmed.[0] = '[') then
+    failwith "obs_bench: chrome export is not a JSON array";
+  if trimmed.[String.length trimmed - 1] <> ']' then
+    failwith "obs_bench: chrome export is not a JSON array";
+  let jsonl_lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' jsonl)
+  in
+  if List.length jsonl_lines <> n then
+    failwith "obs_bench: jsonl export line count mismatch";
+  List.iter
+    (fun l ->
+      if not (String.length l >= 2 && l.[0] = '{' && l.[String.length l - 1] = '}')
+      then failwith "obs_bench: jsonl export line is not a JSON object")
+    jsonl_lines;
+  Printf.printf
+    "  exporters ok: %d events (chrome %d bytes, jsonl %d lines)\n" n
+    (String.length chrome) (List.length jsonl_lines)
+
+let run ?(quick = false) () =
+  print_endline "== Observability overhead (Dinic on 32x32 Omega snapshot) ==";
+  let net, requests, free = Lazy.force instance in
+  let baseline () = ignore (T1.schedule net ~requests ~free) in
+  let null_obs = Obs.create () in
+  let with_null () = ignore (T1.schedule ~obs:null_obs net ~requests ~free) in
+  let recording = Obs.recording () in
+  let with_rec () = ignore (T1.schedule ~obs:recording net ~requests ~free) in
+  let batches = if quick then 4 else 12 in
+  let iters = if quick then 15 else 50 in
+  for _ = 1 to iters do
+    baseline ();
+    with_null ();
+    with_rec ()
+  done;
+  let best =
+    time_variants ~batches ~iters [ baseline; with_null; with_rec ]
+  in
+  let t_none = best.(0) and t_null = best.(1) and t_rec = best.(2) in
+  let pct t = (t -. t_none) /. t_none *. 100. in
+  Printf.printf "  none        %9.2f us/run\n" (t_none *. 1e6);
+  Printf.printf "  null-sink   %9.2f us/run  %+6.2f%%  (budget: +2%%)\n"
+    (t_null *. 1e6) (pct t_null);
+  Printf.printf "  recording   %9.2f us/run  %+6.2f%%\n" (t_rec *. 1e6)
+    (pct t_rec);
+  if pct t_null > 2. then
+    Printf.printf "  WARNING: null-sink overhead above the 2%% budget\n";
+  let runs = Metrics.get_counter null_obs.Obs.metrics "flow.dinic.runs" in
+  if runs = 0 then failwith "obs_bench: registry recorded no dinic runs";
+  smoke_test_exporters recording.Obs.trace;
+  print_newline ()

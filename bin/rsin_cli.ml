@@ -33,6 +33,9 @@ module Dynamic = Rsin_sim.Dynamic
 module Workload = Rsin_sim.Workload
 module Prng = Rsin_util.Prng
 module Table = Rsin_util.Table
+module Obs = Rsin_obs.Obs
+module Trace = Rsin_obs.Trace
+module Metrics = Rsin_obs.Metrics
 open Cmdliner
 
 (* --- network specification parsing -------------------------------------- *)
@@ -140,6 +143,38 @@ let pre_arg =
     value & opt int 0
     & info [ "pre" ] ~doc:"Random circuits to pre-establish before scheduling.")
 
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:"Record a trace of the run and write it to $(docv).")
+
+let trace_format_arg =
+  let fmt_conv = Arg.enum [ ("jsonl", Trace.Jsonl); ("chrome", Trace.Chrome) ] in
+  Arg.(
+    value & opt fmt_conv Trace.Jsonl
+    & info [ "trace-format" ] ~docv:"FMT"
+        ~doc:"Trace file format: $(b,jsonl) (one JSON event per line) or \
+              $(b,chrome) (trace_event array for chrome://tracing / \
+              Perfetto).")
+
+(* Runs [f] with a recording observer when --trace-out was given (writing
+   the trace afterwards), with no observer otherwise. *)
+let with_obs trace_out format f =
+  match trace_out with
+  | None -> f None
+  | Some file ->
+    let obs = Obs.recording () in
+    let result = f (Some obs) in
+    (try Trace.write_file obs.Obs.trace ~format file
+     with Sys_error msg ->
+       Printf.eprintf "rsin: cannot write trace: %s\n" msg;
+       exit 1);
+    Printf.printf "trace: %d event(s) -> %s\n" (Trace.event_count obs.Obs.trace)
+      file;
+    result
+
 let snapshot rng net requests free =
   let requests, free =
     match (requests, free) with
@@ -202,18 +237,19 @@ let explain_arg =
               limiting the allocation.")
 
 let schedule_cmd =
-  let run net requests free scheduler pre seed explain =
+  let run net requests free scheduler pre seed explain trace_out tformat =
     let rng = Prng.create seed in
     if pre > 0 then ignore (Workload.preoccupy rng net ~circuits:pre);
     let requests, free = snapshot rng net requests free in
     Printf.printf "requests: %s\nfree:     %s\n"
       (String.concat "," (List.map string_of_int requests))
       (String.concat "," (List.map string_of_int free));
+    with_obs trace_out tformat @@ fun obs ->
     let mapping, allocated =
       match scheduler with
       | `Optimal ->
         let tr = Rsin_core.Transform1.build net ~requests ~free in
-        let o = Rsin_core.Transform1.solve tr in
+        let o = Rsin_core.Transform1.solve ?obs tr in
         if explain then begin
           let cut = Rsin_core.Transform1.bottleneck tr in
           Printf.printf "bottleneck (min cut, %d elements):\n" (List.length cut);
@@ -229,7 +265,7 @@ let schedule_cmd =
         end;
         (o.Rsin_core.Transform1.mapping, o.Rsin_core.Transform1.allocated)
       | `Distributed ->
-        let o = Token_sim.run net ~requests ~free in
+        let o = Token_sim.run ?obs net ~requests ~free in
         (o.Token_sim.mapping, o.Token_sim.allocated)
       | `First_fit | `Random_fit | `Address_map ->
         let policy =
@@ -250,16 +286,17 @@ let schedule_cmd =
     (Cmd.info "schedule" ~doc:"Schedule a request/resource snapshot")
     Term.(
       const run $ net_arg $ requests_arg $ free_arg $ scheduler_arg $ pre_arg
-      $ seed_arg $ explain_arg)
+      $ seed_arg $ explain_arg $ trace_out_arg $ trace_format_arg)
 
 (* --- trace ------------------------------------------------------------------- *)
 
 let trace_cmd =
-  let run net requests free pre seed =
+  let run net requests free pre seed trace_out tformat =
     let rng = Prng.create seed in
     if pre > 0 then ignore (Workload.preoccupy rng net ~circuits:pre);
     let requests, free = snapshot rng net requests free in
-    let rep = Token_sim.run net ~requests ~free in
+    with_obs trace_out tformat @@ fun obs ->
+    let rep = Token_sim.run ?obs net ~requests ~free in
     Printf.printf "allocated %d/%d in %d iteration(s), %d clock periods\n\n"
       rep.Token_sim.allocated rep.Token_sim.requested rep.Token_sim.iterations
       rep.Token_sim.total_clocks;
@@ -268,7 +305,9 @@ let trace_cmd =
   Cmd.v
     (Cmd.info "trace"
        ~doc:"Run the distributed token architecture and print the bus trace")
-    Term.(const run $ net_arg $ requests_arg $ free_arg $ pre_arg $ seed_arg)
+    Term.(
+      const run $ net_arg $ requests_arg $ free_arg $ pre_arg $ seed_arg
+      $ trace_out_arg $ trace_format_arg)
 
 (* --- blocking ------------------------------------------------------------------ *)
 
@@ -281,7 +320,7 @@ let blocking_cmd =
       value & opt float 0.5
       & info [ name ] ~doc:"Density in [0,1] for the random snapshots.")
   in
-  let run spec trials req_d res_d pre seed =
+  let run spec trials req_d res_d pre seed trace_out tformat =
     let scheds =
       [ Blocking.Optimal; Blocking.First_fit; Blocking.Random_fit;
         Blocking.Address_map ]
@@ -290,12 +329,13 @@ let blocking_cmd =
       { Blocking.trials; req_density = req_d; res_density = res_d;
         pre_circuits = pre }
     in
+    with_obs trace_out tformat @@ fun obs ->
     Table.print
       ~header:[ "scheduler"; "blocking"; "ci95"; "utilization"; "trials" ]
       (List.map
          (fun s ->
            let e =
-             Blocking.estimate ~config:cfg ~scheduler:s (Prng.create seed)
+             Blocking.estimate ?obs ~config:cfg ~scheduler:s (Prng.create seed)
                (fun () ->
                  match parse_net spec with
                  | Ok net -> net
@@ -318,7 +358,8 @@ let blocking_cmd =
     (Cmd.info "blocking" ~doc:"Monte-Carlo blocking-probability estimate")
     Term.(
       const run $ spec_arg $ trials_arg $ density_arg "req-density"
-      $ density_arg "res-density" $ pre_arg $ seed_arg)
+      $ density_arg "res-density" $ pre_arg $ seed_arg $ trace_out_arg
+      $ trace_format_arg)
 
 (* --- simulate ------------------------------------------------------------------ *)
 
@@ -334,12 +375,13 @@ let simulate_cmd =
   let service_arg =
     Arg.(value & opt float 4.0 & info [ "service" ] ~doc:"Mean service time.")
   in
-  let run net arrival slots service seed =
+  let run net arrival slots service seed trace_out tformat =
     let params =
       { Dynamic.arrival_prob = arrival; transmission_time = 1;
         mean_service = service; slots; warmup = slots / 5 }
     in
-    let m = Dynamic.run (Prng.create seed) net params in
+    with_obs trace_out tformat @@ fun obs ->
+    let m = Dynamic.run ?obs (Prng.create seed) net params in
     Table.print
       ~header:[ "metric"; "value" ]
       [
@@ -354,7 +396,48 @@ let simulate_cmd =
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Dynamic discrete-time simulation")
-    Term.(const run $ net_arg $ arrival_arg $ slots_arg $ service_arg $ seed_arg)
+    Term.(
+      const run $ net_arg $ arrival_arg $ slots_arg $ service_arg $ seed_arg
+      $ trace_out_arg $ trace_format_arg)
+
+(* --- metrics ------------------------------------------------------------------ *)
+
+let metrics_cmd =
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Print the registry as one JSON object.")
+  in
+  let run net requests free pre seed json =
+    let rng = Prng.create seed in
+    if pre > 0 then ignore (Workload.preoccupy rng net ~circuits:pre);
+    let requests, free = snapshot rng net requests free in
+    let obs = Obs.create () in
+    let opt = Rsin_core.Transform1.schedule ~obs net ~requests ~free in
+    let dist = Token_sim.run ~obs net ~requests ~free in
+    if json then print_endline (Metrics.to_json obs.Obs.metrics)
+    else begin
+      Printf.printf "requests: %s\nfree:     %s\n"
+        (String.concat "," (List.map string_of_int requests))
+        (String.concat "," (List.map string_of_int free));
+      Printf.printf
+        "optimal allocated %d/%d; distributed allocated %d/%d in %d clock \
+         periods\n"
+        opt.Rsin_core.Transform1.allocated (List.length requests)
+        dist.Token_sim.allocated dist.Token_sim.requested
+        dist.Token_sim.total_clocks;
+      Table.print
+        ~header:[ "metric"; "kind"; "value" ]
+        (Metrics.to_rows obs.Obs.metrics)
+    end
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:"Schedule a snapshot with both the centralized and the \
+             distributed scheduler and print the metrics registry")
+    Term.(
+      const run $ net_arg $ requests_arg $ free_arg $ pre_arg $ seed_arg
+      $ json_arg)
 
 (* --- props ------------------------------------------------------------------- *)
 
@@ -507,6 +590,6 @@ let () =
     Cmd.group
       (Cmd.info "rsin" ~doc ~version:"1.0.0")
       [ info_cmd; dot_cmd; schedule_cmd; trace_cmd; blocking_cmd; simulate_cmd;
-        props_cmd; perm_cmd; gates_cmd; show_cmd; taskgraph_cmd ]
+        metrics_cmd; props_cmd; perm_cmd; gates_cmd; show_cmd; taskgraph_cmd ]
   in
   exit (Cmd.eval main)

@@ -1,13 +1,23 @@
 module Network = Rsin_topology.Network
 module Graph = Rsin_flow.Graph
+module Obs = Rsin_obs.Obs
+module Tr = Rsin_obs.Trace
 
+(* Pending requests and free resources are FIFO queues with a hashtable
+   membership index, so submit/resource_ready are O(1) instead of the
+   O(n) List.mem scans of the original; waits is a hashtable pruned when
+   a processor is allocated. *)
 type t = {
   net : Network.t;
   aging : bool;
-  mutable pending : int list;   (* requesting processors, oldest first *)
-  mutable free : int list;      (* free resource ports *)
-  mutable waits : (int * int) list; (* processor -> cycles waited *)
+  obs : Obs.t option;
+  pending : int Queue.t;                (* requesting processors, oldest first *)
+  pending_set : (int, unit) Hashtbl.t;
+  free : int Queue.t;                   (* free resource ports, oldest first *)
+  free_set : (int, unit) Hashtbl.t;
+  waits : (int, int) Hashtbl.t;         (* processor -> cycles waited *)
   mutable instructions : int;
+  mutable cycles : int;
 }
 
 type cycle_report = {
@@ -17,64 +27,96 @@ type cycle_report = {
   instructions : int;
 }
 
-let create ?(aging = false) net =
-  { net; aging; pending = []; free = []; waits = []; instructions = 0 }
+let create ?(aging = false) ?obs net =
+  { net; aging; obs;
+    pending = Queue.create (); pending_set = Hashtbl.create 16;
+    free = Queue.create (); free_set = Hashtbl.create 16;
+    waits = Hashtbl.create 16; instructions = 0; cycles = 0 }
+
 let network t = t.net
 
 let submit t p =
   if p < 0 || p >= Network.n_procs t.net then invalid_arg "Monitor.submit";
-  if not (List.mem p t.pending) then begin
-    t.pending <- t.pending @ [ p ];
-    t.waits <- (p, 0) :: t.waits
+  if not (Hashtbl.mem t.pending_set p) then begin
+    Queue.push p t.pending;
+    Hashtbl.replace t.pending_set p ();
+    Hashtbl.replace t.waits p 0
   end
 
-let wait_of t p = Option.value (List.assoc_opt p t.waits) ~default:0
+let wait_of t p = Option.value (Hashtbl.find_opt t.waits p) ~default:0
 
 let resource_ready t r =
   if r < 0 || r >= Network.n_res t.net then invalid_arg "Monitor.resource_ready";
-  if not (List.mem r t.free) then t.free <- t.free @ [ r ]
+  if not (Hashtbl.mem t.free_set r) then begin
+    Queue.push r t.free;
+    Hashtbl.replace t.free_set r ()
+  end
 
 let task_done t ~circuit = Network.release t.net circuit
 
-let pending t = t.pending
-let free_resources t = t.free
-let waits t = List.filter (fun (p, _) -> List.mem p t.pending) t.waits
+let pending t = List.of_seq (Queue.to_seq t.pending)
+let free_resources t = List.of_seq (Queue.to_seq t.free)
+let waits t = List.map (fun p -> (p, wait_of t p)) (pending t)
 
 (* Path setup charge: the monitor walks the augmenting path once to
    record it, so charge its length; we approximate with the network
    diameter (stages + 2 hops). *)
 let path_setup_cost net = Network.stages net + 2
 
+(* Keep only queue members outside [drop]; members of [drop] also leave
+   the membership index. [on_keep] sees each survivor (in FIFO order). *)
+let queue_filter_out q set drop ~on_drop ~on_keep =
+  let n = Queue.length q in
+  for _ = 1 to n do
+    let x = Queue.pop q in
+    if Hashtbl.mem drop x then begin
+      Hashtbl.remove set x;
+      on_drop x
+    end
+    else begin
+      Queue.push x q;
+      on_keep x
+    end
+  done
+
 let run_cycle t =
-  if t.pending = [] || t.free = [] then
-    { allocated = []; circuit_ids = []; blocked = List.length t.pending;
-      instructions = 0 }
+  if Queue.is_empty t.pending || Queue.is_empty t.free then
+    { allocated = []; circuit_ids = [];
+      blocked = Queue.length t.pending; instructions = 0 }
   else begin
+    let pending_now = pending t and free_now = free_resources t in
+    let tracing = Obs.tracing t.obs in
+    if tracing then
+      Obs.span_begin t.obs "monitor.cycle" ~ts:t.instructions
+        ~args:
+          [ ("cycle", Tr.Int t.cycles);
+            ("pending", Tr.Int (List.length pending_now));
+            ("free", Tr.Int (List.length free_now)) ];
     let mapping, ids, instructions =
       if t.aging then begin
         (* starvation prevention: a request's priority is the number of
            cycles it has waited, so Transformation 2 eventually serves
            every blocked request (capped to keep costs small) *)
         let requests =
-          List.map (fun p -> (p, min 1000 (wait_of t p))) t.pending
+          List.map (fun p -> (p, min 1000 (wait_of t p))) pending_now
         in
-        let free = List.map (fun r -> (r, 0)) t.free in
-        let o = Transform2.schedule t.net ~requests ~free in
+        let free = List.map (fun r -> (r, 0)) free_now in
+        let o = Transform2.schedule ?obs:t.obs t.net ~requests ~free in
         let ids = Transform2.commit t.net o in
         (* charge a min-cost-flow premium over the max-flow cycle *)
         let cost =
-          (2 * (Network.n_links t.net + List.length t.pending))
+          (2 * (Network.n_links t.net + List.length pending_now))
           + (List.length o.Transform2.mapping * path_setup_cost t.net)
         in
         (o.Transform2.mapping, ids, cost)
       end
       else begin
-        let tr = Transform1.build t.net ~requests:t.pending ~free:t.free in
+        let tr = Transform1.build t.net ~requests:pending_now ~free:free_now in
         let build_cost =
           Graph.node_count (Transform1.graph tr)
           + Graph.arc_count (Transform1.graph tr)
         in
-        let o = Transform1.solve tr in
+        let o = Transform1.solve ?obs:t.obs tr in
         let instructions =
           build_cost + o.Transform1.arcs_scanned
           + (o.Transform1.augmentations * path_setup_cost t.net)
@@ -83,22 +125,32 @@ let run_cycle t =
         (o.Transform1.mapping, ids, instructions)
       end
     in
-    let bound = List.map fst mapping in
-    let used = List.map snd mapping in
-    t.pending <- List.filter (fun p -> not (List.mem p bound)) t.pending;
-    t.free <- List.filter (fun r -> not (List.mem r used)) t.free;
-    t.waits <-
-      List.filter_map
-        (fun (p, w) ->
-          if List.mem p bound then None
-          else if List.mem p t.pending then Some (p, w + 1)
-          else Some (p, w))
-        t.waits;
+    let bound = Hashtbl.create 8 and used = Hashtbl.create 8 in
+    List.iter
+      (fun (p, r) ->
+        Hashtbl.replace bound p ();
+        Hashtbl.replace used r ())
+      mapping;
+    queue_filter_out t.pending t.pending_set bound
+      ~on_drop:(fun p -> Hashtbl.remove t.waits p)
+      ~on_keep:(fun p -> Hashtbl.replace t.waits p (wait_of t p + 1));
+    queue_filter_out t.free t.free_set used
+      ~on_drop:(fun _ -> ())
+      ~on_keep:(fun _ -> ());
     t.instructions <- t.instructions + instructions;
-    { allocated = mapping;
-      circuit_ids = ids;
-      blocked = List.length t.pending;
-      instructions }
+    t.cycles <- t.cycles + 1;
+    let blocked = Queue.length t.pending in
+    Obs.count t.obs "monitor.cycles" 1;
+    Obs.count t.obs "monitor.instructions" instructions;
+    Obs.count t.obs "monitor.allocated" (List.length mapping);
+    Obs.count t.obs "monitor.blocked" blocked;
+    if tracing then
+      Obs.span_end t.obs "monitor.cycle" ~ts:t.instructions
+        ~args:
+          [ ("allocated", Tr.Int (List.length mapping));
+            ("blocked", Tr.Int blocked);
+            ("instructions", Tr.Int instructions) ];
+    { allocated = mapping; circuit_ids = ids; blocked; instructions }
   end
 
 let total_instructions (t : t) = t.instructions

@@ -23,9 +23,16 @@ type cycle_report = {
   instructions : int;           (** monitor work for this cycle *)
 }
 
-val create : ?aging:bool -> Rsin_topology.Network.t -> t
+val create : ?aging:bool -> ?obs:Rsin_obs.Obs.t -> Rsin_topology.Network.t -> t
 (** Wraps a network. The monitor holds its own resource-status table:
     every resource port starts [busy] until {!resource_ready}.
+
+    With [obs], every {!run_cycle} emits a ["monitor.cycle"] span whose
+    domain clock is the cumulative instruction count, updates the
+    [monitor.*] registry counters, and passes the observer down to the
+    flow solver so its [flow.*] counters accumulate too —
+    [monitor.instructions] is therefore directly reconcilable with the
+    per-cycle {!cycle_report.instructions} it is summed from.
 
     With [aging] (default false), scheduling cycles use Transformation 2
     with each request's priority set to the number of cycles it has

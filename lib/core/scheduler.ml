@@ -46,15 +46,22 @@ let infer requests resources =
   | true, false -> Heterogeneous
   | true, true -> Heterogeneous_prioritized
 
-let schedule ?discipline net ~requests ~resources =
+let discipline_name = function
+  | Homogeneous -> "homogeneous"
+  | Homogeneous_prioritized -> "homogeneous_prioritized"
+  | Heterogeneous -> "heterogeneous"
+  | Heterogeneous_prioritized -> "heterogeneous_prioritized"
+
+let schedule ?obs ?discipline net ~requests ~resources =
   let discipline =
     match discipline with Some d -> d | None -> infer requests resources
   in
   let requested = List.length requests in
+  let result =
   match discipline with
   | Homogeneous ->
     let o =
-      Transform1.schedule net
+      Transform1.schedule ?obs net
         ~requests:(List.map (fun r -> r.proc) requests)
         ~free:(List.map (fun (r : resource) -> r.port) resources)
     in
@@ -68,7 +75,7 @@ let schedule ?discipline net ~requests ~resources =
       lp_bound = None }
   | Homogeneous_prioritized ->
     let o =
-      Transform2.schedule net
+      Transform2.schedule ?obs net
         ~requests:(List.map (fun r -> (r.proc, r.priority)) requests)
         ~free:(List.map (fun (r : resource) -> (r.port, r.preference)) resources)
     in
@@ -104,6 +111,21 @@ let schedule ?discipline net ~requests ~resources =
       blocked = requested - o.Hetero.allocated;
       cost = o.Hetero.cost;
       lp_bound = o.Hetero.lp_objective }
+  in
+  let module Obs = Rsin_obs.Obs in
+  Obs.count obs "scheduler.calls" 1;
+  Obs.count obs "scheduler.requested" requested;
+  Obs.count obs "scheduler.allocated" result.allocated;
+  Obs.count obs "scheduler.blocked" result.blocked;
+  if Obs.tracing obs then
+    Obs.instant obs "scheduler.schedule" ~ts:0
+      ~args:
+        Rsin_obs.Trace.
+          [ ("discipline", Str (discipline_name discipline));
+            ("requested", Int requested);
+            ("allocated", Int result.allocated);
+            ("blocked", Int result.blocked) ];
+  result
 
 let commit net (r : result) =
   List.map (fun (_p, links) -> Network.establish net links) r.circuits

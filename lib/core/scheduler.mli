@@ -42,6 +42,7 @@ val infer : request list -> resource list -> discipline
     iff priorities or preferences are not all equal. *)
 
 val schedule :
+  ?obs:Rsin_obs.Obs.t ->
   ?discipline:discipline ->
   Rsin_topology.Network.t ->
   requests:request list ->
@@ -49,7 +50,13 @@ val schedule :
   result
 (** Schedules the snapshot with the given (default: inferred)
     discipline. The network is not modified. Requests whose type has no
-    free resource are counted as blocked. *)
+    free resource are counted as blocked.
+
+    With [obs], updates the [scheduler.*] registry counters, emits a
+    ["scheduler.schedule"] instant event, and passes the observer down
+    to the transformation solver ([flow.*], [transform*.*] metrics). *)
+
+val discipline_name : discipline -> string
 
 val commit : Rsin_topology.Network.t -> result -> int list
 (** Establishes the circuits; returns circuit ids. *)

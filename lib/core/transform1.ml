@@ -118,23 +118,25 @@ let extract t =
   in
   List.map (fun nodes -> (mapping_of_path nodes, links_of_path nodes)) paths
 
-let solve ?(algorithm = Dinic) t =
+let solve ?obs ?(algorithm = Dinic) t =
   Graph.reset_flows t.graph;
   let _flow, augs, scanned =
     match algorithm with
     | Dinic ->
       let f, (st : Rsin_flow.Dinic.stats) =
-        Rsin_flow.Dinic.max_flow t.graph ~source:t.source ~sink:t.sink
+        Rsin_flow.Dinic.max_flow ?obs t.graph ~source:t.source ~sink:t.sink
       in
       (f, st.augmentations, st.arcs_scanned)
     | Edmonds_karp ->
       let f, (st : Rsin_flow.Edmonds_karp.stats) =
-        Rsin_flow.Edmonds_karp.max_flow t.graph ~source:t.source ~sink:t.sink
+        Rsin_flow.Edmonds_karp.max_flow ?obs t.graph ~source:t.source
+          ~sink:t.sink
       in
       (f, st.augmentations, st.arcs_scanned)
     | Push_relabel ->
       let f, (st : Rsin_flow.Push_relabel.stats) =
-        Rsin_flow.Push_relabel.max_flow t.graph ~source:t.source ~sink:t.sink
+        Rsin_flow.Push_relabel.max_flow ?obs t.graph ~source:t.source
+          ~sink:t.sink
       in
       (* pushes play the role of augmentation steps; relabels of scans *)
       (f, st.pushes, st.relabels)
@@ -146,6 +148,10 @@ let solve ?(algorithm = Dinic) t =
   let mapping = List.map fst both in
   let circuits = List.map (fun ((p, _), links) -> (p, links)) both in
   let allocated = List.length mapping in
+  let module Obs = Rsin_obs.Obs in
+  Obs.count obs "transform1.solves" 1;
+  Obs.count obs "transform1.allocated" allocated;
+  Obs.count obs "transform1.blocked" (t.requested - allocated);
   { mapping; circuits; allocated; requested = t.requested;
     blocked = t.requested - allocated;
     augmentations = augs; arcs_scanned = scanned }
@@ -172,8 +178,8 @@ let bottleneck t =
         else Option.map (fun r -> `Res r) (find t.ress s))
     cut
 
-let schedule ?algorithm net ~requests ~free =
-  solve ?algorithm (build net ~requests ~free)
+let schedule ?obs ?algorithm net ~requests ~free =
+  solve ?obs ?algorithm (build net ~requests ~free)
 
 let commit net outcome =
   List.map (fun (_p, links) -> Network.establish net links) outcome.circuits

@@ -51,12 +51,15 @@ val proc_node : t -> int -> Rsin_flow.Graph.node option
 val res_node : t -> int -> Rsin_flow.Graph.node option
 val box_node : t -> int -> Rsin_flow.Graph.node
 
-val solve : ?algorithm:algorithm -> t -> outcome
+val solve : ?obs:Rsin_obs.Obs.t -> ?algorithm:algorithm -> t -> outcome
 (** Runs the max-flow algorithm (default [Dinic]) and extracts the
     optimal mapping and circuits. Idempotent per [t] — the underlying
-    graph keeps its flow. *)
+    graph keeps its flow. [obs] is passed through to the flow solver
+    (its operation counters land in the [flow.*] registry metrics) and
+    also receives [transform1.*] allocation counters. *)
 
 val schedule :
+  ?obs:Rsin_obs.Obs.t ->
   ?algorithm:algorithm ->
   Rsin_topology.Network.t -> requests:int list -> free:int list -> outcome
 (** [build] + [solve]. Does not modify the network. *)

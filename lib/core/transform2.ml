@@ -124,13 +124,13 @@ let extract (t : t) =
     paths;
   (List.rev !mapping, List.rev !circuits, List.rev !bypassed, !alloc_cost)
 
-let solve ?(solver = Ssp) t =
+let solve ?obs ?(solver = Ssp) t =
   Graph.reset_flows t.graph;
   (match solver with
   | Ssp ->
     let r =
-      Rsin_flow.Mincost.min_cost_flow t.graph ~source:t.source ~sink:t.sink
-        ~amount:t.requested
+      Rsin_flow.Mincost.min_cost_flow ?obs t.graph ~source:t.source
+        ~sink:t.sink ~amount:t.requested
     in
     if r.flow <> t.requested then
       failwith "Transform2.solve: bypass should make any demand feasible"
@@ -147,7 +147,7 @@ let solve ?(solver = Ssp) t =
         t.return_arc <- Some a;
         a
     in
-    (match Rsin_flow.Out_of_kilter.solve t.graph with
+    (match Rsin_flow.Out_of_kilter.solve ?obs t.graph with
     | Rsin_flow.Out_of_kilter.Optimal _, _ -> ()
     | Rsin_flow.Out_of_kilter.Infeasible, _ ->
       failwith "Transform2.solve: out-of-kilter reported infeasible");
@@ -157,14 +157,18 @@ let solve ?(solver = Ssp) t =
   | Ok () -> ()
   | Error msg -> failwith ("Transform2.solve: illegal flow: " ^ msg));
   let mapping, circuits, bypassed, allocation_cost = extract t in
+  let module Obs = Rsin_obs.Obs in
+  Obs.count obs "transform2.solves" 1;
+  Obs.count obs "transform2.allocated" (List.length mapping);
+  Obs.count obs "transform2.bypassed" (List.length bypassed);
   { mapping; circuits; bypassed;
     allocated = List.length mapping;
     requested = t.requested;
     total_cost = Graph.total_cost t.graph;
     allocation_cost }
 
-let schedule ?solver net ~requests ~free =
-  solve ?solver (build net ~requests ~free)
+let schedule ?obs ?solver net ~requests ~free =
+  solve ?obs ?solver (build net ~requests ~free)
 
 let commit net (outcome : outcome) =
   List.map (fun (_p, links) -> Network.establish net links) outcome.circuits

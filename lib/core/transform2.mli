@@ -43,11 +43,14 @@ val build :
 val graph : t -> Rsin_flow.Graph.t
 val bypass_node : t -> Rsin_flow.Graph.node
 
-val solve : ?solver:solver -> t -> outcome
+val solve : ?obs:Rsin_obs.Obs.t -> ?solver:solver -> t -> outcome
 (** Default solver [Ssp]. Both solvers yield an optimal integral flow;
-    ties between optimal mappings may be broken differently. *)
+    ties between optimal mappings may be broken differently. [obs] is
+    passed through to the cost-flow solver and also receives
+    [transform2.*] allocation counters. *)
 
 val schedule :
+  ?obs:Rsin_obs.Obs.t ->
   ?solver:solver ->
   Rsin_topology.Network.t ->
   requests:(int * int) list ->

@@ -1,5 +1,7 @@
 module Network = Rsin_topology.Network
 module Bus = Status_bus
+module Obs = Rsin_obs.Obs
+module Tr = Rsin_obs.Trace
 
 type phase_clocks = {
   request_clocks : int;
@@ -43,7 +45,15 @@ type token = {
   mutable active : bool;
 }
 
-let run net ~requests ~free =
+let all_events =
+  [ Bus.E1_request_pending; Bus.E2_resource_ready;
+    Bus.E3_request_token_phase; Bus.E4_resource_token_phase;
+    Bus.E5_path_registration; Bus.E6_rs_received_token; Bus.E7_rq_bonded ]
+
+let events_of_vector v =
+  List.filter (fun e -> v land (1 lsl Bus.bit e) <> 0) all_events
+
+let run ?obs net ~requests ~free =
   let requests = List.sort_uniq compare requests in
   let free = List.sort_uniq compare free in
   let np = Network.n_procs net and nr = Network.n_res net in
@@ -79,6 +89,7 @@ let run net ~requests ~free =
     Array.iteri (fun r f -> if f && not matched.(r) then ok := true) ready;
     !ok
   in
+  let tracing = Obs.tracing obs in
   let tick_bus ~e3 ~e4 ~e5 ~e6 ~e7 =
     Bus.set bus Bus.E1_request_pending (any_pending ());
     Bus.set bus Bus.E2_resource_ready (any_ready ());
@@ -87,7 +98,18 @@ let run net ~requests ~free =
     Bus.set bus Bus.E5_path_registration e5;
     Bus.set bus Bus.E6_rs_received_token e6;
     Bus.set bus Bus.E7_rq_bonded e7;
-    Bus.tick bus
+    let v = Bus.vector bus in
+    Bus.tick bus;
+    (* one instant per clock period: the whole run becomes a browsable
+       timeline of decoded status-bus vectors *)
+    if tracing then
+      Obs.instant obs "token.bus" ~ts:(Bus.clock bus - 1)
+        ~args:
+          [ ("vector", Tr.Str (Bus.vector_to_string v));
+            ("events",
+             Tr.Str
+               (String.concat ", "
+                  (List.map Bus.event_name (events_of_vector v)))) ]
   in
 
   (* ---- Phase 1: request-token propagation (layered network). -------- *)
@@ -225,12 +247,20 @@ let run net ~requests ~free =
   in
 
   (* ---- Scheduling cycle: iterate until no RS is reachable. ------------ *)
+  let phase_span name f =
+    if tracing then Obs.span_begin obs name ~ts:(Bus.clock bus);
+    let result = f () in
+    if tracing then Obs.span_end obs name ~ts:(Bus.clock bus);
+    result
+  in
   let rec iterate () =
-    let reached = request_phase () in
+    let reached = phase_span "token.request_phase" request_phase in
     if reached <> [] then begin
       incr iterations;
-      let successes = resource_phase reached in
-      register successes;
+      let successes =
+        phase_span "token.resource_phase" (fun () -> resource_phase reached)
+      in
+      phase_span "token.registration" (fun () -> register successes);
       (* Even if every resource token backtracked home, the layered
          network was exhausted for these markings; a fresh request phase
          will rebuild it. A phase that bonds nobody cannot make the next
@@ -266,6 +296,16 @@ let run net ~requests ~free =
     end
   done;
   let mapping = List.rev !mapping and circuits = List.rev !circuits in
+  (* The registry counters are fed from the same refs as phase_clocks,
+     so the legacy record and the obs layer can never disagree. *)
+  Obs.count obs "token_sim.runs" 1;
+  Obs.count obs "token_sim.request_clocks" !req_clocks;
+  Obs.count obs "token_sim.resource_clocks" !res_clocks;
+  Obs.count obs "token_sim.registration_clocks" !reg_clocks;
+  Obs.count obs "token_sim.total_clocks" (Bus.clock bus);
+  Obs.count obs "token_sim.iterations" !iterations;
+  Obs.count obs "token_sim.allocated" (List.length mapping);
+  Obs.count obs "token_sim.requested" (List.length requests);
   { mapping;
     circuits;
     allocated = List.length mapping;
@@ -284,14 +324,7 @@ let commit net (r : report) =
 let pp_trace fmt (r : report) =
   List.iteri
     (fun clk v ->
-      let events =
-        List.filter
-          (fun e -> v land (1 lsl Bus.bit e) <> 0)
-          [ Bus.E1_request_pending; Bus.E2_resource_ready;
-            Bus.E3_request_token_phase; Bus.E4_resource_token_phase;
-            Bus.E5_path_registration; Bus.E6_rs_received_token;
-            Bus.E7_rq_bonded ]
-      in
+      let events = events_of_vector v in
       Format.fprintf fmt "clk %3d  %s  %s@." clk
         (Bus.vector_to_string v)
         (String.concat ", " (List.map Bus.event_name events)))

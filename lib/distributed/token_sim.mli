@@ -47,10 +47,17 @@ type report = {
 }
 
 val run :
+  ?obs:Rsin_obs.Obs.t ->
   Rsin_topology.Network.t -> requests:int list -> free:int list -> report
 (** Simulates one full scheduling cycle on the current network state
     (occupied links are opaque to tokens). The network itself is not
-    modified; use {!commit} to establish the resulting circuits. *)
+    modified; use {!commit} to establish the resulting circuits.
+
+    With [obs], the run becomes a browsable timeline: one ["token.bus"]
+    instant event per clock period carrying the decoded seven-bit
+    status-bus vector, spans for the three phases of every iteration
+    (domain clock = status-bus clock), and [token_sim.*] registry
+    counters fed from the same refs as {!phase_clocks}. *)
 
 val commit : Rsin_topology.Network.t -> report -> int list
 

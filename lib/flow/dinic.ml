@@ -70,13 +70,20 @@ let blocking_flow g l ~source ~sink =
   drain ();
   (!total, !scanned)
 
-let max_flow g ~source ~sink =
+module Obs = Rsin_obs.Obs
+module Tr = Rsin_obs.Trace
+
+let max_flow ?obs g ~source ~sink =
   let phases = ref 0 and augs = ref 0 and scanned = ref 0 and total = ref 0 in
+  let tracing = Obs.tracing obs in
   let rec loop () =
     match build_layers g ~source ~sink with
     | None -> ()
     | Some l ->
       incr phases;
+      if tracing then
+        Obs.span_begin obs "dinic.phase" ~ts:!scanned
+          ~args:[ ("phase", Tr.Int !phases); ("layers", Tr.Int l.depth) ];
       let added, sc = blocking_flow g l ~source ~sink in
       scanned := !scanned + sc;
       (* In a unit-capacity graph each augmenting path carries one unit,
@@ -84,7 +91,15 @@ let max_flow g ~source ~sink =
          units, which is still the quantity E11 charges per path setup. *)
       augs := !augs + added;
       total := !total + added;
+      if tracing then
+        Obs.span_end obs "dinic.phase" ~ts:!scanned
+          ~args:[ ("flow_added", Tr.Int added) ];
       if added > 0 then loop ()
   in
   loop ();
-  (!total, { phases = !phases; augmentations = !augs; arcs_scanned = !scanned })
+  let stats = { phases = !phases; augmentations = !augs; arcs_scanned = !scanned } in
+  Obs.count obs "flow.dinic.runs" 1;
+  Obs.count obs "flow.dinic.phases" stats.phases;
+  Obs.count obs "flow.dinic.augmentations" stats.augmentations;
+  Obs.count obs "flow.dinic.arcs_scanned" stats.arcs_scanned;
+  (!total, stats)

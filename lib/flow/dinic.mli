@@ -39,6 +39,12 @@ val blocking_flow :
 (** Depth-first maximal flow in the layered network. Returns
     [(flow_added, arcs_scanned)]. Mutates the graph. *)
 
-val max_flow : Graph.t -> source:Graph.node -> sink:Graph.node -> int * stats
+val max_flow :
+  ?obs:Rsin_obs.Obs.t ->
+  Graph.t -> source:Graph.node -> sink:Graph.node -> int * stats
 (** Full algorithm: alternate {!build_layers} / {!blocking_flow} until the
-    sink is unreachable. The graph is left holding a maximum flow. *)
+    sink is unreachable. The graph is left holding a maximum flow.
+
+    With [obs], the returned {!stats} are also added to the
+    [flow.dinic.*] registry counters, and a ["dinic.phase"] span is
+    emitted per phase with cumulative arcs scanned as the domain clock. *)

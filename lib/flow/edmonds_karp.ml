@@ -50,7 +50,7 @@ let augment g path =
     List.iter (fun a -> Graph.push g a k) path;
     k
 
-let max_flow g ~source ~sink =
+let max_flow ?obs g ~source ~sink =
   let arcs = ref 0 and augs = ref 0 and total = ref 0 in
   let rec loop () =
     match bfs_tree g ~source ~sink ~count:arcs with
@@ -62,6 +62,10 @@ let max_flow g ~source ~sink =
       loop ()
   in
   loop ();
+  let module Obs = Rsin_obs.Obs in
+  Obs.count obs "flow.edmonds_karp.runs" 1;
+  Obs.count obs "flow.edmonds_karp.augmentations" !augs;
+  Obs.count obs "flow.edmonds_karp.arcs_scanned" !arcs;
   (!total, { augmentations = !augs; arcs_scanned = !arcs })
 
 let min_cut g ~source ~sink =

@@ -22,9 +22,12 @@ val augment : Graph.t -> Graph.arc list -> int
 (** Pushes the bottleneck amount of flow along the path and returns it.
     The path must be a residual-capacity-positive s–t path. *)
 
-val max_flow : Graph.t -> source:Graph.node -> sink:Graph.node -> int * stats
+val max_flow :
+  ?obs:Rsin_obs.Obs.t ->
+  Graph.t -> source:Graph.node -> sink:Graph.node -> int * stats
 (** Runs augmentation to completion; returns the max-flow value. The
-    graph is left holding the maximum flow. *)
+    graph is left holding the maximum flow. With [obs], the stats are
+    also added to the [flow.edmonds_karp.*] registry counters. *)
 
 val min_cut : Graph.t -> source:Graph.node -> sink:Graph.node -> Graph.arc list
 (** After a max flow has been computed, the saturated forward arcs that

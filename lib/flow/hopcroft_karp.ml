@@ -15,10 +15,11 @@ let add_edge t u v =
 
 let inf = max_int / 2
 
-let run t =
+let run ?obs t =
   let match_l = Array.make (max t.n_left 1) (-1) in
   let match_r = Array.make (max t.n_right 1) (-1) in
   let dist = Array.make (max t.n_left 1) inf in
+  let phases = ref 0 and augs = ref 0 and scanned = ref 0 in
   (* BFS layering over free left vertices; returns true when some
      augmenting path exists. *)
   let bfs () =
@@ -35,6 +36,7 @@ let run t =
       let u = Queue.pop q in
       List.iter
         (fun v ->
+          incr scanned;
           match match_r.(v) with
           | -1 -> found := true
           | u' ->
@@ -52,6 +54,7 @@ let run t =
         dist.(u) <- inf;
         false
       | v :: rest ->
+        incr scanned;
         let ok =
           match match_r.(v) with
           | -1 -> true
@@ -67,20 +70,26 @@ let run t =
     try_neighbours t.adj.(u)
   in
   while bfs () do
+    incr phases;
     for u = 0 to t.n_left - 1 do
-      if match_l.(u) < 0 then ignore (dfs u)
+      if match_l.(u) < 0 && dfs u then incr augs
     done
   done;
+  let module Obs = Rsin_obs.Obs in
+  Obs.count obs "flow.hopcroft_karp.runs" 1;
+  Obs.count obs "flow.hopcroft_karp.phases" !phases;
+  Obs.count obs "flow.hopcroft_karp.augmentations" !augs;
+  Obs.count obs "flow.hopcroft_karp.arcs_scanned" !scanned;
   match_l
 
-let max_matching t =
-  let match_l = run t in
+let max_matching ?obs t =
+  let match_l = run ?obs t in
   let acc = ref [] in
   for u = t.n_left - 1 downto 0 do
     if match_l.(u) >= 0 then acc := (u, match_l.(u)) :: !acc
   done;
   !acc
 
-let matching_size t =
-  let match_l = run t in
+let matching_size ?obs t =
+  let match_l = run ?obs t in
   Array.fold_left (fun acc v -> if v >= 0 then acc + 1 else acc) 0 match_l

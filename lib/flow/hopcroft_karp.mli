@@ -17,9 +17,10 @@ val add_edge : t -> int -> int -> unit
 (** [add_edge t u v] connects left [u] to right [v]. Duplicate edges are
     harmless. *)
 
-val max_matching : t -> (int * int) list
+val max_matching : ?obs:Rsin_obs.Obs.t -> t -> (int * int) list
 (** A maximum matching as (left, right) pairs, in increasing left
-    order. *)
+    order. With [obs], phase/augmentation/arc counts are added to the
+    [flow.hopcroft_karp.*] registry counters. *)
 
-val matching_size : t -> int
+val matching_size : ?obs:Rsin_obs.Obs.t -> t -> int
 (** [List.length (max_matching t)], computed directly. *)

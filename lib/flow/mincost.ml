@@ -74,7 +74,7 @@ let has_negative_cost g =
   Graph.iter_forward_arcs g (fun a -> if Graph.cost g a < 0 then neg := true);
   !neg
 
-let run g ~source ~sink ~amount =
+let run ?obs g ~source ~sink ~amount =
   let n = Graph.node_count g in
   let pot =
     if has_negative_cost g then bellman_ford g ~source else Array.make n 0
@@ -114,12 +114,16 @@ let run g ~source ~sink ~amount =
       incr augs
     end
   done;
+  let module Obs = Rsin_obs.Obs in
+  Obs.count obs "flow.mincost.runs" 1;
+  Obs.count obs "flow.mincost.augmentations" !augs;
+  Obs.count obs "flow.mincost.arcs_scanned" !scanned;
   { flow = !pushed;
     cost = Graph.total_cost g;
     stats = { augmentations = !augs; arcs_scanned = !scanned } }
 
-let min_cost_flow g ~source ~sink ~amount =
+let min_cost_flow ?obs g ~source ~sink ~amount =
   if amount < 0 then invalid_arg "Mincost.min_cost_flow: negative amount";
-  run g ~source ~sink ~amount
+  run ?obs g ~source ~sink ~amount
 
-let min_cost_max_flow g ~source ~sink = run g ~source ~sink ~amount:inf
+let min_cost_max_flow ?obs g ~source ~sink = run ?obs g ~source ~sink ~amount:inf

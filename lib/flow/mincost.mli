@@ -21,6 +21,7 @@ type result = {
 }
 
 val min_cost_flow :
+  ?obs:Rsin_obs.Obs.t ->
   Graph.t -> source:Graph.node -> sink:Graph.node -> amount:int -> result
 (** Pushes up to [amount] units from source to sink along successively
     cheapest paths. Stops early when the sink becomes unreachable; the
@@ -29,5 +30,7 @@ val min_cost_flow :
     cycle. The graph is left holding the computed flow. *)
 
 val min_cost_max_flow :
+  ?obs:Rsin_obs.Obs.t ->
   Graph.t -> source:Graph.node -> sink:Graph.node -> result
-(** Minimum-cost flow among maximum flows. *)
+(** Minimum-cost flow among maximum flows. With [obs], the stats are
+    also added to the [flow.mincost.*] registry counters. *)

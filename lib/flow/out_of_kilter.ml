@@ -106,7 +106,7 @@ let apply_delta g a k =
     Graph.set_flow g f (Graph.flow g f - k)
   end
 
-let solve g =
+let solve ?obs g =
   let pot = Array.make (Graph.node_count g) 0 in
   let augs = ref 0 and pots = ref 0 and scanned = ref 0 in
   let infeasible = ref false in
@@ -205,5 +205,10 @@ let solve g =
   loop ();
   let st = { augmentations = !augs; potential_updates = !pots;
              arcs_scanned = !scanned } in
+  let module Obs = Rsin_obs.Obs in
+  Obs.count obs "flow.out_of_kilter.runs" 1;
+  Obs.count obs "flow.out_of_kilter.augmentations" !augs;
+  Obs.count obs "flow.out_of_kilter.potential_updates" !pots;
+  Obs.count obs "flow.out_of_kilter.arcs_scanned" !scanned;
   if !infeasible then (Infeasible, st)
   else (Optimal (Graph.total_cost g), st)

@@ -23,10 +23,12 @@ type stats = {
   arcs_scanned : int;
 }
 
-val solve : Graph.t -> outcome * stats
+val solve : ?obs:Rsin_obs.Obs.t -> Graph.t -> outcome * stats
 (** Finds a feasible circulation of minimum total cost, respecting every
     arc's [low <= flow <= cap]. Starts from the graph's current flow
-    (typically zero). On [Optimal], the graph holds the circulation. *)
+    (typically zero). On [Optimal], the graph holds the circulation.
+    With [obs], the stats are also added to the [flow.out_of_kilter.*]
+    registry counters. *)
 
 val kilter_number : Graph.t -> pot:int array -> Graph.arc -> int
 (** Diagnostic: how far the forward arc is from its kilter line under

@@ -5,7 +5,7 @@ type stats = { pushes : int; relabels : int; gap_jumps : int }
    wait in a queue. The gap heuristic lifts every node above an empty
    height level straight to n+1, which empirically removes most useless
    relabels on MRSIN-shaped graphs. *)
-let max_flow g ~source ~sink =
+let max_flow ?obs g ~source ~sink =
   let n = Graph.node_count g in
   let height = Array.make n 0 in
   let excess = Array.make n 0 in
@@ -128,5 +128,10 @@ let max_flow g ~source ~sink =
     if v <> source && v <> sink && excess.(v) <> 0 then
       failwith "Push_relabel: excess left after termination"
   done;
+  let module Obs = Rsin_obs.Obs in
+  Obs.count obs "flow.push_relabel.runs" 1;
+  Obs.count obs "flow.push_relabel.pushes" !pushes;
+  Obs.count obs "flow.push_relabel.relabels" !relabels;
+  Obs.count obs "flow.push_relabel.gap_jumps" !gaps;
   ( excess.(sink),
     { pushes = !pushes; relabels = !relabels; gap_jumps = !gaps } )

@@ -14,7 +14,10 @@ type stats = {
   gap_jumps : int;  (** nodes lifted past a label gap *)
 }
 
-val max_flow : Graph.t -> source:Graph.node -> sink:Graph.node -> int * stats
+val max_flow :
+  ?obs:Rsin_obs.Obs.t ->
+  Graph.t -> source:Graph.node -> sink:Graph.node -> int * stats
 (** Computes a maximum flow, leaving it in the graph. The preflow is
     fully converted back to a flow (excesses returned to the source), so
-    {!Graph.check_conservation} holds afterwards. *)
+    {!Graph.check_conservation} holds afterwards. With [obs], the stats
+    are also added to the [flow.push_relabel.*] registry counters. *)

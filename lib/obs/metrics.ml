@@ -1,0 +1,106 @@
+module Stats = Rsin_util.Stats
+
+type counter = int ref
+type gauge = float ref
+type histogram = Stats.accum
+
+type entry = C of counter | G of gauge | H of histogram
+
+type t = { entries : (string, entry) Hashtbl.t }
+
+let create () = { entries = Hashtbl.create 32 }
+
+let kind_name = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
+
+let register t name make wrap unwrap =
+  match Hashtbl.find_opt t.entries name with
+  | Some e ->
+    (match unwrap e with
+    | Some h -> h
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Metrics: %S is a %s, not the requested kind" name
+           (kind_name e)))
+  | None ->
+    let h = make () in
+    Hashtbl.replace t.entries name (wrap h);
+    h
+
+let counter t name =
+  register t name (fun () -> ref 0)
+    (fun c -> C c)
+    (function C c -> Some c | _ -> None)
+
+let incr c = Stdlib.incr c
+let add c n = c := !c + n
+let counter_value c = !c
+
+let gauge t name =
+  register t name (fun () -> ref 0.)
+    (fun g -> G g)
+    (function G g -> Some g | _ -> None)
+
+let set g x = g := x
+let gauge_value g = !g
+
+let histogram t name =
+  register t name Stats.accum
+    (fun h -> H h)
+    (function H h -> Some h | _ -> None)
+
+let observe h x = Stats.observe h x
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of { n : int; mean : float; lo : float; hi : float }
+
+let value_of = function
+  | C c -> Counter !c
+  | G g -> Gauge !g
+  | H h ->
+    Histogram
+      { n = Stats.count h; mean = Stats.mean h; lo = Stats.min_obs h;
+        hi = Stats.max_obs h }
+
+let snapshot t =
+  Hashtbl.fold (fun name e acc -> (name, value_of e) :: acc) t.entries []
+  |> List.sort compare
+
+let find t name = Option.map value_of (Hashtbl.find_opt t.entries name)
+
+let get_counter t name =
+  match Hashtbl.find_opt t.entries name with Some (C c) -> !c | _ -> 0
+
+let clear t = Hashtbl.reset t.entries
+
+(* JSON numbers must be finite; empty histograms report nan means. *)
+let json_float x =
+  match Float.classify_float x with
+  | FP_nan | FP_infinite -> "null"
+  | _ -> Printf.sprintf "%.6g" x
+
+let to_json t =
+  let field (name, v) =
+    let body =
+      match v with
+      | Counter n -> string_of_int n
+      | Gauge x -> json_float x
+      | Histogram { n; mean; lo; hi } ->
+        Printf.sprintf "{\"n\":%d,\"mean\":%s,\"min\":%s,\"max\":%s}" n
+          (json_float mean) (json_float lo) (json_float hi)
+    in
+    Printf.sprintf "%S:%s" name body
+  in
+  "{" ^ String.concat "," (List.map field (snapshot t)) ^ "}"
+
+let to_rows t =
+  List.map
+    (fun (name, v) ->
+      match v with
+      | Counter n -> [ name; "counter"; string_of_int n ]
+      | Gauge x -> [ name; "gauge"; Printf.sprintf "%.4g" x ]
+      | Histogram { n; mean; lo; hi } ->
+        [ name; "histogram";
+          Printf.sprintf "n=%d mean=%.4g min=%.4g max=%.4g" n mean lo hi ])
+    (snapshot t)

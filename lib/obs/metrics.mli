@@ -1,0 +1,65 @@
+(** Named-metrics registry: the single place every subsystem reports its
+    cost counters to.
+
+    A registry holds counters (monotone integers: arcs scanned, clock
+    periods, instructions), gauges (last-written floats) and histograms
+    (streaming {!Rsin_util.Stats.accum} distributions). Handles are
+    cheap to look up once and O(1) to update, so hot loops pay one
+    hashtable probe per run, not per event.
+
+    Names are dot-separated, subsystem first: ["flow.dinic.phases"],
+    ["monitor.instructions"], ["token_sim.request_clocks"]. The
+    experiment tables (E11/E12) and the [rsin metrics] subcommand both
+    read the same snapshot, so the monitor-vs-distributed cost
+    comparison of the paper is made over one set of numbers. *)
+
+type t
+(** A mutable registry. *)
+
+type counter
+type gauge
+type histogram
+
+val create : unit -> t
+
+val counter : t -> string -> counter
+(** Get or create the counter with this name. Raises [Invalid_argument]
+    when the name is already registered as a different kind. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+val gauge : t -> string -> gauge
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val histogram : t -> string -> histogram
+(** A streaming distribution backed by {!Rsin_util.Stats.accum}:
+    count, mean, min and max are reported in snapshots. *)
+
+val observe : histogram -> float -> unit
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of { n : int; mean : float; lo : float; hi : float }
+
+val snapshot : t -> (string * value) list
+(** All registered metrics, sorted by name. *)
+
+val find : t -> string -> value option
+
+val get_counter : t -> string -> int
+(** Current value of a counter, 0 when absent. *)
+
+val clear : t -> unit
+(** Forget every registered metric (existing handles keep working but
+    are no longer reported). *)
+
+val to_json : t -> string
+(** One JSON object keyed by metric name; counters become integers,
+    gauges numbers, histograms [{"n":..,"mean":..,"min":..,"max":..}]. *)
+
+val to_rows : t -> string list list
+(** Rows [[name; kind; value]] for {!Rsin_util.Table.print}. *)

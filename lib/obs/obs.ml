@@ -1,0 +1,41 @@
+type t = {
+  metrics : Metrics.t;
+  trace : Trace.t;
+}
+
+let create ?(trace = Trace.null) () = { metrics = Metrics.create (); trace }
+let recording () = { metrics = Metrics.create (); trace = Trace.create () }
+
+let tracing = function
+  | None -> false
+  | Some o -> Trace.enabled o.trace
+
+let count o name n =
+  match o with
+  | None -> ()
+  | Some o -> Metrics.add (Metrics.counter o.metrics name) n
+
+let observe o name x =
+  match o with
+  | None -> ()
+  | Some o -> Metrics.observe (Metrics.histogram o.metrics name) x
+
+let set_gauge o name x =
+  match o with
+  | None -> ()
+  | Some o -> Metrics.set (Metrics.gauge o.metrics name) x
+
+let span_begin o ?tid ?args name ~ts =
+  match o with
+  | None -> ()
+  | Some o -> Trace.span_begin o.trace ?tid ?args name ~ts
+
+let span_end o ?tid ?args name ~ts =
+  match o with
+  | None -> ()
+  | Some o -> Trace.span_end o.trace ?tid ?args name ~ts
+
+let instant o ?tid ?args name ~ts =
+  match o with
+  | None -> ()
+  | Some o -> Trace.instant o.trace ?tid ?args name ~ts

@@ -1,0 +1,45 @@
+(** Combined observer handed to instrumented code as [?obs].
+
+    Bundles a {!Metrics} registry with a {!Trace} sink so a subsystem
+    needs a single optional parameter. Every helper here takes the
+    observer as an [option] and is a no-op on [None], which keeps call
+    sites one line and makes uninstrumented runs pay nothing beyond the
+    option test:
+
+    {[
+      let o = Obs.create () in
+      let _flow, _stats = Dinic.max_flow ~obs:o g ~source ~sink in
+      print_string (Metrics.to_json o.metrics)
+    ]} *)
+
+type t = {
+  metrics : Metrics.t;
+  trace : Trace.t;
+}
+
+val create : ?trace:Trace.t -> unit -> t
+(** Fresh registry; [trace] defaults to {!Trace.null} (metrics only). *)
+
+val recording : unit -> t
+(** Fresh registry plus a recording trace sink. *)
+
+val tracing : t option -> bool
+(** [true] only for an observer with a recording trace — the guard to
+    use before building event argument lists in hot paths. *)
+
+val count : t option -> string -> int -> unit
+(** Add to a named counter; no-op on [None]. *)
+
+val observe : t option -> string -> float -> unit
+(** Observe into a named histogram; no-op on [None]. *)
+
+val set_gauge : t option -> string -> float -> unit
+
+val span_begin :
+  t option -> ?tid:int -> ?args:(string * Trace.arg) list -> string -> ts:int -> unit
+
+val span_end :
+  t option -> ?tid:int -> ?args:(string * Trace.arg) list -> string -> ts:int -> unit
+
+val instant :
+  t option -> ?tid:int -> ?args:(string * Trace.arg) list -> string -> ts:int -> unit

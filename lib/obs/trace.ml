@@ -1,0 +1,121 @@
+module Vec = Rsin_util.Vec
+
+type arg =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+type phase = Begin | End | Instant
+
+type event = {
+  name : string;
+  ph : phase;
+  ts : int;
+  tid : int;
+  args : (string * arg) list;
+}
+
+type t = Null | Memory of event Vec.t
+
+let null = Null
+let create () = Memory (Vec.create ())
+let enabled = function Null -> false | Memory _ -> true
+
+let emit t e = match t with Null -> () | Memory buf -> Vec.push buf e
+
+let span_begin t ?(tid = 0) ?(args = []) name ~ts =
+  emit t { name; ph = Begin; ts; tid; args }
+
+let span_end t ?(tid = 0) ?(args = []) name ~ts =
+  emit t { name; ph = End; ts; tid; args }
+
+let instant t ?(tid = 0) ?(args = []) name ~ts =
+  emit t { name; ph = Instant; ts; tid; args }
+
+let events = function
+  | Null -> []
+  | Memory buf -> Array.to_list (Vec.to_array buf)
+
+let event_count = function Null -> 0 | Memory buf -> Vec.length buf
+
+type format = Jsonl | Chrome
+
+let format_of_string = function
+  | "jsonl" -> Some Jsonl
+  | "chrome" -> Some Chrome
+  | _ -> None
+
+let ph_letter = function Begin -> "B" | End -> "E" | Instant -> "i"
+
+let json_string s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let json_arg = function
+  | Int n -> string_of_int n
+  | Float x ->
+    (match Float.classify_float x with
+    | FP_nan | FP_infinite -> "null"
+    | _ -> Printf.sprintf "%.6g" x)
+  | Str s -> json_string s
+  | Bool b -> string_of_bool b
+
+let event_json e =
+  let b = Buffer.create 96 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"name\":%s,\"ph\":\"%s\",\"ts\":%d,\"pid\":1,\"tid\":%d"
+       (json_string e.name) (ph_letter e.ph) e.ts e.tid);
+  (* chrome://tracing requires a scope on instant events *)
+  if e.ph = Instant then Buffer.add_string b ",\"s\":\"t\"";
+  if e.args <> [] then begin
+    Buffer.add_string b ",\"args\":{";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b (json_string k);
+        Buffer.add_char b ':';
+        Buffer.add_string b (json_arg v))
+      e.args;
+    Buffer.add_char b '}'
+  end;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let to_string t ~format =
+  let b = Buffer.create 4096 in
+  (match format with
+  | Jsonl ->
+    List.iter
+      (fun e ->
+        Buffer.add_string b (event_json e);
+        Buffer.add_char b '\n')
+      (events t)
+  | Chrome ->
+    Buffer.add_string b "[";
+    List.iteri
+      (fun i e ->
+        Buffer.add_string b (if i = 0 then "\n" else ",\n");
+        Buffer.add_string b (event_json e))
+      (events t);
+    Buffer.add_string b "\n]\n");
+  Buffer.contents b
+
+let write t ~format oc = output_string oc (to_string t ~format)
+
+let write_file t ~format path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write t ~format oc)

@@ -1,0 +1,69 @@
+(** Structured tracer: span begin/end and instant events over an
+    integer domain clock.
+
+    Timestamps are whatever integer clock the instrumented subsystem
+    already counts — status-bus clock periods in {!Rsin_distributed},
+    monitor instructions in {!Rsin_core.Monitor}, residual arcs scanned
+    in the flow solvers, slots in {!Rsin_sim.Dynamic}. Events on
+    different [tid]s render as parallel tracks.
+
+    The {!null} sink drops every event without allocating, so
+    instrumentation left in hot paths is near-free when tracing is off;
+    call sites that must build argument lists should guard with
+    {!enabled} first.
+
+    Two exporters are provided: JSONL (one JSON object per line, for
+    ad-hoc tooling) and the Chrome [trace_event] array format, loadable
+    directly in [chrome://tracing] or {{:https://ui.perfetto.dev}
+    Perfetto}. *)
+
+type arg =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+type phase = Begin | End | Instant
+
+type event = {
+  name : string;
+  ph : phase;
+  ts : int;        (** domain-clock timestamp *)
+  tid : int;       (** track id, 0 by default *)
+  args : (string * arg) list;
+}
+
+type t
+
+val null : t
+(** Sink that discards everything; {!enabled} is [false]. *)
+
+val create : unit -> t
+(** Recording sink backed by a growable in-memory buffer. *)
+
+val enabled : t -> bool
+
+val emit : t -> event -> unit
+
+val span_begin : t -> ?tid:int -> ?args:(string * arg) list -> string -> ts:int -> unit
+val span_end : t -> ?tid:int -> ?args:(string * arg) list -> string -> ts:int -> unit
+val instant : t -> ?tid:int -> ?args:(string * arg) list -> string -> ts:int -> unit
+
+val events : t -> event list
+(** Recorded events, oldest first ([[]] for {!null}). *)
+
+val event_count : t -> int
+
+type format = Jsonl | Chrome
+
+val format_of_string : string -> format option
+(** ["jsonl"] or ["chrome"]. *)
+
+val write : t -> format:format -> out_channel -> unit
+(** Chrome output is a JSON array of [{name, ph, ts, pid, tid, args}]
+    objects ([pid] fixed at 1, [ph] in ["B"|"E"|"i"]); JSONL output is
+    the same objects one per line without the array wrapper. *)
+
+val to_string : t -> format:format -> string
+
+val write_file : t -> format:format -> string -> unit

@@ -33,11 +33,11 @@ type estimate = {
   trials_used : int;
 }
 
-let allocated_of scheduler rng net ~requests ~free =
+let allocated_of ?obs scheduler rng net ~requests ~free =
   match scheduler with
   | Optimal ->
-    (Transform1.schedule net ~requests ~free).Transform1.allocated
-  | Distributed -> (Token_sim.run net ~requests ~free).Token_sim.allocated
+    (Transform1.schedule ?obs net ~requests ~free).Transform1.allocated
+  | Distributed -> (Token_sim.run ?obs net ~requests ~free).Token_sim.allocated
   | First_fit ->
     (Heuristic.schedule net ~requests ~free Heuristic.First_fit)
       .Heuristic.allocated
@@ -48,7 +48,8 @@ let allocated_of scheduler rng net ~requests ~free =
     (Heuristic.schedule net ~requests ~free (Heuristic.Address_map rng))
       .Heuristic.allocated
 
-let estimate ?(config = default_config) ~scheduler rng make_net =
+let estimate ?obs ?(config = default_config) ~scheduler rng make_net =
+  let module Obs = Rsin_obs.Obs in
   let blocking = Stats.accum () in
   let alloc = Stats.accum () in
   let offered = Stats.accum () in
@@ -68,13 +69,15 @@ let estimate ?(config = default_config) ~scheduler rng make_net =
     let bound = min (List.length requests) (List.length free) in
     if bound > 0 then begin
       incr used;
-      let a = allocated_of scheduler rng net ~requests ~free in
+      let a = allocated_of ?obs scheduler rng net ~requests ~free in
       Stats.observe blocking (float_of_int (bound - a) /. float_of_int bound);
       Stats.observe alloc (float_of_int a);
       Stats.observe offered (float_of_int bound);
       Stats.observe util (float_of_int a /. float_of_int (List.length free))
     end
   done;
+  Obs.count obs "blocking.trials" config.trials;
+  Obs.count obs "blocking.trials_used" !used;
   { mean_blocking = Stats.mean blocking;
     ci95 = Stats.ci95 blocking;
     mean_allocated = Stats.mean alloc;

@@ -44,6 +44,7 @@ type estimate = {
 }
 
 val estimate :
+  ?obs:Rsin_obs.Obs.t ->
   ?config:config ->
   scheduler:scheduler ->
   Rsin_util.Prng.t ->
@@ -51,9 +52,15 @@ val estimate :
   estimate
 (** [estimate ~scheduler rng make_net] runs the Monte-Carlo experiment;
     [make_net] is called once per trial (pre-occupied circuits are added
-    on top of whatever state it returns). *)
+    on top of whatever state it returns).
+
+    With [obs], the observer is passed to every trial's scheduler run
+    (accumulating [flow.*] / [token_sim.*] counters across the whole
+    experiment) and [blocking.trials] / [blocking.trials_used] are
+    recorded. *)
 
 val allocated_of :
+  ?obs:Rsin_obs.Obs.t ->
   scheduler ->
   Rsin_util.Prng.t ->
   Rsin_topology.Network.t ->

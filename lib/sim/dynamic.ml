@@ -34,7 +34,10 @@ type proc_state = {
 
 type res_state = { mutable busy_until : int (* -1 = free *) }
 
-let run ?(scheduler = Optimal) ?(cycle_threshold = 1) rng net params =
+module Obs = Rsin_obs.Obs
+module Tr = Rsin_obs.Trace
+
+let run ?obs ?(scheduler = Optimal) ?(cycle_threshold = 1) rng net params =
   if cycle_threshold < 1 then invalid_arg "Dynamic.run: cycle_threshold";
   if params.arrival_prob < 0. || params.arrival_prob > 1. then
     invalid_arg "Dynamic.run: arrival_prob";
@@ -55,11 +58,14 @@ let run ?(scheduler = Optimal) ?(cycle_threshold = 1) rng net params =
   let sched_clocks = ref 0 in
   let horizon = params.warmup + params.slots in
   let measuring slot = slot >= params.warmup in
+  let tracing = Obs.tracing obs in
   for slot = 0 to horizon - 1 do
+    let slot_arrivals = ref 0 and slot_allocated = ref 0 in
     (* 1. Task arrivals. *)
     for p = 0 to np - 1 do
       if Prng.bernoulli rng params.arrival_prob then begin
         procs.(p).queue <- procs.(p).queue @ [ slot ];
+        incr slot_arrivals;
         if measuring slot then incr arrivals
       end
     done;
@@ -96,17 +102,18 @@ let run ?(scheduler = Optimal) ?(cycle_threshold = 1) rng net params =
       let mapping, circuits =
         match scheduler with
         | Optimal ->
-          let o = Transform1.schedule net ~requests ~free in
+          let o = Transform1.schedule ?obs net ~requests ~free in
           (o.Transform1.mapping, o.Transform1.circuits)
         | First_fit ->
           let o = Heuristic.schedule net ~requests ~free Heuristic.First_fit in
           (o.Heuristic.mapping, o.Heuristic.circuits)
         | Distributed ->
           let module Token_sim = Rsin_distributed.Token_sim in
-          let rep = Token_sim.run net ~requests ~free in
+          let rep = Token_sim.run ?obs net ~requests ~free in
           sched_clocks := !sched_clocks + rep.Token_sim.total_clocks;
           (rep.Token_sim.mapping, rep.Token_sim.circuits)
       in
+      slot_allocated := List.length mapping;
       if List.length mapping < min (List.length requests) (List.length free)
       then incr blocked_cycles;
       if mapping = [] then incr futile_cycles;
@@ -129,8 +136,25 @@ let run ?(scheduler = Optimal) ?(cycle_threshold = 1) rng net params =
       Stats.observe busy_frac (float_of_int busy /. float_of_int nr);
       let queued = Array.fold_left (fun acc p -> acc + List.length p.queue) 0 procs in
       Stats.observe queue_depth (float_of_int queued /. float_of_int np)
+    end;
+    (* tag the slot on the timeline (domain clock = slot index) *)
+    if tracing then begin
+      let queued = Array.fold_left (fun acc p -> acc + List.length p.queue) 0 procs in
+      Obs.instant obs "sim.slot" ~ts:slot
+        ~args:
+          [ ("arrivals", Tr.Int !slot_arrivals);
+            ("allocated", Tr.Int !slot_allocated);
+            ("queued", Tr.Int queued);
+            ("warmup", Tr.Bool (not (measuring slot))) ]
     end
   done;
+  Obs.count obs "dynamic.slots" params.slots;
+  Obs.count obs "dynamic.arrivals" !arrivals;
+  Obs.count obs "dynamic.completed" !completed;
+  Obs.count obs "dynamic.cycles" !cycles;
+  Obs.count obs "dynamic.blocked_cycles" !blocked_cycles;
+  Obs.count obs "dynamic.futile_cycles" !futile_cycles;
+  Obs.count obs "dynamic.scheduling_clocks" !sched_clocks;
   let slots = float_of_int params.slots in
   { throughput = float_of_int !completed /. slots;
     offered_load = float_of_int !arrivals /. slots;

@@ -49,6 +49,7 @@ type metrics = {
 }
 
 val run :
+  ?obs:Rsin_obs.Obs.t ->
   ?scheduler:scheduler ->
   ?cycle_threshold:int ->
   Rsin_util.Prng.t ->
@@ -56,6 +57,12 @@ val run :
   params ->
   metrics
 (** Simulates [warmup + slots] slots on a scratch copy of the network.
+
+    With [obs], every slot is tagged with a ["sim.slot"] instant event
+    (domain clock = slot index, arguments: arrivals, allocations, queue
+    depth), [dynamic.*] registry counters accumulate the run totals, and
+    the observer is passed down to the scheduler, so one trace file
+    shows the workload and the per-cycle scheduling work together.
 
     [cycle_threshold] (default 1) implements the batching policy of the
     paper's Fig. 10 discussion: a scheduling cycle is entered only when

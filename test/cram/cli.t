@@ -90,3 +90,45 @@ Occupancy map after scheduling:
   stage 1: [#.|#.] [.#|#.] [#.|.#] [..|..]
   stage 2: [#.|.#] [.#|.#] [#.|.#] [..|..]
   res:   .#.#.#..
+
+Recording a trace exports the Chrome trace_event format (an array of
+name/ph/ts/pid/tid events loadable in chrome://tracing):
+
+  $ rsin schedule omega:8 --requests 0,2,4 --free 1,3,5 --trace-out t.json --trace-format chrome
+  requests: 0,2,4
+  free:     1,3,5
+  allocated 3/3:
+    p0 -> r1
+    p2 -> r3
+    p4 -> r5
+  trace: 2 event(s) -> t.json
+  $ cat t.json
+  [
+  {"name":"dinic.phase","ph":"B","ts":0,"pid":1,"tid":0,"args":{"phase":1,"layers":7}},
+  {"name":"dinic.phase","ph":"E","ts":39,"pid":1,"tid":0,"args":{"flow_added":3}}
+  ]
+
+The metrics registry reports the solver cost counters of both
+architectures over the same snapshot:
+
+  $ rsin metrics omega:8 --requests 0,2,4 --free 1,3,5
+  requests: 0,2,4
+  free:     1,3,5
+  optimal allocated 3/3; distributed allocated 3/3 in 9 clock periods
+  metric                         kind     value
+  -----------------------------  -------  -----
+  flow.dinic.arcs_scanned        counter  39
+  flow.dinic.augmentations       counter  3
+  flow.dinic.phases              counter  1
+  flow.dinic.runs                counter  1
+  token_sim.allocated            counter  3
+  token_sim.iterations           counter  1
+  token_sim.registration_clocks  counter  1
+  token_sim.request_clocks       counter  4
+  token_sim.requested            counter  3
+  token_sim.resource_clocks      counter  4
+  token_sim.runs                 counter  1
+  token_sim.total_clocks         counter  9
+  transform1.allocated           counter  3
+  transform1.blocked             counter  0
+  transform1.solves              counter  1

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "rsin"
     [
       ("util", Test_util.suite);
+      ("obs", Test_obs.suite);
       ("flow", Test_flow.suite);
       ("flow2", Test_flow2.suite);
       ("lp", Test_lp.suite);

@@ -654,6 +654,35 @@ let test_monitor_waits_tracked () =
   | [ (_, w) ] -> check Alcotest.int "one cycle waited" 1 w
   | other -> Alcotest.failf "expected one waiter, got %d" (List.length other))
 
+(* Allocation must prune the winner's wait entry (and only the
+   winner's), and the pending queue must stay FIFO across cycles. *)
+let test_monitor_waits_pruned_on_allocation () =
+  let m = Monitor.create (Builders.crossbar ~n_procs:2 ~n_res:1) in
+  Monitor.submit m 0;
+  Monitor.submit m 1;
+  Monitor.resource_ready m 0;
+  let r = Monitor.run_cycle m in
+  let served =
+    match r.Monitor.allocated with
+    | [ (p, _) ] -> p
+    | _ -> Alcotest.fail "expected exactly one allocation"
+  in
+  let waiter = 1 - served in
+  check
+    Alcotest.(list (pair int int))
+    "loser kept, winner pruned"
+    [ (waiter, 1) ]
+    (Monitor.waits m);
+  (* resubmission after service starts from a fresh wait count *)
+  Monitor.submit m served;
+  check
+    Alcotest.(list (pair int int))
+    "fresh wait after resubmission"
+    [ (waiter, 1); (served, 0) ]
+    (Monitor.waits m);
+  check Alcotest.(list int) "pending stays FIFO" [ waiter; served ]
+    (Monitor.pending m)
+
 let test_monitor_blocked_accounting () =
   let m = Monitor.create (Builders.crossbar ~n_procs:3 ~n_res:1) in
   List.iter (Monitor.submit m) [ 0; 1; 2 ];
@@ -716,4 +745,6 @@ let suite =
     Alcotest.test_case "monitor aging prevents starvation" `Quick
       test_monitor_aging_prevents_starvation;
     Alcotest.test_case "monitor waits tracked" `Quick test_monitor_waits_tracked;
+    Alcotest.test_case "monitor waits pruned on allocation" `Quick
+      test_monitor_waits_pruned_on_allocation;
   ]

@@ -260,6 +260,29 @@ let test_histogram () =
   let q = Stats.hist_quantile h 0.5 in
   check Alcotest.bool "median in range" true (q >= 0. && q <= 10.)
 
+let test_hist_quantile_edges () =
+  let empty = Stats.histogram ~lo:0. ~hi:1. ~bins:4 in
+  check Alcotest.bool "empty histogram -> nan" true
+    (Float.is_nan (Stats.hist_quantile empty 0.5));
+  let h = Stats.histogram ~lo:0. ~hi:10. ~bins:10 in
+  List.iter (Stats.hist_observe h) [ 1.5; 4.5; 8.5 ];
+  check (Alcotest.float 1e-9) "q=0 -> first bin midpoint" 0.5
+    (Stats.hist_quantile h 0.);
+  check (Alcotest.float 1e-9) "q=1 -> last occupied bin midpoint" 8.5
+    (Stats.hist_quantile h 1.);
+  check (Alcotest.float 1e-9) "q<0 clamps to q=0" (Stats.hist_quantile h 0.)
+    (Stats.hist_quantile h (-3.));
+  check (Alcotest.float 1e-9) "q>1 clamps to q=1" (Stats.hist_quantile h 1.)
+    (Stats.hist_quantile h 7.);
+  (* a single-bin histogram answers its midpoint for every quantile *)
+  let one = Stats.histogram ~lo:0. ~hi:2. ~bins:1 in
+  Stats.hist_observe one 0.3;
+  List.iter
+    (fun q ->
+      check (Alcotest.float 1e-9) "single bin -> midpoint" 1.0
+        (Stats.hist_quantile one q))
+    [ 0.; 0.25; 0.5; 1. ]
+
 (* --- Dsu ----------------------------------------------------------------- *)
 
 let test_dsu () =
@@ -377,6 +400,7 @@ let suite =
     stats_welford_matches_naive;
     Alcotest.test_case "wilson interval" `Quick test_wilson_interval;
     Alcotest.test_case "histogram" `Quick test_histogram;
+    Alcotest.test_case "hist_quantile edges" `Quick test_hist_quantile_edges;
     Alcotest.test_case "dsu basics" `Quick test_dsu;
     dsu_transitivity;
     Alcotest.test_case "vec" `Quick test_vec;
