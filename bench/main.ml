@@ -39,6 +39,7 @@ let experiments quick =
     ("calibration", fun () -> Calibration_bench.calibration ~trials:(t 600) ());
     ("placement", fun () -> Placement_bench.placement ~trials:(t 800) ());
     ("obs", fun () -> Obs_bench.run ~quick ());
+    ("engine", fun () -> Engine_bench.run ~quick ());
     ("micro", fun () -> Micro.run ());
   ]
 

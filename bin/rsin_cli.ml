@@ -7,6 +7,7 @@
      trace     - run the distributed token architecture and print the bus trace
      blocking  - Monte-Carlo blocking-probability estimate
      simulate  - dynamic discrete-time simulation
+     replay    - serve a recorded/synthetic workload through the online engine
 
    Network specifications (the NET argument):
      omega:N         Lawrie Omega, N a power of two
@@ -400,6 +401,151 @@ let simulate_cmd =
       const run $ net_arg $ arrival_arg $ slots_arg $ service_arg $ seed_arg
       $ trace_out_arg $ trace_format_arg)
 
+(* --- replay ------------------------------------------------------------------- *)
+
+let replay_cmd =
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Replay the JSONL workload trace in $(docv) instead of \
+                synthesizing one.")
+  in
+  let export_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "export" ] ~docv:"FILE"
+          ~doc:"Write the served workload trace to $(docv) as JSONL (replay \
+                it later with --trace).")
+  in
+  let mode_arg =
+    let mode_conv =
+      Arg.enum [ ("warm", `Warm); ("rebuild", `Rebuild); ("both", `Both) ]
+    in
+    Arg.(
+      value & opt mode_conv `Both
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:"Scheduling strategy: $(b,warm) (persistent incremental flow \
+                graph), $(b,rebuild) (from-scratch max-flow each cycle) or \
+                $(b,both) (run each and compare solver work).")
+  in
+  let slots_arg =
+    Arg.(value & opt int 200 & info [ "slots" ] ~doc:"Synthetic trace: arrival slots.")
+  in
+  let arrival_arg =
+    Arg.(
+      value & opt float 0.2
+      & info [ "arrival" ]
+          ~doc:"Synthetic trace: per-processor arrival probability per slot.")
+  in
+  let service_arg =
+    Arg.(
+      value & opt float 4.0
+      & info [ "service" ] ~doc:"Synthetic trace: mean service time.")
+  in
+  let cancel_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "cancel" ] ~doc:"Synthetic trace: cancellation probability.")
+  in
+  let slack_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline-slack" ] ~docv:"K"
+          ~doc:"Synthetic trace: deadline uniform in [t+1, t+K].")
+  in
+  let threshold_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "threshold" ]
+          ~doc:"Pending requests to batch before entering a scheduling cycle.")
+  in
+  let defer_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "max-defer" ]
+          ~doc:"Force a cycle once the oldest pending request is this old.")
+  in
+  let trans_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "transmission" ] ~doc:"Slots a circuit stays established.")
+  in
+  let run net trace_file export mode slots arrival service cancel slack
+      threshold defer trans seed trace_out tformat =
+    let module Engine = Rsin_engine.Engine in
+    let trace =
+      match trace_file with
+      | Some file ->
+        (try Workload.read_trace file
+         with Sys_error msg | Failure msg ->
+           Printf.eprintf "rsin: cannot read trace: %s\n" msg;
+           exit 1)
+      | None ->
+        Workload.synthesize ~mean_service:service ?deadline_slack:slack
+          ~cancel_prob:cancel (Prng.create seed) net ~slots ~arrival_prob:arrival
+    in
+    (match export with
+    | Some file ->
+      (try Workload.write_trace file trace
+       with Sys_error msg ->
+         Printf.eprintf "rsin: cannot write trace: %s\n" msg;
+         exit 1);
+      Printf.printf "exported %d event(s) -> %s\n" (List.length trace) file
+    | None -> ());
+    let config =
+      { Engine.transmission_time = trans; batch_threshold = threshold;
+        max_defer = defer }
+    in
+    with_obs trace_out tformat @@ fun obs ->
+    let reports =
+      match mode with
+      | `Warm -> [ Engine.run ?obs ~config ~mode:Engine.Warm net trace ]
+      | `Rebuild -> [ Engine.run ?obs ~config ~mode:Engine.Rebuild net trace ]
+      | `Both ->
+        [ Engine.run ?obs ~config ~mode:Engine.Warm net trace;
+          Engine.run ?obs ~config ~mode:Engine.Rebuild net trace ]
+    in
+    let fcell f r = Table.ffix 3 (f r) in
+    let icell f r = string_of_int (f r) in
+    Table.print
+      ~header:("metric" :: List.map (fun r -> Engine.mode_name r.Engine.mode) reports)
+      (List.map
+         (fun (name, cell) -> name :: List.map cell reports)
+         [ ("horizon (slots)", icell (fun r -> r.Engine.horizon));
+           ("arrivals", icell (fun r -> r.Engine.arrivals));
+           ("allocated", icell (fun r -> r.Engine.allocated));
+           ("completed", icell (fun r -> r.Engine.completed));
+           ("cancelled", icell (fun r -> r.Engine.cancelled));
+           ("expired", icell (fun r -> r.Engine.expired));
+           ("left pending", icell (fun r -> r.Engine.left_pending));
+           ("mean wait (slots)", fcell (fun r -> r.Engine.mean_wait));
+           ("max wait (slots)", icell (fun r -> r.Engine.max_wait));
+           ("throughput (tasks/slot)", fcell (fun r -> r.Engine.throughput));
+           ("resource utilization", (fun r -> Table.fpct r.Engine.utilization));
+           ("scheduling cycles", icell (fun r -> r.Engine.cycles));
+           ("cycles skipped clean", icell (fun r -> r.Engine.skipped_cycles));
+           ("solver work (arcs)", icell (fun r -> r.Engine.solver_work)) ]);
+    match reports with
+    | [ w; rb ] when rb.Engine.solver_work > 0 ->
+      Printf.printf "warm start saves %s of rebuild solver work\n"
+        (Table.fpct
+           (1. -. float_of_int w.Engine.solver_work
+                  /. float_of_int rb.Engine.solver_work))
+    | _ -> ()
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Serve a recorded or synthetic workload trace through the online \
+             allocation engine")
+    Term.(
+      const run $ net_arg $ trace_arg $ export_arg $ mode_arg $ slots_arg
+      $ arrival_arg $ service_arg $ cancel_arg $ slack_arg $ threshold_arg
+      $ defer_arg $ trans_arg $ seed_arg $ trace_out_arg $ trace_format_arg)
+
 (* --- metrics ------------------------------------------------------------------ *)
 
 let metrics_cmd =
@@ -590,6 +736,7 @@ let () =
     Cmd.group
       (Cmd.info "rsin" ~doc ~version:"1.0.0")
       [ info_cmd; dot_cmd; schedule_cmd; trace_cmd; blocking_cmd; simulate_cmd;
-        metrics_cmd; props_cmd; perm_cmd; gates_cmd; show_cmd; taskgraph_cmd ]
+        replay_cmd; metrics_cmd; props_cmd; perm_cmd; gates_cmd; show_cmd;
+        taskgraph_cmd ]
   in
   exit (Cmd.eval main)

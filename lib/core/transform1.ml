@@ -88,6 +88,8 @@ let box_node t b =
 
 let max_allocatable (t : t) = min t.requested t.free_count
 
+let size t = (Graph.node_count t.graph, Graph.arc_count t.graph)
+
 (* Invert the node arrays once for mapping extraction. *)
 let owner_tables t =
   let n = Graph.node_count t.graph in

@@ -71,6 +71,11 @@ val commit : Rsin_topology.Network.t -> outcome -> int list
 val max_allocatable : t -> int
 (** Upper bound [min (#requests) (#free)] used for blocking accounting. *)
 
+val size : t -> int * int
+(** [(nodes, forward arcs)] of the built flow graph — the construction
+    work a rebuild-per-cycle scheduler pays every cycle, which the
+    warm-started engine's solver-work comparison charges against it. *)
+
 val bottleneck : t -> [ `Link of int | `Proc of int | `Res of int ] list
 (** After {!solve}: the minimum cut limiting the allocation, in network
     terms — the saturated links, plus requests/resources whose own

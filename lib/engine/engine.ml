@@ -1,0 +1,304 @@
+module Heap = Rsin_util.Heap
+module Stats = Rsin_util.Stats
+module Network = Rsin_topology.Network
+module Transform1 = Rsin_core.Transform1
+module Workload = Rsin_sim.Workload
+module Obs = Rsin_obs.Obs
+module Tr = Rsin_obs.Trace
+
+type mode = Warm | Rebuild
+
+let mode_name = function Warm -> "warm" | Rebuild -> "rebuild"
+
+type config = {
+  transmission_time : int;
+  batch_threshold : int;
+  max_defer : int;
+}
+
+let default_config = { transmission_time = 1; batch_threshold = 1; max_defer = 16 }
+
+type cycle_info = {
+  time : int;
+  requests : int list;
+  free : int list;
+  allocated : int;
+  work : int;
+  skipped : bool;
+}
+
+type report = {
+  mode : mode;
+  horizon : int;
+  arrivals : int;
+  allocated : int;
+  completed : int;
+  cancelled : int;
+  expired : int;
+  left_pending : int;
+  mean_wait : float;
+  max_wait : int;
+  throughput : float;
+  utilization : float;
+  cycles : int;
+  skipped_cycles : int;
+  solver_work : int;
+}
+
+(* Internal events. Trace arrivals/cancels are injected up front; the
+   engine schedules releases, completions, deadline expiries and
+   deferred-batch wakeups as it runs. *)
+type ev =
+  | Ev_arrive of { id : int; proc : int; service : int; deadline : int option }
+  | Ev_cancel of int
+  | Ev_release of int   (* live-circuit table index *)
+  | Ev_complete of int  (* resource *)
+  | Ev_deadline of int  (* task id *)
+  | Ev_wake
+
+type task = {
+  arrival : int;
+  service : int;
+  mutable queued : bool;  (* false once transmitting, cancelled or expired *)
+}
+
+type live = {
+  net_id : int;
+  lproc : int;
+  lres : int;
+  inc : Incremental.circuit option;  (* Warm mode only *)
+}
+
+let run ?obs ?(config = default_config) ?(mode = Warm) ?cycle_hook net trace =
+  if config.transmission_time < 1 then invalid_arg "Engine.run: transmission_time";
+  if config.batch_threshold < 1 then invalid_arg "Engine.run: batch_threshold";
+  if config.max_defer < 1 then invalid_arg "Engine.run: max_defer";
+  let net = Network.copy net in
+  let np = Network.n_procs net and nr = Network.n_res net in
+  let inc = match mode with Warm -> Some (Incremental.create net) | Rebuild -> None in
+  (* Engine-visible scheduling state. In Warm mode [requesting]/[free_res]
+     mirror the incremental graph's switched-on endpoint arcs (committed
+     circuits' frozen arcs count as neither). *)
+  let requesting = Array.make np false in
+  let free_res = Array.make nr true in
+  let queues : int list array = Array.make np [] in      (* task ids, FIFO *)
+  let transmitting : int option array = Array.make np None in
+  let tasks : (int, task) Hashtbl.t = Hashtbl.create 256 in
+  let lives : (int, live) Hashtbl.t = Hashtbl.create 64 in
+  let next_live = ref 0 in
+  let heap = Heap.create ~cmp:(fun (t1, s1) (t2, s2) ->
+      if t1 <> t2 then compare (t1 : int) t2 else compare (s1 : int) s2)
+  in
+  let next_seq = ref 0 in
+  let push t ev =
+    Heap.add heap (t, !next_seq) ev;
+    incr next_seq
+  in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Workload.Arrive { t; id; proc; service; deadline } ->
+        if proc < 0 || proc >= np then invalid_arg "Engine.run: bad processor in trace";
+        if service < 1 then invalid_arg "Engine.run: bad service time in trace";
+        push t (Ev_arrive { id; proc; service; deadline })
+      | Workload.Cancel { t; id } -> push t (Ev_cancel id))
+    (Workload.sort_trace trace);
+  let arrivals = ref 0 and allocated = ref 0 and completed = ref 0 in
+  let cancelled = ref 0 and expired = ref 0 in
+  let cycles = ref 0 and skipped_cycles = ref 0 and solver_work = ref 0 in
+  let busy_slots = ref 0 and horizon = ref 0 in
+  let waits = Stats.accum () and max_wait = ref 0 in
+  let tracing = Obs.tracing obs in
+  let set_requesting p on =
+    if requesting.(p) <> on then begin
+      requesting.(p) <- on;
+      match inc with Some i -> Incremental.set_requesting i p on | None -> ()
+    end
+  in
+  let set_free r on =
+    if free_res.(r) <> on then begin
+      free_res.(r) <- on;
+      match inc with Some i -> Incremental.set_resource_free i r on | None -> ()
+    end
+  in
+  (match inc with
+  | Some i -> for r = 0 to nr - 1 do Incremental.set_resource_free i r true done
+  | None -> ());
+  let drop_task id =
+    (* Remove a still-queued task (cancel or deadline expiry). *)
+    match Hashtbl.find_opt tasks id with
+    | Some task when task.queued ->
+      task.queued <- false;
+      Array.iteri
+        (fun p q ->
+          if List.mem id q then begin
+            queues.(p) <- List.filter (fun x -> x <> id) q;
+            if queues.(p) = [] then set_requesting p false
+          end)
+        queues;
+      true
+    | Some _ | None -> false
+  in
+  (* Returns true when the event changed engine state (used for the
+     measured horizon: trailing no-op deadline checks and wakeups do not
+     extend it). *)
+  let process now = function
+    | Ev_arrive { id; proc; service; deadline } ->
+      incr arrivals;
+      Hashtbl.replace tasks id { arrival = now; service; queued = true };
+      queues.(proc) <- queues.(proc) @ [ id ];
+      if transmitting.(proc) = None then set_requesting proc true;
+      (match deadline with Some d when d > now -> push d (Ev_deadline id) | _ -> ());
+      if config.batch_threshold > 1 then push (now + config.max_defer) Ev_wake;
+      true
+    | Ev_cancel id ->
+      let dropped = drop_task id in
+      if dropped then incr cancelled;
+      dropped
+    | Ev_deadline id ->
+      let dropped = drop_task id in
+      if dropped then incr expired;
+      dropped
+    | Ev_release li ->
+      let l = Hashtbl.find lives li in
+      Hashtbl.remove lives li;
+      Network.release net l.net_id;
+      (match l.inc with
+      | Some c -> Incremental.release (Option.get inc) c
+      | None -> ());
+      transmitting.(l.lproc) <- None;
+      if queues.(l.lproc) <> [] then set_requesting l.lproc true;
+      true
+    | Ev_complete r ->
+      incr completed;
+      set_free r true;
+      true
+    | Ev_wake -> false
+  in
+  let commit now p r links inc_circuit =
+    let net_id = Network.establish net links in
+    let li = !next_live in
+    incr next_live;
+    Hashtbl.replace lives li { net_id; lproc = p; lres = r; inc = inc_circuit };
+    (match queues.(p) with
+    | id :: rest ->
+      queues.(p) <- rest;
+      let task = Hashtbl.find tasks id in
+      task.queued <- false;
+      let w = now - task.arrival in
+      Stats.observe waits (float_of_int w);
+      if w > !max_wait then max_wait := w;
+      transmitting.(p) <- Some id;
+      (* Set directly, not via set_requesting/set_free: in Warm mode the
+         endpoint arcs are frozen with unit flow, not switched off. *)
+      requesting.(p) <- false;
+      free_res.(r) <- false;
+      push (now + config.transmission_time) (Ev_release li);
+      push (now + config.transmission_time + task.service) (Ev_complete r);
+      busy_slots := !busy_slots + config.transmission_time + task.service;
+      incr allocated
+    | [] -> assert false)
+  in
+  let try_cycle now =
+    let pending = List.filter (fun p -> requesting.(p)) (List.init np Fun.id) in
+    let free = List.filter (fun r -> free_res.(r)) (List.init nr Fun.id) in
+    let n_pending = List.length pending and n_free = List.length free in
+    if pending = [] || free = [] then ()
+    else begin
+      let oldest_age =
+        List.fold_left
+          (fun acc p ->
+            match queues.(p) with
+            | id :: _ -> max acc (now - (Hashtbl.find tasks id).arrival)
+            | [] -> acc)
+          0 pending
+      in
+      if
+        (n_pending >= config.batch_threshold
+        && n_free >= min config.batch_threshold n_pending)
+        || oldest_age >= config.max_defer
+      then begin
+        incr cycles;
+        let committed, work, skipped =
+          match (mode, inc) with
+          | Rebuild, Some _ | Warm, None -> assert false
+          | Warm, Some i ->
+            let r = Incremental.solve ?obs i in
+            ( List.map (fun (c : Incremental.circuit) ->
+                  (c.proc, c.res, c.links, Some c))
+                r.Incremental.circuits,
+              r.Incremental.work, r.Incremental.skipped )
+          | Rebuild, None ->
+            let tr = Transform1.build net ~requests:pending ~free in
+            let o = Transform1.solve ?obs tr in
+            let _nodes, arcs = Transform1.size tr in
+            let work = Network.n_links net + arcs + o.Transform1.arcs_scanned in
+            let committed =
+              List.map2
+                (fun (p, r) (_p, links) -> (p, r, links, None))
+                o.Transform1.mapping o.Transform1.circuits
+            in
+            (committed, work, false)
+        in
+        solver_work := !solver_work + work;
+        if skipped then incr skipped_cycles;
+        let n_committed = List.length committed in
+        (match cycle_hook with
+        | Some hook ->
+          hook net
+            { time = now; requests = pending; free; allocated = n_committed;
+              work; skipped }
+        | None -> ());
+        if tracing then
+          Obs.instant obs "engine.cycle" ~ts:now
+            ~args:
+              [ ("pending", Tr.Int n_pending); ("free", Tr.Int n_free);
+                ("allocated", Tr.Int n_committed); ("work", Tr.Int work);
+                ("skipped", Tr.Bool skipped) ];
+        List.iter (fun (p, r, links, c) -> commit now p r links c) committed
+      end
+    end
+  in
+  while not (Heap.is_empty heap) do
+    let (now, _), _ = Option.get (Heap.peek_min heap) in
+    let batch = ref [] in
+    let continue = ref true in
+    while !continue do
+      match Heap.peek_min heap with
+      | Some ((t, _), _) when t = now ->
+        let _, ev = Option.get (Heap.pop_min heap) in
+        batch := ev :: !batch
+      | Some _ | None -> continue := false
+    done;
+    let batch = List.rev !batch in
+    let substantive =
+      List.fold_left (fun acc ev -> process now ev || acc) false batch
+    in
+    if substantive && now > !horizon then horizon := now;
+    try_cycle now
+  done;
+  let left_pending = Array.fold_left (fun acc q -> acc + List.length q) 0 queues in
+  Obs.count obs "engine.arrivals" !arrivals;
+  Obs.count obs "engine.allocated" !allocated;
+  Obs.count obs "engine.completed" !completed;
+  Obs.count obs "engine.cancelled" !cancelled;
+  Obs.count obs "engine.expired" !expired;
+  Obs.count obs "engine.cycles" !cycles;
+  Obs.count obs "engine.cycles_skipped" !skipped_cycles;
+  Obs.count obs "engine.solver_work" !solver_work;
+  let h = float_of_int (max 1 !horizon) in
+  { mode;
+    horizon = !horizon;
+    arrivals = !arrivals;
+    allocated = !allocated;
+    completed = !completed;
+    cancelled = !cancelled;
+    expired = !expired;
+    left_pending;
+    mean_wait = (if Stats.count waits = 0 then nan else Stats.mean waits);
+    max_wait = !max_wait;
+    throughput = float_of_int !completed /. h;
+    utilization = float_of_int !busy_slots /. (float_of_int nr *. h);
+    cycles = !cycles;
+    skipped_cycles = !skipped_cycles;
+    solver_work = !solver_work }

@@ -1,0 +1,74 @@
+(** Persistent, warm-started Transformation-1 state for the online
+    engine.
+
+    The graph covers the {e whole} topology and is built once; request
+    arrivals, resource state changes and circuit releases are O(1)
+    capacity updates, and a scheduling cycle is one
+    {!Rsin_flow.Dinic.augment} call over the residual graph. Circuits
+    committed in earlier cycles stay in the graph as {e frozen} feasible
+    flow ({!Rsin_flow.Graph.freeze}), so each cycle only pays for the
+    incremental augmentation — and a cycle in which no capacity was
+    added since the last solve is skipped outright, because a maximum
+    flow of an unchanged residual graph is still maximum.
+
+    The residual graph visible to the solver is isomorphic to the
+    from-scratch Transformation-1 network of the same snapshot, so
+    warm-started cycles allocate exactly as many requests as
+    {!Rsin_core.Transform1.schedule} would (the differential test in
+    [test/test_engine.ml] asserts this cycle by cycle). *)
+
+type t
+
+type circuit = {
+  proc : int;
+  res : int;
+  links : int list;          (** network links of the committed circuit *)
+  arcs : Rsin_flow.Graph.arc list;
+      (** the frozen graph arcs (s→p, links…, r→t); pass back to
+          {!release} unchanged *)
+}
+
+type solve_result = {
+  circuits : circuit list;  (** newly committed, already frozen *)
+  work : int;               (** capacity updates since last solve + arcs scanned *)
+  skipped : bool;           (** clean residual graph, solver not invoked *)
+}
+
+val create : Rsin_topology.Network.t -> t
+(** Builds the full-topology flow graph from the network's current link
+    state (occupied links start with capacity 0). All request and
+    resource arcs start switched off. The network is not retained. *)
+
+val set_requesting : t -> int -> bool -> unit
+(** Switch processor [p]'s source arc on/off (capacity 1/0). Must not be
+    called while a committed circuit holds the arc. Turning an arc on
+    marks the state dirty; turning one off never does (removing unused
+    capacity cannot create an augmenting path). *)
+
+val set_resource_free : t -> int -> bool -> unit
+(** Same for resource [r]'s sink arc. *)
+
+val requesting : t -> int -> bool
+val resource_free : t -> int -> bool
+
+val solve : ?obs:Rsin_obs.Obs.t -> t -> solve_result
+(** One scheduling cycle: augments from the current residual graph and
+    returns the newly allocatable circuits, frozen into the graph. When
+    nothing was enabled since the last solve, returns immediately with
+    [skipped = true] and no solver work. *)
+
+val release : t -> circuit -> unit
+(** Releases a committed circuit: thaws and clears its flow, restores
+    its link capacities, and switches its endpoint arcs off (the engine
+    re-enables them when the processor still has queued tasks or the
+    resource finishes service). Marks the state dirty — freed links may
+    unblock requests proved unroutable earlier. *)
+
+val dirty : t -> bool
+val total_work : t -> int
+(** Cumulative solver work: capacity updates + residual arcs scanned. *)
+
+val graph : t -> Rsin_flow.Graph.t
+
+val check : t -> (unit, string) result
+(** Flow-conservation check of the persistent graph (tests). *)

@@ -73,7 +73,7 @@ let blocking_flow g l ~source ~sink =
 module Obs = Rsin_obs.Obs
 module Tr = Rsin_obs.Trace
 
-let max_flow ?obs g ~source ~sink =
+let augment ?obs g ~source ~sink =
   let phases = ref 0 and augs = ref 0 and scanned = ref 0 and total = ref 0 in
   let tracing = Obs.tracing obs in
   let rec loop () =
@@ -103,3 +103,5 @@ let max_flow ?obs g ~source ~sink =
   Obs.count obs "flow.dinic.augmentations" stats.augmentations;
   Obs.count obs "flow.dinic.arcs_scanned" stats.arcs_scanned;
   (!total, stats)
+
+let max_flow = augment

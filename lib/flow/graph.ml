@@ -104,6 +104,26 @@ let set_flow g a f =
   Vec.set g.cap a (c - f);
   Vec.set g.cap (residual a) f
 
+let set_capacity g a c =
+  check_arc g a;
+  if not (is_forward a) then invalid_arg "Graph.set_capacity: residual arc";
+  if c < 0 then invalid_arg "Graph.set_capacity: negative capacity";
+  let f = flow g a in
+  if f > c then invalid_arg "Graph.set_capacity: below current flow";
+  Vec.set g.orig (a / 2) c;
+  Vec.set g.cap a (c - f)
+
+let freeze g a =
+  check_arc g a;
+  if not (is_forward a) then invalid_arg "Graph.freeze: residual arc";
+  if Vec.get g.cap a <> 0 then invalid_arg "Graph.freeze: arc not saturated";
+  Vec.set g.cap (residual a) 0
+
+let thaw g a =
+  check_arc g a;
+  if not (is_forward a) then invalid_arg "Graph.thaw: residual arc";
+  Vec.set g.cap (residual a) (flow g a)
+
 let reset_flows g =
   for i = 0 to arc_count g - 1 do
     let a = 2 * i in

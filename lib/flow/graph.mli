@@ -74,6 +74,27 @@ val set_flow : t -> arc -> int -> unit
 val reset_flows : t -> unit
 (** Zeroes every flow, restoring all residual capacities. *)
 
+val set_capacity : t -> arc -> int -> unit
+(** [set_capacity g a c] changes the capacity of forward arc [a] to [c],
+    preserving its current flow. Raises [Invalid_argument] if [c] is
+    negative or below the current flow. This is what lets a long-running
+    scheduler keep one persistent graph and switch arcs on ([c = 1]) and
+    off ([c = 0]) as requests arrive and resources free up, instead of
+    rebuilding the graph every cycle. *)
+
+val freeze : t -> arc -> unit
+(** [freeze g a] locks the flow on saturated forward arc [a] by removing
+    the residual (undo) capacity of its partner. An augmenting path can
+    then neither use nor reroute the arc — exactly the status of a link
+    carried by an {e established} circuit, which a later scheduling cycle
+    must route around, not through. Raises [Invalid_argument] unless the
+    arc is saturated ([flow = capacity]). *)
+
+val thaw : t -> arc -> unit
+(** [thaw g a] restores the residual capacity of forward arc [a] to its
+    flow value, undoing {!freeze}. Typically followed by
+    [set_flow g a 0] when the circuit holding the arc is released. *)
+
 (** {1 Iteration} *)
 
 val iter_out : t -> node -> (arc -> unit) -> unit

@@ -64,6 +64,168 @@ let with_types rng ~types ids =
   if types < 1 then invalid_arg "Workload.with_types";
   List.map (fun id -> (id, Prng.int rng types)) ids
 
+(* --- recorded workload traces -------------------------------------------- *)
+
+type trace_event =
+  | Arrive of { t : int; id : int; proc : int; service : int; deadline : int option }
+  | Cancel of { t : int; id : int }
+
+let event_time = function Arrive { t; _ } | Cancel { t; _ } -> t
+let event_id = function Arrive { id; _ } | Cancel { id; _ } -> id
+
+let sort_trace trace =
+  (* Stable on time so same-slot events keep their recorded order. *)
+  List.stable_sort (fun a b -> compare (event_time a) (event_time b)) trace
+
+let synthesize ?(mean_service = 4.0) ?deadline_slack ?(cancel_prob = 0.0) rng net
+    ~slots ~arrival_prob =
+  if arrival_prob < 0. || arrival_prob > 1. then
+    invalid_arg "Workload.synthesize: arrival_prob";
+  if mean_service < 1. then invalid_arg "Workload.synthesize: mean_service";
+  if cancel_prob < 0. || cancel_prob > 1. then
+    invalid_arg "Workload.synthesize: cancel_prob";
+  (match deadline_slack with
+  | Some s when s < 1 -> invalid_arg "Workload.synthesize: deadline_slack"
+  | _ -> ());
+  (* Independent sub-streams: adding draws to one process (e.g. sampling
+     more service times) never perturbs the arrival pattern. *)
+  let streams = Prng.split_n rng 4 in
+  let arr = streams.(0) and svc = streams.(1) and ddl = streams.(2) in
+  let cnl = streams.(3) in
+  let np = Network.n_procs net in
+  let next_id = ref 0 in
+  let events = ref [] in
+  for t = 0 to slots - 1 do
+    for p = 0 to np - 1 do
+      if Prng.bernoulli arr arrival_prob then begin
+        let id = !next_id in
+        incr next_id;
+        let service = 1 + Prng.geometric svc (1. /. mean_service) in
+        let deadline =
+          match deadline_slack with
+          | None -> None
+          | Some slack -> Some (t + 1 + Prng.int ddl slack)
+        in
+        events := Arrive { t; id; proc = p; service; deadline } :: !events;
+        if cancel_prob > 0. && Prng.bernoulli cnl cancel_prob then
+          events :=
+            Cancel { t = t + 1 + Prng.geometric cnl (1. /. mean_service); id }
+            :: !events
+      end
+    done
+  done;
+  sort_trace (List.rev !events)
+
+let trace_to_jsonl trace =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun ev ->
+      (match ev with
+      | Arrive { t; id; proc; service; deadline } ->
+        Buffer.add_string buf
+          (Printf.sprintf "{\"t\":%d,\"ev\":\"arrive\",\"id\":%d,\"proc\":%d,\"service\":%d"
+             t id proc service);
+        (match deadline with
+        | Some d -> Buffer.add_string buf (Printf.sprintf ",\"deadline\":%d" d)
+        | None -> ());
+        Buffer.add_char buf '}'
+      | Cancel { t; id } ->
+        Buffer.add_string buf
+          (Printf.sprintf "{\"t\":%d,\"ev\":\"cancel\",\"id\":%d" t id);
+        Buffer.add_char buf '}');
+      Buffer.add_char buf '\n')
+    trace;
+  Buffer.contents buf
+
+(* Minimal parser for the flat one-object-per-line format above: no
+   nesting, values are ints or quoted strings without escapes. *)
+let parse_fields line lineno =
+  let fail msg =
+    failwith (Printf.sprintf "Workload.trace_of_jsonl: line %d: %s" lineno msg)
+  in
+  let line = String.trim line in
+  let n = String.length line in
+  if n < 2 || line.[0] <> '{' || line.[n - 1] <> '}' then
+    fail "expected a {...} object";
+  let body = String.sub line 1 (n - 2) in
+  if String.trim body = "" then []
+  else
+    String.split_on_char ',' body
+    |> List.map (fun field ->
+           match String.index_opt field ':' with
+           | None -> fail "expected \"key\":value"
+           | Some i ->
+             let key = String.trim (String.sub field 0 i) in
+             let value =
+               String.trim (String.sub field (i + 1) (String.length field - i - 1))
+             in
+             let unquote s =
+               let l = String.length s in
+               if l >= 2 && s.[0] = '"' && s.[l - 1] = '"' then
+                 String.sub s 1 (l - 2)
+               else s
+             in
+             (unquote key, unquote value))
+
+let trace_of_jsonl text =
+  let lines = String.split_on_char '\n' text in
+  let events =
+    List.concat
+      (List.mapi
+         (fun i line ->
+           let lineno = i + 1 in
+           if String.trim line = "" then []
+           else begin
+             let fields = parse_fields line lineno in
+             let fail msg =
+               failwith
+                 (Printf.sprintf "Workload.trace_of_jsonl: line %d: %s" lineno msg)
+             in
+             let int_field k =
+               match List.assoc_opt k fields with
+               | None -> fail (Printf.sprintf "missing field %S" k)
+               | Some v ->
+                 (match int_of_string_opt v with
+                 | Some n -> n
+                 | None -> fail (Printf.sprintf "field %S is not an integer" k))
+             in
+             match List.assoc_opt "ev" fields with
+             | Some "arrive" ->
+               let service = int_field "service" in
+               if service < 1 then fail "field \"service\" must be >= 1";
+               let proc = int_field "proc" in
+               if proc < 0 then fail "field \"proc\" must be >= 0";
+               [ Arrive
+                   { t = int_field "t"; id = int_field "id"; proc; service;
+                     deadline =
+                       (match List.assoc_opt "deadline" fields with
+                       | None -> None
+                       | Some v ->
+                         (match int_of_string_opt v with
+                         | Some d -> Some d
+                         | None -> fail "field \"deadline\" is not an integer")) } ]
+             | Some "cancel" -> [ Cancel { t = int_field "t"; id = int_field "id" } ]
+             | Some other -> fail (Printf.sprintf "unknown event kind %S" other)
+             | None -> fail "missing field \"ev\""
+           end)
+         lines)
+  in
+  sort_trace events
+
+let write_trace file trace =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (trace_to_jsonl trace))
+
+let read_trace file =
+  let ic = open_in file in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      trace_of_jsonl (really_input_string ic len))
+
 let hetero_spec ?(levels = 1) rng ~types ~requests ~free =
   let prio () = if levels <= 1 then 0 else 1 + Prng.int rng levels in
   Rsin_core.Hetero.

@@ -42,6 +42,60 @@ val with_types :
   Rsin_util.Prng.t -> types:int -> int list -> (int * int) list
 (** Attaches a uniform random type in [\[0, types)] to each id. *)
 
+(** {1 Recorded workload traces}
+
+    A workload trace is the replayable input of the online allocation
+    engine ({!Rsin_engine.Engine}): task arrivals (with per-task service
+    time and optional deadline) and cancellations, in slot order. Traces
+    round-trip through a one-JSON-object-per-line format, so production
+    workloads can be recorded once and replayed deterministically across
+    engine versions ([rsin replay]). *)
+
+type trace_event =
+  | Arrive of { t : int; id : int; proc : int; service : int; deadline : int option }
+      (** Task [id] arrives at processor [proc] in slot [t]; the resource
+          serving it stays busy [service] slots after transmission. A task
+          still queued at slot [deadline] expires unserved. *)
+  | Cancel of { t : int; id : int }
+      (** Task [id] is withdrawn at slot [t] if still queued. *)
+
+val event_time : trace_event -> int
+val event_id : trace_event -> int
+
+val sort_trace : trace_event list -> trace_event list
+(** Stable sort by slot, preserving recorded order within a slot. *)
+
+val synthesize :
+  ?mean_service:float ->
+  ?deadline_slack:int ->
+  ?cancel_prob:float ->
+  Rsin_util.Prng.t ->
+  Rsin_topology.Network.t ->
+  slots:int ->
+  arrival_prob:float ->
+  trace_event list
+(** Bernoulli arrivals per processor per slot with geometric service
+    times (mean [mean_service], default 4). With [deadline_slack], each
+    task gets a deadline uniform in [\[t+1, t+slack\]]; with
+    [cancel_prob], that fraction of tasks is cancelled after a geometric
+    delay. The four processes draw from {e independent} sub-streams
+    ({!Rsin_util.Prng.split_n}), so e.g. enabling cancellations does not
+    change the arrival pattern. *)
+
+val trace_to_jsonl : trace_event list -> string
+(** One JSON object per line, e.g.
+    [{"t":3,"ev":"arrive","id":0,"proc":5,"service":4,"deadline":9}]. *)
+
+val trace_of_jsonl : string -> trace_event list
+(** Inverse of {!trace_to_jsonl}; result is time-sorted. Raises
+    [Failure] with the offending line number on malformed input. *)
+
+val write_trace : string -> trace_event list -> unit
+(** Writes the JSONL form to a file. *)
+
+val read_trace : string -> trace_event list
+(** Reads a JSONL trace file. Raises [Sys_error] or [Failure]. *)
+
 val hetero_spec :
   ?levels:int ->
   Rsin_util.Prng.t ->

@@ -23,6 +23,10 @@ let split g =
   let s = bits64 g in
   { state = mix64 s }
 
+let split_n g k =
+  if k < 0 then invalid_arg "Prng.split_n: negative count";
+  Array.init k (fun _ -> split g)
+
 (* Uniform int in [0, n) by rejection on the top bits, avoiding modulo
    bias. n is bounded by OCaml's 63-bit int so 62 random bits suffice. *)
 let int g n =

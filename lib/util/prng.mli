@@ -20,6 +20,13 @@ val split : t -> t
 (** [split g] advances [g] and returns a new generator whose stream is
     statistically independent of the remainder of [g]'s stream. *)
 
+val split_n : t -> int -> t array
+(** [split_n g k] derives [k] independent sub-streams by repeated
+    {!split}, in order. Used where one seed must drive several
+    independently reproducible processes (e.g. the online engine's
+    arrival, service and deadline streams): adding draws to one stream
+    never perturbs the others. *)
+
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 

@@ -11,6 +11,7 @@ let () =
       ("core", Test_core.suite);
       ("distributed", Test_distributed.suite);
       ("sim", Test_sim.suite);
+      ("engine", Test_engine.suite);
       ("hardware", Test_hardware.suite);
       ("gates", Test_gates.suite);
       ("switchbox", Test_switchbox.suite);

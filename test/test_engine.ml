@@ -1,0 +1,280 @@
+(* Tests for the online allocation engine: the persistent incremental
+   flow graph, the event loop, and the warm-start differential guarantee
+   (every warm cycle allocates exactly as many requests as from-scratch
+   scheduling of the same snapshot). *)
+
+module Network = Rsin_topology.Network
+module Builders = Rsin_topology.Builders
+module Scheduler = Rsin_core.Scheduler
+module Transform1 = Rsin_core.Transform1
+module Workload = Rsin_sim.Workload
+module Incremental = Rsin_engine.Incremental
+module Engine = Rsin_engine.Engine
+module Prng = Rsin_util.Prng
+
+let check = Alcotest.check
+
+let topologies () =
+  [ Builders.omega 8; Builders.butterfly 8; Builders.benes 8 ]
+
+(* --- Incremental vs from-scratch Transformation 1 ------------------------- *)
+
+(* One solve of a fresh incremental graph must allocate exactly what the
+   from-scratch solver allocates, and its circuits must establish
+   link-disjointly on the real network. *)
+let test_incremental_static () =
+  List.iter
+    (fun net ->
+      List.iter
+        (fun seed ->
+          let rng = Prng.create seed in
+          let requests, free = Workload.snapshot rng net in
+          let inc = Incremental.create net in
+          List.iter (fun p -> Incremental.set_requesting inc p true) requests;
+          List.iter (fun r -> Incremental.set_resource_free inc r true) free;
+          let r = Incremental.solve inc in
+          let reference = Transform1.schedule net ~requests ~free in
+          check Alcotest.int
+            (Printf.sprintf "%s seed %d allocation" (Network.name net) seed)
+            reference.Transform1.allocated
+            (List.length r.Incremental.circuits);
+          check Alcotest.bool "not skipped" false r.Incremental.skipped;
+          check
+            Alcotest.(result unit string)
+            "conservation" (Ok ()) (Incremental.check inc);
+          (* Establishing on a scratch copy proves the circuits are valid
+             proc->res paths over pairwise disjoint free links. *)
+          let scratch = Network.copy net in
+          List.iter
+            (fun (c : Incremental.circuit) ->
+              check Alcotest.bool "starts at proc" true
+                (List.mem (Network.proc_link scratch c.proc) c.links);
+              check Alcotest.bool "ends at res" true
+                (List.mem (Network.res_link scratch c.res) c.links);
+              ignore (Network.establish scratch c.links))
+            r.Incremental.circuits)
+        [ 1; 2; 3; 4; 5 ])
+    (topologies ())
+
+(* Release must return the graph to a state equivalent to from-scratch:
+   release every committed circuit, re-enable the endpoints, solve again
+   and compare with a fresh solver on the unoccupied network. *)
+let test_incremental_release_resolve () =
+  let net = Builders.omega 8 in
+  let requests, free = Workload.snapshot (Prng.create 42) net in
+  let inc = Incremental.create net in
+  List.iter (fun p -> Incremental.set_requesting inc p true) requests;
+  List.iter (fun r -> Incremental.set_resource_free inc r true) free;
+  let first = Incremental.solve inc in
+  check Alcotest.bool "something allocated" true (first.Incremental.circuits <> []);
+  List.iter (Incremental.release inc) first.Incremental.circuits;
+  check Alcotest.(result unit string) "conserved after release" (Ok ())
+    (Incremental.check inc);
+  List.iter (fun p -> Incremental.set_requesting inc p true) requests;
+  List.iter (fun r -> Incremental.set_resource_free inc r true) free;
+  let second = Incremental.solve inc in
+  check Alcotest.int "same allocation after full release"
+    (List.length first.Incremental.circuits)
+    (List.length second.Incremental.circuits)
+
+let test_incremental_clean_skip () =
+  let net = Builders.omega 8 in
+  let inc = Incremental.create net in
+  Incremental.set_requesting inc 0 true;
+  List.iter (fun r -> Incremental.set_resource_free inc r true)
+    (List.init (Network.n_res net) Fun.id);
+  let first = Incremental.solve inc in
+  check Alcotest.int "allocated one" 1 (List.length first.Incremental.circuits);
+  (* Nothing enabled since: solver must answer without running. *)
+  let again = Incremental.solve inc in
+  check Alcotest.bool "skipped" true again.Incremental.skipped;
+  check Alcotest.int "no circuits" 0 (List.length again.Incremental.circuits);
+  check Alcotest.int "no work" 0 again.Incremental.work
+
+(* --- Differential: warm engine vs from-scratch scheduling ----------------- *)
+
+(* The acceptance test of the warm-start design: serve a randomized
+   workload (arrivals, releases, cancellations, deadlines) and at every
+   scheduling cycle compare the engine's allocation count against
+   Scheduler.schedule run from scratch on the very same pre-commit
+   network snapshot. Counts must be equal cycle by cycle — including
+   skipped cycles, which claim 0 without running the solver. *)
+let test_differential () =
+  let total_cycles = ref 0 in
+  List.iter
+    (fun net ->
+      List.iter
+        (fun seed ->
+          let trace =
+            Workload.synthesize ~deadline_slack:25 ~cancel_prob:0.1
+              (Prng.create seed) net ~slots:120 ~arrival_prob:0.3
+          in
+          let cycles_here = ref 0 in
+          let hook snapshot (info : Engine.cycle_info) =
+            incr total_cycles;
+            incr cycles_here;
+            let reference =
+              Scheduler.schedule snapshot
+                ~requests:(List.map Scheduler.request info.Engine.requests)
+                ~resources:(List.map Scheduler.resource info.Engine.free)
+            in
+            check Alcotest.int
+              (Printf.sprintf "%s seed %d cycle at t=%d" (Network.name net)
+                 seed info.Engine.time)
+              reference.Scheduler.allocated info.Engine.allocated
+          in
+          let report =
+            Engine.run ~mode:Engine.Warm ~cycle_hook:hook
+              ~config:
+                { Engine.transmission_time = 2; batch_threshold = 1;
+                  max_defer = 8 }
+              net trace
+          in
+          check Alcotest.bool
+            (Printf.sprintf "%s seed %d enough cycles" (Network.name net) seed)
+            true
+            (!cycles_here >= 30);
+          check Alcotest.int "cycle count matches report" !cycles_here
+            report.Engine.cycles)
+        [ 10; 11 ])
+    (topologies ());
+  check Alcotest.bool "at least 100 differential cycles overall" true
+    (!total_cycles >= 100)
+
+(* --- Engine accounting ----------------------------------------------------- *)
+
+let run_both ?config net trace =
+  ( Engine.run ?config ~mode:Engine.Warm net trace,
+    Engine.run ?config ~mode:Engine.Rebuild net trace )
+
+let test_task_conservation () =
+  let net = Builders.omega 16 in
+  let trace =
+    Workload.synthesize ~deadline_slack:20 ~cancel_prob:0.15 (Prng.create 3)
+      net ~slots:200 ~arrival_prob:0.25
+  in
+  let warm, rebuild = run_both net trace in
+  List.iter
+    (fun (r : Engine.report) ->
+      let name = Engine.mode_name r.Engine.mode in
+      check Alcotest.int
+        (name ^ ": every arrival allocated, dropped or still queued")
+        r.Engine.arrivals
+        (r.Engine.allocated + r.Engine.cancelled + r.Engine.expired
+        + r.Engine.left_pending);
+      check Alcotest.bool (name ^ ": some tasks dropped") true
+        (r.Engine.cancelled > 0 && r.Engine.expired > 0);
+      check Alcotest.int (name ^ ": every circuit completes service")
+        r.Engine.allocated r.Engine.completed)
+    [ warm; rebuild ];
+  check Alcotest.bool "warm does less solver work than rebuild" true
+    (warm.Engine.solver_work < rebuild.Engine.solver_work)
+
+let test_determinism () =
+  let net = Builders.benes 8 in
+  let trace =
+    Workload.synthesize ~cancel_prob:0.1 (Prng.create 9) net ~slots:80
+      ~arrival_prob:0.4
+  in
+  let a = Engine.run ~mode:Engine.Warm net trace in
+  let b = Engine.run ~mode:Engine.Warm net trace in
+  check Alcotest.bool "equal reports" true (a = b)
+
+(* A clean cycle must be answered without solver work. A Clos network
+   with a single middle switch blocks deterministically: both processors
+   of an input switch share one link to the middle stage, so p0's
+   circuit cuts p1 off from every resource. The t=1 arrival at p1 is a
+   real solve that proves the blockage; the t=2 arrival at the
+   already-requesting p1 enables no capacity, so that cycle must be
+   answered from the dirty flag alone — and once p0's circuit releases,
+   p1's queue drains normally. *)
+let test_skipped_cycle () =
+  let net = Builders.clos ~m:1 ~n:2 ~r:2 in
+  let arrive t id proc =
+    Workload.Arrive { t; id; proc; service = 1; deadline = None }
+  in
+  let trace = [ arrive 0 0 0; arrive 1 1 1; arrive 2 2 1 ] in
+  let config =
+    { Engine.transmission_time = 10; batch_threshold = 1; max_defer = 100 }
+  in
+  let skipped_at = ref [] in
+  let hook _net (info : Engine.cycle_info) =
+    if info.Engine.skipped then begin
+      skipped_at := info.Engine.time :: !skipped_at;
+      check Alcotest.int "skipped cycle costs no solver work" 0
+        info.Engine.work;
+      check Alcotest.int "skipped cycle allocates nothing" 0
+        info.Engine.allocated
+    end
+  in
+  let report = Engine.run ~config ~cycle_hook:hook net trace in
+  check Alcotest.(list int) "exactly the t=2 cycle is skipped" [ 2 ]
+    !skipped_at;
+  check Alcotest.int "skipped count in report" 1 report.Engine.skipped_cycles;
+  check Alcotest.int "all tasks eventually served" 3 report.Engine.allocated;
+  check Alcotest.int "nothing left queued" 0 report.Engine.left_pending
+
+let test_batching_defers () =
+  let net = Builders.omega 8 in
+  let trace =
+    [ Workload.Arrive { t = 0; id = 0; proc = 0; service = 2; deadline = None };
+      Workload.Arrive { t = 3; id = 1; proc = 1; service = 2; deadline = None } ]
+  in
+  let config =
+    { Engine.transmission_time = 1; batch_threshold = 2; max_defer = 10 }
+  in
+  let times = ref [] in
+  let hook _net (info : Engine.cycle_info) =
+    times := info.Engine.time :: !times
+  in
+  let report = Engine.run ~config ~cycle_hook:hook net trace in
+  (* The lone request at t=0 is held back until the second arrival
+     meets the batch threshold at t=3. *)
+  check Alcotest.(list int) "one batched cycle" [ 3 ] (List.rev !times);
+  check Alcotest.int "both allocated" 2 report.Engine.allocated;
+  check Alcotest.int "max wait is the deferral" 3 report.Engine.max_wait;
+  (* With max_defer below the second arrival the first request is
+     forced through alone. *)
+  let times' = ref [] in
+  let hook' _net (info : Engine.cycle_info) =
+    times' := info.Engine.time :: !times'
+  in
+  let report' =
+    Engine.run
+      ~config:{ config with max_defer = 2 }
+      ~cycle_hook:hook' net trace
+  in
+  check Alcotest.int "forced cycle fires early" 2 (List.hd (List.rev !times'));
+  check Alcotest.int "still all allocated" 2 report'.Engine.allocated
+
+let test_rejects_bad_trace () =
+  let net = Builders.omega 8 in
+  Alcotest.check_raises "bad processor"
+    (Invalid_argument "Engine.run: bad processor in trace") (fun () ->
+      ignore
+        (Engine.run net
+           [ Workload.Arrive
+               { t = 0; id = 0; proc = 99; service = 1; deadline = None } ]));
+  Alcotest.check_raises "bad service"
+    (Invalid_argument "Engine.run: bad service time in trace") (fun () ->
+      ignore
+        (Engine.run net
+           [ Workload.Arrive
+               { t = 0; id = 0; proc = 0; service = 0; deadline = None } ]))
+
+let suite =
+  [
+    Alcotest.test_case "incremental matches transform1" `Quick
+      test_incremental_static;
+    Alcotest.test_case "incremental release+resolve" `Quick
+      test_incremental_release_resolve;
+    Alcotest.test_case "incremental clean skip" `Quick
+      test_incremental_clean_skip;
+    Alcotest.test_case "warm differential vs from-scratch" `Slow
+      test_differential;
+    Alcotest.test_case "task conservation" `Quick test_task_conservation;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "skipped clean cycle" `Quick test_skipped_cycle;
+    Alcotest.test_case "batched admission" `Quick test_batching_defers;
+    Alcotest.test_case "rejects bad trace" `Quick test_rejects_bad_trace;
+  ]

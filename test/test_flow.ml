@@ -64,6 +64,76 @@ let test_graph_copy_independent () =
   Graph.push g e 4;
   check Alcotest.int "copy unchanged" 0 (Graph.flow h e)
 
+let test_graph_set_capacity () =
+  let g = Graph.create () in
+  let a = Graph.add_node g and b = Graph.add_node g in
+  let e = Graph.add_arc g ~src:a ~dst:b ~cap:2 in
+  Graph.push g e 1;
+  Graph.set_capacity g e 5;
+  check Alcotest.int "original raised" 5 (Graph.original_capacity g e);
+  check Alcotest.int "residual reflects flow" 4 (Graph.capacity g e);
+  check Alcotest.int "flow untouched" 1 (Graph.flow g e);
+  Graph.set_capacity g e 1;
+  check Alcotest.int "lowered to flow" 0 (Graph.capacity g e);
+  Alcotest.check_raises "below flow"
+    (Invalid_argument "Graph.set_capacity: below current flow") (fun () ->
+      Graph.set_capacity g e 0);
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Graph.set_capacity: negative capacity") (fun () ->
+      Graph.set_capacity g e (-1));
+  Alcotest.check_raises "residual arc"
+    (Invalid_argument "Graph.set_capacity: residual arc") (fun () ->
+      Graph.set_capacity g (Graph.residual e) 3)
+
+let test_graph_freeze_thaw () =
+  let g = Graph.create () in
+  let a = Graph.add_node g and b = Graph.add_node g in
+  let e = Graph.add_arc g ~src:a ~dst:b ~cap:1 in
+  Alcotest.check_raises "freeze unsaturated"
+    (Invalid_argument "Graph.freeze: arc not saturated") (fun () ->
+      Graph.freeze g e);
+  Graph.push g e 1;
+  Graph.freeze g e;
+  check Alcotest.int "no forward residual" 0 (Graph.capacity g e);
+  check Alcotest.int "no backward residual" 0
+    (Graph.capacity g (Graph.residual e));
+  check Alcotest.int "flow survives freeze" 1 (Graph.flow g e);
+  Graph.thaw g e;
+  check Alcotest.int "backward residual restored" 1
+    (Graph.capacity g (Graph.residual e));
+  check Alcotest.int "flow survives thaw" 1 (Graph.flow g e)
+
+(* Warm start: solve, freeze the allocation, open more capacity and
+   augment — the total must match a from-scratch solve of the final
+   graph, and the frozen flow must be untouched. *)
+let test_dinic_augment_warm () =
+  let build () =
+    let g = Graph.create () in
+    let s = Graph.add_node g and m = Graph.add_node g and t = Graph.add_node g in
+    let sm = Graph.add_arc g ~src:s ~dst:m ~cap:1 in
+    let mt = Graph.add_arc g ~src:m ~dst:t ~cap:1 in
+    let sm2 = Graph.add_arc g ~src:s ~dst:m ~cap:0 in
+    let mt2 = Graph.add_arc g ~src:m ~dst:t ~cap:0 in
+    (g, s, t, sm, mt, sm2, mt2)
+  in
+  let g, s, t, sm, mt, sm2, mt2 = build () in
+  let v1, _ = Dinic.augment g ~source:s ~sink:t in
+  check Alcotest.int "first phase" 1 v1;
+  Graph.freeze g sm;
+  Graph.freeze g mt;
+  Graph.set_capacity g sm2 1;
+  Graph.set_capacity g mt2 1;
+  let v2, _ = Dinic.augment g ~source:s ~sink:t in
+  check Alcotest.int "incremental phase adds only the delta" 1 v2;
+  check Alcotest.int "frozen arc kept its flow" 1 (Graph.flow g sm);
+  check Alcotest.int "new flow on the opened arcs" 1 (Graph.flow g sm2);
+  (* From scratch on the same final capacities. *)
+  let g', s', t', _, _, sm2', mt2' = build () in
+  Graph.set_capacity g' sm2' 1;
+  Graph.set_capacity g' mt2' 1;
+  let total, _ = Dinic.max_flow g' ~source:s' ~sink:t' in
+  check Alcotest.int "warm total equals cold total" total (v1 + v2)
+
 (* --- Random graph generator for property tests --------------------------- *)
 
 (* Layered random DAG resembling transformed MRSINs plus extra random
@@ -460,6 +530,9 @@ let suite =
     Alcotest.test_case "graph invalid" `Quick test_graph_invalid;
     Alcotest.test_case "graph cost/outflow" `Quick test_graph_total_cost_and_outflow;
     Alcotest.test_case "graph copy" `Quick test_graph_copy_independent;
+    Alcotest.test_case "graph set_capacity" `Quick test_graph_set_capacity;
+    Alcotest.test_case "graph freeze/thaw" `Quick test_graph_freeze_thaw;
+    Alcotest.test_case "dinic warm augment" `Quick test_dinic_augment_warm;
     Alcotest.test_case "maxflow known" `Quick test_maxflow_known;
     Alcotest.test_case "maxflow disconnected" `Quick test_maxflow_disconnected;
     Alcotest.test_case "maxflow parallel arcs" `Quick test_maxflow_self_parallel;

@@ -211,9 +211,97 @@ let test_dynamic_does_not_mutate () =
   check Alcotest.int "original circuits intact" live
     (List.length (Network.circuits net))
 
+(* --- Workload traces ------------------------------------------------------- *)
+
+let test_trace_synthesize () =
+  let net = Builders.omega 8 in
+  let trace =
+    Workload.synthesize ~deadline_slack:30 ~cancel_prob:0.2 (Prng.create 5) net
+      ~slots:100 ~arrival_prob:0.3
+  in
+  check Alcotest.bool "nonempty" true (trace <> []);
+  let sorted = Workload.sort_trace trace in
+  check Alcotest.bool "already time-sorted" true (trace = sorted);
+  let arrivals, cancels =
+    List.partition (function Workload.Arrive _ -> true | _ -> false) trace
+  in
+  check Alcotest.bool "some cancellations" true (cancels <> []);
+  List.iter
+    (function
+      | Workload.Arrive { t; id = _; proc; service; deadline } ->
+        check Alcotest.bool "proc in range" true
+          (proc >= 0 && proc < Network.n_procs net);
+        check Alcotest.bool "service positive" true (service >= 1);
+        (match deadline with
+        | Some d -> check Alcotest.bool "deadline after arrival" true (d > t)
+        | None -> Alcotest.fail "slack given but no deadline")
+      | Workload.Cancel _ -> ())
+    arrivals;
+  (* Every cancellation refers to an arrived task, strictly later. *)
+  List.iter
+    (function
+      | Workload.Cancel { t; id } ->
+        let arrived =
+          List.exists
+            (function
+              | Workload.Arrive { t = ta; id = ia; _ } -> ia = id && ta < t
+              | _ -> false)
+            arrivals
+        in
+        check Alcotest.bool "cancel after its arrival" true arrived
+      | Workload.Arrive _ -> ())
+    cancels;
+  (* Independent sub-streams: turning cancellations on must not change
+     the arrival process drawn from the same seed. *)
+  let plain =
+    Workload.synthesize (Prng.create 5) net ~slots:100 ~arrival_prob:0.3
+  in
+  let arrival_keys tr =
+    List.filter_map
+      (function
+        | Workload.Arrive { t; id; proc; _ } -> Some (t, id, proc)
+        | Workload.Cancel _ -> None)
+      tr
+  in
+  check
+    Alcotest.(list (triple int int int))
+    "same arrivals with and without cancels" (arrival_keys plain)
+    (arrival_keys trace)
+
+let test_trace_jsonl_roundtrip () =
+  let net = Builders.omega 8 in
+  let trace =
+    Workload.synthesize ~deadline_slack:30 ~cancel_prob:0.2 (Prng.create 6) net
+      ~slots:60 ~arrival_prob:0.4
+  in
+  let back = Workload.trace_of_jsonl (Workload.trace_to_jsonl trace) in
+  check Alcotest.bool "round trip preserves the trace" true (trace = back);
+  (* File form too. *)
+  let file = Filename.temp_file "rsin_trace" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      Workload.write_trace file trace;
+      check Alcotest.bool "file round trip" true (Workload.read_trace file = trace))
+
+let test_trace_jsonl_rejects_garbage () =
+  List.iter
+    (fun bad ->
+      match Workload.trace_of_jsonl bad with
+      | _ -> Alcotest.fail ("accepted: " ^ bad)
+      | exception Failure _ -> ())
+    [ "not json";
+      "{\"t\":0,\"ev\":\"arrive\",\"id\":0}";
+      "{\"t\":0,\"ev\":\"nope\",\"id\":0}";
+      "{\"t\":0,\"ev\":\"arrive\",\"id\":0,\"proc\":1,\"service\":0}" ]
+
 let suite =
   [
     Alcotest.test_case "snapshot bounds" `Quick test_snapshot_bounds;
+    Alcotest.test_case "trace synthesize" `Quick test_trace_synthesize;
+    Alcotest.test_case "trace jsonl roundtrip" `Quick test_trace_jsonl_roundtrip;
+    Alcotest.test_case "trace jsonl rejects garbage" `Quick
+      test_trace_jsonl_rejects_garbage;
     Alcotest.test_case "snapshot density" `Quick test_snapshot_density;
     Alcotest.test_case "snapshot extremes" `Quick test_snapshot_extremes;
     Alcotest.test_case "preoccupy" `Quick test_preoccupy;

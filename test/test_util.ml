@@ -30,6 +30,51 @@ let test_prng_split_independence () =
   let ys = List.init 32 (fun _ -> Prng.bits64 h) in
   check Alcotest.bool "split streams differ" true (xs <> ys)
 
+let test_prng_split_deterministic () =
+  (* Splitting is part of the reproducibility contract: equal parents
+     must yield equal children, and the split must advance the parent
+     the same way every time. *)
+  let a = Prng.create 99 and b = Prng.create 99 in
+  let ca = Prng.split a and cb = Prng.split b in
+  for _ = 1 to 32 do
+    check Alcotest.int64 "children agree" (Prng.bits64 ca) (Prng.bits64 cb);
+    check Alcotest.int64 "parents agree after split" (Prng.bits64 a)
+      (Prng.bits64 b)
+  done
+
+let test_prng_split_n () =
+  let g = Prng.create 7 in
+  let subs = Prng.split_n g 4 in
+  check Alcotest.int "count" 4 (Array.length subs);
+  (* All sub-streams pairwise distinct, and distinct from the parent. *)
+  let streams =
+    Array.to_list (Array.map (fun s -> List.init 16 (fun _ -> Prng.bits64 s)) subs)
+    @ [ List.init 16 (fun _ -> Prng.bits64 g) ]
+  in
+  List.iteri
+    (fun i xs ->
+      List.iteri
+        (fun j ys ->
+          if i < j then
+            check Alcotest.bool
+              (Printf.sprintf "streams %d,%d differ" i j)
+              true (xs <> ys))
+        streams)
+    streams;
+  (* Consuming one sub-stream must not perturb another: derived streams
+     are independent state. *)
+  let h = Prng.create 7 in
+  let subs' = Prng.split_n h 4 in
+  ignore (Prng.bits64 subs'.(0));
+  check Alcotest.int64 "sibling unaffected"
+    (let g2 = Prng.create 7 in
+     Prng.bits64 (Prng.split_n g2 4).(3))
+    (Prng.bits64 subs'.(3));
+  check Alcotest.int "split_n 0 is empty" 0 (Array.length (Prng.split_n h 0));
+  Alcotest.check_raises "negative count"
+    (Invalid_argument "Prng.split_n: negative count") (fun () ->
+      ignore (Prng.split_n h (-1)))
+
 let test_prng_copy () =
   let g = Prng.create 5 in
   ignore (Prng.bits64 g);
@@ -379,6 +424,9 @@ let suite =
     Alcotest.test_case "prng determinism" `Quick test_prng_determinism;
     Alcotest.test_case "prng seed sensitivity" `Quick test_prng_seed_sensitivity;
     Alcotest.test_case "prng split" `Quick test_prng_split_independence;
+    Alcotest.test_case "prng split deterministic" `Quick
+      test_prng_split_deterministic;
+    Alcotest.test_case "prng split_n" `Quick test_prng_split_n;
     Alcotest.test_case "prng copy" `Quick test_prng_copy;
     prng_int_range;
     Alcotest.test_case "prng int coverage" `Quick test_prng_int_covers;
