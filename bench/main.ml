@@ -40,6 +40,7 @@ let experiments quick =
     ("placement", fun () -> Placement_bench.placement ~trials:(t 800) ());
     ("obs", fun () -> Obs_bench.run ~quick ());
     ("engine", fun () -> Engine_bench.run ~quick ());
+    ("engine_priority", fun () -> Engine_priority_bench.run ~quick ());
     ("micro", fun () -> Micro.run ());
   ]
 

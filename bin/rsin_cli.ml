@@ -431,6 +431,24 @@ let replay_cmd =
                 graph), $(b,rebuild) (from-scratch max-flow each cycle) or \
                 $(b,both) (run each and compare solver work).")
   in
+  let discipline_arg =
+    let disc_conv = Arg.enum [ ("uniform", `Uniform); ("priority", `Priority) ] in
+    Arg.(
+      value & opt disc_conv `Uniform
+      & info [ "discipline" ] ~docv:"DISC"
+          ~doc:"Serving discipline: $(b,uniform) (Transformation 1: any \
+                maximum allocation per cycle) or $(b,priority) \
+                (Transformation 2: maximum allocation, then maximum total \
+                priority of the queue heads served; priorities come from \
+                the trace).")
+  in
+  let levels_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "priority-levels" ] ~docv:"K"
+          ~doc:"Synthetic trace: draw each task's priority uniformly from \
+                [1, K] (0, the default, leaves all priorities 0).")
+  in
   let slots_arg =
     Arg.(value & opt int 200 & info [ "slots" ] ~doc:"Synthetic trace: arrival slots.")
   in
@@ -474,9 +492,13 @@ let replay_cmd =
       value & opt int 1
       & info [ "transmission" ] ~doc:"Slots a circuit stays established.")
   in
-  let run net trace_file export mode slots arrival service cancel slack
-      threshold defer trans seed trace_out tformat =
+  let run net trace_file export mode discipline levels slots arrival service
+      cancel slack threshold defer trans seed trace_out tformat =
     let module Engine = Rsin_engine.Engine in
+    if levels < 0 then begin
+      Printf.eprintf "rsin: --priority-levels must be >= 0\n";
+      exit 1
+    end;
     let trace =
       match trace_file with
       | Some file ->
@@ -486,7 +508,13 @@ let replay_cmd =
            exit 1)
       | None ->
         Workload.synthesize ~mean_service:service ?deadline_slack:slack
-          ~cancel_prob:cancel (Prng.create seed) net ~slots ~arrival_prob:arrival
+          ~cancel_prob:cancel ~priority_levels:levels (Prng.create seed) net
+          ~slots ~arrival_prob:arrival
+    in
+    let discipline =
+      match discipline with
+      | `Uniform -> Engine.Uniform
+      | `Priority -> Engine.Priority
     in
     (match export with
     | Some file ->
@@ -501,14 +529,17 @@ let replay_cmd =
         max_defer = defer }
     in
     with_obs trace_out tformat @@ fun obs ->
+    let go m = Engine.run ?obs ~config ~mode:m ~discipline net trace in
     let reports =
       match mode with
-      | `Warm -> [ Engine.run ?obs ~config ~mode:Engine.Warm net trace ]
-      | `Rebuild -> [ Engine.run ?obs ~config ~mode:Engine.Rebuild net trace ]
-      | `Both ->
-        [ Engine.run ?obs ~config ~mode:Engine.Warm net trace;
-          Engine.run ?obs ~config ~mode:Engine.Rebuild net trace ]
+      | `Warm -> [ go Engine.Warm ]
+      | `Rebuild -> [ go Engine.Rebuild ]
+      | `Both -> [ go Engine.Warm; go Engine.Rebuild ]
     in
+    (* Uniform output is pinned by the PR-2 cram test; only the new
+       discipline announces itself. *)
+    if discipline <> Engine.Uniform then
+      Printf.printf "discipline: %s\n" (Engine.discipline_name discipline);
     let fcell f r = Table.ffix 3 (f r) in
     let icell f r = string_of_int (f r) in
     Table.print
@@ -542,9 +573,10 @@ let replay_cmd =
        ~doc:"Serve a recorded or synthetic workload trace through the online \
              allocation engine")
     Term.(
-      const run $ net_arg $ trace_arg $ export_arg $ mode_arg $ slots_arg
-      $ arrival_arg $ service_arg $ cancel_arg $ slack_arg $ threshold_arg
-      $ defer_arg $ trans_arg $ seed_arg $ trace_out_arg $ trace_format_arg)
+      const run $ net_arg $ trace_arg $ export_arg $ mode_arg $ discipline_arg
+      $ levels_arg $ slots_arg $ arrival_arg $ service_arg $ cancel_arg
+      $ slack_arg $ threshold_arg $ defer_arg $ trans_arg $ seed_arg
+      $ trace_out_arg $ trace_format_arg)
 
 (* --- metrics ------------------------------------------------------------------ *)
 

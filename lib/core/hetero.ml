@@ -68,35 +68,40 @@ type struct_view = {
   n_nodes : int;
 }
 
+(* The structural view is the cost-free, bypass-free Netgraph
+   compilation of the snapshot: the LP shares capacity over its link
+   arcs and writes one conservation row per node (rows for the flow
+   graph's source/sink are empty — no structural arc touches them — and
+   are skipped). *)
 let build_view net spec =
-  let nb = Network.n_boxes net in
+  let ng =
+    Netgraph.compile net
+      ~requests:(List.map (fun (p, _, _) -> (p, 0)) spec.requests)
+      ~free:(List.map (fun (r, _, _) -> (r, 0)) spec.free)
+  in
+  let g = Netgraph.graph ng in
   let proc_node = Hashtbl.create 16 and res_node = Hashtbl.create 16 in
   let node_of_res = Hashtbl.create 16 in
-  let next = ref nb in
   List.iter
-    (fun (p, _, _) -> Hashtbl.replace proc_node p !next; incr next)
+    (fun (p, _, _) ->
+      Option.iter (Hashtbl.replace proc_node p) (Netgraph.proc_node ng p))
     spec.requests;
   List.iter
     (fun (r, _, _) ->
-      Hashtbl.replace res_node r !next;
-      Hashtbl.replace node_of_res !next r;
-      incr next)
+      Option.iter
+        (fun v ->
+          Hashtbl.replace res_node r v;
+          Hashtbl.replace node_of_res v r)
+        (Netgraph.res_node ng r))
     spec.free;
-  let arcs = ref [] in
-  for l = 0 to Network.n_links net - 1 do
-    if Network.link_state net l = Network.Free then begin
-      let node_of = function
-        | Network.Proc p -> Hashtbl.find_opt proc_node p
-        | Network.Res r -> Hashtbl.find_opt res_node r
-        | Network.Box_in (b, _) | Network.Box_out (b, _) -> Some b
-      in
-      match (node_of (Network.link_src net l), node_of (Network.link_dst net l)) with
-      | Some u, Some v -> arcs := (u, v, l) :: !arcs
-      | _ -> ()
-    end
-  done;
-  { nb; proc_node; res_node; node_of_res;
-    arcs = Array.of_list (List.rev !arcs); n_nodes = !next }
+  let arcs =
+    Array.map
+      (fun (a, l) ->
+        (Rsin_flow.Graph.src g a, Rsin_flow.Graph.dst g a, l))
+      (Netgraph.link_arcs ng)
+  in
+  { nb = Network.n_boxes net; proc_node; res_node; node_of_res; arcs;
+    n_nodes = Rsin_flow.Graph.node_count g }
 
 (* --- LP scheduler ------------------------------------------------------- *)
 

@@ -1,18 +1,10 @@
 module Graph = Rsin_flow.Graph
 module Network = Rsin_topology.Network
 
-type t = {
-  net : Network.t;
-  graph : Graph.t;
-  source : Graph.node;
-  sink : Graph.node;
-  procs : int array;      (* graph node per processor, -1 if absent *)
-  ress : int array;       (* graph node per resource port, -1 if absent *)
-  boxes : int array;      (* graph node per box *)
-  link_of_arc : (int, int) Hashtbl.t;  (* forward arc -> network link *)
-  requested : int;
-  free_count : int;
-}
+(* Transformation 1 is the zero-cost parameterization of the shared
+   Netgraph compiler: no bypass node, every arc cost 0, max flow. *)
+
+type t = { ng : Netgraph.t; requested : int; free_count : int }
 
 type algorithm = Dinic | Edmonds_karp | Push_relabel
 
@@ -32,153 +24,67 @@ let build net ~requests ~free =
   let np = Network.n_procs net and nr = Network.n_res net in
   let requests = dedup_sorted requests and free = dedup_sorted free in
   List.iter
-    (fun p -> if p < 0 || p >= np then invalid_arg "Transform1.build: bad processor")
+    (fun p ->
+      if p < 0 || p >= np then invalid_arg "Transform1.build: bad processor")
     requests;
   List.iter
-    (fun r -> if r < 0 || r >= nr then invalid_arg "Transform1.build: bad resource")
+    (fun r ->
+      if r < 0 || r >= nr then invalid_arg "Transform1.build: bad resource")
     free;
-  let g = Graph.create () in
-  let source = Graph.add_node g and sink = Graph.add_node g in
-  let procs = Array.make np (-1) and ress = Array.make nr (-1) in
-  let boxes = Array.init (Network.n_boxes net) (fun _ -> Graph.add_node g) in
-  List.iter (fun p -> procs.(p) <- Graph.add_node g) requests;
-  List.iter (fun r -> ress.(r) <- Graph.add_node g) free;
-  let link_of_arc = Hashtbl.create 64 in
-  (* S and T arcs (step T2/T3): only for requesting processors and free
-     resources. *)
-  List.iter
-    (fun p -> ignore (Graph.add_arc g ~src:source ~dst:procs.(p) ~cap:1))
-    requests;
-  List.iter
-    (fun r -> ignore (Graph.add_arc g ~src:ress.(r) ~dst:sink ~cap:1))
-    free;
-  (* B arcs: one per free link whose endpoints survive in the graph. *)
-  for l = 0 to Network.n_links net - 1 do
-    if Network.link_state net l = Network.Free then begin
-      let node_of = function
-        | Network.Proc p -> if procs.(p) >= 0 then Some procs.(p) else None
-        | Network.Res r -> if ress.(r) >= 0 then Some ress.(r) else None
-        | Network.Box_in (b, _) | Network.Box_out (b, _) -> Some boxes.(b)
-      in
-      match (node_of (Network.link_src net l), node_of (Network.link_dst net l)) with
-      | Some u, Some v ->
-        let a = Graph.add_arc g ~src:u ~dst:v ~cap:1 in
-        Hashtbl.replace link_of_arc a l
-      | _ -> ()
-    end
-  done;
-  { net; graph = g; source; sink; procs; ress; boxes; link_of_arc;
-    requested = List.length requests; free_count = List.length free }
+  let zero xs = List.map (fun i -> (i, 0)) xs in
+  let ng = Netgraph.compile net ~requests:(zero requests) ~free:(zero free) in
+  { ng; requested = List.length requests; free_count = List.length free }
 
-let graph t = t.graph
-let source t = t.source
-let sink t = t.sink
-
-let proc_node t p =
-  if p < 0 || p >= Array.length t.procs then invalid_arg "Transform1.proc_node";
-  if t.procs.(p) >= 0 then Some t.procs.(p) else None
-
-let res_node t r =
-  if r < 0 || r >= Array.length t.ress then invalid_arg "Transform1.res_node";
-  if t.ress.(r) >= 0 then Some t.ress.(r) else None
-
-let box_node t b =
-  if b < 0 || b >= Array.length t.boxes then invalid_arg "Transform1.box_node";
-  t.boxes.(b)
-
+let graph t = Netgraph.graph t.ng
+let source t = Netgraph.source t.ng
+let sink t = Netgraph.sink t.ng
+let proc_node t p = Netgraph.proc_node t.ng p
+let res_node t r = Netgraph.res_node t.ng r
+let box_node t b = Netgraph.box_node t.ng b
 let max_allocatable (t : t) = min t.requested t.free_count
-
-let size t = (Graph.node_count t.graph, Graph.arc_count t.graph)
-
-(* Invert the node arrays once for mapping extraction. *)
-let owner_tables t =
-  let n = Graph.node_count t.graph in
-  let proc_of = Array.make n (-1) and res_of = Array.make n (-1) in
-  Array.iteri (fun p v -> if v >= 0 then proc_of.(v) <- p) t.procs;
-  Array.iteri (fun r v -> if v >= 0 then res_of.(v) <- r) t.ress;
-  (proc_of, res_of)
-
-let extract t =
-  let proc_of, res_of = owner_tables t in
-  let paths = Rsin_flow.Decompose.unit_paths t.graph ~source:t.source ~sink:t.sink in
-  let mapping_of_path nodes =
-    (* nodes = s :: proc :: boxes... :: res :: t *)
-    match nodes with
-    | _s :: (p :: _ as rest) ->
-      let rec last2 = function
-        | [ r; _t ] -> r
-        | _ :: tl -> last2 tl
-        | [] -> failwith "Transform1: short path"
-      in
-      let r = last2 rest in
-      (proc_of.(p), res_of.(r))
-    | _ -> failwith "Transform1: short path"
-  in
-  let links_of_path nodes =
-    let arcs = Rsin_flow.Decompose.path_arcs t.graph nodes in
-    List.filter_map (fun a -> Hashtbl.find_opt t.link_of_arc a) arcs
-  in
-  List.map (fun nodes -> (mapping_of_path nodes, links_of_path nodes)) paths
+let size t = Netgraph.size t.ng
 
 let solve ?obs ?(algorithm = Dinic) t =
-  Graph.reset_flows t.graph;
+  let g = graph t and source = source t and sink = sink t in
+  Graph.reset_flows g;
   let _flow, augs, scanned =
     match algorithm with
     | Dinic ->
       let f, (st : Rsin_flow.Dinic.stats) =
-        Rsin_flow.Dinic.max_flow ?obs t.graph ~source:t.source ~sink:t.sink
+        Rsin_flow.Dinic.max_flow ?obs g ~source ~sink
       in
       (f, st.augmentations, st.arcs_scanned)
     | Edmonds_karp ->
       let f, (st : Rsin_flow.Edmonds_karp.stats) =
-        Rsin_flow.Edmonds_karp.max_flow ?obs t.graph ~source:t.source
-          ~sink:t.sink
+        Rsin_flow.Edmonds_karp.max_flow ?obs g ~source ~sink
       in
       (f, st.augmentations, st.arcs_scanned)
     | Push_relabel ->
       let f, (st : Rsin_flow.Push_relabel.stats) =
-        Rsin_flow.Push_relabel.max_flow ?obs t.graph ~source:t.source
-          ~sink:t.sink
+        Rsin_flow.Push_relabel.max_flow ?obs g ~source ~sink
       in
       (* pushes play the role of augmentation steps; relabels of scans *)
       (f, st.pushes, st.relabels)
   in
-  (match Graph.check_conservation t.graph ~source:t.source ~sink:t.sink with
+  (match Graph.check_conservation g ~source ~sink with
   | Ok () -> ()
   | Error msg -> failwith ("Transform1.solve: illegal flow: " ^ msg));
-  let both = extract t in
-  let mapping = List.map fst both in
-  let circuits = List.map (fun ((p, _), links) -> (p, links)) both in
-  let allocated = List.length mapping in
+  let ex = Netgraph.extract t.ng in
+  let allocated = List.length ex.Netgraph.mapping in
   let module Obs = Rsin_obs.Obs in
   Obs.count obs "transform1.solves" 1;
   Obs.count obs "transform1.allocated" allocated;
   Obs.count obs "transform1.blocked" (t.requested - allocated);
-  { mapping; circuits; allocated; requested = t.requested;
+  { mapping = ex.Netgraph.mapping; circuits = ex.Netgraph.circuits;
+    allocated; requested = t.requested;
     blocked = t.requested - allocated;
     augmentations = augs; arcs_scanned = scanned }
 
-(* After a max flow, the saturated arcs crossing the reachable cut are
-   the bottleneck; translate them back to network terms. *)
 let bottleneck t =
   let cut =
-    Rsin_flow.Edmonds_karp.min_cut t.graph ~source:t.source ~sink:t.sink
+    Rsin_flow.Edmonds_karp.min_cut (graph t) ~source:(source t) ~sink:(sink t)
   in
-  List.filter_map
-    (fun a ->
-      match Hashtbl.find_opt t.link_of_arc a with
-      | Some l -> Some (`Link l)
-      | None ->
-        (* S or T arc: a request or resource is itself the bottleneck *)
-        let d = Graph.dst t.graph a and s = Graph.src t.graph a in
-        let find arr v =
-          let found = ref None in
-          Array.iteri (fun i n -> if n = v then found := Some i) arr;
-          !found
-        in
-        if s = t.source then Option.map (fun p -> `Proc p) (find t.procs d)
-        else Option.map (fun r -> `Res r) (find t.ress s))
-    cut
+  Netgraph.cut_members t.ng cut
 
 let schedule ?obs ?algorithm net ~requests ~free =
   solve ?obs ?algorithm (build net ~requests ~free)

@@ -1,15 +1,13 @@
 module Graph = Rsin_flow.Graph
 module Network = Rsin_topology.Network
 
+(* Transformation 2 parameterizes the shared Netgraph compiler with the
+   paper's costs — ymax - y_p on s->p, qmax - q_r on r->t — and the
+   bypass node of the L rule; the graph construction itself lives in
+   Netgraph. *)
+
 type t = {
-  net : Network.t;
-  graph : Graph.t;
-  source : Graph.node;
-  sink : Graph.node;
-  bypass : Graph.node;
-  procs : int array;
-  ress : int array;
-  link_of_arc : (int, int) Hashtbl.t;
+  ng : Netgraph.t;
   requested : int;
   bypass_cost : int;
   mutable return_arc : int option;
@@ -26,6 +24,8 @@ type outcome = {
   requested : int;
   total_cost : int;
   allocation_cost : int;
+  augmentations : int;
+  arcs_scanned : int;
 }
 
 let check_unique what xs =
@@ -53,119 +53,77 @@ let build net ~requests ~free =
   let ymax = List.fold_left (fun m (_, y) -> max m y) 0 requests in
   let qmax = List.fold_left (fun m (_, q) -> max m q) 0 free in
   let bypass_cost = max (ymax + 1) (qmax + 1) in
-  let g = Graph.create () in
-  let source = Graph.add_node g and sink = Graph.add_node g in
-  let bypass = Graph.add_node g in
-  let procs = Array.make np (-1) and ress = Array.make nr (-1) in
-  let boxes = Array.init (Network.n_boxes net) (fun _ -> Graph.add_node g) in
-  List.iter (fun (p, _) -> procs.(p) <- Graph.add_node g) requests;
-  List.iter (fun (r, _) -> ress.(r) <- Graph.add_node g) free;
-  (* S arcs, cost ymax - y_p; bypass arcs p->u, cost per the L rule. *)
-  List.iter
-    (fun (p, y) ->
-      ignore (Graph.add_arc g ~cost:(ymax - y) ~src:source ~dst:procs.(p) ~cap:1);
-      ignore (Graph.add_arc g ~cost:bypass_cost ~src:procs.(p) ~dst:bypass ~cap:1))
-    requests;
-  ignore
-    (Graph.add_arc g ~cost:bypass_cost ~src:bypass ~dst:sink
-       ~cap:(List.length requests));
-  (* T arcs, cost qmax - q_r. *)
-  List.iter
-    (fun (r, q) ->
-      ignore (Graph.add_arc g ~cost:(qmax - q) ~src:ress.(r) ~dst:sink ~cap:1))
-    free;
-  let link_of_arc = Hashtbl.create 64 in
-  for l = 0 to Network.n_links net - 1 do
-    if Network.link_state net l = Network.Free then begin
-      let node_of = function
-        | Network.Proc p -> if procs.(p) >= 0 then Some procs.(p) else None
-        | Network.Res r -> if ress.(r) >= 0 then Some ress.(r) else None
-        | Network.Box_in (b, _) | Network.Box_out (b, _) -> Some boxes.(b)
-      in
-      match (node_of (Network.link_src net l), node_of (Network.link_dst net l)) with
-      | Some u, Some v ->
-        let a = Graph.add_arc g ~src:u ~dst:v ~cap:1 in
-        Hashtbl.replace link_of_arc a l
-      | _ -> ()
-    end
-  done;
-  { net; graph = g; source; sink; bypass; procs; ress; link_of_arc;
-    requested = List.length requests; bypass_cost; return_arc = None }
+  let ng =
+    Netgraph.compile ~bypass_cost net
+      ~requests:(List.map (fun (p, y) -> (p, ymax - y)) requests)
+      ~free:(List.map (fun (r, q) -> (r, qmax - q)) free)
+  in
+  { ng; requested = List.length requests; bypass_cost; return_arc = None }
 
-let graph t = t.graph
-let bypass_node t = t.bypass
+let graph t = Netgraph.graph t.ng
+let source t = Netgraph.source t.ng
+let sink t = Netgraph.sink t.ng
+let size t = Netgraph.size t.ng
 
-let extract (t : t) =
-  let n = Graph.node_count t.graph in
-  let proc_of = Array.make n (-1) and res_of = Array.make n (-1) in
-  Array.iteri (fun p v -> if v >= 0 then proc_of.(v) <- p) t.procs;
-  Array.iteri (fun r v -> if v >= 0 then res_of.(v) <- r) t.ress;
-  let paths = Rsin_flow.Decompose.unit_paths t.graph ~source:t.source ~sink:t.sink in
-  let mapping = ref [] and circuits = ref [] and bypassed = ref [] in
-  let alloc_cost = ref 0 in
-  List.iter
-    (fun nodes ->
-      match nodes with
-      | _s :: p :: rest when List.mem t.bypass rest ->
-        bypassed := proc_of.(p) :: !bypassed
-      | _s :: (p :: _ as rest) ->
-        let rec last2 = function
-          | [ r; _t ] -> r
-          | _ :: tl -> last2 tl
-          | [] -> failwith "Transform2: short path"
-        in
-        let r = last2 rest in
-        mapping := (proc_of.(p), res_of.(r)) :: !mapping;
-        let arcs = Rsin_flow.Decompose.path_arcs t.graph nodes in
-        List.iter (fun a -> alloc_cost := !alloc_cost + Graph.cost t.graph a) arcs;
-        let links = List.filter_map (fun a -> Hashtbl.find_opt t.link_of_arc a) arcs in
-        circuits := (proc_of.(p), links) :: !circuits
-      | _ -> failwith "Transform2: short path")
-    paths;
-  (List.rev !mapping, List.rev !circuits, List.rev !bypassed, !alloc_cost)
+let bypass_node t =
+  match Netgraph.bypass t.ng with
+  | Some u -> u
+  | None -> assert false (* build always compiles with a bypass *)
 
 let solve ?obs ?(solver = Ssp) t =
-  Graph.reset_flows t.graph;
-  (match solver with
-  | Ssp ->
-    let r =
-      Rsin_flow.Mincost.min_cost_flow ?obs t.graph ~source:t.source
-        ~sink:t.sink ~amount:t.requested
-    in
-    if r.flow <> t.requested then
-      failwith "Transform2.solve: bypass should make any demand feasible"
-  | Out_of_kilter ->
-    (* Close the network into a circulation with a mandatory t->s arc. *)
-    let return_arc =
-      match t.return_arc with
-      | Some a -> a
-      | None ->
-        let a =
-          Graph.add_arc t.graph ~src:t.sink ~dst:t.source ~cap:t.requested
-            ~low:t.requested
-        in
-        t.return_arc <- Some a;
-        a
-    in
-    (match Rsin_flow.Out_of_kilter.solve ?obs t.graph with
-    | Rsin_flow.Out_of_kilter.Optimal _, _ -> ()
-    | Rsin_flow.Out_of_kilter.Infeasible, _ ->
-      failwith "Transform2.solve: out-of-kilter reported infeasible");
-    (* Neutralize the return arc so decomposition sees an s-t flow. *)
-    Graph.set_flow t.graph return_arc 0);
-  (match Graph.check_conservation t.graph ~source:t.source ~sink:t.sink with
+  let g = graph t and source = source t and sink = sink t in
+  Graph.reset_flows g;
+  let augs, scanned =
+    match solver with
+    | Ssp ->
+      let r =
+        Rsin_flow.Mincost.min_cost_flow ?obs g ~source ~sink
+          ~amount:t.requested
+      in
+      if r.flow <> t.requested then
+        failwith "Transform2.solve: bypass should make any demand feasible";
+      (r.stats.augmentations, r.stats.arcs_scanned)
+    | Out_of_kilter ->
+      (* Close the network into a circulation with a mandatory t->s arc. *)
+      let return_arc =
+        match t.return_arc with
+        | Some a -> a
+        | None ->
+          let a =
+            Graph.add_arc g ~src:sink ~dst:source ~cap:t.requested
+              ~low:t.requested
+          in
+          t.return_arc <- Some a;
+          a
+      in
+      let augs, scanned =
+        match Rsin_flow.Out_of_kilter.solve ?obs g with
+        | Rsin_flow.Out_of_kilter.Optimal _, st ->
+          (st.augmentations, st.arcs_scanned)
+        | Rsin_flow.Out_of_kilter.Infeasible, _ ->
+          failwith "Transform2.solve: out-of-kilter reported infeasible"
+      in
+      (* Neutralize the return arc so decomposition sees an s-t flow. *)
+      Graph.set_flow g return_arc 0;
+      (augs, scanned)
+  in
+  (match Graph.check_conservation g ~source ~sink with
   | Ok () -> ()
   | Error msg -> failwith ("Transform2.solve: illegal flow: " ^ msg));
-  let mapping, circuits, bypassed, allocation_cost = extract t in
+  let ex = Netgraph.extract t.ng in
   let module Obs = Rsin_obs.Obs in
   Obs.count obs "transform2.solves" 1;
-  Obs.count obs "transform2.allocated" (List.length mapping);
-  Obs.count obs "transform2.bypassed" (List.length bypassed);
-  { mapping; circuits; bypassed;
-    allocated = List.length mapping;
+  Obs.count obs "transform2.allocated" (List.length ex.Netgraph.mapping);
+  Obs.count obs "transform2.bypassed" (List.length ex.Netgraph.bypassed);
+  { mapping = ex.Netgraph.mapping;
+    circuits = ex.Netgraph.circuits;
+    bypassed = ex.Netgraph.bypassed;
+    allocated = List.length ex.Netgraph.mapping;
     requested = t.requested;
-    total_cost = Graph.total_cost t.graph;
-    allocation_cost }
+    total_cost = Graph.total_cost g;
+    allocation_cost = ex.Netgraph.allocation_cost;
+    augmentations = augs;
+    arcs_scanned = scanned }
 
 let schedule ?obs ?solver net ~requests ~free =
   solve ?obs ?solver (build net ~requests ~free)

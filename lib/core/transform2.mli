@@ -28,6 +28,8 @@ type outcome = {
   requested : int;
   total_cost : int;              (** cost of the full flow, bypass included *)
   allocation_cost : int;         (** cost of the allocated paths only *)
+  augmentations : int;           (** solver augmentation steps *)
+  arcs_scanned : int;            (** solver arc scans *)
 }
 
 val build :
@@ -41,7 +43,13 @@ val build :
     processors or resources are rejected. *)
 
 val graph : t -> Rsin_flow.Graph.t
+val source : t -> Rsin_flow.Graph.node
+val sink : t -> Rsin_flow.Graph.node
 val bypass_node : t -> Rsin_flow.Graph.node
+
+val size : t -> int * int
+(** [(nodes, forward arcs)] of the built graph — the construction work a
+    rebuild-per-cycle scheduler pays every cycle. *)
 
 val solve : ?obs:Rsin_obs.Obs.t -> ?solver:solver -> t -> outcome
 (** Default solver [Ssp]. Both solvers yield an optimal integral flow;

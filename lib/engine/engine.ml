@@ -2,6 +2,7 @@ module Heap = Rsin_util.Heap
 module Stats = Rsin_util.Stats
 module Network = Rsin_topology.Network
 module Transform1 = Rsin_core.Transform1
+module Transform2 = Rsin_core.Transform2
 module Workload = Rsin_sim.Workload
 module Obs = Rsin_obs.Obs
 module Tr = Rsin_obs.Trace
@@ -9,6 +10,10 @@ module Tr = Rsin_obs.Trace
 type mode = Warm | Rebuild
 
 let mode_name = function Warm -> "warm" | Rebuild -> "rebuild"
+
+type discipline = Uniform | Priority
+
+let discipline_name = function Uniform -> "uniform" | Priority -> "priority"
 
 type config = {
   transmission_time : int;
@@ -22,6 +27,8 @@ type cycle_info = {
   time : int;
   requests : int list;
   free : int list;
+  request_priorities : (int * int) list;
+  mapping : (int * int) list;
   allocated : int;
   work : int;
   skipped : bool;
@@ -49,7 +56,13 @@ type report = {
    engine schedules releases, completions, deadline expiries and
    deferred-batch wakeups as it runs. *)
 type ev =
-  | Ev_arrive of { id : int; proc : int; service : int; deadline : int option }
+  | Ev_arrive of {
+      id : int;
+      proc : int;
+      service : int;
+      deadline : int option;
+      priority : int;
+    }
   | Ev_cancel of int
   | Ev_release of int   (* live-circuit table index *)
   | Ev_complete of int  (* resource *)
@@ -59,6 +72,7 @@ type ev =
 type task = {
   arrival : int;
   service : int;
+  priority : int;
   mutable queued : bool;  (* false once transmitting, cancelled or expired *)
 }
 
@@ -69,13 +83,24 @@ type live = {
   inc : Incremental.circuit option;  (* Warm mode only *)
 }
 
-let run ?obs ?(config = default_config) ?(mode = Warm) ?cycle_hook net trace =
+let run ?obs ?(config = default_config) ?(mode = Warm) ?(discipline = Uniform)
+    ?cycle_hook net trace =
   if config.transmission_time < 1 then invalid_arg "Engine.run: transmission_time";
   if config.batch_threshold < 1 then invalid_arg "Engine.run: batch_threshold";
   if config.max_defer < 1 then invalid_arg "Engine.run: max_defer";
   let net = Network.copy net in
   let np = Network.n_procs net and nr = Network.n_res net in
-  let inc = match mode with Warm -> Some (Incremental.create net) | Rebuild -> None in
+  let inc =
+    match mode with
+    | Warm ->
+      let d =
+        match discipline with
+        | Uniform -> Incremental.Maxflow
+        | Priority -> Incremental.Mincost
+      in
+      Some (Incremental.create ~discipline:d net)
+    | Rebuild -> None
+  in
   (* Engine-visible scheduling state. In Warm mode [requesting]/[free_res]
      mirror the incremental graph's switched-on endpoint arcs (committed
      circuits' frozen arcs count as neither). *)
@@ -97,10 +122,11 @@ let run ?obs ?(config = default_config) ?(mode = Warm) ?cycle_hook net trace =
   List.iter
     (fun ev ->
       match ev with
-      | Workload.Arrive { t; id; proc; service; deadline } ->
+      | Workload.Arrive { t; id; proc; service; deadline; priority } ->
         if proc < 0 || proc >= np then invalid_arg "Engine.run: bad processor in trace";
         if service < 1 then invalid_arg "Engine.run: bad service time in trace";
-        push t (Ev_arrive { id; proc; service; deadline })
+        if priority < 0 then invalid_arg "Engine.run: bad priority in trace";
+        push t (Ev_arrive { id; proc; service; deadline; priority })
       | Workload.Cancel { t; id } -> push t (Ev_cancel id))
     (Workload.sort_trace trace);
   let arrivals = ref 0 and allocated = ref 0 and completed = ref 0 in
@@ -109,11 +135,23 @@ let run ?obs ?(config = default_config) ?(mode = Warm) ?cycle_hook net trace =
   let busy_slots = ref 0 and horizon = ref 0 in
   let waits = Stats.accum () and max_wait = ref 0 in
   let tracing = Obs.tracing obs in
+  (* The pending request of a processor stands for its queue head; under
+     the priority discipline the head's priority rides on the source
+     arc's cost, so it must be refreshed whenever the head changes while
+     the request stays pending (a cancel or expiry of the old head). *)
+  let head_priority p =
+    match queues.(p) with
+    | id :: _ -> (Hashtbl.find tasks id).priority
+    | [] -> 0
+  in
   let set_requesting p on =
-    if requesting.(p) <> on then begin
-      requesting.(p) <- on;
-      match inc with Some i -> Incremental.set_requesting i p on | None -> ()
-    end
+    let changed = requesting.(p) <> on in
+    requesting.(p) <- on;
+    match inc with
+    | Some i ->
+      if changed || (discipline = Priority && on) then
+        Incremental.set_requesting i ~priority:(head_priority p) p on
+    | None -> ()
   in
   let set_free r on =
     if free_res.(r) <> on then begin
@@ -134,6 +172,9 @@ let run ?obs ?(config = default_config) ?(mode = Warm) ?cycle_hook net trace =
           if List.mem id q then begin
             queues.(p) <- List.filter (fun x -> x <> id) q;
             if queues.(p) = [] then set_requesting p false
+            else if requesting.(p) then
+              (* Same request, possibly a new head: refresh its priority. *)
+              set_requesting p true
           end)
         queues;
       true
@@ -143,9 +184,9 @@ let run ?obs ?(config = default_config) ?(mode = Warm) ?cycle_hook net trace =
      measured horizon: trailing no-op deadline checks and wakeups do not
      extend it). *)
   let process now = function
-    | Ev_arrive { id; proc; service; deadline } ->
+    | Ev_arrive { id; proc; service; deadline; priority } ->
       incr arrivals;
-      Hashtbl.replace tasks id { arrival = now; service; queued = true };
+      Hashtbl.replace tasks id { arrival = now; service; priority; queued = true };
       queues.(proc) <- queues.(proc) @ [ id ];
       if transmitting.(proc) = None then set_requesting proc true;
       (match deadline with Some d when d > now -> push d (Ev_deadline id) | _ -> ());
@@ -229,16 +270,33 @@ let run ?obs ?(config = default_config) ?(mode = Warm) ?cycle_hook net trace =
                 r.Incremental.circuits,
               r.Incremental.work, r.Incremental.skipped )
           | Rebuild, None ->
-            let tr = Transform1.build net ~requests:pending ~free in
-            let o = Transform1.solve ?obs tr in
-            let _nodes, arcs = Transform1.size tr in
-            let work = Network.n_links net + arcs + o.Transform1.arcs_scanned in
-            let committed =
-              List.map2
-                (fun (p, r) (_p, links) -> (p, r, links, None))
-                o.Transform1.mapping o.Transform1.circuits
-            in
-            (committed, work, false)
+            (match discipline with
+            | Uniform ->
+              let tr = Transform1.build net ~requests:pending ~free in
+              let o = Transform1.solve ?obs tr in
+              let _nodes, arcs = Transform1.size tr in
+              let work = Network.n_links net + arcs + o.Transform1.arcs_scanned in
+              let committed =
+                List.map2
+                  (fun (p, r) (_p, links) -> (p, r, links, None))
+                  o.Transform1.mapping o.Transform1.circuits
+              in
+              (committed, work, false)
+            | Priority ->
+              let tr =
+                Transform2.build net
+                  ~requests:(List.map (fun p -> (p, head_priority p)) pending)
+                  ~free:(List.map (fun r -> (r, 0)) free)
+              in
+              let o = Transform2.solve ?obs tr in
+              let _nodes, arcs = Transform2.size tr in
+              let work = Network.n_links net + arcs + o.Transform2.arcs_scanned in
+              let committed =
+                List.map2
+                  (fun (p, r) (_p, links) -> (p, r, links, None))
+                  o.Transform2.mapping o.Transform2.circuits
+              in
+              (committed, work, false))
         in
         solver_work := !solver_work + work;
         if skipped then incr skipped_cycles;
@@ -246,8 +304,11 @@ let run ?obs ?(config = default_config) ?(mode = Warm) ?cycle_hook net trace =
         (match cycle_hook with
         | Some hook ->
           hook net
-            { time = now; requests = pending; free; allocated = n_committed;
-              work; skipped }
+            { time = now; requests = pending; free;
+              request_priorities =
+                List.map (fun p -> (p, head_priority p)) pending;
+              mapping = List.map (fun (p, r, _, _) -> (p, r)) committed;
+              allocated = n_committed; work; skipped }
         | None -> ());
         if tracing then
           Obs.instant obs "engine.cycle" ~ts:now

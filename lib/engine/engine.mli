@@ -24,6 +24,19 @@ type mode = Warm | Rebuild
 
 val mode_name : mode -> string
 
+type discipline =
+  | Uniform
+      (** all requests equal — Transformation 1 (max flow) per cycle *)
+  | Priority
+      (** each cycle serves a maximum number of requests and, among
+          those, maximizes the total priority of the queue heads served
+          — Transformation 2 (min-cost flow) per cycle. [Warm] runs it
+          as {!Rsin_flow.Mincost.augment} over the persistent graph with
+          priorities on the source-arc costs; [Rebuild] as a
+          from-scratch {!Rsin_core.Transform2.schedule}. *)
+
+val discipline_name : discipline -> string
+
 type config = {
   transmission_time : int;  (** slots a circuit stays established, >= 1 *)
   batch_threshold : int;
@@ -43,6 +56,11 @@ type cycle_info = {
   time : int;
   requests : int list;      (** pending processors entering the cycle *)
   free : int list;          (** free resource ports entering the cycle *)
+  request_priorities : (int * int) list;
+      (** (processor, queue-head priority) per pending request — all 0
+          under {!Uniform} workloads *)
+  mapping : (int * int) list;
+      (** (processor, resource) pairs committed by this cycle *)
   allocated : int;
   work : int;               (** solver work charged to this cycle *)
   skipped : bool;           (** Warm only: clean graph, solver not run *)
@@ -74,6 +92,7 @@ val run :
   ?obs:Rsin_obs.Obs.t ->
   ?config:config ->
   ?mode:mode ->
+  ?discipline:discipline ->
   ?cycle_hook:(Rsin_topology.Network.t -> cycle_info -> unit) ->
   Rsin_topology.Network.t ->
   Rsin_sim.Workload.trace_event list ->
@@ -81,6 +100,14 @@ val run :
 (** Serves the trace to completion (until the event queue drains) on a
     scratch copy of the network; pre-established circuits are treated as
     permanent blockages. Deterministic: equal inputs give equal reports.
+    Default discipline is {!Uniform}; under {!Priority} each pending
+    request carries its queue head's trace priority, refreshed whenever
+    the head changes. Within one discipline, a [Warm] cycle and a
+    from-scratch [Rebuild] of the {e same} pre-commit snapshot agree on
+    the allocation count and (under {!Priority}) on the total priority
+    served — the differential tests pin this — though tie-broken
+    mappings, and hence the later trajectories of two whole runs, may
+    differ.
 
     [cycle_hook] is called once per entered cycle {e after} solving but
     {e before} the new circuits are established, so the network argument

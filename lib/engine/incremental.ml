@@ -1,12 +1,15 @@
 module Graph = Rsin_flow.Graph
 module Dinic = Rsin_flow.Dinic
+module Mincost = Rsin_flow.Mincost
+module Netgraph = Rsin_core.Netgraph
 module Network = Rsin_topology.Network
 
-(* A persistent Transformation-1 network over the *whole* topology:
-   every processor, box, resource and link gets its node/arc once, at
-   creation. Scheduling state is expressed purely through capacities:
+(* A persistent flow network over the *whole* topology, compiled once by
+   Netgraph.compile_full. Scheduling state is expressed purely through
+   capacities (and, under the Mincost discipline, costs):
 
-     s->p arc   cap 1 iff processor p has a pending request
+     s->p arc   cap 1 iff processor p has a pending request;
+                cost -y_p (its priority) under Mincost, 0 under Maxflow
      r->t arc   cap 1 iff resource r is free
      link arc   cap 1 always; a link carried by an established circuit
                 is saturated *and frozen* (residual capacity removed),
@@ -15,13 +18,20 @@ module Network = Rsin_topology.Network
 
    Circuits that survive from earlier cycles therefore constitute a
    feasible flow of the current network, and a scheduling cycle is one
-   call to Dinic.augment on the residual graph — never a rebuild. The
+   warm augment call on the residual graph — never a rebuild:
+   Dinic.augment under Maxflow, Mincost.augment under Mincost. The
    residual graph reachable from s is isomorphic to the from-scratch
-   Transformation-1 graph of the same snapshot (frozen arcs contribute
-   no residual capacity in either direction; switched-off arcs carry
-   cap 0), which is why warm-started cycles allocate exactly as many
-   requests as from-scratch scheduling — the differential test pins
-   this. *)
+   transformation graph of the same snapshot (frozen arcs contribute no
+   residual capacity in either direction; switched-off arcs carry
+   cap 0). Under Maxflow that makes warm cycles allocate exactly as many
+   requests as from-scratch Transformation 1; under Mincost the
+   successive-shortest-path augment maximizes allocation first and then
+   total served priority — the same optimum Transformation 2's bypass
+   costs select, because every extraction freezes the new flow, so each
+   cycle starts from zero unfrozen flow. The differential tests pin both
+   equivalences cycle by cycle. *)
+
+type discipline = Maxflow | Mincost
 
 type circuit = {
   proc : int;
@@ -31,88 +41,88 @@ type circuit = {
 }
 
 type t = {
-  g : Graph.t;
-  source : Graph.node;
-  sink : Graph.node;
-  sp : int array;                      (* forward arc s->p per processor *)
-  rt : int array;                      (* forward arc r->t per resource *)
-  link_of_arc : (int, int) Hashtbl.t;  (* link arc -> network link id *)
-  proc_of_node : int array;            (* graph node -> processor or -1 *)
-  res_of_node : int array;             (* graph node -> resource or -1 *)
+  ng : Netgraph.t;
+  discipline : discipline;
   frozen : bool array;                 (* per forward arc index a/2 *)
   mutable dirty : bool;
   mutable pending_ops : int;           (* capacity updates since last solve *)
   mutable total_work : int;            (* cumulative: updates + arcs scanned *)
 }
 
-let create net =
-  let np = Network.n_procs net and nr = Network.n_res net in
-  let g = Graph.create () in
-  let source = Graph.add_node g and sink = Graph.add_node g in
-  let boxes = Array.init (Network.n_boxes net) (fun _ -> Graph.add_node g) in
-  let pnodes = Array.init np (fun _ -> Graph.add_node g) in
-  let rnodes = Array.init nr (fun _ -> Graph.add_node g) in
-  let sp = Array.map (fun p -> Graph.add_arc g ~src:source ~dst:p ~cap:0) pnodes in
-  let rt = Array.map (fun r -> Graph.add_arc g ~src:r ~dst:sink ~cap:0) rnodes in
-  let link_of_arc = Hashtbl.create (Network.n_links net) in
-  for l = 0 to Network.n_links net - 1 do
-    let node_of = function
-      | Network.Proc p -> pnodes.(p)
-      | Network.Res r -> rnodes.(r)
-      | Network.Box_in (b, _) | Network.Box_out (b, _) -> boxes.(b)
-    in
-    let cap = match Network.link_state net l with Network.Free -> 1 | _ -> 0 in
-    let a =
-      Graph.add_arc g
-        ~src:(node_of (Network.link_src net l))
-        ~dst:(node_of (Network.link_dst net l))
-        ~cap
-    in
-    Hashtbl.replace link_of_arc a l
-  done;
-  let proc_of_node = Array.make (Graph.node_count g) (-1) in
-  let res_of_node = Array.make (Graph.node_count g) (-1) in
-  Array.iteri (fun p v -> proc_of_node.(v) <- p) pnodes;
-  Array.iteri (fun r v -> res_of_node.(v) <- r) rnodes;
-  { g; source; sink; sp; rt; link_of_arc; proc_of_node; res_of_node;
-    frozen = Array.make (Graph.arc_count g) false;
+let create ?(discipline = Maxflow) net =
+  let ng = Netgraph.compile_full net in
+  { ng; discipline;
+    frozen = Array.make (Graph.arc_count (Netgraph.graph ng)) false;
     dirty = false; pending_ops = 0; total_work = 0 }
 
-let graph t = t.g
+let graph t = Netgraph.graph t.ng
+let netgraph t = t.ng
+let discipline t = t.discipline
 let dirty t = t.dirty
 let total_work t = t.total_work
+let source t = Netgraph.source t.ng
+let sink t = Netgraph.sink t.ng
+
+let sp_arc t p =
+  match Netgraph.sp_arc t.ng p with
+  | Some a -> a
+  | None -> invalid_arg "Incremental: bad processor"
+
+let rt_arc t r =
+  match Netgraph.rt_arc t.ng r with
+  | Some a -> a
+  | None -> invalid_arg "Incremental: bad resource"
 
 let touch ?(enables = false) t =
   t.pending_ops <- t.pending_ops + 1;
   t.total_work <- t.total_work + 1;
   (* Only added capacity can create a new augmenting path; removing
      capacity from an arc with zero flow cannot make the proved-maximal
-     flow non-maximal, so it leaves a clean state clean. *)
+     flow non-maximal, and cost updates cannot change reachability, so
+     both leave a clean state clean. *)
   if enables then t.dirty <- true
 
 let set_switch t a on =
   let cap = if on then 1 else 0 in
-  if Graph.original_capacity t.g a <> cap then begin
-    Graph.set_capacity t.g a cap;
+  if Graph.original_capacity (graph t) a <> cap then begin
+    Graph.set_capacity (graph t) a cap;
     touch t ~enables:on
   end
 
-let set_requesting t p on = set_switch t t.sp.(p) on
-let set_resource_free t r on = set_switch t t.rt.(r) on
-let requesting t p = Graph.original_capacity t.g t.sp.(p) = 1
-let resource_free t r = Graph.original_capacity t.g t.rt.(r) = 1
+let set_requesting t ?(priority = 0) p on =
+  if priority < 0 then invalid_arg "Incremental.set_requesting: priority";
+  let a = sp_arc t p in
+  (match t.discipline with
+  | Maxflow -> ()
+  | Mincost ->
+    (* Serving a high-priority request is a cheap path: cost -y_p. *)
+    let cost = if on then -priority else 0 in
+    if Graph.cost (graph t) a <> cost then begin
+      Graph.set_cost (graph t) a cost;
+      touch t
+    end);
+  set_switch t a on
+
+let set_resource_free t r on = set_switch t (rt_arc t r) on
+let requesting t p = Graph.original_capacity (graph t) (sp_arc t p) = 1
+let resource_free t r = Graph.original_capacity (graph t) (rt_arc t r) = 1
 
 (* Decompose only the flow added by the last augmentation: walk from the
    source along unfrozen forward arcs with undecomposed flow. Frozen
    flow belongs to complete committed s-t paths, so the unfrozen flow is
    itself a conserved integral flow and the greedy walk cannot strand. *)
 let extract_new t =
-  let g = t.g in
+  let g = graph t in
+  let sink = sink t in
   let remaining = Array.make (Graph.arc_count g) 0 in
   let total = ref 0 in
   Graph.iter_forward_arcs g (fun a ->
       if not t.frozen.(a / 2) then remaining.(a / 2) <- Graph.flow g a);
-  Array.iter (fun a -> total := !total + remaining.(a / 2)) t.sp;
+  let np = Network.n_procs (Netgraph.network t.ng) in
+  for p = 0 to np - 1 do
+    let a = sp_arc t p in
+    total := !total + remaining.(a / 2)
+  done;
   let next_arc v =
     Graph.fold_out g v ~init:None ~f:(fun acc a ->
         match acc with
@@ -122,7 +132,7 @@ let extract_new t =
   in
   let n = Graph.node_count g in
   let rec walk v arcs steps =
-    if v = t.sink then List.rev arcs
+    if v = sink then List.rev arcs
     else if steps > n then
       failwith "Incremental.extract_new: flow contains a cycle"
     else
@@ -133,19 +143,25 @@ let extract_new t =
         walk (Graph.dst g a) (a :: arcs) (steps + 1)
   in
   List.init !total (fun _ ->
-      let arcs = walk t.source [] 0 in
+      let arcs = walk (source t) [] 0 in
       let proc =
         match arcs with
-        | sp :: _ -> t.proc_of_node.(Graph.dst g sp)
+        | sp :: _ ->
+          (match Netgraph.proc_of_node t.ng (Graph.dst g sp) with
+          | Some p -> p
+          | None -> failwith "Incremental.extract_new: no processor")
         | [] -> failwith "Incremental.extract_new: empty path"
       in
       let res =
         match List.rev arcs with
-        | rt :: _ -> t.res_of_node.(Graph.src g rt)
+        | rt :: _ ->
+          (match Netgraph.res_of_node t.ng (Graph.src g rt) with
+          | Some r -> r
+          | None -> failwith "Incremental.extract_new: no resource")
         | [] -> failwith "Incremental.extract_new: empty path"
       in
       let links =
-        List.filter_map (fun a -> Hashtbl.find_opt t.link_of_arc a) arcs
+        List.filter_map (fun a -> Netgraph.link_of_arc t.ng a) arcs
       in
       List.iter
         (fun a ->
@@ -165,32 +181,44 @@ let solve ?obs t =
   t.pending_ops <- 0;
   if not t.dirty then { circuits = []; work = updates; skipped = true }
   else begin
-    let _added, (st : Dinic.stats) =
-      Dinic.augment ?obs t.g ~source:t.source ~sink:t.sink
+    let scanned =
+      match t.discipline with
+      | Maxflow ->
+        let _added, (st : Dinic.stats) =
+          Dinic.augment ?obs (graph t) ~source:(source t) ~sink:(sink t)
+        in
+        st.arcs_scanned
+      | Mincost ->
+        let r =
+          Mincost.augment ?obs (graph t) ~source:(source t) ~sink:(sink t)
+        in
+        r.stats.arcs_scanned
     in
     t.dirty <- false;
-    t.total_work <- t.total_work + st.arcs_scanned;
+    t.total_work <- t.total_work + scanned;
     let circuits = extract_new t in
-    { circuits; work = updates + st.arcs_scanned; skipped = false }
+    { circuits; work = updates + scanned; skipped = false }
   end
 
 let release t (c : circuit) =
+  let g = graph t in
   List.iter
     (fun a ->
       if not t.frozen.(a / 2) then
         invalid_arg "Incremental.release: circuit not committed";
       t.frozen.(a / 2) <- false;
-      Graph.thaw t.g a;
-      Graph.set_flow t.g a 0;
+      Graph.thaw g a;
+      Graph.set_flow g a 0;
       t.pending_ops <- t.pending_ops + 1;
       t.total_work <- t.total_work + 1)
     c.arcs;
   (* The request was served and the resource enters service: switch both
      endpoint arcs off until the engine re-enables them. *)
-  Graph.set_capacity t.g t.sp.(c.proc) 0;
-  Graph.set_capacity t.g t.rt.(c.res) 0;
+  Graph.set_capacity g (sp_arc t c.proc) 0;
+  if t.discipline = Mincost then Graph.set_cost g (sp_arc t c.proc) 0;
+  Graph.set_capacity g (rt_arc t c.res) 0;
   (* Freed links may unblock a request that was proved unroutable. *)
   t.dirty <- true
 
 let check t =
-  Graph.check_conservation t.g ~source:t.source ~sink:t.sink
+  Graph.check_conservation (graph t) ~source:(source t) ~sink:(sink t)

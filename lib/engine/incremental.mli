@@ -1,23 +1,34 @@
-(** Persistent, warm-started Transformation-1 state for the online
-    engine.
+(** Persistent, warm-started scheduling state for the online engine,
+    generic over the serving discipline.
 
-    The graph covers the {e whole} topology and is built once; request
-    arrivals, resource state changes and circuit releases are O(1)
-    capacity updates, and a scheduling cycle is one
-    {!Rsin_flow.Dinic.augment} call over the residual graph. Circuits
-    committed in earlier cycles stay in the graph as {e frozen} feasible
-    flow ({!Rsin_flow.Graph.freeze}), so each cycle only pays for the
-    incremental augmentation — and a cycle in which no capacity was
-    added since the last solve is skipped outright, because a maximum
-    flow of an unchanged residual graph is still maximum.
+    The graph covers the {e whole} topology and is compiled once by
+    {!Rsin_core.Netgraph.compile_full}; request arrivals, resource state
+    changes and circuit releases are O(1) capacity (and, under
+    {!Mincost}, cost) updates, and a scheduling cycle is one warm
+    augment call over the residual graph — {!Rsin_flow.Dinic.augment}
+    under {!Maxflow}, {!Rsin_flow.Mincost.augment} under {!Mincost}.
+    Circuits committed in earlier cycles stay in the graph as {e frozen}
+    feasible flow ({!Rsin_flow.Graph.freeze}), so each cycle only pays
+    for the incremental augmentation — and a cycle in which no capacity
+    was added since the last solve is skipped outright, because neither
+    removed capacity nor a cost update can create an augmenting path.
 
     The residual graph visible to the solver is isomorphic to the
-    from-scratch Transformation-1 network of the same snapshot, so
-    warm-started cycles allocate exactly as many requests as
-    {!Rsin_core.Transform1.schedule} would (the differential test in
-    [test/test_engine.ml] asserts this cycle by cycle). *)
+    from-scratch transformation network of the same snapshot. Under
+    {!Maxflow} warm cycles therefore allocate exactly as many requests
+    as {!Rsin_core.Transform1.schedule}; under {!Mincost} — where each
+    pending request's source arc costs minus its priority — the
+    successive-shortest-path augment maximizes the allocation count
+    first and then the total served priority, which is the optimum
+    {!Rsin_core.Transform2}'s bypass costs select. The differential
+    tests in [test/test_engine.ml] assert both, cycle by cycle. *)
 
 type t
+
+type discipline =
+  | Maxflow   (** Transformation 1: any maximum allocation *)
+  | Mincost   (** Transformation 2 with priorities: among maximum
+                  allocations, maximize the total served priority *)
 
 type circuit = {
   proc : int;
@@ -34,28 +45,36 @@ type solve_result = {
   skipped : bool;           (** clean residual graph, solver not invoked *)
 }
 
-val create : Rsin_topology.Network.t -> t
+val create : ?discipline:discipline -> Rsin_topology.Network.t -> t
 (** Builds the full-topology flow graph from the network's current link
     state (occupied links start with capacity 0). All request and
-    resource arcs start switched off. The network is not retained. *)
+    resource arcs start switched off. The network is only read during
+    compilation, never mutated. Default discipline is {!Maxflow}. *)
 
-val set_requesting : t -> int -> bool -> unit
-(** Switch processor [p]'s source arc on/off (capacity 1/0). Must not be
-    called while a committed circuit holds the arc. Turning an arc on
-    marks the state dirty; turning one off never does (removing unused
-    capacity cannot create an augmenting path). *)
+val set_requesting : t -> ?priority:int -> int -> bool -> unit
+(** [set_requesting t ?priority p on] switches processor [p]'s source
+    arc on/off (capacity 1/0). Must not be called while a committed
+    circuit holds the arc. Turning an arc on marks the state dirty;
+    turning one off never does (removing unused capacity cannot create
+    an augmenting path). Under {!Mincost} the arc's cost is also set to
+    [-priority] (default 0, must be non-negative) while on — call again
+    with the new priority when a pending request's priority changes
+    (e.g. its queue head is replaced); cost updates count as bookkeeping
+    work but do not dirty a clean state. Under {!Maxflow}, [priority] is
+    ignored. *)
 
 val set_resource_free : t -> int -> bool -> unit
-(** Same for resource [r]'s sink arc. *)
+(** Same for resource [r]'s sink arc (always cost 0). *)
 
 val requesting : t -> int -> bool
 val resource_free : t -> int -> bool
 
 val solve : ?obs:Rsin_obs.Obs.t -> t -> solve_result
-(** One scheduling cycle: augments from the current residual graph and
-    returns the newly allocatable circuits, frozen into the graph. When
-    nothing was enabled since the last solve, returns immediately with
-    [skipped = true] and no solver work. *)
+(** One scheduling cycle: augments from the current residual graph with
+    the discipline's solver and returns the newly allocatable circuits,
+    frozen into the graph. When nothing was enabled since the last
+    solve, returns immediately with [skipped = true] and no solver
+    work. *)
 
 val release : t -> circuit -> unit
 (** Releases a committed circuit: thaws and clears its flow, restores
@@ -64,11 +83,17 @@ val release : t -> circuit -> unit
     resource finishes service). Marks the state dirty — freed links may
     unblock requests proved unroutable earlier. *)
 
+val discipline : t -> discipline
 val dirty : t -> bool
+
 val total_work : t -> int
-(** Cumulative solver work: capacity updates + residual arcs scanned. *)
+(** Cumulative solver work: capacity/cost updates + residual arcs
+    scanned. *)
 
 val graph : t -> Rsin_flow.Graph.t
+
+val netgraph : t -> Rsin_core.Netgraph.t
+(** The underlying compiled correspondence (tests and diagnostics). *)
 
 val check : t -> (unit, string) result
 (** Flow-conservation check of the persistent graph (tests). *)

@@ -113,6 +113,12 @@ let set_capacity g a c =
   Vec.set g.orig (a / 2) c;
   Vec.set g.cap a (c - f)
 
+let set_cost g a c =
+  check_arc g a;
+  if not (is_forward a) then invalid_arg "Graph.set_cost: residual arc";
+  Vec.set g.cost_ a c;
+  Vec.set g.cost_ (residual a) (-c)
+
 let freeze g a =
   check_arc g a;
   if not (is_forward a) then invalid_arg "Graph.freeze: residual arc";
@@ -179,14 +185,14 @@ let total_cost g =
 
 let copy g =
   { n = g.n;
-    first = Vec.of_array (Vec.to_array g.first);
-    next = Vec.of_array (Vec.to_array g.next);
-    head = Vec.of_array (Vec.to_array g.head);
-    tail = Vec.of_array (Vec.to_array g.tail);
-    cap = Vec.of_array (Vec.to_array g.cap);
-    cost_ = Vec.of_array (Vec.to_array g.cost_);
-    orig = Vec.of_array (Vec.to_array g.orig);
-    low = Vec.of_array (Vec.to_array g.low) }
+    first = Vec.copy g.first;
+    next = Vec.copy g.next;
+    head = Vec.copy g.head;
+    tail = Vec.copy g.tail;
+    cap = Vec.copy g.cap;
+    cost_ = Vec.copy g.cost_;
+    orig = Vec.copy g.orig;
+    low = Vec.copy g.low }
 
 let pp fmt g =
   Format.fprintf fmt "graph: %d nodes, %d arcs@." g.n (arc_count g);

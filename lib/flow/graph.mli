@@ -82,6 +82,12 @@ val set_capacity : t -> arc -> int -> unit
     off ([c = 0]) as requests arrive and resources free up, instead of
     rebuilding the graph every cycle. *)
 
+val set_cost : t -> arc -> int -> unit
+(** [set_cost g a c] changes the unit cost of forward arc [a] to [c]
+    (its residual partner becomes [-c]). The discipline-generic engine
+    uses this to keep request priorities current on the persistent
+    graph's source arcs without rebuilding it. *)
+
 val freeze : t -> arc -> unit
 (** [freeze g a] locks the flow on saturated forward arc [a] by removing
     the residual (undo) capacity of its partner. An augmenting path can

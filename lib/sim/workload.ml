@@ -67,7 +67,14 @@ let with_types rng ~types ids =
 (* --- recorded workload traces -------------------------------------------- *)
 
 type trace_event =
-  | Arrive of { t : int; id : int; proc : int; service : int; deadline : int option }
+  | Arrive of {
+      t : int;
+      id : int;
+      proc : int;
+      service : int;
+      deadline : int option;
+      priority : int;
+    }
   | Cancel of { t : int; id : int }
 
 let event_time = function Arrive { t; _ } | Cancel { t; _ } -> t
@@ -77,21 +84,25 @@ let sort_trace trace =
   (* Stable on time so same-slot events keep their recorded order. *)
   List.stable_sort (fun a b -> compare (event_time a) (event_time b)) trace
 
-let synthesize ?(mean_service = 4.0) ?deadline_slack ?(cancel_prob = 0.0) rng net
-    ~slots ~arrival_prob =
+let synthesize ?(mean_service = 4.0) ?deadline_slack ?(cancel_prob = 0.0)
+    ?(priority_levels = 0) rng net ~slots ~arrival_prob =
   if arrival_prob < 0. || arrival_prob > 1. then
     invalid_arg "Workload.synthesize: arrival_prob";
   if mean_service < 1. then invalid_arg "Workload.synthesize: mean_service";
   if cancel_prob < 0. || cancel_prob > 1. then
     invalid_arg "Workload.synthesize: cancel_prob";
+  if priority_levels < 0 then
+    invalid_arg "Workload.synthesize: priority_levels";
   (match deadline_slack with
   | Some s when s < 1 -> invalid_arg "Workload.synthesize: deadline_slack"
   | _ -> ());
   (* Independent sub-streams: adding draws to one process (e.g. sampling
-     more service times) never perturbs the arrival pattern. *)
-  let streams = Prng.split_n rng 4 in
+     more service times) never perturbs the arrival pattern. split_n is
+     prefix-stable, so asking for the fifth (priority) stream leaves the
+     first four — and hence every priority-free trace — unchanged. *)
+  let streams = Prng.split_n rng 5 in
   let arr = streams.(0) and svc = streams.(1) and ddl = streams.(2) in
-  let cnl = streams.(3) in
+  let cnl = streams.(3) and pri = streams.(4) in
   let np = Network.n_procs net in
   let next_id = ref 0 in
   let events = ref [] in
@@ -106,7 +117,10 @@ let synthesize ?(mean_service = 4.0) ?deadline_slack ?(cancel_prob = 0.0) rng ne
           | None -> None
           | Some slack -> Some (t + 1 + Prng.int ddl slack)
         in
-        events := Arrive { t; id; proc = p; service; deadline } :: !events;
+        let priority =
+          if priority_levels = 0 then 0 else 1 + Prng.int pri priority_levels
+        in
+        events := Arrive { t; id; proc = p; service; deadline; priority } :: !events;
         if cancel_prob > 0. && Prng.bernoulli cnl cancel_prob then
           events :=
             Cancel { t = t + 1 + Prng.geometric cnl (1. /. mean_service); id }
@@ -121,13 +135,17 @@ let trace_to_jsonl trace =
   List.iter
     (fun ev ->
       (match ev with
-      | Arrive { t; id; proc; service; deadline } ->
+      | Arrive { t; id; proc; service; deadline; priority } ->
         Buffer.add_string buf
           (Printf.sprintf "{\"t\":%d,\"ev\":\"arrive\",\"id\":%d,\"proc\":%d,\"service\":%d"
              t id proc service);
         (match deadline with
         | Some d -> Buffer.add_string buf (Printf.sprintf ",\"deadline\":%d" d)
         | None -> ());
+        (* Priority 0 (the default) is omitted, so priority-free traces
+           keep the original PR-2 on-disk format byte for byte. *)
+        if priority > 0 then
+          Buffer.add_string buf (Printf.sprintf ",\"priority\":%d" priority);
         Buffer.add_char buf '}'
       | Cancel { t; id } ->
         Buffer.add_string buf
@@ -195,6 +213,15 @@ let trace_of_jsonl text =
                if service < 1 then fail "field \"service\" must be >= 1";
                let proc = int_field "proc" in
                if proc < 0 then fail "field \"proc\" must be >= 0";
+               let priority =
+                 match List.assoc_opt "priority" fields with
+                 | None -> 0
+                 | Some v ->
+                   (match int_of_string_opt v with
+                   | Some y when y >= 0 -> y
+                   | Some _ -> fail "field \"priority\" must be >= 0"
+                   | None -> fail "field \"priority\" is not an integer")
+               in
                [ Arrive
                    { t = int_field "t"; id = int_field "id"; proc; service;
                      deadline =
@@ -203,7 +230,8 @@ let trace_of_jsonl text =
                        | Some v ->
                          (match int_of_string_opt v with
                          | Some d -> Some d
-                         | None -> fail "field \"deadline\" is not an integer")) } ]
+                         | None -> fail "field \"deadline\" is not an integer"));
+                     priority } ]
              | Some "cancel" -> [ Cancel { t = int_field "t"; id = int_field "id" } ]
              | Some other -> fail (Printf.sprintf "unknown event kind %S" other)
              | None -> fail "missing field \"ev\""

@@ -52,10 +52,20 @@ val with_types :
     engine versions ([rsin replay]). *)
 
 type trace_event =
-  | Arrive of { t : int; id : int; proc : int; service : int; deadline : int option }
+  | Arrive of {
+      t : int;
+      id : int;
+      proc : int;
+      service : int;
+      deadline : int option;
+      priority : int;
+    }
       (** Task [id] arrives at processor [proc] in slot [t]; the resource
           serving it stays busy [service] slots after transmission. A task
-          still queued at slot [deadline] expires unserved. *)
+          still queued at slot [deadline] expires unserved. [priority]
+          (>= 0, 0 = none) matters only to the engine's priority
+          discipline; it is omitted from the JSONL form when 0, keeping
+          priority-free traces in the original on-disk format. *)
   | Cancel of { t : int; id : int }
       (** Task [id] is withdrawn at slot [t] if still queued. *)
 
@@ -69,6 +79,7 @@ val synthesize :
   ?mean_service:float ->
   ?deadline_slack:int ->
   ?cancel_prob:float ->
+  ?priority_levels:int ->
   Rsin_util.Prng.t ->
   Rsin_topology.Network.t ->
   slots:int ->
@@ -78,9 +89,11 @@ val synthesize :
     times (mean [mean_service], default 4). With [deadline_slack], each
     task gets a deadline uniform in [\[t+1, t+slack\]]; with
     [cancel_prob], that fraction of tasks is cancelled after a geometric
-    delay. The four processes draw from {e independent} sub-streams
-    ({!Rsin_util.Prng.split_n}), so e.g. enabling cancellations does not
-    change the arrival pattern. *)
+    delay; with [priority_levels = k > 0], each task gets a priority
+    uniform in [\[1, k\]] (default 0: no priorities). The processes draw
+    from {e independent} sub-streams ({!Rsin_util.Prng.split_n}), so
+    e.g. enabling cancellations or priorities does not change the
+    arrival pattern. *)
 
 val trace_to_jsonl : trace_event list -> string
 (** One JSON object per line, e.g.

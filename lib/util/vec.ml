@@ -25,4 +25,5 @@ let iteri f v =
 
 let to_array v = Array.sub v.data 0 v.len
 let of_array a = { data = Array.copy a; len = Array.length a }
+let copy v = { data = Array.sub v.data 0 v.len; len = v.len }
 let clear v = v.len <- 0

@@ -12,4 +12,10 @@ val set : 'a t -> int -> 'a -> unit
 val iteri : (int -> 'a -> unit) -> 'a t -> unit
 val to_array : 'a t -> 'a array
 val of_array : 'a array -> 'a t
+
+val copy : 'a t -> 'a t
+(** Independent copy in one pass and one allocation (trailing spare
+    capacity is dropped) — cheaper than
+    [of_array (to_array v)] on hot paths like {!Rsin_flow.Graph.copy}. *)
+
 val clear : 'a t -> unit

@@ -9,6 +9,7 @@ let () =
       ("topology", Test_topology.suite);
       ("topology2", Test_topology2.suite);
       ("core", Test_core.suite);
+      ("netgraph", Test_netgraph.suite);
       ("distributed", Test_distributed.suite);
       ("sim", Test_sim.suite);
       ("engine", Test_engine.suite);

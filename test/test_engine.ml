@@ -7,6 +7,7 @@ module Network = Rsin_topology.Network
 module Builders = Rsin_topology.Builders
 module Scheduler = Rsin_core.Scheduler
 module Transform1 = Rsin_core.Transform1
+module Transform2 = Rsin_core.Transform2
 module Workload = Rsin_sim.Workload
 module Incremental = Rsin_engine.Incremental
 module Engine = Rsin_engine.Engine
@@ -141,6 +142,64 @@ let test_differential () =
   check Alcotest.bool "at least 100 differential cycles overall" true
     (!total_cycles >= 100)
 
+(* The same guarantee under the priority discipline, and one notch
+   stronger: at every warm cycle, a from-scratch Transformation 2 of the
+   very same pre-commit snapshot (same pending processors with the same
+   queue-head priorities, same free resources) must allocate the same
+   number of requests AND serve the same total priority. Mappings may
+   tie-break differently — the objective values may not. *)
+let test_differential_priority () =
+  let total_cycles = ref 0 in
+  List.iter
+    (fun net ->
+      List.iter
+        (fun seed ->
+          let trace =
+            Workload.synthesize ~deadline_slack:25 ~cancel_prob:0.1
+              ~priority_levels:4 (Prng.create seed) net ~slots:150
+              ~arrival_prob:0.3
+          in
+          let hook snapshot (info : Engine.cycle_info) =
+            incr total_cycles;
+            let label what =
+              Printf.sprintf "%s seed %d cycle at t=%d: %s" (Network.name net)
+                seed info.Engine.time what
+            in
+            let reference =
+              Transform2.schedule snapshot
+                ~requests:info.Engine.request_priorities
+                ~free:(List.map (fun r -> (r, 0)) info.Engine.free)
+            in
+            check Alcotest.int (label "allocation")
+              reference.Transform2.allocated info.Engine.allocated;
+            let served mapping =
+              List.fold_left
+                (fun acc (p, _) ->
+                  acc + List.assoc p info.Engine.request_priorities)
+                0 mapping
+            in
+            check Alcotest.int (label "total priority served")
+              (served reference.Transform2.mapping)
+              (served info.Engine.mapping)
+          in
+          let report =
+            Engine.run ~mode:Engine.Warm ~discipline:Engine.Priority
+              ~cycle_hook:hook
+              ~config:
+                { Engine.transmission_time = 2; batch_threshold = 1;
+                  max_defer = 8 }
+              net trace
+          in
+          check Alcotest.bool
+            (Printf.sprintf "%s seed %d allocated something" (Network.name net)
+               seed)
+            true
+            (report.Engine.allocated > 0))
+        [ 10; 11; 12 ])
+    (topologies ());
+  check Alcotest.bool "at least 300 priority differential cycles overall" true
+    (!total_cycles >= 300)
+
 (* --- Engine accounting ----------------------------------------------------- *)
 
 let run_both ?config net trace =
@@ -191,7 +250,7 @@ let test_determinism () =
 let test_skipped_cycle () =
   let net = Builders.clos ~m:1 ~n:2 ~r:2 in
   let arrive t id proc =
-    Workload.Arrive { t; id; proc; service = 1; deadline = None }
+    Workload.Arrive { t; id; proc; service = 1; deadline = None; priority = 0 }
   in
   let trace = [ arrive 0 0 0; arrive 1 1 1; arrive 2 2 1 ] in
   let config =
@@ -217,8 +276,10 @@ let test_skipped_cycle () =
 let test_batching_defers () =
   let net = Builders.omega 8 in
   let trace =
-    [ Workload.Arrive { t = 0; id = 0; proc = 0; service = 2; deadline = None };
-      Workload.Arrive { t = 3; id = 1; proc = 1; service = 2; deadline = None } ]
+    [ Workload.Arrive
+        { t = 0; id = 0; proc = 0; service = 2; deadline = None; priority = 0 };
+      Workload.Arrive
+        { t = 3; id = 1; proc = 1; service = 2; deadline = None; priority = 0 } ]
   in
   let config =
     { Engine.transmission_time = 1; batch_threshold = 2; max_defer = 10 }
@@ -254,13 +315,13 @@ let test_rejects_bad_trace () =
       ignore
         (Engine.run net
            [ Workload.Arrive
-               { t = 0; id = 0; proc = 99; service = 1; deadline = None } ]));
+               { t = 0; id = 0; proc = 99; service = 1; deadline = None; priority = 0 } ]));
   Alcotest.check_raises "bad service"
     (Invalid_argument "Engine.run: bad service time in trace") (fun () ->
       ignore
         (Engine.run net
            [ Workload.Arrive
-               { t = 0; id = 0; proc = 0; service = 0; deadline = None } ]))
+               { t = 0; id = 0; proc = 0; service = 0; deadline = None; priority = 0 } ]))
 
 let suite =
   [
@@ -272,6 +333,8 @@ let suite =
       test_incremental_clean_skip;
     Alcotest.test_case "warm differential vs from-scratch" `Slow
       test_differential;
+    Alcotest.test_case "priority warm differential vs transform2" `Slow
+      test_differential_priority;
     Alcotest.test_case "task conservation" `Quick test_task_conservation;
     Alcotest.test_case "determinism" `Quick test_determinism;
     Alcotest.test_case "skipped clean cycle" `Quick test_skipped_cycle;

@@ -224,6 +224,69 @@ let hk_matching_valid =
       && List.length (List.sort_uniq compare (List.map fst m)) = List.length m
       && List.length (List.sort_uniq compare (List.map snd m)) = List.length m)
 
+(* --- Warm successive-shortest-paths vs out-of-kilter ------------------------ *)
+
+(* The priority engine's warm path solves each cycle with
+   Mincost.augment on a graph already carrying feasible flow. Here the
+   warm path is cross-validated against the paper's own solver: push a
+   random partial amount from scratch, finish with [augment], and the
+   resulting flow must match a full out-of-kilter run of the same
+   Transformation-2 instance in total cost, allocation count and
+   allocation-set cost (mappings may tie-break differently). *)
+let warm_augment_matches_out_of_kilter =
+  qtest "partial flow + Mincost.augment = out-of-kilter on T2" ~count:80
+    QCheck.small_int (fun seed ->
+      let module Workload = Rsin_sim.Workload in
+      let module T2 = Rsin_core.Transform2 in
+      let rng = Prng.create seed in
+      let net =
+        if Prng.bool rng then Rsin_topology.Builders.omega 8
+        else Rsin_topology.Builders.crossbar ~n_procs:5 ~n_res:6
+      in
+      ignore (Workload.preoccupy rng net ~circuits:(Prng.int rng 2));
+      let reqs, free = Workload.snapshot rng net in
+      let busy_p, busy_r = Workload.occupied_endpoints net in
+      let reqs = List.filter (fun p -> not (List.mem p busy_p)) reqs in
+      let free = List.filter (fun r -> not (List.mem r busy_r)) free in
+      let requests = Workload.with_priorities rng ~levels:4 reqs in
+      let free = Workload.with_priorities rng ~levels:3 free in
+      let requested = List.length requests in
+      (* warm instance: partial from-scratch push, then augment *)
+      let warm = T2.build net ~requests ~free in
+      let g = T2.graph warm in
+      let source = T2.source warm and sink = T2.sink warm in
+      let partial = Prng.int rng (requested + 1) in
+      ignore (Mincost.min_cost_flow g ~source ~sink ~amount:partial);
+      let inc = Mincost.augment g ~source ~sink in
+      let total_warm = Graph.total_cost g in
+      (* a bypassed request flows s→p→bypass→sink; subtract those whole
+         paths from the total to get the allocated-set cost *)
+      let bypass = T2.bypass_node warm in
+      let sp_cost = Hashtbl.create 16 in
+      Graph.iter_forward_arcs g (fun a ->
+          if Graph.src g a = source then
+            Hashtbl.replace sp_cost (Graph.dst g a) (Graph.cost g a));
+      let bypassed_warm = ref 0 and bypass_paths_cost = ref 0 in
+      Graph.iter_forward_arcs g (fun a ->
+          if Graph.dst g a = bypass && Graph.flow g a > 0 then begin
+            incr bypassed_warm;
+            bypass_paths_cost :=
+              !bypass_paths_cost + Graph.cost g a
+              + Hashtbl.find sp_cost (Graph.src g a)
+          end
+          else if Graph.src g a = bypass && Graph.dst g a = sink then
+            bypass_paths_cost :=
+              !bypass_paths_cost + (Graph.cost g a * Graph.flow g a));
+      let allocated_warm = requested - !bypassed_warm in
+      let alloc_cost_warm = total_warm - !bypass_paths_cost in
+      (* reference: full out-of-kilter solve of a fresh instance *)
+      let o = T2.solve ~solver:T2.Out_of_kilter (T2.build net ~requests ~free) in
+      Graph.flow_value g ~source = requested
+      && partial + inc.Mincost.flow = requested
+      && total_warm = o.T2.total_cost
+      && allocated_warm = o.T2.allocated
+      && alloc_cost_warm = o.T2.allocation_cost)
+
 (* The crossbar MRSIN degenerates to bipartite matching: Transformation 1
    and Hopcroft-Karp must agree on allocation counts. *)
 let crossbar_is_matching =
@@ -255,5 +318,6 @@ let suite =
     Alcotest.test_case "hopcroft-karp bounds" `Quick test_hk_bounds;
     hk_equals_flow;
     hk_matching_valid;
+    warm_augment_matches_out_of_kilter;
     crossbar_is_matching;
   ]

@@ -228,7 +228,7 @@ let test_trace_synthesize () =
   check Alcotest.bool "some cancellations" true (cancels <> []);
   List.iter
     (function
-      | Workload.Arrive { t; id = _; proc; service; deadline } ->
+      | Workload.Arrive { t; id = _; proc; service; deadline; priority = _ } ->
         check Alcotest.bool "proc in range" true
           (proc >= 0 && proc < Network.n_procs net);
         check Alcotest.bool "service positive" true (service >= 1);
