@@ -168,11 +168,12 @@ let permutation ?(trials = 300) () =
     "flow scheduler on benes16, pairing free: %d/16 allocated (rearrangeable)\n\n"
     o.T1.allocated
 
-(* E17: max-flow algorithm ablation inside Transformation 1. *)
+(* E17: max-flow algorithm ablation inside Transformation 1 — every
+   solver in the registry runs the same instances. *)
 let flow_ablation ?(trials = 400) () =
   print_endline "== E17: max-flow algorithm ablation (Transformation 1) ==";
   let rng = Prng.create seed in
-  let t_dinic = Stats.accum () and t_ek = Stats.accum () and t_pr = Stats.accum () in
+  let accs = List.map (fun s -> (s, Stats.accum ())) Rsin_flow.Solver.all in
   let agree = ref 0 and used = ref 0 in
   let time f =
     let t0 = Unix.gettimeofday () in
@@ -190,23 +191,30 @@ let flow_ablation ?(trials = 400) () =
     let free = List.filter (fun r -> not (List.mem r busy_r)) free in
     if requests <> [] && free <> [] then begin
       incr used;
-      let a, us1 = time (fun () -> T1.schedule ~algorithm:T1.Dinic net ~requests ~free) in
-      let b, us2 = time (fun () -> T1.schedule ~algorithm:T1.Edmonds_karp net ~requests ~free) in
-      let c, us3 = time (fun () -> T1.schedule ~algorithm:T1.Push_relabel net ~requests ~free) in
-      Stats.observe t_dinic us1;
-      Stats.observe t_ek us2;
-      Stats.observe t_pr us3;
-      if a.T1.allocated = b.T1.allocated && b.T1.allocated = c.T1.allocated then
-        incr agree
+      let allocs =
+        List.map
+          (fun (s, acc) ->
+            let o, us =
+              time (fun () -> T1.solve_with s (T1.build net ~requests ~free))
+            in
+            Stats.observe acc us;
+            o.T1.allocated)
+          accs
+      in
+      match allocs with
+      | a0 :: rest when List.for_all (fun a -> a = a0) rest -> incr agree
+      | _ -> ()
     end
   done;
   Table.print
-    ~header:[ "algorithm"; "mean time (us)"; "agreement" ]
-    [
-      [ "Dinic"; Table.ffix 0 (Stats.mean t_dinic); Printf.sprintf "%d/%d" !agree !used ];
-      [ "Edmonds-Karp"; Table.ffix 0 (Stats.mean t_ek); "" ];
-      [ "push-relabel (FIFO+gap)"; Table.ffix 0 (Stats.mean t_pr); "" ];
-    ];
+    ~header:[ "solver"; "mean time (us)"; "agreement" ]
+    (List.mapi
+       (fun i (s, acc) ->
+         let module S = (val s : Rsin_flow.Solver.S) in
+         [ S.name;
+           Table.ffix 0 (Stats.mean acc);
+           (if i = 0 then Printf.sprintf "%d/%d" !agree !used else "") ])
+       accs);
   print_endline
     "(at MRSIN sizes the transformation dominates; the paper's choice of\n\
     \ Dinic is vindicated but not critical)";

@@ -41,6 +41,7 @@ let experiments quick =
     ("obs", fun () -> Obs_bench.run ~quick ());
     ("engine", fun () -> Engine_bench.run ~quick ());
     ("engine_priority", fun () -> Engine_priority_bench.run ~quick ());
+    ("engine_faults", fun () -> Fault_bench.run ~quick ());
     ("micro", fun () -> Micro.run ());
   ]
 

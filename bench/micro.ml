@@ -31,9 +31,11 @@ let tests () =
   let preferred = Workload.with_priorities rng ~levels:10 free in
   [
     Test.make ~name:"transform1/dinic" (Staged.stage (fun () ->
-        ignore (T1.schedule ~algorithm:T1.Dinic net ~requests ~free)));
+        let s = Rsin_flow.Solver.get "dinic" in
+        ignore (T1.solve_with s (T1.build net ~requests ~free))));
     Test.make ~name:"transform1/edmonds-karp" (Staged.stage (fun () ->
-        ignore (T1.schedule ~algorithm:T1.Edmonds_karp net ~requests ~free)));
+        let s = Rsin_flow.Solver.get "edmonds-karp" in
+        ignore (T1.solve_with s (T1.build net ~requests ~free))));
     Test.make ~name:"transform2/ssp" (Staged.stage (fun () ->
         ignore (T2.schedule ~solver:T2.Ssp net ~requests:prioritized ~free:preferred)));
     Test.make ~name:"transform2/out-of-kilter" (Staged.stage (fun () ->
@@ -43,7 +45,8 @@ let tests () =
     Test.make ~name:"distributed/token-sim" (Staged.stage (fun () ->
         ignore (Token_sim.run net ~requests ~free)));
     Test.make ~name:"transform1/push-relabel" (Staged.stage (fun () ->
-        ignore (T1.schedule ~algorithm:T1.Push_relabel net ~requests ~free)));
+        let s = Rsin_flow.Solver.get "push-relabel" in
+        ignore (T1.solve_with s (T1.build net ~requests ~free))));
     (let net8 = Rsin_topology.Builders.omega_paper 8 in
      let compiled = Rsin_gates.Mrsin_circuit.compile net8 in
      Test.make ~name:"gates/omega8-cycle" (Staged.stage (fun () ->

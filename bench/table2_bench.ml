@@ -67,14 +67,18 @@ let table2 ?(instances = 100) () =
   and t_token = Stats.accum () in
   List.iter
     (fun i ->
+      let ek = Rsin_flow.Solver.get "edmonds-karp"
+      and dinic = Rsin_flow.Solver.get "dinic" in
       let o, us =
-        time_us (fun () -> T1.schedule ~algorithm:T1.Edmonds_karp i.net
-                     ~requests:i.requests ~free:i.free)
+        time_us (fun () ->
+            T1.solve_with ek
+              (T1.build i.net ~requests:i.requests ~free:i.free))
       in
       Stats.observe t_ff us;
       Stats.observe alloc (float_of_int o.T1.allocated);
-      let _, us = time_us (fun () -> T1.schedule ~algorithm:T1.Dinic i.net
-                               ~requests:i.requests ~free:i.free) in
+      let _, us = time_us (fun () ->
+          T1.solve_with dinic
+            (T1.build i.net ~requests:i.requests ~free:i.free)) in
       Stats.observe t_dinic us;
       let _, us = time_us (fun () -> Token_sim.run i.net ~requests:i.requests
                                ~free:i.free) in

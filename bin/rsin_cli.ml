@@ -34,6 +34,8 @@ module Dynamic = Rsin_sim.Dynamic
 module Workload = Rsin_sim.Workload
 module Prng = Rsin_util.Prng
 module Table = Rsin_util.Table
+module Fault = Rsin_fault.Fault
+module Solver = Rsin_flow.Solver
 module Obs = Rsin_obs.Obs
 module Trace = Rsin_obs.Trace
 module Metrics = Rsin_obs.Metrics
@@ -160,6 +162,49 @@ let trace_format_arg =
               $(b,chrome) (trace_event array for chrome://tracing / \
               Perfetto).")
 
+let solver_arg =
+  (* Names and doc come straight from the registry, so the help text
+     cannot drift from the solvers actually linked in. *)
+  let names = Solver.names () in
+  let solver_conv = Arg.enum (List.map (fun n -> (n, n)) names) in
+  Arg.(
+    value & opt solver_conv "dinic"
+    & info [ "solver" ] ~docv:"NAME"
+        ~doc:
+          (Printf.sprintf
+             "Max-flow solver for the optimal (flow-based) scheduling paths: \
+              %s. Schedulers that do not run a flow solver — and the warm \
+              engine, whose incremental augmentation is part of its \
+              definition — ignore it."
+             (String.concat ", "
+                (List.map (fun n -> Printf.sprintf "$(b,%s)" n) names))))
+
+(* The option quartet shared by every simulating subcommand, bundled
+   into one term so a command picks up all four (with identical docs)
+   by composing [common_term] exactly once. *)
+type common = {
+  seed : int;
+  trace_out : string option;
+  trace_format : Trace.format;
+  solver : string;
+}
+
+let common_term =
+  let mk seed trace_out trace_format solver =
+    { seed; trace_out; trace_format; solver }
+  in
+  Term.(const mk $ seed_arg $ trace_out_arg $ trace_format_arg $ solver_arg)
+
+(* [None] for the default solver so default runs keep their historical
+   entry points (same counters, same trace spans). *)
+let solver_of c = if c.solver = "dinic" then None else Some (Solver.get c.solver)
+
+let schedule_t1 ?obs c net ~requests ~free =
+  let module T1 = Rsin_core.Transform1 in
+  match solver_of c with
+  | None -> T1.schedule ?obs net ~requests ~free
+  | Some s -> T1.solve_with ?obs s (T1.build net ~requests ~free)
+
 (* Runs [f] with a recording observer when --trace-out was given (writing
    the trace afterwards), with no observer otherwise. *)
 let with_obs trace_out format f =
@@ -238,19 +283,23 @@ let explain_arg =
               limiting the allocation.")
 
 let schedule_cmd =
-  let run net requests free scheduler pre seed explain trace_out tformat =
-    let rng = Prng.create seed in
+  let run net requests free scheduler pre explain c =
+    let rng = Prng.create c.seed in
     if pre > 0 then ignore (Workload.preoccupy rng net ~circuits:pre);
     let requests, free = snapshot rng net requests free in
     Printf.printf "requests: %s\nfree:     %s\n"
       (String.concat "," (List.map string_of_int requests))
       (String.concat "," (List.map string_of_int free));
-    with_obs trace_out tformat @@ fun obs ->
+    with_obs c.trace_out c.trace_format @@ fun obs ->
     let mapping, allocated =
       match scheduler with
       | `Optimal ->
         let tr = Rsin_core.Transform1.build net ~requests ~free in
-        let o = Rsin_core.Transform1.solve ?obs tr in
+        let o =
+          match solver_of c with
+          | None -> Rsin_core.Transform1.solve ?obs tr
+          | Some s -> Rsin_core.Transform1.solve_with ?obs s tr
+        in
         if explain then begin
           let cut = Rsin_core.Transform1.bottleneck tr in
           Printf.printf "bottleneck (min cut, %d elements):\n" (List.length cut);
@@ -287,16 +336,16 @@ let schedule_cmd =
     (Cmd.info "schedule" ~doc:"Schedule a request/resource snapshot")
     Term.(
       const run $ net_arg $ requests_arg $ free_arg $ scheduler_arg $ pre_arg
-      $ seed_arg $ explain_arg $ trace_out_arg $ trace_format_arg)
+      $ explain_arg $ common_term)
 
 (* --- trace ------------------------------------------------------------------- *)
 
 let trace_cmd =
-  let run net requests free pre seed trace_out tformat =
-    let rng = Prng.create seed in
+  let run net requests free pre c =
+    let rng = Prng.create c.seed in
     if pre > 0 then ignore (Workload.preoccupy rng net ~circuits:pre);
     let requests, free = snapshot rng net requests free in
-    with_obs trace_out tformat @@ fun obs ->
+    with_obs c.trace_out c.trace_format @@ fun obs ->
     let rep = Token_sim.run ?obs net ~requests ~free in
     Printf.printf "allocated %d/%d in %d iteration(s), %d clock periods\n\n"
       rep.Token_sim.allocated rep.Token_sim.requested rep.Token_sim.iterations
@@ -307,8 +356,7 @@ let trace_cmd =
     (Cmd.info "trace"
        ~doc:"Run the distributed token architecture and print the bus trace")
     Term.(
-      const run $ net_arg $ requests_arg $ free_arg $ pre_arg $ seed_arg
-      $ trace_out_arg $ trace_format_arg)
+      const run $ net_arg $ requests_arg $ free_arg $ pre_arg $ common_term)
 
 (* --- blocking ------------------------------------------------------------------ *)
 
@@ -321,7 +369,7 @@ let blocking_cmd =
       value & opt float 0.5
       & info [ name ] ~doc:"Density in [0,1] for the random snapshots.")
   in
-  let run spec trials req_d res_d pre seed trace_out tformat =
+  let run spec trials req_d res_d pre c =
     let scheds =
       [ Blocking.Optimal; Blocking.First_fit; Blocking.Random_fit;
         Blocking.Address_map ]
@@ -330,13 +378,14 @@ let blocking_cmd =
       { Blocking.trials; req_density = req_d; res_density = res_d;
         pre_circuits = pre }
     in
-    with_obs trace_out tformat @@ fun obs ->
+    with_obs c.trace_out c.trace_format @@ fun obs ->
     Table.print
       ~header:[ "scheduler"; "blocking"; "ci95"; "utilization"; "trials" ]
       (List.map
          (fun s ->
            let e =
-             Blocking.estimate ?obs ~config:cfg ~scheduler:s (Prng.create seed)
+             Blocking.estimate ?obs ~config:cfg ?solver:(solver_of c)
+               ~scheduler:s (Prng.create c.seed)
                (fun () ->
                  match parse_net spec with
                  | Ok net -> net
@@ -359,8 +408,7 @@ let blocking_cmd =
     (Cmd.info "blocking" ~doc:"Monte-Carlo blocking-probability estimate")
     Term.(
       const run $ spec_arg $ trials_arg $ density_arg "req-density"
-      $ density_arg "res-density" $ pre_arg $ seed_arg $ trace_out_arg
-      $ trace_format_arg)
+      $ density_arg "res-density" $ pre_arg $ common_term)
 
 (* --- simulate ------------------------------------------------------------------ *)
 
@@ -376,13 +424,15 @@ let simulate_cmd =
   let service_arg =
     Arg.(value & opt float 4.0 & info [ "service" ] ~doc:"Mean service time.")
   in
-  let run net arrival slots service seed trace_out tformat =
+  let run net arrival slots service c =
     let params =
       { Dynamic.arrival_prob = arrival; transmission_time = 1;
         mean_service = service; slots; warmup = slots / 5 }
     in
-    with_obs trace_out tformat @@ fun obs ->
-    let m = Dynamic.run ?obs (Prng.create seed) net params in
+    with_obs c.trace_out c.trace_format @@ fun obs ->
+    let m =
+      Dynamic.run ?obs ?solver:(solver_of c) (Prng.create c.seed) net params
+    in
     Table.print
       ~header:[ "metric"; "value" ]
       [
@@ -398,8 +448,8 @@ let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate" ~doc:"Dynamic discrete-time simulation")
     Term.(
-      const run $ net_arg $ arrival_arg $ slots_arg $ service_arg $ seed_arg
-      $ trace_out_arg $ trace_format_arg)
+      const run $ net_arg $ arrival_arg $ slots_arg $ service_arg
+      $ common_term)
 
 (* --- replay ------------------------------------------------------------------- *)
 
@@ -492,8 +542,30 @@ let replay_cmd =
       value & opt int 1
       & info [ "transmission" ] ~doc:"Slots a circuit stays established.")
   in
+  let faults_arg =
+    Arg.(
+      value & flag
+      & info [ "faults" ]
+          ~doc:"Inject a random fault/repair schedule (seeded MTBF/MTTR \
+                renewal process over links, boxes and resource ports) into \
+                the served trace. A fault tears down circuits transmitting \
+                through the dead element and re-queues their tasks at the \
+                head of their queue.")
+  in
+  let mtbf_arg =
+    Arg.(
+      value & opt float 80.0
+      & info [ "mtbf" ] ~docv:"SLOTS"
+          ~doc:"Mean slots between failures per element (with $(b,--faults)).")
+  in
+  let mttr_arg =
+    Arg.(
+      value & opt float 20.0
+      & info [ "mttr" ] ~docv:"SLOTS"
+          ~doc:"Mean slots to repair a failed element (with $(b,--faults)).")
+  in
   let run net trace_file export mode discipline levels slots arrival service
-      cancel slack threshold defer trans seed trace_out tformat =
+      cancel slack threshold defer trans faults mtbf mttr c =
     let module Engine = Rsin_engine.Engine in
     if levels < 0 then begin
       Printf.eprintf "rsin: --priority-levels must be >= 0\n";
@@ -508,8 +580,34 @@ let replay_cmd =
            exit 1)
       | None ->
         Workload.synthesize ~mean_service:service ?deadline_slack:slack
-          ~cancel_prob:cancel ~priority_levels:levels (Prng.create seed) net
+          ~cancel_prob:cancel ~priority_levels:levels (Prng.create c.seed) net
           ~slots ~arrival_prob:arrival
+    in
+    let trace =
+      if not faults then trace
+      else begin
+        if mtbf <= 0. || mttr <= 0. then begin
+          Printf.eprintf "rsin: --mtbf and --mttr must be > 0\n";
+          exit 1
+        end;
+        let horizon =
+          List.fold_left (fun acc e -> max acc (Workload.event_time e)) 0 trace
+        in
+        (* A sub-stream of the workload seed, so the same --seed gives the
+           same arrivals with and without --faults. *)
+        let frng = Prng.split (Prng.create c.seed) in
+        let schedule = Fault.inject frng net ~horizon ~mtbf ~mttr in
+        Printf.printf "faults: %d element event(s) injected (mtbf %g, mttr %g)\n"
+          (List.length schedule) mtbf mttr;
+        List.stable_sort
+          (fun a b -> compare (Workload.event_time a) (Workload.event_time b))
+          (trace @ Workload.fault_events schedule)
+      end
+    in
+    let has_faults =
+      List.exists
+        (function Workload.Fault _ | Workload.Repair _ -> true | _ -> false)
+        trace
     in
     let discipline =
       match discipline with
@@ -528,8 +626,11 @@ let replay_cmd =
       { Engine.transmission_time = trans; batch_threshold = threshold;
         max_defer = defer }
     in
-    with_obs trace_out tformat @@ fun obs ->
-    let go m = Engine.run ?obs ~config ~mode:m ~discipline net trace in
+    with_obs c.trace_out c.trace_format @@ fun obs ->
+    let go m =
+      Engine.run ?obs ~config ~mode:m ~discipline ?solver:(solver_of c) net
+        trace
+    in
     let reports =
       match mode with
       | `Warm -> [ go Engine.Warm ]
@@ -546,20 +647,29 @@ let replay_cmd =
       ~header:("metric" :: List.map (fun r -> Engine.mode_name r.Engine.mode) reports)
       (List.map
          (fun (name, cell) -> name :: List.map cell reports)
-         [ ("horizon (slots)", icell (fun r -> r.Engine.horizon));
-           ("arrivals", icell (fun r -> r.Engine.arrivals));
-           ("allocated", icell (fun r -> r.Engine.allocated));
-           ("completed", icell (fun r -> r.Engine.completed));
-           ("cancelled", icell (fun r -> r.Engine.cancelled));
-           ("expired", icell (fun r -> r.Engine.expired));
-           ("left pending", icell (fun r -> r.Engine.left_pending));
-           ("mean wait (slots)", fcell (fun r -> r.Engine.mean_wait));
-           ("max wait (slots)", icell (fun r -> r.Engine.max_wait));
-           ("throughput (tasks/slot)", fcell (fun r -> r.Engine.throughput));
-           ("resource utilization", (fun r -> Table.fpct r.Engine.utilization));
-           ("scheduling cycles", icell (fun r -> r.Engine.cycles));
-           ("cycles skipped clean", icell (fun r -> r.Engine.skipped_cycles));
-           ("solver work (arcs)", icell (fun r -> r.Engine.solver_work)) ]);
+         ([ ("horizon (slots)", icell (fun r -> r.Engine.horizon));
+            ("arrivals", icell (fun r -> r.Engine.arrivals));
+            ("allocated", icell (fun r -> r.Engine.allocated));
+            ("completed", icell (fun r -> r.Engine.completed));
+            ("cancelled", icell (fun r -> r.Engine.cancelled));
+            ("expired", icell (fun r -> r.Engine.expired));
+            ("left pending", icell (fun r -> r.Engine.left_pending));
+            ("mean wait (slots)", fcell (fun r -> r.Engine.mean_wait));
+            ("max wait (slots)", icell (fun r -> r.Engine.max_wait));
+            ("throughput (tasks/slot)", fcell (fun r -> r.Engine.throughput));
+            ("resource utilization", (fun r -> Table.fpct r.Engine.utilization));
+            ("scheduling cycles", icell (fun r -> r.Engine.cycles));
+            ("cycles skipped clean", icell (fun r -> r.Engine.skipped_cycles));
+            ("solver work (arcs)", icell (fun r -> r.Engine.solver_work)) ]
+         (* Fault-free traces keep the PR-2 pinned table byte-for-byte;
+            these rows appear only when the trace carries fault events. *)
+         @
+         if has_faults then
+           [ ("faults applied", icell (fun r -> r.Engine.faults));
+             ("repairs applied", icell (fun r -> r.Engine.repairs));
+             ("victim circuits", icell (fun r -> r.Engine.victims));
+             ("mean re-admission wait", fcell (fun r -> r.Engine.mean_readmission)) ]
+         else []));
     match reports with
     | [ w; rb ] when rb.Engine.solver_work > 0 ->
       Printf.printf "warm start saves %s of rebuild solver work\n"
@@ -575,8 +685,8 @@ let replay_cmd =
     Term.(
       const run $ net_arg $ trace_arg $ export_arg $ mode_arg $ discipline_arg
       $ levels_arg $ slots_arg $ arrival_arg $ service_arg $ cancel_arg
-      $ slack_arg $ threshold_arg $ defer_arg $ trans_arg $ seed_arg
-      $ trace_out_arg $ trace_format_arg)
+      $ slack_arg $ threshold_arg $ defer_arg $ trans_arg $ faults_arg
+      $ mtbf_arg $ mttr_arg $ common_term)
 
 (* --- metrics ------------------------------------------------------------------ *)
 
@@ -586,12 +696,14 @@ let metrics_cmd =
       value & flag
       & info [ "json" ] ~doc:"Print the registry as one JSON object.")
   in
-  let run net requests free pre seed json =
-    let rng = Prng.create seed in
+  let run net requests free pre json c =
+    let rng = Prng.create c.seed in
     if pre > 0 then ignore (Workload.preoccupy rng net ~circuits:pre);
     let requests, free = snapshot rng net requests free in
-    let obs = Obs.create () in
-    let opt = Rsin_core.Transform1.schedule ~obs net ~requests ~free in
+    let obs =
+      match c.trace_out with None -> Obs.create () | Some _ -> Obs.recording ()
+    in
+    let opt = schedule_t1 ~obs c net ~requests ~free in
     let dist = Token_sim.run ~obs net ~requests ~free in
     if json then print_endline (Metrics.to_json obs.Obs.metrics)
     else begin
@@ -607,15 +719,24 @@ let metrics_cmd =
       Table.print
         ~header:[ "metric"; "kind"; "value" ]
         (Metrics.to_rows obs.Obs.metrics)
-    end
+    end;
+    match c.trace_out with
+    | Some file ->
+      (try Trace.write_file obs.Obs.trace ~format:c.trace_format file
+       with Sys_error msg ->
+         Printf.eprintf "rsin: cannot write trace: %s\n" msg;
+         exit 1);
+      Printf.printf "trace: %d event(s) -> %s\n"
+        (Trace.event_count obs.Obs.trace) file
+    | None -> ()
   in
   Cmd.v
     (Cmd.info "metrics"
        ~doc:"Schedule a snapshot with both the centralized and the \
              distributed scheduler and print the metrics registry")
     Term.(
-      const run $ net_arg $ requests_arg $ free_arg $ pre_arg $ seed_arg
-      $ json_arg)
+      const run $ net_arg $ requests_arg $ free_arg $ pre_arg $ json_arg
+      $ common_term)
 
 (* --- props ------------------------------------------------------------------- *)
 
@@ -684,8 +805,9 @@ let perm_cmd =
 (* --- gates -------------------------------------------------------------------- *)
 
 let gates_cmd =
-  let run net requests free pre seed =
-    let rng = Prng.create seed in
+  let run net requests free pre c =
+    let rng = Prng.create c.seed in
+    with_obs c.trace_out c.trace_format @@ fun _obs ->
     if pre > 0 then ignore (Workload.preoccupy rng net ~circuits:pre);
     let c = Rsin_gates.Mrsin_circuit.compile net in
     let st = Rsin_gates.Mrsin_circuit.stats c in
@@ -705,7 +827,7 @@ let gates_cmd =
   Cmd.v
     (Cmd.info "gates"
        ~doc:"Compile the network to a gate-level scheduler and run a snapshot")
-    Term.(const run $ net_arg $ requests_arg $ free_arg $ pre_arg $ seed_arg)
+    Term.(const run $ net_arg $ requests_arg $ free_arg $ pre_arg $ common_term)
 
 (* --- show -------------------------------------------------------------------- *)
 
@@ -734,9 +856,11 @@ let show_cmd =
 let taskgraph_cmd =
   let tasks_arg = Arg.(value & opt int 60 & info [ "tasks" ] ~doc:"Task count.") in
   let types_arg = Arg.(value & opt int 3 & info [ "types" ] ~doc:"Resource types.") in
-  let run net tasks types seed =
+  let run net tasks types c =
     let module Taskgraph = Rsin_sim.Taskgraph in
+    let seed = c.seed in
     let rng = Prng.create seed in
+    with_obs c.trace_out c.trace_format @@ fun _obs ->
     let g =
       Taskgraph.random rng ~tasks ~types ~procs:(Network.n_procs net)
         ~edge_prob:0.25 ~mean_service:4.
@@ -760,7 +884,7 @@ let taskgraph_cmd =
   Cmd.v
     (Cmd.info "taskgraph"
        ~doc:"Execute a random dependency DAG over the resource pool")
-    Term.(const run $ net_arg $ tasks_arg $ types_arg $ seed_arg)
+    Term.(const run $ net_arg $ tasks_arg $ types_arg $ common_term)
 
 let () =
   let doc = "resource sharing interconnection network toolkit" in

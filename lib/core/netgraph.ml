@@ -114,8 +114,8 @@ let compile ?bypass_cost net ~requests ~free =
   let link_of_arc_, arc_of_link_, link_arcs =
     scan_links net g ~procs ~ress ~boxes ~cap_of:(fun l ->
         match Network.link_state net l with
-        | Network.Free -> Some 1
-        | Network.Occupied _ -> None)
+        | Network.Free when Network.usable net l -> Some 1
+        | Network.Free | Network.Occupied _ -> None)
   in
   let proc_of_node_, res_of_node_ = reverse_tables g ~procs ~ress in
   { net; graph = g; source; sink; bypass; procs; ress; boxes; sp; rt;
@@ -133,8 +133,8 @@ let compile_full net =
   let link_of_arc_, arc_of_link_, link_arcs =
     scan_links net g ~procs ~ress ~boxes ~cap_of:(fun l ->
         match Network.link_state net l with
-        | Network.Free -> Some 1
-        | Network.Occupied _ -> Some 0)
+        | Network.Free when Network.usable net l -> Some 1
+        | Network.Free | Network.Occupied _ -> Some 0)
   in
   let proc_of_node_, res_of_node_ = reverse_tables g ~procs ~ress in
   { net; graph = g; source; sink; bypass = None; procs; ress; boxes; sp; rt;

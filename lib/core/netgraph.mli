@@ -33,8 +33,11 @@ val compile :
   t
 (** [compile net ~requests ~free] builds the snapshot flow graph:
     [requests] are [(processor, s-arc cost)] pairs, [free] are
-    [(resource port, t-arc cost)] pairs; occupied links, idle processors
-    and busy resources contribute nothing (step T4). With
+    [(resource port, t-arc cost)] pairs; occupied links, links masked by
+    a down element ([Network.usable]), idle processors and busy
+    resources contribute nothing (step T4 — dropping arcs is exactly how
+    faults preserve the optimality theorems on the surviving
+    subnetwork). With
     [bypass_cost], a bypass node absorbs unallocatable requests at that
     cost per traversed bypass arc (Transformation 2's L rule); without
     it no bypass node exists and all costs are typically 0
@@ -46,8 +49,9 @@ val compile_full : Rsin_topology.Network.t -> t
 (** [compile_full net] builds the persistent full-topology graph of the
     online engine: {e every} processor, box, resource and link gets its
     node/arc once. Endpoint arcs start with capacity 0 (switched off);
-    link arcs carry capacity 1 when free and 0 when occupied. Scheduling
-    state is then expressed purely through O(1)
+    link arcs carry capacity 1 when free and usable, 0 when occupied or
+    masked by a down element. Scheduling state is then expressed purely
+    through O(1)
     {!Rsin_flow.Graph.set_capacity} / {!Rsin_flow.Graph.set_cost}
     toggles — the graph is never rebuilt. *)
 

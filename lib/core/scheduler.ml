@@ -9,6 +9,11 @@ type discipline =
   | Heterogeneous
   | Heterogeneous_prioritized
 
+type detail =
+  | Maxflow
+  | Mincost of { allocation_cost : int }
+  | Lp of { cost : int option; lp_bound : float option }
+
 type result = {
   discipline : discipline;
   mapping : (int * int) list;
@@ -16,9 +21,17 @@ type result = {
   allocated : int;
   requested : int;
   blocked : int;
-  cost : int option;
-  lp_bound : float option;
+  detail : detail;
 }
+
+let cost_of = function
+  | Maxflow -> None
+  | Mincost { allocation_cost } -> Some allocation_cost
+  | Lp { cost; _ } -> cost
+
+let lp_bound_of = function
+  | Maxflow | Mincost _ -> None
+  | Lp { lp_bound; _ } -> lp_bound
 
 let request ?(rtype = 0) ?(priority = 0) proc = { proc; rtype; priority }
 let resource ?(rtype = 0) ?(preference = 0) port = { port; rtype; preference }
@@ -71,8 +84,7 @@ let schedule ?obs ?discipline net ~requests ~resources =
       allocated = o.Transform1.allocated;
       requested;
       blocked = requested - o.Transform1.allocated;
-      cost = None;
-      lp_bound = None }
+      detail = Maxflow }
   | Homogeneous_prioritized ->
     let o =
       Transform2.schedule ?obs net
@@ -85,8 +97,7 @@ let schedule ?obs ?discipline net ~requests ~resources =
       allocated = o.Transform2.allocated;
       requested;
       blocked = requested - o.Transform2.allocated;
-      cost = Some o.Transform2.allocation_cost;
-      lp_bound = None }
+      detail = Mincost { allocation_cost = o.Transform2.allocation_cost } }
   | Heterogeneous | Heterogeneous_prioritized ->
     let spec =
       Hetero.
@@ -109,8 +120,7 @@ let schedule ?obs ?discipline net ~requests ~resources =
       allocated = o.Hetero.allocated;
       requested;
       blocked = requested - o.Hetero.allocated;
-      cost = o.Hetero.cost;
-      lp_bound = o.Hetero.lp_objective }
+      detail = Lp { cost = o.Hetero.cost; lp_bound = o.Hetero.lp_objective } }
   in
   let module Obs = Rsin_obs.Obs in
   Obs.count obs "scheduler.calls" 1;

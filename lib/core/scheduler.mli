@@ -26,6 +26,15 @@ type discipline =
   | Heterogeneous
   | Heterogeneous_prioritized
 
+type detail =
+  | Maxflow
+      (** [Homogeneous]: max flow has no cost structure to report *)
+  | Mincost of { allocation_cost : int }
+      (** [Homogeneous_prioritized]: cost of the min-cost flow *)
+  | Lp of { cost : int option; lp_bound : float option }
+      (** heterogeneous disciplines: rounded cost (when prioritized) and
+          the fractional LP optimum *)
+
 type result = {
   discipline : discipline;
   mapping : (int * int) list;
@@ -33,9 +42,18 @@ type result = {
   allocated : int;
   requested : int;
   blocked : int;
-  cost : int option;       (** allocation cost under prioritized disciplines *)
-  lp_bound : float option; (** LP optimum under heterogeneous disciplines *)
+  detail : detail;
+      (** per-discipline payload — one constructor per discipline family
+          instead of a row of mostly-[None] option fields *)
 }
+
+val cost_of : detail -> int option
+(** Allocation cost when the discipline produces one (compatibility
+    accessor for the former [result.cost] field). *)
+
+val lp_bound_of : detail -> float option
+(** LP optimum when the discipline is LP-based (formerly
+    [result.lp_bound]). *)
 
 val infer : request list -> resource list -> discipline
 (** Heterogeneous iff more than one resource type appears; prioritized

@@ -44,28 +44,17 @@ let box_node t b = Netgraph.box_node t.ng b
 let max_allocatable (t : t) = min t.requested t.free_count
 let size t = Netgraph.size t.ng
 
-let solve ?obs ?(algorithm = Dinic) t =
+let algorithm_name = function
+  | Dinic -> "dinic"
+  | Edmonds_karp -> "edmonds-karp"
+  | Push_relabel -> "push-relabel"
+
+let solve_with ?obs (module S : Rsin_flow.Solver.S) t =
   let g = graph t and source = source t and sink = sink t in
   Graph.reset_flows g;
-  let _flow, augs, scanned =
-    match algorithm with
-    | Dinic ->
-      let f, (st : Rsin_flow.Dinic.stats) =
-        Rsin_flow.Dinic.max_flow ?obs g ~source ~sink
-      in
-      (f, st.augmentations, st.arcs_scanned)
-    | Edmonds_karp ->
-      let f, (st : Rsin_flow.Edmonds_karp.stats) =
-        Rsin_flow.Edmonds_karp.max_flow ?obs g ~source ~sink
-      in
-      (f, st.augmentations, st.arcs_scanned)
-    | Push_relabel ->
-      let f, (st : Rsin_flow.Push_relabel.stats) =
-        Rsin_flow.Push_relabel.max_flow ?obs g ~source ~sink
-      in
-      (* pushes play the role of augmentation steps; relabels of scans *)
-      (f, st.pushes, st.relabels)
-  in
+  let _flow, (work : Rsin_flow.Solver.work) = S.max_flow ?obs g ~source ~sink in
+  let augs = work.Rsin_flow.Solver.augmentations
+  and scanned = work.Rsin_flow.Solver.arcs_scanned in
   (match Graph.check_conservation g ~source ~sink with
   | Ok () -> ()
   | Error msg -> failwith ("Transform1.solve: illegal flow: " ^ msg));
@@ -79,6 +68,9 @@ let solve ?obs ?(algorithm = Dinic) t =
     allocated; requested = t.requested;
     blocked = t.requested - allocated;
     augmentations = augs; arcs_scanned = scanned }
+
+let solve ?obs ?(algorithm = Dinic) t =
+  solve_with ?obs (Rsin_flow.Solver.get (algorithm_name algorithm)) t
 
 let bottleneck t =
   let cut =

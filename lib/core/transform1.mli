@@ -19,6 +19,14 @@ type t
 (** A built flow network together with the MRSIN↔graph correspondence. *)
 
 type algorithm = Dinic | Edmonds_karp | Push_relabel
+(** Legacy solver selector, kept for existing call-sites; each case
+    delegates to the {!Rsin_flow.Solver} registry entry of the same
+    name ({!algorithm_name}). New code should prefer {!solve_with} with
+    a registry module. *)
+
+val algorithm_name : algorithm -> string
+(** Registry name of the legacy selector: ["dinic"], ["edmonds-karp"],
+    ["push-relabel"]. *)
 
 type outcome = {
   mapping : (int * int) list;
@@ -57,6 +65,12 @@ val solve : ?obs:Rsin_obs.Obs.t -> ?algorithm:algorithm -> t -> outcome
     graph keeps its flow. [obs] is passed through to the flow solver
     (its operation counters land in the [flow.*] registry metrics) and
     also receives [transform1.*] allocation counters. *)
+
+val solve_with : ?obs:Rsin_obs.Obs.t -> (module Rsin_flow.Solver.S) -> t -> outcome
+(** Like {!solve} but with an explicit registry solver, e.g.
+    [solve_with (Rsin_flow.Solver.get "push-relabel") t]. The outcome's
+    [augmentations]/[arcs_scanned] are the registry's normalized
+    {!Rsin_flow.Solver.work} counters. *)
 
 val schedule :
   ?obs:Rsin_obs.Obs.t ->

@@ -65,10 +65,16 @@ let run ?obs net ~requests ~free =
     free;
   let nl = Network.n_links net in
   let lstate =
+    (* A link masked by a dead element behaves exactly like an occupied
+       one: no token crosses it in either phase, so a down box drops the
+       request/resource tokens that would have passed through it and the
+       distributed architecture degrades identically to the monitor's
+       masked flow graph (a down resource never raises E2 because its
+       access link is dead). *)
     Array.init nl (fun l ->
         match Network.link_state net l with
-        | Network.Free -> Free
-        | Network.Occupied _ -> Busy)
+        | Network.Free when Network.usable net l -> Free
+        | Network.Free | Network.Occupied _ -> Busy)
   in
   let src_elem = Array.init nl (fun l -> elem_of_endpoint (Network.link_src net l)) in
   let dst_elem = Array.init nl (fun l -> elem_of_endpoint (Network.link_dst net l)) in

@@ -50,8 +50,11 @@ val run :
   ?obs:Rsin_obs.Obs.t ->
   Rsin_topology.Network.t -> requests:int list -> free:int list -> report
 (** Simulates one full scheduling cycle on the current network state
-    (occupied links are opaque to tokens). The network itself is not
-    modified; use {!commit} to establish the resulting circuits.
+    (occupied links are opaque to tokens, and so is any link masked by a
+    down element — tokens die at dead boxes, so the architecture
+    degrades to the same surviving subnetwork the monitor schedules
+    on). The network itself is not modified; use {!commit} to establish
+    the resulting circuits.
 
     With [obs], the run becomes a browsable timeline: one ["token.bus"]
     instant event per clock period carrying the decoded seven-bit

@@ -4,6 +4,7 @@ module Network = Rsin_topology.Network
 module Transform1 = Rsin_core.Transform1
 module Transform2 = Rsin_core.Transform2
 module Workload = Rsin_sim.Workload
+module Fault = Rsin_fault.Fault
 module Obs = Rsin_obs.Obs
 module Tr = Rsin_obs.Trace
 
@@ -50,6 +51,10 @@ type report = {
   cycles : int;
   skipped_cycles : int;
   solver_work : int;
+  faults : int;
+  repairs : int;
+  victims : int;
+  mean_readmission : float;
 }
 
 (* Internal events. Trace arrivals/cancels are injected up front; the
@@ -64,8 +69,9 @@ type ev =
       priority : int;
     }
   | Ev_cancel of int
-  | Ev_release of int   (* live-circuit table index *)
-  | Ev_complete of int  (* resource *)
+  | Ev_release of int   (* live-circuit table index: transmission done *)
+  | Ev_complete of int  (* live-circuit table index: service done *)
+  | Ev_fault of Fault.event
   | Ev_deadline of int  (* task id *)
   | Ev_wake
 
@@ -76,15 +82,24 @@ type task = {
   mutable queued : bool;  (* false once transmitting, cancelled or expired *)
 }
 
+(* A live entry covers both phases of an allocation: transmission (the
+   circuit holds its links; [released = false]) and service (links
+   free, resource busy). It leaves the table at completion — or at a
+   fault teardown during transmission, which silently invalidates the
+   already-queued Ev_release/Ev_complete for its index. *)
 type live = {
   net_id : int;
   lproc : int;
   lres : int;
+  task_id : int;
+  committed_at : int;
+  lservice : int;
   inc : Incremental.circuit option;  (* Warm mode only *)
+  mutable released : bool;
 }
 
 let run ?obs ?(config = default_config) ?(mode = Warm) ?(discipline = Uniform)
-    ?cycle_hook net trace =
+    ?solver ?cycle_hook net trace =
   if config.transmission_time < 1 then invalid_arg "Engine.run: transmission_time";
   if config.batch_threshold < 1 then invalid_arg "Engine.run: batch_threshold";
   if config.max_defer < 1 then invalid_arg "Engine.run: max_defer";
@@ -101,11 +116,15 @@ let run ?obs ?(config = default_config) ?(mode = Warm) ?(discipline = Uniform)
       Some (Incremental.create ~discipline:d net)
     | Rebuild -> None
   in
-  (* Engine-visible scheduling state. In Warm mode [requesting]/[free_res]
-     mirror the incremental graph's switched-on endpoint arcs (committed
-     circuits' frozen arcs count as neither). *)
+  (* Engine-visible scheduling state. In Warm mode [requesting] and the
+     effective resource freedom (idle && up) mirror the incremental
+     graph's switched-on endpoint arcs (committed circuits' frozen arcs
+     count as neither). [res_idle] tracks service occupancy only;
+     health lives on the network copy, so a resource that goes down
+     mid-service simply stays unavailable after completing. *)
   let requesting = Array.make np false in
-  let free_res = Array.make nr true in
+  let res_idle = Array.make nr true in
+  let res_free r = res_idle.(r) && Network.res_up net r in
   let queues : int list array = Array.make np [] in      (* task ids, FIFO *)
   let transmitting : int option array = Array.make np None in
   let tasks : (int, task) Hashtbl.t = Hashtbl.create 256 in
@@ -127,11 +146,16 @@ let run ?obs ?(config = default_config) ?(mode = Warm) ?(discipline = Uniform)
         if service < 1 then invalid_arg "Engine.run: bad service time in trace";
         if priority < 0 then invalid_arg "Engine.run: bad priority in trace";
         push t (Ev_arrive { id; proc; service; deadline; priority })
-      | Workload.Cancel { t; id } -> push t (Ev_cancel id))
+      | Workload.Cancel { t; id } -> push t (Ev_cancel id)
+      | Workload.Fault { t; element } -> push t (Ev_fault (Fault.down_of element))
+      | Workload.Repair { t; element } -> push t (Ev_fault (Fault.up_of element)))
     (Workload.sort_trace trace);
   let arrivals = ref 0 and allocated = ref 0 and completed = ref 0 in
   let cancelled = ref 0 and expired = ref 0 in
   let cycles = ref 0 and skipped_cycles = ref 0 and solver_work = ref 0 in
+  let faults = ref 0 and repairs = ref 0 and victims = ref 0 in
+  let victim_at : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let readmissions = Stats.accum () in
   let busy_slots = ref 0 and horizon = ref 0 in
   let waits = Stats.accum () and max_wait = ref 0 in
   let tracing = Obs.tracing obs in
@@ -153,15 +177,16 @@ let run ?obs ?(config = default_config) ?(mode = Warm) ?(discipline = Uniform)
         Incremental.set_requesting i ~priority:(head_priority p) p on
     | None -> ()
   in
-  let set_free r on =
-    if free_res.(r) <> on then begin
-      free_res.(r) <- on;
-      match inc with Some i -> Incremental.set_resource_free i r on | None -> ()
-    end
+  (* Push resource r's effective freedom (idle && healthy) down to the
+     warm graph. Never called while the rt arc is frozen: during
+     transmission the resource counts as busy via the frozen flow, and
+     teardown/release thaw the arc before any sync. *)
+  let sync_res r =
+    match inc with
+    | Some i -> Incremental.set_resource_free i r (res_free r)
+    | None -> ()
   in
-  (match inc with
-  | Some i -> for r = 0 to nr - 1 do Incremental.set_resource_free i r true done
-  | None -> ());
+  for r = 0 to nr - 1 do sync_res r done;
   let drop_task id =
     (* Remove a still-queued task (cancel or deadline expiry). *)
     match Hashtbl.find_opt tasks id with
@@ -179,6 +204,73 @@ let run ?obs ?(config = default_config) ?(mode = Warm) ?(discipline = Uniform)
         queues;
       true
     | Some _ | None -> false
+  in
+  (* Tear down a circuit still in transmission because a fault severed
+     one of its links: release the circuit (net + warm graph), return
+     the interrupted task to the head of its queue, and undo the busy
+     slots it will no longer consume. The already-queued Ev_release /
+     Ev_complete for this live index become no-ops. *)
+  let teardown now li (l : live) =
+    Hashtbl.remove lives li;
+    Network.release net l.net_id;
+    (match l.inc with
+    | Some c -> Incremental.release (Option.get inc) c
+    | None -> ());
+    incr victims;
+    busy_slots :=
+      !busy_slots - (l.committed_at + config.transmission_time + l.lservice - now);
+    res_idle.(l.lres) <- true;
+    (* The queued Ev_complete for this index is now a stale no-op, so
+       re-enable the resource's endpoint arc here (a no-op when the
+       fault that killed the circuit is the resource itself: health was
+       flipped before the teardown, so res_free is already false). *)
+    sync_res l.lres;
+    transmitting.(l.lproc) <- None;
+    (* Victim re-admission: back to the queue head, ahead of every task
+       that arrived while it was transmitting. *)
+    let task = Hashtbl.find tasks l.task_id in
+    task.queued <- true;
+    queues.(l.lproc) <- l.task_id :: queues.(l.lproc);
+    Hashtbl.replace victim_at l.task_id now;
+    set_requesting l.lproc true
+  in
+  let apply_fault now fev =
+    let element = Fault.element fev in
+    Fault.apply net fev;
+    if Fault.is_down fev then begin
+      incr faults;
+      (* Kill circuits transmitting through the dead element first so
+         their frozen arcs are thawed before the capacity mask lands. *)
+      let dead = Fault.victims net element in
+      Hashtbl.iter
+        (fun li l -> if List.mem l.net_id dead && not l.released then
+            teardown now li l)
+        (Hashtbl.copy lives)
+    end
+    else incr repairs;
+    (* Re-derive every affected link's capacity from the network — a
+       repair must not re-enable a link still masked by another down
+       element or held by a pre-established circuit. *)
+    (match inc with
+    | Some i ->
+      List.iter
+        (fun l ->
+          if Network.link_state net l = Network.Free then
+            Incremental.set_link_usable i l (Network.usable net l))
+        (Fault.affected_links net element)
+    | None -> ());
+    (match element with Fault.Res r -> sync_res r | Fault.Link _ | Fault.Box _ -> ());
+    if tracing then
+      Obs.instant obs "engine.fault" ~ts:now
+        ~args:
+          [ ("event", Tr.Str (if Fault.is_down fev then "down" else "up"));
+            ( "element",
+              Tr.Str
+                (match element with
+                | Fault.Link l -> Printf.sprintf "link%d" l
+                | Fault.Box b -> Printf.sprintf "box%d" b
+                | Fault.Res r -> Printf.sprintf "res%d" r) );
+            ("victims", Tr.Int !victims) ]
   in
   (* Returns true when the event changed engine state (used for the
      measured horizon: trailing no-op deadline checks and wakeups do not
@@ -201,18 +293,28 @@ let run ?obs ?(config = default_config) ?(mode = Warm) ?(discipline = Uniform)
       if dropped then incr expired;
       dropped
     | Ev_release li ->
-      let l = Hashtbl.find lives li in
-      Hashtbl.remove lives li;
-      Network.release net l.net_id;
-      (match l.inc with
-      | Some c -> Incremental.release (Option.get inc) c
-      | None -> ());
-      transmitting.(l.lproc) <- None;
-      if queues.(l.lproc) <> [] then set_requesting l.lproc true;
-      true
-    | Ev_complete r ->
-      incr completed;
-      set_free r true;
+      (match Hashtbl.find_opt lives li with
+      | Some l when not l.released ->
+        l.released <- true;
+        Network.release net l.net_id;
+        (match l.inc with
+        | Some c -> Incremental.release (Option.get inc) c
+        | None -> ());
+        transmitting.(l.lproc) <- None;
+        if queues.(l.lproc) <> [] then set_requesting l.lproc true;
+        true
+      | Some _ | None -> false (* torn down by a fault *))
+    | Ev_complete li ->
+      (match Hashtbl.find_opt lives li with
+      | Some l ->
+        Hashtbl.remove lives li;
+        incr completed;
+        res_idle.(l.lres) <- true;
+        sync_res l.lres;
+        true
+      | None -> false (* torn down by a fault *))
+    | Ev_fault fev ->
+      apply_fault now fev;
       true
     | Ev_wake -> false
   in
@@ -220,29 +322,37 @@ let run ?obs ?(config = default_config) ?(mode = Warm) ?(discipline = Uniform)
     let net_id = Network.establish net links in
     let li = !next_live in
     incr next_live;
-    Hashtbl.replace lives li { net_id; lproc = p; lres = r; inc = inc_circuit };
     (match queues.(p) with
     | id :: rest ->
       queues.(p) <- rest;
       let task = Hashtbl.find tasks id in
       task.queued <- false;
+      Hashtbl.replace lives li
+        { net_id; lproc = p; lres = r; task_id = id; committed_at = now;
+          lservice = task.service; inc = inc_circuit; released = false };
       let w = now - task.arrival in
       Stats.observe waits (float_of_int w);
       if w > !max_wait then max_wait := w;
+      (match Hashtbl.find_opt victim_at id with
+      | Some t_fault ->
+        Hashtbl.remove victim_at id;
+        Stats.observe readmissions (float_of_int (now - t_fault));
+        Obs.observe obs "engine.readmission_wait" (float_of_int (now - t_fault))
+      | None -> ());
       transmitting.(p) <- Some id;
-      (* Set directly, not via set_requesting/set_free: in Warm mode the
+      (* Set directly, not via set_requesting/sync_res: in Warm mode the
          endpoint arcs are frozen with unit flow, not switched off. *)
       requesting.(p) <- false;
-      free_res.(r) <- false;
+      res_idle.(r) <- false;
       push (now + config.transmission_time) (Ev_release li);
-      push (now + config.transmission_time + task.service) (Ev_complete r);
+      push (now + config.transmission_time + task.service) (Ev_complete li);
       busy_slots := !busy_slots + config.transmission_time + task.service;
       incr allocated
     | [] -> assert false)
   in
   let try_cycle now =
     let pending = List.filter (fun p -> requesting.(p)) (List.init np Fun.id) in
-    let free = List.filter (fun r -> free_res.(r)) (List.init nr Fun.id) in
+    let free = List.filter res_free (List.init nr Fun.id) in
     let n_pending = List.length pending and n_free = List.length free in
     if pending = [] || free = [] then ()
     else begin
@@ -273,7 +383,11 @@ let run ?obs ?(config = default_config) ?(mode = Warm) ?(discipline = Uniform)
             (match discipline with
             | Uniform ->
               let tr = Transform1.build net ~requests:pending ~free in
-              let o = Transform1.solve ?obs tr in
+              let o =
+                match solver with
+                | None -> Transform1.solve ?obs tr
+                | Some s -> Transform1.solve_with ?obs s tr
+              in
               let _nodes, arcs = Transform1.size tr in
               let work = Network.n_links net + arcs + o.Transform1.arcs_scanned in
               let committed =
@@ -347,6 +461,9 @@ let run ?obs ?(config = default_config) ?(mode = Warm) ?(discipline = Uniform)
   Obs.count obs "engine.cycles" !cycles;
   Obs.count obs "engine.cycles_skipped" !skipped_cycles;
   Obs.count obs "engine.solver_work" !solver_work;
+  Obs.count obs "engine.faults" !faults;
+  Obs.count obs "engine.repairs" !repairs;
+  Obs.count obs "engine.victims" !victims;
   let h = float_of_int (max 1 !horizon) in
   { mode;
     horizon = !horizon;
@@ -362,4 +479,9 @@ let run ?obs ?(config = default_config) ?(mode = Warm) ?(discipline = Uniform)
     utilization = float_of_int !busy_slots /. (float_of_int nr *. h);
     cycles = !cycles;
     skipped_cycles = !skipped_cycles;
-    solver_work = !solver_work }
+    solver_work = !solver_work;
+    faults = !faults;
+    repairs = !repairs;
+    victims = !victims;
+    mean_readmission =
+      (if Stats.count readmissions = 0 then 0. else Stats.mean readmissions) }

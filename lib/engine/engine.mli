@@ -86,6 +86,15 @@ type report = {
           arcs scanned; for [Rebuild], per cycle the links scanned by the
           build, the arcs of the built graph, and the arcs scanned by the
           from-zero solve *)
+  faults : int;             (** element-down events applied *)
+  repairs : int;            (** element-up events applied *)
+  victims : int;
+      (** circuits torn down mid-transmission by a fault; their tasks
+          were re-admitted at the head of their queue *)
+  mean_readmission : float;
+      (** slots from fault to the victim's next circuit ([0.] when no
+          victim was re-admitted — not [nan], so reports stay comparable
+          with [=]) *)
 }
 
 val run :
@@ -93,6 +102,7 @@ val run :
   ?config:config ->
   ?mode:mode ->
   ?discipline:discipline ->
+  ?solver:(module Rsin_flow.Solver.S) ->
   ?cycle_hook:(Rsin_topology.Network.t -> cycle_info -> unit) ->
   Rsin_topology.Network.t ->
   Rsin_sim.Workload.trace_event list ->
@@ -109,13 +119,35 @@ val run :
     mappings, and hence the later trajectories of two whole runs, may
     differ.
 
+    [solver] picks the max-flow solver a [Rebuild] + {!Uniform} cycle
+    runs from scratch (any registry member, default Dinic). The [Warm]
+    strategy is {e defined} by its incremental Dinic/min-cost
+    augmentation over the persistent graph, and [Priority] rebuilds are
+    min-cost by construction, so both ignore it.
+
     [cycle_hook] is called once per entered cycle {e after} solving but
     {e before} the new circuits are established, so the network argument
     still shows the pre-commit state — this is what lets the
     differential test re-schedule the same snapshot from scratch and
     compare allocation counts.
 
+    {!Rsin_sim.Workload.Fault}/[Repair] trace events flip element health
+    on the engine's network copy ({!Rsin_fault.Fault.apply}). A fault on
+    an element carrying a {e transmitting} circuit tears the circuit
+    down and re-queues its task at the head of its processor's queue
+    (victim re-admission); a resource that goes down mid-service
+    finishes the service but stays unavailable until repaired. In
+    [Warm] mode a fault/repair is an O(1) capacity delta on the
+    persistent graph ({!Incremental.set_link_usable}) followed by a
+    re-augmentation, never a rebuild; in [Rebuild] mode the degraded
+    network compiles down elements to zero capacity. Either way the
+    per-cycle allocation remains maximum on the surviving subnetwork,
+    and the two modes stay count-equal cycle by cycle.
+
     With [obs], [engine.*] registry counters accumulate the run totals
-    and every entered cycle emits an ["engine.cycle"] instant event
-    (domain clock = slot) with pending/free/allocated/work arguments;
-    the observer is also passed down to the flow solver. *)
+    (including [engine.faults]/[engine.repairs]/[engine.victims] and the
+    [engine.readmission_wait] histogram) and every entered cycle emits
+    an ["engine.cycle"] instant event (domain clock = slot) with
+    pending/free/allocated/work arguments; fault events emit
+    ["engine.fault"] instants. The observer is also passed down to the
+    flow solver. *)

@@ -104,6 +104,16 @@ let set_requesting t ?(priority = 0) p on =
   set_switch t a on
 
 let set_resource_free t r on = set_switch t (rt_arc t r) on
+
+let set_link_usable t l on =
+  match Netgraph.arc_of_link t.ng l with
+  | None -> invalid_arg "Incremental.set_link_usable: bad link"
+  | Some a ->
+    if t.frozen.(a / 2) then
+      invalid_arg
+        "Incremental.set_link_usable: link carries a committed circuit \
+         (release it first)";
+    set_switch t a on
 let requesting t p = Graph.original_capacity (graph t) (sp_arc t p) = 1
 let resource_free t r = Graph.original_capacity (graph t) (rt_arc t r) = 1
 

@@ -66,6 +66,16 @@ val set_requesting : t -> ?priority:int -> int -> bool -> unit
 val set_resource_free : t -> int -> bool -> unit
 (** Same for resource [r]'s sink arc (always cost 0). *)
 
+val set_link_usable : t -> int -> bool -> unit
+(** [set_link_usable t l on] switches network link [l]'s arc on/off —
+    the warm-path encoding of a hardware fault ([off], an O(1) capacity
+    delta) or repair ([on], dirties the state so the next solve
+    re-augments). The caller decides [on] from [Network.usable] so that
+    repairing one element never re-enables a link still masked by
+    another. Raises [Invalid_argument] while a committed circuit holds
+    the link's frozen arc — tear the victim down with {!release}
+    first. *)
+
 val requesting : t -> int -> bool
 val resource_free : t -> int -> bool
 

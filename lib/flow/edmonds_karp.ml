@@ -69,7 +69,6 @@ let max_flow ?obs g ~source ~sink =
   (!total, { augmentations = !augs; arcs_scanned = !arcs })
 
 let min_cut g ~source ~sink =
-  ignore sink;
   (* Source side = nodes reachable in the residual network. *)
   let n = Graph.node_count g in
   let seen = Array.make n false in
@@ -85,6 +84,11 @@ let min_cut g ~source ~sink =
           Queue.push w q
         end)
   done;
+  (* The reachability set only describes a minimum cut when the flow is
+     maximum, i.e. the sink is residual-unreachable; the same BFS that
+     finds the cut checks the precondition for free. *)
+  if seen.(sink) then
+    invalid_arg "Edmonds_karp.min_cut: flow is not maximum (call max_flow first)";
   let cut = ref [] in
   Graph.iter_forward_arcs g (fun a ->
       if seen.(Graph.src g a) && not seen.(Graph.dst g a) then cut := a :: !cut);

@@ -30,5 +30,11 @@ val max_flow :
     also added to the [flow.edmonds_karp.*] registry counters. *)
 
 val min_cut : Graph.t -> source:Graph.node -> sink:Graph.node -> Graph.arc list
-(** After a max flow has been computed, the saturated forward arcs that
-    cross the source side of the minimum cut. *)
+(** The saturated forward arcs crossing from the residual-reachable
+    source side to the sink side of the minimum cut.
+
+    Precondition: the graph must already hold a {e maximum} flow (any of
+    the solvers will do) — reachability only witnesses a cut when the
+    sink is residual-unreachable. The function verifies this with the
+    same BFS it uses to find the cut and raises [Invalid_argument] if
+    the sink is still reachable. *)

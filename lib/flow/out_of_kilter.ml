@@ -180,10 +180,28 @@ let solve ?obs g =
                 delta := min !delta (-rc)
             end);
         if !delta = max_int then begin
-          (* No way to make progress: check whether the violated arc can
-             ever reach kilter -- if its own bounds are contradictory or
-             the cut has no capacity, the problem is infeasible. *)
-          infeasible := true
+          let x = Graph.flow g a in
+          let rc = reduced_cost g pot a in
+          if x >= Graph.lower_bound g a && x <= Graph.original_capacity g a
+             && rc <> 0
+          then begin
+            (* The arc is inside its bounds and out of kilter only by
+               cost, and it crosses the reached/unreached cut (the search
+               started from one of its ends): raising the unreached side
+               by |rc| zeroes its reduced cost and brings it into kilter.
+               This is the saturated-cut case -- e.g. a max-flow return
+               arc that can carry no more flow -- not infeasibility,
+               which only arises from violated bounds. *)
+            incr pots;
+            for w = 0 to Graph.node_count g - 1 do
+              if not reached.(w) then pot.(w) <- pot.(w) + abs rc
+            done;
+            fix a
+          end
+          else
+            (* A bound violation that no residual cut capacity can fix:
+               the lower bounds genuinely cannot be met. *)
+            infeasible := true
         end
         else begin
           incr pots;

@@ -33,10 +33,15 @@ type estimate = {
   trials_used : int;
 }
 
-let allocated_of ?obs scheduler rng net ~requests ~free =
+let allocated_of ?obs ?solver scheduler rng net ~requests ~free =
   match scheduler with
   | Optimal ->
-    (Transform1.schedule ?obs net ~requests ~free).Transform1.allocated
+    let o =
+      match solver with
+      | None -> Transform1.schedule ?obs net ~requests ~free
+      | Some s -> Transform1.solve_with ?obs s (Transform1.build net ~requests ~free)
+    in
+    o.Transform1.allocated
   | Distributed -> (Token_sim.run ?obs net ~requests ~free).Token_sim.allocated
   | First_fit ->
     (Heuristic.schedule net ~requests ~free Heuristic.First_fit)
@@ -48,7 +53,7 @@ let allocated_of ?obs scheduler rng net ~requests ~free =
     (Heuristic.schedule net ~requests ~free (Heuristic.Address_map rng))
       .Heuristic.allocated
 
-let estimate ?obs ?(config = default_config) ~scheduler rng make_net =
+let estimate ?obs ?(config = default_config) ?solver ~scheduler rng make_net =
   let module Obs = Rsin_obs.Obs in
   let blocking = Stats.accum () in
   let alloc = Stats.accum () in
@@ -69,7 +74,7 @@ let estimate ?obs ?(config = default_config) ~scheduler rng make_net =
     let bound = min (List.length requests) (List.length free) in
     if bound > 0 then begin
       incr used;
-      let a = allocated_of ?obs scheduler rng net ~requests ~free in
+      let a = allocated_of ?obs ?solver scheduler rng net ~requests ~free in
       Stats.observe blocking (float_of_int (bound - a) /. float_of_int bound);
       Stats.observe alloc (float_of_int a);
       Stats.observe offered (float_of_int bound);

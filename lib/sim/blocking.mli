@@ -46,6 +46,7 @@ type estimate = {
 val estimate :
   ?obs:Rsin_obs.Obs.t ->
   ?config:config ->
+  ?solver:(module Rsin_flow.Solver.S) ->
   scheduler:scheduler ->
   Rsin_util.Prng.t ->
   (unit -> Rsin_topology.Network.t) ->
@@ -57,10 +58,13 @@ val estimate :
     With [obs], the observer is passed to every trial's scheduler run
     (accumulating [flow.*] / [token_sim.*] counters across the whole
     experiment) and [blocking.trials] / [blocking.trials_used] are
-    recorded. *)
+    recorded. [solver] picks the max-flow solver the {!Optimal}
+    scheduler runs (any {!Rsin_flow.Solver.S} from the registry;
+    default Dinic); the other schedulers ignore it. *)
 
 val allocated_of :
   ?obs:Rsin_obs.Obs.t ->
+  ?solver:(module Rsin_flow.Solver.S) ->
   scheduler ->
   Rsin_util.Prng.t ->
   Rsin_topology.Network.t ->

@@ -52,6 +52,7 @@ val run :
   ?obs:Rsin_obs.Obs.t ->
   ?scheduler:scheduler ->
   ?cycle_threshold:int ->
+  ?solver:(module Rsin_flow.Solver.S) ->
   Rsin_util.Prng.t ->
   Rsin_topology.Network.t ->
   params ->
@@ -63,6 +64,9 @@ val run :
     depth), [dynamic.*] registry counters accumulate the run totals, and
     the observer is passed down to the scheduler, so one trace file
     shows the workload and the per-cycle scheduling work together.
+
+    [solver] picks the max-flow solver the {!Optimal} scheduler runs
+    each cycle (default Dinic); the other schedulers ignore it.
 
     [cycle_threshold] (default 1) implements the batching policy of the
     paper's Fig. 10 discussion: a scheduling cycle is entered only when

@@ -1,6 +1,7 @@
 module Prng = Rsin_util.Prng
 module Network = Rsin_topology.Network
 module Builders = Rsin_topology.Builders
+module Fault = Rsin_fault.Fault
 
 let snapshot ?(req_density = 0.5) ?(res_density = 0.5) rng net =
   let procs = ref [] and ress = ref [] in
@@ -76,9 +77,22 @@ type trace_event =
       priority : int;
     }
   | Cancel of { t : int; id : int }
+  | Fault of { t : int; element : Fault.element }
+  | Repair of { t : int; element : Fault.element }
 
-let event_time = function Arrive { t; _ } | Cancel { t; _ } -> t
-let event_id = function Arrive { id; _ } | Cancel { id; _ } -> id
+let event_time = function
+  | Arrive { t; _ } | Cancel { t; _ } | Fault { t; _ } | Repair { t; _ } -> t
+
+let event_id = function
+  | Arrive { id; _ } | Cancel { id; _ } -> id
+  | Fault _ | Repair _ -> -1
+
+let fault_events schedule =
+  List.map
+    (fun (t, ev) ->
+      let element = Fault.element ev in
+      if Fault.is_down ev then Fault { t; element } else Repair { t; element })
+    schedule
 
 let sort_trace trace =
   (* Stable on time so same-slot events keep their recorded order. *)
@@ -150,7 +164,20 @@ let trace_to_jsonl trace =
       | Cancel { t; id } ->
         Buffer.add_string buf
           (Printf.sprintf "{\"t\":%d,\"ev\":\"cancel\",\"id\":%d" t id);
-        Buffer.add_char buf '}');
+        Buffer.add_char buf '}'
+      | Fault { t; element } | Repair { t; element } ->
+        (* New event kinds appear only in traces that contain faults, so
+           fault-free traces keep the original on-disk format. *)
+        let ev = match ev with Fault _ -> "fault" | _ -> "repair" in
+        let kind, idx =
+          match element with
+          | Fault.Link l -> ("link", l)
+          | Fault.Box b -> ("box", b)
+          | Fault.Res r -> ("res", r)
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "{\"t\":%d,\"ev\":%S,\"kind\":%S,\"idx\":%d}" t ev
+             kind idx));
       Buffer.add_char buf '\n')
     trace;
   Buffer.contents buf
@@ -233,6 +260,21 @@ let trace_of_jsonl text =
                          | None -> fail "field \"deadline\" is not an integer"));
                      priority } ]
              | Some "cancel" -> [ Cancel { t = int_field "t"; id = int_field "id" } ]
+             | Some (("fault" | "repair") as which) ->
+               let idx = int_field "idx" in
+               if idx < 0 then fail "field \"idx\" must be >= 0";
+               let element =
+                 match List.assoc_opt "kind" fields with
+                 | Some "link" -> Fault.Link idx
+                 | Some "box" -> Fault.Box idx
+                 | Some "res" -> Fault.Res idx
+                 | Some other ->
+                   fail (Printf.sprintf "unknown element kind %S" other)
+                 | None -> fail "missing field \"kind\""
+               in
+               let t = int_field "t" in
+               if which = "fault" then [ Fault { t; element } ]
+               else [ Repair { t; element } ]
              | Some other -> fail (Printf.sprintf "unknown event kind %S" other)
              | None -> fail "missing field \"ev\""
            end)

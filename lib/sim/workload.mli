@@ -68,9 +68,24 @@ type trace_event =
           priority-free traces in the original on-disk format. *)
   | Cancel of { t : int; id : int }
       (** Task [id] is withdrawn at slot [t] if still queued. *)
+  | Fault of { t : int; element : Rsin_fault.Fault.element }
+      (** The element goes down at slot [t]; circuits riding it are torn
+          down by the engine and their tasks re-admitted at the queue
+          head. JSONL form
+          [{"t":5,"ev":"fault","kind":"link","idx":12}] — fault events
+          are emitted only when present, so fault-free traces keep the
+          original on-disk format byte for byte. *)
+  | Repair of { t : int; element : Rsin_fault.Fault.element }
+      (** The element comes back up at slot [t]. *)
 
 val event_time : trace_event -> int
+
 val event_id : trace_event -> int
+(** Task id of an [Arrive]/[Cancel]; [-1] for fault/repair events. *)
+
+val fault_events : Rsin_fault.Fault.schedule -> trace_event list
+(** Lifts an injector schedule ({!Rsin_fault.Fault.inject}) into trace
+    events, ready to merge into a workload trace. *)
 
 val sort_trace : trace_event list -> trace_event list
 (** Stable sort by slot, preserving recorded order within a slot. *)

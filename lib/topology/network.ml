@@ -27,6 +27,9 @@ type t = {
   stage_members : int list array;
   proc_link_ : int array;
   res_link_ : int array;
+  link_up_ : bool array;
+  box_up_ : bool array;
+  res_up_ : bool array;
   mutable next_circuit : int;
   mutable live : (int * int list) list;
 }
@@ -147,7 +150,11 @@ let build ~name ~n_procs ~n_res ~stage_boxes ~proc_wiring ~stage_wiring
   Array.iteri (fun s ms -> stage_members.(s) <- List.rev ms) stage_members;
   { name; n_procs; n_res; n_stages; boxes;
     links = Array.of_list (List.rev !links);
-    stage_members; proc_link_; res_link_; next_circuit = 0; live = [] }
+    stage_members; proc_link_; res_link_;
+    link_up_ = Array.make !n_links true;
+    box_up_ = Array.make total_boxes true;
+    res_up_ = Array.make n_res true;
+    next_circuit = 0; live = [] }
 
 let name t = t.name
 let n_procs t = t.n_procs
@@ -177,6 +184,34 @@ let res_link t j =
   t.res_link_.(j)
 
 let link_state t l = check_link t l; t.links.(l).state
+
+(* --- element health ----------------------------------------------------- *)
+
+let check_res t r = if r < 0 || r >= t.n_res then invalid_arg "Network: bad res"
+
+let link_up t l = check_link t l; t.link_up_.(l)
+let box_up t b = check_box t b; t.box_up_.(b)
+let res_up t r = check_res t r; t.res_up_.(r)
+
+let set_link_up t l up = check_link t l; t.link_up_.(l) <- up
+let set_box_up t b up = check_box t b; t.box_up_.(b) <- up
+let set_res_up t r up = check_res t r; t.res_up_.(r) <- up
+
+let endpoint_up t = function
+  | Proc _ -> true
+  | Res r -> t.res_up_.(r)
+  | Box_in (b, _) | Box_out (b, _) -> t.box_up_.(b)
+
+let usable t l =
+  check_link t l;
+  t.link_up_.(l)
+  && endpoint_up t t.links.(l).src
+  && endpoint_up t t.links.(l).dst
+
+let all_up t =
+  Array.for_all Fun.id t.link_up_
+  && Array.for_all Fun.id t.box_up_
+  && Array.for_all Fun.id t.res_up_
 
 let all_free t ls =
   List.for_all (fun l -> check_link t l; t.links.(l).state = Free) ls
@@ -236,6 +271,9 @@ let free_links t =
 let copy t =
   { t with
     links = Array.map (fun l -> { l with state = l.state }) t.links;
+    link_up_ = Array.copy t.link_up_;
+    box_up_ = Array.copy t.box_up_;
+    res_up_ = Array.copy t.res_up_;
     live = t.live }
 
 let paths_exist t =

@@ -80,6 +80,31 @@ val res_link : t -> int -> int
 
 val link_state : t -> int -> link_state
 
+(** {1 Element health}
+
+    Every link, switchbox and resource carries an up/down health flag
+    (all up at construction). Health is orthogonal to circuit occupancy:
+    a fault does not release circuits by itself — tearing down victims is
+    the caller's job (see [Rsin_fault] and the engine). Schedulers honor
+    health through {!usable}, which [Netgraph] uses to compile down
+    elements to zero capacity, so max-flow optimality (Theorems 1-3)
+    holds on the surviving subnetwork. *)
+
+val link_up : t -> int -> bool
+val box_up : t -> int -> bool
+val res_up : t -> int -> bool
+
+val set_link_up : t -> int -> bool -> unit
+val set_box_up : t -> int -> bool -> unit
+val set_res_up : t -> int -> bool -> unit
+
+val usable : t -> int -> bool
+(** [usable net l] is true iff link [l] is up and neither endpoint of
+    [l] is a down box or down resource. Processors never fail. *)
+
+val all_up : t -> bool
+(** True iff no element is down (the common fast path). *)
+
 val establish : t -> int list -> int
 (** [establish net links] claims the given links for a new circuit and
     returns its id. The links must be free and form a processor→resource

@@ -1,0 +1,69 @@
+With --faults the replay engine injects a seeded MTBF/MTTR fault and
+repair schedule over the network's links, boxes and resource ports. A
+fault on an element carrying a transmitting circuit tears the circuit
+down and re-admits its task at the head of its queue; scheduling keeps
+allocating the maximum on the surviving subnetwork. Warm applies each
+fault as an O(1) capacity delta on the persistent graph, rebuild
+recompiles the degraded network every cycle — both serve the same
+trace identically while warm does less solver work:
+
+  $ rsin replay omega:8 --slots 40 --arrival 0.3 --seed 7 --faults --mtbf 60 --mttr 15 --export ftrace.jsonl
+  faults: 33 element event(s) injected (mtbf 60, mttr 15)
+  exported 129 event(s) -> ftrace.jsonl
+  metric                   warm    rebuild
+  -----------------------  ------  -------
+  horizon (slots)          98      98
+  arrivals                 96      96
+  allocated                95      95
+  completed                90      90
+  cancelled                0       0
+  expired                  0       0
+  left pending             6       6
+  mean wait (slots)        16.453  16.453
+  max wait (slots)         56      56
+  throughput (tasks/slot)  0.918   0.918
+  resource utilization     57.14%  57.14%
+  scheduling cycles        84      84
+  cycles skipped clean     0       0
+  solver work (arcs)       4650    7888
+  faults applied           19      19
+  repairs applied          14      14
+  victim circuits          5       5
+  mean re-admission wait   6.600   6.600
+  warm start saves 41.05% of rebuild solver work
+
+Fault and repair events ride in the same JSONL trace as the workload
+(they only appear in traces that contain them, so fault-free traces
+keep the original format byte for byte):
+
+  $ grep -c '"ev":"fault"\|"ev":"repair"' ftrace.jsonl
+  33
+  $ grep '"ev":"fault"' ftrace.jsonl | head -1
+  {"t":1,"ev":"fault","kind":"link","idx":0}
+  $ grep '"ev":"repair"' ftrace.jsonl | head -1
+  {"t":8,"ev":"repair","kind":"link","idx":7}
+
+Replaying the exported trace reproduces the degraded run exactly, fault
+report lines included:
+
+  $ rsin replay omega:8 --trace ftrace.jsonl --mode rebuild
+  metric                   rebuild
+  -----------------------  -------
+  horizon (slots)          98
+  arrivals                 96
+  allocated                95
+  completed                90
+  cancelled                0
+  expired                  0
+  left pending             6
+  mean wait (slots)        16.453
+  max wait (slots)         56
+  throughput (tasks/slot)  0.918
+  resource utilization     57.14%
+  scheduling cycles        84
+  cycles skipped clean     0
+  solver work (arcs)       7888
+  faults applied           19
+  repairs applied          14
+  victim circuits          5
+  mean re-admission wait   6.600

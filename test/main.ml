@@ -13,6 +13,7 @@ let () =
       ("distributed", Test_distributed.suite);
       ("sim", Test_sim.suite);
       ("engine", Test_engine.suite);
+      ("fault", Test_fault.suite);
       ("hardware", Test_hardware.suite);
       ("gates", Test_gates.suite);
       ("switchbox", Test_switchbox.suite);

@@ -193,9 +193,15 @@ let test_t1_algorithms_agree () =
   for _ = 1 to 50 do
     let net, requests, free = random_scenario rng in
     if requests <> [] && free <> [] then begin
-      let a = T1.schedule ~algorithm:T1.Dinic net ~requests ~free in
-      let b = T1.schedule ~algorithm:T1.Edmonds_karp net ~requests ~free in
-      check Alcotest.int "Dinic = EK" a.T1.allocated b.T1.allocated
+      let a = T1.schedule net ~requests ~free in
+      List.iter
+        (fun s ->
+          let module S = (val s : Rsin_flow.Solver.S) in
+          let b = T1.solve_with s (T1.build net ~requests ~free) in
+          check Alcotest.int
+            (Printf.sprintf "Dinic = %s" S.name)
+            a.T1.allocated b.T1.allocated)
+        Rsin_flow.Solver.all
     end
   done
 
@@ -560,7 +566,8 @@ let test_scheduler_prioritized_dispatch () =
   check Alcotest.bool "prioritized" true
     (r.Scheduler.discipline = Scheduler.Homogeneous_prioritized);
   check Alcotest.(list (pair int int)) "winner" [ (1, 0) ] r.Scheduler.mapping;
-  check Alcotest.bool "cost present" true (r.Scheduler.cost <> None)
+  check Alcotest.bool "cost present" true
+    (match r.Scheduler.detail with Scheduler.Mincost _ -> true | _ -> false)
 
 let test_scheduler_hetero_dispatch () =
   let net = Builders.crossbar ~n_procs:2 ~n_res:2 in
@@ -571,7 +578,8 @@ let test_scheduler_hetero_dispatch () =
   in
   check Alcotest.bool "hetero" true (r.Scheduler.discipline = Scheduler.Heterogeneous);
   check Alcotest.int "both allocated" 2 r.Scheduler.allocated;
-  check Alcotest.bool "lp bound" true (r.Scheduler.lp_bound <> None)
+  check Alcotest.bool "lp bound" true
+    (Scheduler.lp_bound_of r.Scheduler.detail <> None)
 
 (* --- Monitor ------------------------------------------------------------------ *)
 

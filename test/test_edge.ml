@@ -115,7 +115,8 @@ let test_scheduler_discipline_override () =
       ~requests:[ Scheduler.request 0; Scheduler.request 1 ]
       ~resources:[ Scheduler.resource 0; Scheduler.resource 1 ]
   in
-  check Alcotest.bool "LP bound reported" true (r.Scheduler.lp_bound <> None);
+  check Alcotest.bool "LP bound reported" true
+    (Scheduler.lp_bound_of r.Scheduler.detail <> None);
   check Alcotest.int "still optimal" 2 r.Scheduler.allocated
 
 let test_heuristic_oversubscribed () =

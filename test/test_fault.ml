@@ -1,0 +1,325 @@
+(* Tests for the fault model (Rsin_fault) and its threading through the
+   stack: health masking in the network->flow compiler, the seeded
+   MTBF/MTTR injector, fault events in workload traces, and the warm
+   engine's count-exact parity with per-cycle rebuilds under
+   fault/repair churn. *)
+
+module Graph = Rsin_flow.Graph
+module Dinic = Rsin_flow.Dinic
+module Edmonds_karp = Rsin_flow.Edmonds_karp
+module Network = Rsin_topology.Network
+module Builders = Rsin_topology.Builders
+module Fault = Rsin_fault.Fault
+module Scheduler = Rsin_core.Scheduler
+module T1 = Rsin_core.Transform1
+module Workload = Rsin_sim.Workload
+module Token_sim = Rsin_distributed.Token_sim
+module Engine = Rsin_engine.Engine
+module Prng = Rsin_util.Prng
+
+let check = Alcotest.check
+
+let qtest name ?(count = 100) gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count gen prop)
+
+let topologies =
+  [ ("omega", fun () -> Builders.omega 8);
+    ("butterfly", fun () -> Builders.butterfly 8);
+    ("benes", fun () -> Builders.benes 8);
+    ("clos", fun () -> Builders.clos ~m:3 ~n:2 ~r:4);
+    ("crossbar", fun () -> Builders.crossbar ~n_procs:6 ~n_res:6);
+    ("delta", fun () -> Builders.delta ~radix:2 ~stages:3);
+    ("extra_stage", fun () -> Builders.extra_stage_omega 8 ~extra:1) ]
+
+(* --- Network health ------------------------------------------------------- *)
+
+let test_health_basics () =
+  let net = Builders.omega 8 in
+  check Alcotest.bool "all up initially" true (Network.all_up net);
+  Network.set_link_up net 0 false;
+  check Alcotest.bool "link down" false (Network.link_up net 0);
+  check Alcotest.bool "link 0 unusable" false (Network.usable net 0);
+  check Alcotest.bool "not all up" false (Network.all_up net);
+  Network.set_link_up net 0 true;
+  check Alcotest.bool "all up after repair" true (Network.all_up net);
+  (* A down box masks every link touching it. *)
+  Network.set_box_up net 0 false;
+  let touched = ref 0 in
+  for l = 0 to Network.n_links net - 1 do
+    if not (Network.usable net l) then incr touched
+  done;
+  check Alcotest.bool "box down masks its links" true (!touched > 0);
+  Network.set_box_up net 0 true;
+  (* Health survives copy, independently of the original. *)
+  Network.set_res_up net 3 false;
+  let c = Network.copy net in
+  check Alcotest.bool "copy keeps health" false (Network.res_up c 3);
+  Network.set_res_up c 3 true;
+  check Alcotest.bool "copy is independent" false (Network.res_up net 3)
+
+(* --- Degraded scheduling = max flow on a hand-masked graph --------------- *)
+
+(* Independent re-derivation of the masking rule: build the snapshot
+   flow graph by hand, dropping every link that is occupied, down, or
+   touches a down endpoint, and compare Transformation 1 on the degraded
+   network against Dinic on that graph. This pins the [usable] predicate
+   the compiler honours without going through Netgraph at all. *)
+let hand_masked_max_flow net requests free =
+  let np = Network.n_procs net and nr = Network.n_res net in
+  let g = Graph.create () in
+  let source = Graph.add_node g and sink = Graph.add_node g in
+  let boxes = Array.init (Network.n_boxes net) (fun _ -> Graph.add_node g) in
+  let procs = Array.make np (-1) and ress = Array.make nr (-1) in
+  List.iter (fun p -> procs.(p) <- Graph.add_node g) requests;
+  List.iter (fun r -> ress.(r) <- Graph.add_node g) free;
+  List.iter
+    (fun p -> ignore (Graph.add_arc g ~src:source ~dst:procs.(p) ~cap:1))
+    requests;
+  List.iter
+    (fun r -> ignore (Graph.add_arc g ~src:ress.(r) ~dst:sink ~cap:1))
+    free;
+  let endpoint_ok = function
+    | Network.Proc p -> procs.(p) >= 0
+    | Network.Res r -> ress.(r) >= 0
+    | Network.Box_in _ | Network.Box_out _ -> true
+  in
+  let endpoint_up = function
+    | Network.Proc _ -> true
+    | Network.Res r -> Network.res_up net r
+    | Network.Box_in (b, _) | Network.Box_out (b, _) -> Network.box_up net b
+  in
+  let node_of = function
+    | Network.Proc p -> procs.(p)
+    | Network.Res r -> ress.(r)
+    | Network.Box_in (b, _) | Network.Box_out (b, _) -> boxes.(b)
+  in
+  for l = 0 to Network.n_links net - 1 do
+    let src = Network.link_src net l and dst = Network.link_dst net l in
+    if
+      Network.link_state net l = Network.Free
+      && Network.link_up net l
+      && endpoint_up src && endpoint_up dst
+      && endpoint_ok src && endpoint_ok dst
+    then ignore (Graph.add_arc g ~src:(node_of src) ~dst:(node_of dst) ~cap:1)
+  done;
+  fst (Dinic.max_flow g ~source ~sink)
+
+let degraded_equals_hand_masked =
+  qtest "degraded Transformation 1 = max flow on hand-masked graph"
+    ~count:140 QCheck.small_int (fun seed ->
+      List.for_all
+        (fun (name, build) ->
+          let rng = Prng.create (Hashtbl.hash (name, seed)) in
+          let net = build () in
+          ignore (Workload.preoccupy rng net ~circuits:(Prng.int rng 3));
+          (* Random fault set over all three element kinds. *)
+          for l = 0 to Network.n_links net - 1 do
+            if Prng.float rng 1.0 < 0.08 then Network.set_link_up net l false
+          done;
+          for b = 0 to Network.n_boxes net - 1 do
+            if Prng.float rng 1.0 < 0.06 then Network.set_box_up net b false
+          done;
+          for r = 0 to Network.n_res net - 1 do
+            if Prng.float rng 1.0 < 0.06 then Network.set_res_up net r false
+          done;
+          let busy_p, busy_r = Workload.occupied_endpoints net in
+          let requests, free = Workload.snapshot rng net in
+          let requests =
+            List.filter (fun p -> not (List.mem p busy_p)) requests
+          in
+          let free = List.filter (fun r -> not (List.mem r busy_r)) free in
+          if requests = [] || free = [] then true
+          else begin
+            let o = T1.schedule net ~requests ~free in
+            let expected = hand_masked_max_flow net requests free in
+            (* The distributed architecture degrades identically: tokens
+               die at dead elements. *)
+            let tok = Token_sim.run net ~requests ~free in
+            o.T1.allocated = expected && tok.Token_sim.allocated = expected
+          end)
+        topologies)
+
+(* --- Injector ------------------------------------------------------------- *)
+
+let test_injector () =
+  let net = Builders.omega 8 in
+  let sched = Fault.inject (Prng.create 42) net ~horizon:500 ~mtbf:60. ~mttr:15. in
+  check Alcotest.bool "injector produced events" true (List.length sched > 0);
+  (* Sorted by time, and every event lands inside the horizon for downs
+     (repairs may trail past it). *)
+  let rec sorted = function
+    | (t1, _) :: ((t2, _) :: _ as rest) -> t1 <= t2 && sorted rest
+    | _ -> true
+  in
+  check Alcotest.bool "schedule sorted by time" true (sorted sched);
+  List.iter
+    (fun (t, ev) ->
+      if Fault.is_down ev then
+        check Alcotest.bool "down inside horizon" true (t >= 0 && t < 500))
+    sched;
+  (* Per element, events alternate down/up starting with a down. *)
+  let by_elem = Hashtbl.create 16 in
+  List.iter
+    (fun (_, ev) ->
+      let e = Fault.element ev in
+      let prev = Option.value (Hashtbl.find_opt by_elem e) ~default:[] in
+      Hashtbl.replace by_elem e (ev :: prev))
+    sched;
+  Hashtbl.iter
+    (fun _ evs ->
+      List.iteri
+        (fun i ev ->
+          check Alcotest.bool "alternating down/up" (i mod 2 = 0)
+            (Fault.is_down ev))
+        (List.rev evs))
+    by_elem;
+  (* Deterministic: same seed, same schedule. *)
+  let again =
+    Fault.inject (Prng.create 42) net ~horizon:500 ~mtbf:60. ~mttr:15.
+  in
+  check Alcotest.bool "deterministic" true (sched = again);
+  let other =
+    Fault.inject (Prng.create 43) net ~horizon:500 ~mtbf:60. ~mttr:15.
+  in
+  check Alcotest.bool "seed-sensitive" true (sched <> other)
+
+let test_trace_roundtrip () =
+  let net = Builders.omega 8 in
+  let base =
+    Workload.synthesize ~cancel_prob:0.1 (Prng.create 5) net ~slots:60
+      ~arrival_prob:0.3
+  in
+  let sched = Fault.inject (Prng.create 5) net ~horizon:60 ~mtbf:30. ~mttr:10. in
+  let trace =
+    List.stable_sort
+      (fun a b -> compare (Workload.event_time a) (Workload.event_time b))
+      (base @ Workload.fault_events sched)
+  in
+  check Alcotest.bool "trace carries fault events" true
+    (List.exists
+       (function Workload.Fault _ | Workload.Repair _ -> true | _ -> false)
+       trace);
+  let file = Filename.temp_file "rsin_fault" ".jsonl" in
+  Workload.write_trace file trace;
+  let back = Workload.read_trace file in
+  Sys.remove file;
+  check Alcotest.bool "JSONL round-trip preserves fault events" true
+    (trace = back)
+
+(* --- Engine under fault/repair churn -------------------------------------- *)
+
+(* The PR-2 differential guarantee must survive faults: at every entered
+   cycle — between arbitrary fault teardowns, re-admissions and repairs
+   — the warm engine allocates exactly as many requests as a
+   from-scratch Scheduler run on the same degraded pre-commit snapshot
+   (the snapshot carries the element health, so the reference compiles
+   the same surviving subnetwork). *)
+let test_differential_under_faults () =
+  let total_cycles = ref 0 in
+  List.iter
+    (fun (name, build) ->
+      List.iter
+        (fun seed ->
+          let net = build () in
+          let base =
+            Workload.synthesize ~deadline_slack:25 ~cancel_prob:0.1
+              (Prng.create seed) net ~slots:150 ~arrival_prob:0.3
+          in
+          let sched =
+            Fault.inject (Prng.create (seed * 7 + 1)) net ~horizon:150
+              ~mtbf:40. ~mttr:12.
+          in
+          let trace =
+            List.stable_sort
+              (fun a b ->
+                compare (Workload.event_time a) (Workload.event_time b))
+              (base @ Workload.fault_events sched)
+          in
+          let hook snapshot (info : Engine.cycle_info) =
+            incr total_cycles;
+            let reference =
+              Scheduler.schedule snapshot
+                ~requests:(List.map Scheduler.request info.Engine.requests)
+                ~resources:(List.map Scheduler.resource info.Engine.free)
+            in
+            check Alcotest.int
+              (Printf.sprintf "%s seed %d cycle at t=%d" name seed
+                 info.Engine.time)
+              reference.Scheduler.allocated info.Engine.allocated
+          in
+          let config =
+            { Engine.transmission_time = 2; batch_threshold = 1; max_defer = 8 }
+          in
+          let report =
+            Engine.run ~mode:Engine.Warm ~cycle_hook:hook ~config net trace
+          in
+          check Alcotest.bool
+            (Printf.sprintf "%s seed %d applied faults" name seed)
+            true
+            (report.Engine.faults > 0);
+          (* Fault accounting is conserved: every arrival is eventually
+             completed, cancelled, expired or left pending, with victims
+             re-admitted rather than lost. *)
+          check Alcotest.int
+            (Printf.sprintf "%s seed %d task conservation" name seed)
+            report.Engine.arrivals
+            (report.Engine.completed + report.Engine.cancelled
+           + report.Engine.expired + report.Engine.left_pending);
+          (* And the rebuild strategy applies the identical fault
+             schedule. *)
+          let rebuild = Engine.run ~mode:Engine.Rebuild ~config net trace in
+          check Alcotest.int
+            (Printf.sprintf "%s seed %d fault count parity" name seed)
+            report.Engine.faults rebuild.Engine.faults;
+          check Alcotest.int
+            (Printf.sprintf "%s seed %d repair count parity" name seed)
+            report.Engine.repairs rebuild.Engine.repairs)
+        [ 10; 11 ])
+    [ List.nth topologies 0; List.nth topologies 2; List.nth topologies 3 ];
+  check Alcotest.bool "at least 300 fault-churn differential cycles" true
+    (!total_cycles >= 300)
+
+(* Determinism of the whole fault path: same inputs, same report. *)
+let test_fault_determinism () =
+  let net = Builders.benes 8 in
+  let base =
+    Workload.synthesize (Prng.create 9) net ~slots:80 ~arrival_prob:0.35
+  in
+  let sched = Fault.inject (Prng.create 17) net ~horizon:80 ~mtbf:30. ~mttr:8. in
+  let trace =
+    List.stable_sort
+      (fun a b -> compare (Workload.event_time a) (Workload.event_time b))
+      (base @ Workload.fault_events sched)
+  in
+  List.iter
+    (fun mode ->
+      let a = Engine.run ~mode net trace in
+      let b = Engine.run ~mode net trace in
+      check Alcotest.bool (Engine.mode_name mode ^ " deterministic") true (a = b))
+    [ Engine.Warm; Engine.Rebuild ]
+
+(* --- Edmonds-Karp min_cut precondition ------------------------------------ *)
+
+let test_min_cut_precondition () =
+  let g = Graph.create () in
+  let s = Graph.add_node g and t = Graph.add_node g in
+  ignore (Graph.add_arc g ~src:s ~dst:t ~cap:1);
+  Alcotest.check_raises "min_cut before max_flow"
+    (Invalid_argument
+       "Edmonds_karp.min_cut: flow is not maximum (call max_flow first)")
+    (fun () -> ignore (Edmonds_karp.min_cut g ~source:s ~sink:t));
+  ignore (Edmonds_karp.max_flow g ~source:s ~sink:t);
+  let cut = Edmonds_karp.min_cut g ~source:s ~sink:t in
+  check Alcotest.int "cut size after max_flow" 1 (List.length cut)
+
+let suite =
+  [
+    Alcotest.test_case "network element health" `Quick test_health_basics;
+    degraded_equals_hand_masked;
+    Alcotest.test_case "MTBF/MTTR injector" `Quick test_injector;
+    Alcotest.test_case "fault trace JSONL round-trip" `Quick test_trace_roundtrip;
+    Alcotest.test_case "warm = per-cycle rebuild under fault churn" `Slow
+      test_differential_under_faults;
+    Alcotest.test_case "fault path determinism" `Quick test_fault_determinism;
+    Alcotest.test_case "min_cut precondition" `Quick test_min_cut_precondition;
+  ]

@@ -235,7 +235,7 @@ let test_trace_synthesize () =
         (match deadline with
         | Some d -> check Alcotest.bool "deadline after arrival" true (d > t)
         | None -> Alcotest.fail "slack given but no deadline")
-      | Workload.Cancel _ -> ())
+      | Workload.Cancel _ | Workload.Fault _ | Workload.Repair _ -> ())
     arrivals;
   (* Every cancellation refers to an arrived task, strictly later. *)
   List.iter
@@ -249,7 +249,7 @@ let test_trace_synthesize () =
             arrivals
         in
         check Alcotest.bool "cancel after its arrival" true arrived
-      | Workload.Arrive _ -> ())
+      | Workload.Arrive _ | Workload.Fault _ | Workload.Repair _ -> ())
     cancels;
   (* Independent sub-streams: turning cancellations on must not change
      the arrival process drawn from the same seed. *)
@@ -260,7 +260,7 @@ let test_trace_synthesize () =
     List.filter_map
       (function
         | Workload.Arrive { t; id; proc; _ } -> Some (t, id, proc)
-        | Workload.Cancel _ -> None)
+        | Workload.Cancel _ | Workload.Fault _ | Workload.Repair _ -> None)
       tr
   in
   check
