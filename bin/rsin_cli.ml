@@ -29,6 +29,7 @@ module Builders = Rsin_topology.Builders
 module Scheduler = Rsin_core.Scheduler
 module Heuristic = Rsin_core.Heuristic
 module Token_sim = Rsin_distributed.Token_sim
+module Bus = Rsin_distributed.Status_bus
 module Blocking = Rsin_sim.Blocking
 module Dynamic = Rsin_sim.Dynamic
 module Workload = Rsin_sim.Workload
@@ -340,23 +341,136 @@ let schedule_cmd =
 
 (* --- trace ------------------------------------------------------------------- *)
 
+(* "CLK:FAULT,CLK:FAULT,..." with FAULT one of linkN / boxN / resN /
+   stuck0=eK / stuck1=eK / clear=eK. *)
+let mid_faults_conv =
+  let bus_event = function
+    | "e1" -> Some Bus.E1_request_pending
+    | "e2" -> Some Bus.E2_resource_ready
+    | "e3" -> Some Bus.E3_request_token_phase
+    | "e4" -> Some Bus.E4_resource_token_phase
+    | "e5" -> Some Bus.E5_path_registration
+    | "e6" -> Some Bus.E6_rs_received_token
+    | "e7" -> Some Bus.E7_rq_bonded
+    | _ -> None
+  in
+  let parse_fault s =
+    let tail prefix =
+      let lp = String.length prefix in
+      if String.length s > lp && String.sub s 0 lp = prefix then
+        Some (String.sub s lp (String.length s - lp))
+      else None
+    in
+    let num prefix mk =
+      match Option.bind (tail prefix) int_of_string_opt with
+      | Some i when i >= 0 -> Some (mk i)
+      | _ -> None
+    in
+    let bit prefix mk =
+      Option.map mk (Option.bind (tail prefix) bus_event)
+    in
+    List.find_map Fun.id
+      [ num "link" (fun l -> Token_sim.Dead_link l);
+        num "box" (fun b -> Token_sim.Dead_box b);
+        num "res" (fun r -> Token_sim.Dead_res r);
+        bit "stuck0=" (fun e -> Token_sim.Stuck_bit (e, Bus.Stuck_at_0));
+        bit "stuck1=" (fun e -> Token_sim.Stuck_bit (e, Bus.Stuck_at_1));
+        bit "clear=" (fun e -> Token_sim.Clear_bit e) ]
+  in
+  let parse_entry s =
+    match String.index_opt s ':' with
+    | None ->
+      Error (`Msg (Printf.sprintf "bad fault %S: expected CLOCK:FAULT" s))
+    | Some i ->
+      let clk = String.sub s 0 i
+      and f = String.sub s (i + 1) (String.length s - i - 1) in
+      (match int_of_string_opt clk with
+      | Some clk when clk >= 0 ->
+        (match parse_fault f with
+        | Some mf -> Ok (clk, mf)
+        | None ->
+          Error
+            (`Msg
+               (Printf.sprintf
+                  "bad fault %S: FAULT is linkN, boxN, resN, stuck0=eK, \
+                   stuck1=eK or clear=eK"
+                  s)))
+      | _ ->
+        Error
+          (`Msg
+             (Printf.sprintf "bad fault %S: CLOCK must be an integer >= 0" s)))
+  in
+  let parse spec =
+    List.fold_left
+      (fun acc s ->
+        match acc with
+        | Error _ as e -> e
+        | Ok l -> Result.map (fun e -> e :: l) (parse_entry (String.trim s)))
+      (Ok [])
+      (String.split_on_char ',' spec)
+    |> Result.map List.rev
+  in
+  Arg.conv
+    ( parse,
+      fun fmt sched ->
+        Format.fprintf fmt "%s"
+          (String.concat ","
+             (List.map
+                (fun (clk, f) ->
+                  Printf.sprintf "%d:%s" clk (Token_sim.mid_fault_name f))
+                sched)) )
+
+let mid_faults_arg =
+  Arg.(
+    value
+    & opt mid_faults_conv []
+    & info [ "mid-cycle-faults" ] ~docv:"SPEC"
+        ~doc:"Inject faults mid-cycle at status-bus clock granularity: a \
+              comma-separated list of $(i,CLOCK):$(i,FAULT) entries, FAULT \
+              one of $(b,linkN), $(b,boxN), $(b,resN) (the element dies at \
+              that clock, killing its tokens and markings), \
+              $(b,stuck0=eK) / $(b,stuck1=eK) (status-bus bit EK sticks at \
+              0/1) or $(b,clear=eK) (the stuck-at clears). The protocol \
+              detects each fault (phase watchdogs, driver readback, \
+              link-level aborts), rolls back the damaged iteration and \
+              re-runs on the surviving subnetwork.")
+
 let trace_cmd =
-  let run net requests free pre c =
+  let run net requests free pre mid_faults c =
     let rng = Prng.create c.seed in
     if pre > 0 then ignore (Workload.preoccupy rng net ~circuits:pre);
     let requests, free = snapshot rng net requests free in
     with_obs c.trace_out c.trace_format @@ fun obs ->
-    let rep = Token_sim.run ?obs net ~requests ~free in
-    Printf.printf "allocated %d/%d in %d iteration(s), %d clock periods\n\n"
+    let rep =
+      try Token_sim.run ?obs ~faults:mid_faults net ~requests ~free
+      with Invalid_argument msg ->
+        Printf.eprintf "rsin: %s\n" msg;
+        exit 1
+    in
+    Printf.printf "allocated %d/%d in %d iteration(s), %d clock periods\n"
       rep.Token_sim.allocated rep.Token_sim.requested rep.Token_sim.iterations
       rep.Token_sim.total_clocks;
+    (* Fault-free runs keep the historical output byte for byte; the
+       recovery summary appears only when faults were injected. *)
+    if mid_faults <> [] then begin
+      let r = rep.Token_sim.recovery in
+      Printf.printf
+        "recovery: %d fault(s) applied, %d watchdog fire(s), %d iteration \
+         abort(s), %d cycle restart(s), %d retry(ies), %d wait clock(s)%s\n"
+        r.Token_sim.faults_applied r.Token_sim.watchdog_fires
+        r.Token_sim.iteration_aborts r.Token_sim.cycle_restarts
+        r.Token_sim.retries r.Token_sim.wait_clocks
+        (if r.Token_sim.completed then "" else " -- gave up")
+    end;
+    print_newline ();
     Format.printf "%a@?" Token_sim.pp_trace rep
   in
   Cmd.v
     (Cmd.info "trace"
        ~doc:"Run the distributed token architecture and print the bus trace")
     Term.(
-      const run $ net_arg $ requests_arg $ free_arg $ pre_arg $ common_term)
+      const run $ net_arg $ requests_arg $ free_arg $ pre_arg $ mid_faults_arg
+      $ common_term)
 
 (* --- blocking ------------------------------------------------------------------ *)
 
@@ -472,14 +586,19 @@ let replay_cmd =
   in
   let mode_arg =
     let mode_conv =
-      Arg.enum [ ("warm", `Warm); ("rebuild", `Rebuild); ("both", `Both) ]
+      Arg.enum
+        [ ("warm", `Warm); ("rebuild", `Rebuild); ("token", `Token);
+          ("both", `Both) ]
     in
     Arg.(
       value & opt mode_conv `Both
       & info [ "mode" ] ~docv:"MODE"
           ~doc:"Scheduling strategy: $(b,warm) (persistent incremental flow \
-                graph), $(b,rebuild) (from-scratch max-flow each cycle) or \
-                $(b,both) (run each and compare solver work).")
+                graph), $(b,rebuild) (from-scratch max-flow each cycle), \
+                $(b,token) (every cycle runs on the distributed token \
+                architecture; solver work counts status-bus clock periods, \
+                and clocked trace faults strike mid-cycle) or $(b,both) \
+                (run warm and rebuild and compare solver work).")
   in
   let discipline_arg =
     let disc_conv = Arg.enum [ ("uniform", `Uniform); ("priority", `Priority) ] in
@@ -564,8 +683,20 @@ let replay_cmd =
       & info [ "mttr" ] ~docv:"SLOTS"
           ~doc:"Mean slots to repair a failed element (with $(b,--faults)).")
   in
+  let granularity_arg =
+    let gran_conv = Arg.enum [ ("slot", `Slot); ("clock", `Clock) ] in
+    Arg.(
+      value & opt gran_conv `Slot
+      & info [ "fault-clock-granularity" ] ~docv:"G"
+          ~doc:"With $(b,--faults): $(b,slot) (default) applies each fault \
+                at its slot's cycle boundary; $(b,clock) additionally draws \
+                a uniform intra-cycle status-bus clock per fault, so under \
+                $(b,--mode token) the element dies mid-cycle and the \
+                distributed protocol must detect it and recover. Other \
+                modes ignore the clocks.")
+  in
   let run net trace_file export mode discipline levels slots arrival service
-      cancel slack threshold defer trans faults mtbf mttr c =
+      cancel slack threshold defer trans faults mtbf mttr granularity c =
     let module Engine = Rsin_engine.Engine in
     if levels < 0 then begin
       Printf.eprintf "rsin: --priority-levels must be >= 0\n";
@@ -596,12 +727,21 @@ let replay_cmd =
         (* A sub-stream of the workload seed, so the same --seed gives the
            same arrivals with and without --faults. *)
         let frng = Prng.split (Prng.create c.seed) in
-        let schedule = Fault.inject frng net ~horizon ~mtbf ~mttr in
+        let fevents =
+          match granularity with
+          | `Slot -> Workload.fault_events (Fault.inject frng net ~horizon ~mtbf ~mttr)
+          | `Clock ->
+            (* Same element schedule as `Slot for the same seed; each
+               event just gains a uniform intra-cycle status-bus clock. *)
+            Workload.fault_events_clocked
+              (Fault.inject_clocked frng net ~horizon ~mtbf ~mttr
+                 ~clock_range:48)
+        in
         Printf.printf "faults: %d element event(s) injected (mtbf %g, mttr %g)\n"
-          (List.length schedule) mtbf mttr;
+          (List.length fevents) mtbf mttr;
         List.stable_sort
           (fun a b -> compare (Workload.event_time a) (Workload.event_time b))
-          (trace @ Workload.fault_events schedule)
+          (trace @ fevents)
       end
     in
     let has_faults =
@@ -614,6 +754,10 @@ let replay_cmd =
       | `Uniform -> Engine.Uniform
       | `Priority -> Engine.Priority
     in
+    if mode = `Token && discipline = Engine.Priority then begin
+      Printf.eprintf "rsin: --mode token runs --discipline uniform only\n";
+      exit 1
+    end;
     (match export with
     | Some file ->
       (try Workload.write_trace file trace
@@ -635,6 +779,7 @@ let replay_cmd =
       match mode with
       | `Warm -> [ go Engine.Warm ]
       | `Rebuild -> [ go Engine.Rebuild ]
+      | `Token -> [ go Engine.Token ]
       | `Both -> [ go Engine.Warm; go Engine.Rebuild ]
     in
     (* Uniform output is pinned by the PR-2 cram test; only the new
@@ -686,7 +831,7 @@ let replay_cmd =
       const run $ net_arg $ trace_arg $ export_arg $ mode_arg $ discipline_arg
       $ levels_arg $ slots_arg $ arrival_arg $ service_arg $ cancel_arg
       $ slack_arg $ threshold_arg $ defer_arg $ trans_arg $ faults_arg
-      $ mtbf_arg $ mttr_arg $ common_term)
+      $ mtbf_arg $ mttr_arg $ granularity_arg $ common_term)
 
 (* --- metrics ------------------------------------------------------------------ *)
 

@@ -7,13 +7,26 @@ type event =
   | E6_rs_received_token
   | E7_rq_bonded
 
+type stuck = Stuck_at_0 | Stuck_at_1
+
 type t = {
-  mutable bits : int;
+  mutable bits : int; (* anonymous [set] inputs, one latch per bit *)
+  drivers : (int, unit) Hashtbl.t array; (* named wired-OR inputs, per bit *)
+  mutable force0 : int; (* stuck-at-0 fault mask *)
+  mutable force1 : int; (* stuck-at-1 fault mask *)
   mutable clk : int;
   mutable hist : int list; (* newest first *)
 }
 
-let create () = { bits = 0; clk = 0; hist = [] }
+let create () =
+  {
+    bits = 0;
+    drivers = Array.init 7 (fun _ -> Hashtbl.create 8);
+    force0 = 0;
+    force1 = 0;
+    clk = 0;
+    hist = [];
+  }
 
 let bit = function
   | E1_request_pending -> 6
@@ -37,11 +50,48 @@ let set t e v =
   let mask = 1 lsl bit e in
   t.bits <- (if v then t.bits lor mask else t.bits land lnot mask)
 
-let read t e = t.bits land (1 lsl bit e) <> 0
-let vector t = t.bits
+let drive t ~driver e v =
+  let tbl = t.drivers.(bit e) in
+  if v then Hashtbl.replace tbl driver () else Hashtbl.remove tbl driver
+
+let release_driver t ~driver =
+  Array.iter (fun tbl -> Hashtbl.remove tbl driver) t.drivers
+
+let raw_vector t =
+  let v = ref t.bits in
+  Array.iteri
+    (fun b tbl -> if Hashtbl.length tbl > 0 then v := !v lor (1 lsl b))
+    t.drivers;
+  !v
+
+let observe t v = (v lor t.force1) land lnot t.force0
+
+let force t e f =
+  let mask = 1 lsl bit e in
+  (match f with
+  | None ->
+    t.force0 <- t.force0 land lnot mask;
+    t.force1 <- t.force1 land lnot mask
+  | Some Stuck_at_0 ->
+    t.force0 <- t.force0 lor mask;
+    t.force1 <- t.force1 land lnot mask
+  | Some Stuck_at_1 ->
+    t.force1 <- t.force1 lor mask;
+    t.force0 <- t.force0 land lnot mask);
+  ()
+
+let forced t e =
+  let mask = 1 lsl bit e in
+  if t.force1 land mask <> 0 then Some Stuck_at_1
+  else if t.force0 land mask <> 0 then Some Stuck_at_0
+  else None
+
+let driven t e = raw_vector t land (1 lsl bit e) <> 0
+let read t e = observe t (raw_vector t) land (1 lsl bit e) <> 0
+let vector t = observe t (raw_vector t)
 
 let tick t =
-  t.hist <- t.bits :: t.hist;
+  t.hist <- vector t :: t.hist;
   t.clk <- t.clk + 1
 
 let clock t = t.clk

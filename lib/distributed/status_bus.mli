@@ -3,7 +3,17 @@
     Each bit is the logical OR of one status register per participating
     process, so any element can observe a phase transition in a single
     gate delay. Bit numbering follows Table I: E1 is the MSB (bit 6),
-    E7 the LSB (bit 0). *)
+    E7 the LSB (bit 0).
+
+    Two kinds of wired-OR input coexist: anonymous latches written with
+    [set] (one latch per bit — the historical interface, used by the
+    simulator's per-clock recomputation) and named per-driver inputs
+    written with [drive], where each driver id models one element's
+    status register. A bit reads high when any input drives it. Stuck-at
+    faults can be forced on individual bits with [force]; [read],
+    [vector] and the latched trace all reflect the forced value, while
+    [driven] exposes the fault-free wired-OR so a driver can detect that
+    its own pull is being masked (stuck-at readback). *)
 
 type event =
   | E1_request_pending        (** some RQ holds an unbonded request *)
@@ -14,21 +24,43 @@ type event =
   | E6_rs_received_token      (** an RS received a request token *)
   | E7_rq_bonded              (** an RQ was bonded to an RS *)
 
+type stuck = Stuck_at_0 | Stuck_at_1
+(** A forced bus-bit fault: the bit reads 0 (resp. 1) no matter what the
+    drivers do. *)
+
 type t
 (** Mutable bus with a recorded per-clock trace. *)
 
 val create : unit -> t
 
 val set : t -> event -> bool -> unit
-(** Drives (or releases) the wired-OR input for the event. *)
+(** Drives (or releases) the anonymous wired-OR input for the event. *)
+
+val drive : t -> driver:int -> event -> bool -> unit
+(** Drives (or releases) one named driver's input for the event.
+    Idempotent per driver: driving twice is the same as driving once. *)
+
+val release_driver : t -> driver:int -> unit
+(** Drops every wired-OR input held by [driver] — what a dying element's
+    status register does to the bus. *)
+
+val driven : t -> event -> bool
+(** Fault-free wired-OR of all inputs (ignores [force]). *)
 
 val read : t -> event -> bool
+(** Observed value: wired-OR with any forced stuck-at applied. *)
 
 val vector : t -> int
-(** Current 7-bit value, E1 in the MSB. *)
+(** Current observed 7-bit value, E1 in the MSB. *)
+
+val force : t -> event -> stuck option -> unit
+(** Forces (or, with [None], clears) a stuck-at fault on the bit. *)
+
+val forced : t -> event -> stuck option
 
 val tick : t -> unit
-(** Latches the current vector into the trace and advances the clock. *)
+(** Latches the current observed vector into the trace and advances the
+    clock. *)
 
 val clock : t -> int
 val trace : t -> int list

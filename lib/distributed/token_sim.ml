@@ -9,6 +9,36 @@ type phase_clocks = {
   registration_clocks : int;
 }
 
+type mid_fault =
+  | Dead_link of int
+  | Dead_box of int
+  | Dead_res of int
+  | Stuck_bit of Bus.event * Bus.stuck
+  | Clear_bit of Bus.event
+
+type fault_schedule = (int * mid_fault) list
+
+type recovery = {
+  faults_applied : int;
+  watchdog_fires : int;
+  iteration_aborts : int;
+  cycle_restarts : int;
+  retries : int;
+  wait_clocks : int;
+  completed : bool;
+}
+
+let no_recovery =
+  {
+    faults_applied = 0;
+    watchdog_fires = 0;
+    iteration_aborts = 0;
+    cycle_restarts = 0;
+    retries = 0;
+    wait_clocks = 0;
+    completed = true;
+  }
+
 type report = {
   mapping : (int * int) list;
   circuits : (int * int list) list;
@@ -18,6 +48,8 @@ type report = {
   clocks : phase_clocks;
   total_clocks : int;
   bus_trace : int list;
+  recovery : recovery;
+  applied_faults : (int * mid_fault) list;
 }
 
 (* Simulator-local link status. [Busy] links belong to pre-existing
@@ -53,7 +85,32 @@ let all_events =
 let events_of_vector v =
   List.filter (fun e -> v land (1 lsl Bus.bit e) <> 0) all_events
 
-let run ?obs net ~requests ~free =
+let short_event_name e =
+  match String.index_opt (Bus.event_name e) ' ' with
+  | Some i -> String.sub (Bus.event_name e) 0 i
+  | None -> Bus.event_name e
+
+let mid_fault_name = function
+  | Dead_link l -> Printf.sprintf "link %d dead" l
+  | Dead_box b -> Printf.sprintf "box %d dead" b
+  | Dead_res r -> Printf.sprintf "res %d dead" r
+  | Stuck_bit (e, Bus.Stuck_at_0) ->
+    Printf.sprintf "%s stuck-at-0" (short_event_name e)
+  | Stuck_bit (e, Bus.Stuck_at_1) ->
+    Printf.sprintf "%s stuck-at-1" (short_event_name e)
+  | Clear_bit e -> Printf.sprintf "%s unstuck" (short_event_name e)
+
+let is_death = function
+  | Dead_link _ | Dead_box _ | Dead_res _ -> true
+  | Stuck_bit _ | Clear_bit _ -> false
+
+(* The three bus bits whose observed value steers phase control flow;
+   stuck-ats elsewhere are cosmetic and ignored by the recovery logic. *)
+let control_bits =
+  [ Bus.E3_request_token_phase; Bus.E4_resource_token_phase;
+    Bus.E6_rs_received_token ]
+
+let run ?obs ?(faults = []) ?max_retries ?watchdog net ~requests ~free =
   let requests = List.sort_uniq compare requests in
   let free = List.sort_uniq compare free in
   let np = Network.n_procs net and nr = Network.n_res net in
@@ -64,6 +121,41 @@ let run ?obs net ~requests ~free =
     (fun r -> if r < 0 || r >= nr then invalid_arg "Token_sim.run: bad resource")
     free;
   let nl = Network.n_links net in
+  let nb = Network.n_boxes net in
+  List.iter
+    (fun (clk, f) ->
+      if clk < 0 then invalid_arg "Token_sim.run: negative fault clock";
+      match f with
+      | Dead_link l ->
+        if l < 0 || l >= nl then invalid_arg "Token_sim.run: bad fault link"
+      | Dead_box b ->
+        if b < 0 || b >= nb then invalid_arg "Token_sim.run: bad fault box"
+      | Dead_res r ->
+        if r < 0 || r >= nr then invalid_arg "Token_sim.run: bad fault resource"
+      | Stuck_bit _ | Clear_bit _ -> ())
+    faults;
+  let faults = List.stable_sort (fun (a, _) (b, _) -> compare a b) faults in
+  (* Worst-case clock bounds per phase (Theorem 4): a request phase marks
+     at least one fresh link per clock period (<= nl + slack), a resource
+     phase consumes or clears at least one marking per clock and each
+     token needs one final bonding move (<= 2nl + nr + slack),
+     registration is a single clock. A phase that outlives its bound is
+     hung — some status bit it is waiting on will never fall. *)
+  let wd_request, wd_resource =
+    match watchdog with
+    | Some w -> (w.request_clocks, w.resource_clocks)
+    | None -> (nl + 2, (2 * nl) + nr + 2)
+  in
+  let max_sched_clock = List.fold_left (fun a (c, _) -> max a c) 0 faults in
+  let max_retries =
+    match max_retries with
+    | Some m -> m
+    | None -> 16 + (2 * List.length faults) + max_sched_clock
+  in
+  (* How long the recovery controller keeps waiting out a transient bus
+     fault before declaring the cycle incomplete: past the last scheduled
+     fault event nothing can change anymore. *)
+  let patience = max_sched_clock + wd_request + 2 in
   let lstate =
     (* A link masked by a dead element behaves exactly like an occupied
        one: no token crosses it in either phase, so a down box drops the
@@ -85,6 +177,20 @@ let run ?obs net ~requests ~free =
   let ready = Array.make nr false in
   List.iter (fun r -> ready.(r) <- true) free;
   let bonded = Array.make np false and matched = Array.make nr false in
+
+  (* Elements that died mid-cycle (on top of the network's own health
+     flags, which are frozen for the duration of the run). *)
+  let dead_link = Array.make nl false in
+  let dead_box = Array.make nb false in
+  let dead_res = Array.make nr false in
+  let elem_alive = function
+    | P _ -> true
+    | R r -> not dead_res.(r)
+    | B b -> not dead_box.(b)
+  in
+  let sim_alive l =
+    (not dead_link.(l)) && elem_alive src_elem.(l) && elem_alive dst_elem.(l)
+  in
 
   let bus = Bus.create () in
   let req_clocks = ref 0 and res_clocks = ref 0 and reg_clocks = ref 0 in
@@ -117,12 +223,77 @@ let run ?obs net ~requests ~free =
                (String.concat ", "
                   (List.map Bus.event_name (events_of_vector v)))) ]
   in
+  (* What a raw wired-OR value reads as through any stuck-at forced on
+     the bit. *)
+  let obs_value raw e =
+    match Bus.forced bus e with
+    | Some Bus.Stuck_at_1 -> true
+    | Some Bus.Stuck_at_0 -> false
+    | None -> raw
+  in
+  let bus_dirty () = List.exists (fun e -> Bus.forced bus e <> None) control_bits in
+
+  (* ---- Mid-cycle fault application. ---------------------------------- *)
+  let pending_faults = ref faults in
+  let applied = ref [] in
+  let broke_registration = ref false in
+  let in_iteration = ref false in
+  let suspect = ref false in
+  let mask_link l =
+    if lstate.(l) = Registered then broke_registration := true;
+    lstate.(l) <- Busy;
+    mark.(l) <- NoMark
+  in
+  let apply_one (clk, f) =
+    (match f with
+    | Dead_link l -> if not dead_link.(l) then (dead_link.(l) <- true; mask_link l)
+    | Dead_box b ->
+      if not dead_box.(b) then begin
+        dead_box.(b) <- true;
+        Array.iter mask_link (Network.box_in_links net b);
+        Array.iter mask_link (Network.box_out_links net b)
+      end
+    | Dead_res r ->
+      if not dead_res.(r) then begin
+        dead_res.(r) <- true;
+        ready.(r) <- false;
+        mask_link (Network.res_link net r)
+      end
+    | Stuck_bit (e, s) -> Bus.force bus e (Some s)
+    | Clear_bit e -> Bus.force bus e None);
+    applied := (clk, f) :: !applied;
+    if !in_iteration then suspect := true;
+    if tracing then
+      Obs.instant obs "token.fault" ~ts:(Bus.clock bus)
+        ~args:[ ("fault", Tr.Str (mid_fault_name f)) ]
+  in
+  (* Apply every scheduled fault whose status-bus clock has been reached;
+     returns the batch so phase loops can react (a dying element kills
+     the tokens it holds — the whole iteration is aborted and retried). *)
+  let apply_due () =
+    let now = Bus.clock bus in
+    let rec go acc =
+      match !pending_faults with
+      | (c, f) :: rest when c <= now ->
+        pending_faults := rest;
+        apply_one (c, f);
+        go (f :: acc)
+      | _ -> List.rev acc
+    in
+    go []
+  in
+  let death_in batch = List.exists is_death batch in
+
+  (* ---- Recovery bookkeeping. ----------------------------------------- *)
+  let watchdog_fires = ref 0 and iteration_aborts = ref 0 in
+  let cycle_restarts = ref 0 and retries = ref 0 and wait_clocks = ref 0 in
+  let completed = ref true in
+  let iter_successes = ref [] in
 
   (* ---- Phase 1: request-token propagation (layered network). -------- *)
   let request_phase () =
     Array.fill mark 0 nl NoMark;
     Array.fill consumed 0 nl false;
-    let nb = Network.n_boxes net in
     let box_received = Array.make nb false in
     let reached = ref [] in
     (* Clock 0: every pending unbonded RQ injects a token on its (free)
@@ -137,51 +308,68 @@ let run ?obs net ~requests ~free =
         end
       end
     done;
-    let continue = ref (!arrivals <> []) in
-    while !continue do
-      incr req_clocks;
-      (* Deliver this clock's arrivals. *)
-      let senders = ref [] in
-      List.iter
-        (fun (l, dir) ->
-          let target = if dir = Fwd then dst_elem.(l) else src_elem.(l) in
-          match target with
-          | B b ->
-            if not box_received.(b) then begin
-              box_received.(b) <- true;
-              senders := b :: !senders
-            end
-          | R r ->
-            if ready.(r) && (not matched.(r)) && not (List.mem_assoc r !reached)
-            then reached := (r, l) :: !reached
-          | P _ -> (* backward token absorbed by the RQ *) ())
-        !arrivals;
-      tick_bus ~e3:true ~e4:false ~e5:false ~e6:(!reached <> []) ~e7:false;
-      if !reached <> [] then continue := false
+    let elapsed = ref 0 in
+    let result = ref (if !arrivals = [] then Some `No_path else None) in
+    while !result = None do
+      let batch = apply_due () in
+      if death_in batch then result := Some (`Abort `Death)
+      else if !elapsed >= wd_request then result := Some (`Abort (`Watchdog "request"))
       else begin
-        (* Boxes that received their first batch this clock send next. *)
-        arrivals := [];
+        incr req_clocks;
+        incr elapsed;
+        (* Deliver this clock's arrivals. *)
+        let senders = ref [] in
         List.iter
-          (fun b ->
-            Array.iter
-              (fun o ->
-                if lstate.(o) = Free && mark.(o) = NoMark then begin
-                  mark.(o) <- Fwd;
-                  arrivals := (o, Fwd) :: !arrivals
-                end)
-              (Network.box_out_links net b);
-            Array.iter
-              (fun i ->
-                if lstate.(i) = Registered && mark.(i) = NoMark then begin
-                  mark.(i) <- Bwd;
-                  arrivals := (i, Bwd) :: !arrivals
-                end)
-              (Network.box_in_links net b))
-          !senders;
-        if !arrivals = [] then continue := false
+          (fun (l, dir) ->
+            let target = if dir = Fwd then dst_elem.(l) else src_elem.(l) in
+            match target with
+            | B b ->
+              if not box_received.(b) then begin
+                box_received.(b) <- true;
+                senders := b :: !senders
+              end
+            | R r ->
+              if ready.(r) && (not matched.(r)) && not (List.mem_assoc r !reached)
+              then reached := (r, l) :: !reached
+            | P _ -> (* backward token absorbed by the RQ *) ())
+          !arrivals;
+        let raw_e3 = !arrivals <> [] and raw_e6 = !reached <> [] in
+        tick_bus ~e3:raw_e3 ~e4:false ~e5:false ~e6:raw_e6 ~e7:false;
+        if raw_e6 && not (obs_value raw_e6 Bus.E6_rs_received_token) then
+          (* An RS drove E6 but the bus reads low: stuck-at-0 readback. *)
+          result := Some (`Abort (`Readback Bus.E6_rs_received_token))
+        else if raw_e3 && not (obs_value raw_e3 Bus.E3_request_token_phase) then
+          result := Some (`Abort (`Readback Bus.E3_request_token_phase))
+        else if obs_value raw_e6 Bus.E6_rs_received_token then
+          result := Some (`Reached (List.rev !reached))
+        else begin
+          (* Boxes that received their first batch this clock send next. *)
+          arrivals := [];
+          List.iter
+            (fun b ->
+              Array.iter
+                (fun o ->
+                  if lstate.(o) = Free && mark.(o) = NoMark then begin
+                    mark.(o) <- Fwd;
+                    arrivals := (o, Fwd) :: !arrivals
+                  end)
+                (Network.box_out_links net b);
+              Array.iter
+                (fun i ->
+                  if lstate.(i) = Registered && mark.(i) = NoMark then begin
+                    mark.(i) <- Bwd;
+                    arrivals := (i, Bwd) :: !arrivals
+                  end)
+                (Network.box_in_links net b))
+            !senders;
+          (* The phase ends when E3 falls — with E3 stuck-at-1 it never
+             does and the loop spins until the watchdog bound. *)
+          if not (obs_value (!arrivals <> []) Bus.E3_request_token_phase) then
+            result := Some `No_path
+        end
       end
     done;
-    List.rev !reached
+    match !result with Some r -> r | None -> assert false
   in
 
   (* ---- Phase 2: resource-token propagation (maximal flow). ---------- *)
@@ -190,7 +378,6 @@ let run ?obs net ~requests ~free =
       List.map (fun (r, _entry) -> { pos = R r; path = []; home = r; active = true })
         reached
     in
-    let successes = ref [] in
     let step token =
       (* Receive-port candidates at the token's current element. *)
       let candidates =
@@ -215,7 +402,7 @@ let run ?obs net ~requests ~free =
           token.active <- false;
           bonded.(p) <- true;
           matched.(token.home) <- true;
-          successes := (p, token) :: !successes
+          iter_successes := (p, token) :: !iter_successes
         | R _ | B _ -> ())
       | [] ->
         (match token.path with
@@ -228,28 +415,92 @@ let run ?obs net ~requests ~free =
           token.pos <- (if m = Fwd then dst_elem.(l) else src_elem.(l)))
     in
     let any_active () = List.exists (fun t -> t.active) tokens in
-    while any_active () do
-      incr res_clocks;
-      List.iter (fun t -> if t.active then step t) tokens;
-      tick_bus ~e3:false ~e4:true ~e5:false ~e6:false ~e7:false
+    let elapsed = ref 0 in
+    let result = ref (if any_active () then None else Some (`Done [])) in
+    while !result = None do
+      let batch = apply_due () in
+      if death_in batch then result := Some (`Abort `Death)
+      else if !elapsed >= wd_resource then result := Some (`Abort (`Watchdog "resource"))
+      else begin
+        incr res_clocks;
+        incr elapsed;
+        let raw_start = any_active () in
+        List.iter (fun t -> if t.active then step t) tokens;
+        tick_bus ~e3:false ~e4:raw_start ~e5:false ~e6:false ~e7:false;
+        if raw_start && not (obs_value raw_start Bus.E4_resource_token_phase) then
+          result := Some (`Abort (`Readback Bus.E4_resource_token_phase))
+        else if not (obs_value (any_active ()) Bus.E4_resource_token_phase) then
+          result := Some (`Done (List.rev !iter_successes))
+      end
     done;
-    List.rev !successes
+    match !result with Some r -> r | None -> assert false
   in
 
   (* ---- Phase 3: path registration. ----------------------------------- *)
   let register successes =
-    incr reg_clocks;
+    let batch = apply_due () in
+    if death_in batch then `Abort `Death
+    else begin
+      incr reg_clocks;
+      List.iter
+        (fun (_p, token) ->
+          List.iter
+            (fun (l, m) ->
+              match m with
+              | Fwd -> lstate.(l) <- Registered
+              | Bwd -> lstate.(l) <- Free
+              | NoMark -> assert false)
+            token.path)
+        successes;
+      tick_bus ~e3:false ~e4:true ~e5:true ~e6:false ~e7:(successes <> []);
+      `Done ()
+    end
+  in
+
+  (* ---- Recovery actions. ---------------------------------------------- *)
+  let abort_rollback () =
     List.iter
-      (fun (_p, token) ->
-        List.iter
-          (fun (l, m) ->
-            match m with
-            | Fwd -> lstate.(l) <- Registered
-            | Bwd -> lstate.(l) <- Free
-            | NoMark -> assert false)
-          token.path)
-      successes;
-    tick_bus ~e3:false ~e4:true ~e5:true ~e6:false ~e7:(successes <> [])
+      (fun (p, tok) ->
+        bonded.(p) <- false;
+        matched.(tok.home) <- false)
+      !iter_successes;
+    iter_successes := [];
+    Array.fill mark 0 nl NoMark;
+    Array.fill consumed 0 nl false
+  in
+  let reset_cycle_state () =
+    (* A registered path lost an element: all bonds of this cycle are
+       suspect. Clear every marking and registration; a retry reruns the
+       whole cycle on the surviving subnetwork. *)
+    iter_successes := [];
+    Array.fill bonded 0 np false;
+    Array.fill matched 0 nr false;
+    Array.fill ready 0 nr false;
+    List.iter (fun r -> if not dead_res.(r) then ready.(r) <- true) free;
+    for l = 0 to nl - 1 do
+      lstate.(l) <-
+        (match Network.link_state net l with
+        | Network.Free when Network.usable net l && sim_alive l -> Free
+        | Network.Free | Network.Occupied _ -> Busy)
+    done;
+    Array.fill mark 0 nl NoMark;
+    Array.fill consumed 0 nl false
+  in
+  let wait_clock () =
+    incr wait_clocks;
+    tick_bus ~e3:false ~e4:false ~e5:false ~e6:false ~e7:false
+  in
+  (* Wait out a stuck-at on a control bit between phases: stuck-at-1 is
+     visible on the idle line, stuck-at-0 by a diagnostic readback pulse.
+     Returns false when patience runs out (the fault is permanent). *)
+  let rec wait_for_clean () =
+    ignore (apply_due ());
+    if not (bus_dirty ()) then true
+    else if Bus.clock bus >= patience then false
+    else begin
+      wait_clock ();
+      wait_for_clean ()
+    end
   in
 
   (* ---- Scheduling cycle: iterate until no RS is reachable. ------------ *)
@@ -259,22 +510,111 @@ let run ?obs net ~requests ~free =
     if tracing then Obs.span_end obs name ~ts:(Bus.clock bus);
     result
   in
-  let rec iterate () =
-    let reached = phase_span "token.request_phase" request_phase in
-    if reached <> [] then begin
+  let run_iteration () =
+    match phase_span "token.request_phase" request_phase with
+    | `Abort k -> `Aborted k
+    | `No_path -> `Iter_end
+    | `Reached [] ->
+      (* frozen by a forced E6 with nobody actually reached — ends the
+         iteration registering nothing; the suspect-retry rule below
+         reruns it once the bus is clean *)
+      `Iter_end
+    | `Reached reached -> (
       incr iterations;
-      let successes =
-        phase_span "token.resource_phase" (fun () -> resource_phase reached)
-      in
-      phase_span "token.registration" (fun () -> register successes);
-      (* Even if every resource token backtracked home, the layered
-         network was exhausted for these markings; a fresh request phase
-         will rebuild it. A phase that bonds nobody cannot make the next
-         phase bond anybody either (the flow did not change), so stop. *)
-      if successes <> [] then iterate ()
+      match phase_span "token.resource_phase" (fun () -> resource_phase reached) with
+      | `Abort k -> `Aborted k
+      | `Done successes -> (
+        match phase_span "token.registration" (fun () -> register successes) with
+        | `Abort k -> `Aborted k
+        | `Done () ->
+          iter_successes := [];
+          if successes = [] then `Iter_end else `Iter_progress))
+  in
+  let recovery_open = ref false in
+  let recovery_begin () =
+    if tracing && not !recovery_open then begin
+      recovery_open := true;
+      Obs.span_begin obs "token.recovery" ~ts:(Bus.clock bus)
     end
   in
-  iterate ();
+  let recovery_end () =
+    if tracing && !recovery_open then begin
+      recovery_open := false;
+      Obs.span_end obs "token.recovery" ~ts:(Bus.clock bus)
+    end
+  in
+  let running = ref true in
+  let give_up () =
+    completed := false;
+    running := false
+  in
+  let consume_retry () =
+    if !retries >= max_retries then (give_up (); false)
+    else begin
+      incr retries;
+      true
+    end
+  in
+  (* Repair the simulator state after an aborted iteration (or a dead
+     registered path), THEN decide whether a retry budget remains — a
+     give-up must still leave only alive, fully registered bonds for
+     extraction. *)
+  let recover_and_retry () =
+    recovery_begin ();
+    if !broke_registration then begin
+      broke_registration := false;
+      reset_cycle_state ();
+      if consume_retry () then begin
+        incr cycle_restarts;
+        if tracing then Obs.instant obs "token.restart" ~ts:(Bus.clock bus)
+      end
+    end
+    else begin
+      abort_rollback ();
+      ignore (consume_retry ())
+    end
+  in
+  while !running do
+    (* Between-phase boundary: apply due faults, absorb dead registered
+       paths, wait out stuck control bits. *)
+    ignore (apply_due ());
+    if !broke_registration then recover_and_retry ()
+    else if bus_dirty () then begin
+      recovery_begin ();
+      if not (wait_for_clean ()) then give_up ()
+      else if !broke_registration then recover_and_retry ()
+    end
+    else begin
+      recovery_end ();
+      suspect := false;
+      iter_successes := [];
+      in_iteration := true;
+      let outcome = run_iteration () in
+      in_iteration := false;
+      match outcome with
+      | `Iter_progress -> ()
+      | `Iter_end ->
+        if !suspect || !broke_registration then begin
+          (* A fault landed inside the very iteration that decided the
+             cycle was finished: the decision is untrustworthy. Roll the
+             iteration back and rerun it on a clean bus. *)
+          incr iteration_aborts;
+          recover_and_retry ()
+        end
+        else running := false
+      | `Aborted kind ->
+        incr iteration_aborts;
+        (match kind with
+        | `Watchdog phase ->
+          incr watchdog_fires;
+          if tracing then
+            Obs.instant obs "token.watchdog" ~ts:(Bus.clock bus)
+              ~args:[ ("phase", Tr.Str phase) ]
+        | `Death | `Readback _ -> ());
+        recover_and_retry ()
+    end
+  done;
+  recovery_end ();
 
   (* ---- Extract circuits from the registered links. -------------------- *)
   let used = Array.make nl false in
@@ -302,6 +642,18 @@ let run ?obs net ~requests ~free =
     end
   done;
   let mapping = List.rev !mapping and circuits = List.rev !circuits in
+  let applied_faults = List.rev !applied in
+  let recovery =
+    {
+      faults_applied = List.length applied_faults;
+      watchdog_fires = !watchdog_fires;
+      iteration_aborts = !iteration_aborts;
+      cycle_restarts = !cycle_restarts;
+      retries = !retries;
+      wait_clocks = !wait_clocks;
+      completed = !completed;
+    }
+  in
   (* The registry counters are fed from the same refs as phase_clocks,
      so the legacy record and the obs layer can never disagree. *)
   Obs.count obs "token_sim.runs" 1;
@@ -312,6 +664,17 @@ let run ?obs net ~requests ~free =
   Obs.count obs "token_sim.iterations" !iterations;
   Obs.count obs "token_sim.allocated" (List.length mapping);
   Obs.count obs "token_sim.requested" (List.length requests);
+  if faults <> [] then begin
+    (* only faulted runs grow the registry: fault-free metric sets stay
+       byte-identical *)
+    Obs.count obs "token_sim.faults_applied" recovery.faults_applied;
+    Obs.count obs "token_sim.watchdog_fired" recovery.watchdog_fires;
+    Obs.count obs "token_sim.iteration_aborts" recovery.iteration_aborts;
+    Obs.count obs "token_sim.cycle_restarts" recovery.cycle_restarts;
+    Obs.count obs "token_sim.retries" recovery.retries;
+    Obs.count obs "token_sim.wait_clocks" recovery.wait_clocks;
+    Obs.count obs "token_sim.incomplete" (if recovery.completed then 0 else 1)
+  end;
   { mapping;
     circuits;
     allocated = List.length mapping;
@@ -322,7 +685,9 @@ let run ?obs net ~requests ~free =
         resource_clocks = !res_clocks;
         registration_clocks = !reg_clocks };
     total_clocks = Bus.clock bus;
-    bus_trace = Bus.trace bus }
+    bus_trace = Bus.trace bus;
+    recovery;
+    applied_faults }
 
 let commit net (r : report) =
   List.map (fun (_p, links) -> Network.establish net links) r.circuits

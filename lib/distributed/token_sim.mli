@@ -35,6 +35,41 @@ type phase_clocks = {
   registration_clocks : int;
 }
 
+type mid_fault =
+  | Dead_link of int
+      (** the link goes dark: tokens in flight on it die, its markings
+          are lost, no token crosses it again *)
+  | Dead_box of int
+      (** the NS dies: it kills every token it holds, drops its
+          wired-OR inputs, and all its ports go dark *)
+  | Dead_res of int
+      (** the RS dies: its resource leaves the ready set and its access
+          link goes dark *)
+  | Stuck_bit of Status_bus.event * Status_bus.stuck
+      (** the status-bus bit is forced: stuck-at-1 on E3/E4 makes a
+          phase hang (caught by the watchdog), stuck-at-0 is caught by
+          driver readback *)
+  | Clear_bit of Status_bus.event
+      (** the stuck-at on the bit clears (a transient fault ends) *)
+
+type fault_schedule = (int * mid_fault) list
+(** Faults indexed by absolute status-bus clock; a fault fires at the
+    first executed clock period >= its index. *)
+
+type recovery = {
+  faults_applied : int;      (** schedule entries that fired in-cycle *)
+  watchdog_fires : int;      (** phase watchdog expirations *)
+  iteration_aborts : int;    (** iterations rolled back and retried *)
+  cycle_restarts : int;      (** full restarts (a registered path died) *)
+  retries : int;             (** recovery attempts consumed *)
+  wait_clocks : int;         (** idle clocks waiting out stuck bus bits *)
+  completed : bool;          (** false: gave up (retries or patience
+                                 exhausted under a permanent bus fault) *)
+}
+
+val no_recovery : recovery
+(** The fault-free recovery record (zero everything, [completed]). *)
+
 type report = {
   mapping : (int * int) list;     (** (processor, resource) bonds *)
   circuits : (int * int list) list; (** per processor, links of its circuit *)
@@ -44,10 +79,19 @@ type report = {
   clocks : phase_clocks;          (** totals across all iterations *)
   total_clocks : int;
   bus_trace : int list;           (** status-bus vector per clock *)
+  recovery : recovery;
+  applied_faults : (int * mid_fault) list;
+      (** the schedule entries that actually fired, in firing order *)
 }
+
+val mid_fault_name : mid_fault -> string
+(** Short human-readable label, e.g. ["box 3 dead"], ["E3 stuck-at-1"]. *)
 
 val run :
   ?obs:Rsin_obs.Obs.t ->
+  ?faults:fault_schedule ->
+  ?max_retries:int ->
+  ?watchdog:phase_clocks ->
   Rsin_topology.Network.t -> requests:int list -> free:int list -> report
 (** Simulates one full scheduling cycle on the current network state
     (occupied links are opaque to tokens, and so is any link masked by a
@@ -56,11 +100,32 @@ val run :
     on). The network itself is not modified; use {!commit} to establish
     the resulting circuits.
 
+    [faults] injects mid-cycle faults at status-bus clock granularity.
+    An element death during an active iteration is detected at link
+    level and aborts the iteration (markings cleared, bonds of the
+    iteration rolled back, request phase restarted on the surviving
+    subnetwork); a death that breaks an already registered path restarts
+    the whole cycle. Stuck-at status-bus bits hang or derail phase
+    control flow and are caught by per-phase watchdog timeouts (clock
+    bounds per Theorem 4 — override with [watchdog]), driver readback
+    and idle-bus checks; transient stuck windows are waited out between
+    phases. Recovery attempts are bounded by [max_retries] (default
+    scales with the schedule) plus a wait-patience bound, so the run
+    always terminates; on exhaustion it gives up with
+    [recovery.completed = false] and commits only the bonds already
+    safely registered on alive elements. A cycle that completes commits
+    an allocation equal to centralized Dinic max-flow on the surviving
+    subnetwork.
+
     With [obs], the run becomes a browsable timeline: one ["token.bus"]
     instant event per clock period carrying the decoded seven-bit
     status-bus vector, spans for the three phases of every iteration
     (domain clock = status-bus clock), and [token_sim.*] registry
-    counters fed from the same refs as {!phase_clocks}. *)
+    counters fed from the same refs as {!phase_clocks}. Faulted runs add
+    ["token.fault"] / ["token.watchdog"] / ["token.restart"] instants,
+    ["token.recovery"] spans covering each abort-to-retry window, and
+    [token_sim.watchdog_fired] / [token_sim.iteration_aborts] /
+    [token_sim.retries] (and friends) counters. *)
 
 val commit : Rsin_topology.Network.t -> report -> int list
 

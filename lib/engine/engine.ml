@@ -5,12 +5,13 @@ module Transform1 = Rsin_core.Transform1
 module Transform2 = Rsin_core.Transform2
 module Workload = Rsin_sim.Workload
 module Fault = Rsin_fault.Fault
+module Token_sim = Rsin_distributed.Token_sim
 module Obs = Rsin_obs.Obs
 module Tr = Rsin_obs.Trace
 
-type mode = Warm | Rebuild
+type mode = Warm | Rebuild | Token
 
-let mode_name = function Warm -> "warm" | Rebuild -> "rebuild"
+let mode_name = function Warm -> "warm" | Rebuild -> "rebuild" | Token -> "token"
 
 type discipline = Uniform | Priority
 
@@ -71,7 +72,7 @@ type ev =
   | Ev_cancel of int
   | Ev_release of int   (* live-circuit table index: transmission done *)
   | Ev_complete of int  (* live-circuit table index: service done *)
-  | Ev_fault of Fault.event
+  | Ev_fault of Fault.event * int option  (* optional intra-cycle clock *)
   | Ev_deadline of int  (* task id *)
   | Ev_wake
 
@@ -103,6 +104,8 @@ let run ?obs ?(config = default_config) ?(mode = Warm) ?(discipline = Uniform)
   if config.transmission_time < 1 then invalid_arg "Engine.run: transmission_time";
   if config.batch_threshold < 1 then invalid_arg "Engine.run: batch_threshold";
   if config.max_defer < 1 then invalid_arg "Engine.run: max_defer";
+  if mode = Token && discipline = Priority then
+    invalid_arg "Engine.run: token mode runs the uniform discipline only";
   let net = Network.copy net in
   let np = Network.n_procs net and nr = Network.n_res net in
   let inc =
@@ -114,7 +117,7 @@ let run ?obs ?(config = default_config) ?(mode = Warm) ?(discipline = Uniform)
         | Priority -> Incremental.Mincost
       in
       Some (Incremental.create ~discipline:d net)
-    | Rebuild -> None
+    | Rebuild | Token -> None
   in
   (* Engine-visible scheduling state. In Warm mode [requesting] and the
      effective resource freedom (idle && up) mirror the incremental
@@ -147,13 +150,21 @@ let run ?obs ?(config = default_config) ?(mode = Warm) ?(discipline = Uniform)
         if priority < 0 then invalid_arg "Engine.run: bad priority in trace";
         push t (Ev_arrive { id; proc; service; deadline; priority })
       | Workload.Cancel { t; id } -> push t (Ev_cancel id)
-      | Workload.Fault { t; element } -> push t (Ev_fault (Fault.down_of element))
-      | Workload.Repair { t; element } -> push t (Ev_fault (Fault.up_of element)))
+      | Workload.Fault { t; clock; element } ->
+        push t (Ev_fault (Fault.down_of element, clock))
+      | Workload.Repair { t; clock = _; element } ->
+        (* Repairs always apply at the cycle boundary (Workload doc). *)
+        push t (Ev_fault (Fault.up_of element, None)))
     (Workload.sort_trace trace);
   let arrivals = ref 0 and allocated = ref 0 and completed = ref 0 in
   let cancelled = ref 0 and expired = ref 0 in
   let cycles = ref 0 and skipped_cycles = ref 0 and solver_work = ref 0 in
   let faults = ref 0 and repairs = ref 0 and victims = ref 0 in
+  (* Token mode: clocked down-faults of the current slot, buffered until
+     the slot's scheduling cycle runs them mid-cycle (chronological
+     order). Entries the cycle never reached — or that arrive in a slot
+     without a cycle — are applied at the end of the slot. *)
+  let mid_buffer : (int * Fault.element) list ref = ref [] in
   let victim_at : (int, int) Hashtbl.t = Hashtbl.create 16 in
   let readmissions = Stats.accum () in
   let busy_slots = ref 0 and horizon = ref 0 in
@@ -278,11 +289,21 @@ let run ?obs ?(config = default_config) ?(mode = Warm) ?(discipline = Uniform)
   let process now = function
     | Ev_arrive { id; proc; service; deadline; priority } ->
       incr arrivals;
-      Hashtbl.replace tasks id { arrival = now; service; priority; queued = true };
-      queues.(proc) <- queues.(proc) @ [ id ];
-      if transmitting.(proc) = None then set_requesting proc true;
-      (match deadline with Some d when d > now -> push d (Ev_deadline id) | _ -> ());
-      if config.batch_threshold > 1 then push (now + config.max_defer) Ev_wake;
+      (match deadline with
+      | Some d when d <= now ->
+        (* Dead on arrival: the deadline is already past, so the task
+           expires immediately — it must not sit in the queue forever
+           (and certainly must not be served). *)
+        Hashtbl.replace tasks id
+          { arrival = now; service; priority; queued = false };
+        incr expired
+      | _ ->
+        Hashtbl.replace tasks id
+          { arrival = now; service; priority; queued = true };
+        queues.(proc) <- queues.(proc) @ [ id ];
+        if transmitting.(proc) = None then set_requesting proc true;
+        (match deadline with Some d -> push d (Ev_deadline id) | None -> ());
+        if config.batch_threshold > 1 then push (now + config.max_defer) Ev_wake);
       true
     | Ev_cancel id ->
       let dropped = drop_task id in
@@ -313,8 +334,11 @@ let run ?obs ?(config = default_config) ?(mode = Warm) ?(discipline = Uniform)
         sync_res l.lres;
         true
       | None -> false (* torn down by a fault *))
-    | Ev_fault fev ->
-      apply_fault now fev;
+    | Ev_fault (fev, clock) ->
+      (match (mode, clock) with
+      | Token, Some clk when Fault.is_down fev ->
+        mid_buffer := !mid_buffer @ [ (clk, Fault.element fev) ]
+      | _ -> apply_fault now fev);
       true
     | Ev_wake -> false
   in
@@ -372,7 +396,55 @@ let run ?obs ?(config = default_config) ?(mode = Warm) ?(discipline = Uniform)
         incr cycles;
         let committed, work, skipped =
           match (mode, inc) with
-          | Rebuild, Some _ | Warm, None -> assert false
+          | (Rebuild | Token), Some _ | Warm, None -> assert false
+          | Token, None ->
+            (* Run the cycle on the distributed token architecture, with
+               this slot's buffered clocked faults injected mid-cycle.
+               The protocol self-recovers (watchdogs, iteration aborts,
+               bounded retries), so the committed allocation is maximum
+               on whatever subnetwork survives the cycle. *)
+            let buffer = !mid_buffer in
+            mid_buffer := [];
+            let mid_of = function
+              | Fault.Link l -> Token_sim.Dead_link l
+              | Fault.Box b -> Token_sim.Dead_box b
+              | Fault.Res r -> Token_sim.Dead_res r
+            in
+            let schedule = List.map (fun (clk, el) -> (clk, mid_of el)) buffer in
+            let rep =
+              Token_sim.run ?obs ~faults:schedule net ~requests:pending ~free
+            in
+            (* Faults the cycle actually reached are applied to the
+               network now — before the hook, so a differential
+               reference re-schedules exactly the degraded subnetwork
+               the surviving tokens ran on. Entries past the cycle's
+               last clock stay buffered for the end-of-slot flush. *)
+            let remaining = ref rep.Token_sim.applied_faults in
+            let fired, leftover =
+              List.partition
+                (fun (clk, el) ->
+                  let key = (clk, mid_of el) in
+                  let rec drop = function
+                    | [] -> None
+                    | x :: tl when x = key -> Some tl
+                    | x :: tl -> Option.map (fun tl -> x :: tl) (drop tl)
+                  in
+                  match drop !remaining with
+                  | Some rest ->
+                    remaining := rest;
+                    true
+                  | None -> false)
+                buffer
+            in
+            List.iter (fun (_clk, el) -> apply_fault now (Fault.down_of el)) fired;
+            mid_buffer := leftover;
+            let committed =
+              List.map
+                (fun (p, r) ->
+                  (p, r, List.assoc p rep.Token_sim.circuits, None))
+                rep.Token_sim.mapping
+            in
+            (committed, rep.Token_sim.total_clocks, false)
           | Warm, Some i ->
             let r = Incremental.solve ?obs i in
             ( List.map (fun (c : Incremental.circuit) ->
@@ -450,7 +522,18 @@ let run ?obs ?(config = default_config) ?(mode = Warm) ?(discipline = Uniform)
       List.fold_left (fun acc ev -> process now ev || acc) false batch
     in
     if substantive && now > !horizon then horizon := now;
-    try_cycle now
+    try_cycle now;
+    (* Token mode: clocked faults the slot's cycle never consumed (no
+       cycle ran, or their clock index lay past the cycle's last clock
+       period) land after it — possibly severing circuits the cycle
+       just committed, with the usual victim re-admission. *)
+    (match !mid_buffer with
+    | [] -> ()
+    | buf ->
+      mid_buffer := [];
+      List.iter
+        (fun (_clk, el) -> apply_fault now (Fault.down_of el))
+        (List.stable_sort (fun (a, _) (b, _) -> compare (a : int) b) buf))
   done;
   let left_pending = Array.fold_left (fun acc q -> acc + List.length q) 0 queues in
   Obs.count obs "engine.arrivals" !arrivals;

@@ -20,7 +20,20 @@
     the optimal number of requests every cycle (max-flow values are
     unique even though mappings are not). *)
 
-type mode = Warm | Rebuild
+type mode =
+  | Warm
+  | Rebuild
+  | Token
+      (** every cycle runs on the distributed token architecture
+          ({!Rsin_distributed.Token_sim}) instead of a centralized
+          solver. Allocation counts match the other modes cycle for
+          cycle (both are maximum flows); [solver_work] counts
+          status-bus clock periods. This is the only mode that honors
+          the optional intra-cycle [clock] on trace fault events: a
+          clocked fault strikes {e mid-cycle} at that status-bus clock
+          of its slot's scheduling cycle, exercising the protocol's
+          watchdog/abort/retry recovery; the element then stays down on
+          the network from that cycle onward. Uniform discipline only. *)
 
 val mode_name : mode -> string
 

@@ -89,3 +89,15 @@ let inject ?links ?(boxes = []) ?(ress = []) rng net ~horizon ~mtbf ~mttr =
   (* Stable by construction order within a slot: down/up alternation of
      one element never reorders. *)
   List.stable_sort (fun (a, _) (b, _) -> compare a b) (List.rev !events)
+
+type clocked_schedule = (int * int * event) list
+
+let inject_clocked ?links ?boxes ?ress rng net ~horizon ~mtbf ~mttr ~clock_range =
+  if clock_range < 1 then invalid_arg "Fault.inject_clocked: clock_range";
+  let sched = inject ?links ?boxes ?ress rng net ~horizon ~mtbf ~mttr in
+  (* The element schedule is drawn exactly as [inject] draws it (same
+     rng, same sub-stream per element), then the intra-cycle clocks come
+     from one further split — so the slot-granular projection of a
+     clocked schedule equals the plain injection for the same seed. *)
+  let g = Prng.split rng in
+  List.map (fun (t, ev) -> (t, Prng.int g clock_range, ev)) sched

@@ -78,3 +78,24 @@ val inject :
     to choose the failable population. Each element draws from its own
     [Prng.split] sub-stream, so the schedule is stable under population
     reordering. Requires [mtbf > 0.] and [mttr > 0.]. *)
+
+type clocked_schedule = (int * int * event) list
+(** [(slot, intra-cycle status-bus clock, event)]: clock-granular
+    schedule for mid-cycle injection into the distributed token
+    protocol. *)
+
+val inject_clocked :
+  ?links:int list ->
+  ?boxes:int list ->
+  ?ress:int list ->
+  Rsin_util.Prng.t ->
+  Rsin_topology.Network.t ->
+  horizon:int ->
+  mtbf:float ->
+  mttr:float ->
+  clock_range:int ->
+  clocked_schedule
+(** Like {!inject}, plus a uniform intra-cycle status-bus clock in
+    [\[0, clock_range)] per event, drawn from one further sub-stream:
+    dropping the clocks gives exactly the {!inject} schedule for the
+    same seed. Requires [clock_range >= 1]. *)

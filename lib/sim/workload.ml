@@ -77,8 +77,8 @@ type trace_event =
       priority : int;
     }
   | Cancel of { t : int; id : int }
-  | Fault of { t : int; element : Fault.element }
-  | Repair of { t : int; element : Fault.element }
+  | Fault of { t : int; clock : int option; element : Fault.element }
+  | Repair of { t : int; clock : int option; element : Fault.element }
 
 let event_time = function
   | Arrive { t; _ } | Cancel { t; _ } | Fault { t; _ } | Repair { t; _ } -> t
@@ -91,7 +91,16 @@ let fault_events schedule =
   List.map
     (fun (t, ev) ->
       let element = Fault.element ev in
-      if Fault.is_down ev then Fault { t; element } else Repair { t; element })
+      if Fault.is_down ev then Fault { t; clock = None; element }
+      else Repair { t; clock = None; element })
+    schedule
+
+let fault_events_clocked schedule =
+  List.map
+    (fun (t, clk, ev) ->
+      let element = Fault.element ev in
+      if Fault.is_down ev then Fault { t; clock = Some clk; element }
+      else Repair { t; clock = Some clk; element })
     schedule
 
 let sort_trace trace =
@@ -165,9 +174,11 @@ let trace_to_jsonl trace =
         Buffer.add_string buf
           (Printf.sprintf "{\"t\":%d,\"ev\":\"cancel\",\"id\":%d" t id);
         Buffer.add_char buf '}'
-      | Fault { t; element } | Repair { t; element } ->
+      | Fault { t; clock; element } | Repair { t; clock; element } ->
         (* New event kinds appear only in traces that contain faults, so
-           fault-free traces keep the original on-disk format. *)
+           fault-free traces keep the original on-disk format; likewise
+           the intra-cycle clock is emitted only when present, keeping
+           slot-granular fault traces (PR 4) byte-identical. *)
         let ev = match ev with Fault _ -> "fault" | _ -> "repair" in
         let kind, idx =
           match element with
@@ -176,18 +187,24 @@ let trace_to_jsonl trace =
           | Fault.Res r -> ("res", r)
         in
         Buffer.add_string buf
-          (Printf.sprintf "{\"t\":%d,\"ev\":%S,\"kind\":%S,\"idx\":%d}" t ev
-             kind idx));
+          (Printf.sprintf "{\"t\":%d,\"ev\":%S,\"kind\":%S,\"idx\":%d" t ev kind
+             idx);
+        (match clock with
+        | Some c -> Buffer.add_string buf (Printf.sprintf ",\"clock\":%d" c)
+        | None -> ());
+        Buffer.add_char buf '}');
       Buffer.add_char buf '\n')
     trace;
   Buffer.contents buf
 
+type parse_error = { line : int; message : string }
+
+exception Malformed of int * string
+
 (* Minimal parser for the flat one-object-per-line format above: no
    nesting, values are ints or quoted strings without escapes. *)
 let parse_fields line lineno =
-  let fail msg =
-    failwith (Printf.sprintf "Workload.trace_of_jsonl: line %d: %s" lineno msg)
-  in
+  let fail msg = raise (Malformed (lineno, msg)) in
   let line = String.trim line in
   let n = String.length line in
   if n < 2 || line.[0] <> '{' || line.[n - 1] <> '}' then
@@ -212,75 +229,94 @@ let parse_fields line lineno =
              in
              (unquote key, unquote value))
 
-let trace_of_jsonl text =
+let parse_line lineno line =
+  let fields = parse_fields line lineno in
+  let fail msg = raise (Malformed (lineno, msg)) in
+  let int_field k =
+    match List.assoc_opt k fields with
+    | None -> fail (Printf.sprintf "missing field %S" k)
+    | Some v ->
+      (match int_of_string_opt v with
+      | Some n -> n
+      | None -> fail (Printf.sprintf "field %S is not an integer" k))
+  in
+  match List.assoc_opt "ev" fields with
+  | Some "arrive" ->
+    let service = int_field "service" in
+    if service < 1 then fail "field \"service\" must be >= 1";
+    let proc = int_field "proc" in
+    if proc < 0 then fail "field \"proc\" must be >= 0";
+    let priority =
+      match List.assoc_opt "priority" fields with
+      | None -> 0
+      | Some v ->
+        (match int_of_string_opt v with
+        | Some y when y >= 0 -> y
+        | Some _ -> fail "field \"priority\" must be >= 0"
+        | None -> fail "field \"priority\" is not an integer")
+    in
+    [ Arrive
+        { t = int_field "t"; id = int_field "id"; proc; service;
+          deadline =
+            (match List.assoc_opt "deadline" fields with
+            | None -> None
+            | Some v ->
+              (match int_of_string_opt v with
+              | Some d -> Some d
+              | None -> fail "field \"deadline\" is not an integer"));
+          priority } ]
+  | Some "cancel" -> [ Cancel { t = int_field "t"; id = int_field "id" } ]
+  | Some (("fault" | "repair") as which) ->
+    let idx = int_field "idx" in
+    if idx < 0 then fail "field \"idx\" must be >= 0";
+    let element =
+      match List.assoc_opt "kind" fields with
+      | Some "link" -> Fault.Link idx
+      | Some "box" -> Fault.Box idx
+      | Some "res" -> Fault.Res idx
+      | Some other -> fail (Printf.sprintf "unknown element kind %S" other)
+      | None -> fail "missing field \"kind\""
+    in
+    let clock =
+      match List.assoc_opt "clock" fields with
+      | None -> None
+      | Some v ->
+        (match int_of_string_opt v with
+        | Some c when c >= 0 -> Some c
+        | Some _ -> fail "field \"clock\" must be >= 0"
+        | None -> fail "field \"clock\" is not an integer")
+    in
+    let t = int_field "t" in
+    if which = "fault" then [ Fault { t; clock; element } ]
+    else [ Repair { t; clock; element } ]
+  | Some other -> fail (Printf.sprintf "unknown event kind %S" other)
+  | None -> fail "missing field \"ev\""
+
+let import text =
   let lines = String.split_on_char '\n' text in
-  let events =
+  match
     List.concat
       (List.mapi
          (fun i line ->
            let lineno = i + 1 in
            if String.trim line = "" then []
-           else begin
-             let fields = parse_fields line lineno in
-             let fail msg =
-               failwith
-                 (Printf.sprintf "Workload.trace_of_jsonl: line %d: %s" lineno msg)
-             in
-             let int_field k =
-               match List.assoc_opt k fields with
-               | None -> fail (Printf.sprintf "missing field %S" k)
-               | Some v ->
-                 (match int_of_string_opt v with
-                 | Some n -> n
-                 | None -> fail (Printf.sprintf "field %S is not an integer" k))
-             in
-             match List.assoc_opt "ev" fields with
-             | Some "arrive" ->
-               let service = int_field "service" in
-               if service < 1 then fail "field \"service\" must be >= 1";
-               let proc = int_field "proc" in
-               if proc < 0 then fail "field \"proc\" must be >= 0";
-               let priority =
-                 match List.assoc_opt "priority" fields with
-                 | None -> 0
-                 | Some v ->
-                   (match int_of_string_opt v with
-                   | Some y when y >= 0 -> y
-                   | Some _ -> fail "field \"priority\" must be >= 0"
-                   | None -> fail "field \"priority\" is not an integer")
-               in
-               [ Arrive
-                   { t = int_field "t"; id = int_field "id"; proc; service;
-                     deadline =
-                       (match List.assoc_opt "deadline" fields with
-                       | None -> None
-                       | Some v ->
-                         (match int_of_string_opt v with
-                         | Some d -> Some d
-                         | None -> fail "field \"deadline\" is not an integer"));
-                     priority } ]
-             | Some "cancel" -> [ Cancel { t = int_field "t"; id = int_field "id" } ]
-             | Some (("fault" | "repair") as which) ->
-               let idx = int_field "idx" in
-               if idx < 0 then fail "field \"idx\" must be >= 0";
-               let element =
-                 match List.assoc_opt "kind" fields with
-                 | Some "link" -> Fault.Link idx
-                 | Some "box" -> Fault.Box idx
-                 | Some "res" -> Fault.Res idx
-                 | Some other ->
-                   fail (Printf.sprintf "unknown element kind %S" other)
-                 | None -> fail "missing field \"kind\""
-               in
-               let t = int_field "t" in
-               if which = "fault" then [ Fault { t; element } ]
-               else [ Repair { t; element } ]
-             | Some other -> fail (Printf.sprintf "unknown event kind %S" other)
-             | None -> fail "missing field \"ev\""
-           end)
+           else
+             try parse_line lineno line with
+             | Malformed _ as e -> raise e
+             | e ->
+               (* belt and braces: any parser slip on hostile input still
+                  surfaces as a positioned error, never a raw exception *)
+               raise (Malformed (lineno, Printexc.to_string e)))
          lines)
-  in
-  sort_trace events
+  with
+  | events -> Ok (sort_trace events)
+  | exception Malformed (line, message) -> Error { line; message }
+
+let trace_of_jsonl text =
+  match import text with
+  | Ok trace -> trace
+  | Error { line; message } ->
+    failwith (Printf.sprintf "Workload.trace_of_jsonl: line %d: %s" line message)
 
 let write_trace file trace =
   let oc = open_out file in

@@ -68,15 +68,21 @@ type trace_event =
           priority-free traces in the original on-disk format. *)
   | Cancel of { t : int; id : int }
       (** Task [id] is withdrawn at slot [t] if still queued. *)
-  | Fault of { t : int; element : Rsin_fault.Fault.element }
+  | Fault of { t : int; clock : int option; element : Rsin_fault.Fault.element }
       (** The element goes down at slot [t]; circuits riding it are torn
           down by the engine and their tasks re-admitted at the queue
           head. JSONL form
           [{"t":5,"ev":"fault","kind":"link","idx":12}] — fault events
           are emitted only when present, so fault-free traces keep the
-          original on-disk format byte for byte. *)
-  | Repair of { t : int; element : Rsin_fault.Fault.element }
-      (** The element comes back up at slot [t]. *)
+          original on-disk format byte for byte. [clock] is the optional
+          intra-cycle status-bus clock (JSONL [,"clock":k], omitted when
+          absent, so slot-granular traces also keep their format): in the
+          engine's token mode the element dies {e mid-cycle} at that
+          clock of the slot's scheduling cycle. *)
+  | Repair of { t : int; clock : int option; element : Rsin_fault.Fault.element }
+      (** The element comes back up at slot [t]. Repairs always apply at
+          the cycle boundary; a recorded [clock] is kept for round-trip
+          fidelity but does not affect replay. *)
 
 val event_time : trace_event -> int
 
@@ -86,6 +92,10 @@ val event_id : trace_event -> int
 val fault_events : Rsin_fault.Fault.schedule -> trace_event list
 (** Lifts an injector schedule ({!Rsin_fault.Fault.inject}) into trace
     events, ready to merge into a workload trace. *)
+
+val fault_events_clocked : Rsin_fault.Fault.clocked_schedule -> trace_event list
+(** Lifts a clock-granular schedule ({!Rsin_fault.Fault.inject_clocked})
+    into trace events carrying the intra-cycle clock. *)
 
 val sort_trace : trace_event list -> trace_event list
 (** Stable sort by slot, preserving recorded order within a slot. *)
@@ -114,9 +124,18 @@ val trace_to_jsonl : trace_event list -> string
 (** One JSON object per line, e.g.
     [{"t":3,"ev":"arrive","id":0,"proc":5,"service":4,"deadline":9}]. *)
 
+type parse_error = { line : int; message : string }
+(** A malformed trace line: 1-based line number plus what was wrong. *)
+
+val import : string -> (trace_event list, parse_error) result
+(** Inverse of {!trace_to_jsonl}; result is time-sorted. Malformed or
+    truncated input — bad JSON shape, missing or non-integer fields,
+    unknown event kinds, out-of-range values — yields a line-numbered
+    [Error] instead of an exception. *)
+
 val trace_of_jsonl : string -> trace_event list
-(** Inverse of {!trace_to_jsonl}; result is time-sorted. Raises
-    [Failure] with the offending line number on malformed input. *)
+(** {!import} for callers that prefer exceptions. Raises [Failure] with
+    the offending line number on malformed input. *)
 
 val write_trace : string -> trace_event list -> unit
 (** Writes the JSONL form to a file. *)

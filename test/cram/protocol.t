@@ -1,0 +1,94 @@
+Mid-cycle faults strike the distributed token protocol at status-bus
+clock granularity. A dead element kills its tokens and markings; the
+protocol detects the damage at link level, aborts the iteration, rolls
+its bonds back and retries on the surviving subnetwork. A stuck-at bus
+bit derails phase control flow instead and is caught by the per-phase
+watchdogs, driver readback and idle-bus checks. Here a link dies during
+the request phase (clk 3) and E3 sticks at 1 through clks 9-14: the
+cycle still allocates all three requests, at the cost of one aborted
+iteration and three extra clock periods:
+
+  $ rsin trace omega:8 --requests 0,2,5 --free 1,3,6 --mid-cycle-faults 3:link4,9:stuck1=e3,15:clear=e3
+  allocated 3/3 in 1 iteration(s), 16 clock periods
+  recovery: 3 fault(s) applied, 0 watchdog fire(s), 1 iteration abort(s), 0 cycle restart(s), 1 retry(ies), 0 wait clock(s)
+  
+  clk   0  1110000  E1 request pending, E2 resource ready, E3 request token propagation
+  clk   1  1110000  E1 request pending, E2 resource ready, E3 request token propagation
+  clk   2  1110000  E1 request pending, E2 resource ready, E3 request token propagation
+  clk   3  1110000  E1 request pending, E2 resource ready, E3 request token propagation
+  clk   4  1110000  E1 request pending, E2 resource ready, E3 request token propagation
+  clk   5  1110000  E1 request pending, E2 resource ready, E3 request token propagation
+  clk   6  1110010  E1 request pending, E2 resource ready, E3 request token propagation, E6 RS received token
+  clk   7  1101000  E1 request pending, E2 resource ready, E4 resource token propagation
+  clk   8  1101000  E1 request pending, E2 resource ready, E4 resource token propagation
+  clk   9  1111000  E1 request pending, E2 resource ready, E3 request token propagation, E4 resource token propagation
+  clk  10  1111000  E1 request pending, E2 resource ready, E3 request token propagation, E4 resource token propagation
+  clk  11  1111000  E1 request pending, E2 resource ready, E3 request token propagation, E4 resource token propagation
+  clk  12  1111000  E1 request pending, E2 resource ready, E3 request token propagation, E4 resource token propagation
+  clk  13  1111000  E1 request pending, E2 resource ready, E3 request token propagation, E4 resource token propagation
+  clk  14  1011000  E1 request pending, E3 request token propagation, E4 resource token propagation
+  clk  15  1001101  E1 request pending, E4 resource token propagation, E5 path registration, E7 RQ bonded to RS
+
+
+A switchbox death takes real capacity with it: the retry converges on
+the degraded network's optimum (2 of 3 — centralized Dinic on the
+surviving subnetwork agrees, which the test suite asserts over random
+schedules):
+
+  $ rsin trace omega:8 --requests 0,2,5 --free 1,3,6 --mid-cycle-faults 2:box1
+  allocated 2/3 in 1 iteration(s), 14 clock periods
+  recovery: 1 fault(s) applied, 0 watchdog fire(s), 1 iteration abort(s), 0 cycle restart(s), 1 retry(ies), 0 wait clock(s)
+  
+  clk   0  1110000  E1 request pending, E2 resource ready, E3 request token propagation
+  clk   1  1110000  E1 request pending, E2 resource ready, E3 request token propagation
+  clk   2  1110000  E1 request pending, E2 resource ready, E3 request token propagation
+  clk   3  1110000  E1 request pending, E2 resource ready, E3 request token propagation
+  clk   4  1110000  E1 request pending, E2 resource ready, E3 request token propagation
+  clk   5  1110010  E1 request pending, E2 resource ready, E3 request token propagation, E6 RS received token
+  clk   6  1101000  E1 request pending, E2 resource ready, E4 resource token propagation
+  clk   7  1101000  E1 request pending, E2 resource ready, E4 resource token propagation
+  clk   8  1101000  E1 request pending, E2 resource ready, E4 resource token propagation
+  clk   9  1101000  E1 request pending, E2 resource ready, E4 resource token propagation
+  clk  10  1101000  E1 request pending, E2 resource ready, E4 resource token propagation
+  clk  11  1101000  E1 request pending, E2 resource ready, E4 resource token propagation
+  clk  12  1101000  E1 request pending, E2 resource ready, E4 resource token propagation
+  clk  13  1101101  E1 request pending, E2 resource ready, E4 resource token propagation, E5 path registration, E7 RQ bonded to RS
+
+
+The replay engine drives the same protocol online: --mode token runs
+every scheduling cycle on the token architecture, and --faults with
+--fault-clock-granularity clock gives each injected fault a uniform
+intra-cycle status-bus clock, so elements die mid-cycle and the
+protocol absorbs them while circuits keep being torn down and
+re-admitted at the slot level:
+
+  $ rsin replay omega:8 --mode token --slots 30 --arrival 0.3 --seed 7 --faults --fault-clock-granularity clock --mtbf 60 --mttr 15
+  faults: 25 element event(s) injected (mtbf 60, mttr 15)
+  metric                   token
+  -----------------------  ------
+  horizon (slots)          49
+  arrivals                 76
+  allocated                52
+  completed                48
+  cancelled                0
+  expired                  0
+  left pending             28
+  mean wait (slots)        3.923
+  max wait (slots)         21
+  throughput (tasks/slot)  0.980
+  resource utilization     58.42%
+  scheduling cycles        44
+  cycles skipped clean     0
+  solver work (arcs)       469
+  faults applied           17
+  repairs applied          8
+  victim circuits          4
+  mean re-admission wait   1.333
+
+Malformed fault specifications are rejected up front:
+
+  $ rsin trace omega:8 --mid-cycle-faults nonsense
+  rsin: option '--mid-cycle-faults': bad fault "nonsense": expected CLOCK:FAULT
+  Usage: rsin trace [OPTION]… NET
+  Try 'rsin trace --help' or 'rsin --help' for more information.
+  [124]

@@ -11,6 +11,7 @@ let () =
       ("core", Test_core.suite);
       ("netgraph", Test_netgraph.suite);
       ("distributed", Test_distributed.suite);
+      ("protocol", Test_protocol.suite);
       ("sim", Test_sim.suite);
       ("engine", Test_engine.suite);
       ("fault", Test_fault.suite);

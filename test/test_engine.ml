@@ -9,6 +9,7 @@ module Scheduler = Rsin_core.Scheduler
 module Transform1 = Rsin_core.Transform1
 module Transform2 = Rsin_core.Transform2
 module Workload = Rsin_sim.Workload
+module Fault = Rsin_fault.Fault
 module Incremental = Rsin_engine.Incremental
 module Engine = Rsin_engine.Engine
 module Prng = Rsin_util.Prng
@@ -308,6 +309,120 @@ let test_batching_defers () =
   check Alcotest.int "forced cycle fires early" 2 (List.hd (List.rev !times'));
   check Alcotest.int "still all allocated" 2 report'.Engine.allocated
 
+(* An Arrive whose deadline is already past (deadline <= t) must count
+   as expired on the spot — it used to sit in the queue forever with no
+   expiry event scheduled, and could even be served. *)
+let test_deadline_dead_on_arrival () =
+  let net = Builders.omega 8 in
+  let arrive t id proc deadline =
+    Workload.Arrive
+      { t; id; proc; service = 2; deadline; priority = 0 }
+  in
+  let trace =
+    [ arrive 5 0 0 (Some 5);      (* deadline = arrival slot: expired *)
+      arrive 5 1 1 (Some 3);      (* deadline already past: expired *)
+      arrive 5 2 2 (Some 9);      (* live *)
+      arrive 5 3 3 None ]         (* live *)
+  in
+  List.iter
+    (fun mode ->
+      let rep = Engine.run ~mode net trace in
+      let name = Engine.mode_name mode in
+      check Alcotest.int (name ^ ": dead-on-arrival tasks expire") 2
+        rep.Engine.expired;
+      check Alcotest.int (name ^ ": live tasks still served") 2
+        rep.Engine.allocated;
+      check Alcotest.int (name ^ ": conservation") rep.Engine.arrivals
+        (rep.Engine.allocated + rep.Engine.cancelled + rep.Engine.expired
+        + rep.Engine.left_pending))
+    [ Engine.Warm; Engine.Rebuild; Engine.Token ]
+
+(* --- Token mode ------------------------------------------------------------ *)
+
+(* Every token-mode cycle allocates exactly what centralized Dinic
+   allocates on the same pre-commit snapshot — the same differential the
+   warm engine is held to, now with the distributed protocol in the
+   loop. *)
+let test_token_differential () =
+  List.iter
+    (fun net ->
+      let trace =
+        Workload.synthesize ~deadline_slack:25 ~cancel_prob:0.1
+          (Prng.create 17) net ~slots:80 ~arrival_prob:0.3
+      in
+      let cycles_here = ref 0 in
+      let hook snapshot (info : Engine.cycle_info) =
+        incr cycles_here;
+        let reference =
+          Scheduler.schedule snapshot
+            ~requests:(List.map Scheduler.request info.Engine.requests)
+            ~resources:(List.map Scheduler.resource info.Engine.free)
+        in
+        check Alcotest.int
+          (Printf.sprintf "%s token cycle at t=%d" (Network.name net)
+             info.Engine.time)
+          reference.Scheduler.allocated info.Engine.allocated
+      in
+      let report =
+        Engine.run ~mode:Engine.Token ~cycle_hook:hook
+          ~config:
+            { Engine.transmission_time = 2; batch_threshold = 1; max_defer = 8 }
+          net trace
+      in
+      check Alcotest.bool (Network.name net ^ ": enough token cycles") true
+        (!cycles_here >= 20);
+      check Alcotest.bool (Network.name net ^ ": clock-period work") true
+        (report.Engine.solver_work > 0))
+    (topologies ())
+
+(* Token mode with mid-cycle (clocked) trace faults: the differential
+   still holds at every cycle — the hook's snapshot reflects exactly the
+   deaths the token run absorbed — and the usual conservation and
+   determinism guarantees survive. *)
+let test_token_clocked_faults () =
+  let net = Builders.omega 8 in
+  let base =
+    Workload.synthesize ~deadline_slack:30 (Prng.create 21) net ~slots:100
+      ~arrival_prob:0.3
+  in
+  let sched =
+    Fault.inject_clocked (Prng.create 22) net ~horizon:100 ~mtbf:40. ~mttr:15.
+      ~clock_range:40
+  in
+  let trace =
+    Workload.sort_trace (base @ Workload.fault_events_clocked sched)
+  in
+  let hook snapshot (info : Engine.cycle_info) =
+    let reference =
+      Scheduler.schedule snapshot
+        ~requests:(List.map Scheduler.request info.Engine.requests)
+        ~resources:(List.map Scheduler.resource info.Engine.free)
+    in
+    check Alcotest.int
+      (Printf.sprintf "faulted token cycle at t=%d" info.Engine.time)
+      reference.Scheduler.allocated info.Engine.allocated
+  in
+  let config =
+    { Engine.transmission_time = 2; batch_threshold = 1; max_defer = 8 }
+  in
+  let rep = Engine.run ~mode:Engine.Token ~config ~cycle_hook:hook net trace in
+  check Alcotest.bool "faults were applied" true (rep.Engine.faults > 0);
+  check Alcotest.bool "repairs were applied" true (rep.Engine.repairs > 0);
+  check Alcotest.int "conservation under faults" rep.Engine.arrivals
+    (rep.Engine.completed + rep.Engine.cancelled + rep.Engine.expired
+    + rep.Engine.left_pending);
+  let again = Engine.run ~mode:Engine.Token ~config net trace in
+  let rep' = Engine.run ~mode:Engine.Token ~config net trace in
+  check Alcotest.bool "token runs deterministic" true (again = rep')
+
+let test_token_rejects_priority () =
+  let net = Builders.omega 8 in
+  Alcotest.check_raises "token + priority"
+    (Invalid_argument "Engine.run: token mode runs the uniform discipline only")
+    (fun () ->
+      ignore
+        (Engine.run ~mode:Engine.Token ~discipline:Engine.Priority net []))
+
 let test_rejects_bad_trace () =
   let net = Builders.omega 8 in
   Alcotest.check_raises "bad processor"
@@ -339,5 +454,13 @@ let suite =
     Alcotest.test_case "determinism" `Quick test_determinism;
     Alcotest.test_case "skipped clean cycle" `Quick test_skipped_cycle;
     Alcotest.test_case "batched admission" `Quick test_batching_defers;
+    Alcotest.test_case "deadline dead on arrival" `Quick
+      test_deadline_dead_on_arrival;
+    Alcotest.test_case "token differential vs dinic" `Slow
+      test_token_differential;
+    Alcotest.test_case "token mode under clocked faults" `Quick
+      test_token_clocked_faults;
+    Alcotest.test_case "token rejects priority" `Quick
+      test_token_rejects_priority;
     Alcotest.test_case "rejects bad trace" `Quick test_rejects_bad_trace;
   ]

@@ -1,0 +1,409 @@
+(* Tests for the fault-tolerant distributed token protocol: mid-cycle
+   fault injection, phase watchdogs, iteration rollback and cycle
+   restart — plus the wired-OR status bus the recovery machinery rides
+   on.
+
+   The central property is the recovery differential: whatever mix of
+   element deaths and transient stuck-at windows a cycle absorbs, a run
+   that reports [completed] commits an allocation exactly equal to
+   centralized Dinic max-flow on the final surviving subnetwork, and its
+   circuits ride only alive elements. *)
+
+module Network = Rsin_topology.Network
+module Builders = Rsin_topology.Builders
+module Scheduler = Rsin_core.Scheduler
+module Fault = Rsin_fault.Fault
+module Token_sim = Rsin_distributed.Token_sim
+module Bus = Rsin_distributed.Status_bus
+module Workload = Rsin_sim.Workload
+module Prng = Rsin_util.Prng
+
+let check = Alcotest.check
+
+let qtest name ?(count = 100) gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count gen prop)
+
+(* --- random fault scenarios ---------------------------------------------- *)
+
+(* Six topology families (the acceptance floor is five). *)
+let random_net rng =
+  match Prng.int rng 6 with
+  | 0 -> Builders.omega (if Prng.bool rng then 8 else 16)
+  | 1 -> Builders.omega_paper 8
+  | 2 -> Builders.butterfly (if Prng.bool rng then 8 else 16)
+  | 3 -> Builders.baseline 8
+  | 4 -> Builders.benes 8
+  | _ -> Builders.clos ~m:3 ~n:2 ~r:4
+
+let random_scenario rng =
+  let net = random_net rng in
+  let np = Network.n_procs net and nr = Network.n_res net in
+  for _ = 1 to Prng.int rng 3 do
+    let p = Prng.int rng np and r = Prng.int rng nr in
+    match Builders.route_unique net ~proc:p ~res:r with
+    | Some links -> ignore (Network.establish net links)
+    | None -> ()
+  done;
+  let busy_p, busy_r = Workload.occupied_endpoints net in
+  let requests =
+    List.filter
+      (fun p -> (not (List.mem p busy_p)) && Prng.bernoulli rng 0.5)
+      (List.init np Fun.id)
+  in
+  let free =
+    List.filter
+      (fun r -> (not (List.mem r busy_r)) && Prng.bernoulli rng 0.5)
+      (List.init nr Fun.id)
+  in
+  (net, requests, free)
+
+(* Deaths at random clocks, plus (one in four) transient stuck-at
+   windows on a control bit — always paired with a clear, so recovery
+   can finish and [completed] stays provable. *)
+let random_faults rng net =
+  List.concat
+    (List.init (Prng.int rng 6) (fun _ ->
+         let clk = Prng.int rng 50 in
+         if Prng.int rng 4 < 3 then
+           let el =
+             match Prng.int rng 3 with
+             | 0 -> Token_sim.Dead_link (Prng.int rng (Network.n_links net))
+             | 1 -> Token_sim.Dead_box (Prng.int rng (Network.n_boxes net))
+             | _ -> Token_sim.Dead_res (Prng.int rng (Network.n_res net))
+           in
+           [ (clk, el) ]
+         else
+           let e =
+             match Prng.int rng 3 with
+             | 0 -> Bus.E3_request_token_phase
+             | 1 -> Bus.E4_resource_token_phase
+             | _ -> Bus.E6_rs_received_token
+           in
+           let stuck =
+             if Prng.bool rng then Bus.Stuck_at_0 else Bus.Stuck_at_1
+           in
+           [ (clk, Token_sim.Stuck_bit (e, stuck));
+             (clk + 3 + Prng.int rng 8, Token_sim.Clear_bit e) ]))
+
+let degrade net applied =
+  let degraded = Network.copy net in
+  List.iter
+    (fun (_clk, f) ->
+      match f with
+      | Token_sim.Dead_link l -> Fault.apply degraded (Fault.Link_down l)
+      | Token_sim.Dead_box b -> Fault.apply degraded (Fault.Box_down b)
+      | Token_sim.Dead_res r -> Fault.apply degraded (Fault.Res_down r)
+      | Token_sim.Stuck_bit _ | Token_sim.Clear_bit _ -> ())
+    applied;
+  degraded
+
+let dinic_on net ~requests ~free =
+  let o =
+    Scheduler.schedule net
+      ~requests:(List.map Scheduler.request requests)
+      ~resources:(List.map Scheduler.resource free)
+  in
+  o.Scheduler.allocated
+
+(* --- the recovery differential ------------------------------------------- *)
+
+let recovery_differential =
+  qtest "recovered cycle = Dinic on the surviving subnetwork" ~count:300
+    QCheck.small_int (fun seed ->
+      let rng = Prng.create (seed + 1000) in
+      let net, requests, free = random_scenario rng in
+      let faults = random_faults rng net in
+      let rep = Token_sim.run net ~requests ~free ~faults in
+      let r = rep.Token_sim.recovery in
+      (* Termination is bounded: retries never exceed the default budget
+         and the clock count stays finite and sane. *)
+      let budget =
+        16 + (2 * List.length faults)
+        + List.fold_left (fun acc (c, _) -> max acc c) 0 faults
+      in
+      if r.Token_sim.retries > budget then false
+      else if rep.Token_sim.total_clocks > 100_000 then false
+      else if not r.Token_sim.completed then
+        (* Give-up is only legal under a bus fault, never from element
+           deaths alone. *)
+        List.exists
+          (function
+            | _, Token_sim.Stuck_bit _ -> true
+            | _, (Token_sim.Dead_link _ | Token_sim.Dead_box _
+                 | Token_sim.Dead_res _ | Token_sim.Clear_bit _) ->
+              false)
+          faults
+      else begin
+        let degraded = degrade net rep.Token_sim.applied_faults in
+        let opt = dinic_on degraded ~requests ~free in
+        let circuits_alive =
+          List.for_all
+            (fun (_p, links) -> List.for_all (Network.usable degraded) links)
+            rep.Token_sim.circuits
+        in
+        (* Circuits establish disjointly on the surviving subnetwork. *)
+        let establishable =
+          try
+            let scratch = Network.copy degraded in
+            List.iter
+              (fun (_p, links) -> ignore (Network.establish scratch links))
+              rep.Token_sim.circuits;
+            true
+          with _ -> false
+        in
+        rep.Token_sim.allocated = opt && circuits_alive && establishable
+      end)
+
+(* Fault-free runs must report the zero recovery record and stay
+   byte-identical to the historical simulator. *)
+let no_faults_no_recovery =
+  qtest "fault-free run reports no_recovery" ~count:60 QCheck.small_int
+    (fun seed ->
+      let rng = Prng.create (seed + 2000) in
+      let net, requests, free = random_scenario rng in
+      let rep = Token_sim.run net ~requests ~free in
+      rep.Token_sim.recovery = Token_sim.no_recovery
+      && rep.Token_sim.applied_faults = [])
+
+(* The protocol is deterministic: same schedule, same run. *)
+let recovery_deterministic =
+  qtest "faulted runs are deterministic" ~count:60 QCheck.small_int
+    (fun seed ->
+      let rng = Prng.create (seed + 3000) in
+      let net, requests, free = random_scenario rng in
+      let faults = random_faults rng net in
+      let a = Token_sim.run net ~requests ~free ~faults in
+      let b = Token_sim.run net ~requests ~free ~faults in
+      a = b)
+
+(* --- targeted fault scenarios -------------------------------------------- *)
+
+let fig_scenario () =
+  let net = Builders.omega 8 in
+  (net, [ 0; 2; 5 ], [ 1; 3; 6 ])
+
+(* A box death mid-request-phase: the iteration aborts at link level and
+   the retry reaches the optimum of the degraded network. *)
+let test_dead_box_mid_cycle () =
+  let net, requests, free = fig_scenario () in
+  let faults = [ (2, Token_sim.Dead_box 1) ] in
+  let rep = Token_sim.run net ~requests ~free ~faults in
+  check Alcotest.bool "completed" true rep.Token_sim.recovery.Token_sim.completed;
+  check Alcotest.int "fault applied" 1
+    rep.Token_sim.recovery.Token_sim.faults_applied;
+  let degraded = degrade net rep.Token_sim.applied_faults in
+  check Alcotest.int "optimal on survivor"
+    (dinic_on degraded ~requests ~free)
+    rep.Token_sim.allocated
+
+(* A transient stuck-at-1 on E4 hangs the resource phase: the watchdog
+   must fire, the iteration roll back, and — once the bit clears — the
+   retry still allocate everything. *)
+let test_watchdog_recovers_stuck_phase () =
+  let net, requests, free = fig_scenario () in
+  let faults =
+    [ (5, Token_sim.Stuck_bit (Bus.E4_resource_token_phase, Bus.Stuck_at_1));
+      (150, Token_sim.Clear_bit Bus.E4_resource_token_phase) ]
+  in
+  let rep = Token_sim.run net ~requests ~free ~faults in
+  let r = rep.Token_sim.recovery in
+  check Alcotest.bool "watchdog fired" true (r.Token_sim.watchdog_fires >= 1);
+  check Alcotest.bool "iteration aborted" true
+    (r.Token_sim.iteration_aborts >= 1);
+  check Alcotest.bool "completed" true r.Token_sim.completed;
+  check Alcotest.int "full allocation after recovery" 3 rep.Token_sim.allocated
+
+(* Stuck-at-0 is invisible to a watchdog (nothing hangs) — driver
+   readback must catch it instead. *)
+let test_readback_catches_stuck_at_0 () =
+  let net, requests, free = fig_scenario () in
+  let faults =
+    [ (1, Token_sim.Stuck_bit (Bus.E3_request_token_phase, Bus.Stuck_at_0));
+      (60, Token_sim.Clear_bit Bus.E3_request_token_phase) ]
+  in
+  let rep = Token_sim.run net ~requests ~free ~faults in
+  let r = rep.Token_sim.recovery in
+  check Alcotest.bool "abort recorded" true (r.Token_sim.iteration_aborts >= 1);
+  check Alcotest.bool "completed" true r.Token_sim.completed;
+  check Alcotest.int "full allocation after recovery" 3 rep.Token_sim.allocated
+
+(* A permanent stuck bit is unrecoverable: the run must give up within
+   its bounded budget instead of livelocking, and say so. *)
+let test_permanent_stuck_gives_up () =
+  let net, requests, free = fig_scenario () in
+  List.iter
+    (fun faults ->
+      let rep = Token_sim.run net ~requests ~free ~faults in
+      let r = rep.Token_sim.recovery in
+      check Alcotest.bool "gave up" false r.Token_sim.completed;
+      check Alcotest.bool "bounded clocks" true
+        (rep.Token_sim.total_clocks < 10_000))
+    [ [ (2, Token_sim.Stuck_bit (Bus.E3_request_token_phase, Bus.Stuck_at_1)) ];
+      [ (5, Token_sim.Stuck_bit (Bus.E4_resource_token_phase, Bus.Stuck_at_1)) ]
+    ]
+
+(* Somewhere in the seed space a death severs an already registered path:
+   the protocol restarts the whole cycle and still reaches the optimum. *)
+let test_cycle_restart_reaches_optimum () =
+  let found = ref false in
+  let seed = ref 0 in
+  while (not !found) && !seed < 400 do
+    let rng = Prng.create (!seed + 4000) in
+    let net, requests, free = random_scenario rng in
+    let faults = random_faults rng net in
+    let rep = Token_sim.run net ~requests ~free ~faults in
+    let r = rep.Token_sim.recovery in
+    if r.Token_sim.cycle_restarts >= 1 && r.Token_sim.completed then begin
+      found := true;
+      let degraded = degrade net rep.Token_sim.applied_faults in
+      check Alcotest.int "optimum after restart"
+        (dinic_on degraded ~requests ~free)
+        rep.Token_sim.allocated
+    end;
+    incr seed
+  done;
+  check Alcotest.bool "a registered-path break was exercised" true !found
+
+(* Schedule validation: bad element indices and negative clocks are
+   rejected up front. *)
+let test_fault_validation () =
+  let net, requests, free = fig_scenario () in
+  List.iter
+    (fun faults ->
+      match Token_sim.run net ~requests ~free ~faults with
+      | _ -> Alcotest.fail "accepted a bad schedule"
+      | exception Invalid_argument _ -> ())
+    [ [ (-1, Token_sim.Dead_link 0) ];
+      [ (0, Token_sim.Dead_link (Network.n_links net)) ];
+      [ (0, Token_sim.Dead_box 999) ];
+      [ (0, Token_sim.Dead_res (-2)) ] ]
+
+(* --- status bus ----------------------------------------------------------- *)
+
+let bus_events =
+  [ Bus.E1_request_pending; Bus.E2_resource_ready;
+    Bus.E3_request_token_phase; Bus.E4_resource_token_phase;
+    Bus.E5_path_registration; Bus.E6_rs_received_token; Bus.E7_rq_bonded ]
+
+(* Per-driver wired-OR: driving is idempotent, the bit reads high while
+   any driver holds it, and drops only when the last one releases. *)
+let bus_wired_or =
+  qtest "wired-OR: bit high iff some driver holds it" ~count:200
+    QCheck.small_int (fun seed ->
+      let rng = Prng.create (seed + 5000) in
+      let bus = Bus.create () in
+      let e = List.nth bus_events (Prng.int rng 7) in
+      let n = 1 + Prng.int rng 8 in
+      let held = Array.make n false in
+      let ok = ref true in
+      for _ = 1 to 40 do
+        let d = Prng.int rng n in
+        (match Prng.int rng 3 with
+        | 0 ->
+          Bus.drive bus ~driver:d e true;
+          (* Idempotence: a second drive changes nothing. *)
+          Bus.drive bus ~driver:d e true;
+          held.(d) <- true
+        | 1 ->
+          Bus.drive bus ~driver:d e false;
+          held.(d) <- false
+        | _ ->
+          Bus.release_driver bus ~driver:d;
+          held.(d) <- false);
+        let expect = Array.exists Fun.id held in
+        if Bus.read bus e <> expect || Bus.driven bus e <> expect then
+          ok := false
+      done;
+      !ok)
+
+(* read / vector / vector_to_string tell one consistent story. *)
+let bus_vector_consistent =
+  qtest "read/vector/vector_to_string agree" ~count:200 QCheck.small_int
+    (fun seed ->
+      let rng = Prng.create (seed + 6000) in
+      let bus = Bus.create () in
+      List.iter (fun e -> Bus.set bus e (Prng.bool rng)) bus_events;
+      let v = Bus.vector bus in
+      let s = Bus.vector_to_string v in
+      String.length s = 7
+      && List.for_all
+           (fun e ->
+             let b = Bus.read bus e in
+             (v lsr Bus.bit e) land 1 = Bool.to_int b
+             && s.[6 - Bus.bit e] = (if b then '1' else '0'))
+           bus_events)
+
+(* The latched trace grows by exactly one vector per tick and the clock
+   counts the ticks. *)
+let bus_trace_monotone =
+  qtest "trace grows one latch per tick" ~count:100 QCheck.small_int
+    (fun seed ->
+      let rng = Prng.create (seed + 7000) in
+      let bus = Bus.create () in
+      let n = 1 + Prng.int rng 30 in
+      let expected = ref [] in
+      for _ = 1 to n do
+        List.iter (fun e -> Bus.set bus e (Prng.bool rng)) bus_events;
+        expected := Bus.vector bus :: !expected;
+        Bus.tick bus
+      done;
+      Bus.clock bus = n && Bus.trace bus = List.rev !expected)
+
+(* Forcing: a stuck-at overrides every driver on reads and latches,
+   [driven] still shows the fault-free OR, and clearing restores it. *)
+let test_bus_forcing () =
+  let bus = Bus.create () in
+  let e = Bus.E3_request_token_phase in
+  Bus.drive bus ~driver:0 e true;
+  Bus.force bus e (Some Bus.Stuck_at_0);
+  check Alcotest.bool "stuck-at-0 masks the driver" false (Bus.read bus e);
+  check Alcotest.bool "driven sees the raw OR" true (Bus.driven bus e);
+  check Alcotest.bool "forced is queryable" true
+    (Bus.forced bus e = Some Bus.Stuck_at_0);
+  Bus.tick bus;
+  check Alcotest.int "latched vector is the observed one" 0
+    ((List.hd (Bus.trace bus) lsr Bus.bit e) land 1);
+  Bus.force bus e (Some Bus.Stuck_at_1);
+  Bus.drive bus ~driver:0 e false;
+  check Alcotest.bool "stuck-at-1 holds the bit up" true (Bus.read bus e);
+  check Alcotest.bool "driven sees the release" false (Bus.driven bus e);
+  Bus.force bus e None;
+  check Alcotest.bool "clearing restores the wired-OR" false (Bus.read bus e);
+  check Alcotest.bool "no forcing left" true (Bus.forced bus e = None)
+
+(* A dying element's register drops off every bit at once. *)
+let test_bus_release_driver () =
+  let bus = Bus.create () in
+  List.iter (fun e -> Bus.drive bus ~driver:3 e true) bus_events;
+  Bus.drive bus ~driver:4 Bus.E1_request_pending true;
+  Bus.release_driver bus ~driver:3;
+  check Alcotest.bool "other driver survives" true
+    (Bus.read bus Bus.E1_request_pending);
+  List.iter
+    (fun e ->
+      if e <> Bus.E1_request_pending then
+        check Alcotest.bool (Bus.event_name e ^ " dropped") false
+          (Bus.read bus e))
+    bus_events
+
+let suite =
+  [
+    recovery_differential;
+    no_faults_no_recovery;
+    recovery_deterministic;
+    Alcotest.test_case "dead box mid-cycle" `Quick test_dead_box_mid_cycle;
+    Alcotest.test_case "watchdog recovers a stuck phase" `Quick
+      test_watchdog_recovers_stuck_phase;
+    Alcotest.test_case "readback catches stuck-at-0" `Quick
+      test_readback_catches_stuck_at_0;
+    Alcotest.test_case "permanent stuck bit gives up bounded" `Quick
+      test_permanent_stuck_gives_up;
+    Alcotest.test_case "cycle restart reaches optimum" `Quick
+      test_cycle_restart_reaches_optimum;
+    Alcotest.test_case "fault schedule validation" `Quick test_fault_validation;
+    bus_wired_or;
+    bus_vector_consistent;
+    bus_trace_monotone;
+    Alcotest.test_case "bus stuck-at forcing" `Quick test_bus_forcing;
+    Alcotest.test_case "bus release_driver" `Quick test_bus_release_driver;
+  ]

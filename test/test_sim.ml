@@ -295,6 +295,100 @@ let test_trace_jsonl_rejects_garbage () =
       "{\"t\":0,\"ev\":\"nope\",\"id\":0}";
       "{\"t\":0,\"ev\":\"arrive\",\"id\":0,\"proc\":1,\"service\":0}" ]
 
+(* Malformed lines are reported with their 1-based line number, not an
+   exception — and the number names the offending line, not line 1. *)
+let test_import_error_lines () =
+  let good = "{\"t\":0,\"ev\":\"arrive\",\"id\":0,\"proc\":1,\"service\":2}" in
+  List.iter
+    (fun (text, line) ->
+      match Workload.import text with
+      | Ok _ -> Alcotest.fail "accepted a malformed trace"
+      | Error e ->
+        check Alcotest.int "error line" line e.Workload.line;
+        check Alcotest.bool "has a message" true
+          (String.length e.Workload.message > 0))
+    [ ("garbage", 1);
+      (good ^ "\n{\"t\":1,\"ev\":\"cancel\"}", 2);
+      (good ^ "\n" ^ good ^ "\n{\"t\":1,\"ev\":\"cancel\",\"id\":\"x\"}", 3);
+      ( good ^ "\n{\"t\":1,\"ev\":\"fault\",\"kind\":\"link\",\"idx\":0,\
+                \"clock\":-3}",
+        2 ) ]
+
+(* The clocked fault form round-trips, and clock-free events keep the
+   original on-disk format (no "clock" key at all). *)
+let test_clocked_fault_roundtrip () =
+  let trace =
+    [ Workload.Fault { t = 2; clock = Some 7; element = Rsin_fault.Fault.Link 3 };
+      Workload.Fault { t = 3; clock = None; element = Rsin_fault.Fault.Box 1 };
+      Workload.Repair { t = 5; clock = Some 0; element = Rsin_fault.Fault.Res 2 }
+    ]
+  in
+  let jsonl = Workload.trace_to_jsonl trace in
+  check Alcotest.bool "clock serialized" true
+    (String.length jsonl
+    > String.length (String.concat "" (String.split_on_char 'c' jsonl)));
+  check Alcotest.bool "round trip" true
+    (Workload.import jsonl = Ok trace);
+  let slot_only =
+    Workload.trace_to_jsonl
+      [ Workload.Fault { t = 2; clock = None; element = Rsin_fault.Fault.Link 3 } ]
+  in
+  check Alcotest.string "clock-free keeps the original format"
+    "{\"t\":2,\"ev\":\"fault\",\"kind\":\"link\",\"idx\":3}\n" slot_only
+
+(* Fuzz: however a valid trace is mutated — bytes flipped, lines
+   truncated, dropped or replaced by garbage — [import] returns [Ok] or
+   a line-numbered [Error]; it never raises. And the unmutated text
+   always round-trips to the original trace. *)
+let import_fuzz =
+  qtest "import survives mutated traces" ~count:300 QCheck.small_int
+    (fun seed ->
+      let rng = Prng.create (seed + 8000) in
+      let net = Builders.omega 8 in
+      let base =
+        Workload.synthesize ~deadline_slack:20 ~cancel_prob:0.2
+          ~priority_levels:3 (Prng.create seed) net ~slots:20
+          ~arrival_prob:0.4
+      in
+      let sched =
+        Rsin_fault.Fault.inject_clocked (Prng.create seed) net ~horizon:20
+          ~mtbf:30. ~mttr:10. ~clock_range:16
+      in
+      let trace =
+        Workload.sort_trace (base @ Workload.fault_events_clocked sched)
+      in
+      let text = Workload.trace_to_jsonl trace in
+      if Workload.import text <> Ok trace then false
+      else begin
+        let mutate s =
+          if String.length s = 0 then s
+          else
+            match Prng.int rng 4 with
+            | 0 ->
+              (* Flip one byte. *)
+              let b = Bytes.of_string s in
+              let i = Prng.int rng (Bytes.length b) in
+              Bytes.set b i (Char.chr (Prng.int rng 256));
+              Bytes.to_string b
+            | 1 -> String.sub s 0 (Prng.int rng (String.length s))
+            | 2 ->
+              (* Drop a line. *)
+              let lines = String.split_on_char '\n' s in
+              let k = Prng.int rng (List.length lines) in
+              String.concat "\n"
+                (List.filteri (fun i _ -> i <> k) lines)
+            | _ -> "{]garbage\n" ^ s
+        in
+        let mutated = ref text in
+        for _ = 1 to 1 + Prng.int rng 3 do
+          mutated := mutate !mutated
+        done;
+        match Workload.import !mutated with
+        | Ok _ -> true
+        | Error e -> e.Workload.line >= 1
+        | exception _ -> false
+      end)
+
 let suite =
   [
     Alcotest.test_case "snapshot bounds" `Quick test_snapshot_bounds;
@@ -302,6 +396,10 @@ let suite =
     Alcotest.test_case "trace jsonl roundtrip" `Quick test_trace_jsonl_roundtrip;
     Alcotest.test_case "trace jsonl rejects garbage" `Quick
       test_trace_jsonl_rejects_garbage;
+    Alcotest.test_case "import error lines" `Quick test_import_error_lines;
+    Alcotest.test_case "clocked fault roundtrip" `Quick
+      test_clocked_fault_roundtrip;
+    import_fuzz;
     Alcotest.test_case "snapshot density" `Quick test_snapshot_density;
     Alcotest.test_case "snapshot extremes" `Quick test_snapshot_extremes;
     Alcotest.test_case "preoccupy" `Quick test_preoccupy;
