@@ -25,6 +25,7 @@ module Engine = Rsin_engine.Engine
 module Workload = Rsin_sim.Workload
 module Prng = Rsin_util.Prng
 module Table = Rsin_util.Table
+module Bench_report = Rsin_obs.Bench_report
 
 let churn_rates = [ 0.02; 0.05; 0.1; 0.3; 0.6 ]
 
@@ -37,6 +38,7 @@ let run ?(quick = false) () =
   print_endline "E29: online engine, warm start vs rebuild per cycle";
   Printf.printf "  (omega:16, %d arrival slots, transmission 2, seed 11)\n\n"
     slots;
+  let report = Bench_report.create ~quick "engine" in
   let rows =
     List.map
       (fun arrival_prob ->
@@ -47,9 +49,30 @@ let run ?(quick = false) () =
           Workload.synthesize ~deadline_slack:60 (Prng.create 11) net ~slots
             ~arrival_prob
         in
-        let warm = Engine.run ~config ~mode:Engine.Warm net trace in
-        let rebuild = Engine.run ~config ~mode:Engine.Rebuild net trace in
+        let case =
+          Bench_report.case report (Printf.sprintf "arrival=%.2f" arrival_prob)
+        in
+        let timed mode prefix =
+          let result = ref None in
+          let m =
+            Bench_report.measure ~warmup:1 ~runs:(if quick then 2 else 3)
+              (fun () -> result := Some (Engine.run ~config ~mode net trace))
+          in
+          Bench_report.record case ~prefix m;
+          Option.get !result
+        in
+        let warm = timed Engine.Warm "warm" in
+        let rebuild = timed Engine.Rebuild "rebuild" in
         assert (warm.Engine.allocated = rebuild.Engine.allocated);
+        Bench_report.record_count case ~name:"warm.solver_work" ~unit_:"arcs"
+          (float_of_int warm.Engine.solver_work);
+        Bench_report.record_count case ~name:"rebuild.solver_work"
+          ~unit_:"arcs"
+          (float_of_int rebuild.Engine.solver_work);
+        Bench_report.record_count case ~name:"allocated"
+          (float_of_int warm.Engine.allocated);
+        Bench_report.record_count case ~name:"cycles"
+          (float_of_int warm.Engine.cycles);
         let saved =
           1.
           -. float_of_int warm.Engine.solver_work
@@ -69,4 +92,5 @@ let run ?(quick = false) () =
       [ "arrival"; "arrivals"; "cycles"; "skipped"; "warm work";
         "rebuild work"; "saved" ]
     rows;
+  Printf.printf "  wrote %s\n" (Bench_report.write report);
   print_newline ()

@@ -23,6 +23,7 @@ module Engine = Rsin_engine.Engine
 module Workload = Rsin_sim.Workload
 module Prng = Rsin_util.Prng
 module Table = Rsin_util.Table
+module Bench_report = Rsin_obs.Bench_report
 
 let churn_rates = [ 0.02; 0.05; 0.1; 0.3; 0.6 ]
 
@@ -36,6 +37,7 @@ let run ?(quick = false) () =
   Printf.printf
     "  (omega:16, %d arrival slots, transmission 2, 4 priority levels, seed 11)\n\n"
     slots;
+  let report = Bench_report.create ~quick "engine_priority" in
   let rows =
     List.map
       (fun arrival_prob ->
@@ -43,10 +45,32 @@ let run ?(quick = false) () =
           Workload.synthesize ~deadline_slack:60 ~priority_levels:4
             (Prng.create 11) net ~slots ~arrival_prob
         in
-        let go mode =
-          Engine.run ~config ~mode ~discipline:Engine.Priority net trace
+        let case =
+          Bench_report.case report (Printf.sprintf "arrival=%.2f" arrival_prob)
         in
-        let warm = go Engine.Warm and rebuild = go Engine.Rebuild in
+        let go mode prefix =
+          let result = ref None in
+          let m =
+            Bench_report.measure ~warmup:1 ~runs:(if quick then 2 else 3)
+              (fun () ->
+                result :=
+                  Some
+                    (Engine.run ~config ~mode ~discipline:Engine.Priority net
+                       trace))
+          in
+          Bench_report.record case ~prefix m;
+          Option.get !result
+        in
+        let warm = go Engine.Warm "warm" and rebuild = go Engine.Rebuild "rebuild" in
+        Bench_report.record_count case ~name:"warm.solver_work" ~unit_:"arcs"
+          (float_of_int warm.Engine.solver_work);
+        Bench_report.record_count case ~name:"rebuild.solver_work"
+          ~unit_:"arcs"
+          (float_of_int rebuild.Engine.solver_work);
+        Bench_report.record_count case ~name:"warm.allocated"
+          (float_of_int warm.Engine.allocated);
+        Bench_report.record_count case ~name:"rebuild.allocated"
+          (float_of_int rebuild.Engine.allocated);
         let saved =
           1.
           -. float_of_int warm.Engine.solver_work
@@ -67,4 +91,5 @@ let run ?(quick = false) () =
       [ "arrival"; "arrivals"; "cycles"; "warm alloc"; "rebuild alloc";
         "warm work"; "rebuild work"; "saved" ]
     rows;
+  Printf.printf "  wrote %s\n" (Bench_report.write report);
   print_newline ()

@@ -175,11 +175,7 @@ let flow_ablation ?(trials = 400) () =
   let rng = Prng.create seed in
   let accs = List.map (fun s -> (s, Stats.accum ())) Rsin_flow.Solver.all in
   let agree = ref 0 and used = ref 0 in
-  let time f =
-    let t0 = Unix.gettimeofday () in
-    let r = f () in
-    (r, (Unix.gettimeofday () -. t0) *. 1e6)
-  in
+  let time = Rsin_util.Clock.time_us in
   for _ = 1 to trials do
     let net = Builders.omega 32 in
     ignore (Rsin_sim.Workload.preoccupy rng net ~circuits:(Prng.int rng 4));

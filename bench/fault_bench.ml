@@ -30,6 +30,7 @@ module Engine = Rsin_engine.Engine
 module Workload = Rsin_sim.Workload
 module Prng = Rsin_util.Prng
 module Table = Rsin_util.Table
+module Bench_report = Rsin_obs.Bench_report
 
 (* None = fault-free baseline. *)
 let mtbfs = [ None; Some 200.; Some 80.; Some 40.; Some 20. ]
@@ -43,6 +44,7 @@ let run ?(quick = false) () =
   Printf.printf
     "  (%d arrival slots, arrival 0.3, transmission 2, mttr = mtbf/4, seed 11)\n\n"
     slots;
+  let report = Bench_report.create ~quick "engine_faults" in
   List.iter
     (fun (name, net) ->
       Printf.printf "-- %s --\n" name;
@@ -74,12 +76,45 @@ let run ?(quick = false) () =
               in
               assert (reference.Scheduler.allocated = info.Engine.allocated)
             in
+            (* One hooked run carries the differential invariant; the
+               timed runs drop the hook (a from-scratch Scheduler per
+               cycle would dominate the measurement). *)
             let warm =
               Engine.run ~config ~mode:Engine.Warm ~cycle_hook:hook net trace
             in
-            let rebuild = Engine.run ~config ~mode:Engine.Rebuild net trace in
+            let case =
+              Bench_report.case report
+                (Printf.sprintf "%s/mtbf=%s" name
+                   (match mtbf_opt with
+                   | None -> "none"
+                   | Some m -> Table.ffix 0 m))
+            in
+            let timed mode prefix =
+              let result = ref None in
+              let m =
+                Bench_report.measure ~warmup:0 ~runs:2 (fun () ->
+                    result := Some (Engine.run ~config ~mode net trace))
+              in
+              Bench_report.record case ~prefix m;
+              Option.get !result
+            in
+            let warm_timed = timed Engine.Warm "warm" in
+            let rebuild = timed Engine.Rebuild "rebuild" in
+            assert (warm_timed.Engine.solver_work = warm.Engine.solver_work);
             assert (warm.Engine.faults = rebuild.Engine.faults);
             assert (warm.Engine.repairs = rebuild.Engine.repairs);
+            Bench_report.record_count case ~name:"faults"
+              (float_of_int warm.Engine.faults);
+            Bench_report.record_count case ~name:"victims"
+              (float_of_int warm.Engine.victims);
+            Bench_report.record_count case ~name:"warm.solver_work"
+              ~unit_:"arcs"
+              (float_of_int warm.Engine.solver_work);
+            Bench_report.record_count case ~name:"rebuild.solver_work"
+              ~unit_:"arcs"
+              (float_of_int rebuild.Engine.solver_work);
+            Bench_report.record_count case ~name:"warm.allocated"
+              (float_of_int warm.Engine.allocated);
             let ratio (r : Engine.report) =
               float_of_int r.Engine.allocated
               /. float_of_int (max 1 r.Engine.arrivals)
@@ -108,4 +143,5 @@ let run ?(quick = false) () =
       print_newline ())
     [ ("omega:16", Builders.omega 16);
       ("benes:16", Builders.benes 16);
-      ("clos:3,2,4", Builders.clos ~m:3 ~n:2 ~r:4) ]
+      ("clos:3,2,4", Builders.clos ~m:3 ~n:2 ~r:4) ];
+  Printf.printf "  wrote %s\n\n" (Bench_report.write report)

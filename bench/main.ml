@@ -17,7 +17,7 @@ let experiments quick =
     ("blocking_cube8", fun () -> Blocking_bench.blocking_cube8 ~trials:(t 2000) ());
     ("blocking_omega", fun () -> Blocking_bench.blocking_omega ~trials:(t 1500) ());
     ("distributed", fun () -> Arch_bench.distributed ~trials:(t 500) ());
-    ("table2", fun () -> Table2_bench.table2 ~instances:(t 100) ());
+    ("table2", fun () -> Table2_bench.table2 ~quick ~instances:(t 100) ());
     ("extra_stage", fun () -> Blocking_bench.extra_stage ~trials:(t 1200) ());
     ("occupied", fun () -> Blocking_bench.occupied ~trials:(t 1200) ());
     ("monitor_vs_dist", fun () -> Arch_bench.monitor_vs_dist ~trials:(t 300) ());
@@ -34,7 +34,7 @@ let experiments quick =
     ("faults", fun () -> Priority_bench.faults ~trials:(t 800) ());
     ("concentrator", fun () -> Concentrator_bench.concentrator ~trials:(t 400) ());
     ("packet_vs_circuit", fun () -> Packet_bench.packet_vs_circuit ());
-    ("stress", fun () -> Stress_bench.stress ~trials:(t 40) ());
+    ("stress", fun () -> Stress_bench.stress ~quick ~trials:(t 40) ());
     ("load_balance", fun () -> Balance_bench.load_balance ());
     ("calibration", fun () -> Calibration_bench.calibration ~trials:(t 600) ());
     ("placement", fun () -> Placement_bench.placement ~trials:(t 800) ());

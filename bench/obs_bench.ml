@@ -12,15 +12,20 @@
      recording  metrics + in-memory trace buffer (full tracing)
 
    The run ends with a smoke test of both trace exporters on the events
-   recorded by the third variant. *)
+   recorded by the third variant. Besides the prose table, the run
+   writes BENCH_obs.json: the per-batch timing distributions of all
+   three variants plus the dinic work counters the null observer
+   accumulated, so the perf gate can watch the overhead trajectory. *)
 
 module Builders = Rsin_topology.Builders
 module T1 = Rsin_core.Transform1
 module Workload = Rsin_sim.Workload
 module Prng = Rsin_util.Prng
+module Clock = Rsin_util.Clock
 module Obs = Rsin_obs.Obs
 module Trace = Rsin_obs.Trace
 module Metrics = Rsin_obs.Metrics
+module Bench_report = Rsin_obs.Bench_report
 
 let instance =
   lazy
@@ -35,23 +40,25 @@ let instance =
      let free = List.filter (fun r -> not (List.mem r busy_r)) free in
      (net, requests, free))
 
-(* Minimum time per run over several batches, with the variants
-   interleaved batch by batch so clock drift and background load hit
-   all of them alike. Returns one minimum per variant. *)
+(* Time per run over several batches, with the variants interleaved
+   batch by batch so clock drift and background load hit all of them
+   alike. Returns, per variant, the per-batch us/run samples (the
+   minimum is the headline number; the full distribution goes into the
+   report). *)
 let time_variants ~batches ~iters variants =
-  let best = Array.make (List.length variants) infinity in
+  let samples = Array.make (List.length variants) [] in
   for _ = 1 to batches do
     List.iteri
       (fun i f ->
-        let t0 = Unix.gettimeofday () in
+        let t0 = Clock.now_ns () in
         for _ = 1 to iters do
           f ()
         done;
-        let dt = (Unix.gettimeofday () -. t0) /. float_of_int iters in
-        if dt < best.(i) then best.(i) <- dt)
+        let us = Clock.elapsed_us ~since:t0 /. float_of_int iters in
+        samples.(i) <- us :: samples.(i))
       variants
   done;
-  best
+  Array.map (fun l -> Array.of_list (List.rev l)) samples
 
 let smoke_test_exporters trace =
   let n = Trace.event_count trace in
@@ -91,19 +98,32 @@ let run ?(quick = false) () =
     with_null ();
     with_rec ()
   done;
-  let best =
+  let samples =
     time_variants ~batches ~iters [ baseline; with_null; with_rec ]
   in
-  let t_none = best.(0) and t_null = best.(1) and t_rec = best.(2) in
+  let minimum xs = Array.fold_left min infinity xs in
+  let t_none = minimum samples.(0)
+  and t_null = minimum samples.(1)
+  and t_rec = minimum samples.(2) in
   let pct t = (t -. t_none) /. t_none *. 100. in
-  Printf.printf "  none        %9.2f us/run\n" (t_none *. 1e6);
-  Printf.printf "  null-sink   %9.2f us/run  %+6.2f%%  (budget: +2%%)\n"
-    (t_null *. 1e6) (pct t_null);
-  Printf.printf "  recording   %9.2f us/run  %+6.2f%%\n" (t_rec *. 1e6)
-    (pct t_rec);
+  Printf.printf "  none        %9.2f us/run\n" t_none;
+  Printf.printf "  null-sink   %9.2f us/run  %+6.2f%%  (budget: +2%%)\n" t_null
+    (pct t_null);
+  Printf.printf "  recording   %9.2f us/run  %+6.2f%%\n" t_rec (pct t_rec);
   if pct t_null > 2. then
     Printf.printf "  WARNING: null-sink overhead above the 2%% budget\n";
   let runs = Metrics.get_counter null_obs.Obs.metrics "flow.dinic.runs" in
   if runs = 0 then failwith "obs_bench: registry recorded no dinic runs";
   smoke_test_exporters recording.Obs.trace;
+  let report = Bench_report.create ~quick "obs" in
+  let case = Bench_report.case report "dinic_omega32" in
+  List.iteri
+    (fun i name ->
+      Bench_report.record_samples case ~name:(name ^ ".wall_us")
+        ~kind:Bench_report.Time ~unit_:"us" samples.(i))
+    [ "none"; "null_sink"; "recording" ];
+  Bench_report.record_counters case ~prefix:"null." null_obs.Obs.metrics;
+  Bench_report.record_count case ~name:"trace.events" ~unit_:"events"
+    (float_of_int (Trace.event_count recording.Obs.trace));
+  Printf.printf "  wrote %s\n" (Bench_report.write report);
   print_newline ()

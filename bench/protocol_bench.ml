@@ -31,7 +31,9 @@ module Token_sim = Rsin_distributed.Token_sim
 module Bus = Rsin_distributed.Status_bus
 module Workload = Rsin_sim.Workload
 module Prng = Rsin_util.Prng
+module Clock = Rsin_util.Clock
 module Table = Rsin_util.Table
+module Bench_report = Rsin_obs.Bench_report
 
 let fault_counts = [ 0; 1; 2; 4; 8 ]
 
@@ -84,6 +86,7 @@ let run ?(quick = false) () =
     "  (%d cycles per rate, random snapshots, 3/4 element deaths + 1/4 \
      transient stuck-at windows, seed 7)\n\n"
     cycles;
+  let report = Bench_report.create ~quick "protocol" in
   List.iter
     (fun (name, net) ->
       Printf.printf "-- %s --\n" name;
@@ -95,7 +98,9 @@ let run ?(quick = false) () =
             let restarts = ref 0 and retries = ref 0 in
             let overhead = ref 0 and base_clocks = ref 0 in
             let incomplete = ref 0 and allocated = ref 0 and optimum = ref 0 in
-            for _ = 1 to cycles do
+            let wall = Array.make cycles 0. in
+            let total_clocks = ref 0 in
+            for cyc = 0 to cycles - 1 do
               let g = Prng.split rng in
               let requests, free = Workload.snapshot g net in
               let faults =
@@ -103,7 +108,11 @@ let run ?(quick = false) () =
                   (List.init n_faults (fun _ ->
                        random_faults g net (Prng.int g 60)))
               in
-              let rep = Token_sim.run net ~requests ~free ~faults in
+              let rep, us =
+                Clock.time_us (fun () -> Token_sim.run net ~requests ~free ~faults)
+              in
+              wall.(cyc) <- us;
+              total_clocks := !total_clocks + rep.Token_sim.total_clocks;
               let r = rep.Token_sim.recovery in
               applied := !applied + r.Token_sim.faults_applied;
               aborts := !aborts + r.Token_sim.iteration_aborts;
@@ -128,6 +137,24 @@ let run ?(quick = false) () =
                 base_clocks := !base_clocks + oracle.Token_sim.total_clocks
               end
             done;
+            let case =
+              Bench_report.case report
+                (Printf.sprintf "%s/faults=%d" name n_faults)
+            in
+            Bench_report.record_samples case ~name:"cycle.wall_us"
+              ~kind:Bench_report.Time ~unit_:"us" wall;
+            Bench_report.record_count case ~name:"total_clocks" ~unit_:"clk"
+              (float_of_int !total_clocks);
+            Bench_report.record_count case ~name:"faults_applied"
+              (float_of_int !applied);
+            Bench_report.record_count case ~name:"aborts"
+              (float_of_int !aborts);
+            Bench_report.record_count case ~name:"watchdog_fires"
+              (float_of_int !watchdogs);
+            Bench_report.record_count case ~name:"recovery_overhead"
+              ~unit_:"clk" (float_of_int !overhead);
+            Bench_report.record_count case ~name:"completed"
+              (float_of_int (cycles - !incomplete));
             let per_cycle v = float_of_int v /. float_of_int cycles in
             [ string_of_int n_faults;
               Table.ffix 1 (per_cycle !applied);
@@ -149,4 +176,5 @@ let run ?(quick = false) () =
       print_newline ())
     [ ("omega:16", Builders.omega 16);
       ("benes:16", Builders.benes 16);
-      ("clos:3,2,4", Builders.clos ~m:3 ~n:2 ~r:4) ]
+      ("clos:3,2,4", Builders.clos ~m:3 ~n:2 ~r:4) ];
+  Printf.printf "  wrote %s\n\n" (Bench_report.write report)

@@ -1,6 +1,8 @@
 (* Experiment E8: the paper's Table II, regenerated as a measured
    comparison: every scheduling discipline on a common instance set, with
-   its equivalent flow problem, algorithms and observed costs. *)
+   its equivalent flow problem, algorithms and observed costs. Each
+   discipline's per-instance wall samples and mean allocation go into
+   BENCH_table2.json — one case per algorithm row of the table. *)
 
 module Network = Rsin_topology.Network
 module Builders = Rsin_topology.Builders
@@ -10,15 +12,24 @@ module Hetero = Rsin_core.Hetero
 module Token_sim = Rsin_distributed.Token_sim
 module Workload = Rsin_sim.Workload
 module Prng = Rsin_util.Prng
+module Clock = Rsin_util.Clock
 module Stats = Rsin_util.Stats
 module Table = Rsin_util.Table
+module Bench_report = Rsin_obs.Bench_report
 
 let seed = 515
 
-let time_us f =
-  let t0 = Unix.gettimeofday () in
-  let r = f () in
-  (r, (Unix.gettimeofday () -. t0) *. 1e6)
+(* A Welford accumulator that also keeps the raw samples, so the table
+   prints means while the report gets the full distribution. *)
+type series = { acc : Stats.accum; mutable samples : float list }
+
+let series () = { acc = Stats.accum (); samples = [] }
+
+let observe s x =
+  Stats.observe s.acc x;
+  s.samples <- x :: s.samples
+
+let to_array s = Array.of_list (List.rev s.samples)
 
 type instance = {
   net : Network.t;
@@ -45,7 +56,7 @@ let make_instances n_instances =
   in
   go [] n_instances
 
-let table2 ?(instances = 100) () =
+let table2 ?(quick = false) ?(instances = 100) () =
   print_endline "== E8 (Table II): scheduling disciplines side by side ==";
   let insts = make_instances instances in
   let rng = Prng.create (seed + 1) in
@@ -63,54 +74,54 @@ let table2 ?(instances = 100) () =
       (fun i -> (i, Workload.hetero_spec rng ~types:2 ~requests:i.requests ~free:i.free))
       insts
   in
-  let alloc = Stats.accum () and t_ff = Stats.accum () and t_dinic = Stats.accum ()
-  and t_token = Stats.accum () in
+  let alloc = Stats.accum () and t_ff = series () and t_dinic = series ()
+  and t_token = series () in
   List.iter
     (fun i ->
       let ek = Rsin_flow.Solver.get "edmonds-karp"
       and dinic = Rsin_flow.Solver.get "dinic" in
       let o, us =
-        time_us (fun () ->
+        Clock.time_us (fun () ->
             T1.solve_with ek
               (T1.build i.net ~requests:i.requests ~free:i.free))
       in
-      Stats.observe t_ff us;
+      observe t_ff us;
       Stats.observe alloc (float_of_int o.T1.allocated);
-      let _, us = time_us (fun () ->
+      let _, us = Clock.time_us (fun () ->
           T1.solve_with dinic
             (T1.build i.net ~requests:i.requests ~free:i.free)) in
-      Stats.observe t_dinic us;
-      let _, us = time_us (fun () -> Token_sim.run i.net ~requests:i.requests
+      observe t_dinic us;
+      let _, us = Clock.time_us (fun () -> Token_sim.run i.net ~requests:i.requests
                                ~free:i.free) in
-      Stats.observe t_token us)
+      observe t_token us)
     insts;
-  let alloc2 = Stats.accum () and cost2 = Stats.accum () and t_ssp = Stats.accum ()
-  and t_ook = Stats.accum () in
+  let alloc2 = Stats.accum () and cost2 = Stats.accum () and t_ssp = series ()
+  and t_ook = series () in
   List.iter
     (fun (i, reqs, frees) ->
       let o, us =
-        time_us (fun () -> T2.schedule ~solver:T2.Ssp i.net ~requests:reqs ~free:frees)
+        Clock.time_us (fun () -> T2.schedule ~solver:T2.Ssp i.net ~requests:reqs ~free:frees)
       in
-      Stats.observe t_ssp us;
+      observe t_ssp us;
       Stats.observe alloc2 (float_of_int o.T2.allocated);
       Stats.observe cost2 (float_of_int o.T2.allocation_cost);
       let o', us =
-        time_us (fun () ->
+        Clock.time_us (fun () ->
             T2.schedule ~solver:T2.Out_of_kilter i.net ~requests:reqs ~free:frees)
       in
-      Stats.observe t_ook us;
+      observe t_ook us;
       assert (o'.T2.allocated = o.T2.allocated))
     prioritized;
-  let alloc3 = Stats.accum () and t_lp = Stats.accum () and t_greedy = Stats.accum ()
+  let alloc3 = Stats.accum () and t_lp = series () and t_greedy = series ()
   and greedy_alloc = Stats.accum () and integral = ref 0 in
   List.iter
     (fun (i, spec) ->
-      let o, us = time_us (fun () -> Hetero.schedule_lp i.net spec) in
-      Stats.observe t_lp us;
+      let o, us = Clock.time_us (fun () -> Hetero.schedule_lp i.net spec) in
+      observe t_lp us;
       Stats.observe alloc3 (float_of_int o.Hetero.allocated);
       if o.Hetero.integral then incr integral;
-      let g, us = time_us (fun () -> Hetero.schedule_greedy i.net spec) in
-      Stats.observe t_greedy us;
+      let g, us = Clock.time_us (fun () -> Hetero.schedule_greedy i.net spec) in
+      observe t_greedy us;
       Stats.observe greedy_alloc (float_of_int g.Hetero.allocated))
     hetero_specs;
   Table.print
@@ -119,20 +130,35 @@ let table2 ?(instances = 100) () =
         "mean time (us)" ]
     [
       [ "homogeneous, no priority"; "maximum flow"; "Ford-Fulkerson (EK)";
-        Table.ffix 2 (Stats.mean alloc); Table.ffix 0 (Stats.mean t_ff) ];
+        Table.ffix 2 (Stats.mean alloc); Table.ffix 0 (Stats.mean t_ff.acc) ];
       [ "homogeneous, no priority"; "maximum flow"; "Dinic";
-        Table.ffix 2 (Stats.mean alloc); Table.ffix 0 (Stats.mean t_dinic) ];
+        Table.ffix 2 (Stats.mean alloc); Table.ffix 0 (Stats.mean t_dinic.acc) ];
       [ "homogeneous, no priority"; "maximum flow"; "distributed tokens";
-        Table.ffix 2 (Stats.mean alloc); Table.ffix 0 (Stats.mean t_token) ];
+        Table.ffix 2 (Stats.mean alloc); Table.ffix 0 (Stats.mean t_token.acc) ];
       [ "priority & preference"; "min-cost flow"; "successive shortest paths";
-        Table.ffix 2 (Stats.mean alloc2); Table.ffix 0 (Stats.mean t_ssp) ];
+        Table.ffix 2 (Stats.mean alloc2); Table.ffix 0 (Stats.mean t_ssp.acc) ];
       [ "priority & preference"; "min-cost flow"; "out-of-kilter";
-        Table.ffix 2 (Stats.mean alloc2); Table.ffix 0 (Stats.mean t_ook) ];
+        Table.ffix 2 (Stats.mean alloc2); Table.ffix 0 (Stats.mean t_ook.acc) ];
       [ "heterogeneous (2 types)"; "multicommodity max flow"; "simplex LP";
-        Table.ffix 2 (Stats.mean alloc3); Table.ffix 0 (Stats.mean t_lp) ];
+        Table.ffix 2 (Stats.mean alloc3); Table.ffix 0 (Stats.mean t_lp.acc) ];
       [ "heterogeneous (2 types)"; "multicommodity max flow"; "greedy sequential";
-        Table.ffix 2 (Stats.mean greedy_alloc); Table.ffix 0 (Stats.mean t_greedy) ];
+        Table.ffix 2 (Stats.mean greedy_alloc); Table.ffix 0 (Stats.mean t_greedy.acc) ];
     ];
+  let report = Bench_report.create ~quick "table2" in
+  List.iter
+    (fun (case_name, s, mean_alloc) ->
+      let case = Bench_report.case report case_name in
+      Bench_report.record_samples case ~name:"wall_us"
+        ~kind:Bench_report.Time ~unit_:"us" (to_array s);
+      Bench_report.record_count case ~name:"mean_allocated" mean_alloc)
+    [ ("edmonds_karp", t_ff, Stats.mean alloc);
+      ("dinic", t_dinic, Stats.mean alloc);
+      ("token", t_token, Stats.mean alloc);
+      ("ssp", t_ssp, Stats.mean alloc2);
+      ("out_of_kilter", t_ook, Stats.mean alloc2);
+      ("lp", t_lp, Stats.mean alloc3);
+      ("greedy", t_greedy, Stats.mean greedy_alloc) ];
+  Printf.printf "  wrote %s\n" (Bench_report.write report);
   Printf.printf
     "LP optima integral on %d/%d instances (paper: restricted topologies give\n\
      integral multicommodity optima); mean prioritized allocation cost %.1f\n\n"

@@ -40,6 +40,7 @@ module Solver = Rsin_flow.Solver
 module Obs = Rsin_obs.Obs
 module Trace = Rsin_obs.Trace
 module Metrics = Rsin_obs.Metrics
+module Bench_report = Rsin_obs.Bench_report
 open Cmdliner
 
 (* --- network specification parsing -------------------------------------- *)
@@ -695,8 +696,17 @@ let replay_cmd =
                 distributed protocol must detect it and recover. Other \
                 modes ignore the clocks.")
   in
+  let heartbeat_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "heartbeat" ] ~docv:"N"
+          ~doc:"Every $(docv) consumed trace events, print one progress line \
+                (slot, events, cycles, allocated, solver work) to stderr. 0 \
+                (the default) disables the heartbeat.")
+  in
   let run net trace_file export mode discipline levels slots arrival service
-      cancel slack threshold defer trans faults mtbf mttr granularity c =
+      cancel slack threshold defer trans faults mtbf mttr granularity
+      heartbeat c =
     let module Engine = Rsin_engine.Engine in
     if levels < 0 then begin
       Printf.eprintf "rsin: --priority-levels must be >= 0\n";
@@ -770,10 +780,37 @@ let replay_cmd =
       { Engine.transmission_time = trans; batch_threshold = threshold;
         max_defer = defer }
     in
+    if heartbeat < 0 then begin
+      Printf.eprintf "rsin: --heartbeat must be >= 0\n";
+      exit 1
+    end;
     with_obs c.trace_out c.trace_format @@ fun obs ->
     let go m =
-      Engine.run ?obs ~config ~mode:m ~discipline ?solver:(solver_of c) net
-        trace
+      (* The heartbeat combines the per-slot event pulse with running
+         cycle tallies (the engine publishes its counters only at the
+         end of the run). *)
+      let cycles = ref 0 and alloc = ref 0 and work = ref 0 in
+      let pulses = ref 0 in
+      let cycle_hook, event_hook =
+        if heartbeat = 0 then (None, None)
+        else
+          ( Some
+              (fun _net (info : Engine.cycle_info) ->
+                incr cycles;
+                alloc := !alloc + info.Engine.allocated;
+                work := !work + info.Engine.work),
+            Some
+              (fun ~events ~time ->
+                if events / heartbeat > !pulses then begin
+                  pulses := events / heartbeat;
+                  Printf.eprintf
+                    "heartbeat[%s]: slot=%d events=%d cycles=%d allocated=%d \
+                     work=%d\n%!"
+                    (Engine.mode_name m) time events !cycles !alloc !work
+                end) )
+      in
+      Engine.run ?obs ~config ~mode:m ~discipline ?solver:(solver_of c)
+        ?cycle_hook ?event_hook net trace
     in
     let reports =
       match mode with
@@ -831,7 +868,7 @@ let replay_cmd =
       const run $ net_arg $ trace_arg $ export_arg $ mode_arg $ discipline_arg
       $ levels_arg $ slots_arg $ arrival_arg $ service_arg $ cancel_arg
       $ slack_arg $ threshold_arg $ defer_arg $ trans_arg $ faults_arg
-      $ mtbf_arg $ mttr_arg $ granularity_arg $ common_term)
+      $ mtbf_arg $ mttr_arg $ granularity_arg $ heartbeat_arg $ common_term)
 
 (* --- metrics ------------------------------------------------------------------ *)
 
@@ -839,9 +876,23 @@ let metrics_cmd =
   let json_arg =
     Arg.(
       value & flag
-      & info [ "json" ] ~doc:"Print the registry as one JSON object.")
+      & info [ "json" ]
+          ~doc:"Print the registry as one JSON object (alias for \
+                $(b,--format json)).")
   in
-  let run net requests free pre json c =
+  let format_arg =
+    let fmt_conv =
+      Arg.enum [ ("table", `Table); ("json", `Json); ("prom", `Prom) ]
+    in
+    Arg.(
+      value & opt fmt_conv `Table
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:"Output format: $(b,table) (human-readable), $(b,json) (one \
+                JSON object) or $(b,prom) (Prometheus 0.0.4 text \
+                exposition, histograms as summaries with p50/p95/p99 \
+                quantile labels).")
+  in
+  let run net requests free pre json format c =
     let rng = Prng.create c.seed in
     if pre > 0 then ignore (Workload.preoccupy rng net ~circuits:pre);
     let requests, free = snapshot rng net requests free in
@@ -850,8 +901,11 @@ let metrics_cmd =
     in
     let opt = schedule_t1 ~obs c net ~requests ~free in
     let dist = Token_sim.run ~obs net ~requests ~free in
-    if json then print_endline (Metrics.to_json obs.Obs.metrics)
-    else begin
+    let format = if json then `Json else format in
+    (match format with
+    | `Json -> print_endline (Metrics.to_json obs.Obs.metrics)
+    | `Prom -> print_string (Metrics.to_prometheus obs.Obs.metrics)
+    | `Table ->
       Printf.printf "requests: %s\nfree:     %s\n"
         (String.concat "," (List.map string_of_int requests))
         (String.concat "," (List.map string_of_int free));
@@ -863,8 +917,7 @@ let metrics_cmd =
         dist.Token_sim.total_clocks;
       Table.print
         ~header:[ "metric"; "kind"; "value" ]
-        (Metrics.to_rows obs.Obs.metrics)
-    end;
+        (Metrics.to_rows obs.Obs.metrics));
     match c.trace_out with
     | Some file ->
       (try Trace.write_file obs.Obs.trace ~format:c.trace_format file
@@ -881,7 +934,233 @@ let metrics_cmd =
              distributed scheduler and print the metrics registry")
     Term.(
       const run $ net_arg $ requests_arg $ free_arg $ pre_arg $ json_arg
-      $ common_term)
+      $ format_arg $ common_term)
+
+(* --- perf --------------------------------------------------------------------- *)
+
+(* The regression gate over the structured bench reports: compares fresh
+   BENCH_*.json files (written by `dune exec bench/main.exe`) against
+   the committed baselines and fails --check runs on any metric that
+   regressed beyond its kind's tolerance. *)
+
+let perf_status_name = function
+  | Bench_report.Same -> "same"
+  | Bench_report.Regression -> "REGRESSION"
+  | Bench_report.Improvement -> "improvement"
+  | Bench_report.Only_baseline -> "only in baseline"
+  | Bench_report.Only_fresh -> "only in fresh run"
+
+let perf_self_test ~time_tolerance ~count_tolerance =
+  (* An artificial 3x slowdown (and a count drift beyond 1%) must be
+     flagged; an identical re-run must diff clean; and the report must
+     survive a JSON round-trip. *)
+  let env = [ ("ocaml", Sys.ocaml_version) ] in
+  let mk factor =
+    let r = Bench_report.create ~env "selftest" in
+    let case = Bench_report.case r "case" in
+    Bench_report.record_samples case ~name:"wall_us" ~kind:Bench_report.Time
+      ~unit_:"us"
+      (Array.init 20 (fun i -> (100. +. float_of_int i) *. factor));
+    Bench_report.record_count case ~name:"solver_work" ~unit_:"arcs"
+      (1000. *. factor);
+    r
+  in
+  let failures = ref 0 in
+  let expect what ok =
+    Printf.printf "  %-46s %s\n" what (if ok then "ok" else "FAIL");
+    if not ok then incr failures
+  in
+  let baseline = mk 1.0 in
+  let clean =
+    Bench_report.regressions
+      (Bench_report.diff ~time_tolerance ~count_tolerance ~baseline (mk 1.0))
+  in
+  expect "identical run diffs clean" (clean = []);
+  let slow =
+    Bench_report.regressions
+      (Bench_report.diff ~time_tolerance ~count_tolerance ~baseline (mk 3.0))
+  in
+  expect "3x slowdown flags wall_us"
+    (List.exists
+       (fun d -> d.Bench_report.d_metric = "wall_us")
+       slow);
+  expect "3x count drift flags solver_work"
+    (List.exists
+       (fun d -> d.Bench_report.d_metric = "solver_work")
+       slow);
+  let tmp = Filename.temp_file "rsin_perf" "" in
+  Sys.remove tmp;
+  let dir = tmp in
+  Unix.mkdir dir 0o755;
+  let path = Bench_report.write ~dir baseline in
+  let round =
+    match Bench_report.read_file path with
+    | Ok r -> Bench_report.equal r baseline
+    | Error _ -> false
+  in
+  Sys.remove path;
+  Unix.rmdir dir;
+  expect "JSON round-trip preserves the report" round;
+  if !failures = 0 then begin
+    print_endline "perf self-test passed";
+    0
+  end
+  else begin
+    Printf.printf "perf self-test: %d failure(s)\n" !failures;
+    1
+  end
+
+let perf_cmd =
+  let baseline_dir_arg =
+    Arg.(
+      value
+      & opt string "bench/baselines"
+      & info [ "baseline-dir" ] ~docv:"DIR"
+          ~doc:"Directory holding the committed baseline BENCH_*.json files.")
+  in
+  let fresh_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fresh-dir" ] ~docv:"DIR"
+          ~doc:"Directory holding the freshly generated BENCH_*.json files \
+                (default: \\$RSIN_BENCH_DIR or the current directory).")
+  in
+  let check_arg =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:"Exit non-zero when any metric regressed beyond its \
+                tolerance (the CI gate).")
+  in
+  let self_test_arg =
+    Arg.(
+      value & flag
+      & info [ "self-test" ]
+          ~doc:"Run the comparator against synthetic reports (an injected \
+                3x slowdown must be detected) instead of reading files.")
+  in
+  let time_tol_arg =
+    Arg.(
+      value & opt float 2.0
+      & info [ "time-tolerance" ] ~docv:"X"
+          ~doc:"A time or allocation metric regresses when fresh > $(docv) \
+                * baseline (mean). Wide by default: CI machines vary.")
+  in
+  let count_tol_arg =
+    Arg.(
+      value & opt float 1.01
+      & info [ "count-tolerance" ] ~docv:"X"
+          ~doc:"A deterministic count metric (solver work records, clock \
+                periods) regresses when fresh > $(docv) * baseline.")
+  in
+  let names_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"BENCH"
+          ~doc:"Bench names to compare (default: every BENCH_*.json present \
+                in the fresh directory).")
+  in
+  let bench_files dir =
+    if not (Sys.file_exists dir && Sys.is_directory dir) then []
+    else
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f ->
+             String.length f > 11
+             && String.sub f 0 6 = "BENCH_"
+             && Filename.check_suffix f ".json")
+      |> List.sort compare
+  in
+  let bench_name_of_file f = Filename.chop_suffix (String.sub f 6 (String.length f - 6)) ".json" in
+  let run baseline_dir fresh_dir check self_test time_tolerance
+      count_tolerance names =
+    if self_test then exit (perf_self_test ~time_tolerance ~count_tolerance);
+    let fresh_dir =
+      match fresh_dir with
+      | Some d -> d
+      | None -> Option.value (Sys.getenv_opt "RSIN_BENCH_DIR") ~default:"."
+    in
+    let files = bench_files fresh_dir in
+    let files =
+      if names = [] then files
+      else begin
+        List.iter
+          (fun n ->
+            if not (List.mem (Printf.sprintf "BENCH_%s.json" n) files) then begin
+              Printf.eprintf "rsin: no BENCH_%s.json in %s\n" n fresh_dir;
+              exit 1
+            end)
+          names;
+        List.filter (fun f -> List.mem (bench_name_of_file f) names) files
+      end
+    in
+    if files = [] then begin
+      Printf.eprintf
+        "rsin: no BENCH_*.json files in %s (run the benches first)\n" fresh_dir;
+      exit 1
+    end;
+    let total_reg = ref 0 and total_imp = ref 0 and total_same = ref 0 in
+    let skipped = ref 0 in
+    List.iter
+      (fun file ->
+        let name = bench_name_of_file file in
+        let bpath = Filename.concat baseline_dir file in
+        if not (Sys.file_exists bpath) then begin
+          Printf.printf "%-16s no baseline (new bench? commit %s)\n" name bpath;
+          incr skipped
+        end
+        else
+          let read what path =
+            match Bench_report.read_file path with
+            | Ok r -> r
+            | Error msg ->
+              Printf.eprintf "rsin: cannot read %s %s: %s\n" what path msg;
+              exit 1
+          in
+          let baseline = read "baseline" bpath in
+          let fresh = read "fresh report" (Filename.concat fresh_dir file) in
+          let deltas =
+            try
+              Bench_report.diff ~time_tolerance ~count_tolerance ~baseline
+                fresh
+            with Invalid_argument msg ->
+              Printf.eprintf "rsin: %s\n" msg;
+              exit 1
+          in
+          let by_status s =
+            List.filter (fun d -> d.Bench_report.d_status = s) deltas
+          in
+          let regs = by_status Bench_report.Regression in
+          let imps = by_status Bench_report.Improvement in
+          let sames = by_status Bench_report.Same in
+          total_reg := !total_reg + List.length regs;
+          total_imp := !total_imp + List.length imps;
+          total_same := !total_same + List.length sames;
+          Printf.printf "%-16s %d metric(s): %d same, %d improved, %d regressed\n"
+            name (List.length deltas) (List.length sames) (List.length imps)
+            (List.length regs);
+          List.iter
+            (fun d ->
+              Printf.printf "  %-12s %s / %s: %.4g -> %.4g (%.2fx)\n"
+                (perf_status_name d.Bench_report.d_status)
+                d.Bench_report.d_case d.Bench_report.d_metric
+                d.Bench_report.base d.Bench_report.fresh d.Bench_report.ratio)
+            (regs @ imps))
+      files;
+    Printf.printf
+      "total: %d same, %d improved, %d regressed%s\n"
+      !total_same !total_imp !total_reg
+      (if !skipped > 0 then Printf.sprintf ", %d without baseline" !skipped
+       else "");
+    if check && !total_reg > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "perf"
+       ~doc:"Compare fresh BENCH_*.json bench reports against committed \
+             baselines and flag metric regressions")
+    Term.(
+      const run $ baseline_dir_arg $ fresh_dir_arg $ check_arg $ self_test_arg
+      $ time_tol_arg $ count_tol_arg $ names_arg)
 
 (* --- props ------------------------------------------------------------------- *)
 
@@ -1037,7 +1316,7 @@ let () =
     Cmd.group
       (Cmd.info "rsin" ~doc ~version:"1.0.0")
       [ info_cmd; dot_cmd; schedule_cmd; trace_cmd; blocking_cmd; simulate_cmd;
-        replay_cmd; metrics_cmd; props_cmd; perm_cmd; gates_cmd; show_cmd;
-        taskgraph_cmd ]
+        replay_cmd; metrics_cmd; perf_cmd; props_cmd; perm_cmd; gates_cmd;
+        show_cmd; taskgraph_cmd ]
   in
   exit (Cmd.eval main)

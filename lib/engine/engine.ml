@@ -100,7 +100,7 @@ type live = {
 }
 
 let run ?obs ?(config = default_config) ?(mode = Warm) ?(discipline = Uniform)
-    ?solver ?cycle_hook net trace =
+    ?solver ?cycle_hook ?event_hook net trace =
   if config.transmission_time < 1 then invalid_arg "Engine.run: transmission_time";
   if config.batch_threshold < 1 then invalid_arg "Engine.run: batch_threshold";
   if config.max_defer < 1 then invalid_arg "Engine.run: max_defer";
@@ -506,6 +506,7 @@ let run ?obs ?(config = default_config) ?(mode = Warm) ?(discipline = Uniform)
       end
     end
   in
+  let events_seen = ref 0 in
   while not (Heap.is_empty heap) do
     let (now, _), _ = Option.get (Heap.peek_min heap) in
     let batch = ref [] in
@@ -533,7 +534,11 @@ let run ?obs ?(config = default_config) ?(mode = Warm) ?(discipline = Uniform)
       mid_buffer := [];
       List.iter
         (fun (_clk, el) -> apply_fault now (Fault.down_of el))
-        (List.stable_sort (fun (a, _) (b, _) -> compare (a : int) b) buf))
+        (List.stable_sort (fun (a, _) (b, _) -> compare (a : int) b) buf));
+    events_seen := !events_seen + List.length batch;
+    (match event_hook with
+    | Some hook -> hook ~events:!events_seen ~time:now
+    | None -> ())
   done;
   let left_pending = Array.fold_left (fun acc q -> acc + List.length q) 0 queues in
   Obs.count obs "engine.arrivals" !arrivals;

@@ -117,6 +117,7 @@ val run :
   ?discipline:discipline ->
   ?solver:(module Rsin_flow.Solver.S) ->
   ?cycle_hook:(Rsin_topology.Network.t -> cycle_info -> unit) ->
+  ?event_hook:(events:int -> time:int -> unit) ->
   Rsin_topology.Network.t ->
   Rsin_sim.Workload.trace_event list ->
   report
@@ -143,6 +144,12 @@ val run :
     still shows the pre-commit state — this is what lets the
     differential test re-schedule the same snapshot from scratch and
     compare allocation counts.
+
+    [event_hook] is called once per simulated time slot, after the
+    slot's event batch (and any cycle it triggered) has been fully
+    processed, with the cumulative count of trace events consumed and
+    the slot time — the progress pulse the CLI's replay heartbeat is
+    built on. It observes; it must not mutate the network.
 
     {!Rsin_sim.Workload.Fault}/[Repair] trace events flip element health
     on the engine's network copy ({!Rsin_fault.Fault.apply}). A fault on

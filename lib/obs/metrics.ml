@@ -2,7 +2,12 @@ module Stats = Rsin_util.Stats
 
 type counter = int ref
 type gauge = float ref
-type histogram = Stats.accum
+
+(* A histogram keeps the Welford accumulator (exact n/mean/min/max and
+   CIs for the benches) and a log-bucketed quantile sketch side by
+   side: both are O(1) per observation, and snapshots report
+   p50/p95/p99 with bounded relative error over any value range. *)
+type histogram = { acc : Stats.accum; lh : Stats.loghist }
 
 type entry = C of counter | G of gauge | H of histogram
 
@@ -12,22 +17,23 @@ let create () = { entries = Hashtbl.create 32 }
 
 let kind_name = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
 
-let register t name make wrap unwrap =
+let register t name ~requested make wrap unwrap =
   match Hashtbl.find_opt t.entries name with
   | Some e ->
     (match unwrap e with
     | Some h -> h
     | None ->
       invalid_arg
-        (Printf.sprintf "Metrics: %S is a %s, not the requested kind" name
-           (kind_name e)))
+        (Printf.sprintf "Metrics: %S is a %s, not the requested %s" name
+           (kind_name e) requested))
   | None ->
     let h = make () in
     Hashtbl.replace t.entries name (wrap h);
     h
 
 let counter t name =
-  register t name (fun () -> ref 0)
+  register t name ~requested:"counter"
+    (fun () -> ref 0)
     (fun c -> C c)
     (function C c -> Some c | _ -> None)
 
@@ -36,7 +42,8 @@ let add c n = c := !c + n
 let counter_value c = !c
 
 let gauge t name =
-  register t name (fun () -> ref 0.)
+  register t name ~requested:"gauge"
+    (fun () -> ref 0.)
     (fun g -> G g)
     (function G g -> Some g | _ -> None)
 
@@ -44,24 +51,37 @@ let set g x = g := x
 let gauge_value g = !g
 
 let histogram t name =
-  register t name Stats.accum
+  register t name ~requested:"histogram"
+    (fun () -> { acc = Stats.accum (); lh = Stats.loghist () })
     (fun h -> H h)
     (function H h -> Some h | _ -> None)
 
-let observe h x = Stats.observe h x
+let observe h x =
+  Stats.observe h.acc x;
+  Stats.log_observe h.lh x
 
 type value =
   | Counter of int
   | Gauge of float
-  | Histogram of { n : int; mean : float; lo : float; hi : float }
+  | Histogram of {
+      n : int;
+      mean : float;
+      lo : float;
+      hi : float;
+      p50 : float;
+      p95 : float;
+      p99 : float;
+    }
 
 let value_of = function
   | C c -> Counter !c
   | G g -> Gauge !g
   | H h ->
     Histogram
-      { n = Stats.count h; mean = Stats.mean h; lo = Stats.min_obs h;
-        hi = Stats.max_obs h }
+      { n = Stats.count h.acc; mean = Stats.mean h.acc;
+        lo = Stats.min_obs h.acc; hi = Stats.max_obs h.acc;
+        p50 = Stats.log_quantile h.lh 0.5; p95 = Stats.log_quantile h.lh 0.95;
+        p99 = Stats.log_quantile h.lh 0.99 }
 
 let snapshot t =
   Hashtbl.fold (fun name e acc -> (name, value_of e) :: acc) t.entries []
@@ -86,9 +106,11 @@ let to_json t =
       match v with
       | Counter n -> string_of_int n
       | Gauge x -> json_float x
-      | Histogram { n; mean; lo; hi } ->
-        Printf.sprintf "{\"n\":%d,\"mean\":%s,\"min\":%s,\"max\":%s}" n
-          (json_float mean) (json_float lo) (json_float hi)
+      | Histogram { n; mean; lo; hi; p50; p95; p99 } ->
+        Printf.sprintf
+          "{\"n\":%d,\"mean\":%s,\"min\":%s,\"max\":%s,\"p50\":%s,\"p95\":%s,\"p99\":%s}"
+          n (json_float mean) (json_float lo) (json_float hi) (json_float p50)
+          (json_float p95) (json_float p99)
     in
     Printf.sprintf "%S:%s" name body
   in
@@ -100,7 +122,62 @@ let to_rows t =
       match v with
       | Counter n -> [ name; "counter"; string_of_int n ]
       | Gauge x -> [ name; "gauge"; Printf.sprintf "%.4g" x ]
-      | Histogram { n; mean; lo; hi } ->
+      | Histogram { n; mean; lo; hi; p50; p95; p99 } ->
         [ name; "histogram";
-          Printf.sprintf "n=%d mean=%.4g min=%.4g max=%.4g" n mean lo hi ])
+          Printf.sprintf
+            "n=%d mean=%.4g min=%.4g max=%.4g p50=%.4g p95=%.4g p99=%.4g" n
+            mean lo hi p50 p95 p99 ])
     (snapshot t)
+
+(* --- Prometheus text exposition ------------------------------------------ *)
+
+(* https://prometheus.io/docs/instrumenting/exposition_formats/ — the
+   0.0.4 text format. Metric names allow [a-zA-Z_:][a-zA-Z0-9_:]*; the
+   registry's dotted names map dots (and anything else) to '_' under an
+   "rsin_" namespace prefix. Histograms export as summaries (quantiles
+   are computed here, not by the scraper). *)
+
+let prom_name name =
+  let mapped =
+    String.map
+      (fun c ->
+        match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c | _ -> '_')
+      name
+  in
+  "rsin_" ^ mapped
+
+let prom_float x =
+  match Float.classify_float x with
+  | FP_nan -> "NaN"
+  | FP_infinite -> if x > 0. then "+Inf" else "-Inf"
+  | _ ->
+    if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.0f" x
+    else Printf.sprintf "%.9g" x
+
+let to_prometheus t =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (name, v) ->
+      let pn = prom_name name in
+      match v with
+      | Counter n ->
+        Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n" pn);
+        Buffer.add_string b (Printf.sprintf "%s %d\n" pn n)
+      | Gauge x ->
+        Buffer.add_string b (Printf.sprintf "# TYPE %s gauge\n" pn);
+        Buffer.add_string b (Printf.sprintf "%s %s\n" pn (prom_float x))
+      | Histogram { n; mean; p50; p95; p99; _ } ->
+        Buffer.add_string b (Printf.sprintf "# TYPE %s summary\n" pn);
+        if n > 0 then begin
+          Buffer.add_string b
+            (Printf.sprintf "%s{quantile=\"0.5\"} %s\n" pn (prom_float p50));
+          Buffer.add_string b
+            (Printf.sprintf "%s{quantile=\"0.95\"} %s\n" pn (prom_float p95));
+          Buffer.add_string b
+            (Printf.sprintf "%s{quantile=\"0.99\"} %s\n" pn (prom_float p99))
+        end;
+        let sum = if n = 0 then 0. else mean *. float_of_int n in
+        Buffer.add_string b (Printf.sprintf "%s_sum %s\n" pn (prom_float sum));
+        Buffer.add_string b (Printf.sprintf "%s_count %d\n" pn n))
+    (snapshot t);
+  Buffer.contents b

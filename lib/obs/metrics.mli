@@ -35,15 +35,25 @@ val set : gauge -> float -> unit
 val gauge_value : gauge -> float
 
 val histogram : t -> string -> histogram
-(** A streaming distribution backed by {!Rsin_util.Stats.accum}:
-    count, mean, min and max are reported in snapshots. *)
+(** A streaming distribution: a {!Rsin_util.Stats.accum} (exact count,
+    mean, min, max) paired with a log-bucketed
+    {!Rsin_util.Stats.loghist} quantile sketch, so snapshots report
+    p50/p95/p99 with bounded relative error. Both updates are O(1). *)
 
 val observe : histogram -> float -> unit
 
 type value =
   | Counter of int
   | Gauge of float
-  | Histogram of { n : int; mean : float; lo : float; hi : float }
+  | Histogram of {
+      n : int;
+      mean : float;
+      lo : float;
+      hi : float;
+      p50 : float;  (** log-bucket approximation, [nan] when empty *)
+      p95 : float;
+      p99 : float;
+    }
 
 val snapshot : t -> (string * value) list
 (** All registered metrics, sorted by name. *)
@@ -59,7 +69,15 @@ val clear : t -> unit
 
 val to_json : t -> string
 (** One JSON object keyed by metric name; counters become integers,
-    gauges numbers, histograms [{"n":..,"mean":..,"min":..,"max":..}]. *)
+    gauges numbers, histograms
+    [{"n":..,"mean":..,"min":..,"max":..,"p50":..,"p95":..,"p99":..}]. *)
 
 val to_rows : t -> string list list
 (** Rows [[name; kind; value]] for {!Rsin_util.Table.print}. *)
+
+val to_prometheus : t -> string
+(** Prometheus 0.0.4 text exposition: dotted names map to an
+    [rsin_]-prefixed underscore form ([flow.dinic.runs] →
+    [rsin_flow_dinic_runs]); counters and gauges export as themselves,
+    histograms as summaries with 0.5/0.95/0.99 quantile lines plus
+    [_sum] and [_count]. *)

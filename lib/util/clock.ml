@@ -1,0 +1,10 @@
+external now_ns : unit -> (int64[@unboxed])
+  = "rsin_clock_monotonic_ns_bytecode" "rsin_clock_monotonic_ns_native"
+[@@noalloc]
+
+let elapsed_us ~since = Int64.to_float (Int64.sub (now_ns ()) since) /. 1e3
+
+let time_us f =
+  let t0 = now_ns () in
+  let r = f () in
+  (r, elapsed_us ~since:t0)

@@ -1,0 +1,22 @@
+(** Monotonic wall clock for benchmarks and the measurement harness.
+
+    [Unix.gettimeofday] follows the system's civil time, which NTP can
+    step backwards or forwards mid-run; a timed region spanning such a
+    step reports garbage (possibly negative) durations. Everything in
+    the repository that times code goes through this module instead,
+    which reads [CLOCK_MONOTONIC] via a tiny C stub and therefore only
+    ever moves forward.
+
+    The epoch is arbitrary (typically boot time): only differences
+    between two readings are meaningful. *)
+
+val now_ns : unit -> int64
+(** Current monotonic time in nanoseconds since an arbitrary epoch.
+    [@@noalloc] on the native-code path. *)
+
+val elapsed_us : since:int64 -> float
+(** Microseconds elapsed since an earlier {!now_ns} reading. *)
+
+val time_us : (unit -> 'a) -> 'a * float
+(** [time_us f] runs [f ()] and returns its result together with the
+    monotonic wall-clock microseconds it took. *)

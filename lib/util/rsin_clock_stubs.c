@@ -1,0 +1,28 @@
+/* Monotonic clock for the benchmark harness.
+ *
+ * CLOCK_MONOTONIC is immune to NTP steps and settimeofday, which is
+ * the whole point: bench numbers taken with gettimeofday can go
+ * negative across a clock adjustment. CLOCK_MONOTONIC is still subject
+ * to NTP *slewing* (rate adjustment), which is harmless at benchmark
+ * time scales. */
+
+#include <time.h>
+#include <stdint.h>
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+
+int64_t rsin_clock_monotonic_ns_native(value unit)
+{
+  struct timespec ts;
+#ifdef CLOCK_MONOTONIC
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) != 0)
+#endif
+    clock_gettime(CLOCK_REALTIME, &ts);
+  (void)unit;
+  return (int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec;
+}
+
+value rsin_clock_monotonic_ns_bytecode(value unit)
+{
+  return caml_copy_int64(rsin_clock_monotonic_ns_native(unit));
+}

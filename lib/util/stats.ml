@@ -83,3 +83,81 @@ let hist_quantile h q =
 let mean_of = function
   | [] -> invalid_arg "Stats.mean_of: empty list"
   | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+(* --- log-bucketed streaming histogram ------------------------------------ *)
+
+(* Sparse geometric buckets: observation x > 0 lands in bucket
+   floor(log x / log gamma), i.e. the bucket covering
+   [gamma^i, gamma^(i+1)). Relative quantile error is bounded by
+   sqrt(gamma) - 1 regardless of the value range, and nothing about the
+   range needs to be known up front — which is what makes this the
+   right backing store for Metrics histograms observing anything from
+   sub-microsecond waits to multi-second solver runs. *)
+
+type loghist = {
+  gamma_log : float;
+  buckets : (int, int ref) Hashtbl.t;
+  mutable nonpos : int;          (* observations <= 0 (their own bucket) *)
+  mutable lh_total : int;
+  mutable lh_lo : float;         (* exact extremes, used to clamp *)
+  mutable lh_hi : float;
+}
+
+let loghist ?(gamma = 1.05) () =
+  if gamma <= 1. then invalid_arg "Stats.loghist: gamma must be > 1";
+  { gamma_log = log gamma; buckets = Hashtbl.create 64; nonpos = 0;
+    lh_total = 0; lh_lo = infinity; lh_hi = neg_infinity }
+
+let log_observe h x =
+  h.lh_total <- h.lh_total + 1;
+  if x < h.lh_lo then h.lh_lo <- x;
+  if x > h.lh_hi then h.lh_hi <- x;
+  if x <= 0. then h.nonpos <- h.nonpos + 1
+  else begin
+    let i = int_of_float (Float.floor (log x /. h.gamma_log)) in
+    match Hashtbl.find_opt h.buckets i with
+    | Some r -> incr r
+    | None -> Hashtbl.add h.buckets i (ref 1)
+  end
+
+let log_total h = h.lh_total
+
+let log_quantile h q =
+  if h.lh_total = 0 then nan
+  else begin
+    let q = if q < 0. then 0. else if q > 1. then 1. else q in
+    let target = q *. float_of_int h.lh_total in
+    let clamp v = Float.max h.lh_lo (Float.min h.lh_hi v) in
+    if float_of_int h.nonpos >= target && h.nonpos > 0 then clamp 0.
+    else begin
+      let keys =
+        Hashtbl.fold (fun k r acc -> (k, !r) :: acc) h.buckets []
+        |> List.sort compare
+      in
+      let rec go acc = function
+        | [] -> h.lh_hi
+        | (k, c) :: rest ->
+          let acc' = acc + c in
+          if float_of_int acc' >= target then
+            (* geometric bucket midpoint: gamma^(k + 1/2) *)
+            exp ((float_of_int k +. 0.5) *. h.gamma_log)
+          else go acc' rest
+      in
+      clamp (go h.nonpos keys)
+    end
+  end
+
+(* --- exact percentile of a sample array ---------------------------------- *)
+
+let percentile xs q =
+  let n = Array.length xs in
+  if n = 0 then nan
+  else begin
+    let s = Array.copy xs in
+    Array.sort Float.compare s;
+    let q = if q < 0. then 0. else if q > 1. then 1. else q in
+    let pos = q *. float_of_int (n - 1) in
+    let i = int_of_float (Float.floor pos) in
+    if i >= n - 1 then s.(n - 1)
+    else s.(i) +. ((pos -. float_of_int i) *. (s.(i + 1) -. s.(i)))
+  end

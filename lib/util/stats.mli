@@ -46,3 +46,29 @@ val hist_quantile : histogram -> float -> float
 
 val mean_of : float list -> float
 (** Convenience: arithmetic mean of a non-empty list. *)
+
+type loghist
+(** Streaming log-bucketed (geometric) histogram: sparse buckets at
+    [gamma^i] boundaries, so quantiles carry a bounded {e relative}
+    error (about [sqrt gamma - 1]) over any value range with no
+    up-front [lo]/[hi]. Backs {!Rsin_obs.Metrics} histograms. *)
+
+val loghist : ?gamma:float -> unit -> loghist
+(** Fresh histogram; [gamma] (default 1.05, ≈2.5 % relative error) is
+    the bucket growth factor, must be > 1. *)
+
+val log_observe : loghist -> float -> unit
+(** O(1). Non-positive observations share one dedicated bucket that
+    reports as 0. *)
+
+val log_total : loghist -> int
+
+val log_quantile : loghist -> float -> float
+(** [log_quantile h q] approximates the [q]-quantile from geometric
+    bucket midpoints, clamped to the exact observed [min]/[max];
+    [nan] when empty. O(buckets log buckets) — snapshot-time only. *)
+
+val percentile : float array -> float -> float
+(** Exact linear-interpolated percentile of a sample array (the array
+    is copied, not mutated); [nan] when empty. Used by the bench
+    harness, where sample counts are small enough to sort. *)

@@ -3,6 +3,7 @@ let () =
     [
       ("util", Test_util.suite);
       ("obs", Test_obs.suite);
+      ("bench_report", Test_bench_report.suite);
       ("flow", Test_flow.suite);
       ("flow2", Test_flow2.suite);
       ("lp", Test_lp.suite);

@@ -29,21 +29,30 @@ let test_metrics_counters () =
 let test_metrics_kinds () =
   let t = Metrics.create () in
   ignore (Metrics.counter t "x");
-  Alcotest.check_raises "kind mismatch"
-    (Invalid_argument "Metrics: \"x\" is a counter, not the requested kind")
+  Alcotest.check_raises "kind mismatch names both kinds"
+    (Invalid_argument "Metrics: \"x\" is a counter, not the requested gauge")
     (fun () -> ignore (Metrics.gauge t "x"));
+  Alcotest.check_raises "histogram over counter"
+    (Invalid_argument "Metrics: \"x\" is a counter, not the requested histogram")
+    (fun () -> ignore (Metrics.histogram t "x"));
   let g = Metrics.gauge t "g" in
   Metrics.set g 2.5;
   let h = Metrics.histogram t "h" in
   Metrics.observe h 1.;
   Metrics.observe h 3.;
   match (Metrics.find t "g", Metrics.find t "h") with
-  | Some (Metrics.Gauge v), Some (Metrics.Histogram { n; mean; lo; hi }) ->
+  | ( Some (Metrics.Gauge v),
+      Some (Metrics.Histogram { n; mean; lo; hi; p50; p95; p99 }) ) ->
     check (Alcotest.float 1e-9) "gauge" 2.5 v;
     check Alcotest.int "hist n" 2 n;
     check (Alcotest.float 1e-9) "hist mean" 2. mean;
     check (Alcotest.float 1e-9) "hist lo" 1. lo;
-    check (Alcotest.float 1e-9) "hist hi" 3. hi
+    check (Alcotest.float 1e-9) "hist hi" 3. hi;
+    (* quantiles come from the log-bucketed sketch: ~2.5% relative
+       error, clamped into [lo, hi] *)
+    check (Alcotest.float 0.1) "hist p50" 1. p50;
+    check (Alcotest.float 0.1) "hist p95" 3. p95;
+    check (Alcotest.float 0.1) "hist p99" 3. p99
   | _ -> Alcotest.fail "wrong snapshot kinds"
 
 let test_metrics_snapshot_sorted () =
@@ -70,6 +79,35 @@ let test_metrics_json () =
        && (String.sub json i 4 = "null" || contains (i + 1))
      in
      contains 0)
+
+let test_metrics_prometheus () =
+  let t = Metrics.create () in
+  Metrics.add (Metrics.counter t "flow.dinic.runs") 3;
+  Metrics.set (Metrics.gauge t "g") 0.5;
+  let h = Metrics.histogram t "lat" in
+  List.iter (Metrics.observe h) [ 1.; 2.; 4. ];
+  ignore (Metrics.histogram t "empty");
+  let s = Metrics.to_prometheus t in
+  let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' s) in
+  let has l = List.mem l lines in
+  check Alcotest.bool "counter type line" true
+    (has "# TYPE rsin_flow_dinic_runs counter");
+  check Alcotest.bool "counter sample" true (has "rsin_flow_dinic_runs 3");
+  check Alcotest.bool "gauge sample" true (has "rsin_g 0.5");
+  check Alcotest.bool "summary type" true (has "# TYPE rsin_lat summary");
+  check Alcotest.bool "summary count" true (has "rsin_lat_count 3");
+  check Alcotest.bool "summary sum" true (has "rsin_lat_sum 7");
+  check Alcotest.bool "quantile label present" true
+    (List.exists
+       (fun l ->
+         String.length l > 20 && String.sub l 0 20 = "rsin_lat{quantile=\"0")
+       lines);
+  (* empty histograms export zero count and no quantile lines *)
+  check Alcotest.bool "empty count" true (has "rsin_empty_count 0");
+  check Alcotest.bool "empty has no quantiles" false
+    (List.exists
+       (fun l -> String.length l > 10 && String.sub l 0 10 = "rsin_empty{")
+       lines)
 
 (* --- tracer and exporters ------------------------------------------------ *)
 
@@ -135,6 +173,70 @@ let test_trace_write_file () =
       let s = really_input_string ic len in
       close_in ic;
       check Alcotest.string "file contents" (Trace.to_string t ~format:Trace.Chrome) s)
+
+(* The Chrome export of a real solver trace must be machine-parseable
+   and structurally well-formed: valid JSON, every B eventually followed
+   by a matching E with the same name on the same tid, and timestamps
+   non-decreasing per tid. A single solver run keeps one clock per tid,
+   so monotonicity holds (it would not across runs — each run resets its
+   clock). *)
+let test_trace_chrome_parses_and_nests () =
+  let obs = Obs.recording () in
+  let net = Builders.omega 8 in
+  let tr =
+    Transform1.build net ~requests:[ 0; 1; 2; 3 ] ~free:[ 4; 5; 6; 7 ]
+  in
+  let _ =
+    Dinic.max_flow ~obs (Transform1.graph tr)
+      ~source:(Transform1.source tr) ~sink:(Transform1.sink tr)
+  in
+  let s = Trace.to_string obs.Obs.trace ~format:Trace.Chrome in
+  let module Json = Rsin_util.Json in
+  match Json.parse s with
+  | Error e -> Alcotest.fail ("chrome export is not valid JSON: " ^ e)
+  | Ok j ->
+    let events = Option.get (Json.to_list j) in
+    check Alcotest.bool "trace is non-empty" true (events <> []);
+    let field name ev = Json.member name ev in
+    let str name ev = Option.get Option.(bind (field name ev) Json.to_str) in
+    let int name ev = Option.get Option.(bind (field name ev) Json.to_int) in
+    (* per-tid: stack of open span names, last timestamp *)
+    let stacks : (int, string list ref) Hashtbl.t = Hashtbl.create 4 in
+    let last_ts : (int, int ref) Hashtbl.t = Hashtbl.create 4 in
+    let get tbl mk tid =
+      match Hashtbl.find_opt tbl tid with
+      | Some v -> v
+      | None ->
+        let v = mk () in
+        Hashtbl.replace tbl tid v;
+        v
+    in
+    List.iter
+      (fun ev ->
+        let tid = int "tid" ev and ts = int "ts" ev in
+        let prev = get last_ts (fun () -> ref min_int) tid in
+        check Alcotest.bool
+          (Printf.sprintf "ts monotone on tid %d" tid)
+          true (ts >= !prev);
+        prev := ts;
+        let stack = get stacks (fun () -> ref []) tid in
+        match str "ph" ev with
+        | "B" -> stack := str "name" ev :: !stack
+        | "E" -> (
+          match !stack with
+          | top :: rest ->
+            check Alcotest.string "E matches innermost B" top (str "name" ev);
+            stack := rest
+          | [] -> Alcotest.fail "E without open B on its tid")
+        | _ -> ())
+      events;
+    Hashtbl.iter
+      (fun tid stack ->
+        check Alcotest.int
+          (Printf.sprintf "no unclosed spans on tid %d" tid)
+          0
+          (List.length !stack))
+      stacks
 
 (* --- observer helpers ---------------------------------------------------- *)
 
@@ -254,6 +356,9 @@ let suite =
     Alcotest.test_case "metrics snapshot sorted" `Quick
       test_metrics_snapshot_sorted;
     Alcotest.test_case "metrics json" `Quick test_metrics_json;
+    Alcotest.test_case "metrics prometheus" `Quick test_metrics_prometheus;
+    Alcotest.test_case "trace chrome parses and nests" `Quick
+      test_trace_chrome_parses_and_nests;
     Alcotest.test_case "trace null sink" `Quick test_trace_null_records_nothing;
     Alcotest.test_case "trace event order" `Quick test_trace_records_in_order;
     Alcotest.test_case "trace chrome format" `Quick test_trace_chrome_format;

@@ -419,6 +419,168 @@ let test_table_ragged_rows () =
   let s = Table.render ~header:[ "a"; "b"; "c" ] [ [ "x" ]; [ "1"; "2"; "3"; "4" ] ] in
   check Alcotest.bool "renders without exception" true (String.length s > 0)
 
+(* --- Clock --------------------------------------------------------------- *)
+
+let test_clock_monotone () =
+  let prev = ref (Clock.now_ns ()) in
+  for _ = 1 to 1000 do
+    let t = Clock.now_ns () in
+    check Alcotest.bool "never goes backwards" true (Int64.compare t !prev >= 0);
+    prev := t
+  done
+
+let test_clock_elapsed () =
+  let t0 = Clock.now_ns () in
+  let x = ref 0 in
+  for i = 1 to 100_000 do
+    x := !x + i
+  done;
+  ignore (Sys.opaque_identity !x);
+  let dt = Clock.elapsed_us ~since:t0 in
+  check Alcotest.bool "elapsed is positive" true (dt > 0.);
+  let r, us = Clock.time_us (fun () -> 42) in
+  check Alcotest.int "time_us returns the result" 42 r;
+  check Alcotest.bool "time_us measures >= 0" true (us >= 0.)
+
+(* --- log-bucketed histogram and exact percentiles ------------------------ *)
+
+let test_loghist_quantiles () =
+  let h = Stats.loghist () in
+  for i = 1 to 1000 do
+    Stats.log_observe h (float_of_int i)
+  done;
+  check Alcotest.int "total" 1000 (Stats.log_total h);
+  let close q expect =
+    let v = Stats.log_quantile h q in
+    check Alcotest.bool
+      (Printf.sprintf "q=%.2f within 3%% of %g (got %g)" q expect v)
+      true
+      (Float.abs (v -. expect) /. expect < 0.03)
+  in
+  close 0.5 500.;
+  close 0.95 950.;
+  close 0.99 990.;
+  (* clamped to exact observed extremes *)
+  check Alcotest.bool "q=1 clamps to max" true (Stats.log_quantile h 1.0 <= 1000.);
+  check Alcotest.bool "q=0 clamps to min" true (Stats.log_quantile h 0.0 >= 1.)
+
+let test_loghist_edge_cases () =
+  let h = Stats.loghist () in
+  check Alcotest.bool "empty quantile is nan" true
+    (Float.is_nan (Stats.log_quantile h 0.5));
+  (* nonpositive observations land in a dedicated bucket reported as 0 *)
+  Stats.log_observe h (-5.);
+  Stats.log_observe h 0.;
+  Stats.log_observe h 10.;
+  check Alcotest.int "total counts nonpos" 3 (Stats.log_total h);
+  check (Alcotest.float 1e-9) "low quantile is 0" 0. (Stats.log_quantile h 0.3)
+
+let test_percentile () =
+  let xs = [| 5.; 1.; 3.; 2.; 4. |] in
+  check (Alcotest.float 1e-9) "median" 3. (Stats.percentile xs 0.5);
+  check (Alcotest.float 1e-9) "min" 1. (Stats.percentile xs 0.);
+  check (Alcotest.float 1e-9) "max" 5. (Stats.percentile xs 1.);
+  check (Alcotest.float 1e-9) "interpolated" 2. (Stats.percentile xs 0.25);
+  check (Alcotest.float 1e-9) "between samples" 4.8 (Stats.percentile xs 0.95);
+  check Alcotest.bool "input not reordered" true (xs = [| 5.; 1.; 3.; 2.; 4. |]);
+  check Alcotest.bool "empty is nan" true (Float.is_nan (Stats.percentile [||] 0.5))
+
+let loghist_brackets_exact =
+  (* The sketch's quantile must stay within its guaranteed relative
+     error (~gamma) of the exact sample percentile, for any sample. *)
+  qtest "loghist tracks exact percentile"
+    QCheck.(pair (list_of_size Gen.(1 -- 200) (float_range 0.001 1e6)) (float_range 0. 1.))
+    (fun (xs, q) ->
+      let h = Stats.loghist () in
+      List.iter (Stats.log_observe h) xs;
+      let approx = Stats.log_quantile h q in
+      let exact = Stats.percentile (Array.of_list xs) q in
+      (* Bucket midpoints are within 2.5% of any value in the bucket;
+         rank rounding can shift by one sample, so compare against the
+         sample range around the exact rank with a 6% slack. *)
+      let lo = List.fold_left min infinity xs
+      and hi = List.fold_left max neg_infinity xs in
+      approx >= lo -. 1e-9 && approx <= hi +. 1e-9
+      && (approx <= exact *. 1.06 +. 1e-9 || approx >= exact /. 1.06 -. 1e-9))
+
+(* --- Json ---------------------------------------------------------------- *)
+
+let test_json_parse_basics () =
+  let ok s expect =
+    match Json.parse s with
+    | Ok v -> check Alcotest.bool (Printf.sprintf "parse %S" s) true (Json.equal v expect)
+    | Error e -> Alcotest.fail (Printf.sprintf "parse %S failed: %s" s e)
+  in
+  ok "null" Json.Null;
+  ok "true" (Json.Bool true);
+  ok " -12.5e2 " (Json.Num (-1250.));
+  ok {|"a\nbé"|} (Json.Str "a\nb\xc3\xa9");
+  ok {|[1,2,[],{}]|}
+    (Json.Arr [ Json.Num 1.; Json.Num 2.; Json.Arr []; Json.Obj [] ]);
+  ok {|{"k":[true,null],"s":"x"}|}
+    (Json.Obj
+       [ ("k", Json.Arr [ Json.Bool true; Json.Null ]); ("s", Json.Str "x") ]);
+  List.iter
+    (fun bad ->
+      match Json.parse bad with
+      | Ok _ -> Alcotest.fail (Printf.sprintf "parse %S should fail" bad)
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "nul"; "\"unterminated"; "1 2"; "{\"a\" 1}"; "[01]" ]
+
+let test_json_accessors () =
+  let j =
+    Result.get_ok (Json.parse {|{"n":3,"arr":[1,2],"s":"x","b":false}|})
+  in
+  check Alcotest.int "to_int" 3
+    (Option.get Option.(bind (Json.member "n" j) Json.to_int));
+  check Alcotest.int "list length" 2
+    (List.length (Option.get Option.(bind (Json.member "arr" j) Json.to_list)));
+  check Alcotest.string "to_str" "x"
+    (Option.get Option.(bind (Json.member "s" j) Json.to_str));
+  check Alcotest.bool "to_bool" false
+    (Option.get Option.(bind (Json.member "b" j) Json.to_bool));
+  check Alcotest.bool "absent member" true (Json.member "zzz" j = None)
+
+let json_gen =
+  let open QCheck.Gen in
+  let scalar =
+    oneof
+      [ return Json.Null;
+        map (fun b -> Json.Bool b) bool;
+        map (fun f -> Json.Num f) (float_range (-1e9) 1e9);
+        map (fun n -> Json.Num (float_of_int n)) int;
+        map (fun s -> Json.Str s) (small_string ~gen:printable) ]
+  in
+  let rec value depth =
+    if depth = 0 then scalar
+    else
+      frequency
+        [ (3, scalar);
+          (1, map (fun l -> Json.Arr l) (list_size (0 -- 4) (value (depth - 1))));
+          ( 1,
+            map
+              (fun kvs ->
+                (* duplicate keys would round-trip ambiguously *)
+                let seen = Hashtbl.create 8 in
+                Json.Obj
+                  (List.filter
+                     (fun (k, _) ->
+                       if Hashtbl.mem seen k then false
+                       else (Hashtbl.add seen k (); true))
+                     kvs))
+              (list_size (0 -- 4)
+                 (pair (small_string ~gen:printable) (value (depth - 1)))) ) ]
+  in
+  value 3
+
+let json_roundtrip =
+  qtest "json print/parse round-trip"
+    (QCheck.make ~print:Json.to_string json_gen)
+    (fun j ->
+      match Json.parse (Json.to_string j) with
+      | Ok j' -> Json.equal j j'
+      | Error _ -> false)
+
 let suite =
   [
     Alcotest.test_case "prng determinism" `Quick test_prng_determinism;
@@ -454,4 +616,13 @@ let suite =
     Alcotest.test_case "vec" `Quick test_vec;
     Alcotest.test_case "table render" `Quick test_table_render;
     Alcotest.test_case "table ragged rows" `Quick test_table_ragged_rows;
+    Alcotest.test_case "clock monotone" `Quick test_clock_monotone;
+    Alcotest.test_case "clock elapsed" `Quick test_clock_elapsed;
+    Alcotest.test_case "loghist quantiles" `Quick test_loghist_quantiles;
+    Alcotest.test_case "loghist edge cases" `Quick test_loghist_edge_cases;
+    Alcotest.test_case "percentile" `Quick test_percentile;
+    loghist_brackets_exact;
+    Alcotest.test_case "json parse basics" `Quick test_json_parse_basics;
+    Alcotest.test_case "json accessors" `Quick test_json_accessors;
+    json_roundtrip;
   ]
