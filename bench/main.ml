@@ -33,7 +33,8 @@ let experiments quick =
     ("hetero_types", fun () -> Priority_bench.hetero_types ~trials:(t 150) ());
     ("faults", fun () -> Priority_bench.faults ~trials:(t 800) ());
     ("concentrator", fun () -> Concentrator_bench.concentrator ~trials:(t 400) ());
-    ("packet_vs_circuit", fun () -> Packet_bench.packet_vs_circuit ());
+    ("packet_vs_circuit", fun () -> Packet_bench.packet_vs_circuit ~quick ());
+    ("xbar", fun () -> Xbar_bench.xbar ~quick ());
     ("stress", fun () -> Stress_bench.stress ~quick ~trials:(t 40) ());
     ("load_balance", fun () -> Balance_bench.load_balance ());
     ("calibration", fun () -> Calibration_bench.calibration ~trials:(t 600) ());

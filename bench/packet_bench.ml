@@ -3,43 +3,115 @@
    same service law; the packet network binds each task to a free
    resource up front (address mapping) and the resource idles until the
    last packet arrives; the circuit RSIN schedules destination-free
-   requests and ties the resource up only for transmission + service. *)
+   requests and ties the resource up only for transmission + service.
 
+   Packet mode runs twice: on the buffered VOQ fabric with iSLIP
+   arbitration (lib/packet, via the trace-driven Replay layer) and on
+   the legacy slot-model Packet_net, kept as a cross-check — both must
+   show the same Section-II shape (reserved >> serving as load grows)
+   even though their switch models differ. The fabric's numbers land in
+   BENCH_packet.json for the [rsin perf] regression gate. *)
+
+module Network = Rsin_topology.Network
 module Builders = Rsin_topology.Builders
 module Packet_net = Rsin_sim.Packet_net
 module Dynamic = Rsin_sim.Dynamic
+module Replay = Rsin_packet.Replay
+module Arbiter = Rsin_packet.Arbiter
 module Prng = Rsin_util.Prng
 module Table = Rsin_util.Table
+module Bench_report = Rsin_obs.Bench_report
 
 let seed = 777
 
-let packet_vs_circuit () =
+(* The same Bernoulli arrival / geometric service law Packet_net draws
+   internally, materialized as a task trace for the fabric replay. *)
+let synthesize rng net ~slots ~arrival ~flits ~mean_service =
+  let np = Network.n_procs net in
+  let tasks = ref [] in
+  for s = 0 to slots - 1 do
+    for p = 0 to np - 1 do
+      if Prng.bernoulli rng arrival then
+        tasks :=
+          { Replay.arrival = s; proc = p;
+            service = 1 + Prng.geometric rng (1. /. mean_service); flits }
+          :: !tasks
+    done
+  done;
+  List.rev !tasks
+
+let packet_vs_circuit ?(quick = false) () =
+  let slots = if quick then 2000 else 8000 in
+  let warmup = if quick then 400 else 1500 in
   print_endline "== E24: circuit vs packet switching (omega 16, 4-packet tasks) ==";
   let net = Builders.omega 16 in
   let packets = 4 and mean_service = 6. in
+  let report = Bench_report.create ~quick "packet" in
   Table.print
     ~header:
       [ "arrival/proc"; "mode"; "throughput"; "serving util"; "reserved util";
         "mean response" ]
     (List.concat_map
        (fun arrival ->
+         let case =
+           Bench_report.case report
+             (Printf.sprintf "arrival=%s" (Table.ffix 2 arrival))
+         in
+         let tasks =
+           synthesize (Prng.create seed) net ~slots ~arrival ~flits:packets
+             ~mean_service
+         in
+         let fb = ref None in
+         let m =
+           Bench_report.measure ~warmup:0 ~runs:2 (fun () ->
+               fb :=
+                 Some
+                   (Replay.run ~vq_depth:2 ~warmup
+                      ~arbiter:(Arbiter.get "islip") (Prng.create seed) net
+                      tasks))
+         in
+         Bench_report.record case ~prefix:"fabric" m;
+         let fb = Option.get !fb in
          let pk =
            Packet_net.run (Prng.create seed) net
              { Packet_net.arrival_prob = arrival; packets_per_task = packets;
-               mean_service; buffer_capacity = 2; slots = 8000; warmup = 1500 }
+               mean_service; buffer_capacity = 2; slots; warmup }
          in
          let ck =
            Dynamic.run (Prng.create seed) net
              { Dynamic.arrival_prob = arrival; transmission_time = packets;
-               mean_service; slots = 8000; warmup = 1500 }
+               mean_service; slots; warmup }
          in
+         Bench_report.record_count case ~name:"fabric.completed"
+           (float_of_int fb.Replay.completed);
+         Bench_report.record_count case ~name:"fabric.reserved_idle"
+           fb.Replay.reserved_idle;
+         Bench_report.record_count case ~name:"fabric.conflicts"
+           (float_of_int fb.Replay.conflicts);
+         Bench_report.record_count case ~name:"slot_model.completed"
+           (float_of_int pk.Packet_net.completed);
+         Bench_report.record_count case ~name:"circuit.completed"
+           (float_of_int ck.Dynamic.completed);
+         (* cross-check: both packet models exhibit the Section-II
+            reservation overhead — reserved never below serving *)
+         assert (
+           fb.Replay.reserved_utilization
+           >= fb.Replay.serving_utilization -. 1e-9);
+         assert (
+           pk.Packet_net.reserved_utilization
+           >= pk.Packet_net.serving_utilization -. 1e-9);
          (* circuit mode: the resource is held for transmission+service,
             so serving == reserved; response = wait + transmission +
             service *)
          let ck_response =
            ck.Dynamic.mean_wait +. float_of_int packets +. mean_service
          in
-         [ [ Table.ffix 3 arrival; "packet";
+         [ [ Table.ffix 3 arrival; "packet/fabric";
+             Table.ffix 3 fb.Replay.throughput;
+             Table.fpct fb.Replay.serving_utilization;
+             Table.fpct fb.Replay.reserved_utilization;
+             Table.ffix 1 fb.Replay.mean_response ];
+           [ Table.ffix 3 arrival; "packet/slot";
              Table.ffix 3 pk.Packet_net.throughput;
              Table.fpct pk.Packet_net.serving_utilization;
              Table.fpct pk.Packet_net.reserved_utilization;
@@ -51,9 +123,9 @@ let packet_vs_circuit () =
              Table.ffix 1 ck_response ] ])
        [ 0.01; 0.03; 0.05; 0.07; 0.09 ]);
   print_endline
-    "(the packet network exhausts the pool by RESERVATION long before the\n\
-    \ resources do useful work - at arrival 0.07 they are reserved ~100%\n\
-    \ of the time but serving only ~40% - and response times blow up,\n\
-    \ while the circuit-switched RSIN keeps climbing: exactly the paper's\n\
-    \ Section II argument for circuit switching)";
-  print_newline ()
+    "(both packet models exhaust the pool by RESERVATION long before the\n\
+    \ resources do useful work - at arrival 0.07 they are reserved near\n\
+    \ 100% of the time while serving far less - and response times blow\n\
+    \ up, while the circuit-switched RSIN keeps climbing: exactly the\n\
+    \ paper's Section II argument for circuit switching)";
+  Printf.printf "  wrote %s\n\n" (Bench_report.write report)

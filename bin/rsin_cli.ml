@@ -566,6 +566,45 @@ let simulate_cmd =
       const run $ net_arg $ arrival_arg $ slots_arg $ service_arg
       $ common_term)
 
+(* --- shared packet-fabric options -------------------------------------------- *)
+
+(* Names and doc come from the arbiter registry, mirroring solver_arg. *)
+let arbiter_arg =
+  let names = Rsin_packet.Arbiter.names () in
+  let arb_conv = Arg.enum (List.map (fun n -> (n, n)) names) in
+  Arg.(
+    value & opt arb_conv "islip"
+    & info [ "arbiter" ] ~docv:"NAME"
+        ~doc:
+          (Printf.sprintf
+             "Per-switchbox crossbar arbiter for the packet fabric: %s."
+             (String.concat ", "
+                (List.map (fun n -> Printf.sprintf "$(b,%s)" n) names))))
+
+let vq_depth_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "vq-depth" ] ~docv:"K"
+        ~doc:"Per-VOQ buffer capacity in flits (default: unbounded).")
+
+let flits_arg ~default =
+  Arg.(
+    value & opt int default
+    & info [ "flits" ] ~docv:"F"
+        ~doc:"Flits per task packet on the packet fabric.")
+
+let check_packet_args ~vq_depth ~flits =
+  (match vq_depth with
+  | Some k when k < 1 ->
+    Printf.eprintf "rsin: --vq-depth must be >= 1\n";
+    exit 1
+  | Some _ | None -> ());
+  if flits < 1 then begin
+    Printf.eprintf "rsin: --flits must be >= 1\n";
+    exit 1
+  end
+
 (* --- replay ------------------------------------------------------------------- *)
 
 let replay_cmd =
@@ -589,7 +628,7 @@ let replay_cmd =
     let mode_conv =
       Arg.enum
         [ ("warm", `Warm); ("rebuild", `Rebuild); ("token", `Token);
-          ("both", `Both) ]
+          ("both", `Both); ("packet", `Packet) ]
     in
     Arg.(
       value & opt mode_conv `Both
@@ -598,8 +637,13 @@ let replay_cmd =
                 graph), $(b,rebuild) (from-scratch max-flow each cycle), \
                 $(b,token) (every cycle runs on the distributed token \
                 architecture; solver work counts status-bus clock periods, \
-                and clocked trace faults strike mid-cycle) or $(b,both) \
-                (run warm and rebuild and compare solver work).")
+                and clocked trace faults strike mid-cycle), $(b,both) \
+                (run warm and rebuild and compare solver work) or \
+                $(b,packet) (serve the trace packet-switched on the \
+                buffered VOQ fabric: tasks bind to a random free resource \
+                before injection and the resource idles until the last \
+                flit arrives — the Section II alternative the circuit \
+                modes are measured against).")
   in
   let discipline_arg =
     let disc_conv = Arg.enum [ ("uniform", `Uniform); ("priority", `Priority) ] in
@@ -706,12 +750,13 @@ let replay_cmd =
   in
   let run net trace_file export mode discipline levels slots arrival service
       cancel slack threshold defer trans faults mtbf mttr granularity
-      heartbeat c =
+      heartbeat arbiter vq_depth flits c =
     let module Engine = Rsin_engine.Engine in
     if levels < 0 then begin
       Printf.eprintf "rsin: --priority-levels must be >= 0\n";
       exit 1
     end;
+    if mode = `Packet then check_packet_args ~vq_depth ~flits;
     let trace =
       match trace_file with
       | Some file ->
@@ -785,6 +830,68 @@ let replay_cmd =
       exit 1
     end;
     with_obs c.trace_out c.trace_format @@ fun obs ->
+    if mode = `Packet then begin
+      let module Preplay = Rsin_packet.Replay in
+      let tasks =
+        List.filter_map
+          (function
+            | Workload.Arrive { t; proc; service; _ } ->
+              Some { Preplay.arrival = t; proc; service; flits }
+            | Workload.Cancel _ | Workload.Fault _ | Workload.Repair _ -> None)
+          trace
+      in
+      let cancels =
+        List.length
+          (List.filter (function Workload.Cancel _ -> true | _ -> false) trace)
+      in
+      if cancels > 0 then
+        Printf.printf
+          "note: %d cancel event(s) ignored (a bound packet task cannot be \
+           withdrawn)\n"
+          cancels;
+      let fault_schedule =
+        List.filter_map
+          (function
+            | Workload.Fault { t; element; _ } -> Some (t, Fault.down_of element)
+            | Workload.Repair { t; element; _ } -> Some (t, Fault.up_of element)
+            | Workload.Arrive _ | Workload.Cancel _ -> None)
+          trace
+      in
+      let r =
+        Preplay.run ?obs ?vq_depth ~faults:fault_schedule
+          ~arbiter:(Rsin_packet.Arbiter.get arbiter)
+          (Prng.create c.seed) net tasks
+      in
+      Printf.printf "packet fabric: arbiter=%s vq-depth=%s flits=%d\n" arbiter
+        (match vq_depth with Some k -> string_of_int k | None -> "unbounded")
+        flits;
+      Table.print
+        ~header:[ "metric"; "packet" ]
+        ([ ("horizon (slots)", string_of_int r.Preplay.horizon);
+           ("arrivals", string_of_int r.Preplay.arrivals);
+           ("bound", string_of_int r.Preplay.bound);
+           ("completed", string_of_int r.Preplay.completed);
+           ("dropped", string_of_int r.Preplay.dropped);
+           ("left pending", string_of_int r.Preplay.left_pending);
+           ("mean response (slots)", Table.ffix 3 r.Preplay.mean_response);
+           ("p95 response (slots)", Table.ffix 3 r.Preplay.p95_response);
+           ("max response (slots)", string_of_int r.Preplay.max_response);
+           ("throughput (tasks/slot)", Table.ffix 3 r.Preplay.throughput);
+           ("serving utilization", Table.fpct r.Preplay.serving_utilization);
+           ("reserved utilization", Table.fpct r.Preplay.reserved_utilization);
+           ("reserved idle", Table.fpct r.Preplay.reserved_idle);
+           ("arbiter grants", string_of_int r.Preplay.grants);
+           ("arbiter conflicts", string_of_int r.Preplay.conflicts);
+           ("flits injected", string_of_int r.Preplay.injected_flits);
+           ("flits delivered", string_of_int r.Preplay.delivered_flits);
+           ("flits dropped", string_of_int r.Preplay.dropped_flits) ]
+         @ (if has_faults then
+              [ ("faults applied", string_of_int r.Preplay.faults_applied);
+                ("repairs applied", string_of_int r.Preplay.repairs_applied) ]
+            else [])
+        |> List.map (fun (a, b) -> [ a; b ]))
+    end
+    else begin
     let go m =
       (* The heartbeat combines the per-slot event pulse with running
          cycle tallies (the engine publishes its counters only at the
@@ -818,6 +925,7 @@ let replay_cmd =
       | `Rebuild -> [ go Engine.Rebuild ]
       | `Token -> [ go Engine.Token ]
       | `Both -> [ go Engine.Warm; go Engine.Rebuild ]
+      | `Packet -> assert false (* handled above *)
     in
     (* Uniform output is pinned by the PR-2 cram test; only the new
        discipline announces itself. *)
@@ -852,13 +960,14 @@ let replay_cmd =
              ("victim circuits", icell (fun r -> r.Engine.victims));
              ("mean re-admission wait", fcell (fun r -> r.Engine.mean_readmission)) ]
          else []));
-    match reports with
+    (match reports with
     | [ w; rb ] when rb.Engine.solver_work > 0 ->
       Printf.printf "warm start saves %s of rebuild solver work\n"
         (Table.fpct
            (1. -. float_of_int w.Engine.solver_work
                   /. float_of_int rb.Engine.solver_work))
-    | _ -> ()
+    | _ -> ())
+    end
   in
   Cmd.v
     (Cmd.info "replay"
@@ -868,7 +977,8 @@ let replay_cmd =
       const run $ net_arg $ trace_arg $ export_arg $ mode_arg $ discipline_arg
       $ levels_arg $ slots_arg $ arrival_arg $ service_arg $ cancel_arg
       $ slack_arg $ threshold_arg $ defer_arg $ trans_arg $ faults_arg
-      $ mtbf_arg $ mttr_arg $ granularity_arg $ heartbeat_arg $ common_term)
+      $ mtbf_arg $ mttr_arg $ granularity_arg $ heartbeat_arg $ arbiter_arg
+      $ vq_depth_arg $ flits_arg ~default:4 $ common_term)
 
 (* --- metrics ------------------------------------------------------------------ *)
 
@@ -1253,6 +1363,100 @@ let gates_cmd =
        ~doc:"Compile the network to a gate-level scheduler and run a snapshot")
     Term.(const run $ net_arg $ requests_arg $ free_arg $ pre_arg $ common_term)
 
+(* --- saturate ---------------------------------------------------------------- *)
+
+let saturate_cmd =
+  let loads_arg =
+    let loads_conv =
+      Arg.conv
+        ( (fun s ->
+            let parts = String.split_on_char ',' (String.trim s) in
+            let parsed = List.filter_map float_of_string_opt parts in
+            if List.length parsed = List.length parts && parts <> [] then
+              Ok parsed
+            else Error (`Msg "expected a comma-separated list of loads")),
+          fun fmt l ->
+            Format.fprintf fmt "%s"
+              (String.concat "," (List.map string_of_float l)) )
+    in
+    Arg.(
+      value
+      & opt loads_conv [ 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9; 1.0 ]
+      & info [ "loads" ] ~docv:"L,L,..."
+          ~doc:"Offered loads to sweep (task arrival probability per \
+                processor per slot, each in [0,1]; each task carries \
+                $(b,--flits) flits).")
+  in
+  let slots_arg =
+    Arg.(
+      value & opt int 2000
+      & info [ "slots" ] ~doc:"Measured slots per load point.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also write the curve as a JSON document to $(docv).")
+  in
+  let run net arbiter vq_depth flits loads slots json c =
+    if slots < 1 then begin
+      Printf.eprintf "rsin: --slots must be >= 1\n";
+      exit 1
+    end;
+    if List.exists (fun l -> l < 0. || l > 1.) loads then begin
+      Printf.eprintf "rsin: every load must be in [0, 1]\n";
+      exit 1
+    end;
+    check_packet_args ~vq_depth ~flits;
+    with_obs c.trace_out c.trace_format @@ fun obs ->
+    let module Sweep = Rsin_packet.Sweep in
+    let points =
+      Sweep.saturation ?obs ?vq_depth ~flits
+        ~arbiter:(Rsin_packet.Arbiter.get arbiter)
+        (Prng.create c.seed) net ~slots ~loads
+    in
+    Printf.printf "saturation: net=%s arbiter=%s vq-depth=%s flits=%d slots=%d\n"
+      (Network.name net) arbiter
+      (match vq_depth with Some k -> string_of_int k | None -> "unbounded")
+      flits slots;
+    Table.print ~align:Sweep.point_align ~header:Sweep.point_header
+      (List.map Sweep.point_row points);
+    match json with
+    | None -> ()
+    | Some file ->
+      let doc =
+        Sweep.to_json
+          ~meta:
+            [ ("net", Rsin_util.Json.Str (Network.name net));
+              ("arbiter", Rsin_util.Json.Str arbiter);
+              ( "vq_depth",
+                match vq_depth with
+                | Some k -> Rsin_util.Json.Num (float_of_int k)
+                | None -> Rsin_util.Json.Null );
+              ("flits", Rsin_util.Json.Num (float_of_int flits));
+              ("slots", Rsin_util.Json.Num (float_of_int slots));
+              ("seed", Rsin_util.Json.Num (float_of_int c.seed)) ]
+          points
+      in
+      (try
+         let oc = open_out file in
+         output_string oc (Rsin_util.Json.to_string doc);
+         output_char oc '\n';
+         close_out oc
+       with Sys_error msg ->
+         Printf.eprintf "rsin: cannot write JSON: %s\n" msg;
+         exit 1);
+      Printf.printf "json: %d point(s) -> %s\n" (List.length points) file
+  in
+  Cmd.v
+    (Cmd.info "saturate"
+       ~doc:"Sweep offered load on the buffered packet fabric and print the \
+             saturation (throughput/latency) curve")
+    Term.(
+      const run $ net_arg $ arbiter_arg $ vq_depth_arg $ flits_arg ~default:1
+      $ loads_arg $ slots_arg $ json_arg $ common_term)
+
 (* --- show -------------------------------------------------------------------- *)
 
 let show_cmd =
@@ -1316,7 +1520,7 @@ let () =
     Cmd.group
       (Cmd.info "rsin" ~doc ~version:"1.0.0")
       [ info_cmd; dot_cmd; schedule_cmd; trace_cmd; blocking_cmd; simulate_cmd;
-        replay_cmd; metrics_cmd; perf_cmd; props_cmd; perm_cmd; gates_cmd;
-        show_cmd; taskgraph_cmd ]
+        replay_cmd; saturate_cmd; metrics_cmd; perf_cmd; props_cmd; perm_cmd;
+        gates_cmd; show_cmd; taskgraph_cmd ]
   in
   exit (Cmd.eval main)

@@ -1,0 +1,137 @@
+type grant = { input : int; output : int }
+
+type instance = {
+  fan_in : int;
+  fan_out : int;
+  arbitrate : bool array array -> grant list;
+}
+
+module type S = sig
+  val name : string
+  val create : fan_in:int -> fan_out:int -> instance
+end
+
+let check_dims ~fan_in ~fan_out =
+  if fan_in < 1 then invalid_arg "Arbiter: fan_in must be >= 1";
+  if fan_out < 1 then invalid_arg "Arbiter: fan_out must be >= 1"
+
+module Naive_rr = struct
+  let name = "rr"
+
+  let create ~fan_in ~fan_out =
+    check_dims ~fan_in ~fan_out;
+    let ptr = ref 0 in
+    let arbitrate requests =
+      let taken = Array.make fan_out false in
+      let grants = ref [] in
+      for k = 0 to fan_in - 1 do
+        let i = (!ptr + k) mod fan_in in
+        let chosen = ref (-1) in
+        let j = ref 0 in
+        while !chosen < 0 && !j < fan_out do
+          let o = (!ptr + !j) mod fan_out in
+          if requests.(i).(o) && not taken.(o) then chosen := o;
+          incr j
+        done;
+        if !chosen >= 0 then begin
+          taken.(!chosen) <- true;
+          grants := { input = i; output = !chosen } :: !grants
+        end
+      done;
+      (* The pointer rotates unconditionally — every box under the same
+         symmetric load keeps preferring the same ports in lockstep. *)
+      ptr := (!ptr + 1) mod max fan_in fan_out;
+      List.rev !grants
+    in
+    { fan_in; fan_out; arbitrate }
+end
+
+let islip_with_iterations ~iterations ~fan_in ~fan_out =
+  check_dims ~fan_in ~fan_out;
+  if iterations < 1 then invalid_arg "Arbiter: iterations must be >= 1";
+  let grant_ptr = Array.make fan_out 0 in
+  let accept_ptr = Array.make fan_in 0 in
+  let arbitrate requests =
+    let in_matched = Array.make fan_in false in
+    let out_matched = Array.make fan_out false in
+    (* offers.(i) = output that granted input i this iteration, or -1 *)
+    let offered = Array.make fan_in (-1) in
+    let grants = ref [] in
+    let progress = ref true in
+    let iter = ref 0 in
+    while !progress && !iter < iterations do
+      progress := false;
+      Array.fill offered 0 fan_in (-1);
+      (* Grant phase: every unmatched output picks, round-robin from its
+         grant pointer, the first unmatched input requesting it. An
+         input can collect several grants; the accept phase keeps one. *)
+      for o = 0 to fan_out - 1 do
+        if not out_matched.(o) then begin
+          let winner = ref (-1) in
+          let k = ref 0 in
+          while !winner < 0 && !k < fan_in do
+            let i = (grant_ptr.(o) + !k) mod fan_in in
+            if (not in_matched.(i)) && requests.(i).(o) then winner := i;
+            incr k
+          done;
+          match !winner with
+          | -1 -> ()
+          | i ->
+            (* Accept phase folded in: input i accepts the granting
+               output closest to its accept pointer, so remember only
+               the best offer seen so far. *)
+            let better =
+              offered.(i) < 0
+              ||
+              let dist o' = (o' - accept_ptr.(i) + fan_out) mod fan_out in
+              dist o < dist offered.(i)
+            in
+            if better then offered.(i) <- o
+        end
+      done;
+      for i = 0 to fan_in - 1 do
+        match offered.(i) with
+        | -1 -> ()
+        | o ->
+          in_matched.(i) <- true;
+          out_matched.(o) <- true;
+          grants := { input = i; output = o } :: !grants;
+          progress := true;
+          (* Pointers advance only on a first-iteration accepted grant:
+             the desynchronization rule that makes iSLIP fair. *)
+          if !iter = 0 then begin
+            grant_ptr.(o) <- (i + 1) mod fan_in;
+            accept_ptr.(i) <- (o + 1) mod fan_out
+          end
+      done;
+      incr iter
+    done;
+    List.rev !grants
+  in
+  { fan_in; fan_out; arbitrate }
+
+module Islip = struct
+  let name = "islip"
+
+  let create ~fan_in ~fan_out =
+    check_dims ~fan_in ~fan_out;
+    (* Enough iterations to converge: iSLIP adds at least one match per
+       productive round, so max(fan_in, fan_out) rounds reach a maximal
+       matching. *)
+    islip_with_iterations ~iterations:(max fan_in fan_out) ~fan_in ~fan_out
+end
+
+let all : (module S) list = [ (module Naive_rr); (module Islip) ]
+
+let names () = List.map (fun (module A : S) -> A.name) all
+
+let find name =
+  List.find_opt (fun (module A : S) -> A.name = name) all
+
+let get name =
+  match find name with
+  | Some a -> a
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Arbiter.get: unknown arbiter %S (known: %s)" name
+         (String.concat ", " (names ())))

@@ -1,0 +1,66 @@
+(** Per-cycle crossbar arbitration for the buffered packet fabric.
+
+    Every switchbox of the fabric holds one {!instance}: each cycle the
+    fabric presents the box's virtual-output-queue request matrix
+    ([requests.(i).(o)] is true when input [i] has a head flit for
+    output [o] that the downstream buffer can accept) and the arbiter
+    answers with a conflict-free partial matching — at most one grant
+    per input and per output, grants only where requested. Instances
+    are stateful: the rotation pointers that decide who wins a conflict
+    live inside the closure, so fairness properties are per-box.
+
+    Arbiters are registered as first-class modules behind stable names,
+    mirroring {!Rsin_flow.Solver}: benches and the CLI select one from
+    a string and the [--help] text cannot drift from the algorithms
+    actually linked in. *)
+
+type grant = { input : int; output : int }
+
+type instance = {
+  fan_in : int;
+  fan_out : int;
+  arbitrate : bool array array -> grant list;
+      (** [arbitrate requests] returns a matching over the [fan_in ×
+          fan_out] request matrix, in grant order. Every returned
+          matching is {e maximal}: no input–output pair with a pending
+          request is left with both sides unmatched (work
+          conservation). The matrix is not mutated. *)
+}
+
+module type S = sig
+  val name : string
+  (** Registry key, e.g. ["islip"]. *)
+
+  val create : fan_in:int -> fan_out:int -> instance
+end
+
+module Naive_rr : S
+(** Single rotating priority: one box-wide pointer advanced every cycle
+    (granted or not) decides both which input is served first and which
+    output each input prefers. Work conserving, but the pointers of
+    independent boxes stay synchronized under symmetric load — the
+    classical drawback iSLIP's desynchronization repairs. *)
+
+module Islip : S
+(** McKeown's iSLIP: per-output grant pointers and per-input accept
+    pointers, iterated request/grant/accept rounds until no new match
+    is added (at most [max fan_in fan_out] iterations, which makes the
+    matching maximal). Pointers move only when a first-iteration grant
+    is accepted, which desynchronizes contending boxes and gives each
+    input a bounded wait under persistent demand. *)
+
+val islip_with_iterations :
+  iterations:int -> fan_in:int -> fan_out:int -> instance
+(** iSLIP cut off after [iterations] request/grant/accept rounds (>= 1);
+    fewer rounds than [max fan_in fan_out] may leave the matching
+    non-maximal. Exposed for the convergence tests. *)
+
+val all : (module S) list
+(** Every registered arbiter, in registry order: rr, islip. *)
+
+val names : unit -> string list
+
+val find : string -> (module S) option
+
+val get : string -> (module S)
+(** Like {!find} but raises [Invalid_argument] listing the known names. *)

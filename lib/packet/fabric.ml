@@ -1,0 +1,380 @@
+module Network = Rsin_topology.Network
+module Metrics = Rsin_obs.Metrics
+
+type flit = { task : int; dest : int }
+
+type port_dst = To_res of int | To_box of int * int  (* box, in port *)
+
+type task_state = {
+  offered_at : int;
+  mutable remaining : int;
+  mutable dropped : bool;
+}
+
+type event =
+  | Delivered of { task : int; dest : int }
+  | Dropped of { task : int; dest : int }
+
+type stats = {
+  offered_flits : int;
+  injected_flits : int;
+  delivered_flits : int;
+  dropped_flits : int;
+  grants : int;
+  conflicts : int;
+  delivered_tasks : int;
+  dropped_tasks : int;
+  buffered_flits : int;
+  entry_flits : int;
+}
+
+type box_handles = { h_grants : Metrics.counter; h_conflicts : Metrics.counter }
+
+type obs_handles = {
+  g_grants : Metrics.counter;
+  g_conflicts : Metrics.counter;
+  g_delivered : Metrics.counter;
+  g_dropped : Metrics.counter;
+  g_injected : Metrics.counter;
+  g_delay : Metrics.histogram;
+  g_occ : Metrics.histogram;
+  g_buffered : Metrics.gauge;
+  g_box : box_handles array;
+}
+
+type t = {
+  net : Network.t;
+  mutable routing : Routing.t;
+  vq_depth : int;  (* max_int = unbounded *)
+  arbs : Arbiter.instance array;
+  voq : flit Queue.t array array array;  (* box, in port, out port *)
+  entry : flit Queue.t array;            (* per processor *)
+  port_dst : port_dst array array;       (* box, out port *)
+  entry_port : (int * int) array;        (* per processor: stage-0 box, in port *)
+  tasks : (int, task_state) Hashtbl.t;
+  mutable now : int;
+  mutable s_offered : int;
+  mutable s_injected : int;
+  mutable s_delivered : int;
+  mutable s_dropped : int;
+  mutable s_grants : int;
+  mutable s_conflicts : int;
+  mutable s_delivered_tasks : int;
+  mutable s_dropped_tasks : int;
+  mutable buffered : int;  (* flits in VOQs *)
+  mutable entry_count : int;
+  handles : obs_handles option;
+}
+
+let create ?obs ?vq_depth ~arbiter net =
+  let module A = (val arbiter : Arbiter.S) in
+  let vq_depth =
+    match vq_depth with
+    | None -> max_int
+    | Some d when d >= 1 -> d
+    | Some _ -> invalid_arg "Fabric.create: vq_depth must be >= 1"
+  in
+  let nb = Network.n_boxes net and np = Network.n_procs net in
+  let arbs =
+    Array.init nb (fun b ->
+        let spec = Network.box_spec net b in
+        A.create ~fan_in:spec.Network.fan_in ~fan_out:spec.Network.fan_out)
+  in
+  let voq =
+    Array.init nb (fun b ->
+        let spec = Network.box_spec net b in
+        Array.init spec.Network.fan_in (fun _ ->
+            Array.init spec.Network.fan_out (fun _ -> Queue.create ())))
+  in
+  let port_dst =
+    Array.init nb (fun b ->
+        Array.map
+          (fun l ->
+            match Network.link_dst net l with
+            | Network.Res r -> To_res r
+            | Network.Box_in (b', p') -> To_box (b', p')
+            | Network.Proc _ | Network.Box_out _ ->
+              invalid_arg "Fabric.create: malformed network")
+          (Network.box_out_links net b))
+  in
+  let entry_port =
+    Array.init np (fun p ->
+        match Network.link_dst net (Network.proc_link net p) with
+        | Network.Box_in (b, port) -> (b, port)
+        | Network.Res _ | Network.Proc _ | Network.Box_out _ ->
+          invalid_arg "Fabric.create: processor not wired to a switchbox")
+  in
+  let handles =
+    Option.map
+      (fun (o : Rsin_obs.Obs.t) ->
+        let m = o.Rsin_obs.Obs.metrics in
+        { g_grants = Metrics.counter m "packet.grants";
+          g_conflicts = Metrics.counter m "packet.conflicts";
+          g_delivered = Metrics.counter m "packet.delivered_flits";
+          g_dropped = Metrics.counter m "packet.dropped_flits";
+          g_injected = Metrics.counter m "packet.injected_flits";
+          g_delay = Metrics.histogram m "packet.delay";
+          g_occ = Metrics.histogram m "packet.voq_occupancy";
+          g_buffered = Metrics.gauge m "packet.buffered";
+          g_box =
+            Array.init nb (fun b ->
+                { h_grants =
+                    Metrics.counter m (Printf.sprintf "packet.box%d.grants" b);
+                  h_conflicts =
+                    Metrics.counter m
+                      (Printf.sprintf "packet.box%d.conflicts" b) }) })
+      obs
+  in
+  { net; routing = Routing.build net; vq_depth; arbs; voq; entry = Array.init np (fun _ -> Queue.create ());
+    port_dst; entry_port; tasks = Hashtbl.create 256; now = 0;
+    s_offered = 0; s_injected = 0; s_delivered = 0; s_dropped = 0;
+    s_grants = 0; s_conflicts = 0; s_delivered_tasks = 0; s_dropped_tasks = 0;
+    buffered = 0; entry_count = 0; handles }
+
+let routing t = t.routing
+let now t = t.now
+
+let offer t ~proc ~task ~dest ~flits =
+  if flits < 1 then invalid_arg "Fabric.offer: flits must be >= 1";
+  if dest < 0 || dest >= Routing.n_res t.routing then
+    invalid_arg "Fabric.offer: dest out of range";
+  if Hashtbl.mem t.tasks task then invalid_arg "Fabric.offer: duplicate task id";
+  Hashtbl.replace t.tasks task
+    { offered_at = t.now; remaining = flits; dropped = false };
+  for _ = 1 to flits do
+    Queue.push { task; dest } t.entry.(proc)
+  done;
+  t.s_offered <- t.s_offered + flits;
+  t.entry_count <- t.entry_count + flits
+
+(* Discard a flit of an already-dropped task. *)
+let discard t ~entry =
+  t.s_dropped <- t.s_dropped + 1;
+  if entry then t.entry_count <- t.entry_count - 1
+  else t.buffered <- t.buffered - 1;
+  Option.iter (fun h -> Metrics.incr h.g_dropped) t.handles
+
+(* Head of [q] skipping (and discarding) flits of dropped tasks. *)
+let rec live_head t ~entry q =
+  match Queue.peek_opt q with
+  | None -> None
+  | Some f ->
+    let st = Hashtbl.find t.tasks f.task in
+    if st.dropped then begin
+      ignore (Queue.pop q);
+      discard t ~entry;
+      live_head t ~entry q
+    end
+    else Some (f, st)
+
+let drop_task t events f (st : task_state) =
+  if not st.dropped then begin
+    st.dropped <- true;
+    t.s_dropped_tasks <- t.s_dropped_tasks + 1;
+    events := Dropped { task = f.task; dest = f.dest } :: !events
+  end
+
+(* Candidate VOQ at box [b], input [i], for [dest]: the least-occupied
+   routable output port with space (ties to the lowest port). *)
+let choose_voq t b i dest =
+  let cands = Routing.ports t.routing ~box:b ~dest in
+  let best = ref (-1) and best_len = ref max_int in
+  Array.iter
+    (fun o ->
+      let len = Queue.length t.voq.(b).(i).(o) in
+      if len < t.vq_depth && len < !best_len then begin
+        best := o;
+        best_len := len
+      end)
+    cands;
+  if !best < 0 then None else Some !best
+
+let deliver t events f (st : task_state) =
+  t.s_delivered <- t.s_delivered + 1;
+  Option.iter (fun h -> Metrics.incr h.g_delivered) t.handles;
+  st.remaining <- st.remaining - 1;
+  if st.remaining = 0 then begin
+    t.s_delivered_tasks <- t.s_delivered_tasks + 1;
+    events := Delivered { task = f.task; dest = f.dest } :: !events;
+    Option.iter
+      (fun h ->
+        Metrics.observe h.g_delay (float_of_int (t.now - st.offered_at + 1)))
+      t.handles;
+    (* A completed task has no flits left anywhere — safe to forget. *)
+    Hashtbl.remove t.tasks f.task
+  end
+
+let step t =
+  let events = ref [] in
+  (* Downstream stages first: space freed this cycle propagates backward
+     while every flit advances at most one hop. *)
+  for s = Network.stages t.net - 1 downto 0 do
+    List.iter
+      (fun b ->
+        if Network.box_up t.net b then begin
+          let arb = t.arbs.(b) in
+          let fan_in = arb.Arbiter.fan_in and fan_out = arb.Arbiter.fan_out in
+          let requests = Array.make_matrix fan_in fan_out false in
+          let outs = Network.box_out_links t.net b in
+          let any = ref false in
+          for i = 0 to fan_in - 1 do
+            for o = 0 to fan_out - 1 do
+              match live_head t ~entry:false t.voq.(b).(i).(o) with
+              | None -> ()
+              | Some (f, _) ->
+                if Network.usable t.net outs.(o) then begin
+                  let ok =
+                    match t.port_dst.(b).(o) with
+                    | To_res _ -> true
+                    | To_box (b', i') -> choose_voq t b' i' f.dest <> None
+                  in
+                  if ok then begin
+                    requests.(i).(o) <- true;
+                    any := true
+                  end
+                end
+            done
+          done;
+          if !any then begin
+            let grants = arb.Arbiter.arbitrate requests in
+            let requesting = ref 0 in
+            for i = 0 to fan_in - 1 do
+              if Array.exists Fun.id requests.(i) then incr requesting
+            done;
+            let granted = List.length grants in
+            t.s_grants <- t.s_grants + granted;
+            t.s_conflicts <- t.s_conflicts + (!requesting - granted);
+            Option.iter
+              (fun h ->
+                Metrics.add h.g_grants granted;
+                Metrics.add h.g_conflicts (!requesting - granted);
+                Metrics.add h.g_box.(b).h_grants granted;
+                Metrics.add h.g_box.(b).h_conflicts (!requesting - granted))
+              t.handles;
+            List.iter
+              (fun { Arbiter.input = i; output = o } ->
+                let f = Queue.pop t.voq.(b).(i).(o) in
+                let st = Hashtbl.find t.tasks f.task in
+                match t.port_dst.(b).(o) with
+                | To_res _ ->
+                  t.buffered <- t.buffered - 1;
+                  deliver t events f st
+                | To_box (b', i') ->
+                  (* Eligibility was checked when the request matrix was
+                     built; nothing in between frees or fills this
+                     (box, input) — each physical link carries one
+                     grant per cycle. *)
+                  let o' = Option.get (choose_voq t b' i' f.dest) in
+                  Queue.push f t.voq.(b').(i').(o'))
+              grants
+          end
+        end)
+      (Network.boxes_in_stage t.net s)
+  done;
+  (* Injection: one flit per processor per cycle into its stage-0 box. *)
+  for p = 0 to Array.length t.entry - 1 do
+    match live_head t ~entry:true t.entry.(p) with
+    | None -> ()
+    | Some (f, st) ->
+      if Network.usable t.net (Network.proc_link t.net p) then begin
+        let b, port = t.entry_port.(p) in
+        if Array.length (Routing.ports t.routing ~box:b ~dest:f.dest) = 0 then
+          (* Destination unreachable: fail fast instead of wedging the
+             entry queue behind a task that can never route. *)
+          drop_task t events f st
+        else
+          match choose_voq t b port f.dest with
+          | None -> ()  (* backpressure: stage-0 VOQs full *)
+          | Some o ->
+            ignore (Queue.pop t.entry.(p));
+            t.entry_count <- t.entry_count - 1;
+            Queue.push f t.voq.(b).(port).(o);
+            t.buffered <- t.buffered + 1;
+            t.s_injected <- t.s_injected + 1;
+            Option.iter (fun h -> Metrics.incr h.g_injected) t.handles
+      end
+  done;
+  Option.iter
+    (fun h ->
+      Metrics.observe h.g_occ (float_of_int t.buffered);
+      Metrics.set h.g_buffered (float_of_int t.buffered))
+    t.handles;
+  t.now <- t.now + 1;
+  List.rev !events
+
+let refresh_health t =
+  t.routing <- Routing.build t.net;
+  let events = ref [] in
+  let nb = Network.n_boxes t.net in
+  for b = 0 to nb - 1 do
+    let outs = Network.box_out_links t.net b in
+    let fan_in = Array.length (Network.box_in_links t.net b) in
+    for i = 0 to fan_in - 1 do
+      for o = 0 to Array.length outs - 1 do
+        let q = t.voq.(b).(i).(o) in
+        if not (Queue.is_empty q) then begin
+          let flits = List.rev (Queue.fold (fun acc f -> f :: acc) [] q) in
+          Queue.clear q;
+          List.iter
+            (fun f ->
+              let st = Hashtbl.find t.tasks f.task in
+              if st.dropped then discard t ~entry:false
+              else
+                let cands = Routing.ports t.routing ~box:b ~dest:f.dest in
+                let still_routable =
+                  Network.usable t.net outs.(o)
+                  && Array.exists (fun c -> c = o) cands
+                  && Queue.length q < t.vq_depth
+                in
+                if still_routable then Queue.push f q
+                else begin
+                  (* Re-route onto a surviving candidate port of the
+                     same box, if one has room; otherwise the task is
+                     lost. *)
+                  let alt = ref (-1) in
+                  Array.iter
+                    (fun c ->
+                      if !alt < 0 && c <> o
+                         && Queue.length t.voq.(b).(i).(c) < t.vq_depth
+                      then alt := c)
+                    cands;
+                  if !alt >= 0 then Queue.push f t.voq.(b).(i).(!alt)
+                  else begin
+                    drop_task t events f st;
+                    discard t ~entry:false
+                  end
+                end)
+            flits
+        end
+      done
+    done
+  done;
+  (* Entry queues only shed flits of tasks dropped above; unreachable
+     destinations are handled (and may heal) at injection time. *)
+  Array.iter
+    (fun q ->
+      let flits = List.rev (Queue.fold (fun acc f -> f :: acc) [] q) in
+      Queue.clear q;
+      List.iter
+        (fun f ->
+          let st = Hashtbl.find t.tasks f.task in
+          if st.dropped then discard t ~entry:true else Queue.push f q)
+        flits)
+    t.entry;
+  List.rev !events
+
+let stats t =
+  { offered_flits = t.s_offered;
+    injected_flits = t.s_injected;
+    delivered_flits = t.s_delivered;
+    dropped_flits = t.s_dropped;
+    grants = t.s_grants;
+    conflicts = t.s_conflicts;
+    delivered_tasks = t.s_delivered_tasks;
+    dropped_tasks = t.s_dropped_tasks;
+    buffered_flits = t.buffered;
+    entry_flits = t.entry_count }
+
+let entry_backlog t p = Queue.length t.entry.(p)
+
+let in_flight t = t.buffered + t.entry_count

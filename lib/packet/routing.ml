@@ -1,0 +1,63 @@
+module Network = Rsin_topology.Network
+
+type t = {
+  n_res : int;
+  ports : int array array array;  (* ports.(b).(r) = candidate out ports *)
+  proc_ok : bool array array;     (* proc_ok.(p).(r) *)
+}
+
+let empty_ports : int array = [||]
+
+let build net =
+  let nb = Network.n_boxes net in
+  let nr = Network.n_res net in
+  let np = Network.n_procs net in
+  let nl = Network.n_links net in
+  let stages = Network.stages net in
+  let ports = Array.init nb (fun _ -> Array.make nr empty_ports) in
+  let proc_ok = Array.make_matrix np nr false in
+  (* reach.(l) = a flit entering link l can still reach the current
+     destination; computed per destination, last stage first, so each
+     box reads the verdicts of the links it feeds. *)
+  let reach = Array.make nl false in
+  for r = 0 to nr - 1 do
+    Array.fill reach 0 nl false;
+    let rl = Network.res_link net r in
+    if Network.usable net rl then reach.(rl) <- true;
+    for s = stages - 1 downto 0 do
+      List.iter
+        (fun b ->
+          if Network.box_up net b then begin
+            let outs = Network.box_out_links net b in
+            let cand = ref [] in
+            for p = Array.length outs - 1 downto 0 do
+              let l = outs.(p) in
+              if Network.usable net l && reach.(l) then cand := p :: !cand
+            done;
+            if !cand <> [] then begin
+              ports.(b).(r) <- Array.of_list !cand;
+              Array.iter
+                (fun l -> if Network.usable net l then reach.(l) <- true)
+                (Network.box_in_links net b)
+            end
+          end)
+        (Network.boxes_in_stage net s)
+    done;
+    for p = 0 to np - 1 do
+      proc_ok.(p).(r) <- reach.(Network.proc_link net p)
+    done
+  done;
+  { n_res = nr; ports; proc_ok }
+
+let n_res t = t.n_res
+
+let ports t ~box ~dest = t.ports.(box).(dest)
+
+let proc_reaches t ~proc ~dest = t.proc_ok.(proc).(dest)
+
+let reachable_dests t ~proc =
+  let out = ref [] in
+  for r = t.n_res - 1 downto 0 do
+    if t.proc_ok.(proc).(r) then out := r :: !out
+  done;
+  !out

@@ -1,0 +1,42 @@
+(** Destination-tag routing tables for the packet fabric.
+
+    A circuit-switched scheduler picks whole paths; a packet switchbox
+    only ever sees one flit and its destination address, so it needs a
+    local table: which of my output ports lead to resource [r]? This
+    module precomputes that table by backward reachability from every
+    resource port over the {e usable} elements of the network
+    ({!Rsin_topology.Network.usable} — the PR4 health flags), stage by
+    stage.
+
+    On delta-property networks (Omega, butterfly, baseline, ...) every
+    [(box, dest)] entry is a single port — classical destination-tag
+    self-routing. On multipath topologies (gamma, ADM, extra-stage
+    Omega, Clos, Beneš) entries list every port that still reaches the
+    destination, in ascending port order; the fabric picks among them
+    by buffer occupancy. After a fault, {!build} on the same network
+    yields the table of the surviving subnetwork: entries shrink (or
+    empty, making the destination unreachable) exactly where capacity
+    was lost. *)
+
+type t
+
+val build : Rsin_topology.Network.t -> t
+(** Routing table of the network as it is now: down links, boxes and
+    resource ports (and everything only they reached) are excluded.
+    O(n_res × n_links). *)
+
+val n_res : t -> int
+
+val ports : t -> box:int -> dest:int -> int array
+(** Output ports of [box] from which resource port [dest] is reachable,
+    ascending; [||] when the destination cannot be reached through this
+    box. The returned array is shared — do not mutate. *)
+
+val proc_reaches : t -> proc:int -> dest:int -> bool
+(** True when the processor's entry link leads to a stage-0 box that
+    still reaches [dest]. *)
+
+val reachable_dests : t -> proc:int -> int list
+(** Every resource port the processor can currently reach, ascending.
+    The uniform-destination traffic generators draw from this set so
+    offered load stays well-defined on a degraded network. *)

@@ -1,0 +1,156 @@
+module Network = Rsin_topology.Network
+module Prng = Rsin_util.Prng
+module Stats = Rsin_util.Stats
+module Table = Rsin_util.Table
+module Json = Rsin_util.Json
+
+type point = {
+  load : float;
+  offered_tasks : int;
+  delivered_tasks : int;
+  dropped_tasks : int;
+  accepted : float;
+  throughput : float;
+  mean_delay : float;
+  p95_delay : float;
+  max_delay : int;
+  conflicts : int;
+  in_flight : int;
+}
+
+let one_load ?obs ?vq_depth ~flits ~warmup ~drain ~arbiter rng net ~slots ~load =
+  let fabric = Fabric.create ?obs ?vq_depth ~arbiter net in
+  let np = Network.n_procs net in
+  let nr = Network.n_res net in
+  let routing = Fabric.routing fabric in
+  let dests =
+    Array.init np (fun p -> Array.of_list (Routing.reachable_dests routing ~proc:p))
+  in
+  let next_id = ref 0 in
+  (* task id -> offer slot, kept only for tasks offered in the window *)
+  let window = Hashtbl.create 256 in
+  let offered = ref 0 and delivered = ref 0 and dropped = ref 0 in
+  let delays = ref [] and max_delay = ref 0 in
+  let inject ~measured slot =
+    for p = 0 to np - 1 do
+      if Array.length dests.(p) > 0 && Prng.bernoulli rng load then begin
+        let id = !next_id in
+        incr next_id;
+        let dest = Prng.pick rng dests.(p) in
+        Fabric.offer fabric ~proc:p ~task:id ~dest ~flits;
+        if measured then begin
+          incr offered;
+          Hashtbl.replace window id slot
+        end
+      end
+    done
+  in
+  let handle slot = function
+    | Fabric.Delivered { task; _ } ->
+      (match Hashtbl.find_opt window task with
+      | Some at ->
+        Hashtbl.remove window task;
+        incr delivered;
+        let d = slot - at + 1 in
+        delays := float_of_int d :: !delays;
+        if d > !max_delay then max_delay := d
+      | None -> ())
+    | Fabric.Dropped { task; _ } ->
+      if Hashtbl.mem window task then begin
+        Hashtbl.remove window task;
+        incr dropped
+      end
+  in
+  for slot = 0 to warmup - 1 do
+    inject ~measured:false slot;
+    List.iter (handle slot) (Fabric.step fabric)
+  done;
+  let stats0 = Fabric.stats fabric in
+  for i = 0 to slots - 1 do
+    let slot = warmup + i in
+    inject ~measured:true slot;
+    List.iter (handle slot) (Fabric.step fabric)
+  done;
+  let stats1 = Fabric.stats fabric in
+  (* arrival-free drain so window tasks buffered at the cutoff can finish *)
+  let d = ref 0 in
+  while !d < drain && Hashtbl.length window > 0 do
+    let slot = warmup + slots + !d in
+    List.iter (handle slot) (Fabric.step fabric);
+    incr d
+  done;
+  let delays = Array.of_list !delays in
+  let fslots = float_of_int slots in
+  { load;
+    offered_tasks = !offered;
+    delivered_tasks = !delivered;
+    dropped_tasks = !dropped;
+    accepted =
+      float_of_int (stats1.Fabric.injected_flits - stats0.Fabric.injected_flits)
+      /. (fslots *. float_of_int np);
+    throughput =
+      float_of_int (stats1.Fabric.delivered_flits - stats0.Fabric.delivered_flits)
+      /. (fslots *. float_of_int nr);
+    mean_delay =
+      (if Array.length delays = 0 then nan
+       else Array.fold_left ( +. ) 0. delays /. float_of_int (Array.length delays));
+    p95_delay = Stats.percentile delays 95.;
+    max_delay = !max_delay;
+    conflicts = stats1.Fabric.conflicts - stats0.Fabric.conflicts;
+    in_flight = Fabric.in_flight fabric }
+
+let saturation ?obs ?vq_depth ?(flits = 1) ?warmup ?drain ~arbiter rng net
+    ~slots ~loads =
+  if slots < 1 then invalid_arg "Sweep.saturation: slots must be >= 1";
+  List.iter
+    (fun l ->
+      if l < 0. || l > 1. then
+        invalid_arg "Sweep.saturation: loads must be in [0, 1]")
+    loads;
+  let warmup = match warmup with Some w -> w | None -> slots / 4 in
+  let drain = match drain with Some d -> d | None -> 4 * slots in
+  let rngs = Prng.split_n rng (List.length loads) in
+  List.mapi
+    (fun i load ->
+      one_load ?obs ?vq_depth ~flits ~warmup ~drain ~arbiter rngs.(i) net
+        ~slots ~load)
+    loads
+
+let point_header =
+  [ "load"; "offered"; "delivered"; "dropped"; "accepted"; "throughput";
+    "mean_delay"; "p95_delay"; "max_delay"; "conflicts"; "in_flight" ]
+
+let point_align : Table.align list =
+  [ Table.Right; Right; Right; Right; Right; Right; Right; Right; Right;
+    Right; Right ]
+
+let point_row p =
+  [ Table.ffix 2 p.load;
+    string_of_int p.offered_tasks;
+    string_of_int p.delivered_tasks;
+    string_of_int p.dropped_tasks;
+    Table.ffix 4 p.accepted;
+    Table.ffix 4 p.throughput;
+    Table.ffix 2 p.mean_delay;
+    Table.ffix 2 p.p95_delay;
+    string_of_int p.max_delay;
+    string_of_int p.conflicts;
+    string_of_int p.in_flight ]
+
+let point_json p =
+  Json.Obj
+    [ ("load", Json.Num p.load);
+      ("offered_tasks", Json.Num (float_of_int p.offered_tasks));
+      ("delivered_tasks", Json.Num (float_of_int p.delivered_tasks));
+      ("dropped_tasks", Json.Num (float_of_int p.dropped_tasks));
+      ("accepted", Json.Num p.accepted);
+      ("throughput", Json.Num p.throughput);
+      ("mean_delay", Json.Num p.mean_delay);
+      ("p95_delay", Json.Num p.p95_delay);
+      ("max_delay", Json.Num (float_of_int p.max_delay));
+      ("conflicts", Json.Num (float_of_int p.conflicts));
+      ("in_flight", Json.Num (float_of_int p.in_flight)) ]
+
+let to_json ~meta points =
+  Json.Obj
+    [ ("meta", Json.Obj meta); ("points", Json.Arr (List.map point_json points)) ]

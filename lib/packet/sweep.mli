@@ -1,0 +1,58 @@
+(** Offered-load saturation sweeps over the packet fabric.
+
+    The standard switch-fabric characterization: drive every processor
+    with Bernoulli(load) single-task arrivals to uniformly random
+    reachable destinations, measure accepted throughput and delay over
+    a fixed window, repeat across a load grid. Below saturation
+    throughput tracks offered load; past it the curve flattens at the
+    fabric's saturation throughput, and the arbiter is what sets that
+    ceiling — iSLIP's desynchronized pointers beat the naive
+    synchronized round-robin exactly where the paper's banyan networks
+    start blocking (E33). *)
+
+type point = {
+  load : float;           (** offered load, flit/proc/slot *)
+  offered_tasks : int;    (** tasks offered during the measured window *)
+  delivered_tasks : int;  (** window tasks delivered (incl. during drain) *)
+  dropped_tasks : int;
+  accepted : float;       (** injected flits / (slots * n_procs) *)
+  throughput : float;     (** delivered flits / (slots * n_res) *)
+  mean_delay : float;     (** offer -> last-flit delivery, window tasks *)
+  p95_delay : float;
+  max_delay : int;
+  conflicts : int;        (** arbitration conflicts during the window *)
+  in_flight : int;        (** flits still buffered when the sweep stopped *)
+}
+
+val saturation :
+  ?obs:Rsin_obs.Obs.t ->
+  ?vq_depth:int ->
+  ?flits:int ->
+  ?warmup:int ->
+  ?drain:int ->
+  arbiter:(module Arbiter.S) ->
+  Rsin_util.Prng.t ->
+  Rsin_topology.Network.t ->
+  slots:int ->
+  loads:float list ->
+  point list
+(** One point per load, in order. Each point runs a {e fresh} fabric
+    for [warmup] (default [slots/4]) unmeasured slots, then [slots]
+    measured slots, then up to [drain] (default [4 * slots]) arrival-free
+    slots to let window tasks complete. [flits] (default 1) is the
+    packet size of every task. Each load draws from its own
+    {!Rsin_util.Prng.split_n} sub-stream of [rng], so the point set is
+    reproducible and independent of grid order. Requires [slots >= 1]
+    and every load in [\[0, 1\]]. *)
+
+(** {1 Rendering} *)
+
+val point_header : string list
+val point_align : Rsin_util.Table.align list
+val point_row : point -> string list
+(** Row for {!Rsin_util.Table.render}, matching {!point_header}. *)
+
+val to_json :
+  meta:(string * Rsin_util.Json.t) list -> point list -> Rsin_util.Json.t
+(** [{"meta": {...}, "points": [...]}] — the [rsin saturate --json]
+    document shape, pinned by the [xbar.t] cram test. *)

@@ -17,6 +17,7 @@ type metrics = {
   offered_load : float;
   serving_utilization : float;
   reserved_utilization : float;
+  reserved_idle : float;
   mean_response : float;
   mean_queue : float;
   completed : int;
@@ -61,7 +62,7 @@ type res_state = {
   mutable busy_until : int;     (* -1 when not serving *)
 }
 
-let run rng net params =
+let run ?obs rng net params =
   if params.arrival_prob < 0. || params.arrival_prob > 1. then
     invalid_arg "Packet_net.run: arrival_prob";
   if params.packets_per_task < 1 then invalid_arg "Packet_net.run: packets_per_task";
@@ -84,6 +85,7 @@ let run rng net params =
   let arrivals = ref 0 and completed = ref 0 in
   let responses = Stats.accum () and queue_depth = Stats.accum () in
   let serving_acc = Stats.accum () and reserved_acc = Stats.accum () in
+  let idle_acc = Stats.accum () in
   let horizon = params.warmup + params.slots in
   let measuring s = s >= params.warmup in
   (* stage-ordered boxes, downstream first so a packet moves at most one
@@ -111,7 +113,8 @@ let run rng net params =
           (match Hashtbl.find_opt arrival_of_task st.reserved_by with
           | Some t0 when measuring s ->
             incr completed;
-            Stats.observe responses (float_of_int (s - t0))
+            Stats.observe responses (float_of_int (s - t0));
+            Rsin_obs.Obs.observe obs "packet_net.response" (float_of_int (s - t0))
           | Some _ -> incr completed
           | None -> ());
           Hashtbl.remove arrival_of_task st.reserved_by;
@@ -178,23 +181,37 @@ let run rng net params =
     done;
     (* 6. measurements *)
     if measuring s then begin
-      let serving = ref 0 and reserved = ref 0 in
+      let serving = ref 0 and reserved = ref 0 and idle = ref 0 in
       Array.iter
         (fun st ->
           if st.busy_until >= 0 then incr serving;
-          if st.reserved_by >= 0 then incr reserved)
+          if st.reserved_by >= 0 then begin
+            incr reserved;
+            (* reserved but not serving: the packets are still in the
+               network, yet the resource is lost to everyone else *)
+            if st.busy_until < 0 then incr idle
+          end)
         ress;
       Stats.observe serving_acc (float_of_int !serving /. float_of_int nr);
       Stats.observe reserved_acc (float_of_int !reserved /. float_of_int nr);
+      Stats.observe idle_acc (float_of_int !idle /. float_of_int nr);
       let q = Array.fold_left (fun acc q -> acc + Queue.length q) 0 queues in
       Stats.observe queue_depth (float_of_int q /. float_of_int np)
     end
   done;
   let slots = float_of_int params.slots in
+  let serving_utilization = Stats.mean serving_acc in
+  let reserved_utilization = Stats.mean reserved_acc in
+  let reserved_idle = Stats.mean idle_acc in
+  Rsin_obs.Obs.count obs "packet_net.completed" !completed;
+  Rsin_obs.Obs.set_gauge obs "packet_net.serving" serving_utilization;
+  Rsin_obs.Obs.set_gauge obs "packet_net.reserved" reserved_utilization;
+  Rsin_obs.Obs.set_gauge obs "packet_net.reserved_idle" reserved_idle;
   { throughput = float_of_int !completed /. slots;
     offered_load = float_of_int !arrivals /. slots;
-    serving_utilization = Stats.mean serving_acc;
-    reserved_utilization = Stats.mean reserved_acc;
+    serving_utilization;
+    reserved_utilization;
+    reserved_idle;
     mean_response = (if Stats.count responses = 0 then nan else Stats.mean responses);
     mean_queue = Stats.mean queue_depth;
     completed = !completed }

@@ -40,13 +40,23 @@ type metrics = {
   offered_load : float;
   serving_utilization : float;   (** fraction of resources actually serving *)
   reserved_utilization : float;  (** serving or bound-and-waiting-for-packets *)
+  reserved_idle : float;
+      (** fraction of resource-slots bound to a task but not yet serving
+          — the address-mapping overhead of Section II, reported
+          directly instead of leaving callers to subtract the two
+          utilizations above. *)
   mean_response : float;         (** arrival to service completion, slots *)
   mean_queue : float;            (** tasks queued per processor *)
   completed : int;
 }
 
 val run :
+  ?obs:Rsin_obs.Obs.t ->
   Rsin_util.Prng.t -> Rsin_topology.Network.t -> params -> metrics
 (** Raises [Invalid_argument] on bad parameters or a network that is not
     self-routing (some box would need different output ports for the
-    same destination). The network is not modified. *)
+    same destination). The network is not modified. With [?obs] the
+    run reports [packet_net.completed] (counter), the
+    [packet_net.response] histogram, and gauges
+    [packet_net.serving] / [packet_net.reserved] /
+    [packet_net.reserved_idle] holding the final utilizations. *)

@@ -1,0 +1,86 @@
+The saturate subcommand sweeps offered load over the buffered VOQ
+packet fabric and prints one point per load. Below saturation the
+delivered throughput tracks the offered load; past the knee the curve
+flattens at the arbiter's ceiling:
+
+  $ rsin saturate omega:8 --loads 0.2,0.6,1.0 --slots 200 --seed 9 --arbiter islip --vq-depth 4
+  saturation: net=omega8 arbiter=islip vq-depth=4 flits=1 slots=200
+  load  offered  delivered  dropped  accepted  throughput  mean_delay  p95_delay  max_delay  conflicts  in_flight
+  ----  -------  ---------  -------  --------  ----------  ----------  ---------  ---------  ---------  ---------
+  0.20      333        333        0    0.2081      0.2100        4.26       7.00          7         65          0
+  0.60      933        933        0    0.5831      0.5837        5.81      15.00         15        501          0
+  1.00     1600       1600        0    0.8156      0.8094       42.35      96.00         96        680          0
+
+The naive round-robin arbiter saturates lower on the same seed — its
+box-wide pointers stay synchronized under symmetric load, repeating
+the same conflicts cycle after cycle, where iSLIP's per-port pointers
+desynchronize (E33):
+
+  $ rsin saturate omega:8 --loads 0.2,0.6,1.0 --slots 200 --seed 9 --arbiter rr --vq-depth 4
+  saturation: net=omega8 arbiter=rr vq-depth=4 flits=1 slots=200
+  load  offered  delivered  dropped  accepted  throughput  mean_delay  p95_delay  max_delay  conflicts  in_flight
+  ----  -------  ---------  -------  --------  ----------  ----------  ---------  ---------  ---------  ---------
+  0.20      333        333        0    0.2081      0.2100        4.28       7.00          7         65          0
+  0.60      933        933        0    0.5831      0.5831        5.86      16.00         16        519          0
+  1.00     1600       1600        0    0.7512      0.7512       54.75     123.00        123        768          0
+
+--json writes the machine-readable document for downstream plotting;
+its shape (meta block + one object per point) is pinned here:
+
+  $ rsin saturate omega:8 --loads 0.2,1.0 --slots 200 --seed 9 --arbiter islip --vq-depth 4 --json sat.json
+  saturation: net=omega8 arbiter=islip vq-depth=4 flits=1 slots=200
+  load  offered  delivered  dropped  accepted  throughput  mean_delay  p95_delay  max_delay  conflicts  in_flight
+  ----  -------  ---------  -------  --------  ----------  ----------  ---------  ---------  ---------  ---------
+  0.20      333        333        0    0.2081      0.2100        4.26       7.00          7         65          0
+  1.00     1600       1600        0    0.7744      0.7656       49.77     104.00        104        679          0
+  json: 2 point(s) -> sat.json
+  $ tr ',' '\n' < sat.json | head -8
+  {"meta":{"net":"omega8"
+  "arbiter":"islip"
+  "vq_depth":4
+  "flits":1
+  "slots":200
+  "seed":9}
+  "points":[{"load":0.20000000000000001
+  "offered_tasks":333
+
+The replay subcommand's packet mode serves a workload with the
+paper's Section-II packet semantics: every task binds a concrete
+resource before injection (address mapping) and the resource idles
+until the last flit arrives — reserved utilization far above serving:
+
+  $ rsin replay omega:8 --mode packet --slots 30 --arrival 0.3 --seed 7 --arbiter islip --vq-depth 4 --flits 3
+  packet fabric: arbiter=islip vq-depth=4 flits=3
+  metric                   packet
+  -----------------------  ------
+  horizon (slots)          98
+  arrivals                 76
+  bound                    76
+  completed                76
+  dropped                  0
+  left pending             0
+  mean response (slots)    35.526
+  p95 response (slots)     73.000
+  max response (slots)     73
+  throughput (tasks/slot)  0.776
+  serving utilization      37.24%
+  reserved utilization     90.05%
+  reserved idle            52.81%
+  arbiter grants           684
+  arbiter conflicts        27
+  flits injected           228
+  flits delivered          228
+  flits dropped            0
+
+Bad arguments fail fast, and the arbiter enum comes straight from the
+registry:
+
+  $ rsin saturate omega:8 --loads 0.2,1.5
+  rsin: every load must be in [0, 1]
+  [1]
+  $ rsin saturate omega:8 --vq-depth 0
+  rsin: --vq-depth must be >= 1
+  [1]
+  $ rsin saturate omega:8 --arbiter xbar 2>&1 | head -2
+  rsin: option '--arbiter': invalid value 'xbar', expected either 'rr' or
+        'islip'

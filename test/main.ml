@@ -22,6 +22,8 @@ let () =
       ("queueing", Test_queueing.suite);
       ("taskgraph", Test_taskgraph.suite);
       ("packet", Test_packet.suite);
+      ("arbiter", Test_arbiter.suite);
+      ("fabric", Test_fabric.suite);
       ("edge", Test_edge.suite);
       ("integration", Test_integration.suite);
       ("balance", Test_balance.suite);

@@ -1,0 +1,201 @@
+(* Crossbar arbiter properties: matching validity, maximality (work
+   conservation), iSLIP convergence and fairness, registry. *)
+
+module Arbiter = Rsin_packet.Arbiter
+
+let check = Alcotest.check
+
+let qtest name ?(count = 100) gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count gen prop)
+
+(* (fan_in, fan_out, request matrix) generator *)
+let matrix_gen =
+  QCheck.Gen.(
+    let* fi = int_range 1 6 in
+    let* fo = int_range 1 6 in
+    let* m = array_size (return fi) (array_size (return fo) bool) in
+    return (fi, fo, m))
+
+let matrix_print (fi, fo, m) =
+  Printf.sprintf "%dx%d %s" fi fo
+    (String.concat ";"
+       (Array.to_list
+          (Array.map
+             (fun row ->
+               String.concat ""
+                 (Array.to_list (Array.map (fun b -> if b then "1" else "0") row)))
+             m)))
+
+let matrix_arb = QCheck.make ~print:matrix_print matrix_gen
+
+let valid_matching ~fi ~fo requests grants =
+  let in_used = Array.make fi false and out_used = Array.make fo false in
+  List.for_all
+    (fun { Arbiter.input; output } ->
+      let ok =
+        input >= 0 && input < fi && output >= 0 && output < fo
+        && requests.(input).(output)
+        && (not in_used.(input))
+        && not out_used.(output)
+      in
+      in_used.(input) <- true;
+      out_used.(output) <- true;
+      ok)
+    grants
+
+let maximal ~fi ~fo requests grants =
+  let in_used = Array.make fi false and out_used = Array.make fo false in
+  List.iter
+    (fun { Arbiter.input; output } ->
+      in_used.(input) <- true;
+      out_used.(output) <- true)
+    grants;
+  let ok = ref true in
+  for i = 0 to fi - 1 do
+    for o = 0 to fo - 1 do
+      if requests.(i).(o) && (not in_used.(i)) && not out_used.(o) then
+        ok := false
+    done
+  done;
+  !ok
+
+let for_each_arbiter prop (fi, fo, m) =
+  List.for_all
+    (fun (module A : Arbiter.S) ->
+      let inst = A.create ~fan_in:fi ~fan_out:fo in
+      (* several rounds so the rotation pointers move *)
+      let ok = ref true in
+      for _ = 1 to 4 do
+        if not (prop ~fi ~fo m (inst.Arbiter.arbitrate m)) then ok := false
+      done;
+      !ok)
+    Arbiter.all
+
+let prop_valid = for_each_arbiter valid_matching
+let prop_maximal = for_each_arbiter maximal
+
+let prop_matrix_untouched (fi, fo, m) =
+  let copy = Array.map Array.copy m in
+  List.iter
+    (fun (module A : Arbiter.S) ->
+      let inst = A.create ~fan_in:fi ~fan_out:fo in
+      ignore (inst.Arbiter.arbitrate m))
+    Arbiter.all;
+  m = copy
+
+let prop_deterministic (fi, fo, m) =
+  List.for_all
+    (fun (module A : Arbiter.S) ->
+      let a = A.create ~fan_in:fi ~fan_out:fo in
+      let b = A.create ~fan_in:fi ~fan_out:fo in
+      let rounds = List.init 5 (fun _ -> a.Arbiter.arbitrate m) in
+      List.for_all (fun g -> b.Arbiter.arbitrate m = g) rounds)
+    Arbiter.all
+
+(* Cutting iSLIP's iterations can only shrink the matching of a fresh
+   instance; the registered module's iteration budget reaches maximality. *)
+let prop_islip_converges (fi, fo, m) =
+  let size k =
+    let inst = Arbiter.islip_with_iterations ~iterations:k ~fan_in:fi ~fan_out:fo in
+    List.length (inst.Arbiter.arbitrate m)
+  in
+  let full = max fi fo in
+  let ok = ref (valid_matching ~fi ~fo m
+      ((Arbiter.islip_with_iterations ~iterations:1 ~fan_in:fi ~fan_out:fo)
+         .Arbiter.arbitrate m))
+  in
+  for k = 1 to full - 1 do
+    if size k > size (k + 1) then ok := false
+  done;
+  let inst = Arbiter.islip_with_iterations ~iterations:full ~fan_in:fi ~fan_out:fo in
+  !ok && maximal ~fi ~fo m (inst.Arbiter.arbitrate m)
+
+(* Persistent demand: a fixed matrix giving every input at least one
+   request; over a long run no input is starved, for either arbiter. *)
+let persistent_gen =
+  QCheck.Gen.(
+    let* fi = int_range 2 5 in
+    let* fo = int_range 1 5 in
+    let* m = array_size (return fi) (array_size (return fo) bool) in
+    let* forced = array_size (return fi) (int_range 0 (fo - 1)) in
+    Array.iteri (fun i o -> m.(i).(o) <- true) forced;
+    return (fi, fo, m))
+
+let prop_no_starvation (fi, fo, m) =
+  List.for_all
+    (fun (module A : Arbiter.S) ->
+      let inst = A.create ~fan_in:fi ~fan_out:fo in
+      let served = Array.make fi 0 in
+      let cycles = 16 * fi * fo in
+      for _ = 1 to cycles do
+        List.iter
+          (fun { Arbiter.input; _ } -> served.(input) <- served.(input) + 1)
+          (inst.Arbiter.arbitrate m)
+      done;
+      Array.for_all (fun n -> n > 0) served)
+    Arbiter.all
+
+(* All inputs fighting for one output: iSLIP's accepted-grant pointer
+   update degrades to exact round-robin — perfectly fair shares. *)
+let test_islip_single_output_fair () =
+  let fi = 4 in
+  let inst = Arbiter.Islip.create ~fan_in:fi ~fan_out:1 in
+  let m = Array.make_matrix fi 1 true in
+  let served = Array.make fi 0 in
+  for _ = 1 to 64 do
+    match inst.Arbiter.arbitrate m with
+    | [ { Arbiter.input; output } ] ->
+      check Alcotest.int "output" 0 output;
+      served.(input) <- served.(input) + 1
+    | gs -> Alcotest.failf "expected one grant, got %d" (List.length gs)
+  done;
+  Array.iteri
+    (fun i n -> check Alcotest.int (Printf.sprintf "input %d share" i) 16 n)
+    served
+
+(* Full demand on a square box: maximal matching must be perfect. *)
+let test_full_demand_perfect () =
+  List.iter
+    (fun (module A : Arbiter.S) ->
+      let inst = A.create ~fan_in:4 ~fan_out:4 in
+      let m = Array.make_matrix 4 4 true in
+      for _ = 1 to 8 do
+        check Alcotest.int (A.name ^ " perfect") 4
+          (List.length (inst.Arbiter.arbitrate m))
+      done)
+    Arbiter.all
+
+let test_registry () =
+  check Alcotest.(list string) "names" [ "rr"; "islip" ] (Arbiter.names ());
+  (match Arbiter.find "islip" with
+  | Some (module A) -> check Alcotest.string "find" "islip" A.name
+  | None -> Alcotest.fail "islip not found");
+  check Alcotest.bool "find unknown" true (Arbiter.find "xbar" = None);
+  Alcotest.check_raises "get unknown"
+    (Invalid_argument "Arbiter.get: unknown arbiter \"xbar\" (known: rr, islip)")
+    (fun () -> ignore (Arbiter.get "xbar"))
+
+let test_bad_args () =
+  Alcotest.check_raises "fan_in" (Invalid_argument "Arbiter: fan_in must be >= 1")
+    (fun () -> ignore (Arbiter.Naive_rr.create ~fan_in:0 ~fan_out:2));
+  Alcotest.check_raises "iterations"
+    (Invalid_argument "Arbiter: iterations must be >= 1") (fun () ->
+      ignore (Arbiter.islip_with_iterations ~iterations:0 ~fan_in:2 ~fan_out:2))
+
+let suite =
+  [
+    qtest "matching is valid" matrix_arb prop_valid;
+    qtest "matching is maximal" matrix_arb prop_maximal;
+    qtest "request matrix not mutated" matrix_arb prop_matrix_untouched;
+    qtest "deterministic given history" matrix_arb prop_deterministic;
+    qtest "islip iteration monotone + converges" matrix_arb prop_islip_converges;
+    qtest "no starvation under persistent demand"
+      (QCheck.make ~print:matrix_print persistent_gen)
+      prop_no_starvation;
+    Alcotest.test_case "islip single hot output is fair" `Quick
+      test_islip_single_output_fair;
+    Alcotest.test_case "full demand gives perfect matching" `Quick
+      test_full_demand_perfect;
+    Alcotest.test_case "registry" `Quick test_registry;
+    Alcotest.test_case "argument validation" `Quick test_bad_args;
+  ]

@@ -69,6 +69,23 @@ let test_validation () =
   let m = Packet_net.run (Prng.create 1) (Builders.benes 8) params in
   check Alcotest.bool "benes runs packet-switched" true (m.Packet_net.completed > 0)
 
+let test_reserved_idle_gauge () =
+  (* reserved-but-idle is reported directly and exported as a gauge *)
+  let obs = Rsin_obs.Obs.create () in
+  let m = Packet_net.run ~obs (Prng.create 7) (Builders.omega 16)
+      { params with packets_per_task = 6; slots = 4000 } in
+  check (Alcotest.float 1e-9) "idle = reserved - serving"
+    (m.Packet_net.reserved_utilization -. m.Packet_net.serving_utilization)
+    m.Packet_net.reserved_idle;
+  check Alcotest.bool "idle overhead positive" true (m.Packet_net.reserved_idle > 0.);
+  let mreg = obs.Rsin_obs.Obs.metrics in
+  (match Rsin_obs.Metrics.find mreg "packet_net.reserved_idle" with
+  | Some (Rsin_obs.Metrics.Gauge g) ->
+    check (Alcotest.float 1e-9) "gauge matches" m.Packet_net.reserved_idle g
+  | _ -> Alcotest.fail "packet_net.reserved_idle gauge missing");
+  check Alcotest.int "completed counter" m.Packet_net.completed
+    (Rsin_obs.Metrics.get_counter mreg "packet_net.completed")
+
 let test_deterministic () =
   let run () = Packet_net.run (Prng.create 6) (Builders.omega 8) params in
   check Alcotest.int "same seed, same completions"
@@ -83,5 +100,6 @@ let suite =
     Alcotest.test_case "reservation overhead" `Quick test_reservation_overhead;
     Alcotest.test_case "single-packet tasks" `Quick test_single_packet_tasks;
     Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "reserved-idle gauge" `Quick test_reserved_idle_gauge;
     Alcotest.test_case "deterministic" `Quick test_deterministic;
   ]
