@@ -44,6 +44,7 @@ let experiments quick =
     ("engine_priority", fun () -> Engine_priority_bench.run ~quick ());
     ("engine_faults", fun () -> Fault_bench.run ~quick ());
     ("protocol", fun () -> Protocol_bench.run ~quick ());
+    ("csr", fun () -> Csr_bench.run ~quick ());
     ("micro", fun () -> Micro.run ());
   ]
 

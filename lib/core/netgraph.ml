@@ -23,6 +23,7 @@ type t = {
   link_of_arc_ : (int, int) Hashtbl.t; (* link arc -> network link *)
   arc_of_link_ : (int, int) Hashtbl.t; (* network link -> link arc *)
   link_arcs : (int * int) array;       (* (arc, link), in link-scan order *)
+  mutable csr_ : Rsin_flow.Csr.t option; (* lazy flat emission of [graph] *)
 }
 
 (* Shared free-link scan: one arc per link whose endpoints both survive
@@ -119,7 +120,8 @@ let compile ?bypass_cost net ~requests ~free =
   in
   let proc_of_node_, res_of_node_ = reverse_tables g ~procs ~ress in
   { net; graph = g; source; sink; bypass; procs; ress; boxes; sp; rt;
-    proc_of_node_; res_of_node_; link_of_arc_; arc_of_link_; link_arcs }
+    proc_of_node_; res_of_node_; link_of_arc_; arc_of_link_; link_arcs;
+    csr_ = None }
 
 let compile_full net =
   let np = Network.n_procs net and nr = Network.n_res net in
@@ -138,11 +140,28 @@ let compile_full net =
   in
   let proc_of_node_, res_of_node_ = reverse_tables g ~procs ~ress in
   { net; graph = g; source; sink; bypass = None; procs; ress; boxes; sp; rt;
-    proc_of_node_; res_of_node_; link_of_arc_; arc_of_link_; link_arcs }
+    proc_of_node_; res_of_node_; link_of_arc_; arc_of_link_; link_arcs;
+    csr_ = None }
 
 (* --- accessors ---------------------------------------------------------- *)
 
 let graph t = t.graph
+
+(* CSR emission: both compilers add every node and arc before the result
+   escapes, so the structure is final by the time anyone can ask — the
+   snapshot is taken once and then owns all scheduling state (the mirror
+   Graph goes stale; Incremental's Csr backend routes every state access
+   through the snapshot, and uses the Graph only structurally). Arc
+   indices are shared between the two representations, so sp/rt/link_arcs
+   address either one. *)
+let csr t =
+  match t.csr_ with
+  | Some c -> c
+  | None ->
+    let c = Rsin_flow.Csr.of_graph t.graph in
+    t.csr_ <- Some c;
+    c
+
 let source t = t.source
 let sink t = t.sink
 let bypass t = t.bypass

@@ -58,6 +58,16 @@ val compile_full : Rsin_topology.Network.t -> t
 (** {1 Accessors} *)
 
 val graph : t -> Rsin_flow.Graph.t
+
+val csr : t -> Rsin_flow.Csr.t
+(** Flat zero-allocation emission of {!graph}, built on first call and
+    cached. Graph arc indices address both representations, so the
+    link↔arc correspondence below applies to the CSR form unchanged.
+    The snapshot does not track later mutations of {!graph} (nor vice
+    versa): a caller that takes the CSR form owns all scheduling state
+    from then on — this is how {!Rsin_engine.Incremental}'s [Csr]
+    backend serves warm cycles without touching the mutable graph. *)
+
 val source : t -> Rsin_flow.Graph.node
 val sink : t -> Rsin_flow.Graph.node
 

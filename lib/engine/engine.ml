@@ -116,7 +116,19 @@ let run ?obs ?(config = default_config) ?(mode = Warm) ?(discipline = Uniform)
         | Uniform -> Incremental.Maxflow
         | Priority -> Incremental.Mincost
       in
-      Some (Incremental.create ~discipline:d net)
+      (* The solver registry names select the graph representation here:
+         the -csr pair runs the warm loop on the flat zero-allocation
+         core. Other registry solvers have no warm entry point — the
+         warm augment is inherently Dinic/SSP-shaped — so they keep the
+         default adjacency backend, as before. *)
+      let backend =
+        match solver with
+        | Some (module S : Rsin_flow.Solver.S)
+          when S.name = "dinic-csr" || S.name = "mincost-csr" ->
+          Incremental.Csr
+        | Some _ | None -> Incremental.Adjacency
+      in
+      Some (Incremental.create ~discipline:d ~backend net)
     | Rebuild | Token -> None
   in
   (* Engine-visible scheduling state. In Warm mode [requesting] and the

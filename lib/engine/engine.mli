@@ -136,8 +136,13 @@ val run :
     [solver] picks the max-flow solver a [Rebuild] + {!Uniform} cycle
     runs from scratch (any registry member, default Dinic). The [Warm]
     strategy is {e defined} by its incremental Dinic/min-cost
-    augmentation over the persistent graph, and [Priority] rebuilds are
-    min-cost by construction, so both ignore it.
+    augmentation over the persistent graph — but the registry's
+    ["dinic-csr"]/["mincost-csr"] names select {e where} that
+    augmentation runs: they switch the persistent graph to the flat
+    {!Rsin_flow.Csr} backend ({!Incremental.Csr}), whose warm cycles
+    perform zero minor-heap allocation inside the solver. Any other
+    registry solver is ignored by [Warm], as are all of them by
+    [Priority] rebuilds (min-cost by construction).
 
     [cycle_hook] is called once per entered cycle {e after} solving but
     {e before} the new circuits are established, so the network argument

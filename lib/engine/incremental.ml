@@ -1,6 +1,8 @@
 module Graph = Rsin_flow.Graph
+module Csr = Rsin_flow.Csr
 module Dinic = Rsin_flow.Dinic
 module Mincost = Rsin_flow.Mincost
+module Obs = Rsin_obs.Obs
 module Netgraph = Rsin_core.Netgraph
 module Network = Rsin_topology.Network
 
@@ -33,6 +35,16 @@ module Network = Rsin_topology.Network
 
 type discipline = Maxflow | Mincost
 
+(* Which representation holds the scheduling state. [Adjacency] is the
+   original mutable Graph; [Csr] routes every state access (capacity,
+   cost, flow, freeze/thaw) through the flat Netgraph.csr snapshot and
+   solves with the zero-allocation Csr.dinic / Csr.mincost cores, so a
+   warm cycle performs no minor-heap allocation inside the solver. The
+   Graph is still used *structurally* (adjacency iteration during
+   extraction) — the two representations share arc indices and the
+   topology never changes after compile_full, only capacities do. *)
+type backend = Adjacency | Csr
+
 type circuit = {
   proc : int;
   res : int;
@@ -43,17 +55,63 @@ type circuit = {
 type t = {
   ng : Netgraph.t;
   discipline : discipline;
+  csr : Csr.t option;                  (* Some iff backend = Csr *)
   frozen : bool array;                 (* per forward arc index a/2 *)
   mutable dirty : bool;
   mutable pending_ops : int;           (* capacity updates since last solve *)
   mutable total_work : int;            (* cumulative: updates + arcs scanned *)
 }
 
-let create ?(discipline = Maxflow) net =
+let create ?(discipline = Maxflow) ?(backend = Adjacency) net =
   let ng = Netgraph.compile_full net in
-  { ng; discipline;
+  let csr = match backend with Adjacency -> None | Csr -> Some (Netgraph.csr ng) in
+  { ng; discipline; csr;
     frozen = Array.make (Graph.arc_count (Netgraph.graph ng)) false;
     dirty = false; pending_ops = 0; total_work = 0 }
+
+let backend t = match t.csr with None -> Adjacency | Some _ -> Csr
+
+(* State dispatch: every capacity/cost/flow read or write goes through
+   exactly one of the two representations. *)
+let b_original_capacity t a =
+  match t.csr with
+  | None -> Graph.original_capacity (Netgraph.graph t.ng) a
+  | Some c -> Csr.original_capacity c a
+
+let b_flow t a =
+  match t.csr with
+  | None -> Graph.flow (Netgraph.graph t.ng) a
+  | Some c -> Csr.flow c a
+
+let b_cost t a =
+  match t.csr with
+  | None -> Graph.cost (Netgraph.graph t.ng) a
+  | Some c -> Csr.cost c a
+
+let b_set_capacity t a cap =
+  match t.csr with
+  | None -> Graph.set_capacity (Netgraph.graph t.ng) a cap
+  | Some c -> Csr.set_capacity c a cap
+
+let b_set_cost t a cost =
+  match t.csr with
+  | None -> Graph.set_cost (Netgraph.graph t.ng) a cost
+  | Some c -> Csr.set_cost c a cost
+
+let b_set_flow t a f =
+  match t.csr with
+  | None -> Graph.set_flow (Netgraph.graph t.ng) a f
+  | Some c -> Csr.set_flow c a f
+
+let b_freeze t a =
+  match t.csr with
+  | None -> Graph.freeze (Netgraph.graph t.ng) a
+  | Some c -> Csr.freeze c a
+
+let b_thaw t a =
+  match t.csr with
+  | None -> Graph.thaw (Netgraph.graph t.ng) a
+  | Some c -> Csr.thaw c a
 
 let graph t = Netgraph.graph t.ng
 let netgraph t = t.ng
@@ -84,8 +142,8 @@ let touch ?(enables = false) t =
 
 let set_switch t a on =
   let cap = if on then 1 else 0 in
-  if Graph.original_capacity (graph t) a <> cap then begin
-    Graph.set_capacity (graph t) a cap;
+  if b_original_capacity t a <> cap then begin
+    b_set_capacity t a cap;
     touch t ~enables:on
   end
 
@@ -97,8 +155,8 @@ let set_requesting t ?(priority = 0) p on =
   | Mincost ->
     (* Serving a high-priority request is a cheap path: cost -y_p. *)
     let cost = if on then -priority else 0 in
-    if Graph.cost (graph t) a <> cost then begin
-      Graph.set_cost (graph t) a cost;
+    if b_cost t a <> cost then begin
+      b_set_cost t a cost;
       touch t
     end);
   set_switch t a on
@@ -114,8 +172,8 @@ let set_link_usable t l on =
         "Incremental.set_link_usable: link carries a committed circuit \
          (release it first)";
     set_switch t a on
-let requesting t p = Graph.original_capacity (graph t) (sp_arc t p) = 1
-let resource_free t r = Graph.original_capacity (graph t) (rt_arc t r) = 1
+let requesting t p = b_original_capacity t (sp_arc t p) = 1
+let resource_free t r = b_original_capacity t (rt_arc t r) = 1
 
 (* Decompose only the flow added by the last augmentation: walk from the
    source along unfrozen forward arcs with undecomposed flow. Frozen
@@ -127,7 +185,7 @@ let extract_new t =
   let remaining = Array.make (Graph.arc_count g) 0 in
   let total = ref 0 in
   Graph.iter_forward_arcs g (fun a ->
-      if not t.frozen.(a / 2) then remaining.(a / 2) <- Graph.flow g a);
+      if not t.frozen.(a / 2) then remaining.(a / 2) <- b_flow t a);
   let np = Network.n_procs (Netgraph.network t.ng) in
   for p = 0 to np - 1 do
     let a = sp_arc t p in
@@ -175,7 +233,7 @@ let extract_new t =
       in
       List.iter
         (fun a ->
-          Graph.freeze g a;
+          b_freeze t a;
           t.frozen.(a / 2) <- true)
         arcs;
       { proc; res; links; arcs })
@@ -192,17 +250,32 @@ let solve ?obs t =
   if not t.dirty then { circuits = []; work = updates; skipped = true }
   else begin
     let scanned =
-      match t.discipline with
-      | Maxflow ->
+      match (t.csr, t.discipline) with
+      | None, Maxflow ->
         let _added, (st : Dinic.stats) =
           Dinic.augment ?obs (graph t) ~source:(source t) ~sink:(sink t)
         in
         st.arcs_scanned
-      | Mincost ->
+      | None, Mincost ->
         let r =
           Mincost.augment ?obs (graph t) ~source:(source t) ~sink:(sink t)
         in
         r.stats.arcs_scanned
+      | Some c, Maxflow ->
+        let _added = Csr.dinic c ~source:(source t) ~sink:(sink t) in
+        let s = Csr.last_stats c in
+        Obs.count obs "flow.dinic_csr.runs" 1;
+        Obs.count obs "flow.dinic_csr.phases" s.Csr.passes;
+        Obs.count obs "flow.dinic_csr.augmentations" s.Csr.augmentations;
+        Obs.count obs "flow.dinic_csr.arcs_scanned" s.Csr.arcs_scanned;
+        s.Csr.arcs_scanned
+      | Some c, Mincost ->
+        let _added = Csr.mincost c ~source:(source t) ~sink:(sink t) in
+        let s = Csr.last_stats c in
+        Obs.count obs "flow.mincost_csr.runs" 1;
+        Obs.count obs "flow.mincost_csr.augmentations" s.Csr.augmentations;
+        Obs.count obs "flow.mincost_csr.arcs_scanned" s.Csr.arcs_scanned;
+        s.Csr.arcs_scanned
     in
     t.dirty <- false;
     t.total_work <- t.total_work + scanned;
@@ -211,24 +284,25 @@ let solve ?obs t =
   end
 
 let release t (c : circuit) =
-  let g = graph t in
   List.iter
     (fun a ->
       if not t.frozen.(a / 2) then
         invalid_arg "Incremental.release: circuit not committed";
       t.frozen.(a / 2) <- false;
-      Graph.thaw g a;
-      Graph.set_flow g a 0;
+      b_thaw t a;
+      b_set_flow t a 0;
       t.pending_ops <- t.pending_ops + 1;
       t.total_work <- t.total_work + 1)
     c.arcs;
   (* The request was served and the resource enters service: switch both
      endpoint arcs off until the engine re-enables them. *)
-  Graph.set_capacity g (sp_arc t c.proc) 0;
-  if t.discipline = Mincost then Graph.set_cost g (sp_arc t c.proc) 0;
-  Graph.set_capacity g (rt_arc t c.res) 0;
+  b_set_capacity t (sp_arc t c.proc) 0;
+  if t.discipline = Mincost then b_set_cost t (sp_arc t c.proc) 0;
+  b_set_capacity t (rt_arc t c.res) 0;
   (* Freed links may unblock a request that was proved unroutable. *)
   t.dirty <- true
 
 let check t =
-  Graph.check_conservation (graph t) ~source:(source t) ~sink:(sink t)
+  match t.csr with
+  | None -> Graph.check_conservation (graph t) ~source:(source t) ~sink:(sink t)
+  | Some c -> Csr.check_conservation c ~source:(source t) ~sink:(sink t)

@@ -30,6 +30,21 @@ type discipline =
   | Mincost   (** Transformation 2 with priorities: among maximum
                   allocations, maximize the total served priority *)
 
+type backend =
+  | Adjacency
+      (** the original mutable {!Rsin_flow.Graph}, solved by the
+          allocating {!Rsin_flow.Dinic.augment} /
+          {!Rsin_flow.Mincost.augment} warm entries *)
+  | Csr
+      (** the flat {!Rsin_flow.Csr} emission of the same graph
+          ({!Rsin_core.Netgraph.csr}): every capacity/cost/flow update
+          and every solve runs on preallocated int arrays, so a warm
+          scheduling cycle performs zero minor-heap allocation inside
+          the solver. Faults, arrivals and releases remain O(1) array
+          writes. Allocation results are identical to [Adjacency] —
+          the differential tests in [test/test_csr.ml] pin this cycle
+          by cycle. *)
+
 type circuit = {
   proc : int;
   res : int;
@@ -45,11 +60,14 @@ type solve_result = {
   skipped : bool;           (** clean residual graph, solver not invoked *)
 }
 
-val create : ?discipline:discipline -> Rsin_topology.Network.t -> t
+val create :
+  ?discipline:discipline -> ?backend:backend -> Rsin_topology.Network.t -> t
 (** Builds the full-topology flow graph from the network's current link
     state (occupied links start with capacity 0). All request and
     resource arcs start switched off. The network is only read during
-    compilation, never mutated. Default discipline is {!Maxflow}. *)
+    compilation, never mutated. Defaults: {!Maxflow}, {!Adjacency}. *)
+
+val backend : t -> backend
 
 val set_requesting : t -> ?priority:int -> int -> bool -> unit
 (** [set_requesting t ?priority p on] switches processor [p]'s source

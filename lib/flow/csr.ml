@@ -1,0 +1,573 @@
+(* Flat CSR mirror of Graph's residual network. Two invariants drive
+   everything here:
+
+   - [pos]/[garc] are inverse permutations between graph arc indices
+     (partner = a lxor 1) and CSR positions (partner = rev.(j)), so the
+     public API can speak graph indices while the solvers walk
+     cache-friendly row slices.
+   - No function on a warm-cycle path allocates: loops are
+     tail-recursive functions carrying ints (a [ref] would allocate a
+     block), work counters live in the preallocated [stats] record, and
+     all solver scratch is sized once in [of_graph]. *)
+
+type stats = {
+  mutable passes : int;
+  mutable augmentations : int;
+  mutable arcs_scanned : int;
+}
+
+type t = {
+  n : int;                (* nodes *)
+  pairs : int;            (* forward arcs *)
+  m : int;                (* arc sides: 2 * pairs *)
+  row_ptr : int array;    (* n+1: out-arc slice of node v is [row_ptr.(v), row_ptr.(v+1)) *)
+  head : int array;       (* m, CSR order: destination node *)
+  tail : int array;       (* m: source node *)
+  rev : int array;        (* m: CSR position of the residual partner *)
+  cap : int array;        (* m: residual capacity *)
+  cst : int array;        (* m: unit cost (negated on the residual side) *)
+  orig : int array;       (* pairs: original capacity *)
+  frozen : bool array;    (* pairs: residual side pinned to 0 *)
+  pos : int array;        (* graph arc -> CSR position *)
+  garc : int array;       (* CSR position -> graph arc *)
+  (* Dinic scratch *)
+  level : int array;      (* n *)
+  queue : int array;      (* n: BFS ring (each node enqueued at most once) *)
+  cur : int array;        (* n: current-arc cursor into the row slice *)
+  stack : int array;      (* n: DFS path, CSR arc per depth *)
+  (* min-cost SSP scratch *)
+  pot : int array;        (* n: node potentials *)
+  dist : int array;       (* n *)
+  pred : int array;       (* n: CSR arc into the node, -1 if unreached *)
+  final : bool array;     (* n *)
+  hk : int array;         (* binary heap: keys (tentative distances) *)
+  hv : int array;         (* binary heap: values (nodes) *)
+  mutable hsize : int;
+  stats : stats;
+}
+
+let inf = max_int / 4
+
+let of_graph g =
+  let n = Graph.node_count g in
+  let pairs = Graph.arc_count g in
+  let m = 2 * pairs in
+  let row_ptr = Array.make (n + 1) 0 in
+  for a = 0 to m - 1 do
+    let v = Graph.src g a in
+    row_ptr.(v + 1) <- row_ptr.(v + 1) + 1
+  done;
+  for v = 1 to n do
+    row_ptr.(v) <- row_ptr.(v) + row_ptr.(v - 1)
+  done;
+  let fill = Array.sub row_ptr 0 (max n 1) in
+  let pos = Array.make m (-1) in
+  let garc = Array.make m (-1) in
+  for a = 0 to m - 1 do
+    let v = Graph.src g a in
+    let j = fill.(v) in
+    fill.(v) <- j + 1;
+    pos.(a) <- j;
+    garc.(j) <- a
+  done;
+  let head = Array.make m 0 and tail = Array.make m 0 in
+  let rev = Array.make m 0 and cap = Array.make m 0 in
+  let cst = Array.make m 0 in
+  for j = 0 to m - 1 do
+    let a = garc.(j) in
+    head.(j) <- Graph.dst g a;
+    tail.(j) <- Graph.src g a;
+    rev.(j) <- pos.(a lxor 1);
+    cap.(j) <- Graph.capacity g a;
+    cst.(j) <- Graph.cost g a
+  done;
+  let orig = Array.make (max pairs 1) 0 in
+  let frozen = Array.make (max pairs 1) false in
+  for i = 0 to pairs - 1 do
+    orig.(i) <- Graph.original_capacity g (2 * i);
+    (* A frozen arc is the only way the two residual sides stop summing
+       to the original capacity (Graph.freeze zeroes the residual side
+       of a saturated arc), so the flag reconstructs from capacities. *)
+    frozen.(i) <- cap.(pos.(2 * i)) + cap.(pos.(2 * i + 1)) <> orig.(i)
+  done;
+  let na = max n 1 in
+  { n; pairs; m; row_ptr; head; tail; rev; cap; cst; orig; frozen; pos; garc;
+    level = Array.make na (-1);
+    queue = Array.make na 0;
+    cur = Array.make na 0;
+    stack = Array.make na 0;
+    pot = Array.make na 0;
+    dist = Array.make na 0;
+    pred = Array.make na (-1);
+    final = Array.make na false;
+    hk = Array.make (m + na + 1) 0;
+    hv = Array.make (m + na + 1) 0;
+    hsize = 0;
+    stats = { passes = 0; augmentations = 0; arcs_scanned = 0 } }
+
+let node_count t = t.n
+let arc_count t = t.pairs
+let last_stats t = t.stats
+
+let check_arc t a =
+  if a < 0 || a >= t.m then invalid_arg "Csr: bad arc"
+
+let check_forward name a =
+  if a land 1 <> 0 then invalid_arg (name ^ ": residual arc")
+
+let capacity t a = check_arc t a; t.cap.(t.pos.(a))
+let cost t a = check_arc t a; t.cst.(t.pos.(a))
+
+let original_capacity t a =
+  check_arc t a;
+  check_forward "Csr.original_capacity" a;
+  t.orig.(a lsr 1)
+
+let flow t a =
+  check_arc t a;
+  check_forward "Csr.flow" a;
+  t.orig.(a lsr 1) - t.cap.(t.pos.(a))
+
+let push t a k =
+  check_arc t a;
+  let j = t.pos.(a) in
+  if k < 0 || k > t.cap.(j) then invalid_arg "Csr.push: over capacity";
+  t.cap.(j) <- t.cap.(j) - k;
+  let r = t.rev.(j) in
+  t.cap.(r) <- t.cap.(r) + k
+
+let set_capacity t a c =
+  check_arc t a;
+  check_forward "Csr.set_capacity" a;
+  if c < 0 then invalid_arg "Csr.set_capacity: negative capacity";
+  let i = a lsr 1 in
+  let j = t.pos.(a) in
+  let f = t.orig.(i) - t.cap.(j) in
+  if f > c then invalid_arg "Csr.set_capacity: below current flow";
+  t.orig.(i) <- c;
+  t.cap.(j) <- c - f
+
+let set_cost t a c =
+  check_arc t a;
+  check_forward "Csr.set_cost" a;
+  t.cst.(t.pos.(a)) <- c;
+  t.cst.(t.pos.(a lxor 1)) <- -c
+
+let set_flow t a f =
+  check_arc t a;
+  check_forward "Csr.set_flow" a;
+  let i = a lsr 1 in
+  if f < 0 || f > t.orig.(i) then invalid_arg "Csr.set_flow: out of range";
+  t.cap.(t.pos.(a)) <- t.orig.(i) - f;
+  t.cap.(t.pos.(a lxor 1)) <- f;
+  (* Restoring the residual side is exactly un-freezing. *)
+  t.frozen.(i) <- false
+
+let freeze t a =
+  check_arc t a;
+  check_forward "Csr.freeze" a;
+  if t.cap.(t.pos.(a)) <> 0 then invalid_arg "Csr.freeze: arc not saturated";
+  t.cap.(t.pos.(a lxor 1)) <- 0;
+  t.frozen.(a lsr 1) <- true
+
+let thaw t a =
+  check_arc t a;
+  check_forward "Csr.thaw" a;
+  let i = a lsr 1 in
+  t.cap.(t.pos.(a lxor 1)) <- t.orig.(i) - t.cap.(t.pos.(a));
+  t.frozen.(i) <- false
+
+let is_frozen t a =
+  check_arc t a;
+  check_forward "Csr.is_frozen" a;
+  t.frozen.(a lsr 1)
+
+let rec flow_value_row t stop j acc =
+  if j >= stop then acc
+  else begin
+    let fj = if t.garc.(j) land 1 = 0 then j else t.rev.(j) in
+    let f = t.orig.(t.garc.(j) lsr 1) - t.cap.(fj) in
+    flow_value_row t stop (j + 1) (if j = fj then acc + f else acc - f)
+  end
+
+let flow_value t ~source =
+  if source < 0 || source >= t.n then invalid_arg "Csr.flow_value: bad node";
+  flow_value_row t t.row_ptr.(source + 1) t.row_ptr.(source) 0
+
+let rec total_cost_loop t i acc =
+  if i >= t.pairs then acc
+  else
+    let j = t.pos.(2 * i) in
+    total_cost_loop t (i + 1) (acc + (t.cst.(j) * (t.orig.(i) - t.cap.(j))))
+
+let total_cost t = total_cost_loop t 0 0
+
+let reset_stats t =
+  t.stats.passes <- 0;
+  t.stats.augmentations <- 0;
+  t.stats.arcs_scanned <- 0
+
+(* ------------------------------------------------------------------ *)
+(* Dinic: layered BFS + current-arc blocking flow, all on the arrays.  *)
+
+let rec bfs_row t v stop qt j =
+  if j >= stop then qt
+  else begin
+    let w = t.head.(j) in
+    if t.cap.(j) > 0 && t.level.(w) < 0 then begin
+      t.level.(w) <- t.level.(v) + 1;
+      t.queue.(qt) <- w;
+      bfs_row t v stop (qt + 1) (j + 1)
+    end
+    else bfs_row t v stop qt (j + 1)
+  end
+
+let rec bfs_loop t qh qt =
+  if qh < qt then begin
+    let v = t.queue.(qh) in
+    let qt = bfs_row t v t.row_ptr.(v + 1) qt t.row_ptr.(v) in
+    bfs_loop t (qh + 1) qt
+  end
+
+let build_levels t ~source =
+  Array.fill t.level 0 t.n (-1);
+  t.level.(source) <- 0;
+  t.queue.(0) <- source;
+  bfs_loop t 0 1
+
+(* Find the next admissible arc of [v] starting at cursor [j]; leaves
+   the cursor on the arc found (it may still have capacity after the
+   push) or at the end of the row. *)
+let rec advance t v stop j =
+  if j >= stop then begin
+    t.cur.(v) <- j;
+    -1
+  end
+  else begin
+    t.stats.arcs_scanned <- t.stats.arcs_scanned + 1;
+    if t.cap.(j) > 0 && t.level.(t.head.(j)) = t.level.(v) + 1 then begin
+      t.cur.(v) <- j;
+      j
+    end
+    else advance t v stop (j + 1)
+  end
+
+let rec path_min t top d acc =
+  if d >= top then acc
+  else
+    let c = t.cap.(t.stack.(d)) in
+    path_min t top (d + 1) (if c < acc then c else acc)
+
+let rec path_push t top k d =
+  if d < top then begin
+    let j = t.stack.(d) in
+    t.cap.(j) <- t.cap.(j) - k;
+    let r = t.rev.(j) in
+    t.cap.(r) <- t.cap.(r) + k;
+    path_push t top k (d + 1)
+  end
+
+let rec first_saturated t top d =
+  if d >= top then top
+  else if t.cap.(t.stack.(d)) = 0 then d
+  else first_saturated t top (d + 1)
+
+(* One blocking flow over the level graph. [v] is the DFS head, the
+   path source..v sits in stack.(0 .. top-1). *)
+let rec block t ~source ~sink v top acc =
+  if v = sink then begin
+    let k = path_min t top 0 max_int in
+    path_push t top k 0;
+    t.stats.augmentations <- t.stats.augmentations + k;
+    (* Retreat to the shallowest saturated arc: everything below it is
+       still a usable prefix. Its tail's cursor stays put — the arc now
+       has cap 0, so the next advance skips it. *)
+    let d = first_saturated t top 0 in
+    let v = if d = 0 then source else t.head.(t.stack.(d - 1)) in
+    block t ~source ~sink v d (acc + k)
+  end
+  else begin
+    let j = advance t v t.row_ptr.(v + 1) t.cur.(v) in
+    if j >= 0 then begin
+      t.stack.(top) <- j;
+      block t ~source ~sink t.head.(j) (top + 1) acc
+    end
+    else if top = 0 then acc
+    else begin
+      (* Dead end: prune [v] from the level graph and step back past
+         the arc that led here. *)
+      t.level.(v) <- -1;
+      let j = t.stack.(top - 1) in
+      let u = t.tail.(j) in
+      t.cur.(u) <- j + 1;
+      block t ~source ~sink u (top - 1) acc
+    end
+  end
+
+let rec dinic_phases t ~source ~sink total =
+  build_levels t ~source;
+  if t.level.(sink) < 0 then total
+  else begin
+    t.stats.passes <- t.stats.passes + 1;
+    Array.blit t.row_ptr 0 t.cur 0 t.n;
+    let added = block t ~source ~sink source 0 0 in
+    if added > 0 then dinic_phases t ~source ~sink (total + added) else total
+  end
+
+let dinic t ~source ~sink =
+  if source = sink then invalid_arg "Csr.dinic: source = sink";
+  reset_stats t;
+  dinic_phases t ~source ~sink 0
+
+(* ------------------------------------------------------------------ *)
+(* Min-cost successive shortest paths with potentials.                 *)
+
+let rec has_negative_loop t i =
+  if i >= t.pairs then false
+  else if t.cst.(t.pos.(2 * i)) < 0 then true
+  else has_negative_loop t (i + 1)
+
+let rec bellman_relax t j changed =
+  if j >= t.m then changed
+  else begin
+    let du = t.dist.(t.tail.(j)) in
+    if t.cap.(j) > 0 && du < inf && du + t.cst.(j) < t.dist.(t.head.(j))
+    then begin
+      t.dist.(t.head.(j)) <- du + t.cst.(j);
+      bellman_relax t (j + 1) true
+    end
+    else bellman_relax t (j + 1) changed
+  end
+
+let rec bellman_rounds t k =
+  if k > 0 && bellman_relax t 0 false then bellman_rounds t (k - 1)
+
+(* Seed potentials with shortest distances over the residual graph so
+   every reduced cost Dijkstra sees is non-negative (unreached nodes
+   get 0 — no residual path can reach them anyway). *)
+let bellman_seed t ~source =
+  Array.fill t.dist 0 t.n inf;
+  t.dist.(source) <- 0;
+  bellman_rounds t t.n;
+  for v = 0 to t.n - 1 do
+    t.pot.(v) <- (if t.dist.(v) >= inf then 0 else t.dist.(v))
+  done
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    if t.hk.(i) < t.hk.(p) then begin
+      let k = t.hk.(i) and v = t.hv.(i) in
+      t.hk.(i) <- t.hk.(p);
+      t.hv.(i) <- t.hv.(p);
+      t.hk.(p) <- k;
+      t.hv.(p) <- v;
+      sift_up t p
+    end
+  end
+
+let heap_push t k v =
+  let i = t.hsize in
+  t.hsize <- i + 1;
+  t.hk.(i) <- k;
+  t.hv.(i) <- v;
+  sift_up t i
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 in
+  if l < t.hsize then begin
+    let r = l + 1 in
+    let c = if r < t.hsize && t.hk.(r) < t.hk.(l) then r else l in
+    if t.hk.(c) < t.hk.(i) then begin
+      let k = t.hk.(i) and v = t.hv.(i) in
+      t.hk.(i) <- t.hk.(c);
+      t.hv.(i) <- t.hv.(c);
+      t.hk.(c) <- k;
+      t.hv.(c) <- v;
+      sift_down t c
+    end
+  end
+
+let heap_pop t =
+  if t.hsize = 0 then -1
+  else begin
+    let v = t.hv.(0) in
+    t.hsize <- t.hsize - 1;
+    t.hk.(0) <- t.hk.(t.hsize);
+    t.hv.(0) <- t.hv.(t.hsize);
+    sift_down t 0;
+    v
+  end
+
+let rec dij_row t v stop j =
+  if j < stop then begin
+    t.stats.arcs_scanned <- t.stats.arcs_scanned + 1;
+    (if t.cap.(j) > 0 then begin
+       let w = t.head.(j) in
+       if not t.final.(w) then begin
+         let nd = t.dist.(v) + t.cst.(j) + t.pot.(v) - t.pot.(w) in
+         if nd < t.dist.(w) then begin
+           t.dist.(w) <- nd;
+           t.pred.(w) <- j;
+           heap_push t nd w
+         end
+       end
+     end);
+    dij_row t v stop (j + 1)
+  end
+
+let rec dij_loop t =
+  let v = heap_pop t in
+  if v >= 0 then begin
+    (* Lazy deletion: stale heap entries are skipped on pop. *)
+    if not t.final.(v) then begin
+      t.final.(v) <- true;
+      dij_row t v t.row_ptr.(v + 1) t.row_ptr.(v)
+    end;
+    dij_loop t
+  end
+
+let dijkstra t ~source =
+  Array.fill t.dist 0 t.n inf;
+  Array.fill t.pred 0 t.n (-1);
+  Array.fill t.final 0 t.n false;
+  t.hsize <- 0;
+  t.dist.(source) <- 0;
+  heap_push t 0 source;
+  dij_loop t
+
+let rec walk_min t ~source v acc =
+  if v = source then acc
+  else
+    let j = t.pred.(v) in
+    let c = t.cap.(j) in
+    walk_min t ~source t.tail.(j) (if c < acc then c else acc)
+
+let rec walk_push t ~source v k =
+  if v <> source then begin
+    let j = t.pred.(v) in
+    t.cap.(j) <- t.cap.(j) - k;
+    let r = t.rev.(j) in
+    t.cap.(r) <- t.cap.(r) + k;
+    walk_push t ~source t.tail.(j) k
+  end
+
+let update_potentials t =
+  for v = 0 to t.n - 1 do
+    if t.dist.(v) < inf then t.pot.(v) <- t.pot.(v) + t.dist.(v)
+  done
+
+let rec ssp_rounds t ~source ~sink total =
+  dijkstra t ~source;
+  if t.dist.(sink) >= inf then total
+  else begin
+    update_potentials t;
+    let k = walk_min t ~source sink max_int in
+    walk_push t ~source sink k;
+    t.stats.passes <- t.stats.passes + 1;
+    t.stats.augmentations <- t.stats.augmentations + 1;
+    ssp_rounds t ~source ~sink (total + k)
+  end
+
+let mincost t ~source ~sink =
+  if source = sink then invalid_arg "Csr.mincost: source = sink";
+  reset_stats t;
+  if has_negative_loop t 0 then bellman_seed t ~source
+  else Array.fill t.pot 0 t.n 0;
+  ssp_rounds t ~source ~sink 0
+
+(* ------------------------------------------------------------------ *)
+(* Warm-cycle bulk operations.                                         *)
+
+let rec commit_loop t ~source i acc =
+  if i >= t.pairs then acc
+  else begin
+    let fa = t.pos.(2 * i) in
+    let f = t.orig.(i) - t.cap.(fa) in
+    if (not t.frozen.(i)) && f > 0 then begin
+      if t.cap.(fa) <> 0 then invalid_arg "Csr.commit_new: unsaturated arc";
+      t.cap.(t.rev.(fa)) <- 0;
+      t.frozen.(i) <- true;
+      commit_loop t ~source (i + 1)
+        (if t.tail.(fa) = source then acc + f else acc)
+    end
+    else commit_loop t ~source (i + 1) acc
+  end
+
+let commit_new t ~source = commit_loop t ~source 0 0
+
+let release_all t =
+  for i = 0 to t.pairs - 1 do
+    if t.frozen.(i) then begin
+      t.frozen.(i) <- false;
+      t.cap.(t.pos.(2 * i)) <- t.orig.(i);
+      t.cap.(t.pos.(2 * i + 1)) <- 0
+    end
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Interop and validation (cold paths; may allocate freely).           *)
+
+let write_flows t g =
+  if Graph.node_count g <> t.n || Graph.arc_count g <> t.pairs then
+    invalid_arg "Csr.write_flows: graph shape mismatch";
+  for i = 0 to t.pairs - 1 do
+    if not t.frozen.(i) then
+      Graph.set_flow g (2 * i) (t.orig.(i) - t.cap.(t.pos.(2 * i)))
+  done
+
+let check_rev_pairing t =
+  let problem = ref None in
+  let fail fmt = Printf.ksprintf (fun s -> problem := Some s) fmt in
+  if Array.length t.pos < t.m || Array.length t.garc < t.m then
+    fail "position maps shorter than arc count";
+  for v = 0 to t.n - 1 do
+    if t.row_ptr.(v) > t.row_ptr.(v + 1) then
+      fail "row_ptr not monotone at node %d" v
+  done;
+  if t.m > 0 && (t.row_ptr.(0) <> 0 || t.row_ptr.(t.n) <> t.m) then
+    fail "row_ptr does not cover the arc array";
+  for j = 0 to t.m - 1 do
+    let a = t.garc.(j) in
+    if a < 0 || a >= t.m || t.pos.(a) <> j then
+      fail "pos/garc not mutually inverse at CSR %d" j;
+    let r = t.rev.(j) in
+    if r = j || t.rev.(r) <> j then
+      fail "rev not a fixed-point-free involution at CSR %d" j;
+    if t.garc.(r) <> a lxor 1 then
+      fail "rev disagrees with graph partner at arc %d" a;
+    if t.head.(r) <> t.tail.(j) || t.tail.(r) <> t.head.(j) then
+      fail "partner head/tail not mirrored at arc %d" a;
+    if t.cst.(r) <> -t.cst.(j) then
+      fail "partner cost not negated at arc %d" a;
+    if t.cap.(j) < 0 then fail "negative residual capacity at arc %d" a;
+    let v = t.tail.(j) in
+    if not (t.row_ptr.(v) <= j && j < t.row_ptr.(v + 1)) then
+      fail "arc %d outside its tail's row slice" a
+  done;
+  for i = 0 to t.pairs - 1 do
+    let cf = t.cap.(t.pos.(2 * i)) and cr = t.cap.(t.pos.(2 * i + 1)) in
+    if t.frozen.(i) then begin
+      if cr <> 0 then fail "frozen pair %d has residual capacity" i;
+      if cf > t.orig.(i) then fail "frozen pair %d flow out of bounds" i
+    end
+    else if cf + cr <> t.orig.(i) then
+      fail "pair %d capacities do not sum to original" i
+  done;
+  match !problem with None -> Ok () | Some msg -> Error msg
+
+let check_conservation t ~source ~sink =
+  let problem = ref None in
+  for a = 0 to t.pairs - 1 do
+    let f = flow t (2 * a) in
+    if f < 0 || f > t.orig.(a) then
+      problem :=
+        Some
+          (Printf.sprintf "arc %d: flow %d outside [0,%d]" (2 * a) f t.orig.(a))
+  done;
+  for v = 0 to t.n - 1 do
+    if v <> source && v <> sink && flow_value t ~source:v <> 0 then
+      problem :=
+        Some (Printf.sprintf "node %d: net flow %d <> 0" v (flow_value t ~source:v))
+  done;
+  match !problem with None -> Ok () | Some msg -> Error msg

@@ -9,7 +9,16 @@
     (Theorems 2 and 3 rely on this).
 
     Arcs may carry a lower bound (used by the out-of-kilter solver); it
-    defaults to 0 and is ignored by the other algorithms. *)
+    defaults to 0 and is ignored by the other algorithms.
+
+    This module is the {e construction and reference} representation:
+    growable ({!Vec}-backed) adjacency built arc by arc, solved by the
+    legacy adjacency solvers, and snapshotted by {!Csr.of_graph} into
+    the flat int-array CSR core that the warm engine's hot path runs on
+    ({!Csr}). The two share arc indices, so everything compiled through
+    {!Rsin_core.Netgraph} addresses either representation unchanged.
+    {!copy} exists for the differential tests, which solve the same
+    snapshot under several solvers side by side. *)
 
 type t
 type node = int

@@ -1,4 +1,4 @@
-(** One façade over the five maximum-flow engines.
+(** One façade over the maximum-flow engines.
 
     Transformation 1 originally pattern-matched three solver signatures,
     and the benches matched two more; every caller that wants "a max
@@ -36,7 +36,11 @@ end
 
 val all : (module S) list
 (** Every registered solver, in registry order:
-    dinic, edmonds-karp, push-relabel, mincost, out-of-kilter. *)
+    dinic, edmonds-karp, push-relabel, mincost, out-of-kilter,
+    dinic-csr, mincost-csr. The [-csr] pair are the same algorithms as
+    [dinic]/[mincost] ported to the flat zero-allocation {!Csr} core;
+    they exist in the registry so every differential suite can compare
+    the two representations through one interface. *)
 
 val names : unit -> string list
 

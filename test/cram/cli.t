@@ -132,3 +132,46 @@ architectures over the same snapshot:
   transform1.allocated           counter  3
   transform1.blocked             counter  0
   transform1.solves              counter  1
+
+The registry's CSR pair serves the same snapshot on the flat
+zero-allocation core — identical allocation, its own work counters:
+
+  $ rsin schedule omega:8 --requests 0,2,4 --free 1,3,5 --solver dinic-csr
+  requests: 0,2,4
+  free:     1,3,5
+  allocated 3/3:
+    p0 -> r1
+    p2 -> r3
+    p4 -> r5
+  $ rsin metrics omega:8 --requests 0,2,4 --free 1,3,5 --solver dinic-csr
+  requests: 0,2,4
+  free:     1,3,5
+  optimal allocated 3/3; distributed allocated 3/3 in 9 clock periods
+  metric                         kind     value
+  -----------------------------  -------  -----
+  flow.dinic_csr.arcs_scanned    counter  39
+  flow.dinic_csr.augmentations   counter  3
+  flow.dinic_csr.phases          counter  1
+  flow.dinic_csr.runs            counter  1
+  token_sim.allocated            counter  3
+  token_sim.iterations           counter  1
+  token_sim.registration_clocks  counter  1
+  token_sim.request_clocks       counter  4
+  token_sim.requested            counter  3
+  token_sim.resource_clocks      counter  4
+  token_sim.runs                 counter  1
+  token_sim.total_clocks         counter  9
+  transform1.allocated           counter  3
+  transform1.blocked             counter  0
+  transform1.solves              counter  1
+
+An unknown solver is rejected with the full registry listing, CSR
+names included:
+
+  $ rsin schedule omega:8 --requests 0 --free 1 --solver bogus
+  rsin: option '--solver': invalid value 'bogus', expected one of 'dinic',
+        'edmonds-karp', 'push-relabel', 'mincost', 'out-of-kilter', 'dinic-csr'
+        or 'mincost-csr'
+  Usage: rsin schedule [OPTION]… NET
+  Try 'rsin schedule --help' or 'rsin --help' for more information.
+  [124]

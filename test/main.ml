@@ -6,6 +6,7 @@ let () =
       ("bench_report", Test_bench_report.suite);
       ("flow", Test_flow.suite);
       ("flow2", Test_flow2.suite);
+      ("csr", Test_csr.suite);
       ("lp", Test_lp.suite);
       ("topology", Test_topology.suite);
       ("topology2", Test_topology2.suite);

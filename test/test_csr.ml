@@ -1,0 +1,556 @@
+(* The flat CSR flow core (Rsin_flow.Csr) vs the mutable-adjacency
+   Graph: structural invariants of the emission (check_rev_pairing),
+   state-accessor agreement under random mutation, and the differential
+   guarantees of the registry solvers (dinic-csr/mincost-csr) and of the
+   warm engine's Csr backend — identical max-flow value and total served
+   priority on every topology family, including degraded (fault-masked)
+   networks and hundreds of warm churn cycles. *)
+
+module Graph = Rsin_flow.Graph
+module Csr = Rsin_flow.Csr
+module Solver = Rsin_flow.Solver
+module Network = Rsin_topology.Network
+module Builders = Rsin_topology.Builders
+module Netgraph = Rsin_core.Netgraph
+module Scheduler = Rsin_core.Scheduler
+module T1 = Rsin_core.Transform1
+module T2 = Rsin_core.Transform2
+module Workload = Rsin_sim.Workload
+module Fault = Rsin_fault.Fault
+module Incremental = Rsin_engine.Incremental
+module Engine = Rsin_engine.Engine
+module Prng = Rsin_util.Prng
+
+let check = Alcotest.check
+
+let qtest name ?(count = 100) gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count gen prop)
+
+let topologies =
+  [ ("omega", fun () -> Builders.omega 8);
+    ("butterfly", fun () -> Builders.butterfly 8);
+    ("benes", fun () -> Builders.benes 8);
+    ("clos", fun () -> Builders.clos ~m:3 ~n:2 ~r:4);
+    ("crossbar", fun () -> Builders.crossbar ~n_procs:6 ~n_res:6);
+    ("delta", fun () -> Builders.delta ~radix:2 ~stages:3);
+    ("extra_stage", fun () -> Builders.extra_stage_omega 8 ~extra:1) ]
+
+(* A random scenario over a partially occupied, partially *broken*
+   network: preoccupied circuits exercise step T4's occupancy drops,
+   random element downs exercise the health mask. *)
+let scenario ?(faults = true) seed (name, build) =
+  let rng = Prng.create (Hashtbl.hash (name, seed)) in
+  let net = build () in
+  ignore (Workload.preoccupy rng net ~circuits:(Prng.int rng 3));
+  if faults then begin
+    for l = 0 to Network.n_links net - 1 do
+      if Prng.float rng 1.0 < 0.06 then Network.set_link_up net l false
+    done;
+    for b = 0 to Network.n_boxes net - 1 do
+      if Prng.float rng 1.0 < 0.05 then Network.set_box_up net b false
+    done;
+    for r = 0 to Network.n_res net - 1 do
+      if Prng.float rng 1.0 < 0.05 then Network.set_res_up net r false
+    done
+  end;
+  let requests, free = Workload.snapshot rng net in
+  let busy_p, busy_r = Workload.occupied_endpoints net in
+  let requests = List.filter (fun p -> not (List.mem p busy_p)) requests in
+  let free = List.filter (fun r -> not (List.mem r busy_r)) free in
+  (rng, net, requests, free)
+
+(* --- of_graph invariants and accessor agreement -------------------------- *)
+
+(* A random residual network: arbitrary arcs, capacities, costs, and a
+   random feasible flow pushed through Graph.push on both sides. *)
+let random_graph rng =
+  let g = Graph.create () in
+  let n = 2 + Prng.int rng 9 in
+  ignore (Graph.add_nodes g n);
+  let arcs = 1 + Prng.int rng 25 in
+  for _ = 1 to arcs do
+    let s = Prng.int rng n in
+    let d = (s + 1 + Prng.int rng (n - 1)) mod n in
+    ignore
+      (Graph.add_arc g ~cost:(Prng.int rng 7 - 3) ~src:s ~dst:d
+         ~cap:(Prng.int rng 4))
+  done;
+  (* Random pushes on random sides leave a valid residual state. *)
+  for _ = 1 to 2 * arcs do
+    let a = Prng.int rng (2 * Graph.arc_count g) in
+    let room = Graph.capacity g a in
+    if room > 0 then Graph.push g a (1 + Prng.int rng room)
+  done;
+  g
+
+let agree g c =
+  let ok = ref true in
+  let expect name a want got =
+    if want <> got then begin
+      ok := false;
+      QCheck.Test.fail_reportf "arc %d: %s: graph %d, csr %d" a name want got
+    end
+  in
+  Graph.iter_forward_arcs g (fun a ->
+      expect "capacity" a (Graph.capacity g a) (Csr.capacity c a);
+      expect "residual capacity" a
+        (Graph.capacity g (a + 1))
+        (Csr.capacity c (a + 1));
+      expect "flow" a (Graph.flow g a) (Csr.flow c a);
+      expect "cost" a (Graph.cost g a) (Csr.cost c a);
+      expect "residual cost" a (Graph.cost g (a + 1)) (Csr.cost c (a + 1));
+      expect "original" a
+        (Graph.original_capacity g a)
+        (Csr.original_capacity c a));
+  for v = 0 to Graph.node_count g - 1 do
+    expect "node out-flow" v (Graph.out_flow g v) (Csr.flow_value c ~source:v)
+  done;
+  expect "total cost" (-1) (Graph.total_cost g) (Csr.total_cost c);
+  !ok
+
+let test_of_graph_invariants =
+  qtest "of_graph: rev pairing + accessor agreement on random graphs"
+    ~count:200 QCheck.small_int (fun seed ->
+      let rng = Prng.create seed in
+      let g = random_graph rng in
+      let c = Csr.of_graph g in
+      (match Csr.check_rev_pairing c with
+      | Ok () -> ()
+      | Error e -> QCheck.Test.fail_reportf "rev pairing: %s" e);
+      agree g c)
+
+let test_mutation_agreement =
+  qtest "random mirrored mutations keep Graph and Csr in agreement"
+    ~count:200 QCheck.small_int (fun seed ->
+      let rng = Prng.create seed in
+      let g = random_graph rng in
+      let c = Csr.of_graph g in
+      let pairs = Graph.arc_count g in
+      for _ = 1 to 60 do
+        let a = 2 * Prng.int rng pairs in
+        match Prng.int rng 5 with
+        | 0 ->
+          let cap = Graph.flow g a + Prng.int rng 3 in
+          Graph.set_capacity g a cap;
+          Csr.set_capacity c a cap
+        | 1 ->
+          let cost = Prng.int rng 9 - 4 in
+          Graph.set_cost g a cost;
+          Csr.set_cost c a cost
+        | 2 ->
+          let f = Prng.int rng (Graph.original_capacity g a + 1) in
+          Graph.set_flow g a f;
+          Csr.set_flow c a f
+        | 3 ->
+          let side = if Prng.int rng 2 = 0 then a else a + 1 in
+          let room = Graph.capacity g side in
+          if room > 0 then begin
+            let k = 1 + Prng.int rng room in
+            Graph.push g side k;
+            Csr.push c side k
+          end
+        | _ ->
+          (* freeze/thaw round-trip on a saturated arc. *)
+          if Graph.capacity g a = 0 then begin
+            Graph.freeze g a;
+            Csr.freeze c a;
+            if not (Csr.is_frozen c a) then
+              QCheck.Test.fail_report "freeze did not mark the pair";
+            Graph.thaw g a;
+            Csr.thaw c a
+          end
+      done;
+      (match Csr.check_rev_pairing c with
+      | Ok () -> ()
+      | Error e -> QCheck.Test.fail_reportf "rev pairing after churn: %s" e);
+      agree g c)
+
+(* Frozen arcs must survive the snapshot: of_graph on a graph holding
+   frozen flow reproduces the pinned residual state and the flag. *)
+let test_frozen_survives_of_graph () =
+  let g = Graph.create () in
+  let _ = Graph.add_nodes g 3 in
+  let a = Graph.add_arc g ~src:0 ~dst:1 ~cap:1 in
+  let b = Graph.add_arc g ~src:1 ~dst:2 ~cap:2 in
+  Graph.push g a 1;
+  Graph.push g b 1;
+  Graph.freeze g a;
+  let c = Csr.of_graph g in
+  check Alcotest.(result unit string) "pairing" (Ok ()) (Csr.check_rev_pairing c);
+  check Alcotest.bool "frozen flag reconstructed" true (Csr.is_frozen c a);
+  check Alcotest.bool "unfrozen arc not flagged" false (Csr.is_frozen c b);
+  check Alcotest.int "frozen residual side pinned" 0 (Csr.capacity c (a + 1));
+  check Alcotest.int "frozen flow kept" 1 (Csr.flow c a)
+
+(* --- Netgraph emission ---------------------------------------------------- *)
+
+let test_netgraph_emission () =
+  List.iter
+    (fun ((name, _) as topo) ->
+      let _rng, net, requests, free = scenario 17 topo in
+      let ng =
+        Netgraph.compile net
+          ~requests:(List.map (fun p -> (p, 0)) requests)
+          ~free:(List.map (fun r -> (r, 0)) free)
+      in
+      let c = Netgraph.csr ng in
+      check Alcotest.(result unit string) (name ^ ": snapshot pairing") (Ok ())
+        (Csr.check_rev_pairing c);
+      check Alcotest.bool (name ^ ": emission is cached") true
+        (Netgraph.csr ng == c);
+      let full = Netgraph.compile_full (Network.copy net) in
+      let cf = Netgraph.csr full in
+      check Alcotest.(result unit string) (name ^ ": full pairing") (Ok ())
+        (Csr.check_rev_pairing cf);
+      check Alcotest.int (name ^ ": same shape as the graph")
+        (Graph.arc_count (Netgraph.graph full))
+        (Csr.arc_count cf))
+    topologies
+
+(* --- Registry differential: CSR solvers vs their adjacency originals ------ *)
+
+let test_dinic_csr_differential =
+  qtest "dinic-csr = dinic on every topology incl. degraded" ~count:80
+    QCheck.small_int (fun seed ->
+      List.for_all
+        (fun ((name, _) as topo) ->
+          let _rng, net, requests, free = scenario seed topo in
+          let solve s =
+            let tr = T1.build net ~requests ~free in
+            (T1.solve_with (Solver.get s) tr).T1.allocated
+          in
+          let reference = solve "dinic" and csr = solve "dinic-csr" in
+          if reference <> csr then
+            QCheck.Test.fail_reportf "%s seed %d: dinic %d, dinic-csr %d" name
+              seed reference csr;
+          true)
+        topologies)
+
+let test_mincost_csr_differential =
+  qtest "mincost-csr = mincost: flow value and total cost" ~count:80
+    QCheck.small_int (fun seed ->
+      List.for_all
+        (fun ((name, _) as topo) ->
+          let rng, net, requests, free = scenario seed topo in
+          let requests = Workload.with_priorities rng ~levels:4 requests in
+          let free = Workload.with_priorities rng ~levels:3 free in
+          let tr = T2.build net ~requests ~free in
+          let source = T2.source tr and sink = T2.sink tr in
+          let run s =
+            let module S = (val Solver.get s : Solver.S) in
+            let g = Graph.copy (T2.graph tr) in
+            let f, _w = S.max_flow g ~source ~sink in
+            (f, Graph.total_cost g, Graph.check_conservation g ~source ~sink)
+          in
+          let f0, c0, k0 = run "mincost" in
+          let f1, c1, k1 = run "mincost-csr" in
+          if k0 <> Ok () || k1 <> Ok () then
+            QCheck.Test.fail_reportf "%s seed %d: conservation broken" name seed;
+          if (f0, c0) <> (f1, c1) then
+            QCheck.Test.fail_reportf
+              "%s seed %d: mincost (%d, %d), mincost-csr (%d, %d)" name seed f0
+              c0 f1 c1;
+          true)
+        topologies)
+
+(* Work records populated consistently: the CSR pair reports the same
+   kind of numbers as the originals (same augmentation totals — Dinic
+   counts flow units, SSP counts rounds — and nonzero scan work). *)
+let test_work_record_consistency () =
+  let _rng, net, requests, free = scenario ~faults:false 5 (List.hd topologies) in
+  let tr = T1.build net ~requests ~free in
+  let g0 = Graph.copy (T1.graph tr) and g1 = Graph.copy (T1.graph tr) in
+  let source = T1.source tr and sink = T1.sink tr in
+  let module D = (val Solver.get "dinic" : Solver.S) in
+  let module DC = (val Solver.get "dinic-csr" : Solver.S) in
+  let f0, w0 = D.max_flow g0 ~source ~sink in
+  let f1, w1 = DC.max_flow g1 ~source ~sink in
+  check Alcotest.int "flow equal" f0 f1;
+  check Alcotest.int "augmentations count flow units" f1 w1.Solver.augmentations;
+  check Alcotest.bool "phases populated" true (w1.Solver.passes >= 1);
+  check Alcotest.bool "arcs scanned populated" true (w1.Solver.arcs_scanned > 0);
+  check Alcotest.int "dinic counts the same augmentations" f0
+    w0.Solver.augmentations
+
+(* --- Warm churn: Incremental's Csr backend vs Adjacency ------------------- *)
+
+(* Drive one Incremental engine through a random warm churn sequence —
+   enables, solves, staggered partial releases — and compare every solve
+   against a from-scratch transformation of the same snapshot, mirrored
+   on a reference network where the committed circuits are established
+   for real. Both backends run the identical sequence, each checked
+   against its own reference: tie-broken mappings may diverge between
+   backends (leaving different circuits frozen), so their states are not
+   directly comparable, but each must stay optimal — allocation count
+   and, under Mincost, total served priority — for its own snapshot,
+   cycle by cycle. *)
+let churn_backend discipline backend net seed rounds =
+  let eng = Incremental.create ~discipline ~backend net in
+  check Alcotest.bool "backend recorded" true
+    (Incremental.backend eng = backend);
+  let refnet = Network.copy net in
+  let np = Network.n_procs net and nr = Network.n_res net in
+  let rng = Prng.create seed in
+  let prio = Array.make np 0 in
+  let live = ref [] in
+  let cycles = ref 0 in
+  for round = 1 to rounds do
+    let busy_p =
+      List.map (fun ((c : Incremental.circuit), _) -> c.Incremental.proc) !live
+    and busy_r =
+      List.map (fun ((c : Incremental.circuit), _) -> c.Incremental.res) !live
+    in
+    for p = 0 to np - 1 do
+      if not (List.mem p busy_p) then begin
+        let on = Prng.float rng 1.0 < 0.5 in
+        let y = 1 + Prng.int rng 4 in
+        prio.(p) <- y;
+        Incremental.set_requesting eng ~priority:y p on
+      end
+    done;
+    for r = 0 to nr - 1 do
+      if not (List.mem r busy_r) then
+        Incremental.set_resource_free eng r (Prng.float rng 1.0 < 0.6)
+    done;
+    let result = Incremental.solve eng in
+    incr cycles;
+    let label what = Printf.sprintf "seed %d round %d: %s" seed round what in
+    (* The pre-commit snapshot: pending requests and free resources are
+       the switched-on endpoint arcs not held by a live circuit. *)
+    let pending =
+      List.filter
+        (fun p -> Incremental.requesting eng p && not (List.mem p busy_p))
+        (List.init np Fun.id)
+    and frees =
+      List.filter
+        (fun r -> Incremental.resource_free eng r && not (List.mem r busy_r))
+        (List.init nr Fun.id)
+    in
+    (match discipline with
+    | Incremental.Maxflow ->
+      let reference = T1.schedule refnet ~requests:pending ~free:frees in
+      check Alcotest.int
+        (label "allocation = from-scratch T1")
+        reference.T1.allocated
+        (List.length result.Incremental.circuits)
+    | Incremental.Mincost ->
+      let reference =
+        T2.schedule refnet
+          ~requests:(List.map (fun p -> (p, prio.(p))) pending)
+          ~free:(List.map (fun r -> (r, 0)) frees)
+      in
+      check Alcotest.int
+        (label "allocation = from-scratch T2")
+        reference.T2.allocated
+        (List.length result.Incremental.circuits);
+      let served_ref =
+        List.fold_left (fun acc (p, _) -> acc + prio.(p)) 0 reference.T2.mapping
+      and served_eng =
+        List.fold_left
+          (fun acc (c : Incremental.circuit) -> acc + prio.(c.Incremental.proc))
+          0 result.Incremental.circuits
+      in
+      check Alcotest.int (label "served priority = from-scratch T2") served_ref
+        served_eng);
+    check Alcotest.(result unit string) (label "conservation") (Ok ())
+      (Incremental.check eng);
+    (* Mirror the commits as real circuits on the reference network. *)
+    List.iter
+      (fun (c : Incremental.circuit) ->
+        live := (c, Network.establish refnet c.Incremental.links) :: !live)
+      result.Incremental.circuits;
+    (* Staggered releases: every third round, free a random subset. *)
+    if round mod 3 = 0 then begin
+      let keep, drop =
+        List.partition (fun _ -> Prng.float rng 1.0 < 0.5) !live
+      in
+      List.iter
+        (fun ((c : Incremental.circuit), id) ->
+          Incremental.release eng c;
+          Network.release refnet id)
+        drop;
+      live := keep
+    end
+  done;
+  !cycles
+
+let test_warm_churn_backends () =
+  let csr_cycles = ref 0 in
+  List.iter
+    (fun (_, build) ->
+      List.iter
+        (fun (discipline, seed) ->
+          (* The Csr backend is the subject; a short Adjacency run keeps
+             the harness itself honest. *)
+          csr_cycles :=
+            !csr_cycles
+            + churn_backend discipline Incremental.Csr (build ()) seed 60;
+          ignore
+            (churn_backend discipline Incremental.Adjacency (build ())
+               (seed + 100) 15))
+        [ (Incremental.Maxflow, 21); (Incremental.Mincost, 22) ])
+    [ List.nth topologies 0; List.nth topologies 2; List.nth topologies 3 ];
+  check Alcotest.bool "at least 300 warm churn cycles on the Csr backend" true
+    (!csr_cycles >= 300)
+
+(* --- Engine-level: --solver dinic-csr under fault churn ------------------- *)
+
+(* The full engine differential of PR 2/PR 4, with the warm loop running
+   on the Csr backend (selected through the registry solver name):
+   every entered cycle must allocate exactly what a from-scratch
+   Scheduler run on the same degraded pre-commit snapshot allocates. *)
+let test_engine_csr_differential () =
+  let total_cycles = ref 0 in
+  List.iter
+    (fun (name, build) ->
+      List.iter
+        (fun seed ->
+          let net = build () in
+          let base =
+            Workload.synthesize ~deadline_slack:25 ~cancel_prob:0.1
+              (Prng.create seed) net ~slots:150 ~arrival_prob:0.3
+          in
+          let sched =
+            Fault.inject
+              (Prng.create ((seed * 7) + 1))
+              net ~horizon:150 ~mtbf:40. ~mttr:12.
+          in
+          let trace =
+            List.stable_sort
+              (fun a b ->
+                compare (Workload.event_time a) (Workload.event_time b))
+              (base @ Workload.fault_events sched)
+          in
+          let hook snapshot (info : Engine.cycle_info) =
+            incr total_cycles;
+            let reference =
+              Scheduler.schedule snapshot
+                ~requests:(List.map Scheduler.request info.Engine.requests)
+                ~resources:(List.map Scheduler.resource info.Engine.free)
+            in
+            check Alcotest.int
+              (Printf.sprintf "%s seed %d cycle at t=%d" name seed
+                 info.Engine.time)
+              reference.Scheduler.allocated info.Engine.allocated
+          in
+          let config =
+            { Engine.transmission_time = 2; batch_threshold = 1; max_defer = 8 }
+          in
+          let report =
+            Engine.run ~mode:Engine.Warm ~solver:(Solver.get "dinic-csr")
+              ~cycle_hook:hook ~config net trace
+          in
+          check Alcotest.bool
+            (Printf.sprintf "%s seed %d applied faults" name seed)
+            true
+            (report.Engine.faults > 0))
+        [ 10; 11 ])
+    [ List.nth topologies 0; List.nth topologies 2; List.nth topologies 3 ];
+  check Alcotest.bool "at least 150 engine differential cycles" true
+    (!total_cycles >= 150)
+
+(* Priority discipline through --solver mincost-csr: allocation count
+   AND total served priority equal a from-scratch Transformation 2 of
+   the same snapshot, cycle by cycle. *)
+let test_engine_csr_priority_differential () =
+  let total_cycles = ref 0 in
+  List.iter
+    (fun (name, build) ->
+      List.iter
+        (fun seed ->
+          let net = build () in
+          let trace =
+            Workload.synthesize ~deadline_slack:25 ~cancel_prob:0.1
+              ~priority_levels:4 (Prng.create seed) net ~slots:150
+              ~arrival_prob:0.3
+          in
+          let hook snapshot (info : Engine.cycle_info) =
+            incr total_cycles;
+            let label what =
+              Printf.sprintf "%s seed %d cycle at t=%d: %s" name seed
+                info.Engine.time what
+            in
+            let reference =
+              T2.schedule snapshot ~requests:info.Engine.request_priorities
+                ~free:(List.map (fun r -> (r, 0)) info.Engine.free)
+            in
+            check Alcotest.int (label "allocation") reference.T2.allocated
+              info.Engine.allocated;
+            let served mapping =
+              List.fold_left
+                (fun acc (p, _) ->
+                  acc + List.assoc p info.Engine.request_priorities)
+                0 mapping
+            in
+            check Alcotest.int (label "total priority served")
+              (served reference.T2.mapping)
+              (served info.Engine.mapping)
+          in
+          let report =
+            Engine.run ~mode:Engine.Warm ~discipline:Engine.Priority
+              ~solver:(Solver.get "mincost-csr") ~cycle_hook:hook
+              ~config:
+                { Engine.transmission_time = 2; batch_threshold = 1;
+                  max_defer = 8 }
+              net trace
+          in
+          check Alcotest.bool
+            (Printf.sprintf "%s seed %d allocated something" name seed)
+            true
+            (report.Engine.allocated > 0))
+        [ 10; 11 ])
+    [ List.nth topologies 0; List.nth topologies 2 ];
+  check Alcotest.bool "at least 150 priority differential cycles" true
+    (!total_cycles >= 150)
+
+(* --- Warm-cycle bulk operations ------------------------------------------- *)
+
+let test_commit_release_cycle () =
+  let net = Builders.omega 8 in
+  let ng = Netgraph.compile_full net in
+  let c = Netgraph.csr ng in
+  let source = Netgraph.source ng and sink = Netgraph.sink ng in
+  let np = Network.n_procs net and nr = Network.n_res net in
+  for p = 0 to np - 1 do
+    Csr.set_capacity c (Option.get (Netgraph.sp_arc ng p)) 1
+  done;
+  for r = 0 to nr - 1 do
+    Csr.set_capacity c (Option.get (Netgraph.rt_arc ng r)) 1
+  done;
+  let f = Csr.dinic c ~source ~sink in
+  check Alcotest.int "omega routes everything" np f;
+  check Alcotest.int "commit returns the committed units" f
+    (Csr.commit_new c ~source);
+  check Alcotest.bool "endpoint arcs frozen" true
+    (Csr.is_frozen c (Option.get (Netgraph.sp_arc ng 0)));
+  check Alcotest.int "nothing left to augment" 0 (Csr.dinic c ~source ~sink);
+  check Alcotest.int "flow survives the re-solve" f (Csr.flow_value c ~source);
+  check Alcotest.(result unit string) "conserved while frozen" (Ok ())
+    (Csr.check_conservation c ~source ~sink);
+  Csr.release_all c;
+  check Alcotest.int "release zeroes the flow" 0 (Csr.flow_value c ~source);
+  check Alcotest.(result unit string) "pairing after release" (Ok ())
+    (Csr.check_rev_pairing c);
+  let again = Csr.dinic c ~source ~sink in
+  check Alcotest.int "released capacity re-routes identically" f again
+
+let suite =
+  [
+    test_of_graph_invariants;
+    test_mutation_agreement;
+    Alcotest.test_case "frozen arcs survive of_graph" `Quick
+      test_frozen_survives_of_graph;
+    Alcotest.test_case "Netgraph CSR emission" `Quick test_netgraph_emission;
+    test_dinic_csr_differential;
+    test_mincost_csr_differential;
+    Alcotest.test_case "work records populated consistently" `Quick
+      test_work_record_consistency;
+    Alcotest.test_case "warm churn: Csr backend = Adjacency backend" `Slow
+      test_warm_churn_backends;
+    Alcotest.test_case "engine differential via --solver dinic-csr" `Slow
+      test_engine_csr_differential;
+    Alcotest.test_case "engine priority differential via --solver mincost-csr"
+      `Slow test_engine_csr_priority_differential;
+    Alcotest.test_case "commit_new/release_all round-trip" `Quick
+      test_commit_release_cycle;
+  ]
