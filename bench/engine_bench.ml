@@ -32,9 +32,7 @@ let churn_rates = [ 0.02; 0.05; 0.1; 0.3; 0.6 ]
 let run ?(quick = false) () =
   let slots = if quick then 150 else 400 in
   let net = Builders.omega 16 in
-  let config =
-    { Engine.default_config with transmission_time = 2; max_defer = 8 }
-  in
+  let config mode = Engine.Config.v ~mode ~transmission_time:2 ~max_defer:8 () in
   print_endline "E29: online engine, warm start vs rebuild per cycle";
   Printf.printf "  (omega:16, %d arrival slots, transmission 2, seed 11)\n\n"
     slots;
@@ -56,7 +54,7 @@ let run ?(quick = false) () =
           let result = ref None in
           let m =
             Bench_report.measure ~warmup:1 ~runs:(if quick then 2 else 3)
-              (fun () -> result := Some (Engine.run ~config ~mode net trace))
+              (fun () -> result := Some (Engine.run ~config:(config mode) net trace))
           in
           Bench_report.record case ~prefix m;
           Option.get !result

@@ -30,8 +30,9 @@ let churn_rates = [ 0.02; 0.05; 0.1; 0.3; 0.6 ]
 let run ?(quick = false) () =
   let slots = if quick then 150 else 400 in
   let net = Builders.omega 16 in
-  let config =
-    { Engine.default_config with transmission_time = 2; max_defer = 8 }
+  let config mode =
+    Engine.Config.v ~mode ~discipline:Engine.Priority ~transmission_time:2
+      ~max_defer:8 ()
   in
   print_endline "E30: online engine, priority discipline, warm vs rebuild";
   Printf.printf
@@ -53,10 +54,7 @@ let run ?(quick = false) () =
           let m =
             Bench_report.measure ~warmup:1 ~runs:(if quick then 2 else 3)
               (fun () ->
-                result :=
-                  Some
-                    (Engine.run ~config ~mode ~discipline:Engine.Priority net
-                       trace))
+                result := Some (Engine.run ~config:(config mode) net trace))
           in
           Bench_report.record case ~prefix m;
           Option.get !result

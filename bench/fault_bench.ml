@@ -37,9 +37,7 @@ let mtbfs = [ None; Some 200.; Some 80.; Some 40.; Some 20. ]
 
 let run ?(quick = false) () =
   let slots = if quick then 120 else 300 in
-  let config =
-    { Engine.default_config with transmission_time = 2; max_defer = 8 }
-  in
+  let config mode = Engine.Config.v ~mode ~transmission_time:2 ~max_defer:8 () in
   print_endline "E31: online engine under element faults (MTBF/MTTR churn)";
   Printf.printf
     "  (%d arrival slots, arrival 0.3, transmission 2, mttr = mtbf/4, seed 11)\n\n"
@@ -80,7 +78,8 @@ let run ?(quick = false) () =
                timed runs drop the hook (a from-scratch Scheduler per
                cycle would dominate the measurement). *)
             let warm =
-              Engine.run ~config ~mode:Engine.Warm ~cycle_hook:hook net trace
+              Engine.run ~config:(config Engine.Warm) ~cycle_hook:hook net
+                trace
             in
             let case =
               Bench_report.case report
@@ -93,7 +92,7 @@ let run ?(quick = false) () =
               let result = ref None in
               let m =
                 Bench_report.measure ~warmup:0 ~runs:2 (fun () ->
-                    result := Some (Engine.run ~config ~mode net trace))
+                    result := Some (Engine.run ~config:(config mode) net trace))
               in
               Bench_report.record case ~prefix m;
               Option.get !result

@@ -45,6 +45,7 @@ let experiments quick =
     ("engine_faults", fun () -> Fault_bench.run ~quick ());
     ("protocol", fun () -> Protocol_bench.run ~quick ());
     ("csr", fun () -> Csr_bench.run ~quick ());
+    ("serve", fun () -> Serve_bench.run ~quick ());
     ("micro", fun () -> Micro.run ());
   ]
 

@@ -45,7 +45,7 @@ open Cmdliner
 
 (* --- network specification parsing -------------------------------------- *)
 
-let parse_net spec =
+let rec parse_net spec =
   let fail msg = Error (`Msg msg) in
   match String.index_opt spec ':' with
   | None -> fail "network spec must look like omega:8 (see --help)"
@@ -84,6 +84,20 @@ let parse_net spec =
            | [ a; b ], Some stages -> Ok (Builders.delta_ab ~a ~b ~stages)
            | _ -> fail "delta-ab spec: delta-ab:AxB^S")
          | _ -> fail "delta-ab spec: delta-ab:AxB^S")
+       | "multi" ->
+         (* multi:K:SPEC — K disjoint planes of any base spec, e.g.
+            multi:4:omega:256 is a 1024-port four-plane Omega. This is
+            the natural input of [rsin serve]: each plane shards onto
+            its own core. *)
+         (match String.index_opt arg ':' with
+         | Some j ->
+           let planes = String.sub arg 0 j in
+           let sub = String.sub arg (j + 1) (String.length arg - j - 1) in
+           (match int_of_string_opt planes with
+           | Some planes when planes >= 1 ->
+             Result.map (Builders.multiplane ~planes) (parse_net sub)
+           | _ -> fail "multi spec: multi:K:SPEC (K >= 1)")
+         | None -> fail "multi spec: multi:K:SPEC")
        | "clos" ->
          (match List.filter_map int_of_string_opt (String.split_on_char ',' arg) with
          | [ m; n; r ] -> Ok (Builders.clos ~m ~n ~r)
@@ -607,46 +621,32 @@ let check_packet_args ~vq_depth ~flits =
     exit 1
   end
 
-(* --- replay ------------------------------------------------------------------- *)
+(* --- shared engine/workload options ------------------------------------------ *)
 
-let replay_cmd =
-  let trace_arg =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "trace" ] ~docv:"FILE"
-          ~doc:"Replay the JSONL workload trace in $(docv) instead of \
-                synthesizing one.")
-  in
-  let export_arg =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "export" ] ~docv:"FILE"
-          ~doc:"Write the served workload trace to $(docv) as JSONL (replay \
-                it later with --trace).")
-  in
-  let mode_arg =
-    let mode_conv =
-      Arg.enum
-        [ ("warm", `Warm); ("rebuild", `Rebuild); ("token", `Token);
-          ("both", `Both); ("packet", `Packet) ]
-    in
-    Arg.(
-      value & opt mode_conv `Both
-      & info [ "mode" ] ~docv:"MODE"
-          ~doc:"Scheduling strategy: $(b,warm) (persistent incremental flow \
-                graph), $(b,rebuild) (from-scratch max-flow each cycle), \
-                $(b,token) (every cycle runs on the distributed token \
-                architecture; solver work counts status-bus clock periods, \
-                and clocked trace faults strike mid-cycle), $(b,both) \
-                (run warm and rebuild and compare solver work) or \
-                $(b,packet) (serve the trace packet-switched on the \
-                buffered VOQ fabric: tasks bind to a random free resource \
-                before injection and the resource idles until the last \
-                flit arrives — the Section II alternative the circuit \
-                modes are measured against).")
-  in
+(* Every flag `rsin replay` and `rsin serve` have in common — the
+   synthetic-workload family, all the Engine.Config knobs and the fault
+   injection plan — factored into one record + term bundle (like
+   [common_term]) so the two subcommands cannot drift: serve composes
+   [engine_opts_term] verbatim. *)
+type engine_opts = {
+  eo_discipline : [ `Uniform | `Priority ];
+  eo_levels : int;
+  eo_slots : int;
+  eo_arrival : float;
+  eo_service : float;
+  eo_cancel : float;
+  eo_slack : int option;
+  eo_threshold : int;
+  eo_defer : int;
+  eo_trans : int;
+  eo_faults : bool;
+  eo_mtbf : float;
+  eo_mttr : float;
+  eo_granularity : [ `Slot | `Clock ];
+  eo_heartbeat : int;
+}
+
+let engine_opts_term =
   let discipline_arg =
     let disc_conv = Arg.enum [ ("uniform", `Uniform); ("priority", `Priority) ] in
     Arg.(
@@ -750,71 +750,180 @@ let replay_cmd =
                 (slot, events, cycles, allocated, solver work) to stderr. 0 \
                 (the default) disables the heartbeat.")
   in
-  let run net trace_file export mode discipline levels slots arrival service
-      cancel slack threshold defer trans faults mtbf mttr granularity
-      heartbeat arbiter vq_depth flits c =
+  let mk eo_discipline eo_levels eo_slots eo_arrival eo_service eo_cancel
+      eo_slack eo_threshold eo_defer eo_trans eo_faults eo_mtbf eo_mttr
+      eo_granularity eo_heartbeat =
+    { eo_discipline; eo_levels; eo_slots; eo_arrival; eo_service; eo_cancel;
+      eo_slack; eo_threshold; eo_defer; eo_trans; eo_faults; eo_mtbf; eo_mttr;
+      eo_granularity; eo_heartbeat }
+  in
+  Term.(
+    const mk $ discipline_arg $ levels_arg $ slots_arg $ arrival_arg
+    $ service_arg $ cancel_arg $ slack_arg $ threshold_arg $ defer_arg
+    $ trans_arg $ faults_arg $ mtbf_arg $ mttr_arg $ granularity_arg
+    $ heartbeat_arg)
+
+(* The validated Engine.Config the shared flags describe. Exits with a
+   flag-level diagnostic on a bad combination — the smart constructor is
+   the single validation point. *)
+let engine_config ~mode (o : engine_opts) c =
+  let module Engine = Rsin_engine.Engine in
+  let faults =
+    if o.eo_faults then
+      Some
+        { Engine.Config.mtbf = o.eo_mtbf; mttr = o.eo_mttr;
+          granularity = o.eo_granularity }
+    else None
+  in
+  let discipline =
+    match o.eo_discipline with
+    | `Uniform -> Engine.Uniform
+    | `Priority -> Engine.Priority
+  in
+  match
+    Engine.Config.make ~mode ~discipline ~solver:c.solver
+      ~transmission_time:o.eo_trans ~batch_threshold:o.eo_threshold
+      ~max_defer:o.eo_defer ~heartbeat:o.eo_heartbeat ~faults ()
+  with
+  | Ok cfg -> cfg
+  | Error msg ->
+    Printf.eprintf "rsin: %s\n" msg;
+    exit 1
+
+(* Synthesize (or read) the workload the shared flags describe. *)
+let engine_trace ?trace_file (o : engine_opts) net c =
+  if o.eo_levels < 0 then begin
+    Printf.eprintf "rsin: --priority-levels must be >= 0\n";
+    exit 1
+  end;
+  match trace_file with
+  | Some file ->
+    (try Workload.read_trace file
+     with Sys_error msg | Failure msg ->
+       Printf.eprintf "rsin: cannot read trace: %s\n" msg;
+       exit 1)
+  | None ->
+    Workload.synthesize ~mean_service:o.eo_service
+      ?deadline_slack:o.eo_slack ~cancel_prob:o.eo_cancel
+      ~priority_levels:o.eo_levels (Prng.create c.seed) net ~slots:o.eo_slots
+      ~arrival_prob:o.eo_arrival
+
+(* Weave the config's fault plan into the trace as Fault/Repair events
+   (a no-op when the plan is absent). *)
+let engine_inject_faults cfg net trace c =
+  let module Engine = Rsin_engine.Engine in
+  match cfg.Engine.Config.faults with
+  | None -> trace
+  | Some { Engine.Config.mtbf; mttr; granularity } ->
+    let horizon =
+      List.fold_left (fun acc e -> max acc (Workload.event_time e)) 0 trace
+    in
+    (* A sub-stream of the workload seed, so the same --seed gives the
+       same arrivals with and without --faults. *)
+    let frng = Prng.split (Prng.create c.seed) in
+    let fevents =
+      match granularity with
+      | `Slot -> Workload.fault_events (Fault.inject frng net ~horizon ~mtbf ~mttr)
+      | `Clock ->
+        (* Same element schedule as `Slot for the same seed; each
+           event just gains a uniform intra-cycle status-bus clock. *)
+        Workload.fault_events_clocked
+          (Fault.inject_clocked frng net ~horizon ~mtbf ~mttr ~clock_range:48)
+    in
+    Printf.printf "faults: %d element event(s) injected (mtbf %g, mttr %g)\n"
+      (List.length fevents) mtbf mttr;
+    List.stable_sort
+      (fun a b -> compare (Workload.event_time a) (Workload.event_time b))
+      (trace @ fevents)
+
+(* The heartbeat hooks the config's period describes: the per-slot event
+   pulse combined with running cycle tallies (the engine publishes its
+   counters only at the end of the run). *)
+let heartbeat_hooks ~label cfg =
+  let module Engine = Rsin_engine.Engine in
+  let heartbeat = cfg.Engine.Config.heartbeat in
+  let cycles = ref 0 and alloc = ref 0 and work = ref 0 in
+  let pulses = ref 0 in
+  if heartbeat = 0 then (None, None)
+  else
+    ( Some
+        (fun _net (info : Engine.cycle_info) ->
+          incr cycles;
+          alloc := !alloc + info.Engine.allocated;
+          work := !work + info.Engine.work),
+      Some
+        (fun ~events ~time ->
+          if events / heartbeat > !pulses then begin
+            pulses := events / heartbeat;
+            Printf.eprintf
+              "heartbeat[%s]: slot=%d events=%d cycles=%d allocated=%d \
+               work=%d\n%!"
+              label time events !cycles !alloc !work
+          end) )
+
+(* --- replay ------------------------------------------------------------------- *)
+
+let replay_cmd =
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Replay the JSONL workload trace in $(docv) instead of \
+                synthesizing one.")
+  in
+  let export_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "export" ] ~docv:"FILE"
+          ~doc:"Write the served workload trace to $(docv) as JSONL (replay \
+                it later with --trace).")
+  in
+  let mode_arg =
+    let mode_conv =
+      Arg.enum
+        [ ("warm", `Warm); ("rebuild", `Rebuild); ("token", `Token);
+          ("both", `Both); ("packet", `Packet) ]
+    in
+    Arg.(
+      value & opt mode_conv `Both
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:"Scheduling strategy: $(b,warm) (persistent incremental flow \
+                graph), $(b,rebuild) (from-scratch max-flow each cycle), \
+                $(b,token) (every cycle runs on the distributed token \
+                architecture; solver work counts status-bus clock periods, \
+                and clocked trace faults strike mid-cycle), $(b,both) \
+                (run warm and rebuild and compare solver work) or \
+                $(b,packet) (serve the trace packet-switched on the \
+                buffered VOQ fabric: tasks bind to a random free resource \
+                before injection and the resource idles until the last \
+                flit arrives — the Section II alternative the circuit \
+                modes are measured against).")
+  in
+  let run net trace_file export mode (o : engine_opts) arbiter vq_depth flits
+      c =
     let module Engine = Rsin_engine.Engine in
-    if levels < 0 then begin
-      Printf.eprintf "rsin: --priority-levels must be >= 0\n";
-      exit 1
-    end;
     if mode = `Packet then check_packet_args ~vq_depth ~flits;
-    let trace =
-      match trace_file with
-      | Some file ->
-        (try Workload.read_trace file
-         with Sys_error msg | Failure msg ->
-           Printf.eprintf "rsin: cannot read trace: %s\n" msg;
-           exit 1)
-      | None ->
-        Workload.synthesize ~mean_service:service ?deadline_slack:slack
-          ~cancel_prob:cancel ~priority_levels:levels (Prng.create c.seed) net
-          ~slots ~arrival_prob:arrival
+    (* Mode `Both compares warm and rebuild, so the config is built per
+       engine run; the Warm instance carries the shared fields every
+       pre-run step (fault injection, heartbeat) reads. *)
+    let config_for m = engine_config ~mode:m o c in
+    let base_cfg =
+      config_for
+        (match mode with
+        | `Rebuild -> Engine.Rebuild
+        | `Token -> Engine.Token
+        | `Warm | `Both | `Packet -> Engine.Warm)
     in
-    let trace =
-      if not faults then trace
-      else begin
-        if mtbf <= 0. || mttr <= 0. then begin
-          Printf.eprintf "rsin: --mtbf and --mttr must be > 0\n";
-          exit 1
-        end;
-        let horizon =
-          List.fold_left (fun acc e -> max acc (Workload.event_time e)) 0 trace
-        in
-        (* A sub-stream of the workload seed, so the same --seed gives the
-           same arrivals with and without --faults. *)
-        let frng = Prng.split (Prng.create c.seed) in
-        let fevents =
-          match granularity with
-          | `Slot -> Workload.fault_events (Fault.inject frng net ~horizon ~mtbf ~mttr)
-          | `Clock ->
-            (* Same element schedule as `Slot for the same seed; each
-               event just gains a uniform intra-cycle status-bus clock. *)
-            Workload.fault_events_clocked
-              (Fault.inject_clocked frng net ~horizon ~mtbf ~mttr
-                 ~clock_range:48)
-        in
-        Printf.printf "faults: %d element event(s) injected (mtbf %g, mttr %g)\n"
-          (List.length fevents) mtbf mttr;
-        List.stable_sort
-          (fun a b -> compare (Workload.event_time a) (Workload.event_time b))
-          (trace @ fevents)
-      end
-    in
+    let trace = engine_trace ?trace_file o net c in
+    let trace = engine_inject_faults base_cfg net trace c in
     let has_faults =
       List.exists
         (function Workload.Fault _ | Workload.Repair _ -> true | _ -> false)
         trace
     in
-    let discipline =
-      match discipline with
-      | `Uniform -> Engine.Uniform
-      | `Priority -> Engine.Priority
-    in
-    if mode = `Token && discipline = Engine.Priority then begin
-      Printf.eprintf "rsin: --mode token runs --discipline uniform only\n";
-      exit 1
-    end;
+    let discipline = base_cfg.Engine.Config.discipline in
     (match export with
     | Some file ->
       (try Workload.write_trace file trace
@@ -823,14 +932,6 @@ let replay_cmd =
          exit 1);
       Printf.printf "exported %d event(s) -> %s\n" (List.length trace) file
     | None -> ());
-    let config =
-      { Engine.transmission_time = trans; batch_threshold = threshold;
-        max_defer = defer }
-    in
-    if heartbeat < 0 then begin
-      Printf.eprintf "rsin: --heartbeat must be >= 0\n";
-      exit 1
-    end;
     with_obs c.trace_out c.trace_format @@ fun obs ->
     if mode = `Packet then begin
       let module Preplay = Rsin_packet.Replay in
@@ -895,31 +996,11 @@ let replay_cmd =
     end
     else begin
     let go m =
-      (* The heartbeat combines the per-slot event pulse with running
-         cycle tallies (the engine publishes its counters only at the
-         end of the run). *)
-      let cycles = ref 0 and alloc = ref 0 and work = ref 0 in
-      let pulses = ref 0 in
+      let cfg = config_for m in
       let cycle_hook, event_hook =
-        if heartbeat = 0 then (None, None)
-        else
-          ( Some
-              (fun _net (info : Engine.cycle_info) ->
-                incr cycles;
-                alloc := !alloc + info.Engine.allocated;
-                work := !work + info.Engine.work),
-            Some
-              (fun ~events ~time ->
-                if events / heartbeat > !pulses then begin
-                  pulses := events / heartbeat;
-                  Printf.eprintf
-                    "heartbeat[%s]: slot=%d events=%d cycles=%d allocated=%d \
-                     work=%d\n%!"
-                    (Engine.mode_name m) time events !cycles !alloc !work
-                end) )
+        heartbeat_hooks ~label:(Engine.mode_name m) cfg
       in
-      Engine.run ?obs ~config ~mode:m ~discipline ?solver:(solver_of c)
-        ?cycle_hook ?event_hook net trace
+      Engine.run ?obs ~config:cfg ?cycle_hook ?event_hook net trace
     in
     let reports =
       match mode with
@@ -976,11 +1057,178 @@ let replay_cmd =
        ~doc:"Serve a recorded or synthetic workload trace through the online \
              allocation engine")
     Term.(
-      const run $ net_arg $ trace_arg $ export_arg $ mode_arg $ discipline_arg
-      $ levels_arg $ slots_arg $ arrival_arg $ service_arg $ cancel_arg
-      $ slack_arg $ threshold_arg $ defer_arg $ trans_arg $ faults_arg
-      $ mtbf_arg $ mttr_arg $ granularity_arg $ heartbeat_arg $ arbiter_arg
-      $ vq_depth_arg $ flits_arg ~default:4 $ common_term)
+      const run $ net_arg $ trace_arg $ export_arg $ mode_arg
+      $ engine_opts_term $ arbiter_arg $ vq_depth_arg $ flits_arg ~default:4
+      $ common_term)
+
+(* --- serve -------------------------------------------------------------------- *)
+
+(* Stream one connection's JSONL off a Unix domain socket. The socket
+   file is created fresh and removed on exit; a single connection is
+   accepted and served to completion, which keeps the subcommand
+   scriptable (pipe a trace in, read the report out). *)
+let with_unix_socket path k =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.bind sock (Unix.ADDR_UNIX path);
+      Unix.listen sock 1;
+      Printf.eprintf "listening on %s\n%!" path;
+      let conn, _ = Unix.accept sock in
+      let ic = Unix.in_channel_of_descr conn in
+      Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> k ic))
+
+let serve_cmd =
+  let module Engine = Rsin_engine.Engine in
+  let module Serve = Rsin_engine.Serve in
+  let module Shard = Rsin_engine.Shard in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Stream the JSONL workload trace in $(docv) line at a time \
+                (replay traces double as load-test drivers).")
+  in
+  let listen_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "listen" ] ~docv:"PATH"
+          ~doc:"Create a Unix domain socket at $(docv), accept one \
+                connection and stream JSONL trace events from it until the \
+                client closes.")
+  in
+  let synthetic_arg =
+    Arg.(
+      value & flag
+      & info [ "synthetic" ]
+          ~doc:"Synthesize the workload from the shared workload flags \
+                (--slots, --arrival, ...) instead of streaming one — the \
+                scaling-bench driver.")
+  in
+  let domains_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Size of the domain pool serving the shards (default: the \
+                machine's recommended domain count). The shard layout — and \
+                with it the allocation trajectory — does not depend on it.")
+  in
+  let timing_arg =
+    Arg.(
+      value & flag
+      & info [ "timing" ]
+          ~doc:"Also report wall-clock time and events/second (off by \
+                default so serve output stays reproducible).")
+  in
+  let run net domains trace_file listen synthetic timing (o : engine_opts) c =
+    let cfg = engine_config ~mode:Engine.Warm o c in
+    if Option.is_some trace_file && Option.is_some listen then begin
+      Printf.eprintf "rsin: --trace and --listen are mutually exclusive\n";
+      exit 1
+    end;
+    if synthetic && (Option.is_some trace_file || Option.is_some listen) then begin
+      Printf.eprintf "rsin: --synthetic replaces --trace/--listen\n";
+      exit 1
+    end;
+    if cfg.Engine.Config.faults <> None && not synthetic then begin
+      Printf.eprintf
+        "rsin: --faults needs --synthetic (streamed traces carry their \
+         fault events inline)\n";
+      exit 1
+    end;
+    let cycle_hook, event_hook = heartbeat_hooks ~label:"serve" cfg in
+    let cycle_hook =
+      (* The engines run on separate domains, but the heartbeat tallies
+         are only read by the event hook, which fires on the routing
+         domain after the barrier — no cycle of any shard is in flight
+         then, so the plain counters are safe. *)
+      Option.map (fun h -> fun ~shard:_ snapshot info -> h snapshot info) cycle_hook
+    in
+    let t =
+      match Serve.create ~config:cfg ?domains ?cycle_hook ?event_hook net with
+      | Ok t -> t
+      | Error msg ->
+        Printf.eprintf "rsin: %s\n" msg;
+        exit 1
+    in
+    Printf.printf "serving %s: %d shard(s) over %d domain(s)\n"
+      (Network.name net)
+      (Shard.n_shards (Serve.shard t))
+      (Serve.n_domains t);
+    let feed ev =
+      try Serve.feed t ev
+      with Invalid_argument msg ->
+        Printf.eprintf "rsin: %s\n" msg;
+        exit 1
+    in
+    let feed_channel ic =
+      match
+        Workload.fold_trace_channel ic ~init:() ~f:(fun () ev -> feed ev)
+      with
+      | Ok () -> ()
+      | Error { Workload.line; message } ->
+        Printf.eprintf "rsin: cannot read trace: line %d: %s\n" line message;
+        exit 1
+    in
+    (if synthetic then begin
+       let trace = engine_trace o net c in
+       let trace = engine_inject_faults cfg net trace c in
+       List.iter feed (Workload.sort_trace trace)
+     end
+     else
+       match (trace_file, listen) with
+       | Some file, None ->
+         (try In_channel.with_open_text file feed_channel
+          with Sys_error msg ->
+            Printf.eprintf "rsin: cannot read trace: %s\n" msg;
+            exit 1)
+       | None, Some path -> with_unix_socket path feed_channel
+       | None, None | Some _, Some _ -> feed_channel stdin);
+    Serve.drain t;
+    let r = Serve.report t in
+    Table.print
+      ~header:[ "metric"; "serve" ]
+      ([ ("events", string_of_int r.Serve.events);
+         ("borrowed", string_of_int r.Serve.borrows);
+         ("starved", string_of_int r.Serve.starved);
+         ("horizon (slots)", string_of_int r.Serve.horizon);
+         ("arrivals", string_of_int r.Serve.arrivals);
+         ("allocated", string_of_int r.Serve.allocated);
+         ("completed", string_of_int r.Serve.completed);
+         ("cancelled", string_of_int r.Serve.cancelled);
+         ("expired", string_of_int r.Serve.expired);
+         ("left pending", string_of_int r.Serve.left_pending);
+         ("scheduling cycles", string_of_int r.Serve.cycles);
+         ("cycles skipped clean", string_of_int r.Serve.skipped_cycles);
+         ("solver work (arcs)", string_of_int r.Serve.solver_work) ]
+       @ (if r.Serve.faults + r.Serve.repairs > 0 then
+            [ ("faults applied", string_of_int r.Serve.faults);
+              ("repairs applied", string_of_int r.Serve.repairs);
+              ("victim circuits", string_of_int r.Serve.victims) ]
+          else [])
+       |> List.map (fun (a, b) -> [ a; b ]));
+    if timing then
+      Printf.printf "wall %.1f ms, %.0f events/s\n"
+        (r.Serve.wall_us /. 1000.)
+        (Serve.events_per_sec r)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve a live JSONL event stream (stdin, file or Unix socket) \
+             through the sharded multicore engine: one warm engine per \
+             network component, spread over an OCaml domain pool, with \
+             cross-shard borrowing when a shard's resource pool is \
+             exhausted.")
+    Term.(
+      const run $ net_arg $ domains_arg $ trace_arg $ listen_arg
+      $ synthetic_arg $ timing_arg $ engine_opts_term $ common_term)
 
 (* --- metrics ------------------------------------------------------------------ *)
 
@@ -1522,7 +1770,8 @@ let () =
     Cmd.group
       (Cmd.info "rsin" ~doc ~version:"1.0.0")
       [ info_cmd; dot_cmd; schedule_cmd; trace_cmd; blocking_cmd; simulate_cmd;
-        replay_cmd; saturate_cmd; metrics_cmd; perf_cmd; props_cmd; perm_cmd;
+        replay_cmd; serve_cmd; saturate_cmd; metrics_cmd; perf_cmd; props_cmd;
+        perm_cmd;
         gates_cmd; show_cmd; taskgraph_cmd ]
   in
   exit (Cmd.eval main)

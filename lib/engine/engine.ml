@@ -1,11 +1,13 @@
 module Heap = Rsin_util.Heap
 module Stats = Rsin_util.Stats
+module Json = Rsin_util.Json
 module Network = Rsin_topology.Network
 module Transform1 = Rsin_core.Transform1
 module Transform2 = Rsin_core.Transform2
 module Workload = Rsin_sim.Workload
 module Fault = Rsin_fault.Fault
 module Token_sim = Rsin_distributed.Token_sim
+module Solver = Rsin_flow.Solver
 module Obs = Rsin_obs.Obs
 module Tr = Rsin_obs.Trace
 
@@ -13,17 +15,164 @@ type mode = Warm | Rebuild | Token
 
 let mode_name = function Warm -> "warm" | Rebuild -> "rebuild" | Token -> "token"
 
+let mode_of_name = function
+  | "warm" -> Ok Warm
+  | "rebuild" -> Ok Rebuild
+  | "token" -> Ok Token
+  | s -> Error (Printf.sprintf "unknown mode %S (warm|rebuild|token)" s)
+
 type discipline = Uniform | Priority
 
 let discipline_name = function Uniform -> "uniform" | Priority -> "priority"
 
-type config = {
-  transmission_time : int;
-  batch_threshold : int;
-  max_defer : int;
-}
+let discipline_of_name = function
+  | "uniform" -> Ok Uniform
+  | "priority" -> Ok Priority
+  | s -> Error (Printf.sprintf "unknown discipline %S (uniform|priority)" s)
 
-let default_config = { transmission_time = 1; batch_threshold = 1; max_defer = 16 }
+module Config = struct
+  type fault_plan = {
+    mtbf : float;
+    mttr : float;
+    granularity : [ `Slot | `Clock ];
+  }
+
+  type t = {
+    mode : mode;
+    discipline : discipline;
+    solver : string;
+    transmission_time : int;
+    batch_threshold : int;
+    max_defer : int;
+    heartbeat : int;
+    faults : fault_plan option;
+  }
+
+  let make ?(mode = Warm) ?(discipline = Uniform) ?(solver = "dinic")
+      ?(transmission_time = 1) ?(batch_threshold = 1) ?(max_defer = 16)
+      ?(heartbeat = 0) ?(faults = None) () =
+    if transmission_time < 1 then
+      Error "Engine.Config: transmission_time must be >= 1"
+    else if batch_threshold < 1 then
+      Error "Engine.Config: batch_threshold must be >= 1"
+    else if max_defer < 1 then Error "Engine.Config: max_defer must be >= 1"
+    else if heartbeat < 0 then Error "Engine.Config: heartbeat must be >= 0"
+    else if mode = Token && discipline = Priority then
+      Error "Engine.Config: token mode runs the uniform discipline only"
+    else
+      match Solver.find solver with
+      | None ->
+        Error
+          (Printf.sprintf "Engine.Config: unknown solver %S (known: %s)" solver
+             (String.concat ", " (Solver.names ())))
+      | Some _ -> (
+        match faults with
+        | Some { mtbf; mttr; _ } when mtbf <= 0. || mttr <= 0. ->
+          Error "Engine.Config: fault mtbf and mttr must be > 0"
+        | _ ->
+          Ok
+            { mode; discipline; solver; transmission_time; batch_threshold;
+              max_defer; heartbeat; faults })
+
+  let v ?mode ?discipline ?solver ?transmission_time ?batch_threshold
+      ?max_defer ?heartbeat ?faults () =
+    match
+      make ?mode ?discipline ?solver ?transmission_time ?batch_threshold
+        ?max_defer ?heartbeat ?faults ()
+    with
+    | Ok t -> t
+    | Error msg -> invalid_arg msg
+
+  let default = v ()
+
+  let granularity_name = function `Slot -> "slot" | `Clock -> "clock"
+
+  let pp ppf t =
+    Format.fprintf ppf
+      "@[<h>{mode=%s;@ discipline=%s;@ solver=%s;@ transmission=%d;@ \
+       threshold=%d;@ defer=%d;@ heartbeat=%d;@ faults=%s}@]"
+      (mode_name t.mode)
+      (discipline_name t.discipline)
+      t.solver t.transmission_time t.batch_threshold t.max_defer t.heartbeat
+      (match t.faults with
+      | None -> "none"
+      | Some f ->
+        Printf.sprintf "{mtbf=%g; mttr=%g; granularity=%s}" f.mtbf f.mttr
+          (granularity_name f.granularity))
+
+  let to_json t =
+    Json.Obj
+      [ ("mode", Json.Str (mode_name t.mode));
+        ("discipline", Json.Str (discipline_name t.discipline));
+        ("solver", Json.Str t.solver);
+        ("transmission_time", Json.Num (float_of_int t.transmission_time));
+        ("batch_threshold", Json.Num (float_of_int t.batch_threshold));
+        ("max_defer", Json.Num (float_of_int t.max_defer));
+        ("heartbeat", Json.Num (float_of_int t.heartbeat));
+        ( "faults",
+          match t.faults with
+          | None -> Json.Null
+          | Some f ->
+            Json.Obj
+              [ ("mtbf", Json.Num f.mtbf);
+                ("mttr", Json.Num f.mttr);
+                ("granularity", Json.Str (granularity_name f.granularity)) ] )
+      ]
+
+  let ( let* ) = Result.bind
+
+  (* Every field is optional in the document (missing = default), but a
+     present field of the wrong shape is an error, not a silent default:
+     a config that decodes must mean what it says. *)
+  let of_json j =
+    let field name conv ~default =
+      match Json.member name j with
+      | None | Some Json.Null -> Ok default
+      | Some v -> (
+        match conv v with
+        | Some x -> Ok x
+        | None -> Error (Printf.sprintf "Engine.Config: bad field %S" name))
+    in
+    match Json.to_obj j with
+    | None -> Error "Engine.Config: expected a JSON object"
+    | Some _ ->
+      let* mode =
+        let* s = field "mode" Json.to_str ~default:"warm" in
+        mode_of_name s
+      in
+      let* discipline =
+        let* s = field "discipline" Json.to_str ~default:"uniform" in
+        discipline_of_name s
+      in
+      let* solver = field "solver" Json.to_str ~default:"dinic" in
+      let* transmission_time =
+        field "transmission_time" Json.to_int ~default:1
+      in
+      let* batch_threshold = field "batch_threshold" Json.to_int ~default:1 in
+      let* max_defer = field "max_defer" Json.to_int ~default:16 in
+      let* heartbeat = field "heartbeat" Json.to_int ~default:0 in
+      let* faults =
+        match Json.member "faults" j with
+        | None | Some Json.Null -> Ok None
+        | Some fj -> (
+          match
+            ( Option.bind (Json.member "mtbf" fj) Json.to_num,
+              Option.bind (Json.member "mttr" fj) Json.to_num,
+              match Json.member "granularity" fj with
+              | None -> Some `Slot
+              | Some g -> (
+                match Json.to_str g with
+                | Some "slot" -> Some `Slot
+                | Some "clock" -> Some `Clock
+                | Some _ | None -> None) )
+          with
+          | Some mtbf, Some mttr, Some granularity ->
+            Ok (Some { mtbf; mttr; granularity })
+          | _ -> Error "Engine.Config: bad field \"faults\"")
+      in
+      make ~mode ~discipline ~solver ~transmission_time ~batch_threshold
+        ~max_defer ~heartbeat ~faults ()
+end
 
 type cycle_info = {
   time : int;
@@ -58,7 +207,7 @@ type report = {
   mean_readmission : float;
 }
 
-(* Internal events. Trace arrivals/cancels are injected up front; the
+(* Internal events. Trace arrivals/cancels are fed from outside; the
    engine schedules releases, completions, deadline expiries and
    deferred-batch wakeups as it runs. *)
 type ev =
@@ -99,20 +248,102 @@ type live = {
   mutable released : bool;
 }
 
-let run ?obs ?(config = default_config) ?(mode = Warm) ?(discipline = Uniform)
-    ?solver ?cycle_hook ?event_hook net trace =
-  if config.transmission_time < 1 then invalid_arg "Engine.run: transmission_time";
-  if config.batch_threshold < 1 then invalid_arg "Engine.run: batch_threshold";
-  if config.max_defer < 1 then invalid_arg "Engine.run: max_defer";
-  if mode = Token && discipline = Priority then
-    invalid_arg "Engine.run: token mode runs the uniform discipline only";
+(* The whole former body of [run], hoisted into a record so a
+   long-running serve loop can interleave feeding and advancing. *)
+type t = {
+  cfg : Config.t;
+  obs : Obs.t option;
+  cycle_hook : (Network.t -> cycle_info -> unit) option;
+  event_hook : (events:int -> time:int -> unit) option;
+  net : Network.t;
+  np : int;
+  nr : int;
+  inc : Incremental.t option;
+  solver_mod : (module Rsin_flow.Solver.S) option;
+      (* non-default registry solver for Rebuild+Uniform cycles *)
+  (* Engine-visible scheduling state. In Warm mode [requesting] and the
+     effective resource freedom (idle && up) mirror the incremental
+     graph's switched-on endpoint arcs (committed circuits' frozen arcs
+     count as neither). [res_idle] tracks service occupancy only;
+     health lives on the network copy, so a resource that goes down
+     mid-service simply stays unavailable after completing. *)
+  requesting : bool array;
+  res_idle : bool array;
+  queues : int list array;             (* task ids, FIFO *)
+  transmitting : int option array;
+  tasks : (int, task) Hashtbl.t;
+  lives : (int, live) Hashtbl.t;
+  mutable next_live : int;
+  heap : (int * int, ev) Heap.t;
+  mutable next_seq : int;
+  mutable arrivals : int;
+  mutable allocated : int;
+  mutable completed : int;
+  mutable cancelled : int;
+  mutable expired : int;
+  mutable cycles : int;
+  mutable skipped_cycles : int;
+  mutable solver_work : int;
+  mutable faults : int;
+  mutable repairs : int;
+  mutable victims : int;
+  (* Token mode: clocked down-faults of the current slot, buffered until
+     the slot's scheduling cycle runs them mid-cycle (chronological
+     order). Entries the cycle never reached — or that arrive in a slot
+     without a cycle — are applied at the end of the slot. *)
+  mutable mid_buffer : (int * Fault.element) list;
+  victim_at : (int, int) Hashtbl.t;
+  readmissions : Stats.accum;
+  mutable busy_slots : int;
+  mutable horizon : int;
+  waits : Stats.accum;
+  mutable max_wait : int;
+  tracing : bool;
+  mutable events_seen : int;
+  mutable served_upto : int;
+}
+
+let res_free t r = t.res_idle.(r) && Network.res_up t.net r
+
+let push t time ev =
+  Heap.add t.heap (time, t.next_seq) ev;
+  t.next_seq <- t.next_seq + 1
+
+(* The pending request of a processor stands for its queue head; under
+   the priority discipline the head's priority rides on the source
+   arc's cost, so it must be refreshed whenever the head changes while
+   the request stays pending (a cancel or expiry of the old head). *)
+let head_priority t p =
+  match t.queues.(p) with
+  | id :: _ -> (Hashtbl.find t.tasks id).priority
+  | [] -> 0
+
+let set_requesting t p on =
+  let changed = t.requesting.(p) <> on in
+  t.requesting.(p) <- on;
+  match t.inc with
+  | Some i ->
+    if changed || (t.cfg.Config.discipline = Priority && on) then
+      Incremental.set_requesting i ~priority:(head_priority t p) p on
+  | None -> ()
+
+(* Push resource r's effective freedom (idle && healthy) down to the
+   warm graph. Never called while the rt arc is frozen: during
+   transmission the resource counts as busy via the frozen flow, and
+   teardown/release thaw the arc before any sync. *)
+let sync_res t r =
+  match t.inc with
+  | Some i -> Incremental.set_resource_free i r (res_free t r)
+  | None -> ()
+
+let create ?obs ?(config = Config.default) ?cycle_hook ?event_hook net =
   let net = Network.copy net in
   let np = Network.n_procs net and nr = Network.n_res net in
   let inc =
-    match mode with
+    match config.Config.mode with
     | Warm ->
       let d =
-        match discipline with
+        match config.Config.discipline with
         | Uniform -> Incremental.Maxflow
         | Priority -> Incremental.Mincost
       in
@@ -122,466 +353,495 @@ let run ?obs ?(config = default_config) ?(mode = Warm) ?(discipline = Uniform)
          warm augment is inherently Dinic/SSP-shaped — so they keep the
          default adjacency backend, as before. *)
       let backend =
-        match solver with
-        | Some (module S : Rsin_flow.Solver.S)
-          when S.name = "dinic-csr" || S.name = "mincost-csr" ->
-          Incremental.Csr
-        | Some _ | None -> Incremental.Adjacency
+        match config.Config.solver with
+        | "dinic-csr" | "mincost-csr" -> Incremental.Csr
+        | _ -> Incremental.Adjacency
       in
       Some (Incremental.create ~discipline:d ~backend net)
     | Rebuild | Token -> None
   in
-  (* Engine-visible scheduling state. In Warm mode [requesting] and the
-     effective resource freedom (idle && up) mirror the incremental
-     graph's switched-on endpoint arcs (committed circuits' frozen arcs
-     count as neither). [res_idle] tracks service occupancy only;
-     health lives on the network copy, so a resource that goes down
-     mid-service simply stays unavailable after completing. *)
-  let requesting = Array.make np false in
-  let res_idle = Array.make nr true in
-  let res_free r = res_idle.(r) && Network.res_up net r in
-  let queues : int list array = Array.make np [] in      (* task ids, FIFO *)
-  let transmitting : int option array = Array.make np None in
-  let tasks : (int, task) Hashtbl.t = Hashtbl.create 256 in
-  let lives : (int, live) Hashtbl.t = Hashtbl.create 64 in
-  let next_live = ref 0 in
-  let heap = Heap.create ~cmp:(fun (t1, s1) (t2, s2) ->
-      if t1 <> t2 then compare (t1 : int) t2 else compare (s1 : int) s2)
+  let solver_mod =
+    match config.Config.solver with
+    | "dinic" -> None
+    | name -> Some (Solver.get name)
   in
-  let next_seq = ref 0 in
-  let push t ev =
-    Heap.add heap (t, !next_seq) ev;
-    incr next_seq
+  let t =
+    { cfg = config; obs; cycle_hook; event_hook; net; np; nr; inc; solver_mod;
+      requesting = Array.make np false;
+      res_idle = Array.make nr true;
+      queues = Array.make np [];
+      transmitting = Array.make np None;
+      tasks = Hashtbl.create 256;
+      lives = Hashtbl.create 64;
+      next_live = 0;
+      heap =
+        Heap.create ~cmp:(fun (t1, s1) (t2, s2) ->
+            if t1 <> t2 then compare (t1 : int) t2 else compare (s1 : int) s2);
+      next_seq = 0;
+      arrivals = 0; allocated = 0; completed = 0; cancelled = 0; expired = 0;
+      cycles = 0; skipped_cycles = 0; solver_work = 0;
+      faults = 0; repairs = 0; victims = 0;
+      mid_buffer = [];
+      victim_at = Hashtbl.create 16;
+      readmissions = Stats.accum ();
+      busy_slots = 0; horizon = 0;
+      waits = Stats.accum (); max_wait = 0;
+      tracing = Obs.tracing obs;
+      events_seen = 0;
+      served_upto = min_int }
   in
-  List.iter
-    (fun ev ->
-      match ev with
-      | Workload.Arrive { t; id; proc; service; deadline; priority } ->
-        if proc < 0 || proc >= np then invalid_arg "Engine.run: bad processor in trace";
-        if service < 1 then invalid_arg "Engine.run: bad service time in trace";
-        if priority < 0 then invalid_arg "Engine.run: bad priority in trace";
-        push t (Ev_arrive { id; proc; service; deadline; priority })
-      | Workload.Cancel { t; id } -> push t (Ev_cancel id)
-      | Workload.Fault { t; clock; element } ->
-        push t (Ev_fault (Fault.down_of element, clock))
-      | Workload.Repair { t; clock = _; element } ->
-        (* Repairs always apply at the cycle boundary (Workload doc). *)
-        push t (Ev_fault (Fault.up_of element, None)))
-    (Workload.sort_trace trace);
-  let arrivals = ref 0 and allocated = ref 0 and completed = ref 0 in
-  let cancelled = ref 0 and expired = ref 0 in
-  let cycles = ref 0 and skipped_cycles = ref 0 and solver_work = ref 0 in
-  let faults = ref 0 and repairs = ref 0 and victims = ref 0 in
-  (* Token mode: clocked down-faults of the current slot, buffered until
-     the slot's scheduling cycle runs them mid-cycle (chronological
-     order). Entries the cycle never reached — or that arrive in a slot
-     without a cycle — are applied at the end of the slot. *)
-  let mid_buffer : (int * Fault.element) list ref = ref [] in
-  let victim_at : (int, int) Hashtbl.t = Hashtbl.create 16 in
-  let readmissions = Stats.accum () in
-  let busy_slots = ref 0 and horizon = ref 0 in
-  let waits = Stats.accum () and max_wait = ref 0 in
-  let tracing = Obs.tracing obs in
-  (* The pending request of a processor stands for its queue head; under
-     the priority discipline the head's priority rides on the source
-     arc's cost, so it must be refreshed whenever the head changes while
-     the request stays pending (a cancel or expiry of the old head). *)
-  let head_priority p =
-    match queues.(p) with
-    | id :: _ -> (Hashtbl.find tasks id).priority
-    | [] -> 0
-  in
-  let set_requesting p on =
-    let changed = requesting.(p) <> on in
-    requesting.(p) <- on;
-    match inc with
-    | Some i ->
-      if changed || (discipline = Priority && on) then
-        Incremental.set_requesting i ~priority:(head_priority p) p on
-    | None -> ()
-  in
-  (* Push resource r's effective freedom (idle && healthy) down to the
-     warm graph. Never called while the rt arc is frozen: during
-     transmission the resource counts as busy via the frozen flow, and
-     teardown/release thaw the arc before any sync. *)
-  let sync_res r =
-    match inc with
-    | Some i -> Incremental.set_resource_free i r (res_free r)
-    | None -> ()
-  in
-  for r = 0 to nr - 1 do sync_res r done;
-  let drop_task id =
-    (* Remove a still-queued task (cancel or deadline expiry). *)
-    match Hashtbl.find_opt tasks id with
-    | Some task when task.queued ->
-      task.queued <- false;
-      Array.iteri
-        (fun p q ->
-          if List.mem id q then begin
-            queues.(p) <- List.filter (fun x -> x <> id) q;
-            if queues.(p) = [] then set_requesting p false
-            else if requesting.(p) then
-              (* Same request, possibly a new head: refresh its priority. *)
-              set_requesting p true
-          end)
-        queues;
-      true
-    | Some _ | None -> false
-  in
-  (* Tear down a circuit still in transmission because a fault severed
-     one of its links: release the circuit (net + warm graph), return
-     the interrupted task to the head of its queue, and undo the busy
-     slots it will no longer consume. The already-queued Ev_release /
-     Ev_complete for this live index become no-ops. *)
-  let teardown now li (l : live) =
-    Hashtbl.remove lives li;
-    Network.release net l.net_id;
-    (match l.inc with
-    | Some c -> Incremental.release (Option.get inc) c
-    | None -> ());
-    incr victims;
-    busy_slots :=
-      !busy_slots - (l.committed_at + config.transmission_time + l.lservice - now);
-    res_idle.(l.lres) <- true;
-    (* The queued Ev_complete for this index is now a stale no-op, so
-       re-enable the resource's endpoint arc here (a no-op when the
-       fault that killed the circuit is the resource itself: health was
-       flipped before the teardown, so res_free is already false). *)
-    sync_res l.lres;
-    transmitting.(l.lproc) <- None;
-    (* Victim re-admission: back to the queue head, ahead of every task
-       that arrived while it was transmitting. *)
-    let task = Hashtbl.find tasks l.task_id in
-    task.queued <- true;
-    queues.(l.lproc) <- l.task_id :: queues.(l.lproc);
-    Hashtbl.replace victim_at l.task_id now;
-    set_requesting l.lproc true
-  in
-  let apply_fault now fev =
-    let element = Fault.element fev in
-    Fault.apply net fev;
-    if Fault.is_down fev then begin
-      incr faults;
-      (* Kill circuits transmitting through the dead element first so
-         their frozen arcs are thawed before the capacity mask lands. *)
-      let dead = Fault.victims net element in
-      Hashtbl.iter
-        (fun li l -> if List.mem l.net_id dead && not l.released then
-            teardown now li l)
-        (Hashtbl.copy lives)
-    end
-    else incr repairs;
-    (* Re-derive every affected link's capacity from the network — a
-       repair must not re-enable a link still masked by another down
-       element or held by a pre-established circuit. *)
-    (match inc with
-    | Some i ->
-      List.iter
-        (fun l ->
-          if Network.link_state net l = Network.Free then
-            Incremental.set_link_usable i l (Network.usable net l))
-        (Fault.affected_links net element)
-    | None -> ());
-    (match element with Fault.Res r -> sync_res r | Fault.Link _ | Fault.Box _ -> ());
-    if tracing then
-      Obs.instant obs "engine.fault" ~ts:now
-        ~args:
-          [ ("event", Tr.Str (if Fault.is_down fev then "down" else "up"));
-            ( "element",
-              Tr.Str
-                (match element with
-                | Fault.Link l -> Printf.sprintf "link%d" l
-                | Fault.Box b -> Printf.sprintf "box%d" b
-                | Fault.Res r -> Printf.sprintf "res%d" r) );
-            ("victims", Tr.Int !victims) ]
-  in
-  (* Returns true when the event changed engine state (used for the
-     measured horizon: trailing no-op deadline checks and wakeups do not
-     extend it). *)
-  let process now = function
-    | Ev_arrive { id; proc; service; deadline; priority } ->
-      incr arrivals;
-      (match deadline with
-      | Some d when d <= now ->
-        (* Dead on arrival: the deadline is already past, so the task
-           expires immediately — it must not sit in the queue forever
-           (and certainly must not be served). *)
-        Hashtbl.replace tasks id
-          { arrival = now; service; priority; queued = false };
-        incr expired
-      | _ ->
-        Hashtbl.replace tasks id
-          { arrival = now; service; priority; queued = true };
-        queues.(proc) <- queues.(proc) @ [ id ];
-        if transmitting.(proc) = None then set_requesting proc true;
-        (match deadline with Some d -> push d (Ev_deadline id) | None -> ());
-        if config.batch_threshold > 1 then push (now + config.max_defer) Ev_wake);
-      true
-    | Ev_cancel id ->
-      let dropped = drop_task id in
-      if dropped then incr cancelled;
-      dropped
-    | Ev_deadline id ->
-      let dropped = drop_task id in
-      if dropped then incr expired;
-      dropped
-    | Ev_release li ->
-      (match Hashtbl.find_opt lives li with
-      | Some l when not l.released ->
-        l.released <- true;
-        Network.release net l.net_id;
-        (match l.inc with
-        | Some c -> Incremental.release (Option.get inc) c
-        | None -> ());
-        transmitting.(l.lproc) <- None;
-        if queues.(l.lproc) <> [] then set_requesting l.lproc true;
-        true
-      | Some _ | None -> false (* torn down by a fault *))
-    | Ev_complete li ->
-      (match Hashtbl.find_opt lives li with
-      | Some l ->
-        Hashtbl.remove lives li;
-        incr completed;
-        res_idle.(l.lres) <- true;
-        sync_res l.lres;
-        true
-      | None -> false (* torn down by a fault *))
-    | Ev_fault (fev, clock) ->
-      (match (mode, clock) with
-      | Token, Some clk when Fault.is_down fev ->
-        mid_buffer := !mid_buffer @ [ (clk, Fault.element fev) ]
-      | _ -> apply_fault now fev);
-      true
-    | Ev_wake -> false
-  in
-  let commit now p r links inc_circuit =
-    let net_id = Network.establish net links in
-    let li = !next_live in
-    incr next_live;
-    (match queues.(p) with
-    | id :: rest ->
-      queues.(p) <- rest;
-      let task = Hashtbl.find tasks id in
-      task.queued <- false;
-      Hashtbl.replace lives li
-        { net_id; lproc = p; lres = r; task_id = id; committed_at = now;
-          lservice = task.service; inc = inc_circuit; released = false };
-      let w = now - task.arrival in
-      Stats.observe waits (float_of_int w);
-      if w > !max_wait then max_wait := w;
-      (match Hashtbl.find_opt victim_at id with
-      | Some t_fault ->
-        Hashtbl.remove victim_at id;
-        Stats.observe readmissions (float_of_int (now - t_fault));
-        Obs.observe obs "engine.readmission_wait" (float_of_int (now - t_fault))
+  for r = 0 to nr - 1 do sync_res t r done;
+  t
+
+let feed t ev =
+  let time = Workload.event_time ev in
+  if time <= t.served_upto then
+    invalid_arg "Engine.feed: event at or before an already-served slot";
+  match ev with
+  | Workload.Arrive { t = time; id; proc; service; deadline; priority } ->
+    if proc < 0 || proc >= t.np then
+      invalid_arg "Engine.feed: bad processor in trace";
+    if service < 1 then invalid_arg "Engine.feed: bad service time in trace";
+    if priority < 0 then invalid_arg "Engine.feed: bad priority in trace";
+    push t time (Ev_arrive { id; proc; service; deadline; priority })
+  | Workload.Cancel { t = time; id } -> push t time (Ev_cancel id)
+  | Workload.Fault { t = time; clock; element } ->
+    push t time (Ev_fault (Fault.down_of element, clock))
+  | Workload.Repair { t = time; clock = _; element } ->
+    (* Repairs always apply at the cycle boundary (Workload doc). *)
+    push t time (Ev_fault (Fault.up_of element, None))
+
+let drop_task t id =
+  (* Remove a still-queued task (cancel or deadline expiry). *)
+  match Hashtbl.find_opt t.tasks id with
+  | Some task when task.queued ->
+    task.queued <- false;
+    Array.iteri
+      (fun p q ->
+        if List.mem id q then begin
+          t.queues.(p) <- List.filter (fun x -> x <> id) q;
+          if t.queues.(p) = [] then set_requesting t p false
+          else if t.requesting.(p) then
+            (* Same request, possibly a new head: refresh its priority. *)
+            set_requesting t p true
+        end)
+      t.queues;
+    true
+  | Some _ | None -> false
+
+(* Tear down a circuit still in transmission because a fault severed
+   one of its links: release the circuit (net + warm graph), return
+   the interrupted task to the head of its queue, and undo the busy
+   slots it will no longer consume. The already-queued Ev_release /
+   Ev_complete for this live index become no-ops. *)
+let teardown t now li (l : live) =
+  Hashtbl.remove t.lives li;
+  Network.release t.net l.net_id;
+  (match l.inc with
+  | Some c -> Incremental.release (Option.get t.inc) c
+  | None -> ());
+  t.victims <- t.victims + 1;
+  t.busy_slots <-
+    t.busy_slots
+    - (l.committed_at + t.cfg.Config.transmission_time + l.lservice - now);
+  t.res_idle.(l.lres) <- true;
+  (* The queued Ev_complete for this index is now a stale no-op, so
+     re-enable the resource's endpoint arc here (a no-op when the
+     fault that killed the circuit is the resource itself: health was
+     flipped before the teardown, so res_free is already false). *)
+  sync_res t l.lres;
+  t.transmitting.(l.lproc) <- None;
+  (* Victim re-admission: back to the queue head, ahead of every task
+     that arrived while it was transmitting. *)
+  let task = Hashtbl.find t.tasks l.task_id in
+  task.queued <- true;
+  t.queues.(l.lproc) <- l.task_id :: t.queues.(l.lproc);
+  Hashtbl.replace t.victim_at l.task_id now;
+  set_requesting t l.lproc true
+
+let apply_fault t now fev =
+  let element = Fault.element fev in
+  Fault.apply t.net fev;
+  if Fault.is_down fev then begin
+    t.faults <- t.faults + 1;
+    (* Kill circuits transmitting through the dead element first so
+       their frozen arcs are thawed before the capacity mask lands. *)
+    let dead = Fault.victims t.net element in
+    Hashtbl.iter
+      (fun li l ->
+        if List.mem l.net_id dead && not l.released then teardown t now li l)
+      (Hashtbl.copy t.lives)
+  end
+  else t.repairs <- t.repairs + 1;
+  (* Re-derive every affected link's capacity from the network — a
+     repair must not re-enable a link still masked by another down
+     element or held by a pre-established circuit. *)
+  (match t.inc with
+  | Some i ->
+    List.iter
+      (fun l ->
+        if Network.link_state t.net l = Network.Free then
+          Incremental.set_link_usable i l (Network.usable t.net l))
+      (Fault.affected_links t.net element)
+  | None -> ());
+  (match element with
+  | Fault.Res r -> sync_res t r
+  | Fault.Link _ | Fault.Box _ -> ());
+  if t.tracing then
+    Obs.instant t.obs "engine.fault" ~ts:now
+      ~args:
+        [ ("event", Tr.Str (if Fault.is_down fev then "down" else "up"));
+          ( "element",
+            Tr.Str
+              (match element with
+              | Fault.Link l -> Printf.sprintf "link%d" l
+              | Fault.Box b -> Printf.sprintf "box%d" b
+              | Fault.Res r -> Printf.sprintf "res%d" r) );
+          ("victims", Tr.Int t.victims) ]
+
+(* Returns true when the event changed engine state (used for the
+   measured horizon: trailing no-op deadline checks and wakeups do not
+   extend it). *)
+let process t now = function
+  | Ev_arrive { id; proc; service; deadline; priority } ->
+    t.arrivals <- t.arrivals + 1;
+    (match deadline with
+    | Some d when d <= now ->
+      (* Dead on arrival: the deadline is already past, so the task
+         expires immediately — it must not sit in the queue forever
+         (and certainly must not be served). *)
+      Hashtbl.replace t.tasks id
+        { arrival = now; service; priority; queued = false };
+      t.expired <- t.expired + 1
+    | _ ->
+      Hashtbl.replace t.tasks id
+        { arrival = now; service; priority; queued = true };
+      t.queues.(proc) <- t.queues.(proc) @ [ id ];
+      if t.transmitting.(proc) = None then set_requesting t proc true;
+      (match deadline with Some d -> push t d (Ev_deadline id) | None -> ());
+      if t.cfg.Config.batch_threshold > 1 then
+        push t (now + t.cfg.Config.max_defer) Ev_wake);
+    true
+  | Ev_cancel id ->
+    let dropped = drop_task t id in
+    if dropped then t.cancelled <- t.cancelled + 1;
+    dropped
+  | Ev_deadline id ->
+    let dropped = drop_task t id in
+    if dropped then t.expired <- t.expired + 1;
+    dropped
+  | Ev_release li ->
+    (match Hashtbl.find_opt t.lives li with
+    | Some l when not l.released ->
+      l.released <- true;
+      Network.release t.net l.net_id;
+      (match l.inc with
+      | Some c -> Incremental.release (Option.get t.inc) c
       | None -> ());
-      transmitting.(p) <- Some id;
-      (* Set directly, not via set_requesting/sync_res: in Warm mode the
-         endpoint arcs are frozen with unit flow, not switched off. *)
-      requesting.(p) <- false;
-      res_idle.(r) <- false;
-      push (now + config.transmission_time) (Ev_release li);
-      push (now + config.transmission_time + task.service) (Ev_complete li);
-      busy_slots := !busy_slots + config.transmission_time + task.service;
-      incr allocated
-    | [] -> assert false)
+      t.transmitting.(l.lproc) <- None;
+      if t.queues.(l.lproc) <> [] then set_requesting t l.lproc true;
+      true
+    | Some _ | None -> false (* torn down by a fault *))
+  | Ev_complete li ->
+    (match Hashtbl.find_opt t.lives li with
+    | Some l ->
+      Hashtbl.remove t.lives li;
+      t.completed <- t.completed + 1;
+      t.res_idle.(l.lres) <- true;
+      sync_res t l.lres;
+      true
+    | None -> false (* torn down by a fault *))
+  | Ev_fault (fev, clock) ->
+    (match (t.cfg.Config.mode, clock) with
+    | Token, Some clk when Fault.is_down fev ->
+      t.mid_buffer <- t.mid_buffer @ [ (clk, Fault.element fev) ]
+    | _ -> apply_fault t now fev);
+    true
+  | Ev_wake -> false
+
+let commit t now p r links inc_circuit =
+  let net_id = Network.establish t.net links in
+  let li = t.next_live in
+  t.next_live <- t.next_live + 1;
+  match t.queues.(p) with
+  | id :: rest ->
+    t.queues.(p) <- rest;
+    let task = Hashtbl.find t.tasks id in
+    task.queued <- false;
+    Hashtbl.replace t.lives li
+      { net_id; lproc = p; lres = r; task_id = id; committed_at = now;
+        lservice = task.service; inc = inc_circuit; released = false };
+    let w = now - task.arrival in
+    Stats.observe t.waits (float_of_int w);
+    if w > t.max_wait then t.max_wait <- w;
+    (match Hashtbl.find_opt t.victim_at id with
+    | Some t_fault ->
+      Hashtbl.remove t.victim_at id;
+      Stats.observe t.readmissions (float_of_int (now - t_fault));
+      Obs.observe t.obs "engine.readmission_wait" (float_of_int (now - t_fault))
+    | None -> ());
+    t.transmitting.(p) <- Some id;
+    (* Set directly, not via set_requesting/sync_res: in Warm mode the
+       endpoint arcs are frozen with unit flow, not switched off. *)
+    t.requesting.(p) <- false;
+    t.res_idle.(r) <- false;
+    push t (now + t.cfg.Config.transmission_time) (Ev_release li);
+    push t
+      (now + t.cfg.Config.transmission_time + task.service)
+      (Ev_complete li);
+    t.busy_slots <- t.busy_slots + t.cfg.Config.transmission_time + task.service;
+    t.allocated <- t.allocated + 1
+  | [] -> assert false
+
+let try_cycle t now =
+  let pending =
+    List.filter (fun p -> t.requesting.(p)) (List.init t.np Fun.id)
   in
-  let try_cycle now =
-    let pending = List.filter (fun p -> requesting.(p)) (List.init np Fun.id) in
-    let free = List.filter res_free (List.init nr Fun.id) in
-    let n_pending = List.length pending and n_free = List.length free in
-    if pending = [] || free = [] then ()
-    else begin
-      let oldest_age =
-        List.fold_left
-          (fun acc p ->
-            match queues.(p) with
-            | id :: _ -> max acc (now - (Hashtbl.find tasks id).arrival)
-            | [] -> acc)
-          0 pending
-      in
-      if
-        (n_pending >= config.batch_threshold
-        && n_free >= min config.batch_threshold n_pending)
-        || oldest_age >= config.max_defer
-      then begin
-        incr cycles;
-        let committed, work, skipped =
-          match (mode, inc) with
-          | (Rebuild | Token), Some _ | Warm, None -> assert false
-          | Token, None ->
-            (* Run the cycle on the distributed token architecture, with
-               this slot's buffered clocked faults injected mid-cycle.
-               The protocol self-recovers (watchdogs, iteration aborts,
-               bounded retries), so the committed allocation is maximum
-               on whatever subnetwork survives the cycle. *)
-            let buffer = !mid_buffer in
-            mid_buffer := [];
-            let mid_of = function
-              | Fault.Link l -> Token_sim.Dead_link l
-              | Fault.Box b -> Token_sim.Dead_box b
-              | Fault.Res r -> Token_sim.Dead_res r
-            in
-            let schedule = List.map (fun (clk, el) -> (clk, mid_of el)) buffer in
-            let rep =
-              Token_sim.run ?obs ~faults:schedule net ~requests:pending ~free
-            in
-            (* Faults the cycle actually reached are applied to the
-               network now — before the hook, so a differential
-               reference re-schedules exactly the degraded subnetwork
-               the surviving tokens ran on. Entries past the cycle's
-               last clock stay buffered for the end-of-slot flush. *)
-            let remaining = ref rep.Token_sim.applied_faults in
-            let fired, leftover =
-              List.partition
-                (fun (clk, el) ->
-                  let key = (clk, mid_of el) in
-                  let rec drop = function
-                    | [] -> None
-                    | x :: tl when x = key -> Some tl
-                    | x :: tl -> Option.map (fun tl -> x :: tl) (drop tl)
-                  in
-                  match drop !remaining with
-                  | Some rest ->
-                    remaining := rest;
-                    true
-                  | None -> false)
-                buffer
-            in
-            List.iter (fun (_clk, el) -> apply_fault now (Fault.down_of el)) fired;
-            mid_buffer := leftover;
-            let committed =
-              List.map
-                (fun (p, r) ->
-                  (p, r, List.assoc p rep.Token_sim.circuits, None))
-                rep.Token_sim.mapping
-            in
-            (committed, rep.Token_sim.total_clocks, false)
-          | Warm, Some i ->
-            let r = Incremental.solve ?obs i in
-            ( List.map (fun (c : Incremental.circuit) ->
-                  (c.proc, c.res, c.links, Some c))
-                r.Incremental.circuits,
-              r.Incremental.work, r.Incremental.skipped )
-          | Rebuild, None ->
-            (match discipline with
-            | Uniform ->
-              let tr = Transform1.build net ~requests:pending ~free in
-              let o =
-                match solver with
-                | None -> Transform1.solve ?obs tr
-                | Some s -> Transform1.solve_with ?obs s tr
-              in
-              let _nodes, arcs = Transform1.size tr in
-              let work = Network.n_links net + arcs + o.Transform1.arcs_scanned in
-              let committed =
-                List.map2
-                  (fun (p, r) (_p, links) -> (p, r, links, None))
-                  o.Transform1.mapping o.Transform1.circuits
-              in
-              (committed, work, false)
-            | Priority ->
-              let tr =
-                Transform2.build net
-                  ~requests:(List.map (fun p -> (p, head_priority p)) pending)
-                  ~free:(List.map (fun r -> (r, 0)) free)
-              in
-              let o = Transform2.solve ?obs tr in
-              let _nodes, arcs = Transform2.size tr in
-              let work = Network.n_links net + arcs + o.Transform2.arcs_scanned in
-              let committed =
-                List.map2
-                  (fun (p, r) (_p, links) -> (p, r, links, None))
-                  o.Transform2.mapping o.Transform2.circuits
-              in
-              (committed, work, false))
-        in
-        solver_work := !solver_work + work;
-        if skipped then incr skipped_cycles;
-        let n_committed = List.length committed in
-        (match cycle_hook with
-        | Some hook ->
-          hook net
-            { time = now; requests = pending; free;
-              request_priorities =
-                List.map (fun p -> (p, head_priority p)) pending;
-              mapping = List.map (fun (p, r, _, _) -> (p, r)) committed;
-              allocated = n_committed; work; skipped }
-        | None -> ());
-        if tracing then
-          Obs.instant obs "engine.cycle" ~ts:now
-            ~args:
-              [ ("pending", Tr.Int n_pending); ("free", Tr.Int n_free);
-                ("allocated", Tr.Int n_committed); ("work", Tr.Int work);
-                ("skipped", Tr.Bool skipped) ];
-        List.iter (fun (p, r, links, c) -> commit now p r links c) committed
-      end
-    end
-  in
-  let events_seen = ref 0 in
-  while not (Heap.is_empty heap) do
-    let (now, _), _ = Option.get (Heap.peek_min heap) in
-    let batch = ref [] in
-    let continue = ref true in
-    while !continue do
-      match Heap.peek_min heap with
-      | Some ((t, _), _) when t = now ->
-        let _, ev = Option.get (Heap.pop_min heap) in
-        batch := ev :: !batch
-      | Some _ | None -> continue := false
-    done;
-    let batch = List.rev !batch in
-    let substantive =
-      List.fold_left (fun acc ev -> process now ev || acc) false batch
+  let free = List.filter (res_free t) (List.init t.nr Fun.id) in
+  let n_pending = List.length pending and n_free = List.length free in
+  if pending = [] || free = [] then ()
+  else begin
+    let oldest_age =
+      List.fold_left
+        (fun acc p ->
+          match t.queues.(p) with
+          | id :: _ -> max acc (now - (Hashtbl.find t.tasks id).arrival)
+          | [] -> acc)
+        0 pending
     in
-    if substantive && now > !horizon then horizon := now;
-    try_cycle now;
-    (* Token mode: clocked faults the slot's cycle never consumed (no
-       cycle ran, or their clock index lay past the cycle's last clock
-       period) land after it — possibly severing circuits the cycle
-       just committed, with the usual victim re-admission. *)
-    (match !mid_buffer with
-    | [] -> ()
-    | buf ->
-      mid_buffer := [];
-      List.iter
-        (fun (_clk, el) -> apply_fault now (Fault.down_of el))
-        (List.stable_sort (fun (a, _) (b, _) -> compare (a : int) b) buf));
-    events_seen := !events_seen + List.length batch;
-    (match event_hook with
-    | Some hook -> hook ~events:!events_seen ~time:now
-    | None -> ())
+    if
+      (n_pending >= t.cfg.Config.batch_threshold
+      && n_free >= min t.cfg.Config.batch_threshold n_pending)
+      || oldest_age >= t.cfg.Config.max_defer
+    then begin
+      t.cycles <- t.cycles + 1;
+      let obs = t.obs in
+      let committed, work, skipped =
+        match (t.cfg.Config.mode, t.inc) with
+        | (Rebuild | Token), Some _ | Warm, None -> assert false
+        | Token, None ->
+          (* Run the cycle on the distributed token architecture, with
+             this slot's buffered clocked faults injected mid-cycle.
+             The protocol self-recovers (watchdogs, iteration aborts,
+             bounded retries), so the committed allocation is maximum
+             on whatever subnetwork survives the cycle. *)
+          let buffer = t.mid_buffer in
+          t.mid_buffer <- [];
+          let mid_of = function
+            | Fault.Link l -> Token_sim.Dead_link l
+            | Fault.Box b -> Token_sim.Dead_box b
+            | Fault.Res r -> Token_sim.Dead_res r
+          in
+          let schedule = List.map (fun (clk, el) -> (clk, mid_of el)) buffer in
+          let rep =
+            Token_sim.run ?obs ~faults:schedule t.net ~requests:pending ~free
+          in
+          (* Faults the cycle actually reached are applied to the
+             network now — before the hook, so a differential
+             reference re-schedules exactly the degraded subnetwork
+             the surviving tokens ran on. Entries past the cycle's
+             last clock stay buffered for the end-of-slot flush. *)
+          let remaining = ref rep.Token_sim.applied_faults in
+          let fired, leftover =
+            List.partition
+              (fun (clk, el) ->
+                let key = (clk, mid_of el) in
+                let rec drop = function
+                  | [] -> None
+                  | x :: tl when x = key -> Some tl
+                  | x :: tl -> Option.map (fun tl -> x :: tl) (drop tl)
+                in
+                match drop !remaining with
+                | Some rest ->
+                  remaining := rest;
+                  true
+                | None -> false)
+              buffer
+          in
+          List.iter
+            (fun (_clk, el) -> apply_fault t now (Fault.down_of el))
+            fired;
+          t.mid_buffer <- leftover;
+          let committed =
+            List.map
+              (fun (p, r) -> (p, r, List.assoc p rep.Token_sim.circuits, None))
+              rep.Token_sim.mapping
+          in
+          (committed, rep.Token_sim.total_clocks, false)
+        | Warm, Some i ->
+          let r = Incremental.solve ?obs i in
+          ( List.map
+              (fun (c : Incremental.circuit) ->
+                (c.proc, c.res, c.links, Some c))
+              r.Incremental.circuits,
+            r.Incremental.work, r.Incremental.skipped )
+        | Rebuild, None -> (
+          match t.cfg.Config.discipline with
+          | Uniform ->
+            let tr = Transform1.build t.net ~requests:pending ~free in
+            let o =
+              match t.solver_mod with
+              | None -> Transform1.solve ?obs tr
+              | Some s -> Transform1.solve_with ?obs s tr
+            in
+            let _nodes, arcs = Transform1.size tr in
+            let work =
+              Network.n_links t.net + arcs + o.Transform1.arcs_scanned
+            in
+            let committed =
+              List.map2
+                (fun (p, r) (_p, links) -> (p, r, links, None))
+                o.Transform1.mapping o.Transform1.circuits
+            in
+            (committed, work, false)
+          | Priority ->
+            let tr =
+              Transform2.build t.net
+                ~requests:(List.map (fun p -> (p, head_priority t p)) pending)
+                ~free:(List.map (fun r -> (r, 0)) free)
+            in
+            let o = Transform2.solve ?obs tr in
+            let _nodes, arcs = Transform2.size tr in
+            let work =
+              Network.n_links t.net + arcs + o.Transform2.arcs_scanned
+            in
+            let committed =
+              List.map2
+                (fun (p, r) (_p, links) -> (p, r, links, None))
+                o.Transform2.mapping o.Transform2.circuits
+            in
+            (committed, work, false))
+      in
+      t.solver_work <- t.solver_work + work;
+      if skipped then t.skipped_cycles <- t.skipped_cycles + 1;
+      let n_committed = List.length committed in
+      (match t.cycle_hook with
+      | Some hook ->
+        hook t.net
+          { time = now; requests = pending; free;
+            request_priorities =
+              List.map (fun p -> (p, head_priority t p)) pending;
+            mapping = List.map (fun (p, r, _, _) -> (p, r)) committed;
+            allocated = n_committed; work; skipped }
+      | None -> ());
+      if t.tracing then
+        Obs.instant t.obs "engine.cycle" ~ts:now
+          ~args:
+            [ ("pending", Tr.Int n_pending); ("free", Tr.Int n_free);
+              ("allocated", Tr.Int n_committed); ("work", Tr.Int work);
+              ("skipped", Tr.Bool skipped) ];
+      List.iter (fun (p, r, links, c) -> commit t now p r links c) committed
+    end
+  end
+
+(* One simulated slot: the batch of every queued event at the earliest
+   time, the cycle it may trigger, the Token-mode end-of-slot fault
+   flush, and the event-hook pulse. *)
+let step_slot t =
+  let (now, _), _ = Option.get (Heap.peek_min t.heap) in
+  let batch = ref [] in
+  let continue = ref true in
+  while !continue do
+    match Heap.peek_min t.heap with
+    | Some ((time, _), _) when time = now ->
+      let _, ev = Option.get (Heap.pop_min t.heap) in
+      batch := ev :: !batch
+    | Some _ | None -> continue := false
   done;
-  let left_pending = Array.fold_left (fun acc q -> acc + List.length q) 0 queues in
-  Obs.count obs "engine.arrivals" !arrivals;
-  Obs.count obs "engine.allocated" !allocated;
-  Obs.count obs "engine.completed" !completed;
-  Obs.count obs "engine.cancelled" !cancelled;
-  Obs.count obs "engine.expired" !expired;
-  Obs.count obs "engine.cycles" !cycles;
-  Obs.count obs "engine.cycles_skipped" !skipped_cycles;
-  Obs.count obs "engine.solver_work" !solver_work;
-  Obs.count obs "engine.faults" !faults;
-  Obs.count obs "engine.repairs" !repairs;
-  Obs.count obs "engine.victims" !victims;
-  let h = float_of_int (max 1 !horizon) in
-  { mode;
-    horizon = !horizon;
-    arrivals = !arrivals;
-    allocated = !allocated;
-    completed = !completed;
-    cancelled = !cancelled;
-    expired = !expired;
+  let batch = List.rev !batch in
+  let substantive =
+    List.fold_left (fun acc ev -> process t now ev || acc) false batch
+  in
+  if substantive && now > t.horizon then t.horizon <- now;
+  try_cycle t now;
+  (* Token mode: clocked faults the slot's cycle never consumed (no
+     cycle ran, or their clock index lay past the cycle's last clock
+     period) land after it — possibly severing circuits the cycle
+     just committed, with the usual victim re-admission. *)
+  (match t.mid_buffer with
+  | [] -> ()
+  | buf ->
+    t.mid_buffer <- [];
+    List.iter
+      (fun (_clk, el) -> apply_fault t now (Fault.down_of el))
+      (List.stable_sort (fun (a, _) (b, _) -> compare (a : int) b) buf));
+  t.events_seen <- t.events_seen + List.length batch;
+  (match t.event_hook with
+  | Some hook -> hook ~events:t.events_seen ~time:now
+  | None -> ());
+  if now > t.served_upto then t.served_upto <- now
+
+let advance t ~upto =
+  let continue = ref true in
+  while !continue do
+    match Heap.peek_min t.heap with
+    | Some ((time, _), _) when time <= upto -> step_slot t
+    | Some _ | None -> continue := false
+  done;
+  if upto > t.served_upto then t.served_upto <- upto
+
+let drain t =
+  while not (Heap.is_empty t.heap) do
+    step_slot t
+  done
+
+let served_upto t = t.served_upto
+
+let pending_procs t =
+  List.filter (fun p -> t.requesting.(p)) (List.init t.np Fun.id)
+
+let free_resources t = List.filter (res_free t) (List.init t.nr Fun.id)
+
+let idle_procs t =
+  List.filter
+    (fun p -> t.transmitting.(p) = None && t.queues.(p) = [])
+    (List.init t.np Fun.id)
+
+let peek_network t = t.net
+
+let report t =
+  let left_pending =
+    Array.fold_left (fun acc q -> acc + List.length q) 0 t.queues
+  in
+  let h = float_of_int (max 1 t.horizon) in
+  { mode = t.cfg.Config.mode;
+    horizon = t.horizon;
+    arrivals = t.arrivals;
+    allocated = t.allocated;
+    completed = t.completed;
+    cancelled = t.cancelled;
+    expired = t.expired;
     left_pending;
-    mean_wait = (if Stats.count waits = 0 then nan else Stats.mean waits);
-    max_wait = !max_wait;
-    throughput = float_of_int !completed /. h;
-    utilization = float_of_int !busy_slots /. (float_of_int nr *. h);
-    cycles = !cycles;
-    skipped_cycles = !skipped_cycles;
-    solver_work = !solver_work;
-    faults = !faults;
-    repairs = !repairs;
-    victims = !victims;
+    mean_wait = (if Stats.count t.waits = 0 then nan else Stats.mean t.waits);
+    max_wait = t.max_wait;
+    throughput = float_of_int t.completed /. h;
+    utilization = float_of_int t.busy_slots /. (float_of_int t.nr *. h);
+    cycles = t.cycles;
+    skipped_cycles = t.skipped_cycles;
+    solver_work = t.solver_work;
+    faults = t.faults;
+    repairs = t.repairs;
+    victims = t.victims;
     mean_readmission =
-      (if Stats.count readmissions = 0 then 0. else Stats.mean readmissions) }
+      (if Stats.count t.readmissions = 0 then 0. else Stats.mean t.readmissions)
+  }
+
+let publish_counters t =
+  Obs.count t.obs "engine.arrivals" t.arrivals;
+  Obs.count t.obs "engine.allocated" t.allocated;
+  Obs.count t.obs "engine.completed" t.completed;
+  Obs.count t.obs "engine.cancelled" t.cancelled;
+  Obs.count t.obs "engine.expired" t.expired;
+  Obs.count t.obs "engine.cycles" t.cycles;
+  Obs.count t.obs "engine.cycles_skipped" t.skipped_cycles;
+  Obs.count t.obs "engine.solver_work" t.solver_work;
+  Obs.count t.obs "engine.faults" t.faults;
+  Obs.count t.obs "engine.repairs" t.repairs;
+  Obs.count t.obs "engine.victims" t.victims
+
+let run ?obs ?config ?cycle_hook ?event_hook net trace =
+  let t = create ?obs ?config ?cycle_hook ?event_hook net in
+  List.iter (feed t) (Workload.sort_trace trace);
+  drain t;
+  publish_counters t;
+  report t

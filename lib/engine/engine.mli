@@ -18,7 +18,13 @@
     deltas plus one residual augmentation — and costs {e nothing} when
     no capacity was added since the last solve. Both strategies allocate
     the optimal number of requests every cycle (max-flow values are
-    unique even though mappings are not). *)
+    unique even though mappings are not).
+
+    Everything a run depends on besides the network and the trace — the
+    strategy, the discipline, the solver/backend, batching, fault
+    injection and the heartbeat period — lives in one validated
+    {!Config.t} record. The same record is the per-shard configuration
+    {!Serve} ships to each domain of the sharded engine. *)
 
 type mode =
   | Warm
@@ -36,6 +42,7 @@ type mode =
           the network from that cycle onward. Uniform discipline only. *)
 
 val mode_name : mode -> string
+val mode_of_name : string -> (mode, string) result
 
 type discipline =
   | Uniform
@@ -49,21 +56,98 @@ type discipline =
           from-scratch {!Rsin_core.Transform2.schedule}. *)
 
 val discipline_name : discipline -> string
+val discipline_of_name : string -> (discipline, string) result
 
-type config = {
-  transmission_time : int;  (** slots a circuit stays established, >= 1 *)
-  batch_threshold : int;
-      (** minimum pending requests (and free resources, capped by the
-          request count) before a cycle is entered, >= 1 — the paper's
-          wait-for-more-requests batching policy *)
-  max_defer : int;
-      (** a cycle is forced regardless of the threshold once the oldest
-          pending request has waited this many slots, >= 1 — bounds the
-          batching latency *)
-}
+(** The unified run configuration.
 
-val default_config : config
-(** [{ transmission_time = 1; batch_threshold = 1; max_defer = 16 }] *)
+    One validated record replaces the former scatter of optional
+    arguments ([?config], [?mode], [?discipline], [?solver], plus the
+    CLI-side fault-injection and heartbeat knobs). Values are built only
+    through {!Config.make}/{!Config.v}, so an inhabitant of {!Config.t}
+    is valid by construction, and the record round-trips through JSON —
+    which is how the sharded serve loop ships the exact same
+    configuration to every domain. *)
+module Config : sig
+  type fault_plan = {
+    mtbf : float;  (** mean slots between failures per element, > 0 *)
+    mttr : float;  (** mean slots to repair a failed element, > 0 *)
+    granularity : [ `Slot | `Clock ];
+        (** [`Slot] applies each injected fault at its slot's cycle
+            boundary; [`Clock] additionally draws a uniform intra-cycle
+            status-bus clock per fault (honored by {!Token} mode). *)
+  }
+
+  type t = private {
+    mode : mode;
+    discipline : discipline;
+    solver : string;
+        (** a {!Rsin_flow.Solver} registry name. Picks the from-scratch
+            solver of a [Rebuild]+[Uniform] cycle; for [Warm] the
+            ["dinic-csr"]/["mincost-csr"] names switch the persistent
+            graph to the flat zero-allocation {!Rsin_flow.Csr} backend
+            ({!Incremental.Csr}), any other name keeps the adjacency
+            backend. *)
+    transmission_time : int;  (** slots a circuit stays established, >= 1 *)
+    batch_threshold : int;
+        (** minimum pending requests (and free resources, capped by the
+            request count) before a cycle is entered, >= 1 — the paper's
+            wait-for-more-requests batching policy *)
+    max_defer : int;
+        (** a cycle is forced regardless of the threshold once the
+            oldest pending request has waited this many slots, >= 1 —
+            bounds the batching latency *)
+    heartbeat : int;
+        (** progress-pulse period in consumed trace events for the
+            CLI's [event_hook] heartbeat; 0 disables it. The engine
+            itself calls [event_hook] every slot regardless — this field
+            only parameterizes the hook the caller builds. >= 0 *)
+    faults : fault_plan option;
+        (** when set, the caller (CLI replay/serve) injects a seeded
+            MTBF/MTTR fault/repair schedule into the trace before the
+            run. The engine core consumes fault events from the trace;
+            it never injects. *)
+  }
+
+  val make :
+    ?mode:mode ->
+    ?discipline:discipline ->
+    ?solver:string ->
+    ?transmission_time:int ->
+    ?batch_threshold:int ->
+    ?max_defer:int ->
+    ?heartbeat:int ->
+    ?faults:fault_plan option ->
+    unit ->
+    (t, string) result
+  (** Smart constructor; defaults are
+      [Warm]/[Uniform]/["dinic"]/[1]/[1]/[16]/[0]/[None]. Validates
+      every range, that [solver] names a registry member, and that
+      [Token] is not combined with [Priority]. *)
+
+  val v :
+    ?mode:mode ->
+    ?discipline:discipline ->
+    ?solver:string ->
+    ?transmission_time:int ->
+    ?batch_threshold:int ->
+    ?max_defer:int ->
+    ?heartbeat:int ->
+    ?faults:fault_plan option ->
+    unit ->
+    t
+  (** {!make}, raising [Invalid_argument] on a bad combination. *)
+
+  val default : t
+
+  val pp : Format.formatter -> t -> unit
+
+  val to_json : t -> Rsin_util.Json.t
+
+  val of_json : Rsin_util.Json.t -> (t, string) result
+  (** Inverse of {!to_json}; missing fields take their defaults, and the
+      result is re-validated through {!make}, so a decoded config is as
+      trustworthy as a constructed one. *)
+end
 
 type cycle_info = {
   time : int;
@@ -110,51 +194,94 @@ type report = {
           with [=]) *)
 }
 
-val run :
+(** {1 The stepper}
+
+    A long-running engine instance. {!run} below is
+    [create] + [feed] every event + [drain] + [report]; the sharded
+    serve loop instead interleaves [feed] and [advance] slot by slot so
+    a router can make admission decisions between slots. *)
+
+type t
+
+val create :
   ?obs:Rsin_obs.Obs.t ->
-  ?config:config ->
-  ?mode:mode ->
-  ?discipline:discipline ->
-  ?solver:(module Rsin_flow.Solver.S) ->
+  ?config:Config.t ->
   ?cycle_hook:(Rsin_topology.Network.t -> cycle_info -> unit) ->
   ?event_hook:(events:int -> time:int -> unit) ->
   Rsin_topology.Network.t ->
-  Rsin_sim.Workload.trace_event list ->
-  report
-(** Serves the trace to completion (until the event queue drains) on a
-    scratch copy of the network; pre-established circuits are treated as
-    permanent blockages. Deterministic: equal inputs give equal reports.
-    Default discipline is {!Uniform}; under {!Priority} each pending
-    request carries its queue head's trace priority, refreshed whenever
-    the head changes. Within one discipline, a [Warm] cycle and a
-    from-scratch [Rebuild] of the {e same} pre-commit snapshot agree on
-    the allocation count and (under {!Priority}) on the total priority
-    served — the differential tests pin this — though tie-broken
-    mappings, and hence the later trajectories of two whole runs, may
-    differ.
-
-    [solver] picks the max-flow solver a [Rebuild] + {!Uniform} cycle
-    runs from scratch (any registry member, default Dinic). The [Warm]
-    strategy is {e defined} by its incremental Dinic/min-cost
-    augmentation over the persistent graph — but the registry's
-    ["dinic-csr"]/["mincost-csr"] names select {e where} that
-    augmentation runs: they switch the persistent graph to the flat
-    {!Rsin_flow.Csr} backend ({!Incremental.Csr}), whose warm cycles
-    perform zero minor-heap allocation inside the solver. Any other
-    registry solver is ignored by [Warm], as are all of them by
-    [Priority] rebuilds (min-cost by construction).
+  t
+(** Builds an idle engine over a scratch copy of the network;
+    pre-established circuits are treated as permanent blockages.
 
     [cycle_hook] is called once per entered cycle {e after} solving but
     {e before} the new circuits are established, so the network argument
     still shows the pre-commit state — this is what lets the
-    differential test re-schedule the same snapshot from scratch and
+    differential tests re-schedule the same snapshot from scratch and
     compare allocation counts.
 
     [event_hook] is called once per simulated time slot, after the
     slot's event batch (and any cycle it triggered) has been fully
     processed, with the cumulative count of trace events consumed and
     the slot time — the progress pulse the CLI's replay heartbeat is
-    built on. It observes; it must not mutate the network.
+    built on. It observes; it must not mutate the network. *)
+
+val feed : t -> Rsin_sim.Workload.trace_event -> unit
+(** Enqueues one trace event. Raises [Invalid_argument] on an arrival
+    with an out-of-range processor, a service time < 1 or a negative
+    priority (["Engine.feed: ..."]), or on any event timed at or before
+    a slot the engine has already served — streamed input must stay
+    ahead of {!advance}. *)
+
+val advance : t -> upto:int -> unit
+(** Serves every queued event (and every cycle, release, completion,
+    expiry... they trigger) in slots [<= upto], then remembers [upto] as
+    served. Events later fed must be timed strictly after it. *)
+
+val drain : t -> unit
+(** {!advance} to the end of the event queue: serves everything,
+    including releases/completions scheduled beyond the last fed slot. *)
+
+val served_upto : t -> int
+(** Highest slot {!advance}/{!drain} has served, [min_int] before the
+    first call. *)
+
+val pending_procs : t -> int list
+(** Processors with a pending (queued, not transmitting) request. *)
+
+val free_resources : t -> int list
+(** Resource ports that are idle {e and} healthy. *)
+
+val idle_procs : t -> int list
+(** Processors with no queued task and no transmission in flight — the
+    candidates a cross-shard borrow can re-target an arrival to. *)
+
+val peek_network : t -> Rsin_topology.Network.t
+(** The engine's private network copy, for read-only inspection
+    (borrowing headroom probes). Mutating it corrupts the run. *)
+
+val report : t -> report
+(** A snapshot of the run's accounting — pure, callable at any time;
+    normally read after {!drain}. *)
+
+(** {1 One-shot runs} *)
+
+val run :
+  ?obs:Rsin_obs.Obs.t ->
+  ?config:Config.t ->
+  ?cycle_hook:(Rsin_topology.Network.t -> cycle_info -> unit) ->
+  ?event_hook:(events:int -> time:int -> unit) ->
+  Rsin_topology.Network.t ->
+  Rsin_sim.Workload.trace_event list ->
+  report
+(** Serves the trace to completion (until the event queue drains).
+    Deterministic: equal inputs give equal reports. Under
+    {!Priority} each pending request carries its queue head's trace
+    priority, refreshed whenever the head changes. Within one
+    discipline, a [Warm] cycle and a from-scratch [Rebuild] of the
+    {e same} pre-commit snapshot agree on the allocation count and
+    (under {!Priority}) on the total priority served — the differential
+    tests pin this — though tie-broken mappings, and hence the later
+    trajectories of two whole runs, may differ.
 
     {!Rsin_sim.Workload.Fault}/[Repair] trace events flip element health
     on the engine's network copy ({!Rsin_fault.Fault.apply}). A fault on

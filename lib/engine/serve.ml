@@ -1,0 +1,307 @@
+module Network = Rsin_topology.Network
+module Workload = Rsin_sim.Workload
+module Transform1 = Rsin_core.Transform1
+module Fault = Rsin_fault.Fault
+module Domain_pool = Rsin_util.Domain_pool
+module Clock = Rsin_util.Clock
+
+type report = {
+  domains : int;
+  shards : int;
+  events : int;
+  borrows : int;
+  starved : int;
+  horizon : int;
+  arrivals : int;
+  allocated : int;
+  completed : int;
+  cancelled : int;
+  expired : int;
+  left_pending : int;
+  cycles : int;
+  skipped_cycles : int;
+  solver_work : int;
+  faults : int;
+  repairs : int;
+  victims : int;
+  wall_us : float;
+  per_shard : Engine.report array;
+}
+
+let events_per_sec r =
+  if r.wall_us <= 0. then 0. else float_of_int r.events /. (r.wall_us /. 1e6)
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "@[<v>domains %d over %d shard(s)@,\
+     events %d (borrowed %d, starved %d)@,\
+     arrivals %d allocated %d completed %d@,\
+     cancelled %d expired %d left pending %d@,\
+     cycles %d (skipped %d) solver work %d@,\
+     faults %d repairs %d victims %d@,\
+     horizon %d wall %.0f us (%.0f events/s)@]"
+    r.domains r.shards r.events r.borrows r.starved r.arrivals r.allocated
+    r.completed r.cancelled r.expired r.left_pending r.cycles r.skipped_cycles
+    r.solver_work r.faults r.repairs r.victims r.horizon r.wall_us
+    (events_per_sec r)
+
+type t = {
+  shard : Shard.t;
+  engines : Engine.t array;
+  pool : Domain_pool.t;
+  (* Global element id -> (shard, local id) for fault routing. *)
+  link_home : (int * int) array;
+  box_home : (int * int) array;
+  (* Task id -> shard the arrival was fed to (home or donor). *)
+  task_home : (int, int) Hashtbl.t;
+  event_hook : (events:int -> time:int -> unit) option;
+  start_ns : int64;
+  mutable cur_slot : int;
+  mutable buffer : Workload.trace_event list;  (* current slot, reversed *)
+  mutable buffering : bool;  (* false until the first event *)
+  mutable events : int;
+  mutable borrows : int;
+  mutable starved : int;
+  mutable wall_us : float;
+  mutable drained : bool;
+}
+
+let shard t = t.shard
+let n_domains t = Domain_pool.size t.pool
+
+let create ?(config = Engine.Config.default) ?domains ?cycle_hook ?event_hook
+    net =
+  let domains =
+    match domains with
+    | Some d -> d
+    | None -> Domain.recommended_domain_count ()
+  in
+  if domains < 1 then Error "Serve.create: domains must be >= 1"
+  else if config.Engine.Config.mode = Engine.Token then
+    Error
+      "Serve.create: token mode is not supported by the sharded engine \
+       (the status-bus protocol assumes a single fabric)"
+  else
+    (* Always one shard per connected component: the shard layout (and
+       with it every routing/borrowing decision) must not depend on the
+       domain count, or domains=1 and domains=N would diverge. [domains]
+       only sizes the pool that serves the shards. *)
+    match Shard.partition net with
+    | Error _ as e -> e
+    | Ok shard ->
+      let parts = shard.Shard.parts in
+      let engines =
+        Array.mapi
+          (fun si part ->
+            let cycle_hook =
+              Option.map
+                (fun hook -> fun net info -> hook ~shard:si net info)
+                cycle_hook
+            in
+            Engine.create ?cycle_hook ~config part.Shard.net)
+          parts
+      in
+      let link_home = Array.make (Network.n_links net) (-1, -1) in
+      let box_home = Array.make (Network.n_boxes net) (-1, -1) in
+      Array.iteri
+        (fun si part ->
+          Array.iteri (fun l g -> link_home.(g) <- (si, l)) part.Shard.links;
+          Array.iteri (fun l g -> box_home.(g) <- (si, l)) part.Shard.boxes)
+        parts;
+      Ok
+        {
+          shard;
+          engines;
+          pool = Domain_pool.create (min domains (Array.length parts));
+          link_home;
+          box_home;
+          task_home = Hashtbl.create 256;
+          event_hook;
+          start_ns = Clock.now_ns ();
+          cur_slot = min_int;
+          buffer = [];
+          buffering = false;
+          events = 0;
+          borrows = 0;
+          starved = 0;
+          wall_us = 0.;
+          drained = false;
+        }
+
+(* --- Borrowing ----------------------------------------------------------- *)
+
+(* Headroom of shard [s]: how many of its idle processors a fresh
+   max-flow could connect to its free ports right now, plus whether the
+   binding min cut runs through fabric links (a fabric-limited donor
+   would put borrowed load on contended wires). *)
+let probe_headroom t s =
+  let e = t.engines.(s) in
+  match (Engine.idle_procs e, Engine.free_resources e) with
+  | [], _ | _, [] -> None
+  | idle, free ->
+    let fg = Transform1.build (Engine.peek_network e) ~requests:idle ~free in
+    let outcome = Transform1.solve fg in
+    if outcome.Transform1.allocated = 0 then None
+    else
+      let fabric_limited =
+        List.exists
+          (function `Link _ -> true | `Proc _ | `Res _ -> false)
+          (Transform1.bottleneck fg)
+      in
+      let target = List.fold_left min (List.hd idle) idle in
+      Some (outcome.Transform1.allocated, fabric_limited, target)
+
+(* Largest headroom wins; ties prefer fabric-unlimited donors, then the
+   lowest shard index. Returns the donor and its lowest idle (local)
+   processor. *)
+let pick_donor t ~home =
+  let best = ref None in
+  Array.iteri
+    (fun s _ ->
+      if s <> home then
+        match probe_headroom t s with
+        | None -> ()
+        | Some (headroom, fabric_limited, target) ->
+          let better =
+            match !best with
+            | None -> true
+            | Some (h, fl, _, _) ->
+              headroom > h || (headroom = h && fl && not fabric_limited)
+          in
+          if better then best := Some (headroom, fabric_limited, s, target))
+    t.engines;
+  Option.map (fun (_, _, s, target) -> (s, target)) !best
+
+(* --- Event routing -------------------------------------------------------- *)
+
+let route t ev =
+  match ev with
+  | Workload.Arrive a ->
+    if a.proc < 0 || a.proc >= Array.length t.shard.Shard.shard_of_proc then
+      invalid_arg "Serve.feed: bad processor in trace";
+    let home = t.shard.Shard.shard_of_proc.(a.proc) in
+    let feed_to si proc =
+      Hashtbl.replace t.task_home a.id si;
+      Engine.feed t.engines.(si) (Workload.Arrive { a with proc })
+    in
+    let feed_home () = feed_to home t.shard.Shard.local_proc.(a.proc) in
+    if Engine.free_resources t.engines.(home) <> [] then feed_home ()
+    else begin
+      match pick_donor t ~home with
+      | Some (donor, target) ->
+        t.borrows <- t.borrows + 1;
+        feed_to donor target
+      | None ->
+        t.starved <- t.starved + 1;
+        feed_home ()
+    end
+  | Workload.Cancel c -> (
+    (* Cancels chase the task to wherever its arrival was routed; a
+       cancel for a task we never saw has nothing to withdraw. *)
+    match Hashtbl.find_opt t.task_home c.id with
+    | Some si -> Engine.feed t.engines.(si) ev
+    | None -> ())
+  | Workload.Fault { t = time; clock; element }
+  | Workload.Repair { t = time; clock; element } ->
+    let si, element =
+      match element with
+      | Fault.Link g ->
+        let si, l = t.link_home.(g) in
+        (si, Fault.Link l)
+      | Fault.Box g ->
+        let si, b = t.box_home.(g) in
+        (si, Fault.Box b)
+      | Fault.Res g ->
+        ( t.shard.Shard.shard_of_res.(g),
+          Fault.Res t.shard.Shard.local_res.(g) )
+    in
+    let ev' =
+      match ev with
+      | Workload.Fault _ -> Workload.Fault { t = time; clock; element }
+      | _ -> Workload.Repair { t = time; clock; element }
+    in
+    Engine.feed t.engines.(si) ev'
+
+(* Advance every shard through [upto] in parallel; each task owns its
+   engine, so the only shared state is the work-stealing cursor. *)
+let advance_all t ~upto =
+  Domain_pool.run_tasks t.pool
+    (Array.map (fun e () -> Engine.advance e ~upto) t.engines)
+
+let flush t =
+  match t.buffer with
+  | [] -> ()
+  | buffered ->
+    let slot = t.cur_slot in
+    advance_all t ~upto:(slot - 1);
+    let evs = List.rev buffered in
+    t.buffer <- [];
+    List.iter (route t) evs;
+    t.events <- t.events + List.length evs;
+    Option.iter (fun f -> f ~events:t.events ~time:slot) t.event_hook
+
+let feed t ev =
+  if t.drained then invalid_arg "Serve.feed: already drained";
+  let time = Workload.event_time ev in
+  if not t.buffering then begin
+    t.buffering <- true;
+    t.cur_slot <- time;
+    t.buffer <- [ ev ]
+  end
+  else if time = t.cur_slot then t.buffer <- ev :: t.buffer
+  else if time < t.cur_slot then
+    invalid_arg "Serve.feed: events must arrive in nondecreasing slot order"
+  else begin
+    flush t;
+    t.cur_slot <- time;
+    t.buffer <- [ ev ]
+  end
+
+let drain t =
+  if not t.drained then begin
+    flush t;
+    Domain_pool.run_tasks t.pool
+      (Array.map (fun e () -> Engine.drain e) t.engines);
+    t.wall_us <- Clock.elapsed_us ~since:t.start_ns;
+    t.drained <- true;
+    Domain_pool.shutdown t.pool
+  end
+
+let report t =
+  let per_shard = Array.map Engine.report t.engines in
+  let sum f = Array.fold_left (fun acc r -> acc + f r) 0 per_shard in
+  {
+    domains = n_domains t;
+    shards = Array.length t.engines;
+    events = t.events;
+    borrows = t.borrows;
+    starved = t.starved;
+    horizon =
+      Array.fold_left (fun acc r -> max acc r.Engine.horizon) 0 per_shard;
+    arrivals = sum (fun r -> r.Engine.arrivals);
+    allocated = sum (fun r -> r.Engine.allocated);
+    completed = sum (fun r -> r.Engine.completed);
+    cancelled = sum (fun r -> r.Engine.cancelled);
+    expired = sum (fun r -> r.Engine.expired);
+    left_pending = sum (fun r -> r.Engine.left_pending);
+    cycles = sum (fun r -> r.Engine.cycles);
+    skipped_cycles = sum (fun r -> r.Engine.skipped_cycles);
+    solver_work = sum (fun r -> r.Engine.solver_work);
+    faults = sum (fun r -> r.Engine.faults);
+    repairs = sum (fun r -> r.Engine.repairs);
+    victims = sum (fun r -> r.Engine.victims);
+    wall_us = t.wall_us;
+    per_shard;
+  }
+
+let run ?config ?domains ?cycle_hook ?event_hook net trace =
+  match create ?config ?domains ?cycle_hook ?event_hook net with
+  | Error _ as e -> e
+  | Ok t ->
+    (try
+       List.iter (feed t) trace;
+       drain t;
+       Ok (report t)
+     with e ->
+       Domain_pool.shutdown t.pool;
+       raise e)

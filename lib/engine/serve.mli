@@ -1,0 +1,128 @@
+(** The sharded multicore serving loop behind [rsin serve].
+
+    {!Shard.partition} splits a multi-plane network into independent
+    sub-networks; [Serve] runs one warm {!Engine} per shard and spreads
+    the shards over an OCaml 5 domain pool
+    ({!Rsin_util.Domain_pool}). Because shards share no network element,
+    per-shard maximum flows sum to the merged network's maximum flow, so
+    the sharded engine allocates {e exactly} what the single-engine
+    Dinic would — the differential suite pins this cycle by cycle.
+
+    {2 Slot lockstep}
+
+    Events are consumed in nondecreasing slot order (the JSONL trace
+    format [rsin serve] streams from stdin or a socket is already
+    sorted). All events of slot [T] are buffered; when the first event
+    of a later slot arrives, the loop
+    {ol {- advances every shard engine through slot [T - 1] {e in
+    parallel} (work-stealing over the pool);}
+    {- at the barrier, routes the buffered slot-[T] events {e
+    sequentially} — translating global processor/resource/element ids
+    to shard-local ones and making any borrowing decisions;}
+    {- feeds each translated event to its shard and moves on.}}
+    Every routing decision therefore reads shard states that are
+    complete through [T - 1] and is made on one domain in trace order —
+    which is why the allocation trajectory is identical for every
+    domain count, [--domains 1] included (the determinism qcheck pins
+    that too).
+
+    {2 Borrowing}
+
+    When an arrival's home shard has no free resource port, the router
+    tries to re-target it to a {e donor} shard instead of letting it
+    queue: every other shard with idle processors and free resources is
+    probed with a from-scratch {!Rsin_core.Transform1} max-flow on its
+    private network (requests = its idle processors, free = its free
+    ports), and the probe's min-cut members ({!Rsin_core.Transform1.bottleneck},
+    via [Netgraph.cut_members]) classify the donor: a cut containing
+    [`Link]s means the donor is fabric-limited and extra load would hit
+    contended wires. The donor with the largest headroom wins, ties
+    preferring fabric-unlimited donors, then the lowest shard index;
+    the arrival is re-issued at the donor's lowest idle processor. If
+    no shard has headroom the arrival stays home (and is counted as
+    starved). Everything is deterministic, so borrowing does not
+    perturb the domains=1 vs domains=N equivalence. *)
+
+type report = {
+  domains : int;        (** domain-pool size actually used *)
+  shards : int;
+  events : int;         (** trace events consumed *)
+  borrows : int;        (** arrivals re-targeted to a donor shard *)
+  starved : int;        (** exhausted-home arrivals no donor could take *)
+  horizon : int;        (** max over shards *)
+  arrivals : int;
+  allocated : int;
+  completed : int;
+  cancelled : int;
+  expired : int;
+  left_pending : int;
+  cycles : int;
+  skipped_cycles : int;
+  solver_work : int;
+  faults : int;
+  repairs : int;
+  victims : int;
+  wall_us : float;      (** monotonic create-to-drain wall time *)
+  per_shard : Engine.report array;
+}
+(** Counters are sums over shards unless noted. [wall_us] is real
+    elapsed time ({!Rsin_util.Clock}), the quantity the E35 scaling
+    bench divides events by. *)
+
+val events_per_sec : report -> float
+
+val pp_report : Format.formatter -> report -> unit
+
+type t
+
+val create :
+  ?config:Engine.Config.t ->
+  ?domains:int ->
+  ?cycle_hook:(shard:int -> Rsin_topology.Network.t -> Engine.cycle_info -> unit) ->
+  ?event_hook:(events:int -> time:int -> unit) ->
+  Rsin_topology.Network.t ->
+  (t, string) result
+(** Partitions the network into one shard per connected component and
+    starts one engine per shard over a pool of
+    [min domains components] domains (default [domains]:
+    {!Domain.recommended_domain_count}). The shard layout deliberately
+    does {e not} depend on [domains] — only the pool size does — so
+    every routing and borrowing decision, and hence the whole allocation
+    trajectory, is identical at every domain count. The same validated
+    {!Engine.Config.t} is shipped to every shard; [Token] mode is
+    rejected ([Error]) — the token protocol is a single-fabric
+    architecture. Partitioning errors ({!Shard.partition}) are passed
+    through.
+
+    [cycle_hook] is the per-shard {!Engine.create} hook plus the shard
+    index; it fires on the domain serving that shard, concurrently with
+    other shards' hooks, so it must only touch per-shard state (the
+    differential tests give each shard its own log buffer).
+    [event_hook] fires on the routing domain once per flushed slot with
+    the cumulative event count — the serve heartbeat. *)
+
+val shard : t -> Shard.t
+val n_domains : t -> int
+
+val feed : t -> Rsin_sim.Workload.trace_event -> unit
+(** Routes one trace event. Raises [Invalid_argument] on decreasing
+    slot order, on an out-of-range processor, or on anything
+    {!Engine.feed} rejects. *)
+
+val drain : t -> unit
+(** Flushes the last buffered slot, drains every shard in parallel, and
+    shuts the domain pool down. The instance only accepts {!report}
+    afterwards. Idempotent. *)
+
+val report : t -> report
+
+val run :
+  ?config:Engine.Config.t ->
+  ?domains:int ->
+  ?cycle_hook:(shard:int -> Rsin_topology.Network.t -> Engine.cycle_info -> unit) ->
+  ?event_hook:(events:int -> time:int -> unit) ->
+  Rsin_topology.Network.t ->
+  Rsin_sim.Workload.trace_event list ->
+  (report, string) result
+(** [create] + [feed] each event of the (time-sorted) trace + [drain] +
+    [report]. *)

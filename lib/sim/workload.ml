@@ -292,31 +292,61 @@ let parse_line lineno line =
   | Some other -> fail (Printf.sprintf "unknown event kind %S" other)
   | None -> fail "missing field \"ev\""
 
+(* The streaming core under every reader: pull lines one at a time from
+   [next_line], parse, fold. Constant memory in the input length — the
+   accumulator is whatever the caller builds — and events are delivered
+   in file order, so a serve loop can act on each line as it arrives. *)
+let fold_line_source next_line ~init ~f =
+  let rec go lineno acc =
+    match next_line () with
+    | None -> Ok acc
+    | Some line ->
+      let lineno = lineno + 1 in
+      if String.trim line = "" then go lineno acc
+      else (
+        match
+          try parse_line lineno line with
+          | Malformed _ as e -> raise e
+          | e ->
+            (* belt and braces: any parser slip on hostile input still
+               surfaces as a positioned error, never a raw exception *)
+            raise (Malformed (lineno, Printexc.to_string e))
+        with
+        | events -> go lineno (List.fold_left f acc events)
+        | exception Malformed (line, message) -> Error { line; message })
+  in
+  go 0 init
+
+let fold_trace_channel ic ~init ~f =
+  fold_line_source (fun () -> In_channel.input_line ic) ~init ~f
+
 let import text =
-  let lines = String.split_on_char '\n' text in
-  match
-    List.concat
-      (List.mapi
-         (fun i line ->
-           let lineno = i + 1 in
-           if String.trim line = "" then []
-           else
-             try parse_line lineno line with
-             | Malformed _ as e -> raise e
-             | e ->
-               (* belt and braces: any parser slip on hostile input still
-                  surfaces as a positioned error, never a raw exception *)
-               raise (Malformed (lineno, Printexc.to_string e)))
-         lines)
-  with
-  | events -> Ok (sort_trace events)
-  | exception Malformed (line, message) -> Error { line; message }
+  (* One cursor over [text]; no per-line string list is materialized. *)
+  let pos = ref 0 in
+  let len = String.length text in
+  let next_line () =
+    if !pos >= len then None
+    else
+      let start = !pos in
+      let stop =
+        match String.index_from_opt text start '\n' with
+        | Some i -> i
+        | None -> len
+      in
+      pos := stop + 1;
+      Some (String.sub text start (stop - start))
+  in
+  match fold_line_source next_line ~init:[] ~f:(fun acc ev -> ev :: acc) with
+  | Ok rev -> Ok (sort_trace (List.rev rev))
+  | Error e -> Error e
+
+let failwith_parse { line; message } =
+  failwith (Printf.sprintf "Workload.trace_of_jsonl: line %d: %s" line message)
 
 let trace_of_jsonl text =
   match import text with
   | Ok trace -> trace
-  | Error { line; message } ->
-    failwith (Printf.sprintf "Workload.trace_of_jsonl: line %d: %s" line message)
+  | Error e -> failwith_parse e
 
 let write_trace file trace =
   let oc = open_out file in
@@ -329,8 +359,10 @@ let read_trace file =
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
-      let len = in_channel_length ic in
-      trace_of_jsonl (really_input_string ic len))
+      (* Streamed line at a time; the whole file is never in memory. *)
+      match fold_trace_channel ic ~init:[] ~f:(fun acc ev -> ev :: acc) with
+      | Ok rev -> sort_trace (List.rev rev)
+      | Error e -> failwith_parse e)
 
 let hetero_spec ?(levels = 1) rng ~types ~requests ~free =
   let prio () = if levels <= 1 then 0 else 1 + Prng.int rng levels in

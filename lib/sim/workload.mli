@@ -127,11 +127,23 @@ val trace_to_jsonl : trace_event list -> string
 type parse_error = { line : int; message : string }
 (** A malformed trace line: 1-based line number plus what was wrong. *)
 
+val fold_trace_channel :
+  in_channel -> init:'a -> f:('a -> trace_event -> 'a) -> ('a, parse_error) result
+(** Streams a JSONL trace from a channel {e line at a time}: each line
+    is parsed and folded into the accumulator before the next one is
+    read, so memory is constant in the input length — this is what lets
+    [rsin serve] treat an unbounded stdin/socket stream as a workload
+    and what {!read_trace} replays arbitrarily large trace files with.
+    Events are delivered in file order (not time-sorted); blank lines
+    are skipped. A malformed line stops the fold with the same
+    line-numbered {!parse_error} as {!import}. *)
+
 val import : string -> (trace_event list, parse_error) result
 (** Inverse of {!trace_to_jsonl}; result is time-sorted. Malformed or
     truncated input — bad JSON shape, missing or non-integer fields,
     unknown event kinds, out-of-range values — yields a line-numbered
-    [Error] instead of an exception. *)
+    [Error] instead of an exception. Streams over the string with the
+    same line-at-a-time core as {!fold_trace_channel}. *)
 
 val trace_of_jsonl : string -> trace_event list
 (** {!import} for callers that prefer exceptions. Raises [Failure] with
@@ -141,7 +153,9 @@ val write_trace : string -> trace_event list -> unit
 (** Writes the JSONL form to a file. *)
 
 val read_trace : string -> trace_event list
-(** Reads a JSONL trace file. Raises [Sys_error] or [Failure]. *)
+(** Reads a JSONL trace file through {!fold_trace_channel} (line at a
+    time, never the whole file in memory), returning the events
+    time-sorted. Raises [Sys_error] or [Failure]. *)
 
 val hetero_spec :
   ?levels:int ->

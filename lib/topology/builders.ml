@@ -250,6 +250,93 @@ let adm n =
   plus_minus_network ~name:(Printf.sprintf "adm%d" n)
     ~distance:(fun ~k s -> 1 lsl (k - 1 - s)) n
 
+(* --- Multi-plane (disjoint union) ----------------------------------------- *)
+
+(* K disjoint copies of a base network, rebuilt through the introspection
+   API: box numbering is stage-major and rails are box-major within a
+   stage (see Network.build), so the base wirings can be recovered by
+   walking each box's links and the union is wired by block-offsetting
+   every rail into its plane's slice. Plane c owns processors
+   [c*np, (c+1)*np) and resources [c*nr, (c+1)*nr). The planes share no
+   element, which is what makes exact sharding sound: max flow on a
+   disjoint union is the sum of per-plane max flows. *)
+let multiplane ~planes base =
+  if planes < 1 then invalid_arg "multiplane: planes must be >= 1";
+  if Network.circuits base <> [] then
+    invalid_arg "multiplane: base network must be empty";
+  let np = Network.n_procs base and nr = Network.n_res base in
+  let n_stages = Network.stages base in
+  let stage_ids =
+    Array.init n_stages (fun s -> Array.of_list (Network.boxes_in_stage base s))
+  in
+  let base_specs =
+    Array.map (Array.map (fun b -> Network.box_spec base b)) stage_ids
+  in
+  (* Box-major rail offsets per stage, plus a global-box-id -> (stage,
+     first input rail, first output rail) lookup. *)
+  let in_rails = Array.make n_stages 0 and out_rails = Array.make n_stages 0 in
+  let box_in_rail = Array.make (Network.n_boxes base) 0 in
+  let box_out_rail = Array.make (Network.n_boxes base) 0 in
+  Array.iteri
+    (fun s ids ->
+      Array.iteri
+        (fun j b ->
+          box_in_rail.(b) <- in_rails.(s);
+          box_out_rail.(b) <- out_rails.(s);
+          let spec = base_specs.(s).(j) in
+          in_rails.(s) <- in_rails.(s) + spec.Network.fan_in;
+          out_rails.(s) <- out_rails.(s) + spec.Network.fan_out)
+        ids)
+    stage_ids;
+  let dst_in_rail l =
+    match Network.link_dst base l with
+    | Network.Box_in (b, p) -> box_in_rail.(b) + p
+    | Network.Proc _ | Network.Res _ | Network.Box_out _ ->
+      invalid_arg "multiplane: malformed base network"
+  in
+  let proc_w = Array.init np (fun i -> dst_in_rail (Network.proc_link base i)) in
+  let stage_w =
+    Array.init (n_stages - 1) (fun s ->
+        let w = Array.make out_rails.(s) 0 in
+        Array.iter
+          (fun b ->
+            Array.iteri
+              (fun p l -> w.(box_out_rail.(b) + p) <- dst_in_rail l)
+              (Network.box_out_links base b))
+          stage_ids.(s);
+        w)
+  in
+  let res_w =
+    let w = Array.make nr 0 in
+    Array.iter
+      (fun b ->
+        Array.iteri
+          (fun p l ->
+            match Network.link_dst base l with
+            | Network.Res j -> w.(box_out_rail.(b) + p) <- j
+            | _ -> invalid_arg "multiplane: malformed base network")
+          (Network.box_out_links base b))
+      stage_ids.(n_stages - 1);
+    w
+  in
+  (* Block-offset every wiring into its plane's rail slice. *)
+  let tile n_per_plane f = Array.init (planes * n_per_plane) f in
+  Network.build
+    ~name:(Printf.sprintf "multi%d-%s" planes (Network.name base))
+    ~n_procs:(planes * np) ~n_res:(planes * nr)
+    ~stage_boxes:
+      (Array.init n_stages (fun s ->
+           tile (Array.length base_specs.(s)) (fun i ->
+               base_specs.(s).(i mod Array.length base_specs.(s)))))
+    ~proc_wiring:
+      (tile np (fun i -> ((i / np) * in_rails.(0)) + proc_w.(i mod np)))
+    ~stage_wiring:
+      (Array.init (n_stages - 1) (fun s ->
+           tile out_rails.(s) (fun r ->
+               ((r / out_rails.(s)) * in_rails.(s + 1))
+               + stage_w.(s).(r mod out_rails.(s)))))
+    ~res_wiring:(tile nr (fun r -> ((r / nr) * nr) + res_w.(r mod nr)))
+
 (* --- Routing helpers ------------------------------------------------------ *)
 
 let route_unique net ~proc ~res =

@@ -74,6 +74,17 @@ val adm : int -> Network.t
     data manipulator's decreasing distances ±2^(k−1−s) per stage — the
     other multipath family named in the paper's conclusion. *)
 
+val multiplane : planes:int -> Network.t -> Network.t
+(** [multiplane ~planes base] is the disjoint union of [planes] copies of
+    [base]: plane [c] owns processors [c·np .. (c+1)·np) and resources
+    [c·nr .. (c+1)·nr), and no link, box or resource is shared between
+    planes. This models a multiprocessor whose resource pool is striped
+    across independent interconnection planes; because the planes are
+    disjoint, the global maximum allocation is exactly the sum of the
+    per-plane maxima, which is what lets {!Rsin_engine.Shard} serve each
+    plane on its own core without losing the paper's optimality
+    guarantees. The base network must be empty (no live circuits). *)
+
 val route_unique :
   Network.t -> proc:int -> res:int -> int list option
 (** Shortest free path from processor to resource port (list of link

@@ -1,0 +1,114 @@
+type job = Job of (unit -> unit) | Quit
+
+(* One mailbox per spawned worker: [slot] carries the next job in,
+   [result] carries completion (or the exception) back out. Both sides
+   hold [mu]; [cv] covers both directions. *)
+type mailbox = {
+  mu : Mutex.t;
+  cv : Condition.t;
+  mutable slot : job option;
+  mutable result : (unit, exn) result option;
+}
+
+type t = {
+  boxes : mailbox array;             (* one per spawned worker *)
+  domains : unit Domain.t array;
+  mutable live : bool;
+}
+
+let worker_loop box =
+  let rec go () =
+    Mutex.lock box.mu;
+    while box.slot = None do
+      Condition.wait box.cv box.mu
+    done;
+    let job = Option.get box.slot in
+    box.slot <- None;
+    Mutex.unlock box.mu;
+    match job with
+    | Quit -> ()
+    | Job f ->
+      let r = try Ok (f ()) with e -> Error e in
+      Mutex.lock box.mu;
+      box.result <- Some r;
+      Condition.broadcast box.cv;
+      Mutex.unlock box.mu;
+      go ()
+  in
+  go ()
+
+let create n =
+  if n < 1 then invalid_arg "Domain_pool.create: size must be >= 1";
+  let boxes =
+    Array.init (n - 1) (fun _ ->
+        { mu = Mutex.create (); cv = Condition.create (); slot = None;
+          result = None })
+  in
+  let domains =
+    Array.map (fun box -> Domain.spawn (fun () -> worker_loop box)) boxes
+  in
+  { boxes; domains; live = true }
+
+let size t = Array.length t.boxes + 1
+
+let post box job =
+  Mutex.lock box.mu;
+  box.slot <- Some job;
+  Condition.broadcast box.cv;
+  Mutex.unlock box.mu
+
+let await box =
+  Mutex.lock box.mu;
+  while box.result = None do
+    Condition.wait box.cv box.mu
+  done;
+  let r = Option.get box.result in
+  box.result <- None;
+  Mutex.unlock box.mu;
+  r
+
+let run t f =
+  if not t.live then invalid_arg "Domain_pool.run: pool is shut down";
+  Array.iteri (fun i box -> post box (Job (fun () -> f (i + 1)))) t.boxes;
+  let r0 = try Ok (f 0) with e -> Error e in
+  let rs = Array.map await t.boxes in
+  (match r0 with
+  | Error e -> raise e
+  | Ok () ->
+    Array.iter (function Error e -> raise e | Ok () -> ()) rs)
+
+(* Work stealing: tasks are cut into one contiguous chunk per worker,
+   each claimed through an atomic cursor. A worker drains its own chunk
+   first (no contention in the common balanced case), then sweeps the
+   other cursors; fetch-and-add may overshoot a chunk's end, which is
+   harmless — the bound check rejects the claim. *)
+let run_tasks t tasks =
+  let n = Array.length tasks and w = size t in
+  if n > 0 then begin
+    let chunk = (n + w - 1) / w in
+    let cursors =
+      Array.init w (fun i ->
+          (Atomic.make (i * chunk), min n ((i + 1) * chunk)))
+    in
+    let claim (cur, hi) =
+      let i = Atomic.fetch_and_add cur 1 in
+      if i < hi then Some tasks.(i) else None
+    in
+    run t (fun me ->
+        let rec drain c =
+          match claim c with
+          | Some task -> task (); drain c
+          | None -> ()
+        in
+        drain cursors.(me);
+        for k = 1 to w - 1 do
+          drain cursors.((me + k) mod w)
+        done)
+  end
+
+let shutdown t =
+  if t.live then begin
+    t.live <- false;
+    Array.iter (fun box -> post box Quit) t.boxes;
+    Array.iter Domain.join t.domains
+  end

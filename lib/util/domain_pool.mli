@@ -1,0 +1,37 @@
+(** A tiny fixed-size pool of OCaml 5 domains with a work-stealing task
+    runner — just enough multicore for the sharded serving engine
+    without an external dependency (the stdlib's [Domain], [Mutex],
+    [Condition] and [Atomic] are all it uses).
+
+    A pool of size [n] owns [n - 1] spawned worker domains; the caller's
+    domain is always worker 0, so [create 1] spawns nothing and every
+    job runs inline — the degenerate single-core pool behaves exactly
+    like plain sequential code, which is what makes
+    [serve --domains 1] a valid determinism reference. Workers park on
+    a condition variable between calls, so an idle pool burns no CPU. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes a pool of [n >= 1] workers ([n - 1] new domains).
+    Raises [Invalid_argument] when [n < 1]. *)
+
+val size : t -> int
+
+val run : t -> (int -> unit) -> unit
+(** [run pool f] executes [f w] once per worker [w] (0 on the calling
+    domain, the rest concurrently) and returns when all have finished.
+    If any call raised, the first worker's exception (lowest [w]) is
+    re-raised after every worker has stopped. Not reentrant. *)
+
+val run_tasks : t -> (unit -> unit) array -> unit
+(** [run_tasks pool tasks] runs every task to completion across the
+    pool. Tasks are split into per-worker chunks claimed through atomic
+    cursors; a worker that drains its own chunk steals from the others,
+    so a handful of slow tasks cannot idle the rest of the pool. Order
+    of execution is unspecified — tasks must be independent. Exceptions
+    propagate as in {!run}. *)
+
+val shutdown : t -> unit
+(** Terminates and joins the worker domains. The pool must not be used
+    afterwards. Idempotent. *)

@@ -1,0 +1,244 @@
+The serve subcommand reuses the replay flag bundle verbatim — this help
+text is pinned so the shared options cannot drift between the two:
+
+  $ rsin serve --help=plain
+  NAME
+         rsin-serve - Serve a live JSONL event stream (stdin, file or Unix
+         socket) through the sharded multicore engine: one warm engine per
+         network component, spread over an OCaml domain pool, with cross-shard
+         borrowing when a shard's resource pool is exhausted.
+  
+  SYNOPSIS
+         rsin serve [OPTION]… NET
+  
+  ARGUMENTS
+         NET (required)
+             Network specification, e.g. omega:8.
+  
+  OPTIONS
+         --arrival=VAL (absent=0.2)
+             Synthetic trace: per-processor arrival probability per slot.
+  
+         --cancel=VAL (absent=0.)
+             Synthetic trace: cancellation probability.
+  
+         --deadline-slack=K
+             Synthetic trace: deadline uniform in [t+1, t+K].
+  
+         --discipline=DISC (absent=uniform)
+             Serving discipline: uniform (Transformation 1: any maximum
+             allocation per cycle) or priority (Transformation 2: maximum
+             allocation, then maximum total priority of the queue heads served;
+             priorities come from the trace).
+  
+         --domains=N
+             Size of the domain pool serving the shards (default: the machine's
+             recommended domain count). The shard layout — and with it the
+             allocation trajectory — does not depend on it.
+  
+         --fault-clock-granularity=G (absent=slot)
+             With --faults: slot (default) applies each fault at its slot's
+             cycle boundary; clock additionally draws a uniform intra-cycle
+             status-bus clock per fault, so under --mode token the element dies
+             mid-cycle and the distributed protocol must detect it and recover.
+             Other modes ignore the clocks.
+  
+         --faults
+             Inject a random fault/repair schedule (seeded MTBF/MTTR renewal
+             process over links, boxes and resource ports) into the served
+             trace. A fault tears down circuits transmitting through the dead
+             element and re-queues their tasks at the head of their queue.
+  
+         --heartbeat=N (absent=0)
+             Every N consumed trace events, print one progress line (slot,
+             events, cycles, allocated, solver work) to stderr. 0 (the default)
+             disables the heartbeat.
+  
+         --listen=PATH
+             Create a Unix domain socket at PATH, accept one connection and
+             stream JSONL trace events from it until the client closes.
+  
+         --max-defer=VAL (absent=16)
+             Force a cycle once the oldest pending request is this old.
+  
+         --mtbf=SLOTS (absent=80.)
+             Mean slots between failures per element (with --faults).
+  
+         --mttr=SLOTS (absent=20.)
+             Mean slots to repair a failed element (with --faults).
+  
+         --priority-levels=K (absent=0)
+             Synthetic trace: draw each task's priority uniformly from [1, K]
+             (0, the default, leaves all priorities 0).
+  
+         --seed=VAL (absent=1)
+             PRNG seed.
+  
+         --service=VAL (absent=4.)
+             Synthetic trace: mean service time.
+  
+         --slots=VAL (absent=200)
+             Synthetic trace: arrival slots.
+  
+         --solver=NAME (absent=dinic)
+             Max-flow solver for the optimal (flow-based) scheduling paths:
+             dinic, edmonds-karp, push-relabel, mincost, out-of-kilter,
+             dinic-csr, mincost-csr. Schedulers that do not run a flow solver
+             ignore it. The warm engine's incremental augmentation is part of
+             its definition, but dinic-csr and mincost-csr select where it
+             runs: warm cycles then execute on the flat zero-allocation CSR
+             core instead of the adjacency graph.
+  
+         --synthetic
+             Synthesize the workload from the shared workload flags (--slots,
+             --arrival, ...) instead of streaming one — the scaling-bench
+             driver.
+  
+         --threshold=VAL (absent=1)
+             Pending requests to batch before entering a scheduling cycle.
+  
+         --timing
+             Also report wall-clock time and events/second (off by default so
+             serve output stays reproducible).
+  
+         --trace=FILE
+             Stream the JSONL workload trace in FILE line at a time (replay
+             traces double as load-test drivers).
+  
+         --trace-format=FMT (absent=jsonl)
+             Trace file format: jsonl (one JSON event per line) or chrome
+             (trace_event array for chrome://tracing / Perfetto).
+  
+         --trace-out=FILE
+             Record a trace of the run and write it to FILE.
+  
+         --transmission=VAL (absent=1)
+             Slots a circuit stays established.
+  
+  COMMON OPTIONS
+         --help[=FMT] (default=auto)
+             Show this help in format FMT. The value FMT must be one of auto,
+             pager, groff or plain. With auto, the format is pager or plain
+             whenever the TERM env var is dumb or undefined.
+  
+         --version
+             Show version information.
+  
+  EXIT STATUS
+         rsin serve exits with:
+  
+         0   on success.
+  
+         123 on indiscriminate errors reported on standard error.
+  
+         124 on command line parsing errors.
+  
+         125 on unexpected internal errors (bugs).
+  
+  SEE ALSO
+         rsin(1)
+  
+
+A replay-exported trace doubles as a serve load: stream it from a file
+and from stdin; both must produce the same report, and the report must
+be identical at every --domains value (the shard layout does not depend
+on the pool size):
+
+  $ rsin replay multi:2:omega:8 --slots 30 --arrival 0.3 --seed 7 --export trace.jsonl > /dev/null
+  $ rsin serve multi:2:omega:8 --domains 2 --trace trace.jsonl
+  serving multi2-omega8: 2 shard(s) over 2 domain(s)
+  metric                serve
+  --------------------  -----
+  events                150
+  borrowed              12
+  starved               103
+  horizon (slots)       55
+  arrivals              150
+  allocated             150
+  completed             150
+  cancelled             0
+  expired               0
+  left pending          0
+  scheduling cycles     79
+  cycles skipped clean  0
+  solver work (arcs)    7050
+  $ rsin serve multi:2:omega:8 --domains 1 < trace.jsonl
+  serving multi2-omega8: 2 shard(s) over 1 domain(s)
+  metric                serve
+  --------------------  -----
+  events                150
+  borrowed              12
+  starved               103
+  horizon (slots)       55
+  arrivals              150
+  allocated             150
+  completed             150
+  cancelled             0
+  expired               0
+  left pending          0
+  scheduling cycles     79
+  cycles skipped clean  0
+  solver work (arcs)    7050
+
+Synthetic workloads come from the same shared flags as replay, fault
+injection included:
+
+  $ rsin serve multi:4:omega:8 --synthetic --slots 40 --arrival 0.3 --seed 5 --faults --mtbf 40 --mttr 6 --domains 4
+  serving multi4-omega8: 4 shard(s) over 4 domain(s)
+  faults: 205 element event(s) injected (mtbf 40, mttr 6)
+  metric                serve
+  --------------------  -----
+  events                575
+  borrowed              38
+  starved               113
+  horizon (slots)       87
+  arrivals              370
+  allocated             368
+  completed             368
+  cancelled             0
+  expired               0
+  left pending          2
+  scheduling cycles     283
+  cycles skipped clean  1
+  solver work (arcs)    18332
+  faults applied        111
+  repairs applied       94
+  victim circuits       0
+
+A connected network is a single shard — serve degrades gracefully to
+the single-core engine:
+
+  $ rsin serve omega:8 --synthetic --slots 20 --arrival 0.2 --seed 3 --domains 4
+  serving omega8: 1 shard(s) over 1 domain(s)
+  metric                serve
+  --------------------  -----
+  events                32
+  borrowed              0
+  starved               19
+  horizon (slots)       32
+  arrivals              32
+  allocated             32
+  completed             32
+  cancelled             0
+  expired               0
+  left pending          0
+  scheduling cycles     19
+  cycles skipped clean  0
+  solver work (arcs)    1362
+
+Bad inputs are rejected with a diagnostic, not a traceback:
+
+  $ rsin serve multi:2:omega:4 --trace trace.jsonl --listen sock.path
+  rsin: --trace and --listen are mutually exclusive
+  [1]
+  $ rsin serve multi:2:omega:4 --faults
+  rsin: --faults needs --synthetic (streamed traces carry their fault events inline)
+  [1]
+  $ echo 'not json' | rsin serve multi:2:omega:4 --domains 1
+  serving multi2-omega4: 2 shard(s) over 1 domain(s)
+  rsin: cannot read trace: line 1: expected a {...} object
+  [1]
+  $ printf '{"t":5,"ev":"arrive","id":0,"proc":0,"service":2}\n{"t":4,"ev":"arrive","id":1,"proc":1,"service":2}\n' | rsin serve multi:2:omega:4 --domains 1
+  serving multi2-omega4: 2 shard(s) over 1 domain(s)
+  rsin: Serve.feed: events must arrive in nondecreasing slot order
+  [1]

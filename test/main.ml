@@ -16,6 +16,7 @@ let () =
       ("protocol", Test_protocol.suite);
       ("sim", Test_sim.suite);
       ("engine", Test_engine.suite);
+      ("serve", Test_serve.suite);
       ("fault", Test_fault.suite);
       ("hardware", Test_hardware.suite);
       ("gates", Test_gates.suite);

@@ -434,12 +434,10 @@ let test_engine_csr_differential () =
               reference.Scheduler.allocated info.Engine.allocated
           in
           let config =
-            { Engine.transmission_time = 2; batch_threshold = 1; max_defer = 8 }
+            Engine.Config.v ~solver:"dinic-csr" ~transmission_time:2
+              ~max_defer:8 ()
           in
-          let report =
-            Engine.run ~mode:Engine.Warm ~solver:(Solver.get "dinic-csr")
-              ~cycle_hook:hook ~config net trace
-          in
+          let report = Engine.run ~config ~cycle_hook:hook net trace in
           check Alcotest.bool
             (Printf.sprintf "%s seed %d applied faults" name seed)
             true
@@ -487,11 +485,10 @@ let test_engine_csr_priority_differential () =
               (served info.Engine.mapping)
           in
           let report =
-            Engine.run ~mode:Engine.Warm ~discipline:Engine.Priority
-              ~solver:(Solver.get "mincost-csr") ~cycle_hook:hook
+            Engine.run ~cycle_hook:hook
               ~config:
-                { Engine.transmission_time = 2; batch_threshold = 1;
-                  max_defer = 8 }
+                (Engine.Config.v ~discipline:Engine.Priority
+                   ~solver:"mincost-csr" ~transmission_time:2 ~max_defer:8 ())
               net trace
           in
           check Alcotest.bool

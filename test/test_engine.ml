@@ -126,10 +126,8 @@ let test_differential () =
               reference.Scheduler.allocated info.Engine.allocated
           in
           let report =
-            Engine.run ~mode:Engine.Warm ~cycle_hook:hook
-              ~config:
-                { Engine.transmission_time = 2; batch_threshold = 1;
-                  max_defer = 8 }
+            Engine.run ~cycle_hook:hook
+              ~config:(Engine.Config.v ~transmission_time:2 ~max_defer:8 ())
               net trace
           in
           check Alcotest.bool
@@ -184,11 +182,10 @@ let test_differential_priority () =
               (served info.Engine.mapping)
           in
           let report =
-            Engine.run ~mode:Engine.Warm ~discipline:Engine.Priority
-              ~cycle_hook:hook
+            Engine.run ~cycle_hook:hook
               ~config:
-                { Engine.transmission_time = 2; batch_threshold = 1;
-                  max_defer = 8 }
+                (Engine.Config.v ~discipline:Engine.Priority
+                   ~transmission_time:2 ~max_defer:8 ())
               net trace
           in
           check Alcotest.bool
@@ -203,9 +200,9 @@ let test_differential_priority () =
 
 (* --- Engine accounting ----------------------------------------------------- *)
 
-let run_both ?config net trace =
-  ( Engine.run ?config ~mode:Engine.Warm net trace,
-    Engine.run ?config ~mode:Engine.Rebuild net trace )
+let run_both net trace =
+  ( Engine.run ~config:(Engine.Config.v ~mode:Engine.Warm ()) net trace,
+    Engine.run ~config:(Engine.Config.v ~mode:Engine.Rebuild ()) net trace )
 
 let test_task_conservation () =
   let net = Builders.omega 16 in
@@ -236,8 +233,8 @@ let test_determinism () =
     Workload.synthesize ~cancel_prob:0.1 (Prng.create 9) net ~slots:80
       ~arrival_prob:0.4
   in
-  let a = Engine.run ~mode:Engine.Warm net trace in
-  let b = Engine.run ~mode:Engine.Warm net trace in
+  let a = Engine.run net trace in
+  let b = Engine.run net trace in
   check Alcotest.bool "equal reports" true (a = b)
 
 (* A clean cycle must be answered without solver work. A Clos network
@@ -254,9 +251,7 @@ let test_skipped_cycle () =
     Workload.Arrive { t; id; proc; service = 1; deadline = None; priority = 0 }
   in
   let trace = [ arrive 0 0 0; arrive 1 1 1; arrive 2 2 1 ] in
-  let config =
-    { Engine.transmission_time = 10; batch_threshold = 1; max_defer = 100 }
-  in
+  let config = Engine.Config.v ~transmission_time:10 ~max_defer:100 () in
   let skipped_at = ref [] in
   let hook _net (info : Engine.cycle_info) =
     if info.Engine.skipped then begin
@@ -282,9 +277,7 @@ let test_batching_defers () =
       Workload.Arrive
         { t = 3; id = 1; proc = 1; service = 2; deadline = None; priority = 0 } ]
   in
-  let config =
-    { Engine.transmission_time = 1; batch_threshold = 2; max_defer = 10 }
-  in
+  let config = Engine.Config.v ~batch_threshold:2 ~max_defer:10 () in
   let times = ref [] in
   let hook _net (info : Engine.cycle_info) =
     times := info.Engine.time :: !times
@@ -303,7 +296,7 @@ let test_batching_defers () =
   in
   let report' =
     Engine.run
-      ~config:{ config with max_defer = 2 }
+      ~config:(Engine.Config.v ~batch_threshold:2 ~max_defer:2 ())
       ~cycle_hook:hook' net trace
   in
   check Alcotest.int "forced cycle fires early" 2 (List.hd (List.rev !times'));
@@ -326,7 +319,7 @@ let test_deadline_dead_on_arrival () =
   in
   List.iter
     (fun mode ->
-      let rep = Engine.run ~mode net trace in
+      let rep = Engine.run ~config:(Engine.Config.v ~mode ()) net trace in
       let name = Engine.mode_name mode in
       check Alcotest.int (name ^ ": dead-on-arrival tasks expire") 2
         rep.Engine.expired;
@@ -364,9 +357,10 @@ let test_token_differential () =
           reference.Scheduler.allocated info.Engine.allocated
       in
       let report =
-        Engine.run ~mode:Engine.Token ~cycle_hook:hook
+        Engine.run ~cycle_hook:hook
           ~config:
-            { Engine.transmission_time = 2; batch_threshold = 1; max_defer = 8 }
+            (Engine.Config.v ~mode:Engine.Token ~transmission_time:2
+               ~max_defer:8 ())
           net trace
       in
       check Alcotest.bool (Network.name net ^ ": enough token cycles") true
@@ -403,40 +397,130 @@ let test_token_clocked_faults () =
       reference.Scheduler.allocated info.Engine.allocated
   in
   let config =
-    { Engine.transmission_time = 2; batch_threshold = 1; max_defer = 8 }
+    Engine.Config.v ~mode:Engine.Token ~transmission_time:2 ~max_defer:8 ()
   in
-  let rep = Engine.run ~mode:Engine.Token ~config ~cycle_hook:hook net trace in
+  let rep = Engine.run ~config ~cycle_hook:hook net trace in
   check Alcotest.bool "faults were applied" true (rep.Engine.faults > 0);
   check Alcotest.bool "repairs were applied" true (rep.Engine.repairs > 0);
   check Alcotest.int "conservation under faults" rep.Engine.arrivals
     (rep.Engine.completed + rep.Engine.cancelled + rep.Engine.expired
     + rep.Engine.left_pending);
-  let again = Engine.run ~mode:Engine.Token ~config net trace in
-  let rep' = Engine.run ~mode:Engine.Token ~config net trace in
+  let again = Engine.run ~config net trace in
+  let rep' = Engine.run ~config net trace in
   check Alcotest.bool "token runs deterministic" true (again = rep')
 
 let test_token_rejects_priority () =
-  let net = Builders.omega 8 in
   Alcotest.check_raises "token + priority"
-    (Invalid_argument "Engine.run: token mode runs the uniform discipline only")
+    (Invalid_argument "Engine.Config: token mode runs the uniform discipline only")
     (fun () ->
       ignore
-        (Engine.run ~mode:Engine.Token ~discipline:Engine.Priority net []))
+        (Engine.Config.v ~mode:Engine.Token ~discipline:Engine.Priority ()))
 
 let test_rejects_bad_trace () =
   let net = Builders.omega 8 in
   Alcotest.check_raises "bad processor"
-    (Invalid_argument "Engine.run: bad processor in trace") (fun () ->
+    (Invalid_argument "Engine.feed: bad processor in trace") (fun () ->
       ignore
         (Engine.run net
            [ Workload.Arrive
                { t = 0; id = 0; proc = 99; service = 1; deadline = None; priority = 0 } ]));
   Alcotest.check_raises "bad service"
-    (Invalid_argument "Engine.run: bad service time in trace") (fun () ->
+    (Invalid_argument "Engine.feed: bad service time in trace") (fun () ->
       ignore
         (Engine.run net
            [ Workload.Arrive
                { t = 0; id = 0; proc = 0; service = 0; deadline = None; priority = 0 } ]))
+
+(* --- Config: validation and round-trips ------------------------------------ *)
+
+(* Every field combination a generator can produce must survive
+   Config -> JSON -> Config bit-identically: the sharded serve loop
+   ships per-domain configs through exactly this codec. *)
+let config_gen =
+  QCheck.Gen.(
+    let* mode = oneofl [ Engine.Warm; Engine.Rebuild; Engine.Token ] in
+    let* discipline =
+      if mode = Engine.Token then return Engine.Uniform
+      else oneofl [ Engine.Uniform; Engine.Priority ]
+    in
+    let* solver =
+      oneofl [ "dinic"; "edmonds-karp"; "push-relabel"; "dinic-csr";
+               "mincost-csr" ]
+    in
+    let* transmission_time = int_range 1 9 in
+    let* batch_threshold = int_range 1 4 in
+    let* max_defer = int_range 1 40 in
+    let* heartbeat = int_range 0 1000 in
+    let* faults =
+      oneof
+        [ return None;
+          (let* mtbf = float_range 1. 200. in
+           let* mttr = float_range 1. 50. in
+           let* granularity = oneofl [ `Slot; `Clock ] in
+           return (Some { Engine.Config.mtbf; mttr; granularity })) ]
+    in
+    return
+      (Engine.Config.v ~mode ~discipline ~solver ~transmission_time
+         ~batch_threshold ~max_defer ~heartbeat ~faults ()))
+
+let config_arb =
+  QCheck.make
+    ~print:(fun c -> Format.asprintf "%a" Engine.Config.pp c)
+    config_gen
+
+let test_config_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"Config JSON round-trip" ~count:200 config_arb
+       (fun c ->
+         match Engine.Config.of_json (Engine.Config.to_json c) with
+         | Ok c' -> c = c'
+         | Error msg -> QCheck.Test.fail_report msg))
+
+let test_config_roundtrip_text =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"Config JSON round-trip through text" ~count:200
+       config_arb (fun c ->
+         let s = Rsin_util.Json.to_string (Engine.Config.to_json c) in
+         match Rsin_util.Json.parse s with
+         | Error msg -> QCheck.Test.fail_report msg
+         | Ok j -> (
+           match Engine.Config.of_json j with
+           | Ok c' -> c = c'
+           | Error msg -> QCheck.Test.fail_report msg)))
+
+let test_config_validation () =
+  let bad what f =
+    match f () with
+    | Ok _ -> Alcotest.failf "%s: accepted" what
+    | Error msg ->
+      check Alcotest.bool (what ^ ": message names the module") true
+        (String.length msg > 14 && String.sub msg 0 14 = "Engine.Config:")
+  in
+  bad "transmission_time 0" (fun () ->
+      Engine.Config.make ~transmission_time:0 ());
+  bad "batch_threshold 0" (fun () -> Engine.Config.make ~batch_threshold:0 ());
+  bad "max_defer 0" (fun () -> Engine.Config.make ~max_defer:0 ());
+  bad "negative heartbeat" (fun () -> Engine.Config.make ~heartbeat:(-1) ());
+  bad "unknown solver" (fun () -> Engine.Config.make ~solver:"simplex9" ());
+  bad "token + priority" (fun () ->
+      Engine.Config.make ~mode:Engine.Token ~discipline:Engine.Priority ());
+  bad "bad fault plan" (fun () ->
+      Engine.Config.make
+        ~faults:
+          (Some { Engine.Config.mtbf = 0.; mttr = 1.; granularity = `Slot })
+        ());
+  (match Engine.Config.of_json (Rsin_util.Json.Arr []) with
+  | Ok _ -> Alcotest.fail "non-object accepted"
+  | Error _ -> ());
+  (match
+     Engine.Config.of_json
+       (Rsin_util.Json.Obj [ ("solver", Rsin_util.Json.Num 3.) ])
+   with
+  | Ok _ -> Alcotest.fail "mistyped field accepted"
+  | Error _ -> ());
+  check Alcotest.bool "default is valid and plain" true
+    (Engine.Config.default.Engine.Config.mode = Engine.Warm
+    && Engine.Config.default.Engine.Config.solver = "dinic")
 
 let suite =
   [
@@ -463,4 +547,7 @@ let suite =
     Alcotest.test_case "token rejects priority" `Quick
       test_token_rejects_priority;
     Alcotest.test_case "rejects bad trace" `Quick test_rejects_bad_trace;
+    test_config_roundtrip;
+    test_config_roundtrip_text;
+    Alcotest.test_case "config validation" `Quick test_config_validation;
   ]

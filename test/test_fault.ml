@@ -247,11 +247,11 @@ let test_differential_under_faults () =
                  info.Engine.time)
               reference.Scheduler.allocated info.Engine.allocated
           in
-          let config =
-            { Engine.transmission_time = 2; batch_threshold = 1; max_defer = 8 }
+          let config mode =
+            Engine.Config.v ~mode ~transmission_time:2 ~max_defer:8 ()
           in
           let report =
-            Engine.run ~mode:Engine.Warm ~cycle_hook:hook ~config net trace
+            Engine.run ~config:(config Engine.Warm) ~cycle_hook:hook net trace
           in
           check Alcotest.bool
             (Printf.sprintf "%s seed %d applied faults" name seed)
@@ -267,7 +267,7 @@ let test_differential_under_faults () =
            + report.Engine.expired + report.Engine.left_pending);
           (* And the rebuild strategy applies the identical fault
              schedule. *)
-          let rebuild = Engine.run ~mode:Engine.Rebuild ~config net trace in
+          let rebuild = Engine.run ~config:(config Engine.Rebuild) net trace in
           check Alcotest.int
             (Printf.sprintf "%s seed %d fault count parity" name seed)
             report.Engine.faults rebuild.Engine.faults;
@@ -293,8 +293,8 @@ let test_fault_determinism () =
   in
   List.iter
     (fun mode ->
-      let a = Engine.run ~mode net trace in
-      let b = Engine.run ~mode net trace in
+      let a = Engine.run ~config:(Engine.Config.v ~mode ()) net trace in
+      let b = Engine.run ~config:(Engine.Config.v ~mode ()) net trace in
       check Alcotest.bool (Engine.mode_name mode ^ " deterministic") true (a = b))
     [ Engine.Warm; Engine.Rebuild ]
 

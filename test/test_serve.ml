@@ -1,0 +1,528 @@
+(* Tests for the sharded multicore serving engine: the multi-plane
+   builder, the shard partitioner, the domain pool, the cross-shard
+   borrowing protocol, and the two headline guarantees — the merged
+   differential (Σ per-shard allocations equals one from-scratch Dinic
+   on the merged network, cycle by cycle, faults included) and domain
+   determinism (domains=1 and domains=N produce identical per-cycle
+   allocation trajectories). *)
+
+module Network = Rsin_topology.Network
+module Builders = Rsin_topology.Builders
+module Transform1 = Rsin_core.Transform1
+module Workload = Rsin_sim.Workload
+module Fault = Rsin_fault.Fault
+module Engine = Rsin_engine.Engine
+module Shard = Rsin_engine.Shard
+module Serve = Rsin_engine.Serve
+module Domain_pool = Rsin_util.Domain_pool
+module Prng = Rsin_util.Prng
+
+let check = Alcotest.check
+
+(* --- Builders.multiplane -------------------------------------------------- *)
+
+let test_multiplane_shape () =
+  let base = Builders.omega 8 in
+  let net = Builders.multiplane ~planes:3 base in
+  check Alcotest.int "procs" 24 (Network.n_procs net);
+  check Alcotest.int "res" 24 (Network.n_res net);
+  check Alcotest.int "stages" (Network.stages base) (Network.stages net);
+  check Alcotest.int "boxes" (3 * Network.n_boxes base) (Network.n_boxes net);
+  check Alcotest.int "links" (3 * Network.n_links base) (Network.n_links net);
+  Network.paths_exist net;
+  (* Planes are isolated: a processor reaches exactly its own plane's
+     resource ports. *)
+  for p = 0 to 23 do
+    for r = 0 to 23 do
+      let same_plane = p / 8 = r / 8 in
+      let reachable = Builders.route_unique net ~proc:p ~res:r <> None in
+      check Alcotest.bool
+        (Printf.sprintf "p%d->r%d reachable iff same plane" p r)
+        same_plane reachable
+    done
+  done
+
+let test_multiplane_flow_decomposes () =
+  (* Max flow on the union equals the sum of per-plane max flows, for a
+     spread of random request/free patterns. *)
+  let base = Builders.omega 8 in
+  let net = Builders.multiplane ~planes:2 base in
+  List.iter
+    (fun seed ->
+      let rng = Prng.create seed in
+      let requests, free = Workload.snapshot rng net in
+      let merged = Transform1.schedule net ~requests ~free in
+      let plane p =
+        let mine l = List.filter (fun i -> i / 8 = p) l in
+        match (mine requests, mine free) with
+        | [], _ | _, [] -> 0
+        | reqs, frs ->
+          (Transform1.schedule net ~requests:reqs ~free:frs).Transform1.allocated
+      in
+      check Alcotest.int
+        (Printf.sprintf "seed %d: union flow = plane sums" seed)
+        (plane 0 + plane 1) merged.Transform1.allocated)
+    [ 1; 2; 3; 4; 5 ]
+
+let test_multiplane_invalid () =
+  check Alcotest.bool "planes 0 rejected" true
+    (try ignore (Builders.multiplane ~planes:0 (Builders.omega 4)); false
+     with Invalid_argument _ -> true);
+  let busy = Builders.omega 4 in
+  (match Builders.route_unique busy ~proc:0 ~res:0 with
+  | Some links -> ignore (Network.establish busy links)
+  | None -> Alcotest.fail "route on empty omega4");
+  check Alcotest.bool "busy base rejected" true
+    (try ignore (Builders.multiplane ~planes:2 busy); false
+     with Invalid_argument _ -> true)
+
+(* --- Shard.partition ------------------------------------------------------ *)
+
+let test_partition_planes () =
+  let net = Builders.multiplane ~planes:4 (Builders.omega 8) in
+  check Alcotest.int "components" 4 (Shard.components net);
+  match Shard.partition net with
+  | Error e -> Alcotest.fail e
+  | Ok t ->
+    check Alcotest.int "shards" 4 (Shard.n_shards t);
+    Array.iteri
+      (fun si part ->
+        check Alcotest.int "shard procs" 8 (Array.length part.Shard.procs);
+        check Alcotest.int "shard res" 8 (Array.length part.Shard.ress);
+        check Alcotest.bool "shard full access" true
+          (Builders.full_access part.Shard.net);
+        (* Local<->global maps round-trip. *)
+        Array.iteri
+          (fun l g ->
+            check Alcotest.int "proc shard" si t.Shard.shard_of_proc.(g);
+            check Alcotest.int "proc local" l t.Shard.local_proc.(g))
+          part.Shard.procs)
+      t.Shard.parts
+
+let test_partition_packing () =
+  (* 4 components onto 2 shards: LPT packs 2 + 2. *)
+  let net = Builders.multiplane ~planes:4 (Builders.omega 4) in
+  match Shard.partition ~shards:2 net with
+  | Error e -> Alcotest.fail e
+  | Ok t ->
+    check Alcotest.int "two shards" 2 (Shard.n_shards t);
+    Array.iter
+      (fun part ->
+        check Alcotest.int "balanced procs" 8 (Array.length part.Shard.procs))
+      t.Shard.parts
+
+let test_partition_connected_single () =
+  (* A connected network is one component: one shard, same shape. *)
+  let net = Builders.clos ~m:3 ~n:2 ~r:3 in
+  match Shard.partition ~shards:4 net with
+  | Error e -> Alcotest.fail e
+  | Ok t ->
+    check Alcotest.int "one shard" 1 (Shard.n_shards t);
+    let part = t.Shard.parts.(0) in
+    check Alcotest.int "all procs" (Network.n_procs net)
+      (Array.length part.Shard.procs);
+    check Alcotest.int "all links"
+      (Network.n_links net)
+      (Array.length part.Shard.links);
+    check Alcotest.bool "full access" true (Builders.full_access part.Shard.net)
+
+let test_partition_health_mirror () =
+  let net = Builders.multiplane ~planes:2 (Builders.omega 4) in
+  Network.set_link_up net 3 false;
+  Network.set_res_up net 5 false;
+  match Shard.partition net with
+  | Error e -> Alcotest.fail e
+  | Ok t ->
+    let down_links = ref 0 and down_res = ref 0 in
+    Array.iter
+      (fun part ->
+        Array.iteri
+          (fun l g ->
+            if not (Network.link_up part.Shard.net l) then begin
+              incr down_links;
+              check Alcotest.int "the down link" 3 g
+            end)
+          part.Shard.links;
+        Array.iteri
+          (fun l g ->
+            if not (Network.res_up part.Shard.net l) then begin
+              incr down_res;
+              check Alcotest.int "the down res" 5 g
+            end)
+          part.Shard.ress)
+      t.Shard.parts;
+    check Alcotest.int "one down link mirrored" 1 !down_links;
+    check Alcotest.int "one down res mirrored" 1 !down_res
+
+let test_partition_rejects_circuits () =
+  let net = Builders.multiplane ~planes:2 (Builders.omega 4) in
+  (match Builders.route_unique net ~proc:0 ~res:1 with
+  | Some links -> ignore (Network.establish net links)
+  | None -> Alcotest.fail "route on empty net");
+  match Shard.partition net with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "partition accepted a network with live circuits"
+
+(* --- Domain_pool ---------------------------------------------------------- *)
+
+let test_pool_run_tasks () =
+  List.iter
+    (fun workers ->
+      let pool = Domain_pool.create workers in
+      let n = 97 in
+      let hits = Array.init n (fun _ -> Atomic.make 0) in
+      Domain_pool.run_tasks pool
+        (Array.init n (fun i () -> Atomic.incr hits.(i)));
+      Domain_pool.shutdown pool;
+      Array.iteri
+        (fun i a ->
+          check Alcotest.int
+            (Printf.sprintf "%d workers: task %d ran once" workers i)
+            1 (Atomic.get a))
+        hits)
+    [ 1; 2; 4 ]
+
+let test_pool_exception () =
+  let pool = Domain_pool.create 2 in
+  check Alcotest.bool "exception propagates" true
+    (try
+       Domain_pool.run_tasks pool
+         [| (fun () -> ()); (fun () -> failwith "boom"); (fun () -> ()) |];
+       false
+     with Failure m -> m = "boom");
+  (* The pool survives a failed batch. *)
+  let ok = ref false in
+  Domain_pool.run_tasks pool [| (fun () -> ok := true) |];
+  Domain_pool.shutdown pool;
+  check Alcotest.bool "pool usable after failure" true !ok
+
+(* --- Serve: merged differential ------------------------------------------- *)
+
+(* One logged pre-commit cycle of one shard, in global terms. *)
+type cycle_log = {
+  cl_time : int;
+  cl_requests : int list;
+  cl_free : int list;
+  cl_circuits : int list list;
+  cl_down_links : int list;
+  cl_down_boxes : int list;
+  cl_down_res : int list;
+  cl_allocated : int;
+}
+
+(* Serve a faulty trace and, for every slot where any shard cycled,
+   replay the union of the shards' pre-commit snapshots onto a fresh
+   copy of the merged network and run one from-scratch Dinic over the
+   union request/free sets. Disjointness is what makes Σ per-shard
+   allocations equal that single merged max flow; shards that did not
+   cycle at the slot contribute zero flow (their pending requests were
+   left blocked by their own previous maximal cycle and nothing changed
+   since — any state change is an event, and events trigger cycles). *)
+let run_merged_differential net ~domains ~seed ~slots ~with_faults =
+  let trace =
+    let base =
+      Workload.synthesize ~deadline_slack:25 ~cancel_prob:0.05
+        (Prng.create seed) net ~slots ~arrival_prob:0.3
+    in
+    if not with_faults then base
+    else
+      let sched =
+        Fault.inject (Prng.create (seed + 1000)) net ~horizon:slots ~mtbf:60.
+          ~mttr:8.
+      in
+      Workload.sort_trace (base @ Workload.fault_events sched)
+  in
+  let shards_seen = ref 0 in
+  let logs = ref [] and logs_mu = Mutex.create () in
+  let hook parts ~shard:si snapshot (info : Engine.cycle_info) =
+    let part = parts.(si) in
+    let glink l = part.Shard.links.(l) in
+    let entry =
+      {
+        cl_time = info.Engine.time;
+        cl_requests =
+          List.map (fun p -> part.Shard.procs.(p)) info.Engine.requests;
+        cl_free = List.map (fun r -> part.Shard.ress.(r)) info.Engine.free;
+        cl_circuits =
+          List.map
+            (fun (_, links) -> List.map glink links)
+            (Network.circuits snapshot);
+        cl_down_links =
+          List.filter_map
+            (fun l -> if Network.link_up snapshot l then None else Some (glink l))
+            (List.init (Network.n_links snapshot) Fun.id);
+        cl_down_boxes =
+          List.filter_map
+            (fun b ->
+              if Network.box_up snapshot b then None
+              else Some part.Shard.boxes.(b))
+            (List.init (Network.n_boxes snapshot) Fun.id);
+        cl_down_res =
+          List.filter_map
+            (fun r ->
+              if Network.res_up snapshot r then None else Some part.Shard.ress.(r))
+            (List.init (Network.n_res snapshot) Fun.id);
+        cl_allocated = info.Engine.allocated;
+      }
+    in
+    Mutex.lock logs_mu;
+    logs := entry :: !logs;
+    Mutex.unlock logs_mu
+  in
+  let report =
+    (* The hook needs the shard parts, which create computes — tie the
+       knot through a ref; no event is routed before create returns. *)
+    let parts = ref [||] in
+    let t =
+      match
+        Serve.create ~domains
+          ~cycle_hook:(fun ~shard snapshot info ->
+            hook !parts ~shard snapshot info)
+          net
+      with
+      | Error e -> Alcotest.fail e
+      | Ok t -> t
+    in
+    parts := (Serve.shard t).Shard.parts;
+    shards_seen := Shard.n_shards (Serve.shard t);
+    List.iter (Serve.feed t) trace;
+    Serve.drain t;
+    Serve.report t
+  in
+  (* Group cycle logs by slot and compare Σ allocated against one Dinic
+     on the reconstructed merged snapshot. *)
+  let by_slot = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      Hashtbl.replace by_slot e.cl_time
+        (e :: (Option.value ~default:[] (Hashtbl.find_opt by_slot e.cl_time))))
+    !logs;
+  let cycles_checked = ref 0 in
+  Hashtbl.iter
+    (fun slot entries ->
+      let merged = Network.copy net in
+      Network.clear_circuits merged;
+      List.iter
+        (fun e ->
+          List.iter
+            (fun links -> ignore (Network.establish_unchecked merged links))
+            e.cl_circuits;
+          List.iter (fun l -> Network.set_link_up merged l false) e.cl_down_links;
+          List.iter (fun b -> Network.set_box_up merged b false) e.cl_down_boxes;
+          List.iter (fun r -> Network.set_res_up merged r false) e.cl_down_res)
+        entries;
+      let requests = List.concat_map (fun e -> e.cl_requests) entries in
+      let free = List.concat_map (fun e -> e.cl_free) entries in
+      let engine_total =
+        List.fold_left (fun acc e -> acc + e.cl_allocated) 0 entries
+      in
+      let reference = Transform1.schedule merged ~requests ~free in
+      cycles_checked := !cycles_checked + List.length entries;
+      check Alcotest.int
+        (Printf.sprintf "%s seed %d slot %d: merged dinic = shard sum"
+           (Network.name net) seed slot)
+        reference.Transform1.allocated engine_total)
+    by_slot;
+  (!cycles_checked, !shards_seen, report)
+
+let test_serve_merged_differential () =
+  let total = ref 0 in
+  List.iter
+    (fun (net, domains) ->
+      List.iter
+        (fun seed ->
+          let cycles, _, report =
+            run_merged_differential net ~domains ~seed ~slots:120
+              ~with_faults:true
+          in
+          total := !total + cycles;
+          check Alcotest.bool
+            (Printf.sprintf "%s seed %d saw cycles" (Network.name net) seed)
+            true (cycles > 0);
+          check Alcotest.bool "faults were exercised" true
+            (report.Serve.faults > 0))
+        [ 7; 8 ])
+    [
+      (Builders.multiplane ~planes:4 (Builders.omega 8), 4);
+      (Builders.multiplane ~planes:2 (Builders.clos ~m:3 ~n:2 ~r:3), 2);
+      (Builders.multiplane ~planes:3 (Builders.butterfly 8), 3);
+    ];
+  check Alcotest.bool
+    (Printf.sprintf "at least 300 differential cycles overall (got %d)" !total)
+    true (!total >= 300)
+
+let test_serve_single_shard_matches_engine () =
+  (* On a connected network serve degrades to one shard; its report must
+     match the plain engine's on the same trace. *)
+  let net = Builders.omega 8 in
+  let trace =
+    Workload.synthesize (Prng.create 3) net ~slots:80 ~arrival_prob:0.4
+  in
+  let engine = Engine.run net trace in
+  match Serve.run ~domains:1 net trace with
+  | Error e -> Alcotest.fail e
+  | Ok serve ->
+    check Alcotest.int "allocated" engine.Engine.allocated serve.Serve.allocated;
+    check Alcotest.int "completed" engine.Engine.completed serve.Serve.completed;
+    check Alcotest.int "cycles" engine.Engine.cycles serve.Serve.cycles;
+    check Alcotest.int "horizon" engine.Engine.horizon serve.Serve.horizon;
+    check Alcotest.int "no borrowing with one shard" 0 serve.Serve.borrows
+
+(* --- Serve: domain determinism -------------------------------------------- *)
+
+let serve_trajectory net ~domains trace =
+  let cells = Array.make 64 [] in
+  (* Per-shard buffers: hooks only append to their own cell, so the
+     parallel advance phase never races. *)
+  let t =
+    match
+      Serve.create ~domains
+        ~cycle_hook:(fun ~shard _snapshot info ->
+          cells.(shard) <-
+            (info.Engine.time, info.Engine.allocated) :: cells.(shard))
+        net
+    with
+    | Error e -> Alcotest.fail e
+    | Ok t -> t
+  in
+  List.iter (Serve.feed t) trace;
+  Serve.drain t;
+  let report = Serve.report t in
+  let trajectory =
+    Array.to_list cells
+    |> List.mapi (fun si entries ->
+           List.rev_map (fun (time, n) -> (si, time, n)) entries)
+    |> List.concat
+    |> List.sort compare
+  in
+  (trajectory, report)
+
+let determinism_arb =
+  QCheck.make
+    ~print:(fun (topo, seed, prob) ->
+      Printf.sprintf "topo=%d seed=%d arrival=%.2f" topo seed prob)
+    QCheck.Gen.(
+      triple (int_range 0 2) (int_range 0 1000)
+        (map (fun p -> float_of_int p /. 100.) (int_range 20 50)))
+
+let test_determinism_qcheck =
+  QCheck.Test.make ~count:8 ~name:"domains=1 and domains=N trajectories agree"
+    determinism_arb (fun (topo, seed, prob) ->
+      let net =
+        match topo with
+        | 0 -> Builders.multiplane ~planes:4 (Builders.omega 8)
+        | 1 -> Builders.multiplane ~planes:3 (Builders.butterfly 8)
+        | _ -> Builders.multiplane ~planes:2 (Builders.clos ~m:3 ~n:2 ~r:3)
+      in
+      let slots = 110 in
+      let trace =
+        let base =
+          Workload.synthesize ~deadline_slack:20 ~cancel_prob:0.05
+            (Prng.create seed) net ~slots ~arrival_prob:prob
+        in
+        let sched =
+          Fault.inject (Prng.create (seed + 17)) net ~horizon:slots ~mtbf:70.
+            ~mttr:10.
+        in
+        Workload.sort_trace (base @ Workload.fault_events sched)
+      in
+      let t1, r1 = serve_trajectory net ~domains:1 trace in
+      let t4, r4 = serve_trajectory net ~domains:4 trace in
+      (* The shard layout is by component, independent of the domain
+         count, so the trajectories must agree cycle for cycle — shard
+         ids included. *)
+      if t1 <> t4 then
+        QCheck.Test.fail_reportf "trajectories diverge (%d vs %d cycles)"
+          (List.length t1) (List.length t4);
+      (* ...and so must the merged accounting, modulo wall time and the
+         pool size actually granted. *)
+      r1.Serve.allocated = r4.Serve.allocated
+      && r1.Serve.completed = r4.Serve.completed
+      && r1.Serve.cycles = r4.Serve.cycles
+      && r1.Serve.borrows = r4.Serve.borrows
+      && r1.Serve.starved = r4.Serve.starved
+      && r1.Serve.faults = r4.Serve.faults
+      && r1.Serve.victims = r4.Serve.victims)
+
+(* --- Serve: borrowing ------------------------------------------------------ *)
+
+let test_serve_borrowing () =
+  (* Two Omega-4 planes. Saturate plane 0's four resource ports with
+     long-service tasks, then land one more arrival on plane 0: the
+     router must re-target it to idle plane 1 instead of queueing it. *)
+  let net = Builders.multiplane ~planes:2 (Builders.omega 4) in
+  let arrive t id proc service =
+    Workload.Arrive { t; id; proc; service; deadline = None; priority = 0 }
+  in
+  let trace =
+    [
+      arrive 0 0 0 50; arrive 0 1 1 50; arrive 0 2 2 50; arrive 0 3 3 50;
+      arrive 3 4 0 5;
+    ]
+  in
+  match Serve.run ~domains:2 net trace with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+    check Alcotest.int "the overflow arrival was borrowed" 1 r.Serve.borrows;
+    check Alcotest.int "all five tasks got circuits" 5 r.Serve.allocated;
+    check Alcotest.int "nothing starved" 0 r.Serve.starved
+
+let test_serve_starvation () =
+  (* Same setup but both planes saturated: no donor has headroom, so the
+     overflow arrival stays home and is counted as starved. *)
+  let net = Builders.multiplane ~planes:2 (Builders.omega 4) in
+  let arrive t id proc service =
+    Workload.Arrive { t; id; proc; service; deadline = None; priority = 0 }
+  in
+  let trace =
+    List.init 8 (fun p -> arrive 0 p p 50) @ [ arrive 3 100 0 5 ]
+  in
+  match Serve.run ~domains:2 net trace with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+    check Alcotest.int "no donor found" 0 r.Serve.borrows;
+    check Alcotest.int "one starved arrival" 1 r.Serve.starved;
+    (* The starved arrival queues at home and is served once the pool
+       frees up — all nine tasks get circuits eventually. *)
+    check Alcotest.int "all nine circuits eventually" 9 r.Serve.allocated
+
+let test_serve_rejects_token () =
+  let net = Builders.multiplane ~planes:2 (Builders.omega 4) in
+  match
+    Serve.create ~config:(Engine.Config.v ~mode:Engine.Token ()) ~domains:2 net
+  with
+  | Error e ->
+    check Alcotest.bool "error names token mode" true
+      (String.length e >= 12 && String.sub e 0 12 = "Serve.create")
+  | Ok _ -> Alcotest.fail "serve accepted token mode"
+
+let suite =
+  [
+    Alcotest.test_case "multiplane shape and isolation" `Quick
+      test_multiplane_shape;
+    Alcotest.test_case "multiplane flow decomposes" `Quick
+      test_multiplane_flow_decomposes;
+    Alcotest.test_case "multiplane invalid inputs" `Quick
+      test_multiplane_invalid;
+    Alcotest.test_case "partition by plane" `Quick test_partition_planes;
+    Alcotest.test_case "partition LPT packing" `Quick test_partition_packing;
+    Alcotest.test_case "partition connected -> one shard" `Quick
+      test_partition_connected_single;
+    Alcotest.test_case "partition mirrors health" `Quick
+      test_partition_health_mirror;
+    Alcotest.test_case "partition rejects live circuits" `Quick
+      test_partition_rejects_circuits;
+    Alcotest.test_case "domain pool runs every task once" `Quick
+      test_pool_run_tasks;
+    Alcotest.test_case "domain pool propagates exceptions" `Quick
+      test_pool_exception;
+    Alcotest.test_case "serve merged differential vs dinic" `Slow
+      test_serve_merged_differential;
+    Alcotest.test_case "serve single shard = plain engine" `Quick
+      test_serve_single_shard_matches_engine;
+    QCheck_alcotest.to_alcotest ~long:true test_determinism_qcheck;
+    Alcotest.test_case "borrowing re-targets overflow" `Quick
+      test_serve_borrowing;
+    Alcotest.test_case "starvation when no donor" `Quick test_serve_starvation;
+    Alcotest.test_case "token mode rejected" `Quick test_serve_rejects_token;
+  ]
