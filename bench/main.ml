@@ -46,6 +46,7 @@ let experiments quick =
     ("protocol", fun () -> Protocol_bench.run ~quick ());
     ("csr", fun () -> Csr_bench.run ~quick ());
     ("serve", fun () -> Serve_bench.run ~quick ());
+    ("guard", fun () -> Guard_bench.run ~quick ());
     ("micro", fun () -> Micro.run ());
   ]
 

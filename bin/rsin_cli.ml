@@ -41,6 +41,8 @@ module Obs = Rsin_obs.Obs
 module Trace = Rsin_obs.Trace
 module Metrics = Rsin_obs.Metrics
 module Bench_report = Rsin_obs.Bench_report
+module Json = Rsin_util.Json
+module Guard_policy = Rsin_guard.Policy
 open Cmdliner
 
 (* --- network specification parsing -------------------------------------- *)
@@ -628,6 +630,28 @@ let check_packet_args ~vq_depth ~flits =
    injection plan — factored into one record + term bundle (like
    [common_term]) so the two subcommands cannot drift: serve composes
    [engine_opts_term] verbatim. *)
+(* Strictly-positive argument converters: a zero or negative --mtbf,
+   --mttr or --checkpoint-every is a flag-syntax error rejected at parse
+   time, before any network or engine is built. *)
+let pos_float_conv =
+  let parse s =
+    match float_of_string_opt s with
+    | Some f when f > 0. && Float.is_finite f -> Ok f
+    | Some _ -> Error (`Msg (Printf.sprintf "value %s must be > 0" s))
+    | None -> Error (`Msg (Printf.sprintf "invalid value '%s', expected a number" s))
+  in
+  Arg.conv ~docv:"VAL" (parse, fun ppf f -> Format.fprintf ppf "%g" f)
+
+let pos_int_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n > 0 -> Ok n
+    | Some _ -> Error (`Msg (Printf.sprintf "value %s must be > 0" s))
+    | None ->
+      Error (`Msg (Printf.sprintf "invalid value '%s', expected an integer" s))
+  in
+  Arg.conv ~docv:"N" (parse, Format.pp_print_int)
+
 type engine_opts = {
   eo_discipline : [ `Uniform | `Priority ];
   eo_levels : int;
@@ -644,6 +668,13 @@ type engine_opts = {
   eo_mttr : float;
   eo_granularity : [ `Slot | `Clock ];
   eo_heartbeat : int;
+  eo_guard : bool;
+  eo_queue_bound : int;
+  eo_shed : Guard_policy.shed_policy;
+  eo_retry_budget : int;
+  eo_flap_k : int;
+  eo_flap_window : int;
+  eo_quarantine : int;
 }
 
 let engine_opts_term =
@@ -720,15 +751,17 @@ let engine_opts_term =
   in
   let mtbf_arg =
     Arg.(
-      value & opt float 80.0
+      value & opt pos_float_conv 80.0
       & info [ "mtbf" ] ~docv:"SLOTS"
-          ~doc:"Mean slots between failures per element (with $(b,--faults)).")
+          ~doc:"Mean slots between failures per element (with $(b,--faults)); \
+                must be > 0.")
   in
   let mttr_arg =
     Arg.(
-      value & opt float 20.0
+      value & opt pos_float_conv 20.0
       & info [ "mttr" ] ~docv:"SLOTS"
-          ~doc:"Mean slots to repair a failed element (with $(b,--faults)).")
+          ~doc:"Mean slots to repair a failed element (with $(b,--faults)); \
+                must be > 0.")
   in
   let granularity_arg =
     let gran_conv = Arg.enum [ ("slot", `Slot); ("clock", `Clock) ] in
@@ -750,18 +783,82 @@ let engine_opts_term =
                 (slot, events, cycles, allocated, solver work) to stderr. 0 \
                 (the default) disables the heartbeat.")
   in
+  let guard_arg =
+    Arg.(
+      value & flag
+      & info [ "guard" ]
+          ~doc:"Enable the robustness guard layer: admission control \
+                (bounded pending queues, see $(b,--queue-bound) and \
+                $(b,--shed-policy)), capped-exponential backoff \
+                re-admission of fault victims with a per-task retry budget \
+                ($(b,--retry-budget)), and flap-detecting element \
+                quarantine ($(b,--flap-k), $(b,--flap-window), \
+                $(b,--quarantine-slots)). Off by default: without it the \
+                engine behaves exactly as before the guard layer existed.")
+  in
+  let queue_bound_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-bound" ] ~docv:"N"
+          ~doc:"With $(b,--guard): max pending tasks per processor queue \
+                before admission control sheds (0 = unbounded).")
+  in
+  let shed_arg =
+    let shed_conv =
+      Arg.enum
+        [ ("drop-tail", Guard_policy.Drop_tail);
+          ("deadline-aware", Guard_policy.Deadline_aware) ]
+    in
+    Arg.(
+      value & opt shed_conv Guard_policy.Drop_tail
+      & info [ "shed-policy" ] ~docv:"POLICY"
+          ~doc:"With $(b,--guard): what a full queue sheds — \
+                $(b,drop-tail) (the newcomer) or $(b,deadline-aware) (the \
+                pending task with least remaining deadline slack, the one \
+                most likely to expire anyway).")
+  in
+  let retry_budget_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "retry-budget" ] ~docv:"N"
+          ~doc:"With $(b,--guard): teardowns a task survives before the \
+                engine gives it up (0 = give up on first victimization).")
+  in
+  let flap_k_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "flap-k" ] ~docv:"K"
+          ~doc:"With $(b,--guard): faults within $(b,--flap-window) slots \
+                that quarantine an element (0 disables quarantine).")
+  in
+  let flap_window_arg =
+    Arg.(
+      value & opt pos_int_conv 50
+      & info [ "flap-window" ] ~docv:"SLOTS"
+          ~doc:"With $(b,--guard): sliding fault-counting window.")
+  in
+  let quarantine_arg =
+    Arg.(
+      value & opt pos_int_conv 100
+      & info [ "quarantine-slots" ] ~docv:"SLOTS"
+          ~doc:"With $(b,--guard): cooling-off period of a quarantined \
+                element (excluded from allocation even while nominally up).")
+  in
   let mk eo_discipline eo_levels eo_slots eo_arrival eo_service eo_cancel
       eo_slack eo_threshold eo_defer eo_trans eo_faults eo_mtbf eo_mttr
-      eo_granularity eo_heartbeat =
+      eo_granularity eo_heartbeat eo_guard eo_queue_bound eo_shed
+      eo_retry_budget eo_flap_k eo_flap_window eo_quarantine =
     { eo_discipline; eo_levels; eo_slots; eo_arrival; eo_service; eo_cancel;
       eo_slack; eo_threshold; eo_defer; eo_trans; eo_faults; eo_mtbf; eo_mttr;
-      eo_granularity; eo_heartbeat }
+      eo_granularity; eo_heartbeat; eo_guard; eo_queue_bound; eo_shed;
+      eo_retry_budget; eo_flap_k; eo_flap_window; eo_quarantine }
   in
   Term.(
     const mk $ discipline_arg $ levels_arg $ slots_arg $ arrival_arg
     $ service_arg $ cancel_arg $ slack_arg $ threshold_arg $ defer_arg
     $ trans_arg $ faults_arg $ mtbf_arg $ mttr_arg $ granularity_arg
-    $ heartbeat_arg)
+    $ heartbeat_arg $ guard_arg $ queue_bound_arg $ shed_arg
+    $ retry_budget_arg $ flap_k_arg $ flap_window_arg $ quarantine_arg)
 
 (* The validated Engine.Config the shared flags describe. Exits with a
    flag-level diagnostic on a bad combination — the smart constructor is
@@ -780,10 +877,26 @@ let engine_config ~mode (o : engine_opts) c =
     | `Uniform -> Engine.Uniform
     | `Priority -> Engine.Priority
   in
+  let guard =
+    if not o.eo_guard then None
+    else
+      (* The jitter stream is seeded from the workload seed, so guarded
+         runs are as reproducible as everything else under --seed. *)
+      match
+        Guard_policy.make ~queue_bound:o.eo_queue_bound
+          ~shed_policy:o.eo_shed ~retry_budget:o.eo_retry_budget
+          ~seed:c.seed ~flap_k:o.eo_flap_k ~flap_window:o.eo_flap_window
+          ~quarantine_slots:o.eo_quarantine ()
+      with
+      | Ok g -> Some g
+      | Error msg ->
+        Printf.eprintf "rsin: %s\n" msg;
+        exit 1
+  in
   match
     Engine.Config.make ~mode ~discipline ~solver:c.solver
       ~transmission_time:o.eo_trans ~batch_threshold:o.eo_threshold
-      ~max_defer:o.eo_defer ~heartbeat:o.eo_heartbeat ~faults ()
+      ~max_defer:o.eo_defer ~heartbeat:o.eo_heartbeat ~faults ~guard ()
   with
   | Ok cfg -> cfg
   | Error msg ->
@@ -1127,7 +1240,36 @@ let serve_cmd =
           ~doc:"Also report wall-clock time and events/second (off by \
                 default so serve output stays reproducible).")
   in
-  let run net domains trace_file listen synthetic timing (o : engine_opts) c =
+  let checkpoint_every_arg =
+    Arg.(
+      value
+      & opt (some pos_int_conv) None
+      & info [ "checkpoint-every" ] ~docv:"SLOTS"
+          ~doc:"Write a checkpoint (atomically, via a temp file and rename) \
+                every $(docv) served slots; must be > 0. A checkpoint lands \
+                on a slot boundary and captures the full serving state — \
+                restarting from it with $(b,--restore) reproduces the \
+                uninterrupted run exactly.")
+  in
+  let checkpoint_file_arg =
+    Arg.(
+      value
+      & opt string "rsin.ckpt"
+      & info [ "checkpoint-file" ] ~docv:"FILE"
+          ~doc:"Where $(b,--checkpoint-every) writes (default rsin.ckpt).")
+  in
+  let restore_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "restore" ] ~docv:"FILE"
+          ~doc:"Resume serving from the checkpoint in $(docv) instead of \
+                starting fresh; the engine config travels inside the \
+                checkpoint, and NET must be the topology it was taken on. \
+                Feed the remaining trace (slots after the checkpoint).")
+  in
+  let run net domains trace_file listen synthetic timing checkpoint_every
+      checkpoint_file restore_file (o : engine_opts) c =
     let cfg = engine_config ~mode:Engine.Warm o c in
     if Option.is_some trace_file && Option.is_some listen then begin
       Printf.eprintf "rsin: --trace and --listen are mutually exclusive\n";
@@ -1151,31 +1293,90 @@ let serve_cmd =
          then, so the plain counters are safe. *)
       Option.map (fun h -> fun ~shard:_ snapshot info -> h snapshot info) cycle_hook
     in
-    let t =
-      match Serve.create ~config:cfg ?domains ?cycle_hook ?event_hook net with
-      | Ok t -> t
-      | Error msg ->
-        Printf.eprintf "rsin: %s\n" msg;
-        exit 1
+    (* Periodic checkpoints piggyback on the per-slot event hook: the
+       buffered slot is already flushed there, so Serve.snapshot is safe
+       and lands on a slot boundary. Written atomically (temp + rename)
+       so a crash mid-write never corrupts the previous checkpoint. *)
+    let instance = ref None in
+    let write_checkpoint t =
+      let doc = Json.to_string (Serve.snapshot t) in
+      let tmp = checkpoint_file ^ ".tmp" in
+      Out_channel.with_open_text tmp (fun oc ->
+          Out_channel.output_string oc doc;
+          Out_channel.output_char oc '\n');
+      Sys.rename tmp checkpoint_file
     in
+    let event_hook =
+      match checkpoint_every with
+      | None -> event_hook
+      | Some period ->
+        let written = ref 0 in
+        Some
+          (fun ~events ~time ->
+            (match event_hook with
+             | Some h -> h ~events ~time
+             | None -> ());
+            if time >= 0 && time / period > !written then begin
+              written := time / period;
+              match !instance with
+              | Some t ->
+                write_checkpoint t;
+                Printf.eprintf "checkpoint: slot %d -> %s\n%!" time
+                  checkpoint_file
+              | None -> ()
+            end)
+    in
+    let t =
+      match restore_file with
+      | None ->
+        (match Serve.create ~config:cfg ?domains ?cycle_hook ?event_hook net with
+         | Ok t -> t
+         | Error msg ->
+           Printf.eprintf "rsin: %s\n" msg;
+           exit 1)
+      | Some file ->
+        let doc =
+          try In_channel.with_open_text file In_channel.input_all
+          with Sys_error msg ->
+            Printf.eprintf "rsin: cannot read checkpoint: %s\n" msg;
+            exit 1
+        in
+        (match Json.parse doc with
+         | Error msg ->
+           Printf.eprintf "rsin: cannot read checkpoint %s: %s\n" file msg;
+           exit 1
+         | Ok j ->
+           (match Serve.restore ?domains ?cycle_hook ?event_hook net j with
+            | Ok t ->
+              Printf.eprintf "restored from %s\n%!" file;
+              t
+            | Error msg ->
+              Printf.eprintf "rsin: cannot restore %s: %s\n" file msg;
+              exit 1))
+    in
+    instance := Some t;
     Printf.printf "serving %s: %d shard(s) over %d domain(s)\n"
       (Network.name net)
       (Shard.n_shards (Serve.shard t))
       (Serve.n_domains t);
+    (* Robustness contract: hostile input never takes the server down.
+       A malformed line or an event the router rejects (out-of-range
+       processor, decreasing slot, duplicate id) is reported with its
+       position and dropped; serving continues. *)
+    let stream_errors = ref 0 in
     let feed ev =
       try Serve.feed t ev
       with Invalid_argument msg ->
-        Printf.eprintf "rsin: %s\n" msg;
-        exit 1
+        incr stream_errors;
+        Printf.eprintf "rsin: event dropped: %s\n%!" msg
     in
     let feed_channel ic =
-      match
-        Workload.fold_trace_channel ic ~init:() ~f:(fun () ev -> feed ev)
-      with
-      | Ok () -> ()
-      | Error { Workload.line; message } ->
-        Printf.eprintf "rsin: cannot read trace: line %d: %s\n" line message;
-        exit 1
+      Workload.fold_trace_channel_lenient ic
+        ~on_error:(fun { Workload.line; message } ->
+          incr stream_errors;
+          Printf.eprintf "rsin: trace line %d: %s (line dropped)\n%!" line
+            message)
+        ~init:() ~f:(fun () ev -> feed ev)
     in
     (if synthetic then begin
        let trace = engine_trace o net c in
@@ -1213,6 +1414,15 @@ let serve_cmd =
               ("repairs applied", string_of_int r.Serve.repairs);
               ("victim circuits", string_of_int r.Serve.victims) ]
           else [])
+       @ (if o.eo_guard || restore_file <> None then
+            [ ("shed (admission)", string_of_int r.Serve.shed);
+              ("given up (budget)", string_of_int r.Serve.given_up);
+              ("backoff retries", string_of_int r.Serve.retries);
+              ("quarantines", string_of_int r.Serve.quarantines) ]
+          else [])
+       @ (if !stream_errors > 0 then
+            [ ("stream errors dropped", string_of_int !stream_errors) ]
+          else [])
        |> List.map (fun (a, b) -> [ a; b ]));
     if timing then
       Printf.printf "wall %.1f ms, %.0f events/s\n"
@@ -1225,10 +1435,14 @@ let serve_cmd =
              through the sharded multicore engine: one warm engine per \
              network component, spread over an OCaml domain pool, with \
              cross-shard borrowing when a shard's resource pool is \
-             exhausted.")
+             exhausted. Malformed lines and rejected events are dropped \
+             with a positioned error instead of taking the server down; \
+             $(b,--guard) adds overload and fault hardening, and \
+             $(b,--checkpoint-every)/$(b,--restore) give crash recovery.")
     Term.(
       const run $ net_arg $ domains_arg $ trace_arg $ listen_arg
-      $ synthetic_arg $ timing_arg $ engine_opts_term $ common_term)
+      $ synthetic_arg $ timing_arg $ checkpoint_every_arg
+      $ checkpoint_file_arg $ restore_arg $ engine_opts_term $ common_term)
 
 (* --- metrics ------------------------------------------------------------------ *)
 
@@ -1764,6 +1978,63 @@ let taskgraph_cmd =
        ~doc:"Execute a random dependency DAG over the resource pool")
     Term.(const run $ net_arg $ tasks_arg $ types_arg $ common_term)
 
+(* --- chaos -------------------------------------------------------------------- *)
+
+let chaos_cmd =
+  let module Chaos = Rsin_engine.Chaos in
+  let quick_arg =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:"Short soak — 300 storm slots per topology instead of 2500. \
+                The CI smoke setting.")
+  in
+  let slots_arg =
+    Arg.(
+      value
+      & opt (some pos_int_conv) None
+      & info [ "slots" ] ~docv:"N"
+          ~doc:"Storm slots per topology (overrides the default and \
+                $(b,--quick)).")
+  in
+  let report_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report" ] ~docv:"FILE"
+          ~doc:"Also write the JSON chaos report (schema \
+                rsin-chaos-report/v1, one entry per topology with its \
+                throughput-retained figure) to $(docv); $(b,-) for stdout.")
+  in
+  let run quick slots report c =
+    match Chaos.run ~quick ~seed:c.seed ?slots () with
+    | Error msg ->
+      Printf.eprintf "rsin: chaos: %s\n" msg;
+      exit 1
+    | Ok outcomes ->
+      List.iter (fun o -> Format.printf "%a@." Chaos.pp_outcome o) outcomes;
+      (match report with
+       | None -> ()
+       | Some "-" -> print_endline (Json.to_string (Chaos.report_json outcomes))
+       | Some file ->
+         Out_channel.with_open_text file (fun oc ->
+             Out_channel.output_string oc
+               (Json.to_string (Chaos.report_json outcomes));
+             Out_channel.output_char oc '\n');
+         Printf.printf "report -> %s\n" file);
+      print_endline "chaos soak passed: every accounting check held"
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Chaos soak of the sharded serving engine: seeded fault storms \
+             under an overloading guarded workload, a mid-trace kill with \
+             checkpoint/restore (the resumed trajectory must be \
+             byte-identical), corrupted JSONL streams through the lenient \
+             parser, and a clocked-fault token soak — with the arrival \
+             accounting invariant asserted after every flushed slot. Exits \
+             nonzero on the first violation.")
+    Term.(const run $ quick_arg $ slots_arg $ report_arg $ common_term)
+
 let () =
   let doc = "resource sharing interconnection network toolkit" in
   let main =
@@ -1772,6 +2043,6 @@ let () =
       [ info_cmd; dot_cmd; schedule_cmd; trace_cmd; blocking_cmd; simulate_cmd;
         replay_cmd; serve_cmd; saturate_cmd; metrics_cmd; perf_cmd; props_cmd;
         perm_cmd;
-        gates_cmd; show_cmd; taskgraph_cmd ]
+        gates_cmd; show_cmd; taskgraph_cmd; chaos_cmd ]
   in
   exit (Cmd.eval main)

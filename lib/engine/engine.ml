@@ -10,6 +10,9 @@ module Token_sim = Rsin_distributed.Token_sim
 module Solver = Rsin_flow.Solver
 module Obs = Rsin_obs.Obs
 module Tr = Rsin_obs.Trace
+module Policy = Rsin_guard.Policy
+module Retry = Rsin_guard.Retry
+module Flap = Rsin_guard.Flap
 
 type mode = Warm | Rebuild | Token
 
@@ -46,11 +49,12 @@ module Config = struct
     max_defer : int;
     heartbeat : int;
     faults : fault_plan option;
+    guard : Policy.t option;
   }
 
   let make ?(mode = Warm) ?(discipline = Uniform) ?(solver = "dinic")
       ?(transmission_time = 1) ?(batch_threshold = 1) ?(max_defer = 16)
-      ?(heartbeat = 0) ?(faults = None) () =
+      ?(heartbeat = 0) ?(faults = None) ?(guard = None) () =
     if transmission_time < 1 then
       Error "Engine.Config: transmission_time must be >= 1"
     else if batch_threshold < 1 then
@@ -72,13 +76,13 @@ module Config = struct
         | _ ->
           Ok
             { mode; discipline; solver; transmission_time; batch_threshold;
-              max_defer; heartbeat; faults })
+              max_defer; heartbeat; faults; guard })
 
   let v ?mode ?discipline ?solver ?transmission_time ?batch_threshold
-      ?max_defer ?heartbeat ?faults () =
+      ?max_defer ?heartbeat ?faults ?guard () =
     match
       make ?mode ?discipline ?solver ?transmission_time ?batch_threshold
-        ?max_defer ?heartbeat ?faults ()
+        ?max_defer ?heartbeat ?faults ?guard ()
     with
     | Ok t -> t
     | Error msg -> invalid_arg msg
@@ -98,7 +102,14 @@ module Config = struct
       | None -> "none"
       | Some f ->
         Printf.sprintf "{mtbf=%g; mttr=%g; granularity=%s}" f.mtbf f.mttr
-          (granularity_name f.granularity))
+          (granularity_name f.granularity));
+    match t.guard with
+    | None -> ()
+    | Some g ->
+      Format.fprintf ppf "@[<h>+guard{bound=%d;@ policy=%s;@ budget=%d}@]"
+        g.Policy.queue_bound
+        (Policy.shed_policy_to_string g.Policy.shed_policy)
+        g.Policy.retry_budget
 
   let to_json t =
     Json.Obj
@@ -116,7 +127,9 @@ module Config = struct
             Json.Obj
               [ ("mtbf", Json.Num f.mtbf);
                 ("mttr", Json.Num f.mttr);
-                ("granularity", Json.Str (granularity_name f.granularity)) ] )
+                ("granularity", Json.Str (granularity_name f.granularity)) ] );
+        ( "guard",
+          match t.guard with None -> Json.Null | Some g -> Policy.to_json g )
       ]
 
   let ( let* ) = Result.bind
@@ -170,8 +183,15 @@ module Config = struct
             Ok (Some { mtbf; mttr; granularity })
           | _ -> Error "Engine.Config: bad field \"faults\"")
       in
+      let* guard =
+        match Json.member "guard" j with
+        | None | Some Json.Null -> Ok None
+        | Some gj ->
+          let* g = Policy.of_json gj in
+          Ok (Some g)
+      in
       make ~mode ~discipline ~solver ~transmission_time ~batch_threshold
-        ~max_defer ~heartbeat ~faults ()
+        ~max_defer ~heartbeat ~faults ~guard ()
 end
 
 type cycle_info = {
@@ -205,6 +225,10 @@ type report = {
   repairs : int;
   victims : int;
   mean_readmission : float;
+  shed : int;
+  given_up : int;
+  retries : int;
+  quarantines : int;
 }
 
 (* Internal events. Trace arrivals/cancels are fed from outside; the
@@ -224,11 +248,14 @@ type ev =
   | Ev_fault of Fault.event * int option  (* optional intra-cycle clock *)
   | Ev_deadline of int  (* task id *)
   | Ev_wake
+  | Ev_retry of int  (* task id: backoff elapsed, re-admit (guard) *)
+  | Ev_unquarantine of Fault.element  (* cooling-off over (guard) *)
 
 type task = {
   arrival : int;
   service : int;
   priority : int;
+  deadline : int option;  (* kept for deadline-aware shedding *)
   mutable queued : bool;  (* false once transmitting, cancelled or expired *)
 }
 
@@ -294,6 +321,17 @@ type t = {
   mutable mid_buffer : (int * Fault.element) list;
   victim_at : (int, int) Hashtbl.t;
   readmissions : Stats.accum;
+  (* Guard state — all empty/zero when cfg.guard = None, in which case
+     the engine behaves exactly as it did before the guard layer.
+     [flap] is mutable only so checkpoint restore can swap in the
+     deserialized detector. *)
+  mutable flap : Flap.t option;
+  retry_pending : (int, int) Hashtbl.t;  (* task id -> home processor *)
+  retry_count : (int, int) Hashtbl.t;    (* task id -> teardowns so far *)
+  mutable shed : int;
+  mutable given_up : int;
+  mutable retries : int;
+  mutable quarantines : int;
   mutable busy_slots : int;
   mutable horizon : int;
   waits : Stats.accum;
@@ -303,7 +341,7 @@ type t = {
   mutable served_upto : int;
 }
 
-let res_free t r = t.res_idle.(r) && Network.res_up t.net r
+let res_free t r = t.res_idle.(r) && Network.res_available t.net r
 
 let push t time ev =
   Heap.add t.heap (time, t.next_seq) ev;
@@ -384,6 +422,10 @@ let create ?obs ?(config = Config.default) ?cycle_hook ?event_hook net =
       mid_buffer = [];
       victim_at = Hashtbl.create 16;
       readmissions = Stats.accum ();
+      flap = Option.map Flap.create config.Config.guard;
+      retry_pending = Hashtbl.create 16;
+      retry_count = Hashtbl.create 16;
+      shed = 0; given_up = 0; retries = 0; quarantines = 0;
       busy_slots = 0; horizon = 0;
       waits = Stats.accum (); max_wait = 0;
       tracing = Obs.tracing obs;
@@ -451,13 +493,45 @@ let teardown t now li (l : live) =
      flipped before the teardown, so res_free is already false). *)
   sync_res t l.lres;
   t.transmitting.(l.lproc) <- None;
-  (* Victim re-admission: back to the queue head, ahead of every task
-     that arrived while it was transmitting. *)
-  let task = Hashtbl.find t.tasks l.task_id in
-  task.queued <- true;
-  t.queues.(l.lproc) <- l.task_id :: t.queues.(l.lproc);
-  Hashtbl.replace t.victim_at l.task_id now;
-  set_requesting t l.lproc true
+  match t.cfg.Config.guard with
+  | None ->
+    (* Victim re-admission: back to the queue head, ahead of every task
+       that arrived while it was transmitting. *)
+    let task = Hashtbl.find t.tasks l.task_id in
+    task.queued <- true;
+    t.queues.(l.lproc) <- l.task_id :: t.queues.(l.lproc);
+    Hashtbl.replace t.victim_at l.task_id now;
+    set_requesting t l.lproc true
+  | Some g ->
+    (* Backoff re-admission: park the victim and schedule an Ev_retry
+       after a capped-exponential, deterministically jittered delay —
+       or give the task up once its retry budget is spent. The home
+       processor may still request on behalf of its remaining queue. *)
+    let attempts =
+      Option.value ~default:0 (Hashtbl.find_opt t.retry_count l.task_id)
+    in
+    if attempts >= g.Policy.retry_budget then begin
+      t.given_up <- t.given_up + 1;
+      Hashtbl.remove t.retry_count l.task_id;
+      Hashtbl.remove t.victim_at l.task_id;
+      Obs.count t.obs "engine.guard.given_up" 1
+    end
+    else begin
+      Hashtbl.replace t.retry_count l.task_id (attempts + 1);
+      Hashtbl.replace t.retry_pending l.task_id l.lproc;
+      Hashtbl.replace t.victim_at l.task_id now;
+      let d = Retry.delay g ~task_id:l.task_id ~attempt:attempts in
+      push t (now + d) (Ev_retry l.task_id);
+      t.retries <- t.retries + 1;
+      Obs.count t.obs "engine.guard.retries" 1
+    end;
+    if t.queues.(l.lproc) <> [] then set_requesting t l.lproc true
+
+let set_elt_quarantined net e q =
+  match e with
+  | Fault.Link l -> Network.set_link_quarantined net l q
+  | Fault.Box b -> Network.set_box_quarantined net b q
+  | Fault.Res r -> Network.set_res_quarantined net r q
 
 let apply_fault t now fev =
   let element = Fault.element fev in
@@ -470,7 +544,33 @@ let apply_fault t now fev =
     Hashtbl.iter
       (fun li l ->
         if List.mem l.net_id dead && not l.released then teardown t now li l)
-      (Hashtbl.copy t.lives)
+      (Hashtbl.copy t.lives);
+    (* Flap detection: the k-th fault within the window quarantines the
+       element for a cooling-off period — it stays out of every usable
+       mask even across repairs, until Ev_unquarantine lifts it. The
+       masks need no update here: the element is down right now, so
+       every affected link is already unusable; the flag only has to
+       outlive the next repair, which re-derives from Network.usable. *)
+    match t.flap with
+    | Some fl ->
+      (match Flap.record_fault fl ~now element with
+      | Some until ->
+        set_elt_quarantined t.net element true;
+        t.quarantines <- t.quarantines + 1;
+        push t until (Ev_unquarantine element);
+        Obs.count t.obs "engine.guard.quarantines" 1;
+        if t.tracing then
+          Obs.instant t.obs "engine.quarantine" ~ts:now
+            ~args:
+              [ ( "element",
+                  Tr.Str
+                    (match element with
+                    | Fault.Link l -> Printf.sprintf "link%d" l
+                    | Fault.Box b -> Printf.sprintf "box%d" b
+                    | Fault.Res r -> Printf.sprintf "res%d" r) );
+                ("until", Tr.Int until) ]
+      | None -> ())
+    | None -> ()
   end
   else t.repairs <- t.repairs + 1;
   (* Re-derive every affected link's capacity from the network — a
@@ -511,25 +611,97 @@ let process t now = function
          expires immediately — it must not sit in the queue forever
          (and certainly must not be served). *)
       Hashtbl.replace t.tasks id
-        { arrival = now; service; priority; queued = false };
+        { arrival = now; service; priority; deadline; queued = false };
       t.expired <- t.expired + 1
-    | _ ->
-      Hashtbl.replace t.tasks id
-        { arrival = now; service; priority; queued = true };
-      t.queues.(proc) <- t.queues.(proc) @ [ id ];
-      if t.transmitting.(proc) = None then set_requesting t proc true;
-      (match deadline with Some d -> push t d (Ev_deadline id) | None -> ());
-      if t.cfg.Config.batch_threshold > 1 then
-        push t (now + t.cfg.Config.max_defer) Ev_wake);
+    | _ -> (
+      let admit () =
+        Hashtbl.replace t.tasks id
+          { arrival = now; service; priority; deadline; queued = true };
+        t.queues.(proc) <- t.queues.(proc) @ [ id ];
+        if t.transmitting.(proc) = None then set_requesting t proc true;
+        (match deadline with Some d -> push t d (Ev_deadline id) | None -> ());
+        if t.cfg.Config.batch_threshold > 1 then
+          push t (now + t.cfg.Config.max_defer) Ev_wake
+      in
+      let shed_newcomer () =
+        Hashtbl.replace t.tasks id
+          { arrival = now; service; priority; deadline; queued = false };
+        t.shed <- t.shed + 1;
+        Obs.count t.obs "engine.guard.shed" 1
+      in
+      match t.cfg.Config.guard with
+      | Some g
+        when g.Policy.queue_bound > 0
+             && List.length t.queues.(proc) >= g.Policy.queue_bound -> (
+        (* Admission control: the pending queue is full, something must
+           be shed before the newcomer can sit down. *)
+        match g.Policy.shed_policy with
+        | Policy.Drop_tail -> shed_newcomer ()
+        | Policy.Deadline_aware ->
+          (* Shed the pending task (newcomer included) with the least
+             remaining deadline slack — the one most likely to expire
+             unserved anyway. No-deadline tasks count as infinite
+             slack; ties shed the newest, so the newcomer loses ties
+             and queue order stays stable. *)
+          let slack = function Some d -> d - now | None -> max_int in
+          let q = t.queues.(proc) in
+          let best_id = ref (-1) in
+          let best_slack = ref (slack deadline) in
+          let best_rec = ref (List.length q) in
+          List.iteri
+            (fun i tid ->
+              let s = slack (Hashtbl.find t.tasks tid).deadline in
+              if s < !best_slack || (s = !best_slack && i > !best_rec) then begin
+                best_id := tid;
+                best_slack := s;
+                best_rec := i
+              end)
+            q;
+          if !best_id = -1 then shed_newcomer ()
+          else begin
+            let victim = Hashtbl.find t.tasks !best_id in
+            victim.queued <- false;
+            t.queues.(proc) <- List.filter (fun x -> x <> !best_id) q;
+            t.shed <- t.shed + 1;
+            Obs.count t.obs "engine.guard.shed" 1;
+            admit ();
+            (* Shedding the head changes the pending request's task:
+               refresh its priority on the source arc. *)
+            if t.requesting.(proc) then set_requesting t proc true
+          end)
+      | Some _ | None -> admit ()));
     true
   | Ev_cancel id ->
     let dropped = drop_task t id in
-    if dropped then t.cancelled <- t.cancelled + 1;
-    dropped
+    if dropped then begin
+      t.cancelled <- t.cancelled + 1;
+      true
+    end
+    else if Hashtbl.mem t.retry_pending id then begin
+      (* Cancelling a victim parked in backoff: its pending Ev_retry
+         becomes a stale no-op. *)
+      Hashtbl.remove t.retry_pending id;
+      Hashtbl.remove t.retry_count id;
+      Hashtbl.remove t.victim_at id;
+      t.cancelled <- t.cancelled + 1;
+      true
+    end
+    else false
   | Ev_deadline id ->
     let dropped = drop_task t id in
-    if dropped then t.expired <- t.expired + 1;
-    dropped
+    if dropped then begin
+      t.expired <- t.expired + 1;
+      true
+    end
+    else if Hashtbl.mem t.retry_pending id then begin
+      (* The deadline caught the task mid-backoff. *)
+      Hashtbl.remove t.retry_pending id;
+      Hashtbl.remove t.retry_count id;
+      Hashtbl.remove t.victim_at id;
+      t.expired <- t.expired + 1;
+      true
+    end
+    else false
   | Ev_release li ->
     (match Hashtbl.find_opt t.lives li with
     | Some l when not l.released ->
@@ -547,6 +719,7 @@ let process t now = function
     | Some l ->
       Hashtbl.remove t.lives li;
       t.completed <- t.completed + 1;
+      Hashtbl.remove t.retry_count l.task_id;
       t.res_idle.(l.lres) <- true;
       sync_res t l.lres;
       true
@@ -556,6 +729,36 @@ let process t now = function
     | Token, Some clk when Fault.is_down fev ->
       t.mid_buffer <- t.mid_buffer @ [ (clk, Fault.element fev) ]
     | _ -> apply_fault t now fev);
+    true
+  | Ev_retry id ->
+    (match Hashtbl.find_opt t.retry_pending id with
+    | Some proc ->
+      (* Backoff elapsed: re-admit at the queue head, like the legacy
+         path — but only now, so a flapping element stops seeing the
+         same victim every cycle. *)
+      Hashtbl.remove t.retry_pending id;
+      let task = Hashtbl.find t.tasks id in
+      task.queued <- true;
+      t.queues.(proc) <- id :: t.queues.(proc);
+      if t.transmitting.(proc) = None then set_requesting t proc true;
+      true
+    | None -> false (* cancelled or expired while parked *))
+  | Ev_unquarantine e ->
+    (match t.flap with Some fl -> Flap.release fl e | None -> ());
+    set_elt_quarantined t.net e false;
+    (* Same re-derivation as a repair: the element may still be masked
+       by a genuinely down neighbour. *)
+    (match t.inc with
+    | Some i ->
+      List.iter
+        (fun l ->
+          if Network.link_state t.net l = Network.Free then
+            Incremental.set_link_usable i l (Network.usable t.net l))
+        (Fault.affected_links t.net e)
+    | None -> ());
+    (match e with
+    | Fault.Res r -> sync_res t r
+    | Fault.Link _ | Fault.Box _ -> ());
     true
   | Ev_wake -> false
 
@@ -823,8 +1026,476 @@ let report t =
     repairs = t.repairs;
     victims = t.victims;
     mean_readmission =
-      (if Stats.count t.readmissions = 0 then 0. else Stats.mean t.readmissions)
-  }
+      (if Stats.count t.readmissions = 0 then 0. else Stats.mean t.readmissions);
+    shed = t.shed;
+    given_up = t.given_up;
+    retries = t.retries;
+    quarantines = t.quarantines }
+
+(* Task conservation: every arrival is in exactly one bucket. [queued]
+   counts queue residents, [parked] victims waiting out a backoff,
+   [in_flight] live transmissions/services. The chaos harness asserts
+   this every slot. *)
+type accounting = {
+  a_arrivals : int;
+  a_completed : int;
+  a_cancelled : int;
+  a_expired : int;
+  a_shed : int;
+  a_given_up : int;
+  a_queued : int;
+  a_parked : int;
+  a_in_flight : int;
+}
+
+let accounting t =
+  { a_arrivals = t.arrivals;
+    a_completed = t.completed;
+    a_cancelled = t.cancelled;
+    a_expired = t.expired;
+    a_shed = t.shed;
+    a_given_up = t.given_up;
+    a_queued = Array.fold_left (fun acc q -> acc + List.length q) 0 t.queues;
+    a_parked = Hashtbl.length t.retry_pending;
+    a_in_flight = Hashtbl.length t.lives }
+
+let check_accounting t =
+  let a = accounting t in
+  let accounted =
+    a.a_completed + a.a_cancelled + a.a_expired + a.a_shed + a.a_given_up
+    + a.a_queued + a.a_parked + a.a_in_flight
+  in
+  if accounted = a.a_arrivals then Ok ()
+  else
+    Error
+      (Printf.sprintf
+         "Engine accounting violated: arrivals %d <> %d = completed %d + \
+          cancelled %d + expired %d + shed %d + given_up %d + queued %d + \
+          parked %d + in_flight %d"
+         a.a_arrivals accounted a.a_completed a.a_cancelled a.a_expired a.a_shed
+         a.a_given_up a.a_queued a.a_parked a.a_in_flight)
+
+(* ---------------------------------------------------------------- *)
+(* Checkpoint / restore.
+
+   A snapshot captures the complete logical state between slots:
+   counters, tasks, queues, live circuits, guard tables, the event
+   heap (with its (time, seq) keys, so within-slot processing order
+   survives), and the warm solver's bookkeeping flags. The warm
+   graph itself is not serialized — it is exactly reconstructible
+   because every committed circuit's arcs are frozen
+   (Incremental.restore_circuit) and everything else is derived from
+   requesting/res_free/link health. *)
+
+let checkpoint_schema = "rsin-engine-checkpoint/v1"
+
+exception Restore_error of string
+
+let rfail fmt = Printf.ksprintf (fun m -> raise (Restore_error m)) fmt
+
+let jint n = Json.Num (float_of_int n)
+
+let jints l = Json.Arr (List.map jint l)
+
+let elt_fields = function
+  | Fault.Link l -> ("link", l)
+  | Fault.Res r -> ("res", r)
+  | Fault.Box b -> ("box", b)
+
+let elt_json e =
+  let kind, idx = elt_fields e in
+  [ ("kind", Json.Str kind); ("idx", jint idx) ]
+
+let elt_of_fields j =
+  match
+    ( Option.bind (Json.member "kind" j) Json.to_str,
+      Option.bind (Json.member "idx" j) Json.to_int )
+  with
+  | Some "link", Some i -> Fault.Link i
+  | Some "res", Some i -> Fault.Res i
+  | Some "box", Some i -> Fault.Box i
+  | _ -> rfail "checkpoint: malformed element"
+
+let ev_to_json = function
+  | Ev_arrive { id; proc; service; deadline; priority } ->
+    Json.Obj
+      ([ ("ev", Json.Str "arrive"); ("id", jint id); ("proc", jint proc);
+         ("service", jint service); ("priority", jint priority) ]
+      @ match deadline with None -> [] | Some d -> [ ("deadline", jint d) ])
+  | Ev_cancel id -> Json.Obj [ ("ev", Json.Str "cancel"); ("id", jint id) ]
+  | Ev_release li -> Json.Obj [ ("ev", Json.Str "release"); ("li", jint li) ]
+  | Ev_complete li -> Json.Obj [ ("ev", Json.Str "complete"); ("li", jint li) ]
+  | Ev_fault (fev, clock) ->
+    Json.Obj
+      ([ ("ev", Json.Str "fault");
+         ("dir", Json.Str (if Fault.is_down fev then "down" else "up")) ]
+      @ elt_json (Fault.element fev)
+      @ match clock with None -> [] | Some c -> [ ("clock", jint c) ])
+  | Ev_deadline id -> Json.Obj [ ("ev", Json.Str "deadline"); ("id", jint id) ]
+  | Ev_wake -> Json.Obj [ ("ev", Json.Str "wake") ]
+  | Ev_retry id -> Json.Obj [ ("ev", Json.Str "retry"); ("id", jint id) ]
+  | Ev_unquarantine e -> Json.Obj (("ev", Json.Str "unquarantine") :: elt_json e)
+
+let jget j k =
+  match Json.member k j with
+  | Some v -> v
+  | None -> rfail "checkpoint: missing field %S" k
+
+let jgeti j k =
+  match Json.to_int (jget j k) with
+  | Some n -> n
+  | None -> rfail "checkpoint: field %S is not an integer" k
+
+let jgeti_opt j k = Option.bind (Json.member k j) Json.to_int
+
+let jgets j k =
+  match Json.to_str (jget j k) with
+  | Some s -> s
+  | None -> rfail "checkpoint: field %S is not a string" k
+
+let jgetl j k =
+  match Json.to_list (jget j k) with
+  | Some l -> l
+  | None -> rfail "checkpoint: field %S is not an array" k
+
+let jgetil j k =
+  List.map
+    (fun v ->
+      match Json.to_int v with
+      | Some n -> n
+      | None -> rfail "checkpoint: field %S holds a non-integer" k)
+    (jgetl j k)
+
+let jgetb j k =
+  match jget j k with
+  | Json.Bool b -> b
+  | _ -> rfail "checkpoint: field %S is not a boolean" k
+
+let ev_of_json j =
+  let elt () = elt_of_fields j in
+  match jgets j "ev" with
+  | "arrive" ->
+    Ev_arrive
+      { id = jgeti j "id"; proc = jgeti j "proc"; service = jgeti j "service";
+        deadline = jgeti_opt j "deadline"; priority = jgeti j "priority" }
+  | "cancel" -> Ev_cancel (jgeti j "id")
+  | "release" -> Ev_release (jgeti j "li")
+  | "complete" -> Ev_complete (jgeti j "li")
+  | "fault" ->
+    let dir = jgets j "dir" in
+    if dir <> "down" && dir <> "up" then
+      rfail "checkpoint: bad fault direction %S" dir;
+    let mk = if dir = "down" then Fault.down_of else Fault.up_of in
+    Ev_fault (mk (elt ()), jgeti_opt j "clock")
+  | "deadline" -> Ev_deadline (jgeti j "id")
+  | "wake" -> Ev_wake
+  | "retry" -> Ev_retry (jgeti j "id")
+  | "unquarantine" -> Ev_unquarantine (elt ())
+  | k -> rfail "checkpoint: unknown event kind %S" k
+
+(* A fresh accumulator holds +/-infinity extremes, which the Json
+   printer would turn into null — so extremes are only present when
+   observations exist. *)
+let accum_to_json a =
+  let n, mean, m2, lo, hi = Stats.accum_state a in
+  Json.Obj
+    (("n", jint n)
+    ::
+    (if n = 0 then []
+     else
+       [ ("mean", Json.Num mean); ("m2", Json.Num m2); ("lo", Json.Num lo);
+         ("hi", Json.Num hi) ]))
+
+let accum_restore_json a j =
+  let num k =
+    match Json.to_num (jget j k) with
+    | Some x -> x
+    | None -> rfail "checkpoint: field %S is not a number" k
+  in
+  let n = jgeti j "n" in
+  if n = 0 then Stats.accum_restore a (0, 0., 0., infinity, neg_infinity)
+  else Stats.accum_restore a (n, num "mean", num "m2", num "lo", num "hi")
+
+(* Drain-and-readd: the heap has no iterator, but keys are preserved
+   so the engine continues unperturbed afterwards. *)
+let heap_entries t =
+  let acc = ref [] in
+  while not (Heap.is_empty t.heap) do
+    acc := Option.get (Heap.pop_min t.heap) :: !acc
+  done;
+  let entries = List.rev !acc in
+  List.iter (fun (key, ev) -> Heap.add t.heap key ev) entries;
+  entries
+
+let snapshot t =
+  if t.mid_buffer <> [] then
+    invalid_arg
+      "Engine.snapshot: mid-slot token faults buffered (snapshot only between \
+       slots)";
+  let down n up = List.filter (fun i -> not (up t.net i)) (List.init n Fun.id) in
+  let flagged n f = List.filter (f t.net) (List.init n Fun.id) in
+  let nl = Network.n_links t.net and nb = Network.n_boxes t.net in
+  let needed = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun id (task : task) -> if task.queued then Hashtbl.replace needed id ())
+    t.tasks;
+  Hashtbl.iter (fun id _ -> Hashtbl.replace needed id ()) t.retry_pending;
+  Hashtbl.iter (fun _ (l : live) -> Hashtbl.replace needed l.task_id ()) t.lives;
+  let task_ids =
+    List.sort compare (Hashtbl.fold (fun id () acc -> id :: acc) needed [])
+  in
+  let tasks =
+    List.map
+      (fun id ->
+        let task = Hashtbl.find t.tasks id in
+        Json.Obj
+          ([ ("id", jint id); ("arrival", jint task.arrival);
+             ("service", jint task.service); ("priority", jint task.priority);
+             ("queued", Json.Bool task.queued) ]
+          @
+          match task.deadline with
+          | None -> []
+          | Some d -> [ ("deadline", jint d) ]))
+      task_ids
+  in
+  let lives =
+    Hashtbl.fold (fun li l acc -> (li, l) :: acc) t.lives []
+    |> List.sort (fun (a, _) (b, _) -> compare (a : int) b)
+    |> List.map (fun (li, (l : live)) ->
+           Json.Obj
+             [ ("li", jint li); ("proc", jint l.lproc); ("res", jint l.lres);
+               ("task", jint l.task_id); ("committed_at", jint l.committed_at);
+               ("service", jint l.lservice); ("released", Json.Bool l.released);
+               ( "links",
+                 jints
+                   (if l.released then []
+                    else snd (List.find (fun (id, _) -> id = l.net_id)
+                                (Network.circuits t.net))) ) ])
+  in
+  let int_pairs tbl ka kb =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+    |> List.sort compare
+    |> List.map (fun (k, v) -> Json.Obj [ (ka, jint k); (kb, jint v) ])
+  in
+  let heap =
+    List.map
+      (fun ((time, seq), ev) ->
+        Json.Obj [ ("t", jint time); ("seq", jint seq); ("ev", ev_to_json ev) ])
+      (heap_entries t)
+  in
+  Json.Obj
+    [ ("schema", Json.Str checkpoint_schema);
+      ("config", Config.to_json t.cfg);
+      ( "net",
+        Json.Obj
+          [ ("name", Json.Str (Network.name t.net));
+            ("n_procs", jint t.np); ("n_res", jint t.nr);
+            ("n_links", jint nl); ("n_boxes", jint nb);
+            ("link_down", jints (down nl Network.link_up));
+            ("box_down", jints (down nb Network.box_up));
+            ("res_down", jints (down t.nr Network.res_up));
+            ("link_quarantined", jints (flagged nl Network.link_quarantined));
+            ("box_quarantined", jints (flagged nb Network.box_quarantined));
+            ("res_quarantined", jints (flagged t.nr Network.res_quarantined)) ] );
+      ( "counters",
+        Json.Obj
+          [ ("arrivals", jint t.arrivals); ("allocated", jint t.allocated);
+            ("completed", jint t.completed); ("cancelled", jint t.cancelled);
+            ("expired", jint t.expired); ("cycles", jint t.cycles);
+            ("skipped_cycles", jint t.skipped_cycles);
+            ("solver_work", jint t.solver_work); ("faults", jint t.faults);
+            ("repairs", jint t.repairs); ("victims", jint t.victims);
+            ("shed", jint t.shed); ("given_up", jint t.given_up);
+            ("retries", jint t.retries); ("quarantines", jint t.quarantines);
+            ("busy_slots", jint t.busy_slots); ("horizon", jint t.horizon);
+            ("max_wait", jint t.max_wait); ("events_seen", jint t.events_seen);
+            ("next_live", jint t.next_live); ("next_seq", jint t.next_seq) ] );
+      ( "served_upto",
+        if t.served_upto = min_int then Json.Null else jint t.served_upto );
+      ("waits", accum_to_json t.waits);
+      ("readmissions", accum_to_json t.readmissions);
+      ("tasks", Json.Arr tasks);
+      ("queues", Json.Arr (Array.to_list (Array.map jints t.queues)));
+      ( "requesting",
+        jints
+          (List.filter (fun p -> t.requesting.(p)) (List.init t.np Fun.id)) );
+      ("lives", Json.Arr lives);
+      ("victim_at", Json.Arr (int_pairs t.victim_at "task" "at"));
+      ("retry_pending", Json.Arr (int_pairs t.retry_pending "task" "proc"));
+      ("retry_count", Json.Arr (int_pairs t.retry_count "task" "count"));
+      ( "flap",
+        match t.flap with None -> Json.Null | Some fl -> Flap.to_json fl );
+      ("heap", Json.Arr heap);
+      ( "inc",
+        match t.inc with
+        | None -> Json.Null
+        | Some i ->
+          Json.Obj
+            [ ("dirty", Json.Bool (Incremental.dirty i));
+              ("pending_ops", jint (Incremental.pending_ops i));
+              ("total_work", jint (Incremental.total_work i)) ] ) ]
+
+let restore_exn ?obs ?cycle_hook ?event_hook net j =
+  (match Json.to_obj j with
+  | Some _ -> ()
+  | None -> rfail "checkpoint: expected a JSON object");
+  let schema = jgets j "schema" in
+  if schema <> checkpoint_schema then
+    rfail "checkpoint: unsupported schema %S (want %S)" schema checkpoint_schema;
+  let config =
+    match Config.of_json (jget j "config") with
+    | Ok c -> c
+    | Error m -> rfail "%s" m
+  in
+  if not (Network.all_up net && Network.circuits net = []) then
+    rfail "checkpoint: restore needs a pristine network";
+  let nj = jget j "net" in
+  if jgets nj "name" <> Network.name net
+     || jgeti nj "n_procs" <> Network.n_procs net
+     || jgeti nj "n_res" <> Network.n_res net
+     || jgeti nj "n_links" <> Network.n_links net
+     || jgeti nj "n_boxes" <> Network.n_boxes net
+  then
+    rfail "checkpoint: network mismatch (snapshot taken on %s %dx%d)"
+      (jgets nj "name") (jgeti nj "n_procs") (jgeti nj "n_res");
+  let t = create ?obs ~config ?cycle_hook ?event_hook net in
+  (* Health and quarantine flags, then re-derive every warm link
+     capacity and resource arc from them. *)
+  List.iter (fun l -> Network.set_link_up t.net l false) (jgetil nj "link_down");
+  List.iter (fun b -> Network.set_box_up t.net b false) (jgetil nj "box_down");
+  List.iter (fun r -> Network.set_res_up t.net r false) (jgetil nj "res_down");
+  List.iter
+    (fun l -> Network.set_link_quarantined t.net l true)
+    (jgetil nj "link_quarantined");
+  List.iter
+    (fun b -> Network.set_box_quarantined t.net b true)
+    (jgetil nj "box_quarantined");
+  List.iter
+    (fun r -> Network.set_res_quarantined t.net r true)
+    (jgetil nj "res_quarantined");
+  (match t.inc with
+  | Some i ->
+    for l = 0 to Network.n_links t.net - 1 do
+      Incremental.set_link_usable i l (Network.usable t.net l)
+    done
+  | None -> ());
+  for r = 0 to t.nr - 1 do sync_res t r done;
+  (* Tasks and queues before requesting flags: set_requesting reads the
+     queue head's priority. *)
+  List.iter
+    (fun tj ->
+      Hashtbl.replace t.tasks (jgeti tj "id")
+        { arrival = jgeti tj "arrival"; service = jgeti tj "service";
+          priority = jgeti tj "priority"; deadline = jgeti_opt tj "deadline";
+          queued = jgetb tj "queued" })
+    (jgetl j "tasks");
+  let queues = jgetl j "queues" in
+  if List.length queues <> t.np then rfail "checkpoint: queue count mismatch";
+  List.iteri
+    (fun p qj ->
+      t.queues.(p) <-
+        List.map
+          (fun v ->
+            match Json.to_int v with
+            | Some id when Hashtbl.mem t.tasks id -> id
+            | Some id -> rfail "checkpoint: queued task %d has no record" id
+            | None -> rfail "checkpoint: non-integer task id in queue")
+          (match Json.to_list qj with
+          | Some l -> l
+          | None -> rfail "checkpoint: queue %d is not an array" p))
+    queues;
+  List.iter (fun p -> set_requesting t p true) (jgetil j "requesting");
+  (* Live circuits, in table order: establishing on the restored
+     network re-derives net ids; the warm graph gets each circuit's
+     arcs frozen exactly as commit left them. Released entries hold no
+     links — only the resource. *)
+  List.iter
+    (fun lj ->
+      let li = jgeti lj "li" in
+      let lproc = jgeti lj "proc" and lres = jgeti lj "res" in
+      let task_id = jgeti lj "task" in
+      if not (Hashtbl.mem t.tasks task_id) then
+        rfail "checkpoint: live circuit for unknown task %d" task_id;
+      let released = jgetb lj "released" in
+      let links = jgetil lj "links" in
+      let net_id, inc_circuit =
+        if released then (-1, None)
+        else
+          ( Network.establish t.net links,
+            Option.map
+              (fun i -> Incremental.restore_circuit i ~proc:lproc ~res:lres ~links)
+              t.inc )
+      in
+      Hashtbl.replace t.lives li
+        { net_id; lproc; lres; task_id; committed_at = jgeti lj "committed_at";
+          lservice = jgeti lj "service"; inc = inc_circuit; released };
+      if not released then t.transmitting.(lproc) <- Some task_id;
+      t.res_idle.(lres) <- false;
+      if released then sync_res t lres)
+    (jgetl j "lives");
+  let pairs key ka kb f =
+    List.iter (fun pj -> f (jgeti pj ka) (jgeti pj kb)) (jgetl j key)
+  in
+  pairs "victim_at" "task" "at" (Hashtbl.replace t.victim_at);
+  pairs "retry_pending" "task" "proc" (Hashtbl.replace t.retry_pending);
+  pairs "retry_count" "task" "count" (Hashtbl.replace t.retry_count);
+  (match (jget j "flap", config.Config.guard) with
+  | Json.Null, _ | _, None -> ()
+  | fj, Some g -> (
+    match Flap.of_json g fj with
+    | Ok fl -> t.flap <- Some fl
+    | Error m -> rfail "%s" m));
+  let c = jget j "counters" in
+  t.arrivals <- jgeti c "arrivals";
+  t.allocated <- jgeti c "allocated";
+  t.completed <- jgeti c "completed";
+  t.cancelled <- jgeti c "cancelled";
+  t.expired <- jgeti c "expired";
+  t.cycles <- jgeti c "cycles";
+  t.skipped_cycles <- jgeti c "skipped_cycles";
+  t.solver_work <- jgeti c "solver_work";
+  t.faults <- jgeti c "faults";
+  t.repairs <- jgeti c "repairs";
+  t.victims <- jgeti c "victims";
+  t.shed <- jgeti c "shed";
+  t.given_up <- jgeti c "given_up";
+  t.retries <- jgeti c "retries";
+  t.quarantines <- jgeti c "quarantines";
+  t.busy_slots <- jgeti c "busy_slots";
+  t.horizon <- jgeti c "horizon";
+  t.max_wait <- jgeti c "max_wait";
+  t.events_seen <- jgeti c "events_seen";
+  t.next_live <- jgeti c "next_live";
+  t.served_upto <-
+    (match jget j "served_upto" with
+    | Json.Null -> min_int
+    | v -> (
+      match Json.to_int v with
+      | Some s -> s
+      | None -> rfail "checkpoint: bad served_upto"));
+  accum_restore_json t.waits (jget j "waits");
+  accum_restore_json t.readmissions (jget j "readmissions");
+  List.iter
+    (fun ej ->
+      Heap.add t.heap (jgeti ej "t", jgeti ej "seq") (ev_of_json (jget ej "ev")))
+    (jgetl j "heap");
+  t.next_seq <- jgeti c "next_seq";
+  (match (t.inc, jget j "inc") with
+  | Some i, (Json.Obj _ as ij) ->
+    Incremental.restore_flags i ~dirty:(jgetb ij "dirty")
+      ~pending_ops:(jgeti ij "pending_ops")
+      ~total_work:(jgeti ij "total_work")
+  | Some _, _ -> rfail "checkpoint: warm snapshot without solver flags"
+  | None, _ -> ());
+  t
+
+let restore ?obs ?cycle_hook ?event_hook net j =
+  match restore_exn ?obs ?cycle_hook ?event_hook net j with
+  | t -> Ok t
+  | exception Restore_error m -> Error m
+  | exception Invalid_argument m -> Error m
+
+let config t = t.cfg
 
 let publish_counters t =
   Obs.count t.obs "engine.arrivals" t.arrivals;
@@ -837,7 +1508,13 @@ let publish_counters t =
   Obs.count t.obs "engine.solver_work" t.solver_work;
   Obs.count t.obs "engine.faults" t.faults;
   Obs.count t.obs "engine.repairs" t.repairs;
-  Obs.count t.obs "engine.victims" t.victims
+  Obs.count t.obs "engine.victims" t.victims;
+  if t.cfg.Config.guard <> None then begin
+    Obs.count t.obs "engine.guard.shed_total" t.shed;
+    Obs.count t.obs "engine.guard.given_up_total" t.given_up;
+    Obs.count t.obs "engine.guard.retries_total" t.retries;
+    Obs.count t.obs "engine.guard.quarantines_total" t.quarantines
+  end
 
 let run ?obs ?config ?cycle_hook ?event_hook net trace =
   let t = create ?obs ?config ?cycle_hook ?event_hook net in

@@ -106,6 +106,12 @@ module Config : sig
             MTBF/MTTR fault/repair schedule into the trace before the
             run. The engine core consumes fault events from the trace;
             it never injects. *)
+    guard : Rsin_guard.Policy.t option;
+        (** when set, the robustness layer is active: bounded pending
+            queues with drop-tail or deadline-aware shedding, backoff
+            re-admission of fault victims under a retry budget, and
+            flap-detecting element quarantine. [None] (the default)
+            preserves the legacy behavior byte for byte. *)
   }
 
   val make :
@@ -117,6 +123,7 @@ module Config : sig
     ?max_defer:int ->
     ?heartbeat:int ->
     ?faults:fault_plan option ->
+    ?guard:Rsin_guard.Policy.t option ->
     unit ->
     (t, string) result
   (** Smart constructor; defaults are
@@ -133,6 +140,7 @@ module Config : sig
     ?max_defer:int ->
     ?heartbeat:int ->
     ?faults:fault_plan option ->
+    ?guard:Rsin_guard.Policy.t option ->
     unit ->
     t
   (** {!make}, raising [Invalid_argument] on a bad combination. *)
@@ -192,6 +200,13 @@ type report = {
       (** slots from fault to the victim's next circuit ([0.] when no
           victim was re-admitted — not [nan], so reports stay comparable
           with [=]) *)
+  shed : int;
+      (** arrivals (or, under deadline-aware shedding, queue residents)
+          rejected by admission control — always 0 without a guard *)
+  given_up : int;
+      (** fault victims abandoned after exhausting their retry budget *)
+  retries : int;  (** backoff re-admissions scheduled for fault victims *)
+  quarantines : int;  (** elements quarantined by the flap detector *)
 }
 
 (** {1 The stepper}
@@ -262,6 +277,62 @@ val peek_network : t -> Rsin_topology.Network.t
 val report : t -> report
 (** A snapshot of the run's accounting — pure, callable at any time;
     normally read after {!drain}. *)
+
+(** {1 Conservation accounting}
+
+    Every arrival the engine has ever accepted is, at any instant, in
+    exactly one bucket: terminally completed / cancelled / expired /
+    shed / given-up, or still pending — queued, parked in retry
+    backoff, or in flight on a live circuit. The chaos harness asserts
+    this after every slot. *)
+
+type accounting = {
+  a_arrivals : int;
+  a_completed : int;
+  a_cancelled : int;
+  a_expired : int;
+  a_shed : int;
+  a_given_up : int;
+  a_queued : int;    (** queue residents right now *)
+  a_parked : int;    (** victims waiting out a retry backoff *)
+  a_in_flight : int; (** live circuits (transmitting or serving) *)
+}
+
+val accounting : t -> accounting
+
+val check_accounting : t -> (unit, string) result
+(** [Ok ()] iff arrivals equal the sum of the other buckets; the error
+    string names every bucket for diagnosis. *)
+
+val config : t -> Config.t
+
+(** {1 Checkpoint / restore}
+
+    A snapshot is a self-contained JSON document of the complete
+    logical engine state between slots: configuration, network health
+    and quarantine flags, counters, tasks, queues, live circuits, the
+    guard's retry and flap tables, the event heap (with its internal
+    [(time, seq)] keys, so within-slot processing order survives the
+    round trip), and the warm solver's bookkeeping. The warm flow
+    graph itself is not serialized: it is reconstructed exactly by
+    re-freezing each live circuit's arcs, so a restored engine follows
+    a byte-identical trajectory. *)
+
+val snapshot : t -> Rsin_util.Json.t
+(** Raises [Invalid_argument] if called mid-slot in [Token] mode while
+    clocked faults are buffered (checkpoint only between slots). *)
+
+val restore :
+  ?obs:Rsin_obs.Obs.t ->
+  ?cycle_hook:(Rsin_topology.Network.t -> cycle_info -> unit) ->
+  ?event_hook:(events:int -> time:int -> unit) ->
+  Rsin_topology.Network.t ->
+  Rsin_util.Json.t ->
+  (t, string) result
+(** Rebuilds an engine from {!snapshot} output over a pristine (all-up,
+    no circuits) instance of the {e same} topology the snapshot was
+    taken on — name and dimensions are checked. Hooks and observer are
+    re-attached fresh (they are not part of the state). *)
 
 (** {1 One-shot runs} *)
 

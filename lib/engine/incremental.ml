@@ -302,6 +302,41 @@ let release t (c : circuit) =
   (* Freed links may unblock a request that was proved unroutable. *)
   t.dirty <- true
 
+let pending_ops t = t.pending_ops
+
+(* Checkpoint restore: re-freeze a circuit that was committed before the
+   snapshot into a freshly compiled warm graph. Equivalent to the state
+   solve+extract_new left behind — unit flow on every path arc, residual
+   capacity removed — but driven from the serialized link list instead of
+   a solver run. Deliberately does not touch [dirty]/[pending_ops]/
+   [total_work]: the snapshot carries those verbatim and the caller
+   reinstates them with {!restore_flags}, so the restored engine's
+   skip/work trajectory matches the uninterrupted run exactly. *)
+let restore_circuit t ~proc ~res ~links =
+  let arc_of_link l =
+    match Netgraph.arc_of_link t.ng l with
+    | Some a -> a
+    | None -> invalid_arg "Incremental.restore_circuit: bad link"
+  in
+  let arcs = (sp_arc t proc :: List.map arc_of_link links) @ [ rt_arc t res ] in
+  List.iter
+    (fun a ->
+      if t.frozen.(a / 2) then
+        invalid_arg "Incremental.restore_circuit: arc already frozen";
+      b_set_capacity t a 1;
+      b_set_flow t a 1;
+      b_freeze t a;
+      t.frozen.(a / 2) <- true)
+    arcs;
+  { proc; res; links; arcs }
+
+let restore_flags t ~dirty ~pending_ops ~total_work =
+  if pending_ops < 0 || total_work < 0 then
+    invalid_arg "Incremental.restore_flags: negative counter";
+  t.dirty <- dirty;
+  t.pending_ops <- pending_ops;
+  t.total_work <- total_work
+
 let check t =
   match t.csr with
   | None -> Graph.check_conservation (graph t) ~source:(source t) ~sink:(sink t)

@@ -118,6 +118,24 @@ val total_work : t -> int
 (** Cumulative solver work: capacity/cost updates + residual arcs
     scanned. *)
 
+val pending_ops : t -> int
+(** Capacity/cost updates since the last solve — serialized by
+    {!Engine.snapshot} so a restored engine reports the same per-cycle
+    work as the uninterrupted run. *)
+
+val restore_circuit : t -> proc:int -> res:int -> links:int list -> circuit
+(** [restore_circuit t ~proc ~res ~links] re-freezes a circuit recorded
+    in a checkpoint into a freshly created [t]: unit flow is forced onto
+    the [s→p], link and [r→t] arcs and their residual capacity removed,
+    reproducing exactly the state {!solve} left after committing that
+    circuit. [links] must be the circuit's links in path order. Does not
+    touch the dirty flag or work counters (see {!restore_flags}). Raises
+    [Invalid_argument] if any arc is already frozen or [links] contains
+    an unknown link. *)
+
+val restore_flags : t -> dirty:bool -> pending_ops:int -> total_work:int -> unit
+(** Reinstates the solver bookkeeping serialized in a checkpoint. *)
+
 val graph : t -> Rsin_flow.Graph.t
 
 val netgraph : t -> Rsin_core.Netgraph.t

@@ -4,6 +4,7 @@ module Transform1 = Rsin_core.Transform1
 module Fault = Rsin_fault.Fault
 module Domain_pool = Rsin_util.Domain_pool
 module Clock = Rsin_util.Clock
+module Json = Rsin_util.Json
 
 type report = {
   domains : int;
@@ -24,6 +25,10 @@ type report = {
   faults : int;
   repairs : int;
   victims : int;
+  shed : int;
+  given_up : int;
+  retries : int;
+  quarantines : int;
   wall_us : float;
   per_shard : Engine.report array;
 }
@@ -38,12 +43,17 @@ let pp_report fmt r =
      arrivals %d allocated %d completed %d@,\
      cancelled %d expired %d left pending %d@,\
      cycles %d (skipped %d) solver work %d@,\
-     faults %d repairs %d victims %d@,\
-     horizon %d wall %.0f us (%.0f events/s)@]"
+     faults %d repairs %d victims %d"
     r.domains r.shards r.events r.borrows r.starved r.arrivals r.allocated
     r.completed r.cancelled r.expired r.left_pending r.cycles r.skipped_cycles
-    r.solver_work r.faults r.repairs r.victims r.horizon r.wall_us
-    (events_per_sec r)
+    r.solver_work r.faults r.repairs r.victims;
+  (* Guard counters only when the robustness layer was active, so
+     legacy output stays byte-identical. *)
+  if r.shed + r.given_up + r.retries + r.quarantines > 0 then
+    Format.fprintf fmt "@,shed %d given up %d retries %d quarantines %d"
+      r.shed r.given_up r.retries r.quarantines;
+  Format.fprintf fmt "@,horizon %d wall %.0f us (%.0f events/s)@]" r.horizon
+    r.wall_us (events_per_sec r)
 
 type t = {
   shard : Shard.t;
@@ -290,9 +300,143 @@ let report t =
     faults = sum (fun r -> r.Engine.faults);
     repairs = sum (fun r -> r.Engine.repairs);
     victims = sum (fun r -> r.Engine.victims);
+    shed = sum (fun r -> r.Engine.shed);
+    given_up = sum (fun r -> r.Engine.given_up);
+    retries = sum (fun r -> r.Engine.retries);
+    quarantines = sum (fun r -> r.Engine.quarantines);
     wall_us = t.wall_us;
     per_shard;
   }
+
+let check_accounting t =
+  let errs =
+    Array.to_list t.engines
+    |> List.mapi (fun i e ->
+           match Engine.check_accounting e with
+           | Ok () -> None
+           | Error m -> Some (Printf.sprintf "shard %d: %s" i m))
+    |> List.filter_map Fun.id
+  in
+  if errs = [] then Ok () else Error (String.concat "; " errs)
+
+let abort t =
+  (* Crash simulation / emergency stop: shut the pool down without
+     flushing or draining. The instance only accepts [report] after. *)
+  if not t.drained then begin
+    t.wall_us <- Clock.elapsed_us ~since:t.start_ns;
+    t.drained <- true;
+    Domain_pool.shutdown t.pool
+  end
+
+(* --- Checkpoint / restore ------------------------------------------------- *)
+
+let checkpoint_schema = "rsin-serve-checkpoint/v1"
+
+let snapshot t =
+  if t.drained then invalid_arg "Serve.snapshot: already drained";
+  (* Flush first so the snapshot lands on a slot boundary: every shard
+     advanced through cur_slot - 1 and every routed event of cur_slot
+     sitting in its shard's heap. Re-entrant calls from the event hook
+     are safe — the buffer is already empty there. *)
+  flush t;
+  let jint n = Json.Num (float_of_int n) in
+  let task_home =
+    Hashtbl.fold (fun id si acc -> (id, si) :: acc) t.task_home []
+    |> List.sort compare
+    |> List.map (fun (id, si) ->
+           Json.Obj [ ("task", jint id); ("shard", jint si) ])
+  in
+  Json.Obj
+    [ ("schema", Json.Str checkpoint_schema);
+      ("config", Engine.Config.to_json (Engine.config t.engines.(0)));
+      ("cur_slot", if t.buffering then jint t.cur_slot else Json.Null);
+      ("events", jint t.events);
+      ("borrows", jint t.borrows);
+      ("starved", jint t.starved);
+      ("task_home", Json.Arr task_home);
+      ( "shards",
+        Json.Arr (Array.to_list (Array.map Engine.snapshot t.engines)) ) ]
+
+let restore ?domains ?cycle_hook ?event_hook net j =
+  let ( let* ) = Result.bind in
+  let* () =
+    match Option.bind (Json.member "schema" j) Json.to_str with
+    | Some s when s = checkpoint_schema -> Ok ()
+    | Some s ->
+      Error (Printf.sprintf "serve checkpoint: unsupported schema %S" s)
+    | None -> Error "serve checkpoint: missing schema"
+  in
+  let* config =
+    match Json.member "config" j with
+    | Some cj -> Engine.Config.of_json cj
+    | None -> Error "serve checkpoint: missing config"
+  in
+  let geti k =
+    match Option.bind (Json.member k j) Json.to_int with
+    | Some n -> Ok n
+    | None -> Error (Printf.sprintf "serve checkpoint: bad field %S" k)
+  in
+  let* t = create ~config ?domains ?cycle_hook ?event_hook net in
+  let fail e = abort t; Error e in
+  match Option.bind (Json.member "shards" j) Json.to_list with
+  | None -> fail "serve checkpoint: missing shards"
+  | Some shards when List.length shards <> Array.length t.engines ->
+    fail
+      (Printf.sprintf "serve checkpoint: %d shard snapshot(s) for %d shard(s)"
+         (List.length shards) (Array.length t.engines))
+  | Some shards -> (
+    let parts = t.shard.Shard.parts in
+    let rec go i = function
+      | [] -> Ok ()
+      | sj :: rest -> (
+        let cycle_hook =
+          Option.map
+            (fun hook -> fun net info -> hook ~shard:i net info)
+            cycle_hook
+        in
+        match Engine.restore ?cycle_hook parts.(i).Shard.net sj with
+        | Ok e ->
+          t.engines.(i) <- e;
+          go (i + 1) rest
+        | Error m -> Error (Printf.sprintf "shard %d: %s" i m))
+    in
+    match
+      let* () = go 0 shards in
+      let* events = geti "events" in
+      let* borrows = geti "borrows" in
+      let* starved = geti "starved" in
+      let* () =
+        match Json.member "task_home" j with
+        | Some (Json.Arr entries) ->
+          List.fold_left
+            (fun acc ej ->
+              let* () = acc in
+              match
+                ( Option.bind (Json.member "task" ej) Json.to_int,
+                  Option.bind (Json.member "shard" ej) Json.to_int )
+              with
+              | Some id, Some si when si >= 0 && si < Array.length t.engines ->
+                Hashtbl.replace t.task_home id si;
+                Ok ()
+              | _ -> Error "serve checkpoint: malformed task_home entry")
+            (Ok ()) entries
+        | _ -> Error "serve checkpoint: missing task_home"
+      in
+      t.events <- events;
+      t.borrows <- borrows;
+      t.starved <- starved;
+      (match Json.member "cur_slot" j with
+      | Some Json.Null | None -> ()
+      | Some v -> (
+        match Json.to_int v with
+        | Some s ->
+          t.cur_slot <- s;
+          t.buffering <- true
+        | None -> ()));
+      Ok ()
+    with
+    | Ok () -> Ok t
+    | Error m -> fail m)
 
 let run ?config ?domains ?cycle_hook ?event_hook net trace =
   match create ?config ?domains ?cycle_hook ?event_hook net with

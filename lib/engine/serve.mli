@@ -62,6 +62,10 @@ type report = {
   faults : int;
   repairs : int;
   victims : int;
+  shed : int;           (** arrivals rejected by admission control *)
+  given_up : int;       (** victims whose retry budget ran out *)
+  retries : int;        (** backoff re-admissions scheduled *)
+  quarantines : int;    (** elements quarantined by flap detection *)
   wall_us : float;      (** monotonic create-to-drain wall time *)
   per_shard : Engine.report array;
 }
@@ -115,6 +119,45 @@ val drain : t -> unit
     afterwards. Idempotent. *)
 
 val report : t -> report
+
+val check_accounting : t -> (unit, string) result
+(** {!Engine.check_accounting} over every shard: each arrival the
+    router fed is in exactly one terminal or pending bucket. The chaos
+    soak asserts this after every flushed slot. *)
+
+val abort : t -> unit
+(** Crash simulation / emergency stop: shuts the domain pool down
+    {e without} flushing the buffered slot or draining the shards. The
+    instance only accepts {!report} afterwards. Idempotent; used by the
+    chaos harness to model a kill between checkpoint and completion. *)
+
+(** {2 Checkpoint / restore}
+
+    A serve snapshot nests one {!Engine.snapshot} per shard plus the
+    router's own state (slot cursor, borrow/starve counters, the
+    task-to-shard map cancels are chased with). {!snapshot} first
+    flushes the buffered slot, so the checkpoint always lands on a slot
+    boundary: every shard advanced through [cur_slot - 1], every routed
+    event of [cur_slot] in its shard's event heap. Restoring over a
+    pristine instance of the same topology and feeding the remaining
+    trace (slots after the checkpoint) reproduces the uninterrupted
+    run's trajectory byte for byte — the differential test pins this. *)
+
+val snapshot : t -> Rsin_util.Json.t
+(** Raises [Invalid_argument] after {!drain}/{!abort}. Safe to call
+    from [event_hook] (the buffer is already flushed there). *)
+
+val restore :
+  ?domains:int ->
+  ?cycle_hook:(shard:int -> Rsin_topology.Network.t -> Engine.cycle_info -> unit) ->
+  ?event_hook:(events:int -> time:int -> unit) ->
+  Rsin_topology.Network.t ->
+  Rsin_util.Json.t ->
+  (t, string) result
+(** Rebuilds a serving instance from {!snapshot} output. The network
+    must be a pristine copy of the topology the snapshot was taken on
+    (checked per shard); the config travels inside the snapshot. Hooks
+    and the domain count are re-attached fresh. *)
 
 val run :
   ?config:Engine.Config.t ->

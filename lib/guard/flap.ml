@@ -1,0 +1,140 @@
+module Json = Rsin_util.Json
+module Fault = Rsin_fault.Fault
+
+type t = {
+  policy : Policy.t;
+  history : (Fault.element, int list) Hashtbl.t;  (* fault slots, newest first *)
+  quarantined : (Fault.element, int) Hashtbl.t;   (* element -> release slot *)
+}
+
+let create policy = { policy; history = Hashtbl.create 16; quarantined = Hashtbl.create 8 }
+
+let is_quarantined t e = Hashtbl.mem t.quarantined e
+
+let release t e = Hashtbl.remove t.quarantined e
+
+let record_fault t ~now e =
+  if t.policy.Policy.flap_k = 0 || is_quarantined t e then None
+  else begin
+    let keep = now - t.policy.Policy.flap_window + 1 in
+    let recent =
+      now
+      :: List.filter
+           (fun s -> s >= keep)
+           (Option.value ~default:[] (Hashtbl.find_opt t.history e))
+    in
+    if List.length recent >= t.policy.Policy.flap_k then begin
+      Hashtbl.remove t.history e;
+      let until = now + t.policy.Policy.quarantine_slots in
+      Hashtbl.replace t.quarantined e until;
+      Some until
+    end
+    else begin
+      Hashtbl.replace t.history e recent;
+      None
+    end
+  end
+
+(* Canonical element order: links, then boxes, then resources, by index
+   — keeps snapshots byte-stable across hashtable layouts. *)
+let elt_rank = function
+  | Fault.Link i -> (0, i)
+  | Fault.Box i -> (1, i)
+  | Fault.Res i -> (2, i)
+
+let compare_elt a b = compare (elt_rank a) (elt_rank b)
+
+let active t =
+  Hashtbl.fold (fun e until acc -> (e, until) :: acc) t.quarantined []
+  |> List.sort (fun (a, _) (b, _) -> compare_elt a b)
+
+let elt_to_json e =
+  let kind, idx =
+    match e with
+    | Fault.Link i -> ("link", i)
+    | Fault.Box i -> ("box", i)
+    | Fault.Res i -> ("res", i)
+  in
+  Json.Obj [ ("kind", Json.Str kind); ("idx", Json.Num (float_of_int idx)) ]
+
+let elt_of_json j =
+  match (Option.bind (Json.member "kind" j) Json.to_str,
+         Option.bind (Json.member "idx" j) Json.to_int) with
+  | Some "link", Some i -> Ok (Fault.Link i)
+  | Some "box", Some i -> Ok (Fault.Box i)
+  | Some "res", Some i -> Ok (Fault.Res i)
+  | Some k, Some _ -> Error (Printf.sprintf "Guard.Flap: unknown element kind %S" k)
+  | _ -> Error "Guard.Flap: malformed element"
+
+let to_json t =
+  let history =
+    Hashtbl.fold (fun e slots acc -> (e, slots) :: acc) t.history []
+    |> List.sort (fun (a, _) (b, _) -> compare_elt a b)
+    |> List.map (fun (e, slots) ->
+           Json.Obj
+             [ ("element", elt_to_json e);
+               ("slots",
+                Json.Arr (List.map (fun s -> Json.Num (float_of_int s)) slots)) ])
+  in
+  let quarantined =
+    List.map
+      (fun (e, until) ->
+        Json.Obj
+          [ ("element", elt_to_json e); ("until", Json.Num (float_of_int until)) ])
+      (active t)
+  in
+  Json.Obj [ ("history", Json.Arr history); ("quarantined", Json.Arr quarantined) ]
+
+let of_json policy j =
+  let ( let* ) = Result.bind in
+  let list_field k =
+    match Json.member k j with
+    | Some v ->
+      (match Json.to_list v with
+      | Some l -> Ok l
+      | None -> Error (Printf.sprintf "Guard.Flap: field %S is not an array" k))
+    | None -> Ok []
+  in
+  let* history = list_field "history" in
+  let* quarantined = list_field "quarantined" in
+  let t = create policy in
+  let* () =
+    List.fold_left
+      (fun acc entry ->
+        let* () = acc in
+        let* e =
+          match Json.member "element" entry with
+          | Some ej -> elt_of_json ej
+          | None -> Error "Guard.Flap: history entry without element"
+        in
+        match Option.bind (Json.member "slots" entry) Json.to_list with
+        | Some slots ->
+          let* slots =
+            List.fold_left
+              (fun acc s ->
+                let* acc = acc in
+                match Json.to_int s with
+                | Some n -> Ok (n :: acc)
+                | None -> Error "Guard.Flap: non-integer fault slot")
+              (Ok []) slots
+          in
+          Hashtbl.replace t.history e (List.rev slots);
+          Ok ()
+        | None -> Error "Guard.Flap: history entry without slots")
+      (Ok ()) history
+  in
+  let* () =
+    List.fold_left
+      (fun acc entry ->
+        let* () = acc in
+        let* e =
+          match Json.member "element" entry with
+          | Some ej -> elt_of_json ej
+          | None -> Error "Guard.Flap: quarantine entry without element"
+        in
+        match Option.bind (Json.member "until" entry) Json.to_int with
+        | Some until -> Hashtbl.replace t.quarantined e until; Ok ()
+        | None -> Error "Guard.Flap: quarantine entry without until")
+      (Ok ()) quarantined
+  in
+  Ok t

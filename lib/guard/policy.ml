@@ -1,0 +1,102 @@
+module Json = Rsin_util.Json
+
+type shed_policy = Drop_tail | Deadline_aware
+
+type t = {
+  queue_bound : int;
+  shed_policy : shed_policy;
+  retry_base : int;
+  retry_cap : int;
+  retry_jitter : int;
+  retry_budget : int;
+  seed : int;
+  flap_k : int;
+  flap_window : int;
+  quarantine_slots : int;
+}
+
+let make ?(queue_bound = 64) ?(shed_policy = Drop_tail) ?(retry_base = 1)
+    ?(retry_cap = 64) ?(retry_jitter = 3) ?(retry_budget = 8) ?(seed = 0x9a)
+    ?(flap_k = 3) ?(flap_window = 50) ?(quarantine_slots = 100) () =
+  let err fmt = Printf.ksprintf (fun m -> Error ("Guard.Policy: " ^ m)) fmt in
+  if queue_bound < 0 then err "queue_bound must be >= 0 (0 = unbounded)"
+  else if retry_base < 1 then err "retry_base must be >= 1"
+  else if retry_cap < retry_base then err "retry_cap must be >= retry_base"
+  else if retry_jitter < 0 then err "retry_jitter must be >= 0"
+  else if retry_budget < 0 then err "retry_budget must be >= 0"
+  else if flap_k < 0 then err "flap_k must be >= 0 (0 = quarantine off)"
+  else if flap_window < 1 then err "flap_window must be >= 1"
+  else if quarantine_slots < 1 then err "quarantine_slots must be >= 1"
+  else
+    Ok
+      { queue_bound; shed_policy; retry_base; retry_cap; retry_jitter;
+        retry_budget; seed; flap_k; flap_window; quarantine_slots }
+
+let v ?queue_bound ?shed_policy ?retry_base ?retry_cap ?retry_jitter
+    ?retry_budget ?seed ?flap_k ?flap_window ?quarantine_slots () =
+  match
+    make ?queue_bound ?shed_policy ?retry_base ?retry_cap ?retry_jitter
+      ?retry_budget ?seed ?flap_k ?flap_window ?quarantine_slots ()
+  with
+  | Ok t -> t
+  | Error m -> invalid_arg m
+
+let default = v ()
+
+let shed_policy_to_string = function
+  | Drop_tail -> "drop-tail"
+  | Deadline_aware -> "deadline-aware"
+
+let shed_policy_of_string = function
+  | "drop-tail" -> Ok Drop_tail
+  | "deadline-aware" -> Ok Deadline_aware
+  | s -> Error (Printf.sprintf "Guard.Policy: unknown shed policy %S" s)
+
+let to_json t =
+  Json.Obj
+    [ ("queue_bound", Json.Num (float_of_int t.queue_bound));
+      ("shed_policy", Json.Str (shed_policy_to_string t.shed_policy));
+      ("retry_base", Json.Num (float_of_int t.retry_base));
+      ("retry_cap", Json.Num (float_of_int t.retry_cap));
+      ("retry_jitter", Json.Num (float_of_int t.retry_jitter));
+      ("retry_budget", Json.Num (float_of_int t.retry_budget));
+      ("seed", Json.Num (float_of_int t.seed));
+      ("flap_k", Json.Num (float_of_int t.flap_k));
+      ("flap_window", Json.Num (float_of_int t.flap_window));
+      ("quarantine_slots", Json.Num (float_of_int t.quarantine_slots)) ]
+
+let of_json j =
+  let ( let* ) = Result.bind in
+  match j with
+  | Json.Obj _ ->
+    let int_field k default =
+      match Json.member k j with
+      | None -> Ok (default ())
+      | Some v ->
+        (match Json.to_int v with
+        | Some n -> Ok n
+        | None -> Error (Printf.sprintf "Guard.Policy: field %S is not an integer" k))
+    in
+    let d = default in
+    let* queue_bound = int_field "queue_bound" (fun () -> d.queue_bound) in
+    let* retry_base = int_field "retry_base" (fun () -> d.retry_base) in
+    let* retry_cap = int_field "retry_cap" (fun () -> d.retry_cap) in
+    let* retry_jitter = int_field "retry_jitter" (fun () -> d.retry_jitter) in
+    let* retry_budget = int_field "retry_budget" (fun () -> d.retry_budget) in
+    let* seed = int_field "seed" (fun () -> d.seed) in
+    let* flap_k = int_field "flap_k" (fun () -> d.flap_k) in
+    let* flap_window = int_field "flap_window" (fun () -> d.flap_window) in
+    let* quarantine_slots =
+      int_field "quarantine_slots" (fun () -> d.quarantine_slots)
+    in
+    let* shed_policy =
+      match Json.member "shed_policy" j with
+      | None -> Ok d.shed_policy
+      | Some v ->
+        (match Json.to_str v with
+        | Some s -> shed_policy_of_string s
+        | None -> Error "Guard.Policy: field \"shed_policy\" is not a string")
+    in
+    make ~queue_bound ~shed_policy ~retry_base ~retry_cap ~retry_jitter
+      ~retry_budget ~seed ~flap_k ~flap_window ~quarantine_slots ()
+  | _ -> Error "Guard.Policy: expected an object"

@@ -1,0 +1,21 @@
+module Prng = Rsin_util.Prng
+
+let delay (p : Policy.t) ~task_id ~attempt =
+  if attempt < 0 then invalid_arg "Guard.Retry.delay: negative attempt";
+  let expo =
+    (* 2^attempt saturates well before the shift could wrap *)
+    if attempt >= 30 then p.retry_cap
+    else min p.retry_cap (p.retry_base lsl attempt)
+  in
+  let jitter =
+    if p.retry_jitter = 0 then 0
+    else
+      (* An independent stream per (task, attempt): a task-keyed
+         generator split attempt+1 ways, indexed by attempt. Stateless,
+         so checkpoint/restore replays the same schedule. *)
+      let streams =
+        Prng.split_n (Prng.create (p.seed lxor (task_id * 0x9E3779B9))) (attempt + 1)
+      in
+      Prng.int streams.(attempt) (p.retry_jitter + 1)
+  in
+  max 1 (expo + jitter)

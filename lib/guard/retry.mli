@@ -1,0 +1,20 @@
+(** Backoff schedule for victim re-admission.
+
+    PR 4's fault handling re-queued a torn-down task at the {e head} of
+    its processor queue, so under a flapping element the same task is
+    re-committed and re-victimized every cycle — the retry-storm regime
+    Hansen–Reynolds–Zachary's entrainment analysis warns about. With a
+    guard policy active the engine instead parks the victim and
+    re-admits it after {!delay} slots: capped exponential backoff plus
+    deterministic jitter, so synchronized victims de-synchronize without
+    sacrificing replay determinism. *)
+
+val delay : Policy.t -> task_id:int -> attempt:int -> int
+(** [delay policy ~task_id ~attempt] is the number of slots to park a
+    task before its [attempt]-th re-admission (first retry =
+    [~attempt:0]): [min retry_cap (retry_base * 2^attempt)] plus a
+    jitter draw uniform in [\[0, retry_jitter\]]. The jitter is a pure
+    function of [(policy.seed, task_id, attempt)] — one
+    {!Rsin_util.Prng.split_n} sub-stream per (task, attempt) pair — so
+    it needs no serialized generator state: a checkpoint-restored run
+    recomputes the identical schedule. Always ≥ 1. *)

@@ -320,6 +320,35 @@ let fold_line_source next_line ~init ~f =
 let fold_trace_channel ic ~init ~f =
   fold_line_source (fun () -> In_channel.input_line ic) ~init ~f
 
+(* Lenient variant for long-lived serving: a malformed line is handed
+   to [on_error] and dropped instead of aborting the whole stream, and
+   a read error (client disconnect mid-line) ends the stream cleanly —
+   a serve socket must survive hostile or truncated input. *)
+let fold_lines_lenient next_line ~on_error ~init ~f =
+  let rec go lineno acc =
+    match next_line () with
+    | None -> acc
+    | Some line ->
+      let lineno = lineno + 1 in
+      if String.trim line = "" then go lineno acc
+      else (
+        match
+          try parse_line lineno line with
+          | Malformed _ as e -> raise e
+          | e -> raise (Malformed (lineno, Printexc.to_string e))
+        with
+        | events -> go lineno (List.fold_left f acc events)
+        | exception Malformed (line, message) ->
+          on_error { line; message };
+          go lineno acc)
+  in
+  go 0 init
+
+let fold_trace_channel_lenient ic ~on_error ~init ~f =
+  fold_lines_lenient
+    (fun () -> try In_channel.input_line ic with Sys_error _ -> None)
+    ~on_error ~init ~f
+
 let import text =
   (* One cursor over [text]; no per-line string list is materialized. *)
   let pos = ref 0 in

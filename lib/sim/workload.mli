@@ -138,6 +138,30 @@ val fold_trace_channel :
     are skipped. A malformed line stops the fold with the same
     line-numbered {!parse_error} as {!import}. *)
 
+val fold_lines_lenient :
+  (unit -> string option) ->
+  on_error:(parse_error -> unit) ->
+  init:'a ->
+  f:('a -> trace_event -> 'a) ->
+  'a
+(** The lenient streaming core over an arbitrary line source ([None] =
+    end of stream): malformed lines go to [on_error] and are dropped,
+    the fold always runs to the end of the source. The chaos harness
+    drives this directly with corrupted in-memory streams. *)
+
+val fold_trace_channel_lenient :
+  in_channel ->
+  on_error:(parse_error -> unit) ->
+  init:'a ->
+  f:('a -> trace_event -> 'a) ->
+  'a
+(** {!fold_trace_channel} for long-lived serving: a malformed line is
+    reported to [on_error] and {e dropped} — the fold continues with
+    the next line instead of aborting — and a [Sys_error] while reading
+    (a client disconnecting mid-line) ends the stream cleanly like EOF.
+    The robustness contract of [rsin serve]: hostile or truncated input
+    never takes the server down. *)
+
 val import : string -> (trace_event list, parse_error) result
 (** Inverse of {!trace_to_jsonl}; result is time-sorted. Malformed or
     truncated input — bad JSON shape, missing or non-integer fields,

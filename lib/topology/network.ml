@@ -30,6 +30,9 @@ type t = {
   link_up_ : bool array;
   box_up_ : bool array;
   res_up_ : bool array;
+  link_q_ : bool array;
+  box_q_ : bool array;
+  res_q_ : bool array;
   mutable next_circuit : int;
   mutable live : (int * int list) list;
 }
@@ -154,6 +157,9 @@ let build ~name ~n_procs ~n_res ~stage_boxes ~proc_wiring ~stage_wiring
     link_up_ = Array.make !n_links true;
     box_up_ = Array.make total_boxes true;
     res_up_ = Array.make n_res true;
+    link_q_ = Array.make !n_links false;
+    box_q_ = Array.make total_boxes false;
+    res_q_ = Array.make n_res false;
     next_circuit = 0; live = [] }
 
 let name t = t.name
@@ -197,14 +203,27 @@ let set_link_up t l up = check_link t l; t.link_up_.(l) <- up
 let set_box_up t b up = check_box t b; t.box_up_.(b) <- up
 let set_res_up t r up = check_res t r; t.res_up_.(r) <- up
 
+(* --- element quarantine -------------------------------------------------- *)
+
+let link_quarantined t l = check_link t l; t.link_q_.(l)
+let box_quarantined t b = check_box t b; t.box_q_.(b)
+let res_quarantined t r = check_res t r; t.res_q_.(r)
+
+let set_link_quarantined t l q = check_link t l; t.link_q_.(l) <- q
+let set_box_quarantined t b q = check_box t b; t.box_q_.(b) <- q
+let set_res_quarantined t r q = check_res t r; t.res_q_.(r) <- q
+
+let res_available t r = check_res t r; t.res_up_.(r) && not t.res_q_.(r)
+
 let endpoint_up t = function
   | Proc _ -> true
-  | Res r -> t.res_up_.(r)
-  | Box_in (b, _) | Box_out (b, _) -> t.box_up_.(b)
+  | Res r -> t.res_up_.(r) && not t.res_q_.(r)
+  | Box_in (b, _) | Box_out (b, _) -> t.box_up_.(b) && not t.box_q_.(b)
 
 let usable t l =
   check_link t l;
   t.link_up_.(l)
+  && not t.link_q_.(l)
   && endpoint_up t t.links.(l).src
   && endpoint_up t t.links.(l).dst
 
@@ -212,6 +231,9 @@ let all_up t =
   Array.for_all Fun.id t.link_up_
   && Array.for_all Fun.id t.box_up_
   && Array.for_all Fun.id t.res_up_
+  && Array.for_all not t.link_q_
+  && Array.for_all not t.box_q_
+  && Array.for_all not t.res_q_
 
 let all_free t ls =
   List.for_all (fun l -> check_link t l; t.links.(l).state = Free) ls
@@ -274,6 +296,9 @@ let copy t =
     link_up_ = Array.copy t.link_up_;
     box_up_ = Array.copy t.box_up_;
     res_up_ = Array.copy t.res_up_;
+    link_q_ = Array.copy t.link_q_;
+    box_q_ = Array.copy t.box_q_;
+    res_q_ = Array.copy t.res_q_;
     live = t.live }
 
 let paths_exist t =

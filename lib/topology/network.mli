@@ -98,12 +98,36 @@ val set_link_up : t -> int -> bool -> unit
 val set_box_up : t -> int -> bool -> unit
 val set_res_up : t -> int -> bool -> unit
 
+(** {2 Quarantine}
+
+    Orthogonal to health: the robustness layer ({!Rsin_guard}) marks a
+    flapping element {e quarantined} for a cooling-off window. A
+    quarantined element is excluded from {!usable} (and hence from every
+    [Netgraph] compilation and free-link scan) even while nominally up,
+    so a link that keeps dying cannot keep attracting circuits it will
+    immediately tear down. All flags start false; {!copy} preserves
+    them. *)
+
+val link_quarantined : t -> int -> bool
+val box_quarantined : t -> int -> bool
+val res_quarantined : t -> int -> bool
+
+val set_link_quarantined : t -> int -> bool -> unit
+val set_box_quarantined : t -> int -> bool -> unit
+val set_res_quarantined : t -> int -> bool -> unit
+
+val res_available : t -> int -> bool
+(** [res_available net r] is true iff resource port [r] is up {e and}
+    not quarantined — the predicate schedulers must use when deciding
+    whether [r] may serve. *)
+
 val usable : t -> int -> bool
-(** [usable net l] is true iff link [l] is up and neither endpoint of
-    [l] is a down box or down resource. Processors never fail. *)
+(** [usable net l] is true iff link [l] is up, not quarantined, and
+    neither endpoint of [l] is a down or quarantined box or resource.
+    Processors never fail. *)
 
 val all_up : t -> bool
-(** True iff no element is down (the common fast path). *)
+(** True iff no element is down or quarantined (the common fast path). *)
 
 val establish : t -> int list -> int
 (** [establish net links] claims the given links for a new circuit and

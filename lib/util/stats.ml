@@ -29,6 +29,20 @@ let ci95 a =
 let min_obs a = if a.n = 0 then nan else a.lo
 let max_obs a = if a.n = 0 then nan else a.hi
 
+let accum_state a = (a.n, a.mean, a.m2, a.lo, a.hi)
+
+let accum_restore a (n, mean, m2, lo, hi) =
+  if n < 0 then invalid_arg "Stats.accum_restore: negative count";
+  a.n <- n;
+  a.mean <- mean;
+  a.m2 <- m2;
+  a.lo <- lo;
+  a.hi <- hi
+
+let accum_of_state (n, mean, m2, lo, hi) =
+  if n < 0 then invalid_arg "Stats.accum_of_state: negative count";
+  { n; mean; m2; lo; hi }
+
 let proportion_ci95 ~successes ~trials =
   if trials <= 0 then invalid_arg "Stats.proportion_ci95";
   let z = 1.959964 in

@@ -6,7 +6,10 @@ text is pinned so the shared options cannot drift between the two:
          rsin-serve - Serve a live JSONL event stream (stdin, file or Unix
          socket) through the sharded multicore engine: one warm engine per
          network component, spread over an OCaml domain pool, with cross-shard
-         borrowing when a shard's resource pool is exhausted.
+         borrowing when a shard's resource pool is exhausted. Malformed lines
+         and rejected events are dropped with a positioned error instead of
+         taking the server down; --guard adds overload and fault hardening, and
+         --checkpoint-every/--restore give crash recovery.
   
   SYNOPSIS
          rsin serve [OPTION]… NET
@@ -21,6 +24,15 @@ text is pinned so the shared options cannot drift between the two:
   
          --cancel=VAL (absent=0.)
              Synthetic trace: cancellation probability.
+  
+         --checkpoint-every=SLOTS
+             Write a checkpoint (atomically, via a temp file and rename) every
+             SLOTS served slots; must be > 0. A checkpoint lands on a slot
+             boundary and captures the full serving state — restarting from
+             it with --restore reproduces the uninterrupted run exactly.
+  
+         --checkpoint-file=FILE (absent=rsin.ckpt)
+             Where --checkpoint-every writes (default rsin.ckpt).
   
          --deadline-slack=K
              Synthetic trace: deadline uniform in [t+1, t+K].
@@ -49,6 +61,22 @@ text is pinned so the shared options cannot drift between the two:
              trace. A fault tears down circuits transmitting through the dead
              element and re-queues their tasks at the head of their queue.
   
+         --flap-k=K (absent=3)
+             With --guard: faults within --flap-window slots that quarantine an
+             element (0 disables quarantine).
+  
+         --flap-window=SLOTS (absent=50)
+             With --guard: sliding fault-counting window.
+  
+         --guard
+             Enable the robustness guard layer: admission control (bounded
+             pending queues, see --queue-bound and --shed-policy),
+             capped-exponential backoff re-admission of fault victims with a
+             per-task retry budget (--retry-budget), and flap-detecting element
+             quarantine (--flap-k, --flap-window, --quarantine-slots). Off by
+             default: without it the engine behaves exactly as before the guard
+             layer existed.
+  
          --heartbeat=N (absent=0)
              Every N consumed trace events, print one progress line (slot,
              events, cycles, allocated, solver work) to stderr. 0 (the default)
@@ -61,21 +89,46 @@ text is pinned so the shared options cannot drift between the two:
          --max-defer=VAL (absent=16)
              Force a cycle once the oldest pending request is this old.
   
-         --mtbf=SLOTS (absent=80.)
-             Mean slots between failures per element (with --faults).
+         --mtbf=SLOTS (absent=80)
+             Mean slots between failures per element (with --faults); must be >
+             0.
   
-         --mttr=SLOTS (absent=20.)
-             Mean slots to repair a failed element (with --faults).
+         --mttr=SLOTS (absent=20)
+             Mean slots to repair a failed element (with --faults); must be >
+             0.
   
          --priority-levels=K (absent=0)
              Synthetic trace: draw each task's priority uniformly from [1, K]
              (0, the default, leaves all priorities 0).
+  
+         --quarantine-slots=SLOTS (absent=100)
+             With --guard: cooling-off period of a quarantined element
+             (excluded from allocation even while nominally up).
+  
+         --queue-bound=N (absent=64)
+             With --guard: max pending tasks per processor queue before
+             admission control sheds (0 = unbounded).
+  
+         --restore=FILE
+             Resume serving from the checkpoint in FILE instead of starting
+             fresh; the engine config travels inside the checkpoint, and NET
+             must be the topology it was taken on. Feed the remaining trace
+             (slots after the checkpoint).
+  
+         --retry-budget=N (absent=8)
+             With --guard: teardowns a task survives before the engine gives it
+             up (0 = give up on first victimization).
   
          --seed=VAL (absent=1)
              PRNG seed.
   
          --service=VAL (absent=4.)
              Synthetic trace: mean service time.
+  
+         --shed-policy=POLICY (absent=drop-tail)
+             With --guard: what a full queue sheds — drop-tail (the newcomer)
+             or deadline-aware (the pending task with least remaining deadline
+             slack, the one most likely to expire anyway).
   
          --slots=VAL (absent=200)
              Synthetic trace: arrival slots.
@@ -226,7 +279,9 @@ the single-core engine:
   cycles skipped clean  0
   solver work (arcs)    1362
 
-Bad inputs are rejected with a diagnostic, not a traceback:
+Bad flag combinations are rejected with a diagnostic, not a traceback,
+and --mtbf/--mttr/--checkpoint-every validate strictly positive at the
+flag layer, before any network is built:
 
   $ rsin serve multi:2:omega:4 --trace trace.jsonl --listen sock.path
   rsin: --trace and --listen are mutually exclusive
@@ -234,11 +289,58 @@ Bad inputs are rejected with a diagnostic, not a traceback:
   $ rsin serve multi:2:omega:4 --faults
   rsin: --faults needs --synthetic (streamed traces carry their fault events inline)
   [1]
+  $ rsin serve multi:2:omega:4 --synthetic --faults --mtbf 0 2>&1 | head -2
+  rsin: option '--mtbf': value 0 must be > 0
+  Usage: rsin serve [OPTION]… NET
+  $ rsin serve multi:2:omega:4 --synthetic --faults --mttr=-3.5 2>&1 | head -2
+  rsin: option '--mttr': value -3.5 must be > 0
+  Usage: rsin serve [OPTION]… NET
+  $ rsin serve multi:2:omega:4 --synthetic --checkpoint-every 0 2>&1 | head -2
+  rsin: option '--checkpoint-every': value 0 must be > 0
+  Usage: rsin serve [OPTION]… NET
+  $ rsin serve multi:2:omega:4 --synthetic --checkpoint-every nope 2>&1 | head -2
+  rsin: option '--checkpoint-every': invalid value 'nope', expected an integer
+  Usage: rsin serve [OPTION]… NET
+
+Malformed stream input never takes the server down: bad lines are
+dropped with their line number, later events keep being served, and the
+report counts the drops:
+
   $ echo 'not json' | rsin serve multi:2:omega:4 --domains 1
+  rsin: trace line 1: expected a {...} object (line dropped)
   serving multi2-omega4: 2 shard(s) over 1 domain(s)
-  rsin: cannot read trace: line 1: expected a {...} object
-  [1]
+  metric                 serve
+  ---------------------  -----
+  events                 0
+  borrowed               0
+  starved                0
+  horizon (slots)        0
+  arrivals               0
+  allocated              0
+  completed              0
+  cancelled              0
+  expired                0
+  left pending           0
+  scheduling cycles      0
+  cycles skipped clean   0
+  solver work (arcs)     0
+  stream errors dropped  1
   $ printf '{"t":5,"ev":"arrive","id":0,"proc":0,"service":2}\n{"t":4,"ev":"arrive","id":1,"proc":1,"service":2}\n' | rsin serve multi:2:omega:4 --domains 1
+  rsin: event dropped: Serve.feed: events must arrive in nondecreasing slot order
   serving multi2-omega4: 2 shard(s) over 1 domain(s)
-  rsin: Serve.feed: events must arrive in nondecreasing slot order
-  [1]
+  metric                 serve
+  ---------------------  -----
+  events                 1
+  borrowed               0
+  starved                0
+  horizon (slots)        8
+  arrivals               1
+  allocated              1
+  completed              1
+  cancelled              0
+  expired                0
+  left pending           0
+  scheduling cycles      1
+  cycles skipped clean   0
+  solver work (arcs)     19
+  stream errors dropped  1

@@ -29,4 +29,5 @@ let () =
       ("edge", Test_edge.suite);
       ("integration", Test_integration.suite);
       ("balance", Test_balance.suite);
+      ("guard", Test_guard.suite);
     ]
